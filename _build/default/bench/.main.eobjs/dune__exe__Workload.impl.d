@@ -1,0 +1,1 @@
+bench/workload.ml: Algebra Array Community Compile Engine Event Ident List Money Paper_specs Printf Refinement Runtime_error Schema Sigmap String Template Troll Value

@@ -1,0 +1,366 @@
+(** The experiment suite (DESIGN.md §5, EXPERIMENTS.md).
+
+    The paper contains no tables or figures; every benchmark here
+    regenerates one row/series of the substitute experiment index:
+
+    - E1 parse, E2 check — front-end scaling in spec size;
+    - E3 engine throughput vs community size (plain vs quantified
+      permissions);
+    - E4 ablation: incremental permission monitors vs re-evaluating the
+      temporal guard over the recorded trace;
+    - E5 interface (view) indirection overhead;
+    - E6 inheritance-schema closure;
+    - E7 bounded refinement checking vs depth;
+    - E8 calling-cascade cost vs chain depth;
+    - E9 query-algebra operators vs relation size.
+
+    [dune exec bench/main.exe] runs everything under bechamel and prints
+    one OLS-estimated ns/run per benchmark.  [-- --quick] uses short
+    direct timing loops (same workloads, coarser numbers).  [-- --filter
+    E4] restricts to one experiment. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark definitions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ignore_outcome : Engine.step_result -> unit = function
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+(* E1/E2 *)
+let front_end_tests () =
+  List.concat_map
+    (fun n ->
+      let src = Workload.spec_text n in
+      let parsed =
+        match Parser.spec src with Ok s -> s | Error _ -> assert false
+      in
+      [
+        ((Printf.sprintf "E1 parse/%d" n), (fun () ->
+               match Parser.spec src with
+               | Ok _ -> ()
+               | Error _ -> assert false));
+        ((Printf.sprintf "E2 check/%d" n), (fun () -> ignore (Typecheck.check parsed)));
+      ])
+    [ 1; 10; 50 ]
+
+(* E3 *)
+let engine_tests () =
+  List.map
+    (fun m ->
+      let c, ids = Workload.dept_community m in
+      let i = ref 0 in
+      ((Printf.sprintf "E3 engine/%d" m), (fun () ->
+             let id = ids.(!i mod m) in
+             incr i;
+             ignore_outcome
+               (Engine.fire c (Event.make id "fund" [ Value.Money 100 ])))))
+    [ 10; 100; 1000 ]
+
+let engine_quantified_tests () =
+  List.map
+    (fun m ->
+      let c, q, persons = Workload.qdept_community m in
+      let i = ref 0 in
+      ((Printf.sprintf "E3q engine-quantified/%d" m), (fun () ->
+             let p = persons.(!i mod m) in
+             incr i;
+             let name = if !i mod 2 = 0 then "hire" else "fire" in
+             (* alternating hire/fire keeps the state bounded *)
+             match Engine.fire c (Event.make q name [ Ident.to_value p ]) with
+             | Ok _ | Error _ -> ())))
+    [ 10; 100 ]
+
+(* E4 *)
+let monitor_tests () =
+  List.concat_map
+    (fun len ->
+      let c, o, idx, pm, body = Workload.history_object len in
+      let env = Env.of_list [ ("P", Value.String "emp") ] in
+      let binds = [ ("P", Value.String "emp") ] in
+      [
+        ((Printf.sprintf "E4 monitor/%d" len), (fun () ->
+               ignore (Engine.permission_holds c o idx pm ~env)));
+        ((Printf.sprintf "E4 trace-eval/%d" len), (fun () ->
+               ignore (Engine.naive_guard_value c o body ~binds)));
+      ])
+    [ 100; 1000; 10000 ]
+
+(* E5 *)
+let view_tests () =
+  let sys, alice = Workload.company_with_views () in
+  let c = sys.Troll.community in
+  let o = Community.object_exn c alice in
+  let sal = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let sal2 = Troll.view_exn sys "SAL_EMPLOYEE2" in
+  let inst = [ ("PERSON", alice) ] in
+  [
+    ("E5 direct-read", (fun () -> ignore (Eval.read_attr c o "Salary" [])));
+    ("E5 view-read", (fun () -> ignore (Interface.attr sal inst "Salary" [])));
+    ("E5 view-derived-read", (fun () ->
+           ignore (Interface.attr sal2 inst "CurrentIncomePerYear" [])));
+    ("E5 direct-event", (fun () ->
+           ignore_outcome
+             (Engine.fire c
+                (Event.make alice "ChangeSalary"
+                   [ Value.Money (Money.of_units 6000) ]))));
+    ("E5 view-event", (fun () ->
+           ignore
+             (Interface.fire sal inst "ChangeSalary"
+                [ Value.Money (Money.of_units 6000) ])));
+  ]
+
+(* E6 *)
+let schema_tests () =
+  List.map
+    (fun t ->
+      let s = Workload.schema t in
+      let i = ref 0 in
+      ((Printf.sprintf "E6 schema-closure/%d" t), (fun () ->
+             let n = Printf.sprintf "T%d" (!i mod t) in
+             incr i;
+             ignore (Schema.aspects_of s ~key:(Value.Int 0) n))))
+    [ 10; 100; 1000 ]
+
+(* E7 *)
+let refinement_tests ~max_depth () =
+  let abs, conc = Workload.employee_pair () in
+  List.map
+    (fun depth ->
+      ((Printf.sprintf "E7 refine/%d" depth), (fun () ->
+             let report =
+               Refinement.check
+                 ~impl:
+                   (Implementation.make ~abs_class:"EMPLOYEE"
+                      ~conc_class:"EMPL_IMPL" ())
+                 ~abs ~conc ~alphabet:Workload.refinement_alphabet ~depth
+             in
+             match report.Refinement.verdict with
+             | Ok () -> ()
+             | Error _ -> failwith "refinement failed")))
+    (List.filter (fun d -> d <= max_depth) [ 2; 3; 4; 5 ])
+
+(* E8 *)
+let cascade_tests () =
+  List.map
+    (fun d ->
+      let c, head = Workload.cascade_community d in
+      ((Printf.sprintf "E8 cascade/%d" d), (fun () ->
+             ignore_outcome (Engine.fire c (Event.make head "pulse" [])))))
+    [ 1; 4; 16; 64 ]
+
+(* E9 *)
+let query_tests () =
+  List.concat_map
+    (fun r ->
+      let rel = Workload.relation r in
+      let depts = Workload.dept_relation () in
+      [
+        ((Printf.sprintf "E9 select/%d" r), (fun () ->
+               ignore
+                 (Algebra.select
+                    (fun v ->
+                      match Value.field "esalary" v with
+                      | Value.Int i -> i > 500
+                      | _ -> false)
+                    rel)));
+        ((Printf.sprintf "E9 project/%d" r), (fun () -> ignore (Algebra.project [ "esalary" ] rel)));
+        ((Printf.sprintf "E9 join/%d" r), (fun () -> ignore (Algebra.join rel depts)));
+        ((Printf.sprintf "E9 sum/%d" r), (fun () -> ignore (Algebra.sum ~field:"esalary" rel)));
+      ])
+    [ 100; 1000 ]
+
+(* E10: rollback ablation — a rejected transaction must undo everything;
+   measure its cost against the matching accepted step *)
+let rollback_tests () =
+  let c, ids = Workload.dept_community 100 in
+  let d = ids.(0) in
+  [
+    ( "E10 accepted-step",
+      fun () ->
+        ignore_outcome
+          (Engine.fire c (Event.make d "fund" [ Value.Money 100 ])) );
+    ( "E10 rejected-step",
+      fun () ->
+        (* hiring the same employee twice violates the permission *)
+        match
+          Engine.fire c (Event.make d "hire" [ Value.String "emp" ])
+        with
+        | Error _ -> ()
+        | Ok _ -> failwith "expected rejection" );
+    ( "E10 rejected-transaction",
+      fun () ->
+        match
+          Engine.fire_seq c
+            [ Event.make d "fund" [ Value.Money 100 ];
+              Event.make d "hire" [ Value.String "emp" ] ]
+        with
+        | Error _ -> ()
+        | Ok _ -> failwith "expected rejection" );
+  ]
+
+(* E11: access methods for the internal schema — the paper's closing
+   remark that emp_rel "may be implemented … using a B-tree or a hash
+   table access method".  Point lookups: list scan (the relation value
+   as the engine stores it) vs B-tree vs hash index. *)
+let access_method_tests () =
+  List.concat_map
+    (fun r ->
+      let keys = Array.init r (fun i -> Value.String (Printf.sprintf "e%d" i)) in
+      let rows = List.init r (fun i -> (keys.(i), i)) in
+      let rel =
+        Workload.relation r (* list of tuples, keyed by ename *)
+      in
+      let bt = Btree.of_list rows in
+      let h = Hash_index.of_list rows in
+      let i = ref 0 in
+      let probe () =
+        let k = keys.(!i * 7919 mod r) in
+        incr i;
+        k
+      in
+      [
+        ( Printf.sprintf "E11 list-scan/%d" r,
+          fun () ->
+            let k = probe () in
+            ignore
+              (List.find_opt
+                 (fun row -> Value.equal (Value.field "ename" row) k)
+                 rel) );
+        ( Printf.sprintf "E11 btree/%d" r,
+          fun () -> ignore (Btree.find bt (probe ())) );
+        ( Printf.sprintf "E11 hash/%d" r,
+          fun () -> ignore (Hash_index.find h (probe ())) );
+      ])
+    [ 100; 1000; 10000 ]
+
+(* E12: persistence throughput — save and restore of a community *)
+let persist_tests () =
+  List.concat_map
+    (fun m ->
+      let c, _ = Workload.dept_community m in
+      let dump = Persist.save c in
+      let fresh () =
+        match Compile.load Workload.dept_spec with
+        | Ok (x, _) -> x
+        | Error e -> failwith e
+      in
+      let target = fresh () in
+      [
+        ( Printf.sprintf "E12 save/%d" m,
+          fun () -> ignore (Persist.save c) );
+        ( Printf.sprintf "E12 restore/%d" m,
+          fun () ->
+            match Persist.load target dump with
+            | Ok () -> ()
+            | Error e -> failwith e );
+      ])
+    [ 10; 100; 1000 ]
+
+let all_tests ~quick () =
+  front_end_tests ()
+  @ engine_tests ()
+  @ engine_quantified_tests ()
+  @ monitor_tests ()
+  @ view_tests ()
+  @ schema_tests ()
+  @ refinement_tests ~max_depth:(if quick then 4 else 5) ()
+  @ cascade_tests ()
+  @ query_tests ()
+  @ rollback_tests ()
+  @ access_method_tests ()
+  @ persist_tests ()
+
+(* ------------------------------------------------------------------ *)
+(* Runners                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let apply_filter ~filter benches =
+  match filter with
+  | None -> benches
+  | Some f ->
+      List.filter
+        (fun (name, _) ->
+          String.length name >= String.length f
+          && String.sub name 0 (String.length f) = f)
+        benches
+
+let run_bechamel benches =
+  let tests =
+    List.map
+      (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+      benches
+  in
+  let grouped = Test.make_grouped ~name:"troll" tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> e
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, est, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Printf.printf "%-44s %16s %10s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, est, r2) ->
+      Printf.printf "%-44s %16.1f %10.4f\n" name est r2)
+    rows
+
+(* quick mode: direct timing, one row per benchmark *)
+let time_once f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let run_quick benches =
+  Printf.printf "%-44s %16s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun (name, fn) ->
+      (* warm up, then time enough repetitions for >= 20 ms *)
+      fn ();
+      let reps = ref 1 in
+      let elapsed = ref (time_once fn) in
+      while !elapsed < 0.02 && !reps < 1_000_000 do
+        reps := !reps * 4;
+        elapsed :=
+          time_once (fun () ->
+              for _ = 1 to !reps do
+                fn ()
+              done)
+      done;
+      Printf.printf "%-44s %16.1f\n" name
+        (!elapsed /. float_of_int !reps *. 1e9))
+    benches
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let filter =
+    let rec find = function
+      | "--filter" :: f :: _ -> Some f
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let benches = apply_filter ~filter (all_tests ~quick ()) in
+  if quick then run_quick benches else run_bechamel benches

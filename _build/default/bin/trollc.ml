@@ -1,0 +1,316 @@
+(** trollc — command-line front end for the TROLL system.
+
+    {v
+      trollc parse  spec.trl          # parse, report errors
+      trollc check  spec.trl          # parse + static checks
+      trollc pretty spec.trl          # parse and re-print
+      trollc run    spec.trl run.trs  # load and animate with a script
+    v} *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SPEC" ~doc:"TROLL specification file")
+
+let with_parsed path k =
+  match Troll.parse (read_file path) with
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      1
+  | Ok spec -> k spec
+
+let parse_cmd =
+  let run path =
+    with_parsed path (fun spec ->
+        Printf.printf "parsed %d declaration(s)\n" (List.length spec);
+        0)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a specification and report errors")
+    Term.(const run $ spec_arg)
+
+let check_cmd =
+  let run path =
+    with_parsed path (fun spec ->
+        let diags = Troll.check spec in
+        List.iter
+          (fun d -> Printf.printf "%s\n" (Check_error.to_string d))
+          diags;
+        if List.exists Check_error.is_error diags then 1
+        else begin
+          Printf.printf "ok: %d declaration(s), %d warning(s)\n"
+            (List.length spec) (List.length diags);
+          0
+        end)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Statically check a specification")
+    Term.(const run $ spec_arg)
+
+let pretty_cmd =
+  let run path =
+    with_parsed path (fun spec ->
+        print_endline (Troll.pretty spec);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "pretty" ~doc:"Re-print a specification in canonical syntax")
+    Term.(const run $ spec_arg)
+
+let script_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"SCRIPT" ~doc:"animation script file")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"STATE"
+        ~doc:"Write the object base's state to $(docv) after the script")
+
+let restore_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "restore" ] ~docv:"STATE"
+        ~doc:
+          "Restore the object base from $(docv) (written by --save against \
+           the same specification) before running the script")
+
+let run_cmd =
+  let run spec_path script_path save restore =
+    match Troll.load (read_file spec_path) with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok sys -> (
+        let restored =
+          match restore with
+          | None -> Ok ()
+          | Some path -> Persist.load_file sys.Troll.community path
+        in
+        match restored with
+        | Error e ->
+            Printf.eprintf "restore failed: %s\n" e;
+            1
+        | Ok () -> (
+            let outcome = Script.run_string sys (read_file script_path) in
+            List.iter print_endline outcome.Script.output;
+            let code =
+              match outcome.Script.failed with
+              | None -> 0
+              | Some e ->
+                  Printf.eprintf "script failed: %s\n" e;
+                  1
+            in
+            (match save with
+            | Some path ->
+                Persist.save_file sys.Troll.community path;
+                Printf.printf "state saved to %s\n" path
+            | None -> ());
+            code))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Load a specification and animate it with a script; --save/--restore \
+          persist the object base between runs")
+    Term.(const run $ spec_arg $ script_arg $ save_arg $ restore_arg)
+
+let dot_cmd =
+  let run path =
+    match Troll.load (read_file path) with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok sys ->
+        let templates =
+          Hashtbl.fold
+            (fun _ tpl acc -> tpl :: acc)
+            sys.Troll.community.Community.templates []
+        in
+        let schema = Dot.schema_of_templates templates in
+        print_string (Dot.of_schema schema);
+        0
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Render the specification's inheritance schema (view/specialization \
+          hierarchy) as Graphviz dot")
+    Term.(const run $ spec_arg)
+
+let repl_cmd =
+  let run spec_path restore =
+    (* the REPL is a debugging tool: record life cycles so that the
+       'trace' command works *)
+    let config =
+      { Community.default_config with Community.record_history = true }
+    in
+    match Troll.load ~config (read_file spec_path) with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok sys -> (
+        let restored =
+          match restore with
+          | None -> Ok ()
+          | Some path -> Persist.load_file sys.Troll.community path
+        in
+        match restored with
+        | Error e ->
+            Printf.eprintf "restore failed: %s\n" e;
+            1
+        | Ok () ->
+            print_endline
+              "troll> animation commands, one per line (';' optional); \
+               'quit' to exit";
+            let rec loop () =
+              print_string "troll> ";
+              match read_line () with
+              | exception End_of_file -> 0
+              | "quit" | "exit" -> 0
+              | "" -> loop ()
+              | line ->
+                  let line =
+                    let n = String.length line in
+                    if n > 0 && line.[n - 1] = ';' then line else line ^ ";"
+                  in
+                  let outcome = Script.run_string sys line in
+                  List.iter print_endline outcome.Script.output;
+                  (match outcome.Script.failed with
+                  | Some e -> Printf.printf "error: %s\n" e
+                  | None -> ());
+                  loop ()
+            in
+            loop ())
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Animate a specification interactively (script commands on stdin)")
+    Term.(const run $ spec_arg $ restore_arg)
+
+(* build a plausible key for a class from a name string: single id
+   field → the string; several → the string plus type defaults *)
+let key_for (tpl : Template.t) (name : string) : Value.t =
+  let default_of = function
+    | Vtype.String -> Value.String name
+    | Vtype.Int | Vtype.Nat -> Value.Int 0
+    | Vtype.Date -> Value.Date 0
+    | Vtype.Money -> Value.Money 0
+    | Vtype.Bool -> Value.Bool false
+    | _ -> Value.String name
+  in
+  match tpl.Template.t_id_fields with
+  | [ (_, ty) ] -> default_of ty
+  | fields ->
+      Value.Tuple
+        (List.mapi
+           (fun i (n, ty) ->
+             (n, if i = 0 then Value.String name else default_of ty))
+           fields)
+
+let refine_cmd =
+  let abs_spec =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"ABSTRACT" ~doc:"abstract specification file")
+  in
+  let conc_spec =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CONCRETE" ~doc:"implementation specification file")
+  in
+  let abs_class =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "abs" ] ~docv:"CLASS" ~doc:"abstract class name")
+  in
+  let conc_class =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "conc" ] ~docv:"CLASS" ~doc:"implementing class name")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~doc:"exploration depth bound")
+  in
+  let run abs_path conc_path abs_cls conc_cls depth =
+    let load path =
+      match Troll.load (read_file path) with
+      | Ok sys -> Ok sys.Troll.community
+      | Error e -> Error e
+    in
+    match (load abs_path, load conc_path) with
+    | Error e, _ | _, Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok abs_c, Ok conc_c -> (
+        match
+          ( Community.find_template abs_c abs_cls,
+            Community.find_template conc_c conc_cls )
+        with
+        | None, _ ->
+            Printf.eprintf "unknown abstract class %s\n" abs_cls;
+            1
+        | _, None ->
+            Printf.eprintf "unknown implementing class %s\n" conc_cls;
+            1
+        | Some abs_tpl, Some conc_tpl -> (
+            let create c tpl =
+              Engine.create c ~cls:tpl.Template.t_name
+                ~key:(key_for tpl "probe") ()
+            in
+            match (create abs_c abs_tpl, create conc_c conc_tpl) with
+            | Error r, _ | _, Error r ->
+                Printf.eprintf "cannot create probe instance: %s\n"
+                  (Runtime_error.reason_to_string r);
+                1
+            | Ok _, Ok _ ->
+                let impl =
+                  Implementation.make ~abs_class:abs_cls ~conc_class:conc_cls
+                    ()
+                in
+                let report =
+                  Refinement.check ~impl
+                    ~abs:
+                      { Refinement.community = abs_c;
+                        id = Ident.make abs_cls (key_for abs_tpl "probe") }
+                    ~conc:
+                      { Refinement.community = conc_c;
+                        id = Ident.make conc_cls (key_for conc_tpl "probe") }
+                    ~alphabet:(Refinement.candidates abs_tpl)
+                    ~depth
+                in
+                Format.printf "%a@." Refinement.pp_report report;
+                (match report.Refinement.verdict with
+                | Ok () -> 0
+                | Error _ -> 1)))
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Check by bounded lock-step simulation that CONCRETE's --conc class \
+          implements ABSTRACT's --abs class (§5.2)")
+    Term.(const run $ abs_spec $ conc_spec $ abs_class $ conc_class $ depth)
+
+let main =
+  Cmd.group
+    (Cmd.info "trollc" ~version:"1.0.0"
+       ~doc:"Parser, checker and animator for the TROLL specification language")
+    [ parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd ]
+
+let () = exit (Cmd.eval' main)

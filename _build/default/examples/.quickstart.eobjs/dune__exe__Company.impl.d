@@ -1,0 +1,1 @@
+examples/company.ml: Date_adt Engine Event Ident Interface List Money Option Paper_specs Printf Runtime_error String Troll Value

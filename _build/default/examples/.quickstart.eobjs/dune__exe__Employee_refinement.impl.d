@@ -1,0 +1,1 @@
+examples/employee_refinement.ml: Engine Event Format Ident Implementation Interface List Paper_specs Printf Refinement Runtime_error String Troll Value

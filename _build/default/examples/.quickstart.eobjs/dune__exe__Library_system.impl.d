@@ -1,0 +1,1 @@
+examples/library_system.ml: Date_adt Engine Ident List Money Option Paper_specs Printf Runtime_error Troll Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Date_adt Engine Event Ident List Option Paper_specs Printf Runtime_error Script String Troll Value

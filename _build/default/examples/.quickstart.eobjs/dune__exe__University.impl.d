@@ -1,0 +1,1 @@
+examples/university.ml: Community Dot Engine Eval Event Format Hashtbl Ident Interface List Liveness Pretty Printf Reuse Runtime_error Society String Troll Typecheck Value

@@ -1,0 +1,381 @@
+(** The specifications of the paper, in executable TROLL syntax.
+
+    Deviations from the paper's typeset fragments are deliberate and
+    documented in README §Grammar:
+    - tuple construction is written with field names
+      ([tuple(ename: n, …)]) so that values compare reliably;
+    - the paper's guarded [DeleteEmp] valuation (which binds the old
+      salary in the guard) is expressed with [select], which is
+      executable;
+    - [LIST(DEPT)] appears as [list(DEPT)] (keywords are
+      case-insensitive anyway). *)
+
+(** §4 — the [DEPT] object class, plus a minimal [PERSON] and the global
+    interaction of the promotion example. *)
+let dept = {|
+object class PERSON
+  identification pname: string;
+  template
+    attributes Grade: integer;
+    events
+      birth born;
+      death dies;
+      become_manager;
+      promote(integer);
+    valuation
+      variables g: integer;
+      [born] Grade = 1;
+      [promote(g)] Grade = g;
+end object class PERSON;
+
+object class DEPT
+  identification id: string;
+  template
+    attributes
+      est_date: date;
+      manager: |PERSON|;
+      employees: set(|PERSON|);
+    events
+      birth establishment(date);
+      death closure;
+      new_manager(|PERSON|);
+      hire(|PERSON|);
+      fire(|PERSON|);
+    valuation
+      variables P: |PERSON|; d: date;
+      [establishment(d)] est_date = d;
+      [establishment(d)] employees = {};
+      [new_manager(P)] manager = P;
+      [hire(P)] employees = insert(P, employees);
+      [fire(P)] employees = remove(P, employees);
+    permissions
+      variables P: |PERSON|;
+      { not(P in employees) } hire(P);
+      { sometime(after(hire(P))) } fire(P);
+      { for all (P: PERSON : sometime(P in employees) => sometime(after(fire(P)))) } closure;
+end object class DEPT;
+
+global interactions
+  variables P: |PERSON|; D: |DEPT|;
+  DEPT(D).new_manager(P) >> PERSON(P).become_manager;
+end global;
+|}
+
+(** The full company system: [PERSON] with the [MANAGER] phase (§4),
+    [CAR], [DEPT], the complex object [TheCompany], and the §5.1
+    interfaces [SAL_EMPLOYEE], [SAL_EMPLOYEE2], [RESEARCH_EMPLOYEE] and
+    the join view [WORKS_FOR]. *)
+let company = {|
+object class CAR
+  identification plate: string;
+  template
+    events
+      birth buy;
+      death scrap;
+end object class CAR;
+
+object class PERSON
+  identification
+    Name: string;
+    Birthdate: date;
+  template
+    attributes
+      Salary: money;
+      Dept: string;
+    events
+      birth born(money, string);
+      death dies;
+      become_manager;
+      ChangeSalary(money);
+      move_dept(string);
+    valuation
+      variables m: money; s: string;
+      [born(m, s)] Salary = m;
+      [born(m, s)] Dept = s;
+      [ChangeSalary(m)] Salary = m;
+      [move_dept(s)] Dept = s;
+end object class PERSON;
+
+object class MANAGER
+  view of PERSON;
+  template
+    attributes
+      OfficialCar: |CAR|;
+    events
+      birth PERSON.become_manager;
+      assign_official_car(|CAR|);
+    valuation
+      variables C: |CAR|;
+      [assign_official_car(C)] OfficialCar = C;
+    constraints
+      static Salary >= 5.000;
+end object class MANAGER;
+
+object class DEPT
+  identification id: string;
+  template
+    attributes
+      manager: |PERSON|;
+      employees: set(|PERSON|);
+    events
+      birth establishment;
+      death closure;
+      new_manager(|PERSON|);
+      hire(|PERSON|);
+      fire(|PERSON|);
+    valuation
+      variables P: |PERSON|;
+      [establishment] employees = {};
+      [new_manager(P)] manager = P;
+      [hire(P)] employees = insert(P, employees);
+      [fire(P)] employees = remove(P, employees);
+    permissions
+      variables P: |PERSON|;
+      { sometime(after(hire(P))) } fire(P);
+end object class DEPT;
+
+object TheCompany
+  template
+    attributes
+      founded: date;
+    components
+      depts: list(DEPT);
+    events
+      birth founding(date);
+      add_dept(|DEPT|);
+    valuation
+      variables d: date; D: |DEPT|;
+      [founding(d)] founded = d;
+      [founding(d)] depts = [];
+      [add_dept(D)] depts = append(depts, D);
+end object TheCompany;
+
+global interactions
+  variables P: |PERSON|; D: |DEPT|;
+  DEPT(D).new_manager(P) >> PERSON(P).become_manager;
+end global;
+
+interface class SAL_EMPLOYEE
+  encapsulating PERSON;
+  attributes
+    Name: string;
+    derived IncomeInYear(integer): money;
+    Salary: money;
+  events
+    ChangeSalary(money);
+  derivation
+    derivation rules
+      IncomeInYear(y) = if y < 1991 then undefined else Salary * 13.5 fi;
+end interface class SAL_EMPLOYEE;
+
+interface class SAL_EMPLOYEE2
+  encapsulating PERSON;
+  attributes
+    Name: string;
+    derived CurrentIncomePerYear: money;
+    Salary: money;
+  events
+    derived IncreaseSalary;
+  derivation
+    derivation rules
+      CurrentIncomePerYear = Salary * 13.5;
+    calling
+      IncreaseSalary >> ChangeSalary(Salary * 1.1);
+end interface class SAL_EMPLOYEE2;
+
+interface class RESEARCH_EMPLOYEE
+  encapsulating PERSON;
+  selection where self.Dept = "Research";
+  attributes
+    Name: string;
+    Salary: money;
+  events
+    ChangeSalary(money);
+end interface class RESEARCH_EMPLOYEE;
+
+interface class WORKS_FOR
+  encapsulating PERSON P, DEPT D;
+  selection where P.surrogate in D.employees;
+  attributes
+    derived DeptName: string;
+    derived PersonName: string;
+  derivation
+    derivation rules
+      DeptName = D.id;
+      PersonName = P.Name;
+end interface class WORKS_FOR;
+|}
+
+(** §5.2 — the abstract [EMPLOYEE] class. *)
+let employee_abstract = {|
+object class EMPLOYEE
+  identification
+    EmpName: string;
+    EmpBirth: date;
+  template
+    attributes
+      Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      [HireEmployee] Salary = 0;
+      [IncreaseSalary(n)] Salary = Salary + n;
+end object class EMPLOYEE;
+|}
+
+(** §5.2 — the implementation: the relation object [emp_rel], the
+    implementation class [EMPL_IMPL] incorporating it, and the hiding
+    interface [EMPL]. *)
+let employee_implementation = {|
+object emp_rel
+  template
+    attributes
+      Emps: set(tuple(ename: string, ebirth: date, esalary: integer));
+    events
+      birth CreateEmpRel;
+      UpdateSalary(string, date, integer);
+      InsertEmp(string, date, integer);
+      DeleteEmp(string, date);
+      ChangeSalary(string, date, integer);
+      death CloseEmpRel;
+    valuation
+      variables n: string; b: date; s: integer;
+      [CreateEmpRel] Emps = {};
+      [InsertEmp(n, b, s)] Emps = insert(Emps, tuple(ename: n, ebirth: b, esalary: s));
+      [DeleteEmp(n, b)] Emps = select[not(ename = n and ebirth = b)](Emps);
+      [UpdateSalary(n, b, s)] Emps =
+        insert(select[not(ename = n and ebirth = b)](Emps),
+               tuple(ename: n, ebirth: b, esalary: s));
+    permissions
+      variables n: string; b: date; s: integer;
+      { exists (s1: integer : in(Emps, tuple(ename: n, ebirth: b, esalary: s1))) }
+        UpdateSalary(n, b, s);
+      { not(exists (s1: integer : in(Emps, tuple(ename: n, ebirth: b, esalary: s1)))) }
+        InsertEmp(n, b, s);
+      { Emps = {} } CloseEmpRel;
+    calling
+      variables n: string; b: date; s: integer;
+      ChangeSalary(n, b, s) >> (DeleteEmp(n, b); InsertEmp(n, b, s));
+end object emp_rel;
+
+object class EMPL_IMPL
+  identification
+    EmpName: string;
+    EmpBirth: date;
+  template
+    inheriting emp_rel as employees;
+    attributes
+      derived Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    derivation rules
+      Salary = the(project[esalary](select[ename = EmpName and ebirth = EmpBirth](employees.Emps)));
+    calling
+      variables n: integer;
+      HireEmployee >> employees.InsertEmp(self.EmpName, self.EmpBirth, 0);
+      FireEmployee >> employees.DeleteEmp(self.EmpName, self.EmpBirth);
+      IncreaseSalary(n) >> employees.UpdateSalary(self.EmpName, self.EmpBirth, Salary + n);
+end object class EMPL_IMPL;
+
+interface class EMPL
+  encapsulating EMPL_IMPL;
+  attributes
+    EmpName: string;
+    EmpBirth: date;
+    Salary: integer;
+  events
+    IncreaseSalary(integer);
+    HireEmployee;
+    FireEmployee;
+end interface class EMPL;
+|}
+
+(** A lending library: enumerations, temporal permissions, interaction
+    by event calling, and an *active* clock object whose autonomy is
+    bounded by a permission. *)
+let library = {|
+data type Genre = (fiction, science, poetry);
+
+object class BOOK
+  identification isbn: string;
+  template
+    attributes
+      Title: string;
+      GenreOf: Genre;
+      OnLoan: bool;
+    events
+      birth acquire(string, Genre);
+      death discard;
+      lend;
+      return_book;
+    valuation
+      variables t: string; g: Genre;
+      [acquire(t, g)] Title = t;
+      [acquire(t, g)] GenreOf = g;
+      [acquire(t, g)] OnLoan = false;
+      [lend] OnLoan = true;
+      [return_book] OnLoan = false;
+    permissions
+      { OnLoan = false } lend;
+      { OnLoan = true } return_book;
+      { OnLoan = false } discard;
+end object class BOOK;
+
+object class MEMBER
+  identification mname: string;
+  template
+    attributes
+      Borrowed: set(|BOOK|);
+      Fines: money;
+    events
+      birth join_library;
+      death leave;
+      borrow(|BOOK|);
+      bring_back(|BOOK|);
+      fine(money);
+      pay(money);
+    valuation
+      variables B: |BOOK|; m: money;
+      [join_library] Borrowed = {};
+      [join_library] Fines = 0.00;
+      [borrow(B)] Borrowed = insert(B, Borrowed);
+      [bring_back(B)] Borrowed = remove(B, Borrowed);
+      [fine(m)] Fines = Fines + m;
+      [pay(m)] Fines = Fines - m;
+    permissions
+      variables B: |BOOK|; m: money;
+      { not(B in Borrowed) } borrow(B);
+      { B in Borrowed } bring_back(B);
+      { Fines >= m } pay(m);
+      { isempty(Borrowed) and Fines = 0.00 } leave;
+    calling
+      variables B: |BOOK|;
+      borrow(B) >> BOOK(B).lend;
+      bring_back(B) >> BOOK(B).return_book;
+end object class MEMBER;
+
+object LibraryClock
+  template
+    attributes
+      Today: date;
+      TicksSinceAudit: integer;
+    events
+      birth start_clock(date);
+      active tick;
+      audit;
+    valuation
+      variables d: date;
+      [start_clock(d)] Today = d;
+      [start_clock(d)] TicksSinceAudit = 0;
+      [tick] Today = Today + 1;
+      [tick] TicksSinceAudit = TicksSinceAudit + 1;
+      [audit] TicksSinceAudit = 0;
+    permissions
+      { TicksSinceAudit < 7 } tick;
+end object LibraryClock;
+|}

@@ -1,0 +1,1 @@
+lib/ast/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/ast/pretty.ml: Ast Date_adt Format List

@@ -1,0 +1,366 @@
+(** Abstract syntax of the TROLL specification language.
+
+    The grammar is reconstructed from every specification fragment in the
+    paper: the [DEPT] class (§4), [PERSON]/[MANAGER] phases, the complex
+    object [TheCompany], global interactions, the interface classes
+    [SAL_EMPLOYEE], [SAL_EMPLOYEE2], [RESEARCH_EMPLOYEE] and [WORKS_FOR]
+    (§5.1), and the formal implementation chain [emp_rel] → [EMPL_IMPL] →
+    [EMPL] (§5.2).  Modules follow the three-level schema architecture of
+    §6.2. *)
+
+type ident = string
+
+(* ------------------------------------------------------------------ *)
+(* Type expressions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Surface type expressions; resolved against declared enumerations and
+    classes by the static checker. *)
+type type_expr =
+  | TE_name of ident  (** [bool], [integer], [string], an enumeration, … *)
+  | TE_id of ident  (** [|CLASS|]: identity (surrogate) type *)
+  | TE_set of type_expr
+  | TE_list of type_expr
+  | TE_map of type_expr * type_expr
+  | TE_tuple of (ident * type_expr) list
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type lit =
+  | L_bool of bool
+  | L_int of int
+  | L_string of string
+  | L_money of int  (** cents; written [5.000] or [12.50] in source *)
+  | L_date of int  (** days since epoch; written [d"1991-03-21"] *)
+  | L_undefined
+
+(** References to objects from inside a template or rule. *)
+type obj_ref =
+  | OR_self  (** the current instance, [self] / [SELF] *)
+  | OR_name of ident
+      (** a component, an incorporated ([inheriting … as]) part, a single
+          named object, or an [encapsulating] variable of an interface;
+          disambiguated during checking *)
+  | OR_instance of ident * expr
+      (** [CLASS(id-expr)]: the instance of [CLASS] identified by the
+          value of the expression *)
+
+and expr = { e : expr_node; eloc : Loc.t }
+
+and expr_node =
+  | E_lit of lit
+  | E_var of ident  (** variable, 0-ary attribute, or enum constant *)
+  | E_self  (** the own identity as a value *)
+  | E_attr of obj_ref * ident * expr list
+      (** qualified (possibly parameterized) attribute access, e.g.
+          [D.id], [SELF.Dept], [IncomeInYear(1991)] *)
+  | E_field of expr * ident  (** tuple field selection *)
+  | E_apply of ident * expr list  (** built-in / aggregate application *)
+  | E_binop of ident * expr * expr
+  | E_unop of ident * expr
+  | E_tuple of (ident option * expr) list
+      (** [tuple(n,b,s)] positional or [tuple(ename: n, …)] named *)
+  | E_setlit of expr list
+  | E_listlit of expr list
+  | E_if of expr * expr * expr
+  | E_query of query  (** embedded object-query-algebra term *)
+
+(** The object query algebra of [SJ90] as used in derivation rules:
+    [count(project|esalary|(select|ename = EmpName|(employees)))]. *)
+and query =
+  | Q_expr of expr  (** leaf: a set- or list-valued expression *)
+  | Q_select of expr * query  (** [select|cond|(q)] *)
+  | Q_project of ident list * query  (** [project|f1,f2|(q)] *)
+  | Q_the of query  (** unique-element extraction *)
+  | Q_count of query
+  | Q_sum of ident option * query
+  | Q_min of ident option * query
+  | Q_max of ident option * query
+
+(* ------------------------------------------------------------------ *)
+(* Events and temporal formulas                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** An event term: optionally targeted at another object
+    ([DEPT(D).new_manager(P)], [employees.InsertEmp(…)]), with argument
+    expressions (which act as binding patterns in rule heads). *)
+type event_term = {
+  target : obj_ref option;
+  ev_name : ident;
+  ev_args : expr list;
+  evloc : Loc.t;
+}
+
+(** Past-oriented temporal formulas over the life cycle of an object, as
+    used in permissions and constraints. *)
+type formula = { f : formula_node; floc : Loc.t }
+
+and formula_node =
+  | F_expr of expr  (** state predicate evaluated now *)
+  | F_not of formula
+  | F_and of formula * formula
+  | F_or of formula * formula
+  | F_implies of formula * formula
+  | F_sometime of formula  (** past "once" (includes now) *)
+  | F_always of formula  (** past "historically" (includes now) *)
+  | F_since of formula * formula
+  | F_previous of formula  (** true in the preceding state *)
+  | F_after of event_term  (** the event occurred in the last step *)
+  | F_forall of (ident * type_expr) list * formula
+  | F_exists of (ident * type_expr) list * formula
+
+(* ------------------------------------------------------------------ *)
+(* Template sections                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type var_decl = ident list * type_expr
+(** [variables P, Q: PERSON;] *)
+
+type attr_decl = {
+  a_name : ident;
+  a_params : type_expr list;  (** e.g. [IncomeInYear(integer): money] *)
+  a_type : type_expr;
+  a_derived : bool;  (** value given by a derivation rule *)
+  a_constant : bool;  (** set at birth, never changed *)
+  a_loc : Loc.t;
+}
+
+type event_kind = Ev_birth | Ev_death | Ev_normal
+
+type event_decl = {
+  ev_decl_name : ident;
+  ev_params : type_expr list;
+  ev_kind : event_kind;
+  ev_active : bool;
+      (** may occur on the object's own initiative whenever permitted *)
+  ev_derived : bool;  (** interface event defined by calling *)
+  ev_born_by : event_term option;
+      (** phase classes: [birth PERSON.become_manager;] — the phase is
+          created by an event of the base object *)
+  ev_decl_loc : Loc.t;
+}
+
+(** Component declarations of complex objects: [depts: LIST(DEPT);]. *)
+type comp_multiplicity = C_single | C_set | C_list
+
+type comp_decl = {
+  c_name : ident;
+  c_class : ident;
+  c_mult : comp_multiplicity;
+  c_loc : Loc.t;
+}
+
+(** Valuation rule [{guard} ⇒ [event] attr(args) = term]. *)
+type valuation_rule = {
+  v_guard : formula option;
+  v_event : event_term;
+  v_attr : ident;
+  v_attr_args : expr list;
+  v_rhs : expr;
+  v_loc : Loc.t;
+}
+
+(** Derivation rule for a derived attribute: [attr = term]. *)
+type derivation_rule = {
+  d_attr : ident;
+  d_params : ident list;  (** formal parameter names, if parameterized *)
+  d_rhs : expr;
+  d_loc : Loc.t;
+}
+
+(** Interaction (event calling) rule [{guard} e >> e1; …; en].  A
+    right-hand side with more than one event term is *transaction
+    calling*: the sequence occurs as one atomic unit. *)
+type calling_rule = {
+  i_guard : formula option;
+  i_caller : event_term;
+  i_called : event_term list;
+  i_loc : Loc.t;
+}
+
+type permission = {
+  p_guard : formula;
+  p_event : event_term;
+  p_loc : Loc.t;
+}
+
+type constraint_decl = {
+  k_static : bool;  (** [static φ]: must hold in every state *)
+  k_body : formula;
+  k_loc : Loc.t;
+}
+
+(** The body shared by object classes, single objects, and (partially)
+    interfaces. *)
+type template_body = {
+  t_datatypes : ident list;  (** informational [data types …] list *)
+  t_inherits : (ident * ident) list;
+      (** [inheriting emp_rel as employees]: incorporation of an existing
+          object under a local name *)
+  t_variables : var_decl list;  (** template-wide variable declarations *)
+  t_attributes : attr_decl list;
+  t_events : event_decl list;
+  t_components : comp_decl list;
+  t_valuation : valuation_rule list;
+  t_derivation : derivation_rule list;
+  t_calling : calling_rule list;
+  t_permissions : permission list;
+  t_constraints : constraint_decl list;
+}
+
+let empty_body =
+  {
+    t_datatypes = [];
+    t_inherits = [];
+    t_variables = [];
+    t_attributes = [];
+    t_events = [];
+    t_components = [];
+    t_valuation = [];
+    t_derivation = [];
+    t_calling = [];
+    t_permissions = [];
+    t_constraints = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type class_decl = {
+  cl_name : ident;
+  cl_identification : (ident * type_expr) list;
+  cl_view_of : ident option;  (** phase / role of a base class *)
+  cl_spec_of : ident option;  (** static specialization of a base class *)
+  cl_body : template_body;
+  cl_loc : Loc.t;
+}
+
+(** A single named object ([object TheCompany …]). *)
+type object_decl = {
+  o_name : ident;
+  o_body : template_body;
+  o_loc : Loc.t;
+}
+
+type iface_attr = {
+  ia_name : ident;
+  ia_params : type_expr list;
+  ia_type : type_expr;
+  ia_derived : bool;
+  ia_loc : Loc.t;
+}
+
+type iface_event = {
+  ie_name : ident;
+  ie_params : type_expr list;
+  ie_derived : bool;
+  ie_loc : Loc.t;
+}
+
+type iface_decl = {
+  if_name : ident;
+  if_encapsulating : (ident * ident option) list;
+      (** encapsulated classes with optional instance variables, e.g.
+          [encapsulating PERSON P, DEPT D] *)
+  if_selection : formula option;  (** [selection where …] *)
+  if_variables : var_decl list;
+  if_attributes : iface_attr list;
+  if_events : iface_event list;
+  if_derivation : derivation_rule list;
+  if_calling : calling_rule list;
+  if_loc : Loc.t;
+}
+
+(** [global interactions] section: calling rules across classes. *)
+type global_decl = { g_variables : var_decl list; g_rules : calling_rule list }
+
+type enum_decl = { en_name : ident; en_consts : ident list; en_loc : Loc.t }
+
+type decl =
+  | D_enum of enum_decl
+  | D_class of class_decl
+  | D_object of object_decl
+  | D_interface of iface_decl
+  | D_global of global_decl
+  | D_module of module_decl
+
+(** Three-level schema architecture (§6.2): a module has a conceptual
+    schema, an internal schema (the implementation level), and named
+    external schemata exporting subsets of its interfaces. *)
+and module_decl = {
+  m_name : ident;
+  m_imports : (ident * ident) list;  (** (module, external schema) pairs *)
+  m_conceptual : decl list;
+  m_internal : decl list;
+  m_external : (ident * ident list) list;
+      (** export-schema name → exported class/interface names *)
+  m_loc : Loc.t;
+}
+
+type spec = decl list
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and traversal helpers                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+let mk_formula ?(loc = Loc.dummy) f = { f; floc = loc }
+
+let mk_event ?(loc = Loc.dummy) ?target ev_name ev_args =
+  { target; ev_name; ev_args; evloc = loc }
+
+(** All variables syntactically bound by a list of [var_decl]s. *)
+let var_decl_names vds = List.concat_map (fun (ns, _) -> ns) vds
+
+let decl_name = function
+  | D_enum e -> e.en_name
+  | D_class c -> c.cl_name
+  | D_object o -> o.o_name
+  | D_interface i -> i.if_name
+  | D_global _ -> "<global>"
+  | D_module m -> m.m_name
+
+(** Free variables of an expression (excluding attribute names — those
+    are resolved separately by the checker). *)
+let rec expr_vars acc { e; _ } =
+  match e with
+  | E_lit _ | E_self -> acc
+  | E_var v -> v :: acc
+  | E_attr (r, _, args) -> List.fold_left expr_vars (obj_ref_vars acc r) args
+  | E_field (x, _) -> expr_vars acc x
+  | E_apply (_, args) -> List.fold_left expr_vars acc args
+  | E_binop (_, a, b) -> expr_vars (expr_vars acc a) b
+  | E_unop (_, a) -> expr_vars acc a
+  | E_tuple fields -> List.fold_left (fun acc (_, x) -> expr_vars acc x) acc fields
+  | E_setlit xs | E_listlit xs -> List.fold_left expr_vars acc xs
+  | E_if (c, t, f) -> expr_vars (expr_vars (expr_vars acc c) t) f
+  | E_query q -> query_vars acc q
+
+and obj_ref_vars acc = function
+  | OR_self | OR_name _ -> acc
+  | OR_instance (_, e) -> expr_vars acc e
+
+and query_vars acc = function
+  | Q_expr e -> expr_vars acc e
+  | Q_select (c, q) -> query_vars (expr_vars acc c) q
+  | Q_project (_, q) | Q_the q | Q_count q -> query_vars acc q
+  | Q_sum (_, q) | Q_min (_, q) | Q_max (_, q) -> query_vars acc q
+
+let rec formula_vars acc { f; _ } =
+  match f with
+  | F_expr e -> expr_vars acc e
+  | F_not g | F_sometime g | F_always g | F_previous g -> formula_vars acc g
+  | F_and (a, b) | F_or (a, b) | F_implies (a, b) | F_since (a, b) ->
+      formula_vars (formula_vars acc a) b
+  | F_after ev -> event_vars acc ev
+  | F_forall (binds, g) | F_exists (binds, g) ->
+      let bound = List.map fst binds in
+      let inner = formula_vars [] g in
+      List.filter (fun v -> not (List.mem v bound)) inner @ acc
+
+and event_vars acc { target; ev_args; _ } =
+  let acc = match target with Some r -> obj_ref_vars acc r | None -> acc in
+  List.fold_left expr_vars acc ev_args

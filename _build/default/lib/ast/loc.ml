@@ -1,0 +1,22 @@
+(** Source locations for error reporting. *)
+
+type pos = { line : int; col : int }
+
+type t = { start_pos : pos; end_pos : pos }
+
+let dummy_pos = { line = 0; col = 0 }
+let dummy = { start_pos = dummy_pos; end_pos = dummy_pos }
+
+let make start_pos end_pos = { start_pos; end_pos }
+
+let merge a b = { start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp ppf { start_pos; end_pos } =
+  if start_pos.line = end_pos.line then
+    Format.fprintf ppf "line %d, columns %d-%d" start_pos.line start_pos.col
+      end_pos.col
+  else
+    Format.fprintf ppf "lines %d:%d-%d:%d" start_pos.line start_pos.col
+      end_pos.line end_pos.col
+
+let to_string l = Format.asprintf "%a" pp l

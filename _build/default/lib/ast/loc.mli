@@ -1,0 +1,11 @@
+(** Source locations for error reporting. *)
+
+type pos = { line : int; col : int }
+type t = { start_pos : pos; end_pos : pos }
+
+val dummy_pos : pos
+val dummy : t
+val make : pos -> pos -> t
+val merge : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,376 @@
+(** Pretty-printer emitting concrete TROLL syntax.
+
+    The output is designed to be re-parseable: the printer is the
+    reference for the concrete grammar accepted by {!Troll_syntax.Parser},
+    and the test suite checks the round trip [pretty ∘ parse ∘ pretty =
+    pretty] on both hand-written and randomly generated specifications.
+    Binary operators are printed fully parenthesized so that printing
+    never depends on precedence subtleties. *)
+
+open Ast
+
+let str = Format.pp_print_string
+let comma ppf () = str ppf ", "
+let semi_nl ppf () = Format.fprintf ppf ";@,"
+
+let rec pp_type ppf = function
+  | TE_name n -> str ppf n
+  | TE_id c -> Format.fprintf ppf "|%s|" c
+  | TE_set t -> Format.fprintf ppf "set(%a)" pp_type t
+  | TE_list t -> Format.fprintf ppf "list(%a)" pp_type t
+  | TE_map (k, v) -> Format.fprintf ppf "map(%a, %a)" pp_type k pp_type v
+  | TE_tuple fields ->
+      let field ppf (n, t) = Format.fprintf ppf "%s: %a" n pp_type t in
+      Format.fprintf ppf "tuple(%a)"
+        (Format.pp_print_list ~pp_sep:comma field)
+        fields
+
+let pp_lit ppf = function
+  | L_bool b -> Format.pp_print_bool ppf b
+  | L_int i -> Format.pp_print_int ppf i
+  | L_string s -> Format.fprintf ppf "%S" s
+  | L_money cents ->
+      let sign = if cents < 0 then "-" else "" in
+      let a = abs cents in
+      Format.fprintf ppf "%s%d.%02d" sign (a / 100) (a mod 100)
+  | L_date d -> Format.fprintf ppf "d%S" (Date_adt.to_string d)
+  | L_undefined -> str ppf "undefined"
+
+let rec pp_obj_ref ppf = function
+  | OR_self -> str ppf "self"
+  | OR_name n -> str ppf n
+  | OR_instance (cls, e) -> Format.fprintf ppf "%s(%a)" cls pp_expr e
+
+and pp_expr ppf { e; _ } =
+  match e with
+  | E_lit l -> pp_lit ppf l
+  | E_var v -> str ppf v
+  | E_self -> str ppf "self"
+  | E_attr (r, name, []) -> Format.fprintf ppf "%a.%s" pp_obj_ref r name
+  | E_attr (r, name, args) ->
+      Format.fprintf ppf "%a.%s(%a)" pp_obj_ref r name pp_args args
+  | E_field (x, f) -> Format.fprintf ppf "%a.%s" pp_expr_atom x f
+  | E_apply (f, args) -> Format.fprintf ppf "%s(%a)" f pp_args args
+  | E_binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a op pp_expr b
+  | E_unop (op, a) -> Format.fprintf ppf "(%s %a)" op pp_expr a
+  | E_tuple fields ->
+      let field ppf = function
+        | Some n, x -> Format.fprintf ppf "%s: %a" n pp_expr x
+        | None, x -> pp_expr ppf x
+      in
+      Format.fprintf ppf "tuple(%a)"
+        (Format.pp_print_list ~pp_sep:comma field)
+        fields
+  | E_setlit xs ->
+      Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:comma pp_expr) xs
+  | E_listlit xs ->
+      Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:comma pp_expr) xs
+  | E_if (c, t, f) ->
+      Format.fprintf ppf "(if %a then %a else %a fi)" pp_expr c pp_expr t
+        pp_expr f
+  | E_query q -> pp_query ppf q
+
+and pp_expr_atom ppf x =
+  (* Receivers of field selection must be atomic to re-parse. *)
+  match x.e with
+  | E_lit _ | E_var _ | E_self | E_apply _ | E_tuple _ | E_setlit _
+  | E_listlit _ | E_binop _ | E_unop _ | E_if _ ->
+      pp_expr ppf x
+  | _ -> Format.fprintf ppf "(%a)" pp_expr x
+
+and pp_args ppf args = Format.pp_print_list ~pp_sep:comma pp_expr ppf args
+
+and pp_query ppf = function
+  | Q_expr e -> pp_expr ppf e
+  | Q_select (cond, q) ->
+      Format.fprintf ppf "select[%a](%a)" pp_expr cond pp_query q
+  | Q_project (fields, q) ->
+      Format.fprintf ppf "project[%a](%a)"
+        (Format.pp_print_list ~pp_sep:comma str)
+        fields pp_query q
+  | Q_the q -> Format.fprintf ppf "the(%a)" pp_query q
+  | Q_count q -> Format.fprintf ppf "count(%a)" pp_query q
+  | Q_sum (f, q) -> pp_agg ppf "sum" f q
+  | Q_min (f, q) -> pp_agg ppf "minimum" f q
+  | Q_max (f, q) -> pp_agg ppf "maximum" f q
+
+and pp_agg ppf name f q =
+  match f with
+  | None -> Format.fprintf ppf "%s(%a)" name pp_query q
+  | Some fld -> Format.fprintf ppf "%s(project[%s](%a))" name fld pp_query q
+
+let pp_event ppf { target; ev_name; ev_args; _ } =
+  (match target with
+  | Some r -> Format.fprintf ppf "%a." pp_obj_ref r
+  | None -> ());
+  if ev_args = [] then str ppf ev_name
+  else Format.fprintf ppf "%s(%a)" ev_name pp_args ev_args
+
+let pp_binds ppf binds =
+  let bind ppf (v, t) = Format.fprintf ppf "%s: %a" v pp_type t in
+  Format.pp_print_list ~pp_sep:(fun ppf () -> str ppf "; ") bind ppf binds
+
+let rec pp_formula ppf { f; _ } =
+  match f with
+  | F_expr e -> pp_expr ppf e
+  | F_not g -> Format.fprintf ppf "not(%a)" pp_formula g
+  | F_and (a, b) -> Format.fprintf ppf "(%a and %a)" pp_formula a pp_formula b
+  | F_or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_formula a pp_formula b
+  | F_implies (a, b) ->
+      Format.fprintf ppf "(%a => %a)" pp_formula a pp_formula b
+  | F_sometime g -> Format.fprintf ppf "sometime(%a)" pp_formula g
+  | F_always g -> Format.fprintf ppf "always(%a)" pp_formula g
+  | F_since (a, b) ->
+      Format.fprintf ppf "(%a since %a)" pp_formula a pp_formula b
+  | F_previous g -> Format.fprintf ppf "previous(%a)" pp_formula g
+  | F_after ev -> Format.fprintf ppf "after(%a)" pp_event ev
+  | F_forall (binds, g) ->
+      Format.fprintf ppf "for all (%a : %a)" pp_binds binds pp_formula g
+  | F_exists (binds, g) ->
+      Format.fprintf ppf "exists (%a : %a)" pp_binds binds pp_formula g
+
+(* ------------------------------------------------------------------ *)
+(* Sections                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_variables ppf = function
+  | [] -> ()
+  | vds ->
+      let vd ppf (names, t) =
+        Format.fprintf ppf "%a: %a"
+          (Format.pp_print_list ~pp_sep:comma str)
+          names pp_type t
+      in
+      Format.fprintf ppf "variables %a;@,"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> str ppf "; ") vd)
+        vds
+
+let pp_attr ppf a =
+  if a.a_derived then str ppf "derived ";
+  if a.a_constant then str ppf "constant ";
+  str ppf a.a_name;
+  (match a.a_params with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:comma pp_type) ps);
+  Format.fprintf ppf ": %a" pp_type a.a_type
+
+let pp_event_decl ppf ev =
+  (match ev.ev_kind with
+  | Ev_birth -> str ppf "birth "
+  | Ev_death -> str ppf "death "
+  | Ev_normal -> ());
+  if ev.ev_active then str ppf "active ";
+  if ev.ev_derived then str ppf "derived ";
+  match ev.ev_born_by with
+  | Some base ->
+      (* phase creation: [birth MANAGER <- PERSON.become_manager] *)
+      Format.fprintf ppf "%s <- %a" ev.ev_decl_name pp_event base
+  | None -> (
+      str ppf ev.ev_decl_name;
+      match ev.ev_params with
+      | [] -> ()
+      | ps ->
+          Format.fprintf ppf "(%a)"
+            (Format.pp_print_list ~pp_sep:comma pp_type)
+            ps)
+
+let pp_comp ppf c =
+  let m ppf = function
+    | C_single -> str ppf c.c_class
+    | C_set -> Format.fprintf ppf "set(%s)" c.c_class
+    | C_list -> Format.fprintf ppf "list(%s)" c.c_class
+  in
+  Format.fprintf ppf "%s: %a" c.c_name m c.c_mult
+
+let pp_guard ppf = function
+  | None -> ()
+  | Some g -> Format.fprintf ppf "{ %a } " pp_formula g
+
+let pp_valuation ppf v =
+  pp_guard ppf v.v_guard;
+  Format.fprintf ppf "[%a] %s" pp_event v.v_event v.v_attr;
+  (match v.v_attr_args with
+  | [] -> ()
+  | args -> Format.fprintf ppf "(%a)" pp_args args);
+  Format.fprintf ppf " = %a" pp_expr v.v_rhs
+
+let pp_derivation ppf d =
+  str ppf d.d_attr;
+  (match d.d_params with
+  | [] -> ()
+  | ps -> Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:comma str) ps);
+  Format.fprintf ppf " = %a" pp_expr d.d_rhs
+
+let pp_calling ppf r =
+  pp_guard ppf r.i_guard;
+  pp_event ppf r.i_caller;
+  str ppf " >> ";
+  match r.i_called with
+  | [ one ] -> pp_event ppf one
+  | many ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> str ppf "; ") pp_event)
+        many
+
+let pp_permission ppf p =
+  Format.fprintf ppf "{ %a } %a" pp_formula p.p_guard pp_event p.p_event
+
+let pp_constraint ppf k =
+  if k.k_static then str ppf "static ";
+  pp_formula ppf k.k_body
+
+let pp_section name pp_item ppf = function
+  | [] -> ()
+  | items ->
+      Format.fprintf ppf "@[<v 2>%s@,%a" name
+        (Format.pp_print_list ~pp_sep:semi_nl pp_item)
+        items;
+      Format.fprintf ppf ";@]@,"
+
+let pp_body ppf (b : template_body) =
+  (match b.t_datatypes with
+  | [] -> ()
+  | ds ->
+      Format.fprintf ppf "data types %a;@,"
+        (Format.pp_print_list ~pp_sep:comma str)
+        ds);
+  List.iter
+    (fun (obj, alias) ->
+      Format.fprintf ppf "inheriting %s as %s;@," obj alias)
+    b.t_inherits;
+  pp_variables ppf b.t_variables;
+  pp_section "attributes" pp_attr ppf b.t_attributes;
+  pp_section "events" pp_event_decl ppf b.t_events;
+  pp_section "components" pp_comp ppf b.t_components;
+  pp_section "valuation" pp_valuation ppf b.t_valuation;
+  pp_section "derivation rules" pp_derivation ppf b.t_derivation;
+  (* local calling rules print under "calling"; the parser accepts
+     "interaction" as a synonym *)
+  pp_section "calling" pp_calling ppf b.t_calling;
+  pp_section "permissions" pp_permission ppf b.t_permissions;
+  pp_section "constraints" pp_constraint ppf b.t_constraints
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp_identification ppf = function
+  | [] -> ()
+  | fields ->
+      let field ppf (n, t) = Format.fprintf ppf "%s: %a" n pp_type t in
+      Format.fprintf ppf "@[<v 2>identification@,%a;@]@,"
+        (Format.pp_print_list ~pp_sep:semi_nl field)
+        fields
+
+let pp_class ppf (c : class_decl) =
+  Format.fprintf ppf "@[<v 2>object class %s@," c.cl_name;
+  pp_identification ppf c.cl_identification;
+  (match c.cl_view_of with
+  | Some base -> Format.fprintf ppf "view of %s;@," base
+  | None -> ());
+  (match c.cl_spec_of with
+  | Some base -> Format.fprintf ppf "specialization of %s;@," base
+  | None -> ());
+  Format.fprintf ppf "@[<v 2>template@,";
+  pp_body ppf c.cl_body;
+  Format.fprintf ppf "@]@]@,end object class %s;" c.cl_name
+
+let pp_object ppf (o : object_decl) =
+  Format.fprintf ppf "@[<v 2>object %s@,@[<v 2>template@,%a@]@]@,end object %s;"
+    o.o_name pp_body o.o_body o.o_name
+
+let pp_iface_attr ppf (a : iface_attr) =
+  if a.ia_derived then str ppf "derived ";
+  str ppf a.ia_name;
+  (match a.ia_params with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:comma pp_type) ps);
+  Format.fprintf ppf ": %a" pp_type a.ia_type
+
+let pp_iface_event ppf (e : iface_event) =
+  if e.ie_derived then str ppf "derived ";
+  str ppf e.ie_name;
+  match e.ie_params with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:comma pp_type) ps
+
+let pp_interface ppf (i : iface_decl) =
+  Format.fprintf ppf "@[<v 2>interface class %s@," i.if_name;
+  let enc ppf = function
+    | cls, Some v -> Format.fprintf ppf "%s %s" cls v
+    | cls, None -> str ppf cls
+  in
+  Format.fprintf ppf "encapsulating %a;@,"
+    (Format.pp_print_list ~pp_sep:comma enc)
+    i.if_encapsulating;
+  (match i.if_selection with
+  | Some cond -> Format.fprintf ppf "selection where %a;@," pp_formula cond
+  | None -> ());
+  pp_variables ppf i.if_variables;
+  pp_section "attributes" pp_iface_attr ppf i.if_attributes;
+  pp_section "events" pp_iface_event ppf i.if_events;
+  if i.if_derivation <> [] || i.if_calling <> [] then begin
+    Format.fprintf ppf "@[<v 2>derivation@,";
+    pp_section "derivation rules" pp_derivation ppf i.if_derivation;
+    pp_section "calling" pp_calling ppf i.if_calling;
+    Format.fprintf ppf "@]@,"
+  end;
+  Format.fprintf ppf "@]@,end interface class %s;" i.if_name
+
+let pp_global ppf (g : global_decl) =
+  Format.fprintf ppf "@[<v 2>global interactions@,";
+  pp_variables ppf g.g_variables;
+  Format.fprintf ppf "%a;@]@,end global;"
+    (Format.pp_print_list ~pp_sep:semi_nl pp_calling)
+    g.g_rules
+
+let pp_enum ppf (e : enum_decl) =
+  Format.fprintf ppf "data type %s = (%a);" e.en_name
+    (Format.pp_print_list ~pp_sep:comma str)
+    e.en_consts
+
+let rec pp_decl ppf = function
+  | D_enum e -> pp_enum ppf e
+  | D_class c -> pp_class ppf c
+  | D_object o -> pp_object ppf o
+  | D_interface i -> pp_interface ppf i
+  | D_global g -> pp_global ppf g
+  | D_module m -> pp_module ppf m
+
+and pp_module ppf (m : module_decl) =
+  Format.fprintf ppf "@[<v 2>module %s@," m.m_name;
+  List.iter
+    (fun (md, schema) -> Format.fprintf ppf "import %s.%s;@," md schema)
+    m.m_imports;
+  if m.m_conceptual <> [] then begin
+    Format.fprintf ppf "@[<v 2>conceptual schema@,%a@]@,"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+      m.m_conceptual
+  end;
+  if m.m_internal <> [] then begin
+    Format.fprintf ppf "@[<v 2>internal schema@,%a@]@,"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+      m.m_internal
+  end;
+  List.iter
+    (fun (name, exports) ->
+      Format.fprintf ppf "external schema %s = (%a);@," name
+        (Format.pp_print_list ~pp_sep:comma str)
+        exports)
+    m.m_external;
+  Format.fprintf ppf "@]@,end module %s;" m.m_name
+
+let pp_spec ppf (s : spec) =
+  Format.fprintf ppf "@[<v 0>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+    s
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let formula_to_string f = Format.asprintf "%a" pp_formula f
+let event_to_string e = Format.asprintf "%a" pp_event e
+let decl_to_string d = Format.asprintf "%a" pp_decl d
+let spec_to_string s = Format.asprintf "%a" pp_spec s

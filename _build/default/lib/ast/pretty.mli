@@ -1,0 +1,40 @@
+(** Pretty-printer emitting concrete TROLL syntax (docs/GRAMMAR.md).
+
+    The output is re-parseable: this printer is the reference for the
+    grammar accepted by [Parser], and the test suite checks the round
+    trip [pretty ∘ parse ∘ pretty = pretty] on the paper's
+    specifications and on random ASTs.  Binary operators print fully
+    parenthesised. *)
+
+val pp_type : Format.formatter -> Ast.type_expr -> unit
+val pp_lit : Format.formatter -> Ast.lit -> unit
+val pp_obj_ref : Format.formatter -> Ast.obj_ref -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_query : Format.formatter -> Ast.query -> unit
+val pp_event : Format.formatter -> Ast.event_term -> unit
+val pp_formula : Format.formatter -> Ast.formula -> unit
+
+val pp_attr : Format.formatter -> Ast.attr_decl -> unit
+val pp_event_decl : Format.formatter -> Ast.event_decl -> unit
+val pp_comp : Format.formatter -> Ast.comp_decl -> unit
+val pp_valuation : Format.formatter -> Ast.valuation_rule -> unit
+val pp_derivation : Format.formatter -> Ast.derivation_rule -> unit
+val pp_calling : Format.formatter -> Ast.calling_rule -> unit
+val pp_permission : Format.formatter -> Ast.permission -> unit
+val pp_constraint : Format.formatter -> Ast.constraint_decl -> unit
+val pp_body : Format.formatter -> Ast.template_body -> unit
+
+val pp_class : Format.formatter -> Ast.class_decl -> unit
+val pp_object : Format.formatter -> Ast.object_decl -> unit
+val pp_interface : Format.formatter -> Ast.iface_decl -> unit
+val pp_global : Format.formatter -> Ast.global_decl -> unit
+val pp_enum : Format.formatter -> Ast.enum_decl -> unit
+val pp_module : Format.formatter -> Ast.module_decl -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_spec : Format.formatter -> Ast.spec -> unit
+
+val expr_to_string : Ast.expr -> string
+val formula_to_string : Ast.formula -> string
+val event_to_string : Ast.event_term -> string
+val decl_to_string : Ast.decl -> string
+val spec_to_string : Ast.spec -> string

@@ -1,0 +1,1 @@
+lib/check/check_error.ml: Format Loc

@@ -1,0 +1,1 @@
+lib/check/check_error.mli: Format Loc

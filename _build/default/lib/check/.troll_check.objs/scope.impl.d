@@ -1,0 +1,1 @@
+lib/check/scope.ml: Ast Check_error List Loc Map String Vtype

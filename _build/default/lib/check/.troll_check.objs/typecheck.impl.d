@@ -1,0 +1,1 @@
+lib/check/typecheck.ml: Ast Builtin Check_error Format List Map Option Printf Scope String Vtype

@@ -1,0 +1,1 @@
+lib/check/typecheck.mli: Ast Check_error

@@ -1,0 +1,20 @@
+(** Static-checking diagnostics. *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; message : string; loc : Loc.t }
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> { severity = Error; message; loc }) fmt
+
+let warning ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> { severity = Warning; message; loc }) fmt
+
+let is_error d = d.severity = Error
+
+let pp ppf { severity; message; loc } =
+  Format.fprintf ppf "%s at %a: %s"
+    (match severity with Error -> "error" | Warning -> "warning")
+    Loc.pp loc message
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,11 @@
+(** Static-checking diagnostics (errors and warnings with positions). *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; message : string; loc : Loc.t }
+
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : ?loc:Loc.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+val is_error : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,404 @@
+(** Signature tables for static checking.
+
+    Collects, from a parsed specification, the declared shape of every
+    class, single object, interface and enumeration, and resolves
+    surface type expressions to {!Vtype} values.  The tables are the
+    context for {!Typecheck}. *)
+
+module Smap = Map.Make (String)
+
+type attr_sig = {
+  as_params : Vtype.t list;
+  as_type : Vtype.t;
+  as_derived : bool;
+  as_constant : bool;
+}
+
+type event_sig = {
+  es_params : Vtype.t list;
+  es_kind : Ast.event_kind;
+  es_active : bool;
+  es_derived : bool;
+}
+
+type class_sig = {
+  cs_name : string;
+  cs_kind : [ `Class | `Single | `Interface ];
+  cs_id_fields : (string * Vtype.t) list;
+  cs_base : string option;  (** view_of or spec_of target *)
+  cs_attrs : attr_sig Smap.t;
+  cs_events : event_sig Smap.t;
+  cs_vars : Vtype.t Smap.t;  (** declared rule variables *)
+  cs_encapsulating : (string * string option) list;  (** interfaces only *)
+}
+
+type t = {
+  classes : class_sig Smap.t;
+  enums : string list Smap.t;
+  const_enum : string Smap.t;  (** constant → enumeration *)
+}
+
+exception Unknown_type of string * Loc.t
+
+let rec vtype_of (t : t) ?(loc = Loc.dummy) (te : Ast.type_expr) : Vtype.t =
+  match te with
+  | Ast.TE_name ("bool" | "boolean") -> Vtype.Bool
+  | Ast.TE_name ("integer" | "int") -> Vtype.Int
+  | Ast.TE_name ("nat" | "natural") -> Vtype.Nat
+  | Ast.TE_name "string" -> Vtype.String
+  | Ast.TE_name "date" -> Vtype.Date
+  | Ast.TE_name "money" -> Vtype.Money
+  | Ast.TE_name n when Smap.mem n t.enums ->
+      Vtype.Enum (n, Smap.find n t.enums)
+  | Ast.TE_name n when Smap.mem n t.classes -> Vtype.Id n
+  | Ast.TE_name n -> raise (Unknown_type (n, loc))
+  | Ast.TE_id n ->
+      if Smap.mem n t.classes then Vtype.Id n
+      else raise (Unknown_type (n, loc))
+  | Ast.TE_set x -> Vtype.Set (vtype_of t ~loc x)
+  | Ast.TE_list x -> Vtype.List (vtype_of t ~loc x)
+  | Ast.TE_map (k, v) -> Vtype.Map (vtype_of t ~loc k, vtype_of t ~loc v)
+  | Ast.TE_tuple fields ->
+      Vtype.Tuple (List.map (fun (n, x) -> (n, vtype_of t ~loc x)) fields)
+
+let find_class t name = Smap.find_opt name t.classes
+let is_class t name = Smap.mem name t.classes
+
+(** Attribute lookup following the inheritance (view/specialization)
+    chain upward.  [surrogate] is a built-in pseudo attribute denoting
+    the object's own identity. *)
+let rec find_attr t cls name : attr_sig option =
+  if String.equal name "surrogate" then
+    Some
+      { as_params = []; as_type = Vtype.Id cls; as_derived = true;
+        as_constant = true }
+  else
+  match find_class t cls with
+  | None -> None
+  | Some cs -> (
+      match Smap.find_opt name cs.cs_attrs with
+      | Some a -> Some a
+      | None -> (
+          match cs.cs_base with
+          | Some base -> find_attr t base name
+          | None -> None))
+
+let rec find_event t cls name : event_sig option =
+  match find_class t cls with
+  | None -> None
+  | Some cs -> (
+      match Smap.find_opt name cs.cs_events with
+      | Some e -> Some e
+      | None -> (
+          match cs.cs_base with
+          | Some base -> find_event t base name
+          | None -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Building the tables                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* First pass: names only, so type resolution can see forward
+   references. *)
+let rec collect_names ~diag (decls : Ast.decl list) (classes, enums) =
+  let add_class name kind ~loc classes =
+    if Smap.mem name classes then begin
+      diag (Check_error.error ~loc "duplicate declaration of %s" name);
+      classes
+    end
+    else Smap.add name kind classes
+  in
+  List.fold_left
+    (fun (classes, enums) d ->
+      match d with
+      | Ast.D_enum e -> (classes, Smap.add e.Ast.en_name e.Ast.en_consts enums)
+      | Ast.D_class c ->
+          (add_class c.Ast.cl_name `Class ~loc:c.Ast.cl_loc classes, enums)
+      | Ast.D_object o ->
+          (add_class o.Ast.o_name `Single ~loc:o.Ast.o_loc classes, enums)
+      | Ast.D_interface i ->
+          (add_class i.Ast.if_name `Interface ~loc:i.Ast.if_loc classes, enums)
+      | Ast.D_global _ -> (classes, enums)
+      | Ast.D_module m ->
+          collect_names ~diag m.Ast.m_internal
+            (collect_names ~diag m.Ast.m_conceptual (classes, enums)))
+    (classes, enums) decls
+
+let empty_sig name kind =
+  {
+    cs_name = name;
+    cs_kind = kind;
+    cs_id_fields = [];
+    cs_base = None;
+    cs_attrs = Smap.empty;
+    cs_events = Smap.empty;
+    cs_vars = Smap.empty;
+    cs_encapsulating = [];
+  }
+
+(** Build the signature of a template body (shared by classes and single
+    objects).  Type-resolution failures are reported through [diag] and
+    the offending item is skipped, so checking can continue. *)
+let body_sig (t : t) ~diag ~name ~kind ~id_fields ~base
+    (b : Ast.template_body) : class_sig =
+  let resolve ~loc te =
+    try Some (vtype_of t ~loc te)
+    with Unknown_type (n, l) ->
+      diag (Check_error.error ~loc:l "unknown type %s (in %s)" n name);
+      None
+  in
+  let attrs =
+    List.fold_left
+      (fun acc (a : Ast.attr_decl) ->
+        if Smap.mem a.Ast.a_name acc then begin
+          diag
+            (Check_error.error ~loc:a.Ast.a_loc "duplicate attribute %s.%s"
+               name a.Ast.a_name);
+          acc
+        end
+        else
+          match resolve ~loc:a.Ast.a_loc a.Ast.a_type with
+          | None -> acc
+          | Some ty ->
+              let params =
+                List.filter_map (resolve ~loc:a.Ast.a_loc) a.Ast.a_params
+              in
+              Smap.add a.Ast.a_name
+                {
+                  as_params = params;
+                  as_type = ty;
+                  as_derived = a.Ast.a_derived;
+                  as_constant = a.Ast.a_constant;
+                }
+                acc)
+      Smap.empty b.Ast.t_attributes
+  in
+  (* components and incorporations are surrogate-typed attributes *)
+  let attrs =
+    List.fold_left
+      (fun acc (cd : Ast.comp_decl) ->
+        if not (is_class t cd.Ast.c_class) then begin
+          diag
+            (Check_error.error ~loc:cd.Ast.c_loc
+               "component %s.%s refers to unknown class %s" name cd.Ast.c_name
+               cd.Ast.c_class);
+          acc
+        end
+        else
+          let base_ty = Vtype.Id cd.Ast.c_class in
+          let ty =
+            match cd.Ast.c_mult with
+            | Ast.C_single -> base_ty
+            | Ast.C_set -> Vtype.Set base_ty
+            | Ast.C_list -> Vtype.List base_ty
+          in
+          Smap.add cd.Ast.c_name
+            { as_params = []; as_type = ty; as_derived = false;
+              as_constant = false }
+            acc)
+      attrs b.Ast.t_components
+  in
+  let attrs =
+    List.fold_left
+      (fun acc (obj, alias) ->
+        if not (is_class t obj) then begin
+          diag (Check_error.error "incorporated object %s unknown" obj);
+          acc
+        end
+        else
+          Smap.add alias
+            { as_params = []; as_type = Vtype.Id obj; as_derived = true;
+              as_constant = true }
+            acc)
+      attrs b.Ast.t_inherits
+  in
+  let events =
+    List.fold_left
+      (fun acc (e : Ast.event_decl) ->
+        if Smap.mem e.Ast.ev_decl_name acc then begin
+          diag
+            (Check_error.error ~loc:e.Ast.ev_decl_loc "duplicate event %s.%s"
+               name e.Ast.ev_decl_name);
+          acc
+        end
+        else
+          let params =
+            List.filter_map (resolve ~loc:e.Ast.ev_decl_loc) e.Ast.ev_params
+          in
+          Smap.add e.Ast.ev_decl_name
+            {
+              es_params = params;
+              es_kind = e.Ast.ev_kind;
+              es_active = e.Ast.ev_active;
+              es_derived = e.Ast.ev_derived;
+            }
+            acc)
+      Smap.empty b.Ast.t_events
+  in
+  let vars =
+    List.fold_left
+      (fun acc (names, te) ->
+        match resolve ~loc:Loc.dummy te with
+        | None -> acc
+        | Some ty -> List.fold_left (fun m v -> Smap.add v ty m) acc names)
+      Smap.empty b.Ast.t_variables
+  in
+  {
+    cs_name = name;
+    cs_kind = kind;
+    cs_id_fields = id_fields;
+    cs_base = base;
+    cs_attrs = attrs;
+    cs_events = events;
+    cs_vars = vars;
+    cs_encapsulating = [];
+  }
+
+let rec flatten_decls (decls : Ast.decl list) : Ast.decl list =
+  List.concat_map
+    (fun d ->
+      match d with
+      | Ast.D_module m ->
+          flatten_decls m.Ast.m_conceptual @ flatten_decls m.Ast.m_internal
+      | d -> [ d ])
+    decls
+
+(** Build the full signature tables for a specification; diagnostics
+    about duplicate or unresolvable declarations are appended through
+    [diag]. *)
+let build ~diag (decls : Ast.spec) : t =
+  let class_kinds, enums = collect_names ~diag decls (Smap.empty, Smap.empty) in
+  let const_enum =
+    Smap.fold
+      (fun ename consts acc ->
+        List.fold_left (fun acc c -> Smap.add c ename acc) acc consts)
+      enums Smap.empty
+  in
+  let shell =
+    {
+      classes = Smap.mapi (fun n k -> empty_sig n (match k with `Interface -> `Interface | `Class -> `Class | `Single -> `Single)) class_kinds;
+      enums;
+      const_enum;
+    }
+  in
+  let flat = flatten_decls decls in
+  let classes =
+    List.fold_left
+      (fun classes d ->
+        match d with
+        | Ast.D_class c ->
+            let id_fields =
+              List.filter_map
+                (fun (n, te) ->
+                  try Some (n, vtype_of shell ~loc:c.Ast.cl_loc te)
+                  with Unknown_type (tn, l) ->
+                    diag
+                      (Check_error.error ~loc:l
+                         "unknown type %s in identification of %s" tn
+                         c.Ast.cl_name);
+                    None)
+                c.Ast.cl_identification
+            in
+            let base =
+              match (c.Ast.cl_view_of, c.Ast.cl_spec_of) with
+              | Some b, _ | None, Some b -> Some b
+              | None, None -> None
+            in
+            (match base with
+            | Some b when not (Smap.mem b class_kinds) ->
+                diag
+                  (Check_error.error ~loc:c.Ast.cl_loc
+                     "%s is a view/specialization of unknown class %s"
+                     c.Ast.cl_name b)
+            | _ -> ());
+            let cs =
+              body_sig shell ~diag ~name:c.Ast.cl_name ~kind:`Class
+                ~id_fields ~base c.Ast.cl_body
+            in
+            (* identification fields are observable constant attributes *)
+            let cs =
+              { cs with
+                cs_attrs =
+                  List.fold_left
+                    (fun attrs (n, ty) ->
+                      if Smap.mem n attrs then attrs
+                      else
+                        Smap.add n
+                          { as_params = []; as_type = ty; as_derived = false;
+                            as_constant = true }
+                          attrs)
+                    cs.cs_attrs id_fields }
+            in
+            Smap.add c.Ast.cl_name cs classes
+        | Ast.D_object o ->
+            Smap.add o.Ast.o_name
+              (body_sig shell ~diag ~name:o.Ast.o_name ~kind:`Single
+                 ~id_fields:[] ~base:None o.Ast.o_body)
+              classes
+        | Ast.D_interface i ->
+            let attrs =
+              List.fold_left
+                (fun acc (a : Ast.iface_attr) ->
+                  try
+                    Smap.add a.Ast.ia_name
+                      {
+                        as_params =
+                          List.map (vtype_of shell ~loc:a.Ast.ia_loc)
+                            a.Ast.ia_params;
+                        as_type = vtype_of shell ~loc:a.Ast.ia_loc a.Ast.ia_type;
+                        as_derived = a.Ast.ia_derived;
+                        as_constant = false;
+                      }
+                      acc
+                  with Unknown_type (n, l) ->
+                    diag (Check_error.error ~loc:l "unknown type %s" n);
+                    acc)
+                Smap.empty i.Ast.if_attributes
+            in
+            let events =
+              List.fold_left
+                (fun acc (e : Ast.iface_event) ->
+                  try
+                    Smap.add e.Ast.ie_name
+                      {
+                        es_params =
+                          List.map (vtype_of shell ~loc:e.Ast.ie_loc)
+                            e.Ast.ie_params;
+                        es_kind = Ast.Ev_normal;
+                        es_active = false;
+                        es_derived = e.Ast.ie_derived;
+                      }
+                      acc
+                  with Unknown_type (n, l) ->
+                    diag (Check_error.error ~loc:l "unknown type %s" n);
+                    acc)
+                Smap.empty i.Ast.if_events
+            in
+            let vars =
+              List.fold_left
+                (fun acc (names, te) ->
+                  try
+                    let ty = vtype_of shell te in
+                    List.fold_left (fun m v -> Smap.add v ty m) acc names
+                  with Unknown_type (n, l) ->
+                    diag (Check_error.error ~loc:l "unknown type %s" n);
+                    acc)
+                Smap.empty i.Ast.if_variables
+            in
+            Smap.add i.Ast.if_name
+              {
+                cs_name = i.Ast.if_name;
+                cs_kind = `Interface;
+                cs_id_fields = [];
+                cs_base = None;
+                cs_attrs = attrs;
+                cs_events = events;
+                cs_vars = vars;
+                cs_encapsulating = i.Ast.if_encapsulating;
+              }
+              classes
+        | Ast.D_enum _ | Ast.D_global _ -> classes
+        | Ast.D_module _ -> classes (* flattened above *))
+      shell.classes flat
+  in
+  { shell with classes }

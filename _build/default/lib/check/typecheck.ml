@@ -1,0 +1,782 @@
+(** Static semantic analysis of TROLL specifications.
+
+    Checks performed (errors unless noted):
+
+    - every type expression resolves; no duplicate attributes/events;
+    - expressions are well-typed against the signature tables, with
+      attribute lookup following inheritance chains;
+    - valuation rules target existing, non-derived attributes of the own
+      class, bind pattern variables at their declared types, and produce
+      values of the attribute's type;
+    - permissions and constraints are boolean; quantifiers nested
+      strictly inside temporal operators are flagged (the runtime only
+      supports the outermost position for class quantifiers);
+    - calling rules reference existing events with matching arities and
+      argument types, both locally and across classes (global
+      interactions);
+    - interfaces project existing attributes/events of their encapsulated
+      classes at compatible types; derived items have derivation or
+      calling rules; selections are non-temporal booleans;
+    - classes without a birth event are flagged (warning: cannot be
+      instantiated). *)
+
+module Smap = Map.Make (String)
+
+type ctx = {
+  scope : Scope.t;
+  self : string option;  (** class whose rules are being checked *)
+  env : Vtype.t Smap.t;
+  diag : Check_error.t -> unit;
+}
+
+let err ctx ?loc fmt =
+  Format.kasprintf (fun m -> ctx.diag (Check_error.error ?loc "%s" m)) fmt
+
+let warn ctx ?loc fmt =
+  Format.kasprintf (fun m -> ctx.diag (Check_error.warning ?loc "%s" m)) fmt
+
+let bind v ty ctx = { ctx with env = Smap.add v ty ctx.env }
+
+(* ------------------------------------------------------------------ *)
+(* Expression typing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lit_type = function
+  | Ast.L_bool _ -> Vtype.Bool
+  | Ast.L_int _ -> Vtype.Int
+  | Ast.L_string _ -> Vtype.String
+  | Ast.L_money _ -> Vtype.Money
+  | Ast.L_date _ -> Vtype.Date
+  | Ast.L_undefined -> Vtype.Any
+
+(** Class denoted by an object reference, if determinable. *)
+let rec ref_class ctx (r : Ast.obj_ref) ~loc : string option =
+  match r with
+  | Ast.OR_self -> (
+      match ctx.self with
+      | Some c -> Some c
+      | None ->
+          err ctx ~loc "self used outside an object context";
+          None)
+  | Ast.OR_instance (cls, e) ->
+      if not (Scope.is_class ctx.scope cls) then begin
+        err ctx ~loc "unknown class %s" cls;
+        None
+      end
+      else begin
+        (* the key expression must be a surrogate of [cls] or a raw key *)
+        ignore (infer ctx e);
+        Some cls
+      end
+  | Ast.OR_name n -> (
+      match Smap.find_opt n ctx.env with
+      | Some (Vtype.Id c) -> Some c
+      | Some t ->
+          err ctx ~loc "%s has type %s, not an object" n (Vtype.to_string t);
+          None
+      | None -> (
+          (* attribute of self holding a surrogate *)
+          match
+            Option.bind ctx.self (fun c -> Scope.find_attr ctx.scope c n)
+          with
+          | Some { Scope.as_type = Vtype.Id c; _ } -> Some c
+          | Some a ->
+              err ctx ~loc "attribute %s has type %s, not an object" n
+                (Vtype.to_string a.Scope.as_type);
+              None
+          | None ->
+              if Scope.is_class ctx.scope n then Some n
+              else begin
+                err ctx ~loc "unknown object reference %s" n;
+                None
+              end))
+
+and infer ctx (x : Ast.expr) : Vtype.t =
+  let loc = x.Ast.eloc in
+  match x.Ast.e with
+  | Ast.E_lit l -> lit_type l
+  | Ast.E_self -> (
+      match ctx.self with
+      | Some c -> Vtype.Id c
+      | None ->
+          err ctx ~loc "self used outside an object context";
+          Vtype.Any)
+  | Ast.E_var v -> (
+      match Smap.find_opt v ctx.env with
+      | Some t -> t
+      | None -> (
+          match
+            Option.bind ctx.self (fun c -> Scope.find_attr ctx.scope c v)
+          with
+          | Some a ->
+              if a.Scope.as_params <> [] then
+                err ctx ~loc "attribute %s requires %d argument(s)" v
+                  (List.length a.Scope.as_params);
+              a.Scope.as_type
+          | None -> (
+              match Smap.find_opt v ctx.scope.Scope.const_enum with
+              | Some ename ->
+                  Vtype.Enum (ename, Smap.find ename ctx.scope.Scope.enums)
+              | None -> (
+                  match Scope.find_class ctx.scope v with
+                  | Some { Scope.cs_kind = `Single; _ } -> Vtype.Id v
+                  | Some _ -> Vtype.Set (Vtype.Id v)
+                  | None ->
+                      err ctx ~loc "unbound name %s" v;
+                      Vtype.Any))))
+  | Ast.E_attr (r, name, args) -> (
+      match ref_class ctx r ~loc with
+      | None ->
+          List.iter (fun a -> ignore (infer ctx a)) args;
+          Vtype.Any
+      | Some cls -> (
+          match Scope.find_attr ctx.scope cls name with
+          | None ->
+              err ctx ~loc "class %s has no attribute %s" cls name;
+              Vtype.Any
+          | Some a ->
+              check_args ctx ~loc ~what:(cls ^ "." ^ name) a.Scope.as_params
+                args;
+              a.Scope.as_type))
+  | Ast.E_field (base, fname) -> (
+      match infer ctx base with
+      | Vtype.Tuple fields -> (
+          match List.assoc_opt fname fields with
+          | Some t -> t
+          | None ->
+              err ctx ~loc "tuple has no field %s" fname;
+              Vtype.Any)
+      | Vtype.Id cls -> (
+          match Scope.find_attr ctx.scope cls fname with
+          | Some a -> a.Scope.as_type
+          | None ->
+              err ctx ~loc "class %s has no attribute %s" cls fname;
+              Vtype.Any)
+      | Vtype.Any -> Vtype.Any
+      | t ->
+          err ctx ~loc "cannot select field %s of %s" fname
+            (Vtype.to_string t);
+          Vtype.Any)
+  | Ast.E_apply (f, args) -> (
+      let arg_tys = List.map (infer ctx) args in
+      match (Scope.is_class ctx.scope f, arg_tys) with
+      | true, [ _ ] ->
+          (* surrogate construction [CLASS(key)] *)
+          Vtype.Id f
+      | _ -> (
+          match Builtin.type_of_application f arg_tys with
+          | Ok t -> t
+          | Error m ->
+              err ctx ~loc "%s" m;
+              Vtype.Any))
+  | Ast.E_binop (op, a, b) -> (
+      let ta = infer ctx a in
+      let tb = infer ctx b in
+      match Builtin.type_of_application op [ ta; tb ] with
+      | Ok t -> t
+      | Error m ->
+          err ctx ~loc "%s" m;
+          Vtype.Any)
+  | Ast.E_unop (op, a) -> (
+      let ta = infer ctx a in
+      match Builtin.type_of_application op [ ta ] with
+      | Ok t -> t
+      | Error m ->
+          err ctx ~loc "%s" m;
+          Vtype.Any)
+  | Ast.E_tuple fields ->
+      Vtype.Tuple
+        (List.mapi
+           (fun i (name, fx) ->
+             let t = infer ctx fx in
+             ((match name with Some n -> n | None -> Printf.sprintf "_%d" (i + 1)), t))
+           fields)
+  | Ast.E_setlit xs -> Vtype.Set (join_all ctx xs)
+  | Ast.E_listlit xs -> Vtype.List (join_all ctx xs)
+  | Ast.E_if (c, t, f) ->
+      require ctx c Vtype.Bool;
+      let tt = infer ctx t in
+      let tf = infer ctx f in
+      (match Vtype.join tt tf with
+      | Some t -> t
+      | None ->
+          err ctx ~loc "branches of if have incompatible types %s / %s"
+            (Vtype.to_string tt) (Vtype.to_string tf);
+          Vtype.Any)
+  | Ast.E_query q -> infer_query ctx ~loc q
+
+and join_all ctx xs =
+  List.fold_left
+    (fun acc x ->
+      let t = infer ctx x in
+      match Vtype.join acc t with
+      | Some j -> j
+      | None ->
+          err ctx ~loc:x.Ast.eloc
+            "collection elements have incompatible types %s / %s"
+            (Vtype.to_string acc) (Vtype.to_string t);
+          Vtype.Any)
+    Vtype.Any xs
+
+and infer_query ctx ~loc (q : Ast.query) : Vtype.t =
+  let elem_type t =
+    match t with
+    | Vtype.Set e | Vtype.List e -> e
+    | Vtype.Any -> Vtype.Any
+    | t ->
+        err ctx ~loc "query over non-collection type %s" (Vtype.to_string t);
+        Vtype.Any
+  in
+  match q with
+  | Ast.Q_expr e -> infer ctx e
+  | Ast.Q_select (cond, sub) ->
+      let t = infer_query ctx ~loc sub in
+      let e = elem_type t in
+      (* inside the condition, tuple fields of the element are in scope *)
+      let ctx' =
+        match e with
+        | Vtype.Tuple fields ->
+            List.fold_left (fun c (n, ft) -> bind n ft c) ctx fields
+        | _ -> ctx
+      in
+      let ctx' = bind "it" e ctx' in
+      require ctx' cond Vtype.Bool;
+      Vtype.Set e
+  | Ast.Q_project (fields, sub) -> (
+      let t = infer_query ctx ~loc sub in
+      match elem_type t with
+      | Vtype.Tuple tfields -> (
+          let pick f =
+            match List.assoc_opt f tfields with
+            | Some ft -> (f, ft)
+            | None ->
+                err ctx ~loc "projection field %s not in tuple" f;
+                (f, Vtype.Any)
+          in
+          match fields with
+          | [ f ] -> Vtype.Set (snd (pick f))
+          | fs -> Vtype.Set (Vtype.Tuple (List.map pick fs)))
+      | Vtype.Any -> Vtype.Any
+      | t ->
+          err ctx ~loc "project over non-tuple elements of type %s"
+            (Vtype.to_string t);
+          Vtype.Any)
+  | Ast.Q_the sub -> elem_type (infer_query ctx ~loc sub)
+  | Ast.Q_count sub ->
+      ignore (infer_query ctx ~loc sub);
+      Vtype.Nat
+  | Ast.Q_sum (f, sub) | Ast.Q_min (f, sub) | Ast.Q_max (f, sub) -> (
+      let e = elem_type (infer_query ctx ~loc sub) in
+      match f with
+      | None -> e
+      | Some fld -> (
+          match e with
+          | Vtype.Tuple fields -> (
+              match List.assoc_opt fld fields with
+              | Some t -> t
+              | None ->
+                  err ctx ~loc "aggregate field %s not in tuple" fld;
+                  Vtype.Any)
+          | _ -> Vtype.Any))
+
+and require ctx (x : Ast.expr) (expected : Vtype.t) =
+  let t = infer ctx x in
+  if not (Vtype.subtype t expected) then
+    err ctx ~loc:x.Ast.eloc "expected %s, found %s" (Vtype.to_string expected)
+      (Vtype.to_string t)
+
+and check_args ctx ~loc ~what (params : Vtype.t list) (args : Ast.expr list) =
+  if List.length params <> List.length args then
+    err ctx ~loc "%s expects %d argument(s), got %d" what
+      (List.length params) (List.length args)
+  else List.iter2 (fun p a -> require ctx a p) params args
+
+(* ------------------------------------------------------------------ *)
+(* Event terms and patterns                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Check an event term.  In [~binding] mode (rule heads), a bare
+    variable declared in the template binds at the event's parameter
+    type; the extended context is returned. *)
+let check_event_term ctx ~(binding : bool) ~(vars : Vtype.t Smap.t)
+    (term : Ast.event_term) : ctx =
+  let loc = term.Ast.evloc in
+  let ctx, cls =
+    match term.Ast.target with
+    | None -> (ctx, ctx.self)
+    | Some (Ast.OR_instance (cls, { Ast.e = Ast.E_var v; _ }))
+      when binding && Smap.mem v vars && not (Smap.mem v ctx.env) ->
+        (* the instance variable binds at the target position, as in the
+           global rule [DEPT(D).new_manager(P) >> …] *)
+        let vty = Smap.find v vars in
+        if not (Scope.is_class ctx.scope cls) then begin
+          err ctx ~loc "unknown class %s" cls;
+          (bind v vty ctx, None)
+        end
+        else begin
+          (match vty with
+          | Vtype.Id c when String.equal c cls -> ()
+          | Vtype.Id c ->
+              err ctx ~loc "variable %s: declared |%s|, pattern targets %s" v
+                c cls
+          | _ -> ());
+          (bind v vty ctx, Some cls)
+        end
+    | Some r -> (ctx, ref_class ctx r ~loc)
+  in
+  match cls with
+  | None ->
+      (if term.Ast.target <> None then
+         match ctx.self with
+         | None -> err ctx ~loc "event %s lacks a target" term.Ast.ev_name
+         | Some _ -> ());
+      ctx
+  | Some cls -> (
+      match Scope.find_event ctx.scope cls term.Ast.ev_name with
+      | None ->
+          err ctx ~loc "class %s has no event %s" cls term.Ast.ev_name;
+          ctx
+      | Some es ->
+          if List.length es.Scope.es_params <> List.length term.Ast.ev_args
+          then begin
+            err ctx ~loc "event %s.%s expects %d argument(s), got %d" cls
+              term.Ast.ev_name
+              (List.length es.Scope.es_params)
+              (List.length term.Ast.ev_args);
+            ctx
+          end
+          else
+            List.fold_left2
+              (fun ctx (arg : Ast.expr) pty ->
+                match arg.Ast.e with
+                | Ast.E_var v
+                  when binding && Smap.mem v vars
+                       && not (Smap.mem v ctx.env) ->
+                    let vty = Smap.find v vars in
+                    if
+                      not
+                        (Vtype.subtype vty pty || Vtype.subtype pty vty)
+                    then
+                      err ctx ~loc
+                        "variable %s: declared %s, event parameter is %s" v
+                        (Vtype.to_string vty) (Vtype.to_string pty);
+                    bind v vty ctx
+                | _ ->
+                    require ctx arg pty;
+                    ctx)
+              ctx term.Ast.ev_args es.Scope.es_params)
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_temporal_formula (f : Ast.formula) =
+  match f.Ast.f with
+  | Ast.F_expr _ -> false
+  | Ast.F_not g -> is_temporal_formula g
+  | Ast.F_and (a, b) | Ast.F_or (a, b) | Ast.F_implies (a, b) ->
+      is_temporal_formula a || is_temporal_formula b
+  | Ast.F_sometime _ | Ast.F_always _ | Ast.F_since _ | Ast.F_previous _
+  | Ast.F_after _ ->
+      true
+  | Ast.F_forall (_, g) | Ast.F_exists (_, g) -> is_temporal_formula g
+
+let rec check_formula ?(inside_temporal = false) ctx
+    ~(vars : Vtype.t Smap.t) ~(temporal_ok : bool) (f : Ast.formula) : unit =
+  let loc = f.Ast.floc in
+  match f.Ast.f with
+  | Ast.F_expr e -> require ctx e Vtype.Bool
+  | Ast.F_not g -> check_formula ~inside_temporal ctx ~vars ~temporal_ok g
+  | Ast.F_and (a, b) | Ast.F_or (a, b) | Ast.F_implies (a, b) ->
+      check_formula ~inside_temporal ctx ~vars ~temporal_ok a;
+      check_formula ~inside_temporal ctx ~vars ~temporal_ok b
+  | Ast.F_sometime g | Ast.F_always g | Ast.F_previous g ->
+      if not temporal_ok then
+        err ctx ~loc "temporal operator not allowed in this position";
+      check_formula ~inside_temporal:true ctx ~vars ~temporal_ok g
+  | Ast.F_since (a, b) ->
+      if not temporal_ok then
+        err ctx ~loc "temporal operator not allowed in this position";
+      check_formula ~inside_temporal:true ctx ~vars ~temporal_ok a;
+      check_formula ~inside_temporal:true ctx ~vars ~temporal_ok b
+  | Ast.F_after ev ->
+      if not temporal_ok then
+        err ctx ~loc "after(…) not allowed in this position";
+      ignore (check_event_term ctx ~binding:true ~vars ev)
+  | Ast.F_forall (binds, g) | Ast.F_exists (binds, g) ->
+      let ctx' =
+        List.fold_left
+          (fun ctx (v, te) ->
+            match Scope.vtype_of ctx.scope ~loc te with
+            | ty -> bind v ty ctx
+            | exception Scope.Unknown_type (n, l) ->
+                err ctx ~loc:l "unknown type %s" n;
+                bind v Vtype.Any ctx)
+          ctx binds
+      in
+      (* the runtime supports class quantifiers around temporal bodies
+         only in the outermost position of a permission guard *)
+      let over_class =
+        List.exists
+          (fun (_, te) ->
+            match te with
+            | Ast.TE_name n | Ast.TE_id n -> Scope.is_class ctx.scope n
+            | Ast.TE_set _ | Ast.TE_list _ | Ast.TE_map _ | Ast.TE_tuple _ ->
+                false)
+          binds
+      in
+      if inside_temporal && over_class && is_temporal_formula g then
+        warn ctx ~loc
+          "quantifier over a class extension nested inside a temporal \
+           operator is not executable (supported only outermost)";
+      check_formula ~inside_temporal ctx' ~vars ~temporal_ok g
+
+(* ------------------------------------------------------------------ *)
+(* Rule checking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+and check_guard ctx ~vars = function
+  | None -> ()
+  | Some g -> check_formula ctx ~vars ~temporal_ok:false g
+
+let check_valuation ctx ~vars (cs : Scope.class_sig)
+    (r : Ast.valuation_rule) =
+  let loc = r.Ast.v_loc in
+  let ctx' = check_event_term ctx ~binding:true ~vars r.Ast.v_event in
+  check_guard ctx' ~vars r.Ast.v_guard;
+  match Scope.find_attr ctx.scope cs.Scope.cs_name r.Ast.v_attr with
+  | None ->
+      err ctx ~loc "valuation targets unknown attribute %s.%s"
+        cs.Scope.cs_name r.Ast.v_attr
+  | Some a ->
+      if a.Scope.as_derived then
+        err ctx ~loc "valuation targets derived attribute %s.%s"
+          cs.Scope.cs_name r.Ast.v_attr;
+      (* constant attributes may only be set at birth *)
+      (if a.Scope.as_constant then
+         let birth_event =
+           match r.Ast.v_event.Ast.target with
+           | None | Some Ast.OR_self -> (
+               match
+                 Scope.find_event ctx.scope cs.Scope.cs_name
+                   r.Ast.v_event.Ast.ev_name
+               with
+               | Some es -> es.Scope.es_kind = Ast.Ev_birth
+               | None -> true (* unknown event reported elsewhere *))
+           | Some _ -> false
+         in
+         if not birth_event then
+           err ctx ~loc
+             "constant attribute %s.%s may only be set by a birth event"
+             cs.Scope.cs_name r.Ast.v_attr);
+      if r.Ast.v_attr_args <> [] then
+        err ctx ~loc
+          "valuation of parameterized attribute %s is not supported \
+           (parameterized attributes must be derived)"
+          r.Ast.v_attr;
+      let rhs_ty = infer ctx' r.Ast.v_rhs in
+      if not (Vtype.subtype rhs_ty a.Scope.as_type) then
+        err ctx ~loc "valuation of %s.%s: expected %s, found %s"
+          cs.Scope.cs_name r.Ast.v_attr
+          (Vtype.to_string a.Scope.as_type)
+          (Vtype.to_string rhs_ty)
+
+let check_calling ctx ~vars (r : Ast.calling_rule) =
+  let ctx' = check_event_term ctx ~binding:true ~vars r.Ast.i_caller in
+  check_guard ctx' ~vars r.Ast.i_guard;
+  List.iter
+    (fun t -> ignore (check_event_term ctx' ~binding:false ~vars t))
+    r.Ast.i_called
+
+let check_permission ctx ~vars (p : Ast.permission) =
+  let ctx' = check_event_term ctx ~binding:true ~vars p.Ast.p_event in
+  check_formula ctx' ~vars ~temporal_ok:true p.Ast.p_guard
+
+let check_derivation ctx (cs : Scope.class_sig) (d : Ast.derivation_rule) =
+  let loc = d.Ast.d_loc in
+  match Smap.find_opt d.Ast.d_attr cs.Scope.cs_attrs with
+  | None ->
+      err ctx ~loc "derivation rule for unknown attribute %s.%s"
+        cs.Scope.cs_name d.Ast.d_attr
+  | Some a ->
+      if not a.Scope.as_derived then
+        err ctx ~loc "derivation rule for non-derived attribute %s.%s"
+          cs.Scope.cs_name d.Ast.d_attr;
+      if List.length d.Ast.d_params <> List.length a.Scope.as_params then
+        err ctx ~loc "derivation of %s: %d parameter(s) declared, rule has %d"
+          d.Ast.d_attr
+          (List.length a.Scope.as_params)
+          (List.length d.Ast.d_params);
+      let ctx' =
+        List.fold_left2
+          (fun ctx v ty -> bind v ty ctx)
+          ctx d.Ast.d_params
+          (if List.length d.Ast.d_params = List.length a.Scope.as_params then
+             a.Scope.as_params
+           else List.map (fun _ -> Vtype.Any) d.Ast.d_params)
+      in
+      let t = infer ctx' d.Ast.d_rhs in
+      if not (Vtype.subtype t a.Scope.as_type) then
+        err ctx ~loc "derivation of %s: expected %s, found %s" d.Ast.d_attr
+          (Vtype.to_string a.Scope.as_type)
+          (Vtype.to_string t)
+
+let check_body ctx (cs : Scope.class_sig) (b : Ast.template_body) =
+  let vars = cs.Scope.cs_vars in
+  List.iter (check_valuation ctx ~vars cs) b.Ast.t_valuation;
+  List.iter (check_derivation ctx cs) b.Ast.t_derivation;
+  List.iter (check_calling ctx ~vars) b.Ast.t_calling;
+  List.iter (check_permission ctx ~vars) b.Ast.t_permissions;
+  List.iter
+    (fun (k : Ast.constraint_decl) ->
+      check_formula ctx ~vars ~temporal_ok:(not k.Ast.k_static) k.Ast.k_body)
+    b.Ast.t_constraints;
+  (* every derived attribute needs a rule *)
+  List.iter
+    (fun (a : Ast.attr_decl) ->
+      if
+        a.Ast.a_derived
+        && not
+             (List.exists
+                (fun (d : Ast.derivation_rule) ->
+                  String.equal d.Ast.d_attr a.Ast.a_name)
+                b.Ast.t_derivation)
+      then
+        err ctx ~loc:a.Ast.a_loc "derived attribute %s has no derivation rule"
+          a.Ast.a_name)
+    b.Ast.t_attributes;
+  (* phase births must reference base events *)
+  List.iter
+    (fun (e : Ast.event_decl) ->
+      match e.Ast.ev_born_by with
+      | None -> ()
+      | Some base_ev ->
+          ignore (check_event_term ctx ~binding:false ~vars base_ev))
+    b.Ast.t_events
+
+let check_class ctx (c : Ast.class_decl) =
+  let cs =
+    match Scope.find_class ctx.scope c.Ast.cl_name with
+    | Some cs -> cs
+    | None -> assert false
+  in
+  let ctx = { ctx with self = Some c.Ast.cl_name } in
+  (* a class that is not a phase/role needs a birth event to ever live *)
+  let has_birth =
+    List.exists
+      (fun (e : Ast.event_decl) -> e.Ast.ev_kind = Ast.Ev_birth)
+      c.Ast.cl_body.Ast.t_events
+  in
+  if (not has_birth) && c.Ast.cl_view_of = None then
+    warn ctx ~loc:c.Ast.cl_loc "class %s has no birth event" c.Ast.cl_name;
+  check_body ctx cs c.Ast.cl_body
+
+let check_object ctx (o : Ast.object_decl) =
+  let cs =
+    match Scope.find_class ctx.scope o.Ast.o_name with
+    | Some cs -> cs
+    | None -> assert false
+  in
+  let ctx = { ctx with self = Some o.Ast.o_name } in
+  check_body ctx cs o.Ast.o_body
+
+let check_interface ctx (i : Ast.iface_decl) =
+  let loc = i.Ast.if_loc in
+  (* encapsulated classes exist; their instance variables join the env *)
+  let enc_classes =
+    List.filter_map
+      (fun (cls, var) ->
+        match Scope.find_class ctx.scope cls with
+        | Some { Scope.cs_kind = `Interface; _ } ->
+            (* chaining interfaces over interfaces is allowed: EMPL over
+               EMPL_IMPL; treat like a class *)
+            Some (cls, var)
+        | Some _ -> Some (cls, var)
+        | None ->
+            err ctx ~loc "interface %s encapsulates unknown class %s"
+              i.Ast.if_name cls;
+            None)
+      i.Ast.if_encapsulating
+  in
+  let env =
+    List.fold_left
+      (fun env (cls, var) ->
+        match var with
+        | Some v -> Smap.add v (Vtype.Id cls) env
+        | None -> env)
+      Smap.empty enc_classes
+  in
+  let self =
+    match enc_classes with (cls, _) :: _ -> Some cls | [] -> None
+  in
+  let ctx = { ctx with self; env } in
+  let vars = (match Scope.find_class ctx.scope i.Ast.if_name with
+    | Some cs -> cs.Scope.cs_vars
+    | None -> Smap.empty)
+  in
+  (match i.Ast.if_selection with
+  | Some sel -> check_formula ctx ~vars ~temporal_ok:false sel
+  | None -> ());
+  (* projected (non-derived) attributes/events must exist in some
+     encapsulated class at a compatible type *)
+  List.iter
+    (fun (a : Ast.iface_attr) ->
+      if not a.Ast.ia_derived then
+        let found =
+          List.find_map
+            (fun (cls, _) -> Scope.find_attr ctx.scope cls a.Ast.ia_name)
+            enc_classes
+        in
+        match found with
+        | None ->
+            err ctx ~loc:a.Ast.ia_loc
+              "interface %s projects unknown attribute %s" i.Ast.if_name
+              a.Ast.ia_name
+        | Some base -> (
+            match Scope.vtype_of ctx.scope ~loc:a.Ast.ia_loc a.Ast.ia_type with
+            | ty ->
+                if not (Vtype.subtype base.Scope.as_type ty) then
+                  err ctx ~loc:a.Ast.ia_loc
+                    "interface attribute %s: declared %s, base attribute is \
+                     %s"
+                    a.Ast.ia_name (Vtype.to_string ty)
+                    (Vtype.to_string base.Scope.as_type)
+            | exception Scope.Unknown_type (n, l) ->
+                err ctx ~loc:l "unknown type %s" n))
+    i.Ast.if_attributes;
+  List.iter
+    (fun (e : Ast.iface_event) ->
+      if not e.Ast.ie_derived then
+        let found =
+          List.find_map
+            (fun (cls, _) -> Scope.find_event ctx.scope cls e.Ast.ie_name)
+            enc_classes
+        in
+        match found with
+        | None ->
+            err ctx ~loc:e.Ast.ie_loc
+              "interface %s projects unknown event %s" i.Ast.if_name
+              e.Ast.ie_name
+        | Some _ -> ())
+    i.Ast.if_events;
+  (* derived attributes need derivation rules, derived events calling
+     rules *)
+  List.iter
+    (fun (a : Ast.iface_attr) ->
+      if
+        a.Ast.ia_derived
+        && not
+             (List.exists
+                (fun (d : Ast.derivation_rule) ->
+                  String.equal d.Ast.d_attr a.Ast.ia_name)
+                i.Ast.if_derivation)
+      then
+        err ctx ~loc:a.Ast.ia_loc
+          "derived interface attribute %s has no derivation rule"
+          a.Ast.ia_name)
+    i.Ast.if_attributes;
+  List.iter
+    (fun (e : Ast.iface_event) ->
+      if
+        e.Ast.ie_derived
+        && not
+             (List.exists
+                (fun (r : Ast.calling_rule) ->
+                  String.equal r.Ast.i_caller.Ast.ev_name e.Ast.ie_name)
+                i.Ast.if_calling)
+      then
+        err ctx ~loc:e.Ast.ie_loc
+          "derived interface event %s has no calling rule" e.Ast.ie_name)
+    i.Ast.if_events;
+  List.iter (check_derivation ctx (Option.get (Scope.find_class ctx.scope i.Ast.if_name))) i.Ast.if_derivation;
+  (* calling rules: the caller is a (derived) event of the interface
+     itself; the called events belong to the encapsulated classes *)
+  List.iter
+    (fun (r : Ast.calling_rule) ->
+      let caller = r.Ast.i_caller in
+      let ctx' =
+        match
+          Scope.find_event ctx.scope i.Ast.if_name caller.Ast.ev_name
+        with
+        | None ->
+            err ctx ~loc:caller.Ast.evloc
+              "calling rule for unknown interface event %s" caller.Ast.ev_name;
+            ctx
+        | Some es ->
+            if List.length es.Scope.es_params <> List.length caller.Ast.ev_args
+            then begin
+              err ctx ~loc:caller.Ast.evloc
+                "interface event %s expects %d argument(s)" caller.Ast.ev_name
+                (List.length es.Scope.es_params);
+              ctx
+            end
+            else
+              List.fold_left2
+                (fun ctx (arg : Ast.expr) pty ->
+                  match arg.Ast.e with
+                  | Ast.E_var v when Smap.mem v vars && not (Smap.mem v ctx.env)
+                    ->
+                      bind v (Smap.find v vars) ctx
+                  | _ ->
+                      require ctx arg pty;
+                      ctx)
+                ctx caller.Ast.ev_args es.Scope.es_params
+      in
+      check_guard ctx' ~vars r.Ast.i_guard;
+      List.iter
+        (fun t -> ignore (check_event_term ctx' ~binding:false ~vars t))
+        r.Ast.i_called)
+    i.Ast.if_calling
+
+let check_global ctx (g : Ast.global_decl) =
+  let vars =
+    List.fold_left
+      (fun acc (names, te) ->
+        match Scope.vtype_of ctx.scope te with
+        | ty -> List.fold_left (fun m v -> Smap.add v ty m) acc names
+        | exception Scope.Unknown_type (n, l) ->
+            err ctx ~loc:l "unknown type %s" n;
+            acc)
+      Smap.empty g.Ast.g_variables
+  in
+  let ctx = { ctx with self = None } in
+  List.iter
+    (fun (r : Ast.calling_rule) ->
+      (match r.Ast.i_caller.Ast.target with
+      | None | Some Ast.OR_self ->
+          err ctx ~loc:r.Ast.i_loc
+            "global interaction caller must name a class instance"
+      | Some _ -> ());
+      check_calling ctx ~vars r)
+    g.Ast.g_rules
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_decl ctx (d : Ast.decl) =
+  match d with
+  | Ast.D_enum _ -> ()
+  | Ast.D_class c -> check_class ctx c
+  | Ast.D_object o -> check_object ctx o
+  | Ast.D_interface i -> check_interface ctx i
+  | Ast.D_global g -> check_global ctx g
+  | Ast.D_module m ->
+      List.iter (check_decl ctx) m.Ast.m_conceptual;
+      List.iter (check_decl ctx) m.Ast.m_internal
+
+(** Check a specification; returns all diagnostics (errors and
+    warnings). *)
+let check (spec : Ast.spec) : Check_error.t list =
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let scope = Scope.build ~diag spec in
+  let ctx = { scope; self = None; env = Smap.empty; diag } in
+  List.iter (check_decl ctx) spec;
+  List.rev !diags
+
+(** Errors only. *)
+let errors spec = List.filter Check_error.is_error (check spec)
+
+(** [true] iff the specification has no (error-severity) diagnostics. *)
+let ok spec = errors spec = []

@@ -1,0 +1,17 @@
+(** Static semantic analysis of TROLL specifications: type resolution,
+    duplicate detection, well-typedness of every rule kind (valuation,
+    derivation, calling, permissions, constraints), interface
+    projection compatibility, constancy of [constant] and
+    identification attributes, and executability warnings (class
+    quantifiers nested inside temporal operators, classes without birth
+    events).  The list of checks is documented at the top of the
+    implementation. *)
+
+val check : Ast.spec -> Check_error.t list
+(** All diagnostics (errors and warnings), in source order. *)
+
+val errors : Ast.spec -> Check_error.t list
+(** Error-severity diagnostics only. *)
+
+val ok : Ast.spec -> bool
+(** No errors (warnings allowed). *)

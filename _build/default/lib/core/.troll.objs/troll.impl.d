@@ -1,0 +1,1 @@
+lib/core/troll.ml: Ast Check_error Community Compile Engine Env Eval Event Ident Interface List Parse_error Parser Pretty Printf Runtime_error Society String Typecheck Value

@@ -1,0 +1,1 @@
+lib/core/troll.mli: Ast Check_error Community Engine Event Ident Interface Value

@@ -1,0 +1,159 @@
+(** TROLL — the umbrella API.
+
+    A reproduction of the language and system of Saake, Jungclaus &
+    Ehrich, "Object-Oriented Specification and Stepwise Refinement"
+    (1991).  The pipeline is
+
+    {v  source —parse→ Ast.spec —check→ diagnostics
+               —compile→ Community (+ interface views) —animate→ Engine v}
+
+    Quickstart:
+    {[
+      let sys = Troll.load_exn source in
+      let dept = Troll.ident "DEPT" (Value.String "sales") in
+      Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "sales")
+        ~args:[ Value.Date 7779 ] ();
+      match Troll.fire sys dept "hire" [ person ] with
+      | Ok _ -> ...
+      | Error reason -> ...
+    ]}
+
+    The lower layers remain fully accessible: [Parser], [Typecheck],
+    [Compile], [Engine], [Community], [Interface], [Refinement],
+    [Schema], [Society], … *)
+
+type system = {
+  spec : Ast.spec;
+  community : Community.t;
+  views : (string * Interface.t) list;  (** interface classes by name *)
+  diagnostics : Check_error.t list;  (** warnings from checking *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Front end                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a specification source text. *)
+let parse (source : string) : (Ast.spec, string) result =
+  match Parser.spec source with
+  | Ok spec -> Ok spec
+  | Error e -> Error (Parse_error.to_string e)
+
+(** Statically check a parsed specification. *)
+let check = Typecheck.check
+
+(** Pretty-print a specification back to concrete syntax. *)
+let pretty = Pretty.spec_to_string
+
+(** Parse, check and compile a specification; single objects are
+    instantiated, interface classes become ready-to-use views.  Checking
+    errors abort; warnings are carried in the result. *)
+let load ?(config = Community.default_config) (source : string) :
+    (system, string) result =
+  match parse source with
+  | Error e -> Error e
+  | Ok spec -> (
+      let diagnostics = check spec in
+      match List.filter Check_error.is_error diagnostics with
+      | e :: _ -> Error (Check_error.to_string e)
+      | [] -> (
+          (* modules link through the society layer; plain declarations
+             compile directly *)
+          let society, rest = Society.of_spec spec in
+          let linked =
+            if society.Society.modules = [] then Ok rest
+            else
+              match Society.link society with
+              | Ok module_decls -> Ok (module_decls @ rest)
+              | Error diags -> Error (String.concat "; " diags)
+          in
+          match linked with
+          | Error e -> Error e
+          | Ok decls -> (
+              match Compile.spec ~config decls with
+              | Error e -> Error (Compile.error_to_string e)
+              | Ok (community, iface_decls) -> (
+                  match Compile.instantiate_singles community with
+                  | Error r -> Error (Runtime_error.reason_to_string r)
+                  | Ok () ->
+                      let views =
+                        List.map
+                          (fun (d : Ast.iface_decl) ->
+                            (d.Ast.if_name, Interface.make community d))
+                          iface_decls
+                      in
+                      Ok { spec; community; views; diagnostics }))))
+
+let load_exn ?config source =
+  match load ?config source with Ok s -> s | Error e -> failwith e
+
+(** Load a specification from a file. *)
+let load_file ?config path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  load ?config source
+
+(* ------------------------------------------------------------------ *)
+(* Animation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ident cls key = Ident.make cls key
+
+let create sys ~cls ~key ?event ?(args = []) () =
+  Engine.create sys.community ~cls ~key ?event ~args ()
+
+let create_exn sys ~cls ~key ?event ?args () =
+  match create sys ~cls ~key ?event ?args () with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+(** Fire one event (with its synchronous calling closure). *)
+let fire sys target name args =
+  Engine.fire sys.community (Event.make target name args)
+
+(** Fire a sequence of events as one atomic transaction. *)
+let fire_seq sys events = Engine.fire_seq sys.community events
+
+(** Fire several events simultaneously (event sharing). *)
+let fire_sync sys events = Engine.fire_sync sys.community events
+
+(** Read an attribute of a living object (derived attributes are
+    computed; inherited attributes are delegated to base aspects). *)
+let attr sys target name : (Value.t, string) result =
+  match Community.find_object sys.community target with
+  | None -> Error (Printf.sprintf "unknown object %s" (Ident.to_string target))
+  | Some o -> (
+      match Eval.read_attr sys.community o name [] with
+      | v -> Ok v
+      | exception Runtime_error.Error r ->
+          Error (Runtime_error.reason_to_string r))
+
+let attr_exn sys target name =
+  match attr sys target name with Ok v -> v | Error e -> failwith e
+
+(** Evaluate an expression in global scope (e.g. ["DEPT(\"s\").manager"]). *)
+let eval sys (source : string) : (Value.t, string) result =
+  match Parser.expr_of_string source with
+  | Error e -> Error (Parse_error.to_string e)
+  | Ok e -> (
+      match Eval.expr sys.community ~env:Env.empty ~self:None e with
+      | v -> Ok v
+      | exception Runtime_error.Error r ->
+          Error (Runtime_error.reason_to_string r))
+
+(** Living members of a class. *)
+let extension sys cls =
+  Ident.Set.elements (Community.extension sys.community cls)
+
+(** Run enabled active events to quiescence (bounded by [fuel]). *)
+let run_active ?(fuel = 1000) sys = Engine.run_active sys.community ~fuel
+
+(** Look up an interface view by name. *)
+let view sys name = List.assoc_opt name sys.views
+
+let view_exn sys name =
+  match view sys name with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no interface class %s" name)

@@ -1,0 +1,86 @@
+(** TROLL — the umbrella API.
+
+    The pipeline is
+    {v source —parse→ Ast.spec —check→ diagnostics
+              —compile→ Community (+ views) —animate→ Engine v}
+    and every lower layer stays accessible ([Parser], [Typecheck],
+    [Compile], [Engine], [Community], [Interface], [Refinement],
+    [Schema], [Society], [Persist], …). *)
+
+type system = {
+  spec : Ast.spec;
+  community : Community.t;
+  views : (string * Interface.t) list;  (** interface classes by name *)
+  diagnostics : Check_error.t list;  (** warnings from checking *)
+}
+
+(** {1 Front end} *)
+
+val parse : string -> (Ast.spec, string) result
+
+val check : Ast.spec -> Check_error.t list
+(** Static diagnostics (errors and warnings). *)
+
+val pretty : Ast.spec -> string
+(** Canonical concrete syntax (re-parseable). *)
+
+val load : ?config:Community.config -> string -> (system, string) result
+(** Parse, check and compile; single objects with parameterless birth
+    events are instantiated, interface classes become ready views, and
+    module declarations are linked through the society layer.  Checking
+    errors abort; warnings are carried in [diagnostics]. *)
+
+val load_exn : ?config:Community.config -> string -> system
+val load_file : ?config:Community.config -> string -> (system, string) result
+
+(** {1 Animation} *)
+
+val ident : string -> Value.t -> Ident.t
+
+val create :
+  system ->
+  cls:string ->
+  key:Value.t ->
+  ?event:string ->
+  ?args:Value.t list ->
+  unit ->
+  Engine.step_result
+(** Fire the class's birth event ([event] defaults to the unique one). *)
+
+val create_exn :
+  system ->
+  cls:string ->
+  key:Value.t ->
+  ?event:string ->
+  ?args:Value.t list ->
+  unit ->
+  unit
+
+val fire : system -> Ident.t -> string -> Value.t list -> Engine.step_result
+(** Fire one event, with its synchronous calling closure; rejected steps
+    leave the community unchanged. *)
+
+val fire_seq : system -> Event.t list -> Engine.step_result
+(** An atomic transaction of events. *)
+
+val fire_sync : system -> Event.t list -> Engine.step_result
+(** Several events in one synchronous step (event sharing). *)
+
+val attr : system -> Ident.t -> string -> (Value.t, string) result
+(** Observe an attribute (derived attributes are computed; inherited
+    ones delegate to base aspects). *)
+
+val attr_exn : system -> Ident.t -> string -> Value.t
+
+val eval : system -> string -> (Value.t, string) result
+(** Evaluate an expression in global scope, e.g.
+    [{|DEPT("d").manager|}]. *)
+
+val extension : system -> string -> Ident.t list
+(** Living members of a class. *)
+
+val run_active : ?fuel:int -> system -> Event.t list
+(** Fire enabled active events to quiescence; returns them in order. *)
+
+val view : system -> string -> Interface.t option
+val view_exn : system -> string -> Interface.t

@@ -1,0 +1,1 @@
+lib/data/builtin.ml: Date_adt Format List Money String Value Vtype

@@ -1,0 +1,1 @@
+lib/data/builtin.mli: Value Vtype

@@ -1,0 +1,1 @@
+lib/data/date_adt.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+lib/data/env.ml: Format List Map String Value Vtype

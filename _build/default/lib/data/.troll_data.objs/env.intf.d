@@ -1,0 +1,1 @@
+lib/data/env.mli: Format Value Vtype

@@ -1,0 +1,1 @@
+lib/data/money.ml: Format Int Printf String

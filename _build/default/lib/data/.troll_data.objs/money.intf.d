@@ -1,0 +1,1 @@
+lib/data/money.mli: Format

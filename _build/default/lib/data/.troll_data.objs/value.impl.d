@@ -1,0 +1,1 @@
+lib/data/value.ml: Bool Date_adt Format Int List Money String Vtype

@@ -1,0 +1,1 @@
+lib/data/value.mli: Date_adt Format Money Vtype

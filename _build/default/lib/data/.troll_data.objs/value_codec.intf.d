@@ -1,0 +1,1 @@
+lib/data/value_codec.mli: Value

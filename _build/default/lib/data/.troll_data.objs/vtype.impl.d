@@ -1,0 +1,1 @@
+lib/data/vtype.ml: Format List Option String

@@ -1,0 +1,22 @@
+(** Built-in operations of the TROLL data universe: arithmetic,
+    comparison, three-valued boolean logic, set/list/map operations
+    (with [insert]/[remove]/[in] accepted in both argument orders, as
+    the paper writes them), aggregates, string and date operations.
+
+    Every operation has a typing rule used by the static checker and a
+    strict evaluation rule: [Undefined] arguments propagate to an
+    [Undefined] result (except equality, [defined], and the
+    short-circuiting boolean connectives). *)
+
+type error = string
+
+val type_of_application : string -> Vtype.t list -> (Vtype.t, error) result
+(** Typing of an operator applied to argument types.  Binary operators
+    ([+], [=], [in], [and], …) are routed through here as well. *)
+
+val apply : string -> Value.t list -> (Value.t, error) result
+(** Evaluate an operator application on canonical values.  [Error]
+    indicates an ill-typed application (the checker prevents these in
+    checked specifications); partial operations ([div] by zero, [head]
+    of the empty list, [the] of a non-singleton) return
+    [Ok Value.Undefined]. *)

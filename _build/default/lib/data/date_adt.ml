@@ -1,0 +1,78 @@
+(** Calendar dates as an abstract data type.
+
+    TROLL specifications use a [date] data type (e.g. the [est_date]
+    attribute of [DEPT] or the [ebirth] column of [emp_rel]).  Dates are
+    represented internally as a count of days since the civil epoch
+    1970-01-01, which makes comparison and arithmetic trivial; conversion
+    to and from year/month/day uses Howard Hinnant's civil-calendar
+    algorithms (proleptic Gregorian calendar, exact for all years). *)
+
+type t = int
+(** Days since 1970-01-01 (may be negative). *)
+
+let compare = Int.compare
+let equal = Int.equal
+
+(* Days-from-civil: proleptic Gregorian y/m/d -> days since epoch. *)
+let of_ymd ~year ~month ~day =
+  if month < 1 || month > 12 then
+    invalid_arg (Printf.sprintf "Date_adt.of_ymd: bad month %d" month);
+  if day < 1 || day > 31 then
+    invalid_arg (Printf.sprintf "Date_adt.of_ymd: bad day %d" day);
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+(* Civil-from-days: inverse of [of_ymd]. *)
+let to_ymd t =
+  let z = t + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  (year, month, day)
+
+let year t = let y, _, _ = to_ymd t in y
+let month t = let _, m, _ = to_ymd t in m
+let day t = let _, _, d = to_ymd t in d
+
+let epoch = 0
+
+let add_days t n = t + n
+let diff_days a b = a - b
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month ~year ~month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year year then 29 else 28
+  | _ -> invalid_arg "Date_adt.days_in_month"
+
+let is_valid_ymd ~year ~month ~day =
+  month >= 1 && month <= 12 && day >= 1 && day <= days_in_month ~year ~month
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some year, Some month, Some day when is_valid_ymd ~year ~month ~day ->
+          Some (of_ymd ~year ~month ~day)
+      | _ -> None)
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

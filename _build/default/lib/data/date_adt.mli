@@ -1,0 +1,44 @@
+(** Calendar dates as an abstract data type (proleptic Gregorian).
+
+    TROLL specifications use a [date] data type (the [est_date] of
+    [DEPT], the [ebirth] column of [emp_rel]).  Dates are a count of
+    days since 1970-01-01, so comparison and arithmetic are integer
+    operations; conversions are exact for all years. *)
+
+type t = int
+(** Days since 1970-01-01; negative values are dates before the epoch. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_ymd : year:int -> month:int -> day:int -> t
+(** Convert a civil date.  Raises [Invalid_argument] on a month outside
+    1..12 or a day outside 1..31 (finer validity via {!is_valid_ymd}). *)
+
+val to_ymd : t -> int * int * int
+(** [(year, month, day)] of a day count. *)
+
+val year : t -> int
+val month : t -> int
+val day : t -> int
+
+val epoch : t
+(** 1970-01-01. *)
+
+val add_days : t -> int -> t
+val diff_days : t -> t -> int
+
+val is_leap_year : int -> bool
+
+val days_in_month : year:int -> month:int -> int
+(** Raises [Invalid_argument] on a month outside 1..12. *)
+
+val is_valid_ymd : year:int -> month:int -> day:int -> bool
+
+val to_string : t -> string
+(** ISO-8601, [YYYY-MM-DD]. *)
+
+val of_string : string -> t option
+(** Parse [YYYY-MM-DD]; [None] on malformed or invalid dates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Variable environments.
+
+    Valuation rules, permissions and interaction rules bind typed
+    variables ([variables P: PERSON; d: date;]) that are instantiated by
+    the actual event parameters or by quantifiers.  Environments are
+    persistent so that quantifier instantiation and nested scopes never
+    mutate an enclosing binding. *)
+
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty : t = M.empty
+let bind name v (env : t) : t = M.add name v env
+let bind_all pairs env = List.fold_left (fun e (n, v) -> bind n v e) env pairs
+let find name (env : t) = M.find_opt name env
+let mem name (env : t) = M.mem name env
+let to_list (env : t) = M.bindings env
+let of_list pairs = bind_all pairs empty
+
+let pp ppf env =
+  let pp_binding ppf (n, v) = Format.fprintf ppf "%s=%a" n Value.pp v in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_binding)
+    (to_list env)
+
+(** Typed environments for the static checker. *)
+module Types = struct
+  type nonrec t = Vtype.t M.t
+
+  let empty : t = M.empty
+  let bind name ty (env : t) : t = M.add name ty env
+  let bind_all pairs env = List.fold_left (fun e (n, v) -> bind n v e) env pairs
+  let find name (env : t) = M.find_opt name env
+  let mem name (env : t) = M.mem name env
+  let to_list (env : t) = M.bindings env
+  let of_list pairs = bind_all pairs empty
+end

@@ -1,0 +1,25 @@
+(** Persistent variable environments for rule evaluation and checking. *)
+
+type t
+
+val empty : t
+val bind : string -> Value.t -> t -> t
+val bind_all : (string * Value.t) list -> t -> t
+val find : string -> t -> Value.t option
+val mem : string -> t -> bool
+val to_list : t -> (string * Value.t) list
+val of_list : (string * Value.t) list -> t
+val pp : Format.formatter -> t -> unit
+
+(** Typed environments for the static checker. *)
+module Types : sig
+  type t
+
+  val empty : t
+  val bind : string -> Vtype.t -> t -> t
+  val bind_all : (string * Vtype.t) list -> t -> t
+  val find : string -> t -> Vtype.t option
+  val mem : string -> t -> bool
+  val to_list : t -> (string * Vtype.t) list
+  val of_list : (string * Vtype.t) list -> t
+end

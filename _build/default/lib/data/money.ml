@@ -1,0 +1,66 @@
+(** Fixed-point monetary amounts.
+
+    TROLL's information-system examples manipulate a [money] data type
+    (salaries in [SAL_EMPLOYEE], the [Salary >= 5.000] constraint of
+    [MANAGER]).  Floating point is unsuitable for money, so amounts are
+    stored as an integer number of cents (two implied decimal places).
+    Multiplication by a scale factor such as [Salary * 13.5] — as used in
+    the paper's derivation rules — rounds to the nearest cent, half away
+    from zero. *)
+
+type t = int
+(** Amount in cents. *)
+
+let compare = Int.compare
+let equal = Int.equal
+
+let zero = 0
+let of_cents c = c
+let to_cents t = t
+let of_units u = u * 100
+
+let add = ( + )
+let sub = ( - )
+let neg t = -t
+
+(* Scale by a rational [num/den], rounding half away from zero. *)
+let scale_ratio t ~num ~den =
+  if den = 0 then invalid_arg "Money.scale_ratio: zero denominator";
+  let p = t * num in
+  let q = p / den and r = p mod den in
+  if 2 * abs r >= abs den then q + (if (p >= 0) = (den >= 0) then 1 else -1)
+  else q
+
+(* Scale by a decimal literal given as (integer mantissa, decimals), e.g.
+   13.5 is [~mantissa:135 ~decimals:1]. *)
+let scale_decimal t ~mantissa ~decimals =
+  let rec pow10 n = if n <= 0 then 1 else 10 * pow10 (n - 1) in
+  scale_ratio t ~num:mantissa ~den:(pow10 decimals)
+
+let to_string t =
+  let sign = if t < 0 then "-" else "" in
+  let a = abs t in
+  Printf.sprintf "%s%d.%02d" sign (a / 100) (a mod 100)
+
+let of_string s =
+  let fail = None in
+  let s, sign =
+    if String.length s > 0 && s.[0] = '-' then
+      (String.sub s 1 (String.length s - 1), -1)
+    else (s, 1)
+  in
+  match String.split_on_char '.' s with
+  | [ units ] -> (
+      match int_of_string_opt units with
+      | Some u -> Some (sign * u * 100)
+      | None -> fail)
+  | [ units; frac ] -> (
+      let frac = if String.length frac = 1 then frac ^ "0" else frac in
+      if String.length frac <> 2 then fail
+      else
+        match (int_of_string_opt units, int_of_string_opt frac) with
+        | Some u, Some f when f >= 0 -> Some (sign * ((u * 100) + f))
+        | _ -> fail)
+  | _ -> fail
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,38 @@
+(** Fixed-point monetary amounts (integer cents, two implied decimals).
+
+    Used by the [money] data type of TROLL specifications (salaries,
+    fines, budgets).  Scaling by decimal factors — the paper's
+    [Salary * 13.5] and [Salary * 1.1] — rounds half away from zero. *)
+
+type t = int
+(** Amount in cents. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val zero : t
+val of_cents : int -> t
+val to_cents : t -> int
+
+val of_units : int -> t
+(** Whole currency units: [of_units 5 = of_cents 500]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+val scale_ratio : t -> num:int -> den:int -> t
+(** Multiply by the rational [num/den], rounding half away from zero.
+    Raises [Invalid_argument] when [den = 0]. *)
+
+val scale_decimal : t -> mantissa:int -> decimals:int -> t
+(** Multiply by the decimal [mantissa × 10^-decimals]; e.g. ×13.5 is
+    [~mantissa:135 ~decimals:1]. *)
+
+val to_string : t -> string
+(** ["12.50"], ["-3.07"]. *)
+
+val of_string : string -> t option
+(** Accepts ["5"], ["12.5"], ["12.50"], optional leading [-]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+(** A compact, total, self-delimiting text codec for {!Value.t}, used by
+    the persistence layer.  [decode (encode v) = Ok v] for every
+    canonical value (property-tested). *)
+
+val encode : Value.t -> string
+
+val decode : string -> (Value.t, string) result
+(** Rejects malformed and trailing input. *)

@@ -1,0 +1,127 @@
+(** The data-type universe of TROLL specifications.
+
+    TROLL objects observe their state through typed attributes; event
+    parameters, identification keys and derived values are typed by the
+    same universe.  The universe contains base types, named enumerations,
+    object-identity types (written [|CLASS|] in the paper, denoting
+    surrogates of instances of [CLASS]), and the parameterized
+    constructors [set], [list], [map] and [tuple] used throughout the
+    paper's examples (e.g. [set(tuple(ename:string, ebirth:date,
+    esalary:integer))] in [emp_rel]). *)
+
+type t =
+  | Bool
+  | Int
+  | Nat  (** non-negative integers; subtype of [Int] *)
+  | String
+  | Date
+  | Money
+  | Enum of string * string list
+      (** named enumeration with its constant literals *)
+  | Id of string  (** identity (surrogate) type of an object class *)
+  | Set of t
+  | List of t
+  | Map of t * t
+  | Tuple of (string * t) list  (** record with named fields *)
+  | Any
+      (** top type; used for the polymorphic empty collection literal and
+          for [undefined] before its type is known *)
+
+let rec pp ppf = function
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Int -> Format.pp_print_string ppf "integer"
+  | Nat -> Format.pp_print_string ppf "nat"
+  | String -> Format.pp_print_string ppf "string"
+  | Date -> Format.pp_print_string ppf "date"
+  | Money -> Format.pp_print_string ppf "money"
+  | Enum (name, _) -> Format.pp_print_string ppf name
+  | Id cls -> Format.fprintf ppf "|%s|" cls
+  | Set t -> Format.fprintf ppf "set(%a)" pp t
+  | List t -> Format.fprintf ppf "list(%a)" pp t
+  | Map (k, v) -> Format.fprintf ppf "map(%a,%a)" pp k pp v
+  | Tuple fields ->
+      let pp_field ppf (name, t) = Format.fprintf ppf "%s:%a" name pp t in
+      Format.fprintf ppf "tuple(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_field)
+        fields
+  | Any -> Format.pp_print_string ppf "any"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let rec equal a b =
+  match (a, b) with
+  | Bool, Bool | Int, Int | Nat, Nat | String, String | Date, Date
+  | Money, Money | Any, Any ->
+      true
+  | Enum (n1, c1), Enum (n2, c2) -> String.equal n1 n2 && c1 = c2
+  | Id c1, Id c2 -> String.equal c1 c2
+  | Set t1, Set t2 | List t1, List t2 -> equal t1 t2
+  | Map (k1, v1), Map (k2, v2) -> equal k1 k2 && equal v1 v2
+  | Tuple f1, Tuple f2 ->
+      List.length f1 = List.length f2
+      && List.for_all2
+           (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal t1 t2)
+           f1 f2
+  | ( ( Bool | Int | Nat | String | Date | Money | Any | Enum _ | Id _ | Set _
+      | List _ | Map _ | Tuple _ ),
+      _ ) ->
+      false
+
+(** [subtype a b] holds when every value of type [a] is a value of type
+    [b].  [Nat <= Int]; [Any] is absorbing in both directions for the
+    polymorphic literals [{}], [[]] and [undefined]; constructors are
+    covariant. *)
+let rec subtype a b =
+  match (a, b) with
+  | _, Any | Any, _ -> true
+  | Nat, Int -> true
+  | Enum (n1, _), Enum (n2, _) ->
+      (* values carry only the constant they are; membership in the
+         enumeration is by name *)
+      String.equal n1 n2
+  | Set t1, Set t2 | List t1, List t2 -> subtype t1 t2
+  | Map (k1, v1), Map (k2, v2) -> subtype k1 k2 && subtype v1 v2
+  | Tuple f1, Tuple f2 ->
+      List.length f1 = List.length f2
+      && List.for_all2
+           (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && subtype t1 t2)
+           f1 f2
+  | _ -> equal a b
+
+(** Least upper bound of two types, used to type conditionals and
+    collection literals.  Returns [None] when no common supertype other
+    than an error exists. *)
+let rec join a b =
+  if equal a b then Some a
+  else
+    match (a, b) with
+    | Any, t | t, Any -> Some t
+    | Nat, Int | Int, Nat -> Some Int
+    | Set t1, Set t2 -> Option.map (fun t -> Set t) (join t1 t2)
+    | List t1, List t2 -> Option.map (fun t -> List t) (join t1 t2)
+    | Map (k1, v1), Map (k2, v2) -> (
+        match (join k1 k2, join v1 v2) with
+        | Some k, Some v -> Some (Map (k, v))
+        | _ -> None)
+    | Tuple f1, Tuple f2 when List.length f1 = List.length f2 ->
+        let rec fields acc = function
+          | [], [] -> Some (Tuple (List.rev acc))
+          | (n1, t1) :: r1, (n2, t2) :: r2 when String.equal n1 n2 -> (
+              match join t1 t2 with
+              | Some t -> fields ((n1, t) :: acc) (r1, r2)
+              | None -> None)
+          | _ -> None
+        in
+        fields [] (f1, f2)
+    | _ -> None
+
+(** Is the type inhabited by finitely many values (so that a bounded
+    quantifier can enumerate it)? *)
+let is_finite = function Bool | Enum _ -> true | _ -> false
+
+let enum_values = function
+  | Bool -> Some [ "false"; "true" ]
+  | Enum (_, cs) -> Some cs
+  | _ -> None

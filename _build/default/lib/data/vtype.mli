@@ -1,0 +1,43 @@
+(** The data-type universe of TROLL specifications: base types, named
+    enumerations, object-identity (surrogate) types, and the
+    parameterized constructors [set], [list], [map] and [tuple]. *)
+
+type t =
+  | Bool
+  | Int
+  | Nat  (** non-negative integers; subtype of [Int] *)
+  | String
+  | Date
+  | Money
+  | Enum of string * string list
+      (** named enumeration with its constant literals *)
+  | Id of string  (** identity (surrogate) type of an object class *)
+  | Set of t
+  | List of t
+  | Map of t * t
+  | Tuple of (string * t) list  (** record with named fields *)
+  | Any
+      (** top type; the type of the polymorphic empty-collection literals
+          and of [undefined] before its type is known *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val subtype : t -> t -> bool
+(** [subtype a b]: every value of [a] is a value of [b].  [Nat ≤ Int];
+    [Any] is absorbing in both directions; constructors are covariant;
+    enumerations are compatible by name (a value carries only its own
+    constant). *)
+
+val join : t -> t -> t option
+(** Least upper bound, used to type conditionals and collection
+    literals; [None] when no common supertype exists. *)
+
+val is_finite : t -> bool
+(** Inhabited by finitely many values (so a bounded quantifier can
+    enumerate it): booleans and enumerations. *)
+
+val enum_values : t -> string list option
+(** Constants of a finite type, in declaration order. *)

@@ -1,0 +1,49 @@
+(** Object (class) interfaces — §5.1.
+
+    An interface gives a *restricted access path* to existing objects:
+    projected attributes/events, derived attributes (query algebra over
+    the encapsulated state), derived events (calling into base events),
+    [selection where] sub-populations, and join views over several
+    encapsulated classes.  Interfaces never copy objects — internal
+    identity is preserved, and every manipulation executes the
+    encapsulated object's own events under its own permissions; what
+    the view adds is authorization. *)
+
+type t
+
+(** An instance of the view: one living object per encapsulated class,
+    keyed by the declared instance variable (or the class name when no
+    variable was declared). *)
+type instance = (string * Ident.t) list
+
+val make : Community.t -> Ast.iface_decl -> t
+val name : t -> string
+
+val attr_names : t -> string list
+(** Visible attributes, in declaration order. *)
+
+val event_names : t -> string list
+
+val member : t -> instance -> bool
+(** Alive and passing the selection. *)
+
+val extension : t -> instance list
+(** Current extension: the (Cartesian, for join views) combinations of
+    living instances passing the selection. *)
+
+val attr :
+  t -> instance -> string -> Value.t list ->
+  (Value.t, Runtime_error.reason) result
+(** Read a view attribute (projection or derivation); unlisted
+    attributes are invisible, non-members unobservable. *)
+
+val fire :
+  t -> instance -> string -> Value.t list -> Engine.step_result
+(** Fire a view event: projections execute the base event directly;
+    derived events expand their calling rule as an atomic transaction.
+    Creation through the view is allowed (birth events on unborn
+    instances); unlisted events are rejected. *)
+
+val tabulate : t -> Algebra.rel
+(** The view as a relation: one tuple per instance over the
+    parameterless visible attributes. *)

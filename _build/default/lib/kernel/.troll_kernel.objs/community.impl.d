@@ -1,0 +1,1 @@
+lib/kernel/community.ml: Ast Format Hashtbl Ident List Map Obj_state Option Runtime_error String Template Vtype

@@ -1,0 +1,1 @@
+lib/kernel/community.mli: Ast Format Hashtbl Ident Map Obj_state String Template Vtype

@@ -1,0 +1,1 @@
+lib/kernel/compile.ml: Ast Community Engine Format Hashtbl Ident List Loc Monitor Parse_error Parser Pretty Runtime_error String Template Value Vtype

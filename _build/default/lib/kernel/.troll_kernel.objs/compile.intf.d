@@ -1,0 +1,1 @@
+lib/kernel/compile.mli: Ast Community Format Loc Runtime_error Vtype

@@ -1,0 +1,1 @@
+lib/kernel/engine.ml: Array Ast Community Env Eval Event Formula Hashtbl Ident List Map Monitor Obj_state Option Pretty Printf Queue Runtime_error String Template Trace_eval Value Vtype

@@ -1,0 +1,1 @@
+lib/kernel/engine.mli: Ast Community Env Event Formula Ident Obj_state Runtime_error Template Value Vtype

@@ -1,0 +1,1 @@
+lib/kernel/eval.ml: Ast Builtin Community Env Event Format Ident List Money Obj_state Option Printf Runtime_error String Template Value

@@ -1,0 +1,1 @@
+lib/kernel/eval.mli: Ast Community Env Event Ident Obj_state Value

@@ -1,0 +1,1 @@
+lib/kernel/event.ml: Format Ident List String Value

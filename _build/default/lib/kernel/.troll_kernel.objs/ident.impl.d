@@ -1,0 +1,1 @@
+lib/kernel/ident.ml: Format Map Set String Value

@@ -1,0 +1,1 @@
+lib/kernel/ident.mli: Format Map Set Value

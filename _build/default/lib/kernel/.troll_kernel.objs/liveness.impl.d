@@ -1,0 +1,1 @@
+lib/kernel/liveness.ml: Ast Community Env Eval Format Ident List Obj_state Parse_error Parser Pretty Runtime_error Template Value

@@ -1,0 +1,1 @@
+lib/kernel/liveness.mli: Ast Community Format Ident Obj_state

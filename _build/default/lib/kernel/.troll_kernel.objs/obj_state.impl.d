@@ -1,0 +1,1 @@
+lib/kernel/obj_state.ml: Array Event Format Ident List Map Monitor String Template Value

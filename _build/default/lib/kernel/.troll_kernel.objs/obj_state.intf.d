@@ -1,0 +1,1 @@
+lib/kernel/obj_state.mli: Event Format Ident Map Monitor String Template Value

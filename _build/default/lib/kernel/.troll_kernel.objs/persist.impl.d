@@ -1,0 +1,1 @@
+lib/kernel/persist.ml: Array Buffer Community Hashtbl Ident List Map Monitor Obj_state Printf Runtime_error String Template Value Value_codec

@@ -1,0 +1,1 @@
+lib/kernel/runtime_error.ml: Event Format Ident Value

@@ -1,0 +1,1 @@
+lib/kernel/runtime_error.mli: Event Format Ident Value

@@ -1,0 +1,1 @@
+lib/kernel/template.ml: Ast Format Formula List Monitor Pretty Runtime_error String Value Vtype

@@ -1,0 +1,1 @@
+lib/kernel/template.mli: Ast Format Formula Monitor Value Vtype

@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Event Format Ident List Obj_state String Value

@@ -1,0 +1,1 @@
+lib/kernel/trace.mli: Event Format Obj_state Value

@@ -1,0 +1,184 @@
+(** The object community: all living objects, class extensions, global
+    interaction rules and enumeration definitions of one specification.
+
+    A community is what the paper calls an object society — "a (possibly
+    large) collection of objects that interact".  Classes are themselves
+    treated as (implicit) objects with standard items: the extension of
+    each class is maintained here, with insertion/deletion performed by
+    birth/death events (the paper's "standard class items … provided
+    implicitly"). *)
+
+module Smap = Map.Make (String)
+
+type config = {
+  record_history : bool;
+      (** store per-object traces (needed by the naive permission checker
+          and the E4 ablation benchmark) *)
+  max_sync_set : int;
+      (** safety bound on the event-calling closure, to detect cycles *)
+}
+
+let default_config = { record_history = false; max_sync_set = 4096 }
+
+type global_rule = {
+  gr_vars : (string * Vtype.t) list;
+  gr_rule : Ast.calling_rule;
+}
+
+type t = {
+  templates : (string, Template.t) Hashtbl.t;
+  enum_of_const : (string, string) Hashtbl.t;  (** constant → enum name *)
+  enum_defs : (string, string list) Hashtbl.t;  (** enum name → constants *)
+  objects : (Ident.t, Obj_state.t) Hashtbl.t;
+  mutable extensions : Ident.Set.t Smap.t;  (** class → living members *)
+  mutable globals : global_rule list;
+  config : config;
+}
+
+let create ?(config = default_config) () =
+  {
+    templates = Hashtbl.create 16;
+    enum_of_const = Hashtbl.create 16;
+    enum_defs = Hashtbl.create 16;
+    objects = Hashtbl.create 64;
+    extensions = Smap.empty;
+    globals = [];
+    config;
+  }
+
+let add_template t (tpl : Template.t) =
+  Hashtbl.replace t.templates tpl.Template.t_name tpl
+
+let find_template t name = Hashtbl.find_opt t.templates name
+
+let template_exn t name =
+  match find_template t name with
+  | Some tpl -> tpl
+  | None -> Runtime_error.fail (Runtime_error.Unknown_class name)
+
+let is_class t name = Hashtbl.mem t.templates name
+
+let add_enum t name consts =
+  Hashtbl.replace t.enum_defs name consts;
+  List.iter (fun c -> Hashtbl.replace t.enum_of_const c name) consts
+
+let enum_of_const t c = Hashtbl.find_opt t.enum_of_const c
+let enum_consts t name = Hashtbl.find_opt t.enum_defs name
+
+let add_global t ~vars rule = t.globals <- t.globals @ [ { gr_vars = vars; gr_rule = rule } ]
+
+let find_object t id = Hashtbl.find_opt t.objects id
+
+let object_exn t id =
+  match find_object t id with
+  | Some o -> o
+  | None -> Runtime_error.fail (Runtime_error.Unknown_object id)
+
+(** Living instance, following no inheritance: exact aspect lookup. *)
+let living t id =
+  match find_object t id with
+  | Some o when o.Obj_state.alive -> Some o
+  | _ -> None
+
+let register_object t (o : Obj_state.t) = Hashtbl.replace t.objects o.Obj_state.id o
+
+let remove_object t id = Hashtbl.remove t.objects id
+
+(** Current extension (living members) of a class. *)
+let extension t cls =
+  match Smap.find_opt cls t.extensions with
+  | Some s -> s
+  | None -> Ident.Set.empty
+
+let extension_add t id =
+  t.extensions <-
+    Smap.update id.Ident.cls
+      (fun s ->
+        Some (Ident.Set.add id (Option.value ~default:Ident.Set.empty s)))
+      t.extensions
+
+let extension_remove t id =
+  t.extensions <-
+    Smap.update id.Ident.cls
+      (function None -> None | Some s -> Some (Ident.Set.remove id s))
+      t.extensions
+
+(** The chain of base templates of a class: the class itself first, then
+    its [view of] / [specialization of] ancestors upward. *)
+let base_chain t cls =
+  let rec go acc name =
+    match find_template t name with
+    | None -> List.rev acc
+    | Some tpl -> (
+        let acc = tpl :: acc in
+        match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
+        | Some base, _ | None, Some base ->
+            if List.exists (fun x -> String.equal x.Template.t_name base) acc
+            then List.rev acc (* defensive: cyclic hierarchy *)
+            else go acc base
+        | None, None -> List.rev acc)
+  in
+  go [] cls
+
+(** Classes having [cls] as direct base by static specialization — their
+    instances must be created together with the base aspect. *)
+let specializations_of t cls =
+  Hashtbl.fold
+    (fun _ tpl acc ->
+      match tpl.Template.t_spec_of with
+      | Some base when String.equal base cls -> tpl :: acc
+      | _ -> acc)
+    t.templates []
+
+(** Phase classes whose birth is called by an event of [cls]. *)
+let phases_born_by t cls ev_name =
+  Hashtbl.fold
+    (fun _ tpl acc ->
+      let matching =
+        List.filter_map
+          (fun (ed : Template.event_def) ->
+            match ed.ed_born_by with
+            | Some { Ast.target = Some (Ast.OR_name base); ev_name = base_ev; _ }
+              when String.equal base cls && String.equal base_ev ev_name ->
+                Some ed
+            | _ -> None)
+          tpl.Template.t_events
+      in
+      List.map (fun ed -> (tpl, ed)) matching @ acc)
+    t.templates []
+
+(** Deep copy for branching exploration (refinement checking): object
+    states are duplicated, templates and rules are shared (immutable). *)
+let clone t =
+  let objects = Hashtbl.create (Hashtbl.length t.objects) in
+  Hashtbl.iter
+    (fun id (o : Obj_state.t) ->
+      let o' = Obj_state.create id o.Obj_state.template in
+      Obj_state.restore o' (Obj_state.snapshot o);
+      Hashtbl.replace objects id o')
+    t.objects;
+  {
+    templates = t.templates;
+    enum_of_const = t.enum_of_const;
+    enum_defs = t.enum_defs;
+    objects;
+    extensions = t.extensions;
+    globals = t.globals;
+    config = t.config;
+  }
+
+let iter_objects t f = Hashtbl.iter (fun _ o -> f o) t.objects
+
+let living_objects t =
+  Hashtbl.fold
+    (fun _ o acc -> if o.Obj_state.alive then o :: acc else acc)
+    t.objects []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  let objs =
+    Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []
+    |> List.sort (fun a b -> Ident.compare a.Obj_state.id b.Obj_state.id)
+  in
+  List.iter (fun o -> Format.fprintf ppf "%a@," Obj_state.pp o) objs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,86 @@
+(** The object community: all objects, class extensions, global
+    interaction rules and enumerations of one specification — the
+    paper's "object society". *)
+
+module Smap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type config = {
+  record_history : bool;
+      (** store per-object traces (needed by the naive permission
+          checker, liveness auditing, and the E4 benchmark) *)
+  max_sync_set : int;
+      (** safety bound on the event-calling closure (cycle detection) *)
+}
+
+val default_config : config
+(** No history recording, closure bound 4096. *)
+
+type global_rule = {
+  gr_vars : (string * Vtype.t) list;
+  gr_rule : Ast.calling_rule;
+}
+
+type t = {
+  templates : (string, Template.t) Hashtbl.t;
+  enum_of_const : (string, string) Hashtbl.t;
+  enum_defs : (string, string list) Hashtbl.t;
+  objects : (Ident.t, Obj_state.t) Hashtbl.t;
+  mutable extensions : Ident.Set.t Smap.t;
+  mutable globals : global_rule list;
+  config : config;
+}
+
+val create : ?config:config -> unit -> t
+
+(** {1 Schema} *)
+
+val add_template : t -> Template.t -> unit
+val find_template : t -> string -> Template.t option
+
+val template_exn : t -> string -> Template.t
+(** Raises {!Runtime_error.Error} ([Unknown_class]). *)
+
+val is_class : t -> string -> bool
+val add_enum : t -> string -> string list -> unit
+val enum_of_const : t -> string -> string option
+val enum_consts : t -> string -> string list option
+val add_global : t -> vars:(string * Vtype.t) list -> Ast.calling_rule -> unit
+
+(** {1 Objects and extensions} *)
+
+val find_object : t -> Ident.t -> Obj_state.t option
+
+val object_exn : t -> Ident.t -> Obj_state.t
+(** Raises {!Runtime_error.Error} ([Unknown_object]). *)
+
+val living : t -> Ident.t -> Obj_state.t option
+(** The exact aspect, if alive. *)
+
+val register_object : t -> Obj_state.t -> unit
+val remove_object : t -> Ident.t -> unit
+
+val extension : t -> string -> Ident.Set.t
+(** Living members of a class. *)
+
+val extension_add : t -> Ident.t -> unit
+val extension_remove : t -> Ident.t -> unit
+
+(** {1 Inheritance} *)
+
+val base_chain : t -> string -> Template.t list
+(** The class itself, then its [view of]/[specialization of] ancestors
+    upward. *)
+
+val specializations_of : t -> string -> Template.t list
+val phases_born_by : t -> string -> string -> (Template.t * Template.event_def) list
+
+(** {1 Traversal} *)
+
+val clone : t -> t
+(** Deep copy for branching exploration: object states duplicated,
+    templates shared. *)
+
+val iter_objects : t -> (Obj_state.t -> unit) -> unit
+val living_objects : t -> Obj_state.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,381 @@
+(** Compilation of checked AST specifications into runnable communities.
+
+    Two passes: the first collects the names of classes, single objects
+    and enumerations (so forward references resolve); the second builds
+    {!Template} values — resolving surface types to {!Vtype}, turning
+    components and [inheriting … as] incorporations into surrogate-typed
+    attributes, attaching derivation rules to derived attributes, and
+    compiling permissions and constraints to monitored temporal
+    formulas. *)
+
+type error = { message : string; loc : Loc.t }
+
+exception E of error
+
+let fail ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> raise (E { message; loc })) fmt
+
+let pp_error ppf { message; loc } =
+  Format.fprintf ppf "compile error at %a: %s" Loc.pp loc message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Name tables (pass 1)                                                *)
+(* ------------------------------------------------------------------ *)
+
+type names = {
+  classes : (string, unit) Hashtbl.t;  (** classes and single objects *)
+  enums : (string, string list) Hashtbl.t;
+}
+
+let rec collect_names (names : names) (decls : Ast.decl list) =
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.D_enum e -> Hashtbl.replace names.enums e.Ast.en_name e.Ast.en_consts
+      | Ast.D_class c -> Hashtbl.replace names.classes c.Ast.cl_name ()
+      | Ast.D_object o -> Hashtbl.replace names.classes o.Ast.o_name ()
+      | Ast.D_interface _ | Ast.D_global _ -> ()
+      | Ast.D_module m ->
+          collect_names names m.Ast.m_conceptual;
+          collect_names names m.Ast.m_internal)
+    decls
+
+(* ------------------------------------------------------------------ *)
+(* Type resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec vtype_of (names : names) ?(loc = Loc.dummy) (te : Ast.type_expr) :
+    Vtype.t =
+  match te with
+  | Ast.TE_name ("bool" | "boolean") -> Vtype.Bool
+  | Ast.TE_name ("integer" | "int") -> Vtype.Int
+  | Ast.TE_name ("nat" | "natural") -> Vtype.Nat
+  | Ast.TE_name "string" -> Vtype.String
+  | Ast.TE_name "date" -> Vtype.Date
+  | Ast.TE_name "money" -> Vtype.Money
+  | Ast.TE_name n when Hashtbl.mem names.enums n ->
+      Vtype.Enum (n, Hashtbl.find names.enums n)
+  | Ast.TE_name n when Hashtbl.mem names.classes n ->
+      (* an attribute "of class C" holds a surrogate of C *)
+      Vtype.Id n
+  | Ast.TE_name n -> fail ~loc "unknown type %s" n
+  | Ast.TE_id n ->
+      if Hashtbl.mem names.classes n then Vtype.Id n
+      else fail ~loc "identity type |%s| of unknown class" n
+  | Ast.TE_set t -> Vtype.Set (vtype_of names ~loc t)
+  | Ast.TE_list t -> Vtype.List (vtype_of names ~loc t)
+  | Ast.TE_map (k, v) -> Vtype.Map (vtype_of names ~loc k, vtype_of names ~loc v)
+  | Ast.TE_tuple fields ->
+      Vtype.Tuple
+        (List.map (fun (n, t) -> (n, vtype_of names ~loc t)) fields)
+
+(** Resolve a surface type against a compiled community (for tooling). *)
+let vtype_of_ast (c : Community.t) (te : Ast.type_expr) : Vtype.t option =
+  let names =
+    { classes = Hashtbl.create 16; enums = Hashtbl.create 16 }
+  in
+  Hashtbl.iter
+    (fun name _ -> Hashtbl.replace names.classes name ())
+    c.Community.templates;
+  Hashtbl.iter
+    (fun name consts -> Hashtbl.replace names.enums name consts)
+    c.Community.enum_defs;
+  try Some (vtype_of names te) with E _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Permission and constraint compilation                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_permission (names : names) ~(tpl_vars : string list)
+    (p : Ast.permission) : Template.permission =
+  let guard_text = Pretty.formula_to_string p.Ast.p_guard in
+  let g = p.Ast.p_guard in
+  let pm_guard =
+    if not (Template.is_temporal_ast g) then Template.PG_state g
+    else
+      match g.Ast.f with
+      | Ast.F_forall ([ (v, Ast.TE_name cls) ], body)
+        when Hashtbl.mem names.classes cls && Template.is_temporal_ast body ->
+          let tf = Template.to_temporal body in
+          Template.PG_quant
+            { q_quant = `Forall; q_var = v; q_class = cls; q_body = tf;
+              q_compiled = Monitor.compile tf }
+      | Ast.F_exists ([ (v, Ast.TE_name cls) ], body)
+        when Hashtbl.mem names.classes cls && Template.is_temporal_ast body ->
+          let tf = Template.to_temporal body in
+          Template.PG_quant
+            { q_quant = `Exists; q_var = v; q_class = cls; q_body = tf;
+              q_compiled = Monitor.compile tf }
+      | _ ->
+          let tf = Template.to_temporal g in
+          let pattern_vars =
+            List.concat_map (Ast.expr_vars []) p.Ast.p_event.Ast.ev_args
+            |> List.filter (fun v -> List.mem v tpl_vars)
+          in
+          let guard_vars =
+            Ast.formula_vars [] g
+            |> List.filter (fun v ->
+                   List.mem v tpl_vars && List.mem v pattern_vars)
+            |> List.sort_uniq String.compare
+          in
+          if guard_vars = [] then Template.PG_closed (tf, Monitor.compile tf)
+          else
+            Template.PG_indexed
+              { ix_vars = guard_vars; ix_body = tf;
+                ix_compiled = Monitor.compile tf }
+  in
+  {
+    Template.pm_event = p.Ast.p_event.Ast.ev_name;
+    pm_args = p.Ast.p_event.Ast.ev_args;
+    pm_guard;
+    pm_text = guard_text;
+  }
+
+let compile_constraint (k : Ast.constraint_decl) : Template.constraint_def =
+  if k.Ast.k_static || not (Template.is_temporal_ast k.Ast.k_body) then
+    Template.K_static k.Ast.k_body
+  else
+    let tf = Template.to_temporal k.Ast.k_body in
+    Template.K_temporal
+      (tf, Monitor.compile tf, Pretty.formula_to_string k.Ast.k_body)
+
+(* ------------------------------------------------------------------ *)
+(* Template compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let compile_body (names : names) ~name ~kind ~id_fields ~view_of ~spec_of
+    (b : Ast.template_body) : Template.t =
+  let loc = Loc.dummy in
+  let find_derivation attr =
+    List.find_opt (fun (d : Ast.derivation_rule) -> String.equal d.Ast.d_attr attr)
+      b.Ast.t_derivation
+  in
+  let attrs =
+    List.map
+      (fun (a : Ast.attr_decl) ->
+        let derived =
+          if a.Ast.a_derived then
+            match find_derivation a.Ast.a_name with
+            | Some d -> Some d
+            | None ->
+                fail ~loc:a.Ast.a_loc
+                  "derived attribute %s.%s has no derivation rule" name
+                  a.Ast.a_name
+          else None
+        in
+        if (not a.Ast.a_derived) && a.Ast.a_params <> [] then
+          fail ~loc:a.Ast.a_loc
+            "parameterized attribute %s.%s must be derived" name a.Ast.a_name;
+        {
+          Template.at_name = a.Ast.a_name;
+          at_type = vtype_of names ~loc:a.Ast.a_loc a.Ast.a_type;
+          at_params =
+            List.map (vtype_of names ~loc:a.Ast.a_loc) a.Ast.a_params;
+          at_derived = derived;
+          at_constant = a.Ast.a_constant;
+        })
+      b.Ast.t_attributes
+  in
+  (* components: surrogate-typed attributes *)
+  let comp_attrs =
+    List.map
+      (fun (cd : Ast.comp_decl) ->
+        if not (Hashtbl.mem names.classes cd.Ast.c_class) then
+          fail ~loc:cd.Ast.c_loc "component class %s unknown" cd.Ast.c_class;
+        let base = Vtype.Id cd.Ast.c_class in
+        let ty =
+          match cd.Ast.c_mult with
+          | Ast.C_single -> base
+          | Ast.C_set -> Vtype.Set base
+          | Ast.C_list -> Vtype.List base
+        in
+        {
+          Template.at_name = cd.Ast.c_name;
+          at_type = ty;
+          at_params = [];
+          at_derived = None;
+          at_constant = false;
+        })
+      b.Ast.t_components
+  in
+  (* incorporations ([inheriting obj as alias]): constant derived
+     attributes denoting the incorporated object's surrogate *)
+  let inherit_attrs =
+    List.map
+      (fun (obj, alias) ->
+        if not (Hashtbl.mem names.classes obj) then
+          fail "incorporated object %s unknown" obj;
+        {
+          Template.at_name = alias;
+          at_type = Vtype.Id obj;
+          at_params = [];
+          at_derived =
+            Some
+              {
+                Ast.d_attr = alias;
+                d_params = [];
+                d_rhs = Ast.mk_expr (Ast.E_var obj);
+                d_loc = loc;
+              };
+          at_constant = true;
+        })
+      b.Ast.t_inherits
+  in
+  let events =
+    List.map
+      (fun (e : Ast.event_decl) ->
+        {
+          Template.ed_name = e.Ast.ev_decl_name;
+          ed_params =
+            List.map (vtype_of names ~loc:e.Ast.ev_decl_loc) e.Ast.ev_params;
+          ed_kind = e.Ast.ev_kind;
+          ed_active = e.Ast.ev_active;
+          ed_born_by = e.Ast.ev_born_by;
+        })
+      b.Ast.t_events
+  in
+  let t_vars =
+    List.concat_map
+      (fun (vars, te) ->
+        let ty = vtype_of names te in
+        List.map (fun v -> (v, ty)) vars)
+      b.Ast.t_variables
+  in
+  let tpl_var_names = List.map fst t_vars in
+  {
+    Template.t_name = name;
+    t_kind = kind;
+    t_id_fields = id_fields;
+    t_view_of = view_of;
+    t_spec_of = spec_of;
+    t_attrs = attrs @ comp_attrs @ inherit_attrs;
+    t_events = events;
+    t_valuations = b.Ast.t_valuation;
+    t_callings = b.Ast.t_calling;
+    t_perms =
+      List.map (compile_permission names ~tpl_vars:tpl_var_names)
+        b.Ast.t_permissions;
+    t_constraints = List.map compile_constraint b.Ast.t_constraints;
+    t_vars;
+  }
+
+let compile_class (names : names) (cd : Ast.class_decl) : Template.t =
+  let id_fields =
+    List.map
+      (fun (n, te) -> (n, vtype_of names ~loc:cd.Ast.cl_loc te))
+      cd.Ast.cl_identification
+  in
+  let tpl =
+    compile_body names ~name:cd.Ast.cl_name ~kind:`Class ~id_fields
+      ~view_of:cd.Ast.cl_view_of ~spec_of:cd.Ast.cl_spec_of cd.Ast.cl_body
+  in
+  (* identification fields are observable constant attributes, populated
+     from the key at birth *)
+  let id_attrs =
+    List.filter_map
+      (fun (n, ty) ->
+        if Template.find_attr tpl n <> None then None
+        else
+          Some
+            {
+              Template.at_name = n;
+              at_type = ty;
+              at_params = [];
+              at_derived = None;
+              at_constant = true;
+            })
+      id_fields
+  in
+  { tpl with Template.t_attrs = tpl.Template.t_attrs @ id_attrs }
+
+let compile_object (names : names) (od : Ast.object_decl) : Template.t =
+  compile_body names ~name:od.Ast.o_name ~kind:`Single ~id_fields:[]
+    ~view_of:None ~spec_of:None od.Ast.o_body
+
+(* ------------------------------------------------------------------ *)
+(* Specification compilation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile a specification into a community.  Interface declarations
+    are collected and returned separately (they are realised by the
+    [troll_iface] library); module declarations are flattened (their
+    conceptual and internal schemata contribute declarations). *)
+let rec compile_decls (names : names) (c : Community.t)
+    (ifaces : Ast.iface_decl list ref) (decls : Ast.decl list) : unit =
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.D_enum e -> Community.add_enum c e.Ast.en_name e.Ast.en_consts
+      | Ast.D_class cd -> Community.add_template c (compile_class names cd)
+      | Ast.D_object od -> Community.add_template c (compile_object names od)
+      | Ast.D_global g ->
+          let vars =
+            List.concat_map
+              (fun (vs, te) ->
+                let ty = vtype_of names te in
+                List.map (fun v -> (v, ty)) vs)
+              g.Ast.g_variables
+          in
+          List.iter (fun r -> Community.add_global c ~vars r) g.Ast.g_rules
+      | Ast.D_interface i -> ifaces := !ifaces @ [ i ]
+      | Ast.D_module m ->
+          compile_decls names c ifaces m.Ast.m_conceptual;
+          compile_decls names c ifaces m.Ast.m_internal)
+    decls
+
+let spec ?(config = Community.default_config) (decls : Ast.spec) :
+    (Community.t * Ast.iface_decl list, error) result =
+  let names = { classes = Hashtbl.create 16; enums = Hashtbl.create 16 } in
+  collect_names names decls;
+  let c = Community.create ~config () in
+  let ifaces = ref [] in
+  match compile_decls names c ifaces decls with
+  | () -> Ok (c, !ifaces)
+  | exception E e -> Error e
+  | exception Runtime_error.Error r ->
+      Error { message = Runtime_error.reason_to_string r; loc = Loc.dummy }
+
+(** Create every single object of the community by firing its birth
+    event (single objects with parameterless birth events only; others
+    must be created explicitly). *)
+let instantiate_singles (c : Community.t) :
+    (unit, Runtime_error.reason) result =
+  let singles =
+    Hashtbl.fold
+      (fun _ (tpl : Template.t) acc ->
+        if tpl.Template.t_kind = `Single then tpl :: acc else acc)
+      c.Community.templates []
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (tpl : Template.t) :: rest -> (
+        match Template.birth_events tpl with
+        | [ ed ] when ed.Template.ed_params = [] -> (
+            let id = Ident.singleton tpl.Template.t_name in
+            match Community.living c id with
+            | Some _ -> go rest
+            | None -> (
+                match
+                  Engine.create c ~cls:tpl.Template.t_name
+                    ~key:(Value.Tuple []) ~event:ed.Template.ed_name ()
+                with
+                | Ok _ -> go rest
+                | Error r -> Error r))
+        | _ -> go rest)
+  in
+  go singles
+
+(** One-call convenience: parse → compile → instantiate singles. *)
+let load ?config (source : string) :
+    (Community.t * Ast.iface_decl list, string) result =
+  match Parser.spec source with
+  | Error e -> Error (Parse_error.to_string e)
+  | Ok decls -> (
+      match spec ?config decls with
+      | Error e -> Error (error_to_string e)
+      | Ok (c, ifaces) -> (
+          match instantiate_singles c with
+          | Ok () -> Ok (c, ifaces)
+          | Error r -> Error (Runtime_error.reason_to_string r)))

@@ -1,0 +1,34 @@
+(** Compilation of checked AST specifications into runnable communities:
+    type resolution, components and incorporations as surrogate-typed
+    attributes, derivation-rule attachment, and translation of
+    permissions and temporal constraints into monitored formulas. *)
+
+type error = { message : string; loc : Loc.t }
+
+exception E of error
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val vtype_of_ast : Community.t -> Ast.type_expr -> Vtype.t option
+(** Resolve a surface type against a compiled community's classes and
+    enumerations (for tooling). *)
+
+val spec :
+  ?config:Community.config ->
+  Ast.spec ->
+  (Community.t * Ast.iface_decl list, error) result
+(** Compile a specification.  Interface declarations are returned
+    separately (realised by [troll_iface]); module declarations are
+    flattened (link through {!Society} for visibility checking). *)
+
+val instantiate_singles :
+  Community.t -> (unit, Runtime_error.reason) result
+(** Create every single object that has a parameterless birth event. *)
+
+val load :
+  ?config:Community.config ->
+  string ->
+  (Community.t * Ast.iface_decl list, string) result
+(** One call: parse → compile → instantiate singles.  (No static
+    checking — use [Troll.load] for the full pipeline.) *)

@@ -1,0 +1,925 @@
+(** The execution engine (animator).
+
+    An engine step realises the paper's event semantics:
+
+    - an attempted base event is closed under *event calling* (local
+      [interaction]/[calling] rules, [global interactions], phase births)
+      into a synchronous event set — called events occur simultaneously
+      with their callers;
+    - *transaction calling* [e >> (e1; e2)] appends follow-up micro-steps
+      that execute in order; the whole chain is atomic;
+    - every event of the set is checked against its object's
+      *permissions* (temporal guards, monitored incrementally);
+    - *valuation* rules are evaluated on the pre-state and applied
+      simultaneously; two events of one step writing different values to
+      one attribute is an inconsistency and rejects the step;
+    - *constraints* are checked on the post-state;
+    - on any violation the whole transaction rolls back and the
+      community is unchanged. *)
+
+open Runtime_error
+module Smap = Map.Make (String)
+
+type outcome = {
+  committed : Event.t list list;  (** micro-steps, in execution order *)
+  created : Ident.t list;
+  destroyed : Ident.t list;
+}
+
+type step_result = (outcome, reason) result
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type txn = {
+  c : Community.t;
+  snaps : (Ident.t, Obj_state.t * Obj_state.snapshot) Hashtbl.t;
+  mutable saved_ext : Ident.Set.t Smap.t option;
+  mutable created : Ident.t list;
+  mutable destroyed : Ident.t list;
+}
+
+let txn_make c =
+  { c; snaps = Hashtbl.create 8; saved_ext = None; created = [];
+    destroyed = [] }
+
+let touch txn (o : Obj_state.t) =
+  if not (Hashtbl.mem txn.snaps o.Obj_state.id) then
+    Hashtbl.add txn.snaps o.Obj_state.id (o, Obj_state.snapshot o)
+
+let save_ext txn =
+  if txn.saved_ext = None then txn.saved_ext <- Some txn.c.Community.extensions
+
+let rollback txn =
+  List.iter (fun id -> Community.remove_object txn.c id) txn.created;
+  Hashtbl.iter
+    (fun id (o, s) ->
+      if not (List.exists (Ident.equal id) txn.created) then
+        Obj_state.restore o s)
+    txn.snaps;
+  (match txn.saved_ext with
+  | Some ext -> txn.c.Community.extensions <- ext
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Event targeting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Retarget an event at the base aspect that actually declares it
+    (inheritance of events: firing [MANAGER(p).hire] delegates upward if
+    only [PERSON] declares [hire]). *)
+let rec locate_event (c : Community.t) (ev : Event.t) : Event.t =
+  let tpl = Community.template_exn c ev.Event.target.Ident.cls in
+  match Template.find_event tpl ev.Event.name with
+  | Some _ -> ev
+  | None -> (
+      match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
+      | Some base, _ | None, Some base ->
+          locate_event c
+            { ev with Event.target = Ident.as_class base ev.Event.target }
+      | None, None ->
+          fail (Unknown_event (tpl.Template.t_name, ev.Event.name)))
+
+(** Set the identification attributes of a newly created object from its
+    key value. *)
+let set_id_attrs (o : Obj_state.t) =
+  match o.Obj_state.template.Template.t_id_fields with
+  | [] -> ()
+  | [ (name, _) ] -> Obj_state.set_attr o name o.Obj_state.id.Ident.key
+  | fields -> (
+      match o.Obj_state.id.Ident.key with
+      | Value.Tuple kvs ->
+          List.iter
+            (fun (name, _) ->
+              match List.assoc_opt name kvs with
+              | Some v -> Obj_state.set_attr o name v
+              | None -> ())
+            fields
+      | _ -> ())
+
+(** Object state for evaluation purposes; for an event that will create
+    the object, a detached fresh state is used (with identification
+    attributes already populated, so calling rules of birth events can
+    refer to [self.<id-field>]). *)
+let eval_object (c : Community.t) (id : Ident.t) : Obj_state.t =
+  match Community.find_object c id with
+  | Some o -> o
+  | None ->
+      let o = Obj_state.create id (Community.template_exn c id.Ident.cls) in
+      set_id_attrs o;
+      o
+
+(* ------------------------------------------------------------------ *)
+(* Calling closure                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_called (c : Community.t) ~env ~self (term : Ast.event_term) :
+    Event.t =
+  let target =
+    match term.Ast.target with
+    | None -> (
+        match self with
+        | Some (o : Obj_state.t) -> o.Obj_state.id
+        | None -> fail (Eval_error "called event without target"))
+    | Some r -> Eval.resolve_ref c ~env ~self r
+  in
+  let args = List.map (Eval.expr c ~env ~self) term.Ast.ev_args in
+  Event.make target term.Ast.ev_name args
+
+(** Match a global rule's caller pattern, e.g.
+    [DEPT(D).new_manager(P) >> …], against an occurred event. *)
+let match_global_caller (c : Community.t) ~(vars : string list)
+    (pat : Ast.event_term) (ev : Event.t) : Env.t option =
+  if not (String.equal pat.Ast.ev_name ev.Event.name) then None
+  else
+    let env = Env.empty in
+    let target_env =
+      match pat.Ast.target with
+      | Some (Ast.OR_instance (cls, idpat)) ->
+          if not (String.equal cls ev.Event.target.Ident.cls) then None
+          else (
+            match idpat.Ast.e with
+            | Ast.E_var v when List.mem v vars ->
+                Some (Env.bind v (Ident.to_value ev.Event.target) env)
+            | _ -> (
+                match Eval.expr c ~env ~self:None idpat with
+                | pv
+                  when Ident.equal
+                         (Eval.key_of_value cls pv)
+                         ev.Event.target ->
+                    Some env
+                | _ -> None
+                | exception Error _ -> None))
+      | Some (Ast.OR_name cls) ->
+          (* class-wide pattern: any instance of the class *)
+          if String.equal cls ev.Event.target.Ident.cls then Some env else None
+      | Some Ast.OR_self | None -> None
+    in
+    match target_env with
+    | None -> None
+    | Some env ->
+        Eval.match_args c ~env ~self:None ~vars pat.Ast.ev_args
+          ev.Event.args
+
+(** Compute the synchronous closure of an initial event set.  Returns
+    the closed set plus follow-up micro-steps contributed by transaction
+    calling (each called sequence element becomes its own micro-step). *)
+let expand_sync (c : Community.t) (init : Event.t list) :
+    Event.t list * Event.t list list =
+  let sync : Event.t list ref = ref [] in
+  let followups : Event.t list list ref = ref [] in
+  let pending = Queue.create () in
+  List.iter (fun e -> Queue.add e pending) init;
+  while not (Queue.is_empty pending) do
+    let ev = locate_event c (Queue.pop pending) in
+    if not (List.exists (Event.equal ev) !sync) then begin
+      sync := !sync @ [ ev ];
+      if List.length !sync > c.Community.config.Community.max_sync_set then
+        fail
+          (Unsupported
+             (Printf.sprintf
+                "event-calling closure exceeds %d events (calling cycle?)"
+                c.Community.config.Community.max_sync_set));
+      let o = eval_object c ev.Event.target in
+      let tpl = o.Obj_state.template in
+      let vars = List.map fst tpl.Template.t_vars in
+      (* local calling rules *)
+      List.iter
+        (fun (r : Ast.calling_rule) ->
+          match
+            Eval.match_local_event c o ~env:Env.empty ~vars r.Ast.i_caller ev
+          with
+          | None -> ()
+          | Some env ->
+              let guard_ok =
+                match r.Ast.i_guard with
+                | None -> true
+                | Some g -> Eval.formula_state c ~env ~self:(Some o) g
+              in
+              if guard_ok then begin
+                match r.Ast.i_called with
+                | [ one ] ->
+                    Queue.add (resolve_called c ~env ~self:(Some o) one)
+                      pending
+                | seq ->
+                    followups :=
+                      !followups
+                      @ List.map
+                          (fun t ->
+                            [ resolve_called c ~env ~self:(Some o) t ])
+                          seq
+              end)
+        tpl.Template.t_callings;
+      (* global interaction rules *)
+      List.iter
+        (fun (gr : Community.global_rule) ->
+          let gvars = List.map fst gr.Community.gr_vars in
+          let rule = gr.Community.gr_rule in
+          match match_global_caller c ~vars:gvars rule.Ast.i_caller ev with
+          | None -> ()
+          | Some env ->
+              let guard_ok =
+                match rule.Ast.i_guard with
+                | None -> true
+                | Some g -> Eval.formula_state c ~env ~self:None g
+              in
+              if guard_ok then begin
+                match rule.Ast.i_called with
+                | [ one ] ->
+                    Queue.add (resolve_called c ~env ~self:None one) pending
+                | seq ->
+                    followups :=
+                      !followups
+                      @ List.map
+                          (fun t -> [ resolve_called c ~env ~self:None t ])
+                          seq
+              end)
+        c.Community.globals;
+      (* phase births: classes whose birth is this base event *)
+      List.iter
+        (fun ((ptpl : Template.t), (ed : Template.event_def)) ->
+          let phase_id =
+            Ident.make ptpl.Template.t_name ev.Event.target.Ident.key
+          in
+          (* re-birth of a phase an object already plays is ignored *)
+          match Community.living c phase_id with
+          | Some _ -> ()
+          | None ->
+              Queue.add
+                (Event.make phase_id ed.Template.ed_name [])
+                pending)
+        (Community.phases_born_by c ev.Event.target.Ident.cls ev.Event.name)
+    end
+  done;
+  (!sync, !followups)
+
+(* ------------------------------------------------------------------ *)
+(* Permission checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate one monitored atom on object [o]'s current state, given the
+    events [occurred] of the step being completed. *)
+let atom_eval (c : Community.t) (o : Obj_state.t) ~(occurred : Event.t list)
+    ~(binds : (string * Value.t) list) (a : Template.atom) : bool =
+  let env = Env.of_list (a.Template.binds @ binds) in
+  match a.Template.pred with
+  | Template.P_state f -> (
+      match Eval.formula_state c ~env ~self:(Some o) f with
+      | b -> b
+      | exception Error (Eval_error _) -> false)
+  | Template.P_occurs pat ->
+      let vars = List.map fst o.Obj_state.template.Template.t_vars in
+      List.exists
+        (fun ev -> Eval.match_local_event c o ~env ~vars pat ev <> None)
+        occurred
+
+(** Monitor value for a guard whose monitor has not been started yet:
+    treat the current state as the whole history (no events occurred). *)
+let virtual_value (c : Community.t) (o : Obj_state.t) compiled ~binds =
+  let s =
+    Monitor.step compiled
+      ~atom_eval:(atom_eval c o ~occurred:[] ~binds)
+      None
+  in
+  Monitor.value compiled s
+
+let find_indexed key insts =
+  List.find_opt (fun (k, _) -> List.compare Value.compare k key = 0) insts
+
+(** Does the guard of permission [idx]/[pm] hold for event [ev] with the
+    unification environment [env]? *)
+let permission_holds (c : Community.t) (o : Obj_state.t) idx
+    (pm : Template.permission) ~env : bool =
+  match pm.Template.pm_guard with
+  | Template.PG_state f -> (
+      match Eval.formula_state c ~env ~self:(Some o) f with
+      | b -> b
+      | exception Error (Eval_error _) -> false)
+  | Template.PG_closed (_, compiled) -> (
+      match o.Obj_state.perm_states.(idx) with
+      | Obj_state.PS_closed (Some s) -> Monitor.value compiled s
+      | Obj_state.PS_closed None -> virtual_value c o compiled ~binds:[]
+      | Obj_state.PS_none | Obj_state.PS_indexed _ -> assert false)
+  | Template.PG_indexed { ix_vars; ix_compiled; _ } -> (
+      let key =
+        List.map
+          (fun v -> Option.value ~default:Value.Undefined (Env.find v env))
+          ix_vars
+      in
+      let binds = List.combine ix_vars key in
+      match o.Obj_state.perm_states.(idx) with
+      | Obj_state.PS_indexed insts -> (
+          match find_indexed key insts with
+          | Some (_, s) -> Monitor.value ix_compiled s
+          | None -> virtual_value c o ix_compiled ~binds)
+      | Obj_state.PS_none | Obj_state.PS_closed _ -> assert false)
+  | Template.PG_quant { q_quant; q_var; q_class; q_compiled; _ } -> (
+      match o.Obj_state.perm_states.(idx) with
+      | Obj_state.PS_indexed insts ->
+          let members = Ident.Set.elements (Community.extension c q_class) in
+          let value_for m =
+            let key = [ Ident.to_value m ] in
+            match find_indexed key insts with
+            | Some (_, s) -> Monitor.value q_compiled s
+            | None ->
+                virtual_value c o q_compiled
+                  ~binds:[ (q_var, Ident.to_value m) ]
+          in
+          (* instances cover members that have left the extension too *)
+          let spawned_values =
+            List.map (fun (_, s) -> Monitor.value q_compiled s) insts
+          in
+          let unspawned =
+            List.filter
+              (fun m ->
+                find_indexed [ Ident.to_value m ] insts = None)
+              members
+          in
+          let all = spawned_values @ List.map value_for unspawned in
+          (match q_quant with
+          | `Forall -> List.for_all (fun b -> b) all
+          | `Exists -> List.exists (fun b -> b) all)
+      | Obj_state.PS_none | Obj_state.PS_closed _ -> assert false)
+
+let check_permissions (c : Community.t) (o : Obj_state.t) (ev : Event.t) =
+  let tpl = o.Obj_state.template in
+  let vars = List.map fst tpl.Template.t_vars in
+  List.iteri
+    (fun idx (pm : Template.permission) ->
+      if String.equal pm.Template.pm_event ev.Event.name then
+        match
+          Eval.match_args c ~env:Env.empty ~self:(Some o) ~vars
+            pm.Template.pm_args ev.Event.args
+        with
+        | None -> () (* pattern does not cover these arguments *)
+        | Some env ->
+            if not (permission_holds c o idx pm ~env) then
+              fail (Permission_denied (ev, pm.Template.pm_text)))
+    tpl.Template.t_perms
+
+(* ------------------------------------------------------------------ *)
+(* Monitor advancement                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** All scalar values reachable from a value (itself plus collection
+    elements and tuple fields) — candidate spawn keys for parametric
+    permission monitors. *)
+let rec flatten_value acc (v : Value.t) =
+  let acc = v :: acc in
+  match v with
+  | Value.Set xs | Value.List xs -> List.fold_left flatten_value acc xs
+  | Value.Map kvs ->
+      List.fold_left
+        (fun acc (k, x) -> flatten_value (flatten_value acc k) x)
+        acc kvs
+  | Value.Tuple fs -> List.fold_left (fun acc (_, x) -> flatten_value acc x) acc fs
+  | Value.Bool _ | Value.Int _ | Value.String _ | Value.Date _
+  | Value.Money _ | Value.Enum _ | Value.Id _ | Value.Undefined ->
+      acc
+
+(** Keys to spawn for an indexed guard: instantiations obtained by
+    matching the guard's event patterns against the occurred events,
+    plus (for single-parameter guards) every value occurring in the
+    step's event arguments. *)
+let spawn_keys (c : Community.t) (o : Obj_state.t) ~occurred
+    ~(ix_vars : string list) (body : Template.atom Formula.t) :
+    Value.t list list =
+  let keys = ref [] in
+  let add key =
+    if
+      (not (List.exists (fun k -> List.compare Value.compare k key = 0) !keys))
+      && List.for_all (fun v -> not (Value.is_undefined v)) key
+    then keys := key :: !keys
+  in
+  let patterns =
+    List.filter_map
+      (fun (a : Template.atom) ->
+        match a.Template.pred with
+        | Template.P_occurs pat -> Some pat
+        | Template.P_state _ -> None)
+      (Formula.atoms [] body)
+  in
+  List.iter
+    (fun pat ->
+      List.iter
+        (fun ev ->
+          match
+            Eval.match_local_event c o ~env:Env.empty ~vars:ix_vars pat ev
+          with
+          | Some env ->
+              add
+                (List.map
+                   (fun v ->
+                     Option.value ~default:Value.Undefined (Env.find v env))
+                   ix_vars)
+          | None -> ())
+        occurred)
+    patterns;
+  (match ix_vars with
+  | [ _ ] ->
+      List.iter
+        (fun (ev : Event.t) ->
+          List.iter
+            (fun arg ->
+              List.iter (fun v -> add [ v ]) (flatten_value [] arg))
+            ev.Event.args)
+        occurred
+  | _ -> ());
+  !keys
+
+(** Advance all monitors of object [o] after a step in which the events
+    [occurred] (targeting [o]) happened and the post-state is current. *)
+let step_monitors (c : Community.t) (o : Obj_state.t)
+    ~(occurred : Event.t list) =
+  let tpl = o.Obj_state.template in
+  (* permissions *)
+  List.iteri
+    (fun idx (pm : Template.permission) ->
+      match (pm.Template.pm_guard, o.Obj_state.perm_states.(idx)) with
+      | Template.PG_state _, _ -> ()
+      | Template.PG_closed (_, compiled), Obj_state.PS_closed prev ->
+          let s =
+            Monitor.step compiled
+              ~atom_eval:(atom_eval c o ~occurred ~binds:[])
+              prev
+          in
+          o.Obj_state.perm_states.(idx) <- Obj_state.PS_closed (Some s)
+      | ( Template.PG_indexed { ix_vars; ix_body; ix_compiled },
+          Obj_state.PS_indexed insts ) ->
+          let stepped =
+            List.map
+              (fun (key, s) ->
+                let binds = List.combine ix_vars key in
+                ( key,
+                  Monitor.step ix_compiled
+                    ~atom_eval:(atom_eval c o ~occurred ~binds)
+                    (Some s) ))
+              insts
+          in
+          let fresh =
+            List.filter_map
+              (fun key ->
+                if find_indexed key stepped <> None then None
+                else
+                  let binds = List.combine ix_vars key in
+                  Some
+                    ( key,
+                      Monitor.step ix_compiled
+                        ~atom_eval:(atom_eval c o ~occurred ~binds)
+                        None ))
+              (spawn_keys c o ~occurred ~ix_vars ix_body)
+          in
+          o.Obj_state.perm_states.(idx) <-
+            Obj_state.PS_indexed (stepped @ fresh)
+      | ( Template.PG_quant { q_var; q_class; q_compiled; _ },
+          Obj_state.PS_indexed insts ) ->
+          let stepped =
+            List.map
+              (fun (key, s) ->
+                let binds =
+                  match key with [ v ] -> [ (q_var, v) ] | _ -> []
+                in
+                ( key,
+                  Monitor.step q_compiled
+                    ~atom_eval:(atom_eval c o ~occurred ~binds)
+                    (Some s) ))
+              insts
+          in
+          let members = Ident.Set.elements (Community.extension c q_class) in
+          let fresh =
+            List.filter_map
+              (fun m ->
+                let key = [ Ident.to_value m ] in
+                if find_indexed key stepped <> None then None
+                else
+                  Some
+                    ( key,
+                      Monitor.step q_compiled
+                        ~atom_eval:
+                          (atom_eval c o ~occurred
+                             ~binds:[ (q_var, Ident.to_value m) ])
+                        None ))
+              members
+          in
+          o.Obj_state.perm_states.(idx) <-
+            Obj_state.PS_indexed (stepped @ fresh)
+      | _, _ -> assert false)
+    tpl.Template.t_perms;
+  (* temporal constraints: step and require truth *)
+  let ki = ref 0 in
+  List.iter
+    (fun (k : Template.constraint_def) ->
+      match k with
+      | Template.K_static f ->
+          if not (Eval.formula_state c ~env:Env.empty ~self:(Some o) f) then
+            fail
+              (Constraint_violated
+                 (o.Obj_state.id, Pretty.formula_to_string f))
+      | Template.K_temporal (_, compiled, text) ->
+          let prev = o.Obj_state.constr_states.(!ki) in
+          let s =
+            Monitor.step compiled
+              ~atom_eval:(atom_eval c o ~occurred ~binds:[])
+              prev
+          in
+          o.Obj_state.constr_states.(!ki) <- Some s;
+          incr ki;
+          if not (Monitor.value compiled s) then
+            fail (Constraint_violated (o.Obj_state.id, text)))
+    tpl.Template.t_constraints;
+  (* history *)
+  if c.Community.config.Community.record_history then
+    o.Obj_state.history <-
+      { Obj_state.h_events = occurred; h_attrs = o.Obj_state.attrs }
+      :: o.Obj_state.history;
+  o.Obj_state.steps <- o.Obj_state.steps + 1
+
+(* ------------------------------------------------------------------ *)
+(* Executing one synchronous step                                      *)
+(* ------------------------------------------------------------------ *)
+
+let exec_sync (txn : txn) (sync : Event.t list) : unit =
+  let c = txn.c in
+  (* group events by target object *)
+  let groups : (Ident.t * Event.t list) list =
+    List.fold_left
+      (fun acc (ev : Event.t) ->
+        let id = ev.Event.target in
+        match List.assoc_opt id acc with
+        | Some evs ->
+            (id, evs @ [ ev ]) :: List.remove_assoc id acc
+        | None -> (id, [ ev ]) :: acc)
+      [] sync
+    |> List.rev
+  in
+  (* phase 1: materialise objects, validate life-cycle stage *)
+  let participants =
+    List.map
+      (fun (id, evs) ->
+        let tpl = Community.template_exn c id.Ident.cls in
+        let has_birth =
+          List.exists
+            (fun (ev : Event.t) ->
+              match Template.find_event tpl ev.Event.name with
+              | Some ed -> ed.Template.ed_kind = Ast.Ev_birth
+              | None -> false)
+            evs
+        in
+        let o =
+          match Community.find_object c id with
+          | Some o -> o
+          | None ->
+              if not has_birth then fail (Unknown_object id)
+              else begin
+                let o = Obj_state.create id tpl in
+                save_ext txn;
+                Community.register_object c o;
+                txn.created <- id :: txn.created;
+                o
+              end
+        in
+        touch txn o;
+        (* closure under inheritance: an aspect needs its base aspect —
+           phases (view of) and static specializations alike *)
+        (match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
+        | (Some base, _ | None, Some base) when has_birth -> (
+            match Community.living c (Ident.make base id.Ident.key) with
+            | Some _ -> ()
+            | None -> fail (Not_alive (Ident.make base id.Ident.key)))
+        | _ -> ());
+        List.iter
+          (fun (ev : Event.t) ->
+            match Template.find_event tpl ev.Event.name with
+            | None -> fail (Unknown_event (tpl.Template.t_name, ev.Event.name))
+            | Some ed ->
+                (* argument arity and types (API-level safety net; checked
+                   specifications construct well-typed events anyway) *)
+                if List.length ev.Event.args <> List.length ed.Template.ed_params
+                then
+                  fail
+                    (Eval_error
+                       (Printf.sprintf "%s expects %d argument(s), got %d"
+                          ev.Event.name
+                          (List.length ed.Template.ed_params)
+                          (List.length ev.Event.args)));
+                List.iter2
+                  (fun v pty ->
+                    if not (Vtype.subtype (Value.type_of v) pty) then
+                      fail
+                        (Eval_error
+                           (Printf.sprintf
+                              "%s: argument %s does not fit parameter type %s"
+                              ev.Event.name (Value.to_string v)
+                              (Vtype.to_string pty))))
+                  ev.Event.args ed.Template.ed_params;
+                (match ed.Template.ed_kind with
+                | Ast.Ev_birth ->
+                    if o.Obj_state.alive || o.Obj_state.dead then
+                      fail (Already_alive id)
+                | Ast.Ev_death | Ast.Ev_normal ->
+                    if not o.Obj_state.alive then fail (Not_alive id)))
+          evs;
+        (o, evs))
+      groups
+  in
+  (* phase 2: permissions on pre-states *)
+  List.iter
+    (fun ((o : Obj_state.t), evs) ->
+      List.iter (fun ev -> check_permissions c o ev) evs)
+    participants;
+  (* phase 3: valuations on pre-states *)
+  let writes : (Obj_state.t * string * Value.t) list ref = ref [] in
+  List.iter
+    (fun ((o : Obj_state.t), evs) ->
+      let tpl = o.Obj_state.template in
+      let vars = List.map fst tpl.Template.t_vars in
+      List.iter
+        (fun (ev : Event.t) ->
+          List.iter
+            (fun (rule : Ast.valuation_rule) ->
+              match
+                Eval.match_local_event c o ~env:Env.empty ~vars
+                  rule.Ast.v_event ev
+              with
+              | None -> ()
+              | Some env ->
+                  let guard_ok =
+                    match rule.Ast.v_guard with
+                    | None -> true
+                    | Some g -> Eval.formula_state c ~env ~self:(Some o) g
+                  in
+                  if guard_ok then begin
+                    let v = Eval.expr c ~env ~self:(Some o) rule.Ast.v_rhs in
+                    (match
+                       List.find_opt
+                         (fun (o', a, _) ->
+                           o' == o && String.equal a rule.Ast.v_attr)
+                         !writes
+                     with
+                    | Some (_, _, v') when not (Value.equal v v') ->
+                        fail
+                          (Valuation_conflict
+                             (o.Obj_state.id, rule.Ast.v_attr, v', v))
+                    | Some _ -> ()
+                    | None -> writes := (o, rule.Ast.v_attr, v) :: !writes)
+                  end)
+            tpl.Template.t_valuations)
+        evs)
+    participants;
+  (* phase 4: apply — births, identification attributes, valuations,
+     deaths, extension updates *)
+  List.iter
+    (fun ((o : Obj_state.t), evs) ->
+      let tpl = o.Obj_state.template in
+      List.iter
+        (fun (ev : Event.t) ->
+          match Template.find_event tpl ev.Event.name with
+          | Some ed when ed.Template.ed_kind = Ast.Ev_birth ->
+              o.Obj_state.alive <- true;
+              set_id_attrs o;
+              save_ext txn;
+              Community.extension_add c o.Obj_state.id
+          | _ -> ())
+        evs)
+    participants;
+  List.iter
+    (fun ((o : Obj_state.t), attr, v) -> Obj_state.set_attr o attr v)
+    !writes;
+  (* a death ends the object's life cycle — and, because all aspects of
+     one object share it, the death of a base aspect also ends every
+     living phase (view) aspect depending on it, transitively *)
+  let rec kill (o : Obj_state.t) =
+    if o.Obj_state.alive then begin
+      touch txn o;
+      o.Obj_state.alive <- false;
+      o.Obj_state.dead <- true;
+      save_ext txn;
+      Community.extension_remove c o.Obj_state.id;
+      txn.destroyed <- txn.destroyed @ [ o.Obj_state.id ];
+      Hashtbl.iter
+        (fun _ (tpl : Template.t) ->
+          match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
+          | (Some base, _ | None, Some base)
+            when String.equal base o.Obj_state.id.Ident.cls -> (
+              match
+                Community.living c
+                  (Ident.make tpl.Template.t_name o.Obj_state.id.Ident.key)
+              with
+              | Some dependent -> kill dependent
+              | None -> ())
+          | _ -> ())
+        c.Community.templates
+    end
+  in
+  List.iter
+    (fun ((o : Obj_state.t), evs) ->
+      let tpl = o.Obj_state.template in
+      List.iter
+        (fun (ev : Event.t) ->
+          match Template.find_event tpl ev.Event.name with
+          | Some ed when ed.Template.ed_kind = Ast.Ev_death -> kill o
+          | _ -> ())
+        evs)
+    participants;
+  (* phase 5: post-state constraints and monitor advancement *)
+  List.iter
+    (fun ((o : Obj_state.t), evs) -> step_monitors c o ~occurred:evs)
+    participants
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a list of micro-steps as one atomic transaction: each micro-step
+    is closed under calling, executed, and its transaction-calling
+    follow-ups are queued behind the remaining micro-steps. *)
+let run_txn (c : Community.t) (micro_steps : Event.t list list) : step_result
+    =
+  let txn = txn_make c in
+  match
+    let committed = ref [] in
+    let queue = Queue.create () in
+    List.iter (fun s -> Queue.add s queue) micro_steps;
+    while not (Queue.is_empty queue) do
+      let init = Queue.pop queue in
+      let sync, followups = expand_sync c init in
+      exec_sync txn sync;
+      committed := sync :: !committed;
+      List.iter (fun s -> Queue.add s queue) followups
+    done;
+    {
+      committed = List.rev !committed;
+      created = List.rev txn.created;
+      destroyed = List.rev txn.destroyed;
+    }
+  with
+  | outcome -> Ok outcome
+  | exception Error reason ->
+      rollback txn;
+      Error reason
+
+(** Fire a single event (with its synchronous closure). *)
+let fire c ev = run_txn c [ [ ev ] ]
+
+(** Fire several events simultaneously (event sharing). *)
+let fire_sync c evs = run_txn c [ evs ]
+
+(** Fire a sequence of events as one atomic transaction. *)
+let fire_seq c evs = run_txn c (List.map (fun e -> [ e ]) evs)
+
+(** Create an object: fire the class's birth event.  [event] defaults to
+    the unique birth event of the template. *)
+let create c ~cls ~key ?event ?(args = []) () : step_result =
+  match Community.find_template c cls with
+  | None -> Error (Unknown_class cls)
+  | Some tpl -> (
+      let birth =
+        match event with
+        | Some name -> (
+            match Template.find_event tpl name with
+            | Some ed when ed.Template.ed_kind = Ast.Ev_birth -> Some name
+            | Some _ | None -> None)
+        | None -> (
+            match Template.birth_events tpl with
+            | [ ed ] -> Some ed.Template.ed_name
+            | _ -> None)
+      in
+      match birth with
+      | None ->
+          Error
+            (Not_birth
+               (Event.make (Ident.make cls key)
+                  (Option.value ~default:"<birth>" event)
+                  args))
+      | Some name -> fire c (Event.make (Ident.make cls key) name args))
+
+(** Kill an object: fire the (unique) death event. *)
+let destroy c ~id ?event ?(args = []) () : step_result =
+  match Community.find_template c id.Ident.cls with
+  | None -> Error (Unknown_class id.Ident.cls)
+  | Some tpl -> (
+      let death =
+        match event with
+        | Some name -> Some name
+        | None -> (
+            match Template.death_events tpl with
+            | [ ed ] -> Some ed.Template.ed_name
+            | _ -> None)
+      in
+      match death with
+      | None -> Error (Unsupported "object has no unique death event")
+      | Some name -> fire c (Event.make id name args))
+
+(** Fire enabled active events until quiescence or [fuel] runs out.
+    Only parameterless active events are considered (argument synthesis
+    for parameterized active events is out of scope).  Returns the
+    events fired, in order. *)
+let run_active c ~fuel : Event.t list =
+  let fired = ref [] in
+  let budget = ref fuel in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    let candidates =
+      List.concat_map
+        (fun (o : Obj_state.t) ->
+          List.filter_map
+            (fun (ed : Template.event_def) ->
+              if ed.Template.ed_active && ed.Template.ed_params = []
+                 && ed.Template.ed_kind = Ast.Ev_normal
+              then Some (Event.make o.Obj_state.id ed.Template.ed_name [])
+              else None)
+            o.Obj_state.template.Template.t_events)
+        (Community.living_objects c)
+    in
+    List.iter
+      (fun ev ->
+        if !budget > 0 then
+          match fire c ev with
+          | Ok _ ->
+              fired := ev :: !fired;
+              decr budget;
+              progress := true
+          | Error _ -> ())
+      candidates
+  done;
+  List.rev !fired
+
+(* ------------------------------------------------------------------ *)
+(* Enabledness queries (for animation front ends)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Would this event be accepted right now?  Evaluated on a clone, so
+    the community is untouched (including monitor states). *)
+let enabled c (ev : Event.t) : bool =
+  match fire (Community.clone c) ev with Ok _ -> true | Error _ -> false
+
+(** The parameterless events of a living object that are currently
+    enabled — what an animator would offer as next steps.  Events with
+    parameters are reported by {!candidate_events} instead (enabledness
+    generally depends on the arguments). *)
+let enabled_events c (id : Ident.t) : string list =
+  match Community.living c id with
+  | None -> []
+  | Some o ->
+      List.filter_map
+        (fun (ed : Template.event_def) ->
+          if ed.Template.ed_params = [] && ed.Template.ed_kind <> Ast.Ev_birth
+          then
+            if enabled c (Event.make id ed.Template.ed_name []) then
+              Some ed.Template.ed_name
+            else None
+          else None)
+        o.Obj_state.template.Template.t_events
+
+(** All event names of an object's template with their parameter
+    types (birth events excluded for living objects). *)
+let candidate_events c (id : Ident.t) : (string * Vtype.t list) list =
+  match Community.find_template c id.Ident.cls with
+  | None -> []
+  | Some tpl ->
+      List.filter_map
+        (fun (ed : Template.event_def) ->
+          if ed.Template.ed_kind = Ast.Ev_birth then None
+          else Some (ed.Template.ed_name, ed.Template.ed_params))
+        tpl.Template.t_events
+
+(* ------------------------------------------------------------------ *)
+(* Naive (trace-based) permission checking — the E4 ablation baseline  *)
+(* ------------------------------------------------------------------ *)
+
+(** Re-evaluate a temporal guard over the full recorded history of [o]
+    instead of reading the incremental monitor.  Requires
+    [record_history = true] in the community's configuration.  Only
+    meaningful for guards over the object's own state and events (which
+    is what TROLL permissions are). *)
+let naive_guard_value (c : Community.t) (o : Obj_state.t)
+    (body : Template.atom Formula.t) ~(binds : (string * Value.t) list) :
+    bool =
+  let entries = Array.of_list (List.rev o.Obj_state.history) in
+  if Array.length entries = 0 then false
+  else begin
+    let saved = o.Obj_state.attrs in
+    let atom (a : Template.atom) (h : Obj_state.history_entry) =
+      let env = Env.of_list (a.Template.binds @ binds) in
+      match a.Template.pred with
+      | Template.P_state f ->
+          o.Obj_state.attrs <- h.Obj_state.h_attrs;
+          let r =
+            match Eval.formula_state c ~env ~self:(Some o) f with
+            | b -> b
+            | exception Error (Eval_error _) -> false
+          in
+          o.Obj_state.attrs <- saved;
+          r
+      | Template.P_occurs pat ->
+          let vars = List.map fst o.Obj_state.template.Template.t_vars in
+          List.exists
+            (fun ev -> Eval.match_local_event c o ~env ~vars pat ev <> None)
+            h.Obj_state.h_events
+    in
+    let r = Trace_eval.eval_last ~atom entries body in
+    o.Obj_state.attrs <- saved;
+    r
+  end

@@ -1,0 +1,96 @@
+(** The execution engine (animator).
+
+    One step: close the attempted event under *event calling* into a
+    synchronous set, validate life cycles, check *permissions* on the
+    pre-state (via incremental temporal monitors), evaluate *valuation*
+    rules on the pre-state and apply them simultaneously, enforce
+    *constraints* on the post-state, and advance the monitors.
+    Transaction calling appends micro-steps; any violation anywhere
+    rolls the whole attempt back.  See docs/SEMANTICS.md for the precise
+    phase-by-phase definition. *)
+
+type outcome = {
+  committed : Event.t list list;  (** micro-steps, in execution order *)
+  created : Ident.t list;
+  destroyed : Ident.t list;
+}
+
+type step_result = (outcome, Runtime_error.reason) result
+
+(** {1 Firing events} *)
+
+val fire : Community.t -> Event.t -> step_result
+(** Fire a single event (with its synchronous closure). *)
+
+val fire_sync : Community.t -> Event.t list -> step_result
+(** Fire several events simultaneously (event sharing). *)
+
+val fire_seq : Community.t -> Event.t list -> step_result
+(** Fire a sequence of events as one atomic transaction. *)
+
+val run_txn : Community.t -> Event.t list list -> step_result
+(** General form: a queue of micro-steps executed as one transaction. *)
+
+val create :
+  Community.t ->
+  cls:string ->
+  key:Value.t ->
+  ?event:string ->
+  ?args:Value.t list ->
+  unit ->
+  step_result
+(** Fire a birth event ([event] defaults to the template's unique one). *)
+
+val destroy :
+  Community.t -> id:Ident.t -> ?event:string -> ?args:Value.t list -> unit ->
+  step_result
+(** Fire the (unique, unless named) death event. *)
+
+val run_active : Community.t -> fuel:int -> Event.t list
+(** Fire enabled parameterless [active] events until quiescence or fuel
+    exhaustion; returns them in order. *)
+
+(** {1 Enabledness queries} *)
+
+val enabled : Community.t -> Event.t -> bool
+(** Would this event be accepted right now?  Probed on a clone; the
+    community is untouched. *)
+
+val enabled_events : Community.t -> Ident.t -> string list
+(** Currently enabled parameterless events of a living object. *)
+
+val candidate_events : Community.t -> Ident.t -> (string * Vtype.t list) list
+(** All non-birth events of the object's template with parameter
+    types. *)
+
+(** {1 Pieces exposed to the interface layer and the benchmarks} *)
+
+val locate_event : Community.t -> Event.t -> Event.t
+(** Retarget an event at the base aspect that declares it (upward
+    delegation); raises on unknown events. *)
+
+val resolve_called :
+  Community.t -> env:Env.t -> self:Obj_state.t option -> Ast.event_term ->
+  Event.t
+(** Resolve a called event term to an event instance. *)
+
+val expand_sync :
+  Community.t -> Event.t list -> Event.t list * Event.t list list
+(** The calling closure: the synchronous set plus follow-up micro-steps
+    contributed by transaction calling. *)
+
+val permission_holds :
+  Community.t -> Obj_state.t -> int -> Template.permission -> env:Env.t ->
+  bool
+(** Does permission number [idx] hold for the unification environment?
+    (The monitored fast path measured by experiment E4.) *)
+
+val naive_guard_value :
+  Community.t ->
+  Obj_state.t ->
+  Template.atom Formula.t ->
+  binds:(string * Value.t) list ->
+  bool
+(** Re-evaluate a temporal guard over the full recorded history instead
+    of reading the incremental monitor — the E4 ablation baseline;
+    requires [record_history]. *)

@@ -1,0 +1,518 @@
+(** Evaluation of expressions, state formulas and event patterns against
+    a community.
+
+    Name resolution is dynamic and follows the TROLL scoping rules:
+
+    - a bare name is first a bound variable, then an attribute of the
+      current object (including attributes inherited from base aspects),
+      then an enumeration constant, then the extension of a class (as a
+      set of surrogates), then a single named object (as a surrogate);
+    - object references ([self], component aliases, [CLASS(key)]) resolve
+      to identities; reading an attribute through them reads the other
+      object's observable state — TROLL attributes are a read-only
+      interface offered to other objects;
+    - derived attributes evaluate their derivation rule on demand.
+
+    All errors are reported through {!Runtime_error}. *)
+
+open Runtime_error
+
+let value_error fmt = Format.kasprintf (fun m -> fail (Eval_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Identity helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Interpret a value as a key for class [cls]: surrogate values pass
+    through (their key is extracted), anything else is used as the raw
+    key. *)
+let key_of_value cls v =
+  match v with
+  | Value.Id (_, key) -> Ident.make cls key
+  | other -> Ident.make cls other
+
+(* ------------------------------------------------------------------ *)
+(* Attribute reading with inheritance                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec read_attr (c : Community.t) (o : Obj_state.t) (name : string)
+    (args : Value.t list) : Value.t =
+  if String.equal name "surrogate" && args = [] then
+    (* built-in pseudo attribute: the object's own identity, as used in
+       the paper's WORKS_FOR join view ([P.surrogate in D.employees]) *)
+    Ident.to_value o.Obj_state.id
+  else
+  match Template.find_attr o.Obj_state.template name with
+  | Some def -> (
+      match def.Template.at_derived with
+      | Some rule ->
+          let env =
+            try Env.of_list (List.combine rule.Ast.d_params args)
+            with Invalid_argument _ ->
+              value_error "attribute %s.%s expects %d argument(s)"
+                o.Obj_state.template.Template.t_name name
+                (List.length rule.Ast.d_params)
+          in
+          expr c ~env ~self:(Some o) rule.Ast.d_rhs
+      | None -> Obj_state.attr o name)
+  | None -> (
+      (* inheritance: delegate to base aspects with the same key *)
+      match base_object c o with
+      | Some base -> read_attr c base name args
+      | None ->
+          fail
+            (Unknown_attribute (o.Obj_state.template.Template.t_name, name)))
+
+and base_object (c : Community.t) (o : Obj_state.t) : Obj_state.t option =
+  let tpl = o.Obj_state.template in
+  let base_name =
+    match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
+    | Some b, _ | None, Some b -> Some b
+    | None, None -> None
+  in
+  match base_name with
+  | None -> None
+  | Some b ->
+      Community.find_object c (Ident.make b o.Obj_state.id.Ident.key)
+
+(* ------------------------------------------------------------------ *)
+(* Object reference resolution                                         *)
+(* ------------------------------------------------------------------ *)
+
+and resolve_ref (c : Community.t) ~env ~(self : Obj_state.t option)
+    (r : Ast.obj_ref) : Ident.t =
+  match r with
+  | Ast.OR_self -> (
+      match self with
+      | Some o -> o.Obj_state.id
+      | None -> value_error "self used outside an object context")
+  | Ast.OR_instance (cls, e) ->
+      let v = expr c ~env ~self e in
+      key_of_value cls v
+  | Ast.OR_name n -> (
+      (* variable holding a surrogate *)
+      match Env.find n env with
+      | Some (Value.Id (cls, key)) -> Ident.make cls key
+      | Some v -> value_error "%s = %a is not an object" n Value.pp v
+      | None -> (
+          (* attribute of self holding a surrogate (component alias or
+             [inheriting … as] incorporation) *)
+          let from_attr =
+            match self with
+            | Some o -> (
+                match Template.find_attr o.Obj_state.template n with
+                | Some _ -> (
+                    match read_attr c o n [] with
+                    | Value.Id (cls, key) -> Some (Ident.make cls key)
+                    | v -> value_error "%s = %a is not an object" n Value.pp v)
+                | None -> None)
+            | None -> None
+          in
+          match from_attr with
+          | Some id -> id
+          | None ->
+              (* a single named object *)
+              if Community.is_class c n then Ident.singleton n
+              else fail (Unknown_class n)))
+
+(* The current object may be a detached pre-birth state (not yet
+   registered); references to its own identity must use it directly. *)
+and object_for (c : Community.t) ~(self : Obj_state.t option) (id : Ident.t) :
+    Obj_state.t =
+  match self with
+  | Some o when Ident.equal o.Obj_state.id id -> o
+  | _ -> Community.object_exn c id
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and expr (c : Community.t) ~env ~(self : Obj_state.t option) (x : Ast.expr) :
+    Value.t =
+  match x.Ast.e with
+  | Ast.E_lit l -> lit l
+  | Ast.E_self -> (
+      match self with
+      | Some o -> Ident.to_value o.Obj_state.id
+      | None -> value_error "self used outside an object context")
+  | Ast.E_var name -> var c ~env ~self name
+  | Ast.E_attr (r, name, args) ->
+      let id = resolve_ref c ~env ~self r in
+      let o = object_for c ~self id in
+      let args = List.map (expr c ~env ~self) args in
+      read_attr c o name args
+  | Ast.E_field (base, fname) -> (
+      let v = expr c ~env ~self base in
+      match v with
+      | Value.Tuple _ -> Value.field fname v
+      | Value.Id (cls, key) ->
+          let o = object_for c ~self (Ident.make cls key) in
+          read_attr c o fname []
+      | Value.Undefined -> Value.Undefined
+      | v -> value_error "cannot select field %s of %a" fname Value.pp v)
+  | Ast.E_apply (f, args) -> (
+      let args = List.map (expr c ~env ~self) args in
+      match (Community.is_class c f, args) with
+      | true, [ key ] ->
+          (* surrogate construction: [PERSON("bob")] denotes the identity
+             of that instance *)
+          Ident.to_value (key_of_value f key)
+      | _ -> (
+          match Builtin.apply f args with
+          | Ok v -> v
+          | Error m -> value_error "%s" m))
+  | Ast.E_binop (op, a, b) -> (
+      (* short-circuit boolean operators *)
+      match op with
+      | "and" -> (
+          match expr c ~env ~self a with
+          | Value.Bool false -> Value.Bool false
+          | va -> apply2 op va (expr c ~env ~self b))
+      | "or" -> (
+          match expr c ~env ~self a with
+          | Value.Bool true -> Value.Bool true
+          | va -> apply2 op va (expr c ~env ~self b))
+      | "implies" -> (
+          match expr c ~env ~self a with
+          | Value.Bool false -> Value.Bool true
+          | va -> apply2 op va (expr c ~env ~self b))
+      | _ -> apply2 op (expr c ~env ~self a) (expr c ~env ~self b))
+  | Ast.E_unop (op, a) -> (
+      let va = expr c ~env ~self a in
+      match Builtin.apply op [ va ] with
+      | Ok v -> v
+      | Error m -> value_error "%s" m)
+  | Ast.E_tuple fields ->
+      let named =
+        List.mapi
+          (fun i (name, fx) ->
+            let v = expr c ~env ~self fx in
+            match name with
+            | Some n -> (n, v)
+            | None -> (Printf.sprintf "_%d" (i + 1), v))
+          fields
+      in
+      Value.Tuple named
+  | Ast.E_setlit xs -> Value.set (List.map (expr c ~env ~self) xs)
+  | Ast.E_listlit xs -> Value.List (List.map (expr c ~env ~self) xs)
+  | Ast.E_if (cond, t, f) -> (
+      match expr c ~env ~self cond with
+      | Value.Bool true -> expr c ~env ~self t
+      | Value.Bool false -> expr c ~env ~self f
+      | Value.Undefined -> Value.Undefined
+      | v -> value_error "if condition is not boolean: %a" Value.pp v)
+  | Ast.E_query q -> query c ~env ~self q
+
+and apply2 op va vb =
+  match Builtin.apply op [ va; vb ] with
+  | Ok v -> v
+  | Error m -> value_error "%s" m
+
+and lit = function
+  | Ast.L_bool b -> Value.Bool b
+  | Ast.L_int i -> Value.Int i
+  | Ast.L_string s -> Value.String s
+  | Ast.L_money m -> Value.Money (Money.of_cents m)
+  | Ast.L_date d -> Value.Date d
+  | Ast.L_undefined -> Value.Undefined
+
+and var (c : Community.t) ~env ~self name : Value.t =
+  match Env.find name env with
+  | Some v -> v
+  | None -> (
+      (* attribute of the current object (or of a base aspect) *)
+      let from_attr =
+        match self with
+        | Some o ->
+            let rec lookup o =
+              match Template.find_attr o.Obj_state.template name with
+              | Some _ -> Some (read_attr c o name [])
+              | None -> (
+                  match base_object c o with
+                  | Some b -> lookup b
+                  | None -> None)
+            in
+            lookup o
+        | None -> None
+      in
+      match from_attr with
+      | Some v -> v
+      | None -> (
+          match Community.enum_of_const c name with
+          | Some enum -> Value.Enum (enum, name)
+          | None -> (
+              match Community.find_template c name with
+              | Some tpl when tpl.Template.t_kind = `Single ->
+                  (* a single named object denotes its surrogate *)
+                  Ident.to_value (Ident.singleton name)
+              | Some _ ->
+                  (* the class extension as a set of surrogates *)
+                  Value.set
+                    (List.map Ident.to_value
+                       (Ident.Set.elements (Community.extension c name)))
+              | None -> value_error "unbound name %s" name)))
+
+(* ------------------------------------------------------------------ *)
+(* Query algebra                                                       *)
+(* ------------------------------------------------------------------ *)
+
+and query (c : Community.t) ~env ~self (q : Ast.query) : Value.t =
+  let elements v =
+    match v with
+    | Value.Set xs | Value.List xs -> xs
+    | Value.Undefined -> []
+    | v -> value_error "query over non-collection %a" Value.pp v
+  in
+  match q with
+  | Ast.Q_expr e -> expr c ~env ~self e
+  | Ast.Q_select (cond, sub) ->
+      let xs = elements (query c ~env ~self sub) in
+      let keep x =
+        (* tuple fields of the element are in scope inside the condition *)
+        let env' =
+          match x with
+          | Value.Tuple fields -> Env.bind_all fields env
+          | _ -> env
+        in
+        let env' = Env.bind "it" x env' in
+        match expr c ~env:env' ~self cond with
+        | Value.Bool b -> b
+        | Value.Undefined -> false
+        | v -> value_error "selection condition is not boolean: %a" Value.pp v
+      in
+      Value.set (List.filter keep xs)
+  | Ast.Q_project (fields, sub) ->
+      let xs = elements (query c ~env ~self sub) in
+      let proj x =
+        match (fields, x) with
+        | [ f ], Value.Tuple _ -> Value.field f x
+        | _, Value.Tuple _ ->
+            Value.Tuple (List.map (fun f -> (f, Value.field f x)) fields)
+        | _, v -> value_error "project over non-tuple element %a" Value.pp v
+      in
+      Value.set (List.map proj xs)
+  | Ast.Q_the sub -> (
+      match elements (query c ~env ~self sub) with
+      | [ v ] -> v
+      | _ -> Value.Undefined)
+  | Ast.Q_count sub ->
+      Value.Int (List.length (elements (query c ~env ~self sub)))
+  | Ast.Q_sum (field, sub) -> aggregate c ~env ~self "sum" field sub
+  | Ast.Q_min (field, sub) -> aggregate c ~env ~self "minimum" field sub
+  | Ast.Q_max (field, sub) -> aggregate c ~env ~self "maximum" field sub
+
+and aggregate c ~env ~self op field sub =
+  let base = query c ~env ~self sub in
+  let v =
+    match field with
+    | None -> base
+    | Some f -> (
+        (* project the field as a multiset so duplicate values still
+           count towards the aggregate *)
+        match base with
+        | Value.Set xs | Value.List xs ->
+            Value.List (List.map (Value.field f) xs)
+        | other -> other)
+  in
+  match Builtin.apply op [ v ] with
+  | Ok r -> r
+  | Error m -> value_error "%s" m
+
+(* ------------------------------------------------------------------ *)
+(* State formulas                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate a non-temporal formula on the current state.  Bounded
+    quantifiers range over class extensions, finite types, or — for
+    [exists] — witness candidates extracted from membership and equality
+    constraints on the bound variable. *)
+and formula_state (c : Community.t) ~env ~self (f : Ast.formula) : bool =
+  match f.Ast.f with
+  | Ast.F_expr e -> (
+      match expr c ~env ~self e with
+      | Value.Bool b -> b
+      | Value.Undefined -> false
+      | v -> value_error "formula is not boolean: %a" Value.pp v)
+  | Ast.F_not g -> not (formula_state c ~env ~self g)
+  | Ast.F_and (a, b) ->
+      formula_state c ~env ~self a && formula_state c ~env ~self b
+  | Ast.F_or (a, b) ->
+      formula_state c ~env ~self a || formula_state c ~env ~self b
+  | Ast.F_implies (a, b) ->
+      (not (formula_state c ~env ~self a)) || formula_state c ~env ~self b
+  | Ast.F_forall (binds, g) -> quantify c ~env ~self ~forall:true binds g
+  | Ast.F_exists (binds, g) -> quantify c ~env ~self ~forall:false binds g
+  | Ast.F_sometime _ | Ast.F_always _ | Ast.F_since _ | Ast.F_previous _
+  | Ast.F_after _ ->
+      fail
+        (Unsupported
+           "temporal operator evaluated as a state formula (should have been \
+            compiled to a monitor)")
+
+and quantify c ~env ~self ~forall binds g =
+  match binds with
+  | [] -> formula_state c ~env ~self g
+  | (v, ty) :: rest ->
+      let dom = domain c ~env ~self ~var:v ~body:g ty in
+      let test x =
+        quantify c ~env:(Env.bind v x env) ~self ~forall rest g
+      in
+      if forall then List.for_all test dom else List.exists test dom
+
+(** Candidate domain of a quantified variable. *)
+and domain c ~env ~self ~var ~body (ty : Ast.type_expr) : Value.t list =
+  match ty with
+  | Ast.TE_name n when Community.is_class c n ->
+      List.map Ident.to_value (Ident.Set.elements (Community.extension c n))
+  | Ast.TE_id n ->
+      List.map Ident.to_value (Ident.Set.elements (Community.extension c n))
+  | Ast.TE_name "bool" -> [ Value.Bool false; Value.Bool true ]
+  | Ast.TE_name n -> (
+      match Community.enum_consts c n with
+      | Some cs -> List.map (fun cst -> Value.Enum (n, cst)) cs
+      | None ->
+          (* infinite base type: fall back to witness candidates *)
+          witness_candidates c ~env ~self ~var body)
+  | _ -> witness_candidates c ~env ~self ~var body
+
+(** Collect candidate witnesses for [var] from membership and equality
+    constraints inside [body]: for [var in S] every element of [S], for
+    [var = e] / [e = var] the value of [e], and for [in(S, tuple(…,var,…))]
+    the corresponding components of [S]'s elements.  Sound for [exists]
+    when the body constrains the variable this way (as the paper's
+    [exists(s1: integer) in(Emps, tuple(n, b, s1))] does); an empty
+    candidate set makes the quantifier false. *)
+and witness_candidates c ~env ~self ~var (body : Ast.formula) : Value.t list =
+  let acc = ref [] in
+  let mentions_var (x : Ast.expr) = List.mem var (Ast.expr_vars [] x) in
+  let add v = acc := v :: !acc in
+  let try_eval (x : Ast.expr) =
+    match expr c ~env ~self x with v -> Some v | exception Error _ -> None
+  in
+  let from_collection coll (pattern : Ast.expr) =
+    (* pattern is an expression mentioning [var]; if it is the variable
+       itself take the elements, if it is a positional tuple take the
+       matching component of tuple elements *)
+    match try_eval coll with
+    | Some (Value.Set xs | Value.List xs) -> (
+        match pattern.Ast.e with
+        | Ast.E_var v when String.equal v var -> List.iter add xs
+        | Ast.E_tuple fields ->
+            List.iteri
+              (fun i (_, fx) ->
+                match fx.Ast.e with
+                | Ast.E_var v when String.equal v var ->
+                    List.iter
+                      (fun el ->
+                        match el with
+                        | Value.Tuple tf -> (
+                            match List.nth_opt tf i with
+                            | Some (_, comp) -> add comp
+                            | None -> ())
+                        | _ -> ())
+                      xs
+                | _ -> ())
+              fields
+        | _ -> ())
+    | _ -> ()
+  in
+  let rec walk_expr (x : Ast.expr) =
+    (match x.Ast.e with
+    | Ast.E_binop ("in", elem, coll) when mentions_var elem ->
+        from_collection coll elem
+    | Ast.E_apply ("in", [ a; b ]) ->
+        (* both argument orders, as in the paper *)
+        if mentions_var b then from_collection a b;
+        if mentions_var a then from_collection b a
+    | Ast.E_binop ("=", a, b) -> (
+        match (a.Ast.e, b.Ast.e) with
+        | Ast.E_var v, _ when String.equal v var ->
+            Option.iter add (try_eval b)
+        | _, Ast.E_var v when String.equal v var ->
+            Option.iter add (try_eval a)
+        | _ -> ())
+    | _ -> ());
+    sub_exprs walk_expr x
+  and sub_exprs k (x : Ast.expr) =
+    match x.Ast.e with
+    | Ast.E_lit _ | Ast.E_var _ | Ast.E_self -> ()
+    | Ast.E_attr (_, _, args) | Ast.E_apply (_, args) -> List.iter k args
+    | Ast.E_field (b, _) | Ast.E_unop (_, b) -> k b
+    | Ast.E_binop (_, a, b) ->
+        k a;
+        k b
+    | Ast.E_tuple fs -> List.iter (fun (_, e) -> k e) fs
+    | Ast.E_setlit xs | Ast.E_listlit xs -> List.iter k xs
+    | Ast.E_if (a, b, d) ->
+        k a;
+        k b;
+        k d
+    | Ast.E_query q -> walk_query q
+  and walk_query = function
+    | Ast.Q_expr e -> walk_expr e
+    | Ast.Q_select (e, q) ->
+        walk_expr e;
+        walk_query q
+    | Ast.Q_project (_, q) | Ast.Q_the q | Ast.Q_count q -> walk_query q
+    | Ast.Q_sum (_, q) | Ast.Q_min (_, q) | Ast.Q_max (_, q) -> walk_query q
+  in
+  let rec walk_formula (f : Ast.formula) =
+    match f.Ast.f with
+    | Ast.F_expr e -> walk_expr e
+    | Ast.F_not g | Ast.F_sometime g | Ast.F_always g | Ast.F_previous g ->
+        walk_formula g
+    | Ast.F_and (a, b) | Ast.F_or (a, b) | Ast.F_implies (a, b)
+    | Ast.F_since (a, b) ->
+        walk_formula a;
+        walk_formula b
+    | Ast.F_after ev -> List.iter walk_expr ev.Ast.ev_args
+    | Ast.F_forall (_, g) | Ast.F_exists (_, g) -> walk_formula g
+  in
+  walk_formula body;
+  List.sort_uniq Value.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Event pattern matching                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Unify pattern argument expressions against actual values.  A bare
+    variable (declared in [vars], not already bound) binds; any other
+    expression is evaluated and compared for equality. *)
+let match_args (c : Community.t) ~env ~self ~(vars : string list)
+    (patterns : Ast.expr list) (actuals : Value.t list) : Env.t option =
+  if List.length patterns <> List.length actuals then None
+  else
+    let step acc (p : Ast.expr) v =
+      match acc with
+      | None -> None
+      | Some env -> (
+          match p.Ast.e with
+          | Ast.E_var name when List.mem name vars && not (Env.mem name env) ->
+              Some (Env.bind name v env)
+          | _ -> (
+              match expr c ~env ~self p with
+              | pv when Value.equal pv v -> Some env
+              | _ -> None
+              | exception Error _ -> None))
+    in
+    List.fold_left2 step (Some env) patterns actuals
+
+(** Match an event pattern (as used in valuation rules, permissions,
+    guards' [after(…)] atoms) against an occurred event of object [o].
+    The pattern's target, if any, must resolve to [o] itself (local
+    rules name events of the own object). *)
+let match_local_event (c : Community.t) (o : Obj_state.t)
+    ~env ~(vars : string list) (pat : Ast.event_term) (ev : Event.t) :
+    Env.t option =
+  if not (String.equal pat.Ast.ev_name ev.Event.name) then None
+  else
+    let target_ok =
+      match pat.Ast.target with
+      | None | Some Ast.OR_self -> Ident.equal ev.Event.target o.Obj_state.id
+      | Some r -> (
+          match resolve_ref c ~env ~self:(Some o) r with
+          | id -> Ident.equal ev.Event.target id
+          | exception Error _ -> false)
+    in
+    if not target_ok then None
+    else match_args c ~env ~self:(Some o) ~vars pat.Ast.ev_args ev.Event.args

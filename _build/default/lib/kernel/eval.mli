@@ -1,0 +1,67 @@
+(** Evaluation of expressions, state formulas and event patterns against
+    a community.
+
+    Name resolution follows TROLL scoping: a bare name is a bound
+    variable, then an attribute of the current object (including
+    attributes inherited from base aspects), then an enumeration
+    constant, then a class (its extension as a set of surrogates — or,
+    for single objects, the surrogate itself).  [surrogate] is a
+    built-in pseudo attribute denoting the own identity.  Errors are
+    reported through {!Runtime_error}. *)
+
+val key_of_value : string -> Value.t -> Ident.t
+(** Interpret a value as an identity for the class: surrogates pass
+    through (their key is extracted), anything else is the raw key. *)
+
+val read_attr : Community.t -> Obj_state.t -> string -> Value.t list -> Value.t
+(** Observe an attribute: derived attributes evaluate their derivation
+    rule (with the given arguments as parameters); lookups delegate
+    upward through [view of]/[specialization of] chains.  Raises on
+    unknown attributes. *)
+
+val base_object : Community.t -> Obj_state.t -> Obj_state.t option
+(** The base aspect (same key, base class), if registered. *)
+
+val resolve_ref :
+  Community.t -> env:Env.t -> self:Obj_state.t option -> Ast.obj_ref -> Ident.t
+(** Resolve [self], variables, component aliases, incorporated-object
+    aliases, single-object names, and [CLASS(key)] references. *)
+
+val expr :
+  Community.t -> env:Env.t -> self:Obj_state.t option -> Ast.expr -> Value.t
+
+val formula_state :
+  Community.t -> env:Env.t -> self:Obj_state.t option -> Ast.formula -> bool
+(** Evaluate a non-temporal formula on the current state.  Bounded
+    quantifiers range over class extensions and finite types; [exists]
+    over infinite base types is solved by witness extraction from
+    membership/equality constraints on the bound variable.  Raises on
+    temporal operators (those live in compiled monitors). *)
+
+val query :
+  Community.t -> env:Env.t -> self:Obj_state.t option -> Ast.query -> Value.t
+(** The embedded object query algebra; inside [select] conditions the
+    element's tuple fields (and [it], the element itself) are in
+    scope. *)
+
+val match_args :
+  Community.t ->
+  env:Env.t ->
+  self:Obj_state.t option ->
+  vars:string list ->
+  Ast.expr list ->
+  Value.t list ->
+  Env.t option
+(** Unify pattern argument expressions against actual values: a bare
+    declared variable binds, anything else evaluates and compares. *)
+
+val match_local_event :
+  Community.t ->
+  Obj_state.t ->
+  env:Env.t ->
+  vars:string list ->
+  Ast.event_term ->
+  Event.t ->
+  Env.t option
+(** Match an event pattern (rule heads, permissions, [after(…)] atoms)
+    against an occurred event of the object. *)

@@ -1,0 +1,26 @@
+(** Event instances: a named event of a specific object with actual
+    argument values. *)
+
+type t = { target : Ident.t; name : string; args : Value.t list }
+
+let make target name args = { target; name; args }
+
+let compare a b =
+  let c = Ident.compare a.target b.target in
+  if c <> 0 then c
+  else
+    let c = String.compare a.name b.name in
+    if c <> 0 then c else List.compare Value.compare a.args b.args
+
+let equal a b = compare a b = 0
+
+let pp ppf { target; name; args } =
+  if args = [] then Format.fprintf ppf "%a.%s" Ident.pp target name
+  else
+    Format.fprintf ppf "%a.%s(%a)" Ident.pp target name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Value.pp)
+      args
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,11 @@
+(** Event instances: a named event of a specific object with actual
+    argument values.  One engine step is a set of these occurring
+    synchronously. *)
+
+type t = { target : Ident.t; name : string; args : Value.t list }
+
+val make : Ident.t -> string -> Value.t list -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,48 @@
+(** Object identities (surrogates).
+
+    An identity is a class name paired with a key value built from the
+    class's [identification] section — the paper models identities "as
+    values of an arbitrary abstract data type".  Aspects of the same
+    object (a PERSON and its MANAGER role) share the *key* but carry
+    different class names; {!same_key} is the relation that inheritance
+    morphisms preserve. *)
+
+type t = { cls : string; key : Value.t }
+
+let make cls key = { cls; key }
+
+(** Identity of a single named object (no identification section). *)
+let singleton cls = { cls; key = Value.Tuple [] }
+
+let compare a b =
+  let c = String.compare a.cls b.cls in
+  if c <> 0 then c else Value.compare a.key b.key
+
+let equal a b = compare a b = 0
+
+(** Do two identities denote aspects of the same underlying object? *)
+let same_key a b = Value.equal a.key b.key
+
+(** The identity as a value, for use in attributes and event arguments. *)
+let to_value { cls; key } = Value.Id (cls, key)
+
+let of_value = function Value.Id (cls, key) -> Some { cls; key } | _ -> None
+
+(** Re-root an identity at another class (the aspect of the same object
+    seen through an inheritance morphism). *)
+let as_class cls t = { t with cls }
+
+let pp ppf { cls; key } = Format.fprintf ppf "%s(%a)" cls Value.pp key
+let to_string t = Format.asprintf "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

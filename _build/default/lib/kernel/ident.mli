@@ -1,0 +1,33 @@
+(** Object identities (surrogates): a class name paired with a key value
+    built from the class's [identification] section.  Aspects of one
+    object (a PERSON and its MANAGER role) share the key and differ in
+    the class name; {!same_key} is the relation inheritance morphisms
+    preserve. *)
+
+type t = { cls : string; key : Value.t }
+
+val make : string -> Value.t -> t
+
+val singleton : string -> t
+(** The identity of a single named object ([object TheCompany …]). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val same_key : t -> t -> bool
+(** Do two identities denote aspects of the same underlying object? *)
+
+val to_value : t -> Value.t
+(** The identity as a surrogate value, for attributes and event
+    arguments. *)
+
+val of_value : Value.t -> t option
+
+val as_class : string -> t -> t
+(** The aspect of the same object seen as another class. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,104 @@
+(** Runtime state of a single object (aspect).
+
+    Attribute maps and monitor states are immutable values held in
+    mutable fields, so a transaction rollback only needs to restore the
+    old pointers ({!snapshot} / {!restore}). *)
+
+module Smap = Map.Make (String)
+
+(** Monitor state attached to one permission of the template. *)
+type pstate =
+  | PS_none  (** non-temporal guard: nothing to track *)
+  | PS_closed of Monitor.state option  (** [None] before the first step *)
+  | PS_indexed of (Value.t list * Monitor.state) list
+      (** one instance per observed instantiation of the guard's
+          parameters (or per class member for quantified guards) *)
+
+type history_entry = {
+  h_events : Event.t list;  (** events of the step involving this object *)
+  h_attrs : Value.t Smap.t;  (** attribute state after the step *)
+}
+
+type t = {
+  id : Ident.t;
+  template : Template.t;
+  mutable alive : bool;
+  mutable dead : bool;  (** death event has occurred; cannot be reborn *)
+  mutable attrs : Value.t Smap.t;
+  mutable perm_states : pstate array;  (** parallel to [template.t_perms] *)
+  mutable constr_states : Monitor.state option array;
+      (** parallel to temporal constraints *)
+  mutable history : history_entry list;  (** newest first; only if enabled *)
+  mutable steps : int;  (** number of life-cycle steps so far *)
+}
+
+let initial_pstate (p : Template.permission) =
+  match p.pm_guard with
+  | Template.PG_state _ -> PS_none
+  | Template.PG_closed _ -> PS_closed None
+  | Template.PG_indexed _ | Template.PG_quant _ -> PS_indexed []
+
+let create id (template : Template.t) =
+  {
+    id;
+    template;
+    alive = false;
+    dead = false;
+    attrs = Smap.empty;
+    perm_states =
+      Array.of_list (List.map initial_pstate template.t_perms);
+    constr_states =
+      Array.of_list
+        (List.filter_map
+           (function
+             | Template.K_static _ -> None
+             | Template.K_temporal _ -> Some None)
+           template.t_constraints);
+    history = [];
+    steps = 0;
+  }
+
+let attr t name = match Smap.find_opt name t.attrs with
+  | Some v -> v
+  | None -> Value.Undefined
+
+let set_attr t name v = t.attrs <- Smap.add name v t.attrs
+
+(** Copy of all mutable fields, for rollback. *)
+type snapshot = {
+  s_alive : bool;
+  s_dead : bool;
+  s_attrs : Value.t Smap.t;
+  s_perm_states : pstate array;
+  s_constr_states : Monitor.state option array;
+  s_history : history_entry list;
+  s_steps : int;
+}
+
+let snapshot t =
+  {
+    s_alive = t.alive;
+    s_dead = t.dead;
+    s_attrs = t.attrs;
+    s_perm_states = Array.copy t.perm_states;
+    s_constr_states = Array.copy t.constr_states;
+    s_history = t.history;
+    s_steps = t.steps;
+  }
+
+let restore t s =
+  t.alive <- s.s_alive;
+  t.dead <- s.s_dead;
+  t.attrs <- s.s_attrs;
+  t.perm_states <- s.s_perm_states;
+  t.constr_states <- s.s_constr_states;
+  t.history <- s.s_history;
+  t.steps <- s.s_steps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%a%s@," Ident.pp t.id
+    (if t.dead then " (dead)" else if t.alive then "" else " (unborn)");
+  Smap.iter
+    (fun name v -> Format.fprintf ppf "%s = %a@," name Value.pp v)
+    t.attrs;
+  Format.fprintf ppf "@]"

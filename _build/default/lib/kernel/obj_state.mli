@@ -1,0 +1,55 @@
+(** Runtime state of a single object (aspect).
+
+    Attribute maps and monitor states are immutable values held in
+    mutable fields, so transaction rollback only restores old pointers
+    ({!snapshot} / {!restore}). *)
+
+module Smap :
+  Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+(** Monitor state attached to one permission of the template. *)
+type pstate =
+  | PS_none  (** non-temporal guard: nothing to track *)
+  | PS_closed of Monitor.state option  (** [None] before the first step *)
+  | PS_indexed of (Value.t list * Monitor.state) list
+      (** one instance per observed instantiation of the guard's
+          parameters (or per class member, for quantified guards) *)
+
+type history_entry = {
+  h_events : Event.t list;  (** events of the step involving this object *)
+  h_attrs : Value.t Smap.t;  (** attribute state after the step *)
+}
+
+type t = {
+  id : Ident.t;
+  template : Template.t;
+  mutable alive : bool;
+  mutable dead : bool;  (** death has occurred; no rebirth *)
+  mutable attrs : Value.t Smap.t;
+  mutable perm_states : pstate array;  (** parallel to [template.t_perms] *)
+  mutable constr_states : Monitor.state option array;
+      (** parallel to the template's temporal constraints *)
+  mutable history : history_entry list;
+      (** newest first; recorded only when the community's
+          [record_history] is set *)
+  mutable steps : int;  (** life-cycle steps so far *)
+}
+
+val create : Ident.t -> Template.t -> t
+(** A fresh, unborn state (monitors unstarted, attributes empty). *)
+
+val initial_pstate : Template.permission -> pstate
+
+val attr : t -> string -> Value.t
+(** Raw stored attribute ([Undefined] when unset); derived attributes
+    are computed by {!Eval.read_attr}, not here. *)
+
+val set_attr : t -> string -> Value.t -> unit
+
+(** Copies of all mutable fields, for rollback. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val pp : Format.formatter -> t -> unit

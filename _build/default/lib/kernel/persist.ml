@@ -1,0 +1,240 @@
+(** Persistence of object bases.
+
+    TROLL systems are "dynamic object bases … supporting structured and
+    persistent database objects" (§1); this module makes the animator's
+    communities persistent: {!save} dumps the complete dynamic state —
+    attribute maps, life-cycle stage, permission- and constraint-monitor
+    states — to a line-based text format, and {!load} restores it into a
+    fresh community compiled from the *same specification*.  Templates
+    (the static part) are not serialised: the specification text is the
+    schema, the dump is the instance level.
+
+    Not serialised: recorded histories (opt-in debugging data; reload
+    starts with an empty history) — all permission decisions survive
+    regardless, because they live in the monitor states.
+
+    Format (one record per line, [|]-separated, values via
+    {!Value_codec}):
+
+    {v
+      troll-state 1
+      object|<class>|<key>|<alive>|<dead>|<steps>
+      attr|<name>|<value>
+      perm|<index>|closed|<bits>
+      perm|<index>|indexed|<n>
+      inst|<key values…>|<bits>
+      constr|<index>|<bits>
+    v} *)
+
+module Smap = Map.Make (String)
+
+let header = "troll-state 1"
+
+(* --- saving --------------------------------------------------------- *)
+
+let bits_of_state s =
+  String.concat ""
+    (Array.to_list
+       (Array.map (fun b -> if b then "1" else "0") (Monitor.state_to_bools s)))
+
+let save_object buf (o : Obj_state.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "object|%s|%s|%b|%b|%d\n" o.Obj_state.id.Ident.cls
+       (Value_codec.encode o.Obj_state.id.Ident.key)
+       o.Obj_state.alive o.Obj_state.dead o.Obj_state.steps);
+  Obj_state.Smap.iter
+    (fun name v ->
+      Buffer.add_string buf
+        (Printf.sprintf "attr|%s|%s\n" name (Value_codec.encode v)))
+    o.Obj_state.attrs;
+  Array.iteri
+    (fun idx ps ->
+      match ps with
+      | Obj_state.PS_none | Obj_state.PS_closed None -> ()
+      | Obj_state.PS_closed (Some s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "perm|%d|closed|%s\n" idx (bits_of_state s))
+      | Obj_state.PS_indexed insts ->
+          Buffer.add_string buf
+            (Printf.sprintf "perm|%d|indexed|%d\n" idx (List.length insts));
+          List.iter
+            (fun (key, s) ->
+              Buffer.add_string buf
+                (Printf.sprintf "inst|%s|%s\n"
+                   (Value_codec.encode (Value.List key))
+                   (bits_of_state s)))
+            insts)
+    o.Obj_state.perm_states;
+  Array.iteri
+    (fun idx cs ->
+      match cs with
+      | None -> ()
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "constr|%d|%s\n" idx (bits_of_state s)))
+    o.Obj_state.constr_states
+
+(** Serialise the dynamic state of a community. *)
+let save (c : Community.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ^ "\n");
+  let objs =
+    List.sort
+      (fun (a : Obj_state.t) b -> Ident.compare a.Obj_state.id b.Obj_state.id)
+      (Hashtbl.fold (fun _ o acc -> o :: acc) c.Community.objects [])
+  in
+  List.iter (save_object buf) objs;
+  Buffer.contents buf
+
+let save_file (c : Community.t) (path : string) =
+  let oc = open_out_bin path in
+  output_string oc (save c);
+  close_out oc
+
+(* --- loading -------------------------------------------------------- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let decode_value s =
+  match Value_codec.decode s with Ok v -> v | Error m -> fail "bad value: %s" m
+
+let bits_to_array s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '1' -> true
+      | '0' -> false
+      | c -> fail "bad bit %c" c)
+
+let monitor_state_for compiled bits =
+  match Monitor.state_of_bools compiled (bits_to_array bits) with
+  | Some s -> s
+  | None -> fail "monitor state does not match the specification's formula"
+
+(** Restore a state dump into a community compiled from the same
+    specification.  Existing objects are discarded. *)
+let load (c : Community.t) (dump : string) : (unit, string) result =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' dump)
+  in
+  match lines with
+  | [] -> Error "empty dump"
+  | h :: rest when String.equal h header -> (
+      try
+        Hashtbl.reset c.Community.objects;
+        c.Community.extensions <- Smap.empty;
+        let current : Obj_state.t option ref = ref None in
+        let pending_indexed :
+            (int * int * (Value.t list * Monitor.state) list) option ref =
+          ref None
+        in
+        let flush_indexed () =
+          match (!pending_indexed, !current) with
+          | Some (idx, expected, insts), Some o ->
+              if List.length insts <> expected then
+                fail "indexed monitor count mismatch";
+              o.Obj_state.perm_states.(idx) <-
+                Obj_state.PS_indexed (List.rev insts);
+              pending_indexed := None
+          | Some _, None -> fail "instance lines outside an object"
+          | None, _ -> ()
+        in
+        let perm_compiled (o : Obj_state.t) idx =
+          match List.nth_opt o.Obj_state.template.Template.t_perms idx with
+          | Some pm -> (
+              match pm.Template.pm_guard with
+              | Template.PG_closed (_, compiled) -> `Closed compiled
+              | Template.PG_indexed { ix_compiled; _ } -> `Indexed ix_compiled
+              | Template.PG_quant { q_compiled; _ } -> `Indexed q_compiled
+              | Template.PG_state _ -> fail "monitor for a state guard")
+          | None -> fail "permission index out of range"
+        in
+        List.iter
+          (fun line ->
+            match String.split_on_char '|' line with
+            | "object" :: cls :: key :: alive :: dead :: steps :: [] ->
+                flush_indexed ();
+                let tpl = Community.template_exn c cls in
+                let id = Ident.make cls (decode_value key) in
+                let o = Obj_state.create id tpl in
+                o.Obj_state.alive <- bool_of_string alive;
+                o.Obj_state.dead <- bool_of_string dead;
+                o.Obj_state.steps <- int_of_string steps;
+                Community.register_object c o;
+                if o.Obj_state.alive then Community.extension_add c id;
+                current := Some o
+            | [ "attr"; name; value ] -> (
+                match !current with
+                | Some o -> Obj_state.set_attr o name (decode_value value)
+                | None -> fail "attr line outside an object")
+            | [ "perm"; idx; "closed"; bits ] -> (
+                flush_indexed ();
+                match !current with
+                | Some o -> (
+                    let idx = int_of_string idx in
+                    match perm_compiled o idx with
+                    | `Closed compiled ->
+                        o.Obj_state.perm_states.(idx) <-
+                          Obj_state.PS_closed
+                            (Some (monitor_state_for compiled bits))
+                    | `Indexed _ -> fail "closed state for indexed guard")
+                | None -> fail "perm line outside an object")
+            | [ "perm"; idx; "indexed"; n ] ->
+                flush_indexed ();
+                pending_indexed :=
+                  Some (int_of_string idx, int_of_string n, [])
+            | [ "inst"; key; bits ] -> (
+                match (!pending_indexed, !current) with
+                | Some (idx, n, insts), Some o ->
+                    let compiled =
+                      match perm_compiled o idx with
+                      | `Indexed compiled -> compiled
+                      | `Closed _ -> fail "instance for closed guard"
+                    in
+                    let key =
+                      match decode_value key with
+                      | Value.List l -> l
+                      | _ -> fail "instance key is not a list"
+                    in
+                    pending_indexed :=
+                      Some
+                        (idx, n, (key, monitor_state_for compiled bits) :: insts)
+                | _ -> fail "inst line outside an indexed block")
+            | [ "constr"; idx; bits ] -> (
+                flush_indexed ();
+                match !current with
+                | Some o ->
+                    let idx = int_of_string idx in
+                    let compiled =
+                      let temporal =
+                        List.filter_map
+                          (function
+                            | Template.K_temporal (_, compiled, _) ->
+                                Some compiled
+                            | Template.K_static _ -> None)
+                          o.Obj_state.template.Template.t_constraints
+                      in
+                      match List.nth_opt temporal idx with
+                      | Some compiled -> compiled
+                      | None -> fail "constraint index out of range"
+                    in
+                    o.Obj_state.constr_states.(idx) <-
+                      Some (monitor_state_for compiled bits)
+                | None -> fail "constr line outside an object")
+            | _ -> fail "malformed line: %s" line)
+          rest;
+        flush_indexed ();
+        Ok ()
+      with
+      | Bad m -> Error m
+      | Failure m -> Error m
+      | Runtime_error.Error r -> Error (Runtime_error.reason_to_string r))
+  | h :: _ -> Error (Printf.sprintf "unknown header %S" h)
+
+let load_file (c : Community.t) (path : string) : (unit, string) result =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let dump = really_input_string ic n in
+  close_in ic;
+  load c dump

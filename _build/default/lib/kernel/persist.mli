@@ -1,0 +1,21 @@
+(** Persistence of object bases ("persistent database objects", §1).
+
+    {!save} dumps the complete dynamic state — attribute maps,
+    life-cycle stages, permission- and constraint-monitor states — to a
+    line-based text format; {!load} restores it into a fresh community
+    compiled from the *same specification*.  Templates are not
+    serialised (the specification is the schema; the dump is the
+    instance level), and recorded histories are not serialised
+    (permission decisions survive regardless: they live in the monitor
+    states).  See [test/test_storage.ml] for the decision-equivalence
+    property. *)
+
+val save : Community.t -> string
+val save_file : Community.t -> string -> unit
+
+val load : Community.t -> string -> (unit, string) result
+(** Restore a dump; existing objects are discarded.  Fails (with the
+    community in an unspecified but safe-to-discard state) on malformed
+    input or a dump from a different specification. *)
+
+val load_file : Community.t -> string -> (unit, string) result

@@ -1,0 +1,29 @@
+(** Runtime errors and event-rejection reasons of the animator.
+
+    *Rejections* are attempts the specification forbids (permission or
+    constraint violations, conflicting valuations) — they leave the
+    community unchanged.  *Errors* indicate API misuse or an ill-formed
+    specification (unknown class, event on a dead object). *)
+
+type reason =
+  | Unknown_class of string
+  | Unknown_object of Ident.t
+  | Unknown_event of string * string  (** class, event *)
+  | Unknown_attribute of string * string  (** class, attribute *)
+  | Already_alive of Ident.t
+  | Not_alive of Ident.t
+  | Not_birth of Event.t  (** creating an object with a non-birth event *)
+  | Permission_denied of Event.t * string  (** event, guard text *)
+  | Constraint_violated of Ident.t * string
+  | Valuation_conflict of Ident.t * string * Value.t * Value.t
+      (** two events of one synchronous step write different values *)
+  | Eval_error of string
+  | Unsupported of string
+
+exception Error of reason
+
+val fail : reason -> 'a
+(** Raise {!Error}. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val reason_to_string : reason -> string

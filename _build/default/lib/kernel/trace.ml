@@ -1,0 +1,55 @@
+(** Life-cycle inspection: the recorded trace of an object as data and
+    as text.
+
+    "Objects are processes": an object's meaning is its life cycle.
+    When a community is created with [record_history = true], every
+    step an object participates in is recorded; this module presents
+    those traces oldest-first, with the events of each step and the
+    attribute state after it — the operational counterpart of the
+    paper's observable processes, and the raw material for the naive
+    permission checker and liveness auditing. *)
+
+type entry = {
+  step : int;  (** 0-based position in the life cycle *)
+  events : Event.t list;  (** the synchronous step's events at this object *)
+  attrs : (string * Value.t) list;  (** observable state after the step *)
+}
+
+(** The recorded life cycle, oldest step first.  Empty when history
+    recording is off or the object has not lived yet. *)
+let of_object (o : Obj_state.t) : entry list =
+  List.rev o.Obj_state.history
+  |> List.mapi (fun i (h : Obj_state.history_entry) ->
+         {
+           step = i;
+           events = h.Obj_state.h_events;
+           attrs = Obj_state.Smap.bindings h.Obj_state.h_attrs;
+         })
+
+let length (o : Obj_state.t) = List.length o.Obj_state.history
+
+(** The subsequence of steps in which an event with the given name
+    occurred. *)
+let occurrences (o : Obj_state.t) (event_name : string) : entry list =
+  List.filter
+    (fun e ->
+      List.exists
+        (fun (ev : Event.t) -> String.equal ev.Event.name event_name)
+        e.events)
+    (of_object o)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<v 2>step %d: %s" e.step
+    (String.concat ", " (List.map Event.to_string e.events));
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "@,%s = %a" n Value.pp v)
+    e.attrs;
+  Format.fprintf ppf "@]"
+
+let pp ppf (o : Obj_state.t) =
+  Format.fprintf ppf "@[<v>life cycle of %a (%d step(s)):@,%a@]" Ident.pp
+    o.Obj_state.id (length o)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (of_object o)
+
+let to_string o = Format.asprintf "%a" pp o

@@ -1,0 +1,19 @@
+(** Life-cycle inspection: the recorded trace of an object, oldest step
+    first — the operational counterpart of the paper's "objects are
+    processes" (requires [record_history = true]). *)
+
+type entry = {
+  step : int;  (** 0-based position in the life cycle *)
+  events : Event.t list;  (** the synchronous step's events at this object *)
+  attrs : (string * Value.t) list;  (** observable state after the step *)
+}
+
+val of_object : Obj_state.t -> entry list
+val length : Obj_state.t -> int
+
+val occurrences : Obj_state.t -> string -> entry list
+(** Steps in which an event with the given name occurred. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> Obj_state.t -> unit
+val to_string : Obj_state.t -> string

@@ -1,0 +1,1 @@
+lib/modsys/schema3.ml: Ast List Loc Printf String

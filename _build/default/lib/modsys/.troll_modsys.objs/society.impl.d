@@ -1,0 +1,1 @@
+lib/modsys/society.ml: Ast Community Compile Either Hashtbl Interface List Printf Runtime_error Schema3 String

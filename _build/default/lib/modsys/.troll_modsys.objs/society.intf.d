@@ -1,0 +1,1 @@
+lib/modsys/society.mli: Ast Community Interface Schema3

@@ -1,0 +1,257 @@
+(** The three-level schema architecture for object-system modules (§6.2).
+
+    Each module organises its description in three levels:
+
+    - the *conceptual schema* — the abstract, implementation-independent
+      class/object declarations;
+    - the *internal schema* — the implementation level (base objects,
+      implementation classes);
+    - the *external schemata* — named sets of exported interfaces, the
+      only access paths other modules may use.
+
+    This module provides the static side: well-formedness of one module
+    and name-visibility analysis ({!referenced_classes}).  {!Society}
+    links several modules into a running system. *)
+
+type t = {
+  md_name : string;
+  md_imports : (string * string) list;  (** (module, external schema) *)
+  md_conceptual : Ast.decl list;
+  md_internal : Ast.decl list;
+  md_external : (string * string list) list;
+}
+
+let of_ast (m : Ast.module_decl) : t =
+  {
+    md_name = m.Ast.m_name;
+    md_imports = m.Ast.m_imports;
+    md_conceptual = m.Ast.m_conceptual;
+    md_internal = m.Ast.m_internal;
+    md_external = m.Ast.m_external;
+  }
+
+let to_ast (m : t) : Ast.module_decl =
+  {
+    Ast.m_name = m.md_name;
+    m_imports = m.md_imports;
+    m_conceptual = m.md_conceptual;
+    m_internal = m.md_internal;
+    m_external = m.md_external;
+    m_loc = Loc.dummy;
+  }
+
+(** Names (classes, objects, interfaces) declared at each level. *)
+let declared_names (decls : Ast.decl list) : string list =
+  List.filter_map
+    (fun d ->
+      match d with
+      | Ast.D_class c -> Some c.Ast.cl_name
+      | Ast.D_object o -> Some o.Ast.o_name
+      | Ast.D_interface i -> Some i.Ast.if_name
+      | Ast.D_enum _ | Ast.D_global _ | Ast.D_module _ -> None)
+    decls
+
+let conceptual_names m = declared_names m.md_conceptual
+let internal_names m = declared_names m.md_internal
+let all_names m = conceptual_names m @ internal_names m
+
+(** Names exported by a given external schema. *)
+let exports m schema = List.assoc_opt schema m.md_external
+
+(* ------------------------------------------------------------------ *)
+(* Reference analysis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec type_refs acc (te : Ast.type_expr) =
+  match te with
+  | Ast.TE_name n | Ast.TE_id n -> n :: acc
+  | Ast.TE_set t | Ast.TE_list t -> type_refs acc t
+  | Ast.TE_map (k, v) -> type_refs (type_refs acc k) v
+  | Ast.TE_tuple fields ->
+      List.fold_left (fun acc (_, t) -> type_refs acc t) acc fields
+
+let rec expr_class_refs ~known acc (x : Ast.expr) =
+  let k = expr_class_refs ~known in
+  match x.Ast.e with
+  | Ast.E_attr (Ast.OR_instance (cls, e), _, args) ->
+      List.fold_left k (k (cls :: acc) e) args
+  | Ast.E_attr (Ast.OR_name n, _, args) when known n ->
+      List.fold_left k (n :: acc) args
+  | Ast.E_attr (_, _, args) -> List.fold_left k acc args
+  | Ast.E_apply (f, args) ->
+      List.fold_left k (if known f then f :: acc else acc) args
+  | Ast.E_field (b, _) | Ast.E_unop (_, b) -> k acc b
+  | Ast.E_binop (_, a, b) -> k (k acc a) b
+  | Ast.E_tuple fs -> List.fold_left (fun acc (_, e) -> k acc e) acc fs
+  | Ast.E_setlit xs | Ast.E_listlit xs -> List.fold_left k acc xs
+  | Ast.E_if (a, b, c) -> k (k (k acc a) b) c
+  | Ast.E_var n when known n -> n :: acc
+  | Ast.E_lit _ | Ast.E_var _ | Ast.E_self -> acc
+  | Ast.E_query q -> query_class_refs ~known acc q
+
+and query_class_refs ~known acc = function
+  | Ast.Q_expr e -> expr_class_refs ~known acc e
+  | Ast.Q_select (e, q) ->
+      query_class_refs ~known (expr_class_refs ~known acc e) q
+  | Ast.Q_project (_, q) | Ast.Q_the q | Ast.Q_count q ->
+      query_class_refs ~known acc q
+  | Ast.Q_sum (_, q) | Ast.Q_min (_, q) | Ast.Q_max (_, q) ->
+      query_class_refs ~known acc q
+
+let event_class_refs ~known acc (ev : Ast.event_term) =
+  let acc =
+    match ev.Ast.target with
+    | Some (Ast.OR_instance (cls, e)) ->
+        expr_class_refs ~known (cls :: acc) e
+    | Some (Ast.OR_name n) when known n -> n :: acc
+    | _ -> acc
+  in
+  List.fold_left (expr_class_refs ~known) acc ev.Ast.ev_args
+
+let rec formula_class_refs ~known acc (f : Ast.formula) =
+  match f.Ast.f with
+  | Ast.F_expr e -> expr_class_refs ~known acc e
+  | Ast.F_not g | Ast.F_sometime g | Ast.F_always g | Ast.F_previous g ->
+      formula_class_refs ~known acc g
+  | Ast.F_and (a, b) | Ast.F_or (a, b) | Ast.F_implies (a, b)
+  | Ast.F_since (a, b) ->
+      formula_class_refs ~known (formula_class_refs ~known acc a) b
+  | Ast.F_after ev -> event_class_refs ~known acc ev
+  | Ast.F_forall (binds, g) | Ast.F_exists (binds, g) ->
+      let acc =
+        List.fold_left
+          (fun acc (_, te) ->
+            match te with
+            | Ast.TE_name n | Ast.TE_id n when known n -> n :: acc
+            | _ -> acc)
+          acc binds
+      in
+      formula_class_refs ~known acc g
+
+(** Classes a list of declarations refers to: via types, components,
+    incorporations, encapsulations, views/specializations, interaction
+    targets — and, inside rule expressions, any name satisfying the
+    [known] predicate (bare names are ambiguous between variables and
+    object references, so only names known to be classes elsewhere
+    count).  Built-in type names are excluded. *)
+let referenced_classes ?(known = fun _ -> false) (decls : Ast.decl list) :
+    string list =
+  let builtin =
+    [ "bool"; "boolean"; "integer"; "int"; "nat"; "natural"; "string";
+      "date"; "money" ]
+  in
+  let acc = ref [] in
+  let add_te te = acc := type_refs !acc te in
+  let body (b : Ast.template_body) =
+    List.iter (fun (a : Ast.attr_decl) ->
+        add_te a.Ast.a_type;
+        List.iter add_te a.Ast.a_params)
+      b.Ast.t_attributes;
+    List.iter (fun (e : Ast.event_decl) -> List.iter add_te e.Ast.ev_params)
+      b.Ast.t_events;
+    List.iter (fun (cd : Ast.comp_decl) -> acc := cd.Ast.c_class :: !acc)
+      b.Ast.t_components;
+    List.iter (fun (obj, _) -> acc := obj :: !acc) b.Ast.t_inherits;
+    List.iter (fun (_, te) -> add_te te) b.Ast.t_variables;
+    List.iter
+      (fun (r : Ast.valuation_rule) ->
+        (match r.Ast.v_guard with
+        | Some g -> acc := formula_class_refs ~known !acc g
+        | None -> ());
+        acc := event_class_refs ~known !acc r.Ast.v_event;
+        acc := expr_class_refs ~known !acc r.Ast.v_rhs)
+      b.Ast.t_valuation;
+    List.iter
+      (fun (d : Ast.derivation_rule) ->
+        acc := expr_class_refs ~known !acc d.Ast.d_rhs)
+      b.Ast.t_derivation;
+    List.iter
+      (fun (p : Ast.permission) ->
+        acc := formula_class_refs ~known !acc p.Ast.p_guard;
+        acc := event_class_refs ~known !acc p.Ast.p_event)
+      b.Ast.t_permissions;
+    List.iter
+      (fun (kd : Ast.constraint_decl) ->
+        acc := formula_class_refs ~known !acc kd.Ast.k_body)
+      b.Ast.t_constraints;
+    List.iter
+      (fun (r : Ast.calling_rule) ->
+        (match r.Ast.i_guard with
+        | Some g -> acc := formula_class_refs ~known !acc g
+        | None -> ());
+        acc := event_class_refs ~known !acc r.Ast.i_caller;
+        List.iter (fun t -> acc := event_class_refs ~known !acc t)
+          r.Ast.i_called)
+      b.Ast.t_calling
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.D_class c ->
+          List.iter (fun (_, te) -> add_te te) c.Ast.cl_identification;
+          (match c.Ast.cl_view_of with Some b -> acc := b :: !acc | None -> ());
+          (match c.Ast.cl_spec_of with Some b -> acc := b :: !acc | None -> ());
+          body c.Ast.cl_body
+      | Ast.D_object o -> body o.Ast.o_body
+      | Ast.D_interface i ->
+          List.iter (fun (cls, _) -> acc := cls :: !acc) i.Ast.if_encapsulating
+      | Ast.D_global g ->
+          List.iter
+            (fun (r : Ast.calling_rule) ->
+              acc := event_class_refs ~known !acc r.Ast.i_caller;
+              List.iter (fun t -> acc := event_class_refs ~known !acc t)
+                r.Ast.i_called)
+            g.Ast.g_rules;
+          List.iter (fun (_, te) -> add_te te) g.Ast.g_variables
+      | Ast.D_enum _ -> ()
+      | Ast.D_module _ -> ())
+    decls;
+  List.sort_uniq String.compare
+    (List.filter (fun n -> not (List.mem n builtin)) !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Module well-formedness                                              *)
+(* ------------------------------------------------------------------ *)
+
+type diagnostic = string
+
+(** Local well-formedness of one module:
+    - every exported name is declared in the conceptual schema (the
+      internal schema is implementation detail and never exportable);
+    - the internal schema may refer to conceptual names, but the
+      conceptual schema must not refer to internal names (abstraction
+      must not depend on implementation). *)
+let validate (m : t) : diagnostic list =
+  let diags = ref [] in
+  let conceptual = conceptual_names m in
+  let internal = internal_names m in
+  let enums =
+    List.filter_map
+      (function Ast.D_enum e -> Some e.Ast.en_name | _ -> None)
+      (m.md_conceptual @ m.md_internal)
+  in
+  List.iter
+    (fun (schema, names) ->
+      List.iter
+        (fun n ->
+          if not (List.mem n conceptual) then
+            diags :=
+              Printf.sprintf
+                "module %s: external schema %s exports %s, which is not \
+                 declared in the conceptual schema"
+                m.md_name schema n
+              :: !diags)
+        names)
+    m.md_external;
+  List.iter
+    (fun n ->
+      if List.mem n internal && not (List.mem n conceptual) then
+        diags :=
+          Printf.sprintf
+            "module %s: conceptual schema refers to internal name %s"
+            m.md_name n
+          :: !diags)
+    (List.filter
+       (fun n -> not (List.mem n enums))
+       (referenced_classes m.md_conceptual));
+  List.rev !diags

@@ -1,0 +1,35 @@
+(** The three-level schema architecture for modules (§6.2): conceptual
+    schema (abstract declarations), internal schema (implementation
+    level), and named external schemata (the only access paths other
+    modules may use). *)
+
+type t = {
+  md_name : string;
+  md_imports : (string * string) list;  (** (module, external schema) *)
+  md_conceptual : Ast.decl list;
+  md_internal : Ast.decl list;
+  md_external : (string * string list) list;
+      (** export-schema name → exported class/interface names *)
+}
+
+val of_ast : Ast.module_decl -> t
+val to_ast : t -> Ast.module_decl
+
+val declared_names : Ast.decl list -> string list
+val conceptual_names : t -> string list
+val internal_names : t -> string list
+val all_names : t -> string list
+val exports : t -> string -> string list option
+
+val referenced_classes :
+  ?known:(string -> bool) -> Ast.decl list -> string list
+(** Classes the declarations refer to (types, components,
+    incorporations, encapsulations, hierarchy links, rule expressions).
+    Bare names inside expressions are ambiguous between variables and
+    object references; only those satisfying [known] count. *)
+
+type diagnostic = string
+
+val validate : t -> diagnostic list
+(** Local well-formedness: exports come from the conceptual schema, and
+    the conceptual schema does not depend on internal names. *)

@@ -1,0 +1,186 @@
+(** Communicating object societies: linking modules into systems (§6.1).
+
+    A society is a collection of modules connected by society-interface
+    import: a module may refer to a name of another module only if that
+    name is exported by an external schema the importer declares.  This
+    realises both architectural styles of the paper —
+
+    - *hierarchical composition*: a module implemented in terms of
+      dependent modules (control flow follows the import hierarchy);
+    - *horizontal composition*: autonomous subsystems communicating
+      through controlled export interfaces (e.g. a shared calendar
+      module with read access and active triggering).
+
+    Linking produces one flat specification; the kernel then compiles it
+    into a single community in which cross-module event calling works
+    exactly like local calling — visibility is enforced statically
+    here, not dynamically. *)
+
+type t = { modules : Schema3.t list }
+
+type diagnostic = string
+
+let create modules = { modules }
+
+let of_spec (spec : Ast.spec) : t * Ast.decl list =
+  let modules, rest =
+    List.partition_map
+      (fun d ->
+        match d with
+        | Ast.D_module m -> Either.Left (Schema3.of_ast m)
+        | d -> Either.Right d)
+      spec
+  in
+  (create modules, rest)
+
+let find_module t name =
+  List.find_opt (fun (m : Schema3.t) -> String.equal m.Schema3.md_name name) t.modules
+
+(** Names visible inside module [m]: its own declarations plus the
+    exports of every (module, schema) pair it imports. *)
+let visible_names t (m : Schema3.t) : string list =
+  let own = Schema3.all_names m in
+  let imported =
+    List.concat_map
+      (fun (mod_name, schema) ->
+        match find_module t mod_name with
+        | None -> []
+        | Some im -> (
+            match Schema3.exports im schema with
+            | Some names -> names
+            | None -> []))
+      m.Schema3.md_imports
+  in
+  own @ imported
+
+(** Visibility check of the whole society. *)
+let validate (t : t) : diagnostic list =
+  let diags = ref [] in
+  (* modules individually well-formed *)
+  List.iter
+    (fun m -> diags := !diags @ Schema3.validate m)
+    t.modules;
+  (* imports resolve *)
+  List.iter
+    (fun (m : Schema3.t) ->
+      List.iter
+        (fun (mod_name, schema) ->
+          match find_module t mod_name with
+          | None ->
+              diags :=
+                !diags
+                @ [ Printf.sprintf "module %s imports unknown module %s"
+                      m.Schema3.md_name mod_name ]
+          | Some im -> (
+              match Schema3.exports im schema with
+              | Some _ -> ()
+              | None ->
+                  diags :=
+                    !diags
+                    @ [ Printf.sprintf
+                          "module %s imports unknown external schema %s.%s"
+                          m.Schema3.md_name mod_name schema ]))
+        m.Schema3.md_imports)
+    t.modules;
+  (* every referenced name is visible *)
+  let enums =
+    List.concat_map
+      (fun (m : Schema3.t) ->
+        List.filter_map
+          (function Ast.D_enum e -> Some e.Ast.en_name | _ -> None)
+          (m.Schema3.md_conceptual @ m.Schema3.md_internal))
+      t.modules
+  in
+  let all_class_names =
+    List.concat_map (fun m -> Schema3.all_names m) t.modules
+  in
+  List.iter
+    (fun (m : Schema3.t) ->
+      let visible = visible_names t m @ enums in
+      let referenced =
+        Schema3.referenced_classes
+          ~known:(fun n -> List.mem n all_class_names)
+          (m.Schema3.md_conceptual @ m.Schema3.md_internal)
+      in
+      List.iter
+        (fun n ->
+          if not (List.mem n visible) then
+            diags :=
+              !diags
+              @ [ Printf.sprintf
+                    "module %s refers to %s, which is neither declared nor \
+                     imported"
+                    m.Schema3.md_name n ])
+        referenced)
+    t.modules;
+  !diags
+
+(** Flatten the society into a single specification (declarations in
+    dependency order: imported modules first). *)
+let link (t : t) : (Ast.spec, diagnostic list) result =
+  match validate t with
+  | [] ->
+      (* topological order over imports *)
+      let visited = Hashtbl.create 8 in
+      let order = ref [] in
+      let rec visit (m : Schema3.t) =
+        match Hashtbl.find_opt visited m.Schema3.md_name with
+        | Some `Done -> ()
+        | Some `Active -> () (* import cycles: tolerated, order arbitrary *)
+        | None ->
+            Hashtbl.replace visited m.Schema3.md_name `Active;
+            List.iter
+              (fun (dep, _) ->
+                match find_module t dep with
+                | Some dm -> visit dm
+                | None -> ())
+              m.Schema3.md_imports;
+            Hashtbl.replace visited m.Schema3.md_name `Done;
+            order := m :: !order
+      in
+      List.iter visit t.modules;
+      Ok
+        (List.concat_map
+           (fun (m : Schema3.t) ->
+             m.Schema3.md_conceptual @ m.Schema3.md_internal)
+           (List.rev !order))
+  | diags -> Error diags
+
+(** Link and compile the society into a running community, returning
+    also each module's external views, keyed by "module.schema". *)
+let compile ?config (t : t) :
+    ( Community.t * (string * Interface.t list) list,
+      diagnostic list )
+    result =
+  match link t with
+  | Error diags -> Error diags
+  | Ok spec -> (
+      match Compile.spec ?config spec with
+      | Error e -> Error [ Compile.error_to_string e ]
+      | Ok (community, iface_decls) -> (
+          match Compile.instantiate_singles community with
+          | Error r -> Error [ Runtime_error.reason_to_string r ]
+          | Ok () ->
+          let views =
+            List.concat_map
+              (fun (m : Schema3.t) ->
+                List.map
+                  (fun (schema, names) ->
+                    let views =
+                      List.filter_map
+                        (fun n ->
+                          match
+                            List.find_opt
+                              (fun (i : Ast.iface_decl) ->
+                                String.equal i.Ast.if_name n)
+                              iface_decls
+                          with
+                          | Some decl -> Some (Interface.make community decl)
+                          | None -> None)
+                        names
+                    in
+                    (m.Schema3.md_name ^ "." ^ schema, views))
+                  m.Schema3.md_external)
+              t.modules
+          in
+          Ok (community, views)))

@@ -1,0 +1,35 @@
+(** Communicating object societies: linking modules into systems
+    (§6.1).  A module may refer to another module's name only if that
+    name is exported by an external schema the importer declares;
+    visibility is enforced statically, then linking produces one flat
+    specification that the kernel compiles into a single community
+    (cross-module event calling works exactly like local calling). *)
+
+type t = { modules : Schema3.t list }
+
+type diagnostic = string
+
+val create : Schema3.t list -> t
+
+val of_spec : Ast.spec -> t * Ast.decl list
+(** Split a specification into its modules and the plain declarations
+    outside any module. *)
+
+val find_module : t -> string -> Schema3.t option
+
+val visible_names : t -> Schema3.t -> string list
+(** A module's own names plus everything it imports. *)
+
+val validate : t -> diagnostic list
+(** Per-module well-formedness, import resolution, and
+    reference-visibility checking. *)
+
+val link : t -> (Ast.spec, diagnostic list) result
+(** Flatten into a single specification, imported modules first. *)
+
+val compile :
+  ?config:Community.config ->
+  t ->
+  (Community.t * (string * Interface.t list) list, diagnostic list) result
+(** Link, compile and instantiate; returns the community plus each
+    module's exported views keyed by ["Module.schema"]. *)

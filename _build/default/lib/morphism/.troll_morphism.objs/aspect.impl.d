@@ -1,0 +1,1 @@
+lib/morphism/aspect.ml: Format Ident Obj_state Sigmap String Template Template_morphism Value

@@ -1,0 +1,1 @@
+lib/morphism/aspect.mli: Format Ident Obj_state Sigmap Template Template_morphism

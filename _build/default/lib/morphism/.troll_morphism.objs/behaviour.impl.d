@@ -1,0 +1,1 @@
+lib/morphism/behaviour.ml: Implementation List Refinement Sigmap Template Template_morphism

@@ -1,0 +1,1 @@
+lib/morphism/community_diagram.ml: Aspect Format Ident List Schema Sigmap String Template Value

@@ -1,0 +1,1 @@
+lib/morphism/community_diagram.mli: Aspect Format Schema Sigmap Value

@@ -1,0 +1,1 @@
+lib/morphism/dot.ml: Aspect Buffer Community_diagram Ident List Printf Schema Sigmap String Template Value

@@ -1,0 +1,1 @@
+lib/morphism/dot.mli: Community_diagram Schema Template

@@ -1,0 +1,1 @@
+lib/morphism/schema.ml: Aspect Format Hashtbl Ident List Map Option Sigmap String Template Template_morphism Value

@@ -1,0 +1,1 @@
+lib/morphism/schema.mli: Aspect Format Sigmap Template Value

@@ -1,0 +1,1 @@
+lib/morphism/sigmap.ml: Format List String Template

@@ -1,0 +1,1 @@
+lib/morphism/sigmap.mli: Format Template

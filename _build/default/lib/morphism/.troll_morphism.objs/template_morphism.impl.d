@@ -1,0 +1,1 @@
+lib/morphism/template_morphism.ml: Format List Printf Sigmap String Template Vtype

@@ -1,0 +1,1 @@
+lib/morphism/template_morphism.mli: Format Sigmap Template

@@ -1,0 +1,47 @@
+(** Aspects and aspect morphisms (§3).
+
+    An aspect is a pair [b • t] — an identity with a template.  An
+    aspect morphism is a template morphism with identities attached; the
+    fundamental distinction of the paper is:
+
+    - *inheritance morphism* — both aspects have the same identity
+      (SUN as a computer → SUN as an electronic device);
+    - *interaction morphism* — different identities (SUN's el_device
+      aspect → the PXX power supply it HAS). *)
+
+type t = { id : Ident.t; template : Template.t }
+
+let make id template = { id; template }
+
+let of_object (o : Obj_state.t) =
+  { id = o.Obj_state.id; template = o.Obj_state.template }
+
+let equal a b =
+  Ident.equal a.id b.id
+  && String.equal a.template.Template.t_name b.template.Template.t_name
+
+let pp ppf a =
+  Format.fprintf ppf "%a \xe2\x80\xa2 %s" Value.pp a.id.Ident.key
+    a.template.Template.t_name
+
+type kind = Inheritance | Interaction
+
+type morphism = { m_src : t; m_dst : t; m_map : Sigmap.t }
+
+let morphism ?(map = Sigmap.empty) ~src ~dst () =
+  { m_src = src; m_dst = dst; m_map = map }
+
+(** An aspect morphism is an inheritance morphism iff the identities'
+    keys coincide. *)
+let kind (m : morphism) : kind =
+  if Ident.same_key m.m_src.id m.m_dst.id then Inheritance else Interaction
+
+(** The underlying template morphism. *)
+let template_morphism (m : morphism) : Template_morphism.t =
+  Template_morphism.make ~src:m.m_src.template ~dst:m.m_dst.template m.m_map
+
+let pp_morphism ppf (m : morphism) =
+  Format.fprintf ppf "%a -> %a (%s)" pp m.m_src pp m.m_dst
+    (match kind m with
+    | Inheritance -> "inheritance"
+    | Interaction -> "interaction")

@@ -1,0 +1,26 @@
+(** Aspects and aspect morphisms (§3).
+
+    An aspect is [b • t] — an identity with a template.  An aspect
+    morphism is a template morphism with identities attached, and the
+    paper's fundamental distinction is by identity: same identity →
+    *inheritance* (SUN as computer → SUN as el_device), different →
+    *interaction* (SUN HAS THE PXX power supply). *)
+
+type t = { id : Ident.t; template : Template.t }
+
+val make : Ident.t -> Template.t -> t
+val of_object : Obj_state.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type kind = Inheritance | Interaction
+
+type morphism = { m_src : t; m_dst : t; m_map : Sigmap.t }
+
+val morphism : ?map:Sigmap.t -> src:t -> dst:t -> unit -> morphism
+
+val kind : morphism -> kind
+(** Inheritance iff the identities' keys coincide. *)
+
+val template_morphism : morphism -> Template_morphism.t
+val pp_morphism : Format.formatter -> morphism -> unit

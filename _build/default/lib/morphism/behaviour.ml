@@ -1,0 +1,55 @@
+(** Behavioural checking of template morphisms.
+
+    Structure preservation ({!Template_morphism.violations}) is static;
+    the paper's behavioural requirement — "we would expect that a
+    computer's behaviour *contains* that of an el_device: also a
+    computer is bound to the protocol of switching on before being able
+    to switch off" (example 3.4) — is operational.  This module makes it
+    executable by reducing a morphism [h : sub → super] to a refinement
+    problem: the *super* template plays the abstract side, the *sub*
+    template the implementing side, events and attributes related by
+    the inverse of [h].  {!Refinement.check} then explores whether every
+    behaviour the general template admits is provided by the special
+    one, with agreeing observations. *)
+
+(** Invert a morphism's signature map.  Requires well-formedness and
+    surjectivity (each target item must have a preimage; with several
+    preimages the first is used). *)
+let implementation_of (m : Template_morphism.t) :
+    (Implementation.t, string) result =
+  match Template_morphism.violations m with
+  | v :: _ -> Error ("ill-formed morphism: " ^ v)
+  | [] ->
+      if not (Template_morphism.is_surjective m) then
+        Error "morphism is not surjective: some target items have no preimage"
+      else
+        let invert pairs =
+          List.fold_left
+            (fun acc (src, dst) ->
+              if List.mem_assoc dst acc then acc else (dst, src) :: acc)
+            [] pairs
+        in
+        Ok
+          (Implementation.make
+             ~abs_class:m.Template_morphism.dst.Template.t_name
+             ~conc_class:m.Template_morphism.src.Template.t_name
+             ~event_map:(invert m.Template_morphism.map.Sigmap.event_map)
+             ~attr_map:(invert m.Template_morphism.map.Sigmap.attr_map)
+             ())
+
+(** Check a morphism behaviourally: [sub_side] and [super_side] must
+    hold living instances of the morphism's source and target templates
+    (in corresponding states); the alphabet defaults to the candidates
+    of the *target* (general) template. *)
+let check (m : Template_morphism.t) ~(sub_side : Refinement.side)
+    ~(super_side : Refinement.side) ?alphabet ~(depth : int) () :
+    (Refinement.report, string) result =
+  match implementation_of m with
+  | Error e -> Error e
+  | Ok impl ->
+      let alphabet =
+        match alphabet with
+        | Some a -> a
+        | None -> Refinement.candidates m.Template_morphism.dst
+      in
+      Ok (Refinement.check ~impl ~abs:super_side ~conc:sub_side ~alphabet ~depth)

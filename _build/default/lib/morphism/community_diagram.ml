@@ -1,0 +1,149 @@
+(** Object communities as diagrams of aspects and interaction morphisms
+    (§3): growing a community by *incorporation* (taking a part and
+    enlarging it), *interfacing* (abstraction with a new identity),
+    *aggregation* (multiple incorporation) and *synchronization by
+    sharing* (multiple interfacing — example 3.7's cable shared between
+    cpu and power supply). *)
+
+type node = Aspect.t
+
+type t = {
+  schema : Schema.t;  (** inheritance schema the community is closed under *)
+  mutable aspects : Aspect.t list;
+  mutable morphisms : Aspect.morphism list;
+}
+
+exception Community_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Community_error m)) fmt
+
+let create schema = { schema; aspects = []; morphisms = [] }
+
+let mem_aspect t (a : Aspect.t) = List.exists (Aspect.equal a) t.aspects
+let aspects t = t.aspects
+let morphisms t = t.morphisms
+let size t = List.length t.aspects
+
+(** Add an aspect and close under inheritance: all derived aspects (per
+    the schema) join the community, with their inheritance morphisms
+    ("if an aspect is given, all its derived aspects … should also be in
+    the community"). *)
+let add_object t ~(key : Value.t) (tpl_name : string) : Aspect.t =
+  let all = Schema.aspects_of t.schema ~key tpl_name in
+  let fresh = List.filter (fun a -> not (mem_aspect t a)) all in
+  t.aspects <- t.aspects @ fresh;
+  let inh = Schema.inheritance_morphisms t.schema ~key tpl_name in
+  let fresh_m =
+    List.filter
+      (fun (m : Aspect.morphism) ->
+        not
+          (List.exists
+             (fun (m' : Aspect.morphism) ->
+               Aspect.equal m.Aspect.m_src m'.Aspect.m_src
+               && Aspect.equal m.Aspect.m_dst m'.Aspect.m_dst)
+             t.morphisms))
+      inh
+  in
+  t.morphisms <- t.morphisms @ fresh_m;
+  List.hd all
+
+let find_aspect t ~key tpl_name =
+  List.find_opt
+    (fun (a : Aspect.t) ->
+      Value.equal a.Aspect.id.Ident.key key
+      && String.equal a.Aspect.template.Template.t_name tpl_name)
+    t.aspects
+
+let require_aspect t ~key tpl_name =
+  match find_aspect t ~key tpl_name with
+  | Some a -> a
+  | None ->
+      error "aspect %s • %s not in community" (Value.to_string key) tpl_name
+
+let add_interaction t ?(map = Sigmap.empty) ~(src : Aspect.t)
+    ~(dst : Aspect.t) () : Aspect.morphism =
+  if not (mem_aspect t src) then
+    error "source aspect not in community";
+  if not (mem_aspect t dst) then error "target aspect not in community";
+  let m = Aspect.morphism ~map ~src ~dst () in
+  if Aspect.kind m = Aspect.Inheritance then
+    error "interaction morphism between aspects of the same object";
+  t.morphisms <- t.morphisms @ [ m ];
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Construction steps                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Incorporation: a new whole [whole] is created over an existing part;
+    the morphism goes whole → part (example 3.9: SUN • computer →
+    CYY • cpu).  The part must already be in the community; the whole is
+    added (and closed under inheritance). *)
+let incorporate t ~(whole_key : Value.t) ~(whole_tpl : string)
+    ~(part : Aspect.t) ?(map = Sigmap.empty) () : Aspect.morphism =
+  if not (mem_aspect t part) then error "part aspect not in community";
+  let whole = add_object t ~key:whole_key whole_tpl in
+  add_interaction t ~map ~src:whole ~dst:part ()
+
+(** Aggregation: multiple incorporation — assemble several parts into a
+    new whole, yielding one interaction morphism per part. *)
+let aggregate t ~(whole_key : Value.t) ~(whole_tpl : string)
+    ~(parts : Aspect.t list) : Aspect.morphism list =
+  List.iter
+    (fun p -> if not (mem_aspect t p) then error "part aspect not in community")
+    parts;
+  let whole = add_object t ~key:whole_key whole_tpl in
+  List.map (fun p -> add_interaction t ~src:whole ~dst:p ()) parts
+
+(** Interfacing: create a *new* object (new identity) as an abstraction
+    of an existing one; the morphism goes base → interface (example 3.8:
+    a database view on top of a database). *)
+let interface t ~(iface_key : Value.t) ~(iface_tpl : string)
+    ~(base : Aspect.t) ?(map = Sigmap.empty) () : Aspect.morphism =
+  if not (mem_aspect t base) then error "base aspect not in community";
+  let iface = add_object t ~key:iface_key iface_tpl in
+  add_interaction t ~map ~src:base ~dst:iface ()
+
+(** Synchronization by sharing: several objects share a common part; the
+    morphisms go sharer → shared (example 3.7's sharing diagram
+    [CYY•cpu → CBZ•cable ← PXX•powsply]). *)
+let share t ~(shared : Aspect.t) ~(sharers : Aspect.t list) :
+    Aspect.morphism list =
+  if not (mem_aspect t shared) then error "shared aspect not in community";
+  List.map
+    (fun sharer -> add_interaction t ~src:sharer ~dst:shared ())
+    sharers
+
+(** All sharing diagrams through a given aspect: the pairs of distinct
+    morphisms targeting it. *)
+let sharing_diagrams t (shared : Aspect.t) :
+    (Aspect.morphism * Aspect.morphism) list =
+  let into =
+    List.filter
+      (fun (m : Aspect.morphism) -> Aspect.equal m.Aspect.m_dst shared)
+      t.morphisms
+  in
+  let rec pairs = function
+    | [] -> []
+    | m :: rest -> List.map (fun m' -> (m, m')) rest @ pairs rest
+  in
+  pairs into
+
+(** Objects interacting with [a] (directly, in either direction). *)
+let neighbours t (a : Aspect.t) : Aspect.t list =
+  List.filter_map
+    (fun (m : Aspect.morphism) ->
+      if Aspect.kind m = Aspect.Interaction then
+        if Aspect.equal m.Aspect.m_src a then Some m.Aspect.m_dst
+        else if Aspect.equal m.Aspect.m_dst a then Some m.Aspect.m_src
+        else None
+      else None)
+    t.morphisms
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun a -> Format.fprintf ppf "%a@," Aspect.pp a) t.aspects;
+  List.iter
+    (fun m -> Format.fprintf ppf "%a@," Aspect.pp_morphism m)
+    t.morphisms;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,76 @@
+(** Object communities as diagrams of aspects and interaction morphisms
+    (§3), grown by the paper's construction steps: incorporation,
+    aggregation (multiple incorporation), interfacing (abstraction with
+    a new identity) and synchronization by sharing.  Adding an object
+    closes the community under inheritance: all derived aspects join,
+    with their inheritance morphisms. *)
+
+type node = Aspect.t
+
+type t = {
+  schema : Schema.t;
+  mutable aspects : Aspect.t list;
+  mutable morphisms : Aspect.morphism list;
+}
+
+exception Community_error of string
+
+val create : Schema.t -> t
+val mem_aspect : t -> Aspect.t -> bool
+val aspects : t -> Aspect.t list
+val morphisms : t -> Aspect.morphism list
+val size : t -> int
+
+val add_object : t -> key:Value.t -> string -> Aspect.t
+(** Add [key • template] and every derived aspect; returns the primary
+    aspect.  Idempotent. *)
+
+val find_aspect : t -> key:Value.t -> string -> Aspect.t option
+val require_aspect : t -> key:Value.t -> string -> Aspect.t
+
+val add_interaction :
+  t -> ?map:Sigmap.t -> src:Aspect.t -> dst:Aspect.t -> unit ->
+  Aspect.morphism
+(** Raises {!Community_error} when either aspect is missing or the two
+    share an identity (that would be inheritance, not interaction). *)
+
+val incorporate :
+  t ->
+  whole_key:Value.t ->
+  whole_tpl:string ->
+  part:Aspect.t ->
+  ?map:Sigmap.t ->
+  unit ->
+  Aspect.morphism
+(** A new whole over an existing part (example 3.9); morphism whole →
+    part. *)
+
+val aggregate :
+  t -> whole_key:Value.t -> whole_tpl:string -> parts:Aspect.t list ->
+  Aspect.morphism list
+(** Multiple incorporation. *)
+
+val interface :
+  t ->
+  iface_key:Value.t ->
+  iface_tpl:string ->
+  base:Aspect.t ->
+  ?map:Sigmap.t ->
+  unit ->
+  Aspect.morphism
+(** A new object (new identity) abstracting an existing one (example
+    3.8: a database view); morphism base → interface. *)
+
+val share :
+  t -> shared:Aspect.t -> sharers:Aspect.t list -> Aspect.morphism list
+(** Synchronization by sharing (example 3.7); morphisms sharer →
+    shared. *)
+
+val sharing_diagrams :
+  t -> Aspect.t -> (Aspect.morphism * Aspect.morphism) list
+(** The pairs of distinct morphisms targeting a shared aspect. *)
+
+val neighbours : t -> Aspect.t -> Aspect.t list
+(** Aspects interacting with the given one, in either direction. *)
+
+val pp : Format.formatter -> t -> unit

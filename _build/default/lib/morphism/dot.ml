@@ -1,0 +1,97 @@
+(** Graphviz export of inheritance schemas and object communities.
+
+    "Graphical notations for TROLL" is listed as further work in the
+    paper's conclusion; this module renders the two diagram kinds of §3:
+
+    - inheritance schemas, arrows pointing upward to the more general
+      template (example 3.2's picture);
+    - object communities, with inheritance morphisms drawn dashed
+      between aspects of one object and interaction morphisms solid.
+
+    Output is the [dot] language; render with
+    [dot -Tsvg schema.dot -o schema.svg]. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Render an inheritance schema.  Most general templates appear at the
+    top ([rankdir=BT]: edges point from the special to the general, as
+    the paper draws them). *)
+let of_schema (s : Schema.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph inheritance_schema {\n";
+  Buffer.add_string buf "  rankdir=BT;\n  node [shape=box];\n";
+  List.iter
+    (fun (tpl : Template.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\";\n" (escape tpl.Template.t_name)))
+    (Schema.templates s);
+  List.iter
+    (fun (e : Schema.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (escape e.Schema.e_sub)
+           (escape e.Schema.e_super)))
+    (Schema.edges s);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let aspect_node (a : Aspect.t) =
+  Printf.sprintf "%s • %s"
+    (Value.to_string a.Aspect.id.Ident.key)
+    a.Aspect.template.Template.t_name
+
+(** Render an object community: aspects as nodes, inheritance morphisms
+    dashed, interaction morphisms solid. *)
+let of_community (c : Community_diagram.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph object_community {\n";
+  Buffer.add_string buf "  node [shape=ellipse];\n";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\";\n" (escape (aspect_node a))))
+    (Community_diagram.aspects c);
+  List.iter
+    (fun (m : Aspect.morphism) ->
+      let style =
+        match Aspect.kind m with
+        | Aspect.Inheritance -> " [style=dashed]"
+        | Aspect.Interaction -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n"
+           (escape (aspect_node m.Aspect.m_src))
+           (escape (aspect_node m.Aspect.m_dst))
+           style))
+    (Community_diagram.morphisms c);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Build the inheritance schema of a compiled community from its
+    [view of] / [specialization of] declarations, so a parsed
+    specification can be rendered directly. *)
+let schema_of_templates (templates : Template.t list) : Schema.t =
+  let s = Schema.create () in
+  List.iter (fun tpl -> try Schema.add_template s tpl with Schema.Schema_error _ -> ())
+    templates;
+  List.iter
+    (fun (tpl : Template.t) ->
+      let link base =
+        (* the empty sigmap is trivially well-formed; phase births change
+           event polarity, so an identity map could be rejected here *)
+        if Schema.mem s base then
+          try Schema.add_edge s ~sub:tpl.Template.t_name ~super:base Sigmap.empty
+          with Schema.Schema_error _ -> ()
+      in
+      (match tpl.Template.t_view_of with Some b -> link b | None -> ());
+      match tpl.Template.t_spec_of with Some b -> link b | None -> ())
+    templates;
+  s

@@ -1,0 +1,15 @@
+(** Graphviz export of inheritance schemas and communities — the
+    conclusion's "graphical notations for TROLL".  Render with
+    [dot -Tsvg file.dot -o file.svg]; also [trollc dot spec.trl]. *)
+
+val of_schema : Schema.t -> string
+(** Inheritance schema: boxes, edges pointing to the more general
+    template (as example 3.2 is drawn). *)
+
+val of_community : Community_diagram.t -> string
+(** Aspects as nodes; inheritance morphisms dashed, interaction
+    morphisms solid. *)
+
+val schema_of_templates : Template.t list -> Schema.t
+(** The inheritance schema of a compiled community, from its [view of]
+    / [specialization of] declarations (edges carry empty sigmaps). *)

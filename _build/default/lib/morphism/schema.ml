@@ -1,0 +1,186 @@
+(** Inheritance schemas (§3): diagrams of templates related by
+    inheritance schema morphisms, grown by *specialization* (downward)
+    and *abstraction* (upward), with multiple inheritance and
+    generalization as the multi-target variants.
+
+    The schema is a DAG whose edge [sub → super] reads "every [sub] IS A
+    [super]" (arrowheads go upward, as in the paper's example 3.2).
+    Creating an object [b • t] implicitly creates all derived aspects
+    [b • t'] along schema edges ({!aspects_of}). *)
+
+module Smap = Map.Make (String)
+
+type edge = {
+  e_sub : string;
+  e_super : string;
+  e_map : Sigmap.t;  (** inheritance schema morphism *)
+}
+
+type t = { mutable nodes : Template.t Smap.t; mutable edges : edge list }
+
+exception Schema_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Schema_error m)) fmt
+
+let create () = { nodes = Smap.empty; edges = [] }
+
+let mem s name = Smap.mem name s.nodes
+let find s name = Smap.find_opt name s.nodes
+let templates s = List.map snd (Smap.bindings s.nodes)
+let edges s = s.edges
+let size s = Smap.cardinal s.nodes
+
+let add_template s (tpl : Template.t) =
+  if mem s tpl.Template.t_name then
+    error "template %s already in schema" tpl.Template.t_name;
+  s.nodes <- Smap.add tpl.Template.t_name tpl s.nodes
+
+let direct_supers s name =
+  List.filter_map
+    (fun e -> if String.equal e.e_sub name then Some e.e_super else None)
+    s.edges
+
+let direct_subs s name =
+  List.filter_map
+    (fun e -> if String.equal e.e_super name then Some e.e_sub else None)
+    s.edges
+
+(** All ancestors (transitive supertypes), nearest first, without
+    duplicates. *)
+let ancestors s name =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> List.rev visited
+    | n :: rest ->
+        let supers =
+          List.filter
+            (fun x -> not (List.mem x visited || List.mem x rest))
+            (direct_supers s n)
+        in
+        go (if List.mem n visited then visited else n :: visited)
+          (rest @ supers)
+  in
+  List.tl (go [] [ name ])
+
+let descendants s name =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> List.rev visited
+    | n :: rest ->
+        let subs =
+          List.filter
+            (fun x -> not (List.mem x visited || List.mem x rest))
+            (direct_subs s n)
+        in
+        go (if List.mem n visited then visited else n :: visited)
+          (rest @ subs)
+  in
+  List.tl (go [] [ name ])
+
+let would_cycle s ~sub ~super =
+  String.equal sub super || List.mem sub (ancestors s super)
+
+let add_edge s ~sub ~super map =
+  if not (mem s sub) then error "unknown template %s" sub;
+  if not (mem s super) then error "unknown template %s" super;
+  if would_cycle s ~sub ~super then
+    error "edge %s -> %s would create a cycle" sub super;
+  if
+    List.exists
+      (fun e -> String.equal e.e_sub sub && String.equal e.e_super super)
+      s.edges
+  then error "edge %s -> %s already present" sub super;
+  (* inheritance schema morphisms must be structurally well-formed *)
+  let tm =
+    Template_morphism.make
+      ~src:(Smap.find sub s.nodes)
+      ~dst:(Smap.find super s.nodes)
+      map
+  in
+  (match Template_morphism.violations tm with
+  | [] -> ()
+  | v :: _ -> error "ill-formed morphism %s -> %s: %s" sub super v);
+  s.edges <- { e_sub = sub; e_super = super; e_map = map } :: s.edges
+
+(* ------------------------------------------------------------------ *)
+(* Construction steps (paper §3, "growing the schema")                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Specialization: add new template [sub] below existing [supers]
+    (multiple inheritance when more than one). *)
+let specialize s (sub : Template.t) ~(supers : (string * Sigmap.t) list) =
+  add_template s sub;
+  List.iter
+    (fun (super, map) -> add_edge s ~sub:sub.Template.t_name ~super map)
+    supers
+
+(** Abstraction / generalization: add new template [super] above
+    existing [subs] ("growing the schema upward, hiding details"). *)
+let abstract s (super : Template.t) ~(subs : (string * Sigmap.t) list) =
+  add_template s super;
+  List.iter
+    (fun (sub, map) -> add_edge s ~sub ~super:super.Template.t_name map)
+    subs
+
+(* ------------------------------------------------------------------ *)
+(* Derived aspects                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** All aspects of the object created as [key • tpl]: the aspect itself
+    plus one aspect per ancestor template ("an object is an aspect
+    together with all its derived aspects"). *)
+let aspects_of s ~(key : Value.t) (tpl_name : string) : Aspect.t list =
+  match find s tpl_name with
+  | None -> error "unknown template %s" tpl_name
+  | Some tpl ->
+      Aspect.make (Ident.make tpl_name key) tpl
+      :: List.filter_map
+           (fun anc ->
+             Option.map
+               (fun t -> Aspect.make (Ident.make anc key) t)
+               (find s anc))
+           (ancestors s tpl_name)
+
+(** The inheritance morphisms relating an object's aspects, one per
+    schema edge on a path upward from its template. *)
+let inheritance_morphisms s ~(key : Value.t) (tpl_name : string) :
+    Aspect.morphism list =
+  let reachable = tpl_name :: ancestors s tpl_name in
+  List.filter_map
+    (fun e ->
+      if List.mem e.e_sub reachable then
+        match (find s e.e_sub, find s e.e_super) with
+        | Some sub, Some super ->
+            Some
+              (Aspect.morphism ~map:e.e_map
+                 ~src:(Aspect.make (Ident.make e.e_sub key) sub)
+                 ~dst:(Aspect.make (Ident.make e.e_super key) super)
+                 ())
+        | _ -> None
+      else None)
+    s.edges
+
+(** Topological order, most general templates first.  Useful for
+    building communities bottom-up. *)
+let topological s : string list =
+  let perm = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit n =
+    match Hashtbl.find_opt perm n with
+    | Some `Done -> ()
+    | Some `Active -> error "cycle through %s" n
+    | None ->
+        Hashtbl.replace perm n `Active;
+        List.iter visit (direct_supers s n);
+        Hashtbl.replace perm n `Done;
+        order := n :: !order
+  in
+  Smap.iter (fun n _ -> visit n) s.nodes;
+  List.rev !order
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e -> Format.fprintf ppf "%s -> %s@," e.e_sub e.e_super)
+    s.edges;
+  Format.fprintf ppf "@]"

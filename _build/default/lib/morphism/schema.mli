@@ -1,0 +1,59 @@
+(** Inheritance schemas (§3): DAGs of templates related by inheritance
+    schema morphisms, grown by specialization (downward, incl. multiple
+    inheritance) and abstraction (upward, incl. generalization).  The
+    edge [sub → super] reads "every [sub] IS A [super]"; creating an
+    object implicitly creates all derived aspects along edges
+    ({!aspects_of}). *)
+
+type edge = {
+  e_sub : string;
+  e_super : string;
+  e_map : Sigmap.t;  (** the inheritance schema morphism *)
+}
+
+type t
+
+exception Schema_error of string
+
+val create : unit -> t
+val mem : t -> string -> bool
+val find : t -> string -> Template.t option
+val templates : t -> Template.t list
+val edges : t -> edge list
+val size : t -> int
+
+val add_template : t -> Template.t -> unit
+(** Raises {!Schema_error} on duplicates. *)
+
+val add_edge : t -> sub:string -> super:string -> Sigmap.t -> unit
+(** Raises {!Schema_error} on unknown endpoints, cycles, duplicate
+    edges, or a structurally ill-formed morphism. *)
+
+val direct_supers : t -> string -> string list
+val direct_subs : t -> string -> string list
+
+val ancestors : t -> string -> string list
+(** Transitive supertypes, nearest first, without duplicates. *)
+
+val descendants : t -> string -> string list
+val would_cycle : t -> sub:string -> super:string -> bool
+
+val specialize : t -> Template.t -> supers:(string * Sigmap.t) list -> unit
+(** Add a new template below existing ones (multiple inheritance when
+    several supers). *)
+
+val abstract : t -> Template.t -> subs:(string * Sigmap.t) list -> unit
+(** Grow the schema upward: the new template generalizes existing ones. *)
+
+val aspects_of : t -> key:Value.t -> string -> Aspect.t list
+(** The object's aspect plus one aspect per ancestor ("an object is an
+    aspect together with all its derived aspects"). *)
+
+val inheritance_morphisms : t -> key:Value.t -> string -> Aspect.morphism list
+(** The inheritance morphisms relating those aspects, one per schema
+    edge on a path upward. *)
+
+val topological : t -> string list
+(** Most general templates first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(** Signature maps: the syntactic part of template morphisms.
+
+    A signature map sends attribute and event names of a source template
+    to names of a target template.  Example 3.4 of the paper maps the
+    computer's [switch_on_c] to the device's [switch_on]; identity maps
+    cover the common case where the inherited items keep their names. *)
+
+type t = {
+  attr_map : (string * string) list;  (** source attr → target attr *)
+  event_map : (string * string) list;  (** source event → target event *)
+}
+
+let empty = { attr_map = []; event_map = [] }
+
+let make ?(attrs = []) ?(events = []) () =
+  { attr_map = attrs; event_map = events }
+
+(** The identity map on the items two templates share by name. *)
+let identity_on (src : Template.t) (dst : Template.t) =
+  let attrs =
+    List.filter_map
+      (fun (a : Template.attr_def) ->
+        match Template.find_attr dst a.Template.at_name with
+        | Some _ -> Some (a.Template.at_name, a.Template.at_name)
+        | None -> None)
+      src.Template.t_attrs
+  in
+  let events =
+    List.filter_map
+      (fun (e : Template.event_def) ->
+        match Template.find_event dst e.Template.ed_name with
+        | Some _ -> Some (e.Template.ed_name, e.Template.ed_name)
+        | None -> None)
+      src.Template.t_events
+  in
+  { attr_map = attrs; event_map = events }
+
+let map_attr t name = List.assoc_opt name t.attr_map
+let map_event t name = List.assoc_opt name t.event_map
+
+(** Composition: [compose f g] maps along [f] then [g]. *)
+let compose f g =
+  let comp m1 m2 =
+    List.filter_map
+      (fun (a, b) ->
+        match List.assoc_opt b m2 with Some c -> Some (a, c) | None -> None)
+      m1
+  in
+  { attr_map = comp f.attr_map g.attr_map;
+    event_map = comp f.event_map g.event_map }
+
+let pp ppf t =
+  let pair ppf (a, b) =
+    if String.equal a b then Format.pp_print_string ppf a
+    else Format.fprintf ppf "%s->%s" a b
+  in
+  Format.fprintf ppf "{attrs: %a; events: %a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pair)
+    t.attr_map
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pair)
+    t.event_map

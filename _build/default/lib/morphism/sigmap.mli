@@ -1,0 +1,28 @@
+(** Signature maps — the syntactic part of template morphisms: they send
+    attribute and event names of a source template to names of a target
+    (example 3.4 maps the computer's [switch_on_c] to the device's
+    [switch_on]). *)
+
+type t = {
+  attr_map : (string * string) list;  (** source attr → target attr *)
+  event_map : (string * string) list;  (** source event → target event *)
+}
+
+val empty : t
+
+val make :
+  ?attrs:(string * string) list ->
+  ?events:(string * string) list ->
+  unit ->
+  t
+
+val identity_on : Template.t -> Template.t -> t
+(** The identity map on the items two templates share by name. *)
+
+val map_attr : t -> string -> string option
+val map_event : t -> string -> string option
+
+val compose : t -> t -> t
+(** [compose f g] maps along [f] then [g]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+(** Template morphisms: structure- and behaviour-preserving maps among
+    templates ([ES91], §3 of the paper).
+
+    We implement the special case used throughout the paper — *template
+    projections*, which project a template onto a portion of it (an
+    abstraction like computer → el_device, or a part like computer →
+    cpu) — as a signature map subject to structural well-formedness:
+
+    - every mapped source item exists in the source, its image exists in
+      the target;
+    - attribute types are preserved, event parameter lists are
+      preserved, birth/death polarity is preserved;
+    - the paper notes that the morphisms of interest are *surjective*:
+      {!is_surjective} checks every target item is an image.
+
+    Behaviour preservation ("a computer's behaviour contains that of an
+    el_device") is undecidable statically; {!Refinement} (in the
+    [troll_refine] library) provides the bounded operational check. *)
+
+type t = { src : Template.t; dst : Template.t; map : Sigmap.t }
+
+let make ~src ~dst map = { src; dst; map }
+
+(** Projection with identity renaming on the shared items. *)
+let projection ~src ~dst = { src; dst; map = Sigmap.identity_on src dst }
+
+type violation = string
+
+let check_attr (m : t) (sa, da) acc =
+  match (Template.find_attr m.src sa, Template.find_attr m.dst da) with
+  | None, _ -> Printf.sprintf "source attribute %s does not exist" sa :: acc
+  | _, None -> Printf.sprintf "target attribute %s does not exist" da :: acc
+  | Some a, Some b ->
+      if Vtype.equal a.Template.at_type b.Template.at_type then acc
+      else
+        Printf.sprintf "attribute %s: type %s mapped to %s" sa
+          (Vtype.to_string a.Template.at_type)
+          (Vtype.to_string b.Template.at_type)
+        :: acc
+
+let check_event (m : t) (se, de) acc =
+  match (Template.find_event m.src se, Template.find_event m.dst de) with
+  | None, _ -> Printf.sprintf "source event %s does not exist" se :: acc
+  | _, None -> Printf.sprintf "target event %s does not exist" de :: acc
+  | Some a, Some b ->
+      let acc =
+        if
+          List.length a.Template.ed_params = List.length b.Template.ed_params
+          && List.for_all2 Vtype.equal a.Template.ed_params
+               b.Template.ed_params
+        then acc
+        else Printf.sprintf "event %s: parameter lists differ" se :: acc
+      in
+      if a.Template.ed_kind = b.Template.ed_kind then acc
+      else
+        Printf.sprintf "event %s: birth/death polarity not preserved" se
+        :: acc
+
+(** Structural violations of the morphism (empty list = well-formed). *)
+let violations (m : t) : violation list =
+  let acc = List.fold_right (check_attr m) m.map.Sigmap.attr_map [] in
+  List.fold_right (check_event m) m.map.Sigmap.event_map acc
+
+let is_wellformed m = violations m = []
+
+(** Every item of the target is the image of a source item (the paper's
+    surjectivity requirement for inheritance and interaction
+    morphisms). *)
+let is_surjective (m : t) =
+  List.for_all
+    (fun (a : Template.attr_def) ->
+      List.exists
+        (fun (_, da) -> String.equal da a.Template.at_name)
+        m.map.Sigmap.attr_map)
+    m.dst.Template.t_attrs
+  && List.for_all
+       (fun (e : Template.event_def) ->
+         List.exists
+           (fun (_, de) -> String.equal de e.Template.ed_name)
+           m.map.Sigmap.event_map)
+       m.dst.Template.t_events
+
+(** Composition of morphisms (fails if endpoints do not meet). *)
+let compose (f : t) (g : t) : t option =
+  if String.equal f.dst.Template.t_name g.src.Template.t_name then
+    Some { src = f.src; dst = g.dst; map = Sigmap.compose f.map g.map }
+  else None
+
+let pp ppf (m : t) =
+  Format.fprintf ppf "%s -> %s %a" m.src.Template.t_name
+    m.dst.Template.t_name Sigmap.pp m.map

@@ -1,0 +1,31 @@
+(** Template morphisms: structure- and behaviour-preserving maps among
+    templates ([ES91]).  We implement the paper's special case —
+    *template projections* (abstractions like computer → el_device, or
+    parts like computer → cpu) — as signature maps subject to
+    structural well-formedness; the behavioural side is checked
+    operationally by [Refinement]. *)
+
+type t = { src : Template.t; dst : Template.t; map : Sigmap.t }
+
+val make : src:Template.t -> dst:Template.t -> Sigmap.t -> t
+
+val projection : src:Template.t -> dst:Template.t -> t
+(** Identity renaming on the shared items. *)
+
+type violation = string
+
+val violations : t -> violation list
+(** Structural violations: missing endpoints, attribute types not
+    preserved, event parameter lists or birth/death polarity changed.
+    Empty = well-formed. *)
+
+val is_wellformed : t -> bool
+
+val is_surjective : t -> bool
+(** Every target item is an image — the paper's requirement on the
+    inheritance and interaction morphisms of interest. *)
+
+val compose : t -> t -> t option
+(** [None] when the endpoints do not meet. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,175 @@
+(** The object query algebra ([SJ90, SJS91]) as a standalone value-level
+    library.
+
+    The paper's derivation rules retrieve values from object states with
+    an algebra "resembling well known concepts of database query
+    algebras handling values (not objects!)".  This module implements
+    that algebra over canonical {!Value} collections of tuples: selection,
+    projection, renaming, natural join, set operations and aggregates.
+    The interface layer ([troll_iface]) uses it to realise derived
+    attributes and join views such as the paper's [WORKS_FOR]. *)
+
+type rel = Value.t list
+(** A relation: a duplicate-free, sorted list of (usually tuple)
+    values. *)
+
+let of_value = function
+  | Value.Set xs -> Ok xs
+  | Value.List xs -> Ok (List.sort_uniq Value.compare xs)
+  | Value.Undefined -> Ok []
+  | v -> Error (Printf.sprintf "not a relation: %s" (Value.to_string v))
+
+let to_value (r : rel) : Value.t = Value.set r
+
+let of_tuples rows : rel =
+  List.sort_uniq Value.compare (List.map (fun fields -> Value.Tuple fields) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Core operators                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let select (pred : Value.t -> bool) (r : rel) : rel = List.filter pred r
+
+(** Projection onto named fields; a single field projects to its bare
+    values (as the paper's [project|salary|] does), several fields keep
+    tuple shape.  Duplicates collapse (set semantics). *)
+let project (fields : string list) (r : rel) : rel =
+  let proj v =
+    match fields with
+    | [ f ] -> Value.field f v
+    | fs -> Value.Tuple (List.map (fun f -> (f, Value.field f v)) fs)
+  in
+  List.sort_uniq Value.compare (List.map proj r)
+
+(** Projection keeping duplicates, for aggregates over non-key fields. *)
+let project_bag (fields : string list) (r : rel) : Value.t list =
+  let proj v =
+    match fields with
+    | [ f ] -> Value.field f v
+    | fs -> Value.Tuple (List.map (fun f -> (f, Value.field f v)) fs)
+  in
+  List.map proj r
+
+let rename (mapping : (string * string) list) (r : rel) : rel =
+  let ren v =
+    match v with
+    | Value.Tuple fields ->
+        Value.Tuple
+          (List.map
+             (fun (n, x) ->
+               ((match List.assoc_opt n mapping with
+                | Some n' -> n'
+                | None -> n),
+                 x))
+             fields)
+    | v -> v
+  in
+  List.sort_uniq Value.compare (List.map ren r)
+
+let union (a : rel) (b : rel) : rel = List.sort_uniq Value.compare (a @ b)
+
+let inter (a : rel) (b : rel) : rel =
+  List.filter (fun x -> List.exists (Value.equal x) b) a
+
+let diff (a : rel) (b : rel) : rel =
+  List.filter (fun x -> not (List.exists (Value.equal x) b)) a
+
+let tuple_fields = function Value.Tuple fs -> fs | _ -> []
+
+(** Natural join: combine tuples agreeing on all shared field names.
+    With no shared fields this degenerates to the Cartesian product. *)
+let join (a : rel) (b : rel) : rel =
+  let fields_of r =
+    match r with v :: _ -> List.map fst (tuple_fields v) | [] -> []
+  in
+  let shared =
+    List.filter (fun f -> List.mem f (fields_of b)) (fields_of a)
+  in
+  let rows =
+    List.concat_map
+      (fun va ->
+        let fa = tuple_fields va in
+        List.filter_map
+          (fun vb ->
+            let fb = tuple_fields vb in
+            let agree =
+              List.for_all
+                (fun f ->
+                  match (List.assoc_opt f fa, List.assoc_opt f fb) with
+                  | Some x, Some y -> Value.equal x y
+                  | _ -> false)
+                shared
+            in
+            if agree then
+              let extra =
+                List.filter (fun (n, _) -> not (List.mem n shared)) fb
+              in
+              Some (Value.Tuple (fa @ extra))
+            else None)
+          b)
+      a
+  in
+  List.sort_uniq Value.compare rows
+
+(** Theta-join on an explicit predicate over the pair. *)
+let join_on (pred : Value.t -> Value.t -> bool) (combine : Value.t -> Value.t -> Value.t)
+    (a : rel) (b : rel) : rel =
+  List.sort_uniq Value.compare
+    (List.concat_map
+       (fun va ->
+         List.filter_map
+           (fun vb -> if pred va vb then Some (combine va vb) else None)
+           b)
+       a)
+
+let product (a : rel) (b : rel) : rel =
+  join_on
+    (fun _ _ -> true)
+    (fun va vb -> Value.Tuple (tuple_fields va @ tuple_fields vb))
+    a b
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let count (r : rel) = List.length r
+
+let the (r : rel) : Value.t = match r with [ v ] -> v | _ -> Value.Undefined
+
+let agg op (vs : Value.t list) : Value.t =
+  match Builtin.apply op [ Value.List vs ] with
+  | Ok v -> v
+  | Error _ -> Value.Undefined
+
+let sum ?field (r : rel) : Value.t =
+  agg "sum" (match field with Some f -> project_bag [ f ] r | None -> r)
+
+let minimum ?field (r : rel) : Value.t =
+  agg "minimum" (match field with Some f -> project_bag [ f ] r | None -> r)
+
+let maximum ?field (r : rel) : Value.t =
+  agg "maximum" (match field with Some f -> project_bag [ f ] r | None -> r)
+
+let average ?field (r : rel) : Value.t =
+  agg "avg" (match field with Some f -> project_bag [ f ] r | None -> r)
+
+(** Group by the given fields; apply [reduce] to each group; result
+    tuples carry the grouping fields plus the named aggregate. *)
+let group_by (fields : string list) ~(agg_name : string)
+    ~(reduce : rel -> Value.t) (r : rel) : rel =
+  let key v = Value.Tuple (List.map (fun f -> (f, Value.field f v)) fields) in
+  let groups =
+    List.fold_left
+      (fun acc v ->
+        let k = key v in
+        let cur = match List.assoc_opt k acc with Some g -> g | None -> [] in
+        (k, v :: cur) :: List.remove_assoc k acc)
+      [] r
+  in
+  List.sort_uniq Value.compare
+    (List.map
+       (fun (k, group) ->
+         match k with
+         | Value.Tuple kf -> Value.Tuple (kf @ [ (agg_name, reduce group) ])
+         | _ -> Value.Tuple [ (agg_name, reduce group) ])
+       groups)

@@ -1,0 +1,64 @@
+(** The object query algebra ([SJ90, SJS91]) over canonical value
+    collections: selection, projection, renaming, joins, set operations
+    and aggregates.  "Resembles well known concepts of database query
+    algebras handling values (not objects!)"; used by derivation rules
+    and the interface layer's join views. *)
+
+type rel = Value.t list
+(** A relation: a duplicate-free, sorted list of (usually tuple)
+    values. *)
+
+val of_value : Value.t -> (rel, string) result
+(** Sets pass through, lists are canonicalised, [Undefined] is the empty
+    relation; scalars are errors. *)
+
+val to_value : rel -> Value.t
+
+val of_tuples : (string * Value.t) list list -> rel
+(** Build a relation from rows of named fields. *)
+
+val select : (Value.t -> bool) -> rel -> rel
+
+val project : string list -> rel -> rel
+(** A single field projects to its bare values (as the paper's
+    [project|salary|] does); several fields keep tuple shape.
+    Duplicates collapse (set semantics). *)
+
+val project_bag : string list -> rel -> Value.t list
+(** Projection keeping duplicates, for aggregates over non-key fields. *)
+
+val rename : (string * string) list -> rel -> rel
+
+val union : rel -> rel -> rel
+val inter : rel -> rel -> rel
+val diff : rel -> rel -> rel
+
+val join : rel -> rel -> rel
+(** Natural join on shared field names; degenerates to the Cartesian
+    product when none are shared. *)
+
+val join_on :
+  (Value.t -> Value.t -> bool) ->
+  (Value.t -> Value.t -> Value.t) ->
+  rel ->
+  rel ->
+  rel
+(** Theta-join: keep pairs satisfying the predicate, combined by the
+    second argument. *)
+
+val product : rel -> rel -> rel
+
+val count : rel -> int
+
+val the : rel -> Value.t
+(** The unique element of a singleton relation, else [Undefined]. *)
+
+val sum : ?field:string -> rel -> Value.t
+val minimum : ?field:string -> rel -> Value.t
+val maximum : ?field:string -> rel -> Value.t
+val average : ?field:string -> rel -> Value.t
+
+val group_by :
+  string list -> agg_name:string -> reduce:(rel -> Value.t) -> rel -> rel
+(** Group on the given fields; result tuples carry the grouping fields
+    plus the reduced value under [agg_name]. *)

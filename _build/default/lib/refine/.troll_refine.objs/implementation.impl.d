@@ -1,0 +1,1 @@
+lib/refine/implementation.ml: List Template

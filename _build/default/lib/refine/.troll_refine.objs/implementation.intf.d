@@ -1,0 +1,1 @@
+lib/refine/implementation.mli: Template

@@ -1,0 +1,1 @@
+lib/refine/obligation.ml: Format Implementation List Printf String Template

@@ -1,0 +1,1 @@
+lib/refine/obligation.mli: Format Implementation Template

@@ -1,0 +1,1 @@
+lib/refine/refinement.ml: Ast Community Engine Eval Event Format Ident Implementation List Money Obligation Printf Runtime_error Template Value Vtype

@@ -1,0 +1,1 @@
+lib/refine/refinement.mli: Community Format Ident Implementation Obligation Template Value Vtype

@@ -1,0 +1,50 @@
+(** Formal object implementation — the mapping between an abstract
+    specification and its realisation over base objects (§5.2).
+
+    An implementation in the paper consists of (1) the declaration of the
+    base objects, (2) the aggregation of the base objects plus the
+    implementation of the abstract events and attributes over the base
+    signature, and (3) the hiding of implementation details behind an
+    interface.  Steps (1)–(3) are ordinary TROLL declarations (the
+    [emp_rel] object, the [EMPL_IMPL] class with [inheriting emp_rel as
+    employees], the [EMPL] interface); what this module adds is the
+    *correspondence* between abstract and concrete names that a
+    refinement check needs. *)
+
+type t = {
+  abs_class : string;  (** abstract class, e.g. [EMPLOYEE] *)
+  conc_class : string;  (** implementing class, e.g. [EMPL_IMPL] *)
+  event_map : (string * string) list;
+      (** abstract event name → concrete event name; arguments pass
+          through unchanged.  Events absent from the map are assumed to
+          keep their names. *)
+  attr_map : (string * string) list;
+      (** abstract attribute → concrete (possibly derived) attribute;
+          unmapped attributes keep their names *)
+  hidden : string list;
+      (** concrete attributes that are implementation detail: never
+          compared, mirroring the interface-hiding step *)
+}
+
+let make ?(event_map = []) ?(attr_map = []) ?(hidden = []) ~abs_class
+    ~conc_class () =
+  { abs_class; conc_class; event_map; attr_map; hidden }
+
+let map_event t name =
+  match List.assoc_opt name t.event_map with Some n -> n | None -> name
+
+let map_attr t name =
+  match List.assoc_opt name t.attr_map with Some n -> n | None -> name
+
+(** The abstract attributes whose observations must agree: all
+    non-derived-parameterised attributes of the abstract template minus
+    the hidden ones. *)
+let observed_attrs t (abs_tpl : Template.t) : (string * string) list =
+  List.filter_map
+    (fun (a : Template.attr_def) ->
+      if a.Template.at_params <> [] then None
+      else
+        let conc = map_attr t a.Template.at_name in
+        if List.mem conc t.hidden then None
+        else Some (a.Template.at_name, conc))
+    abs_tpl.Template.t_attrs

@@ -1,0 +1,34 @@
+(** Formal object implementation (§5.2): the correspondence between an
+    abstract class and its realisation over base objects.  The three
+    implementation steps (base objects, aggregation + implementation,
+    hiding behind an interface) are ordinary TROLL declarations; this
+    mapping is what the refinement check needs to relate them. *)
+
+type t = {
+  abs_class : string;  (** abstract class, e.g. [EMPLOYEE] *)
+  conc_class : string;  (** implementing class, e.g. [EMPL_IMPL] *)
+  event_map : (string * string) list;
+      (** abstract → concrete event names; unmapped names pass through *)
+  attr_map : (string * string) list;
+      (** abstract → concrete (possibly derived) attribute names *)
+  hidden : string list;
+      (** concrete attributes that are implementation detail (never
+          compared) — the interface-hiding step *)
+}
+
+val make :
+  ?event_map:(string * string) list ->
+  ?attr_map:(string * string) list ->
+  ?hidden:string list ->
+  abs_class:string ->
+  conc_class:string ->
+  unit ->
+  t
+
+val map_event : t -> string -> string
+val map_attr : t -> string -> string
+
+val observed_attrs : t -> Template.t -> (string * string) list
+(** The (abstract, concrete) attribute pairs whose observations must
+    agree: all parameterless abstract attributes minus the hidden
+    ones. *)

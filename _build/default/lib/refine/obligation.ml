@@ -1,0 +1,122 @@
+(** Proof obligations of a formal implementation.
+
+    "To show the correctness of our implementation, we have to prove
+    that all properties of the original EMPLOYEE specification can be
+    derived from EMPL, too" (§5.2).  A full proof theory ([FSMS90,
+    FM91]) is outside the scope of the paper — and of this library; what
+    we do is *enumerate* the obligations the proof theory would
+    discharge, and record for each how the bounded simulation
+    ({!Refinement.check}) exercised it. *)
+
+type kind =
+  | Event_enabled
+      (** whenever the abstract event is permitted, the mapped concrete
+          event is permitted *)
+  | Event_effect
+      (** after corresponding events, observed attributes agree *)
+  | Permission_preserved
+      (** whenever the abstract permission denies, the concrete side
+          denies too (no extra traces become observable) *)
+  | Birth_death
+      (** life cycles correspond: birth maps to birth, death to death *)
+
+type status =
+  | Unchecked
+  | Exercised of int  (** number of exploration cases that touched it *)
+  | Violated of string  (** counterexample description *)
+
+type t = {
+  ob_id : string;
+  ob_kind : kind;
+  ob_text : string;
+  mutable ob_status : status;
+}
+
+let kind_to_string = function
+  | Event_enabled -> "event-enabledness"
+  | Event_effect -> "event-effect"
+  | Permission_preserved -> "permission-preservation"
+  | Birth_death -> "life-cycle"
+
+(** Generate the obligation set for an implementation mapping. *)
+let generate (impl : Implementation.t) ~(abs_tpl : Template.t)
+    ~(conc_tpl : Template.t) : t list =
+  let obligations = ref [] in
+  let add ob_kind ob_id fmt =
+    Format.kasprintf
+      (fun ob_text ->
+        obligations := { ob_id; ob_kind; ob_text; ob_status = Unchecked } :: !obligations)
+      fmt
+  in
+  (* life cycle correspondence *)
+  List.iter
+    (fun (ed : Template.event_def) ->
+      let conc_name = Implementation.map_event impl ed.Template.ed_name in
+      match Template.find_event conc_tpl conc_name with
+      | None ->
+          add Birth_death
+            (Printf.sprintf "map-%s" ed.Template.ed_name)
+            "abstract event %s has no concrete counterpart %s"
+            ed.Template.ed_name conc_name
+      | Some ced ->
+          if ed.Template.ed_kind <> ced.Template.ed_kind then
+            add Birth_death
+              (Printf.sprintf "polarity-%s" ed.Template.ed_name)
+              "event %s: birth/death polarity differs from %s"
+              ed.Template.ed_name conc_name;
+          add Event_enabled
+            (Printf.sprintf "enabled-%s" ed.Template.ed_name)
+            "whenever %s.%s is permitted, %s.%s must be permitted"
+            impl.Implementation.abs_class ed.Template.ed_name
+            impl.Implementation.conc_class conc_name;
+          add Event_effect
+            (Printf.sprintf "effect-%s" ed.Template.ed_name)
+            "after %s / %s, all observed attributes agree"
+            ed.Template.ed_name conc_name)
+    abs_tpl.Template.t_events;
+  (* permissions *)
+  List.iter
+    (fun (pm : Template.permission) ->
+      add Permission_preserved
+        (Printf.sprintf "perm-%s" pm.Template.pm_event)
+        "permission { %s } %s must be enforced by the implementation"
+        pm.Template.pm_text pm.Template.pm_event)
+    abs_tpl.Template.t_perms;
+  (* observation correspondence *)
+  List.iter
+    (fun (abs_a, conc_a) ->
+      match Template.find_attr conc_tpl conc_a with
+      | None ->
+          add Event_effect
+            (Printf.sprintf "attr-%s" abs_a)
+            "abstract attribute %s has no concrete counterpart %s" abs_a
+            conc_a
+      | Some _ -> ())
+    (Implementation.observed_attrs impl abs_tpl);
+  List.rev !obligations
+
+let mark_exercised (obs : t list) ~id =
+  List.iter
+    (fun ob ->
+      if String.equal ob.ob_id id then
+        ob.ob_status <-
+          (match ob.ob_status with
+          | Unchecked -> Exercised 1
+          | Exercised n -> Exercised (n + 1)
+          | Violated _ as v -> v))
+    obs
+
+let mark_violated (obs : t list) ~id ~reason =
+  List.iter
+    (fun ob ->
+      if String.equal ob.ob_id id then ob.ob_status <- Violated reason)
+    obs
+
+let pp ppf ob =
+  Format.fprintf ppf "[%s] %s: %s — %s"
+    (kind_to_string ob.ob_kind)
+    ob.ob_id ob.ob_text
+    (match ob.ob_status with
+    | Unchecked -> "unchecked"
+    | Exercised n -> Printf.sprintf "exercised in %d case(s)" n
+    | Violated r -> "VIOLATED: " ^ r)

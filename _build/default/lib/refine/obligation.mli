@@ -1,0 +1,34 @@
+(** Proof obligations of a formal implementation (§5.2: "we have to
+    prove that all properties of the original EMPLOYEE specification can
+    be derived from EMPL, too").  We enumerate the obligations the proof
+    theory [FSMS90, FM91] would discharge, and record how the bounded
+    simulation exercised each. *)
+
+type kind =
+  | Event_enabled
+      (** abstract-permitted events must be concretely permitted *)
+  | Event_effect  (** observed attributes agree after corresponding events *)
+  | Permission_preserved
+      (** abstract rejections must be concrete rejections *)
+  | Birth_death  (** life cycles correspond *)
+
+type status =
+  | Unchecked
+  | Exercised of int  (** exploration cases that touched it *)
+  | Violated of string  (** counterexample description *)
+
+type t = {
+  ob_id : string;
+  ob_kind : kind;
+  ob_text : string;
+  mutable ob_status : status;
+}
+
+val kind_to_string : kind -> string
+
+val generate :
+  Implementation.t -> abs_tpl:Template.t -> conc_tpl:Template.t -> t list
+
+val mark_exercised : t list -> id:string -> unit
+val mark_violated : t list -> id:string -> reason:string -> unit
+val pp : Format.formatter -> t -> unit

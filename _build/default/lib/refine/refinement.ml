@@ -1,0 +1,250 @@
+(** Bounded refinement checking by lock-step simulation.
+
+    The correctness criterion of §5.2 — every property of the abstract
+    specification is derivable from the implementation — is made
+    executable as bounded trace simulation: drive the abstract instance
+    and its implementation with corresponding events, to a depth [k],
+    over a finite candidate alphabet, and require
+
+    - equal *enabledness*: an event accepted by the abstract object must
+      be accepted by the implementation, and (for property preservation)
+      an event rejected by the abstract object must be rejected by the
+      implementation;
+    - equal *observations*: after every accepted step, each observed
+      abstract attribute equals its mapped concrete attribute.
+
+    The exploration branches over every candidate event at every depth
+    (communities are cloned per branch), so its cost grows as
+    |alphabet|^k — which is exactly why the check is *bounded*
+    (experiment E7 measures this growth). *)
+
+type candidate = { ev_name : string; ev_args : Value.t list }
+
+type counterexample = {
+  trace : candidate list;  (** accepted prefix *)
+  failing : candidate;
+  reason : string;
+}
+
+type report = {
+  verdict : (unit, counterexample) result;
+  cases : int;  (** (event, state) pairs examined *)
+  accepted : int;  (** steps both sides accepted *)
+  obligations : Obligation.t list;
+}
+
+let pp_candidate ppf c =
+  if c.ev_args = [] then Format.pp_print_string ppf c.ev_name
+  else
+    Format.fprintf ppf "%s(%a)" c.ev_name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Value.pp)
+      c.ev_args
+
+let pp_counterexample ppf cx =
+  Format.fprintf ppf "after [%a], event %a: %s"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_candidate)
+    cx.trace pp_candidate cx.failing cx.reason
+
+(* ------------------------------------------------------------------ *)
+(* Candidate generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Small value pools per type, for synthesising candidate events. *)
+let rec default_pool (ty : Vtype.t) : Value.t list =
+  match ty with
+  | Vtype.Bool -> [ Value.Bool true; Value.Bool false ]
+  | Vtype.Int | Vtype.Nat -> [ Value.Int 0; Value.Int 1; Value.Int 42 ]
+  | Vtype.String -> [ Value.String "a"; Value.String "b" ]
+  | Vtype.Date -> [ Value.Date 0; Value.Date 7305 ]
+  | Vtype.Money -> [ Value.Money (Money.of_units 100) ]
+  | Vtype.Enum (n, cs) -> List.map (fun c -> Value.Enum (n, c)) cs
+  | Vtype.Id cls -> [ Value.Id (cls, Value.String "x") ]
+  | Vtype.Set _ -> [ Value.Set [] ]
+  | Vtype.List _ -> [ Value.List [] ]
+  | Vtype.Map _ -> [ Value.map [] ]
+  | Vtype.Tuple fields ->
+      (* one representative tuple from the first pool element of each
+         field *)
+      let rec build = function
+        | [] -> [ [] ]
+        | (n, t) :: rest ->
+            let vs =
+              match default_pool t with v :: _ -> [ v ] | [] -> []
+            in
+            List.concat_map
+              (fun v -> List.map (fun tl -> (n, v) :: tl) (build rest))
+              vs
+      in
+      List.map (fun fs -> Value.Tuple fs) (build fields)
+  | Vtype.Any -> [ Value.Int 0 ]
+
+(** Candidate events of a template: every non-birth event, with argument
+    combinations drawn from [pool] (the Cartesian product, capped at
+    [max_per_event]). *)
+let candidates ?(pool = default_pool) ?(max_per_event = 8)
+    (tpl : Template.t) : candidate list =
+  List.concat_map
+    (fun (ed : Template.event_def) ->
+      if ed.Template.ed_kind = Ast.Ev_birth then []
+      else
+        let rec combos = function
+          | [] -> [ [] ]
+          | ty :: rest ->
+              List.concat_map
+                (fun v -> List.map (fun tl -> v :: tl) (combos rest))
+                (pool ty)
+        in
+        let all = combos ed.Template.ed_params in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: r -> x :: take (n - 1) r
+        in
+        List.map
+          (fun args -> { ev_name = ed.Template.ed_name; ev_args = args })
+          (take max_per_event all))
+    tpl.Template.t_events
+
+(* ------------------------------------------------------------------ *)
+(* Lock-step exploration                                               *)
+(* ------------------------------------------------------------------ *)
+
+type side = { community : Community.t; id : Ident.t }
+
+let fire_candidate (s : side) ~(name : string) (c : candidate) =
+  Engine.fire s.community (Event.make s.id name c.ev_args)
+
+(** Check the implementation [impl] by bounded lock-step simulation.
+
+    [abs]/[conc] give the communities and instance identities of the two
+    sides (the instances must already be alive and in corresponding
+    states).  [alphabet] lists the candidate events in abstract terms;
+    each is mapped through [impl] for the concrete side.  [depth] bounds
+    the trace length. *)
+let check ~(impl : Implementation.t) ~(abs : side) ~(conc : side)
+    ~(alphabet : candidate list) ~(depth : int) : report =
+  let abs_tpl =
+    Community.template_exn abs.community impl.Implementation.abs_class
+  in
+  let conc_tpl =
+    Community.template_exn conc.community impl.Implementation.conc_class
+  in
+  let obligations = Obligation.generate impl ~abs_tpl ~conc_tpl in
+  let cases = ref 0 in
+  let accepted = ref 0 in
+  let exception Cex of counterexample in
+  let observe_mismatch abs_c conc_c =
+    (* life-cycle stage must agree; attribute observations are only
+       meaningful while both sides are alive *)
+    let alive c id =
+      match Community.living c id with Some _ -> true | None -> false
+    in
+    let abs_alive = alive abs_c abs.id and conc_alive = alive conc_c conc.id in
+    if abs_alive <> conc_alive then
+      Some
+        (Printf.sprintf "life cycle diverges: abstract %s, concrete %s"
+           (if abs_alive then "alive" else "not alive")
+           (if conc_alive then "alive" else "not alive"))
+    else if not abs_alive then None
+    else
+    List.find_map
+      (fun (abs_a, conc_a) ->
+        let va =
+          try
+            Eval.read_attr abs_c (Community.object_exn abs_c abs.id) abs_a []
+          with Runtime_error.Error _ -> Value.Undefined
+        in
+        let vc =
+          try
+            Eval.read_attr conc_c
+              (Community.object_exn conc_c conc.id)
+              conc_a []
+          with Runtime_error.Error _ -> Value.Undefined
+        in
+        if Value.equal va vc then None
+        else
+          Some
+            (Printf.sprintf "observation %s: abstract %s vs concrete %s"
+               abs_a (Value.to_string va) (Value.to_string vc)))
+      (Implementation.observed_attrs impl abs_tpl)
+  in
+  let rec explore (abs_c : Community.t) (conc_c : Community.t) trace d =
+    if d = 0 then ()
+    else
+      List.iter
+        (fun (cand : candidate) ->
+          incr cases;
+          let abs_c' = Community.clone abs_c in
+          let conc_c' = Community.clone conc_c in
+          let abs_r =
+            fire_candidate { community = abs_c'; id = abs.id }
+              ~name:cand.ev_name cand
+          in
+          let conc_name = Implementation.map_event impl cand.ev_name in
+          let conc_r =
+            fire_candidate { community = conc_c'; id = conc.id }
+              ~name:conc_name cand
+          in
+          match (abs_r, conc_r) with
+          | Ok _, Ok _ -> (
+              incr accepted;
+              Obligation.mark_exercised obligations
+                ~id:(Printf.sprintf "enabled-%s" cand.ev_name);
+              match observe_mismatch abs_c' conc_c' with
+              | Some reason ->
+                  Obligation.mark_violated obligations
+                    ~id:(Printf.sprintf "effect-%s" cand.ev_name)
+                    ~reason;
+                  raise
+                    (Cex { trace = List.rev trace; failing = cand; reason })
+              | None ->
+                  Obligation.mark_exercised obligations
+                    ~id:(Printf.sprintf "effect-%s" cand.ev_name);
+                  explore abs_c' conc_c' (cand :: trace) (d - 1))
+          | Ok _, Error r ->
+              let reason =
+                Printf.sprintf
+                  "abstract side accepts but implementation rejects (%s)"
+                  (Runtime_error.reason_to_string r)
+              in
+              Obligation.mark_violated obligations
+                ~id:(Printf.sprintf "enabled-%s" cand.ev_name)
+                ~reason;
+              raise (Cex { trace = List.rev trace; failing = cand; reason })
+          | Error r, Ok _ ->
+              let reason =
+                Printf.sprintf
+                  "implementation accepts an event the specification forbids \
+                   (abstract rejection: %s)"
+                  (Runtime_error.reason_to_string r)
+              in
+              Obligation.mark_violated obligations
+                ~id:(Printf.sprintf "perm-%s" cand.ev_name)
+                ~reason;
+              raise (Cex { trace = List.rev trace; failing = cand; reason })
+          | Error _, Error _ ->
+              (* both reject: permission preserved on this case *)
+              Obligation.mark_exercised obligations
+                ~id:(Printf.sprintf "perm-%s" cand.ev_name))
+        alphabet
+  in
+  match explore abs.community conc.community [] depth with
+  | () ->
+      { verdict = Ok (); cases = !cases; accepted = !accepted; obligations }
+  | exception Cex cx ->
+      { verdict = Error cx; cases = !cases; accepted = !accepted; obligations }
+
+let pp_report ppf r =
+  (match r.verdict with
+  | Ok () ->
+      Format.fprintf ppf
+        "refinement holds up to bound (%d cases, %d accepted steps)@,"
+        r.cases r.accepted
+  | Error cx ->
+      Format.fprintf ppf "refinement FAILS: %a@," pp_counterexample cx);
+  List.iter (fun ob -> Format.fprintf ppf "  %a@," Obligation.pp ob)
+    r.obligations

@@ -1,0 +1,52 @@
+(** Bounded refinement checking by lock-step simulation — the
+    executable form of §5.2's correctness criterion.
+
+    Drive the abstract instance and its implementation with
+    corresponding events over all traces up to depth [k], requiring
+    equal enabledness in both directions (missing behaviour /
+    unpreserved permissions) and equal observations after every jointly
+    accepted step.  Cost grows as |alphabet|^k — hence *bounded*
+    (experiment E7). *)
+
+type candidate = { ev_name : string; ev_args : Value.t list }
+
+type counterexample = {
+  trace : candidate list;  (** accepted prefix *)
+  failing : candidate;
+  reason : string;
+}
+
+type report = {
+  verdict : (unit, counterexample) result;
+  cases : int;  (** (event, state) pairs examined *)
+  accepted : int;  (** steps both sides accepted *)
+  obligations : Obligation.t list;
+      (** the §5.2 proof obligations, marked exercised/violated *)
+}
+
+val pp_candidate : Format.formatter -> candidate -> unit
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val default_pool : Vtype.t -> Value.t list
+(** Small value pools per type, for synthesising candidate events. *)
+
+val candidates :
+  ?pool:(Vtype.t -> Value.t list) ->
+  ?max_per_event:int ->
+  Template.t ->
+  candidate list
+(** Candidate events of a template: every non-birth event with argument
+    combinations drawn from the pool. *)
+
+type side = { community : Community.t; id : Ident.t }
+
+val check :
+  impl:Implementation.t ->
+  abs:side ->
+  conc:side ->
+  alphabet:candidate list ->
+  depth:int ->
+  report
+(** Both instances must be alive and in corresponding states; the
+    communities are never mutated (all exploration is on clones). *)

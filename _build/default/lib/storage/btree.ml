@@ -1,0 +1,299 @@
+(** An in-memory B-tree keyed by {!Value.t}.
+
+    §5.2 closes with: "this relation object itself may be implemented
+    for example by another object using a B-tree or a hash table access
+    method" — the internal-schema level below [emp_rel].  This module is
+    that access method: an order-[b] B-tree with the classic invariants
+
+    - every node except the root holds between [b-1] and [2b-1] keys;
+    - all leaves are at the same depth;
+    - keys within a node are strictly increasing ({!Value.compare}).
+
+    Deletion uses the standard rebalancing (borrow from a sibling, else
+    merge).  The structure is purely functional: updates return new
+    trees and share unchanged subtrees, which fits the engine's
+    snapshot-based rollback style. *)
+
+type 'v t =
+  | Leaf of (Value.t * 'v) array
+  | Node of (Value.t * 'v) array * 'v t array
+      (** [keys], [children]; [children] has one more element than
+          [keys], and child [i] holds keys < [keys.(i)] < child [i+1] *)
+
+(* Minimum degree; nodes hold between [degree - 1] and [2*degree - 1]
+   keys (except the root). *)
+let degree = 8
+
+let max_keys = (2 * degree) - 1
+
+let empty : 'v t = Leaf [||]
+
+let is_empty = function
+  | Leaf [||] -> true
+  | Leaf _ | Node _ -> false
+
+(* position of the first key >= k, by binary search *)
+let search_keys (keys : (Value.t * 'v) array) (k : Value.t) : int =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare (fst keys.(mid)) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find (t : 'v t) (k : Value.t) : 'v option =
+  match t with
+  | Leaf keys ->
+      let i = search_keys keys k in
+      if i < Array.length keys && Value.equal (fst keys.(i)) k then
+        Some (snd keys.(i))
+      else None
+  | Node (keys, children) ->
+      let i = search_keys keys k in
+      if i < Array.length keys && Value.equal (fst keys.(i)) k then
+        Some (snd keys.(i))
+      else find children.(i) k
+
+let mem t k = find t k <> None
+
+(* --- insertion ---------------------------------------------------- *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j ->
+      if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_set a i x =
+  let a' = Array.copy a in
+  a'.(i) <- x;
+  a'
+
+(* split a full child into (left, median, right) *)
+let split_child = function
+  | Leaf keys ->
+      let m = Array.length keys / 2 in
+      ( Leaf (Array.sub keys 0 m),
+        keys.(m),
+        Leaf (Array.sub keys (m + 1) (Array.length keys - m - 1)) )
+  | Node (keys, children) ->
+      let m = Array.length keys / 2 in
+      ( Node (Array.sub keys 0 m, Array.sub children 0 (m + 1)),
+        keys.(m),
+        Node
+          ( Array.sub keys (m + 1) (Array.length keys - m - 1),
+            Array.sub children (m + 1) (Array.length children - m - 1) ) )
+
+let node_keys = function Leaf keys -> keys | Node (keys, _) -> keys
+
+let is_full t = Array.length (node_keys t) >= max_keys
+
+(* insert into a node that is guaranteed not full *)
+let rec insert_nonfull t k v =
+  match t with
+  | Leaf keys ->
+      let i = search_keys keys k in
+      if i < Array.length keys && Value.equal (fst keys.(i)) k then
+        Leaf (array_set keys i (k, v))
+      else Leaf (array_insert keys i (k, v))
+  | Node (keys, children) ->
+      let i = search_keys keys k in
+      if i < Array.length keys && Value.equal (fst keys.(i)) k then
+        Node (array_set keys i (k, v), children)
+      else if is_full children.(i) then begin
+        let left, median, right = split_child children.(i) in
+        let keys' = array_insert keys i median in
+        let children' =
+          array_insert (array_set children i left) (i + 1) right
+        in
+        (* retry at the same level; the child is no longer full *)
+        insert_nonfull (Node (keys', children')) k v
+      end
+      else
+        Node (keys, array_set children i (insert_nonfull children.(i) k v))
+
+(** Insert or replace a binding. *)
+let add (t : 'v t) (k : Value.t) (v : 'v) : 'v t =
+  if is_full t then
+    let left, median, right = split_child t in
+    insert_nonfull (Node ([| median |], [| left; right |])) k v
+  else insert_nonfull t k v
+
+(* --- deletion ------------------------------------------------------ *)
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let min_keys = degree - 1
+
+let rec max_binding = function
+  | Leaf keys -> keys.(Array.length keys - 1)
+  | Node (_, children) -> max_binding children.(Array.length children - 1)
+
+let rec min_binding = function
+  | Leaf keys -> keys.(0)
+  | Node (_, children) -> min_binding children.(0)
+
+(* Ensure child [i] of (keys, children) has > min_keys keys, borrowing
+   from a sibling or merging; returns the adjusted (keys, children) and
+   the index to descend into. *)
+let fixup keys children i =
+  let deficient t = Array.length (node_keys t) <= min_keys in
+  if not (deficient children.(i)) then (keys, children, i)
+  else
+    let borrow_left () =
+      (* rotate through the separator keys.(i-1) *)
+      match (children.(i - 1), children.(i)) with
+      | Leaf lk, Leaf rk ->
+          let stolen = lk.(Array.length lk - 1) in
+          let left' = Leaf (array_remove lk (Array.length lk - 1)) in
+          let right' = Leaf (array_insert rk 0 keys.(i - 1)) in
+          ignore stolen;
+          let keys' = array_set keys (i - 1) lk.(Array.length lk - 1) in
+          (keys', array_set (array_set children (i - 1) left') i right', i)
+      | Node (lk, lc), Node (rk, rc) ->
+          let keys' = array_set keys (i - 1) lk.(Array.length lk - 1) in
+          let left' =
+            Node (array_remove lk (Array.length lk - 1),
+                  array_remove lc (Array.length lc - 1))
+          in
+          let right' =
+            Node (array_insert rk 0 keys.(i - 1),
+                  array_insert rc 0 lc.(Array.length lc - 1))
+          in
+          (keys', array_set (array_set children (i - 1) left') i right', i)
+      | _ -> assert false (* uniform depth *)
+    in
+    let borrow_right () =
+      match (children.(i), children.(i + 1)) with
+      | Leaf lk, Leaf rk ->
+          let keys' = array_set keys i rk.(0) in
+          let left' = Leaf (array_insert lk (Array.length lk) keys.(i)) in
+          let right' = Leaf (array_remove rk 0) in
+          (keys', array_set (array_set children i left') (i + 1) right', i)
+      | Node (lk, lc), Node (rk, rc) ->
+          let keys' = array_set keys i rk.(0) in
+          let left' =
+            Node (array_insert lk (Array.length lk) keys.(i),
+                  array_insert lc (Array.length lc) rc.(0))
+          in
+          let right' = Node (array_remove rk 0, array_remove rc 0) in
+          (keys', array_set (array_set children i left') (i + 1) right', i)
+      | _ -> assert false
+    in
+    let merge_with_right j =
+      (* merge child j, separator j, child j+1 *)
+      let merged =
+        match (children.(j), children.(j + 1)) with
+        | Leaf lk, Leaf rk -> Leaf (Array.concat [ lk; [| keys.(j) |]; rk ])
+        | Node (lk, lc), Node (rk, rc) ->
+            Node (Array.concat [ lk; [| keys.(j) |]; rk ], Array.append lc rc)
+        | _ -> assert false
+      in
+      let keys' = array_remove keys j in
+      let children' = array_remove (array_set children j merged) (j + 1) in
+      (keys', children', if i > j then i - 1 else i)
+    in
+    if i > 0 && Array.length (node_keys children.(i - 1)) > min_keys then
+      borrow_left ()
+    else if
+      i < Array.length children - 1
+      && Array.length (node_keys children.(i + 1)) > min_keys
+    then borrow_right ()
+    else if i > 0 then merge_with_right (i - 1)
+    else merge_with_right i
+
+let rec remove_rec t k =
+  match t with
+  | Leaf keys ->
+      let i = search_keys keys k in
+      if i < Array.length keys && Value.equal (fst keys.(i)) k then
+        Leaf (array_remove keys i)
+      else t
+  | Node (keys, children) ->
+      let i = search_keys keys k in
+      if i < Array.length keys && Value.equal (fst keys.(i)) k then
+        (* replace with predecessor, then delete it below *)
+        let pred = max_binding children.(i) in
+        let keys = array_set keys i pred in
+        let keys', children', i' = fixup keys children i in
+        Node
+          (keys', array_set children' i' (remove_rec children'.(i') (fst pred)))
+      else
+        let keys', children', i' = fixup keys children i in
+        Node (keys', array_set children' i' (remove_rec children'.(i') k))
+
+(** Remove a binding (no-op if absent). *)
+let remove (t : 'v t) (k : Value.t) : 'v t =
+  match remove_rec t k with
+  | Node ([||], children) -> children.(0) (* shrink the root *)
+  | t -> t
+
+(* --- traversal ------------------------------------------------------ *)
+
+let rec fold f t acc =
+  match t with
+  | Leaf keys -> Array.fold_left (fun acc (k, v) -> f k v acc) acc keys
+  | Node (keys, children) ->
+      let acc = ref acc in
+      Array.iteri
+        (fun i (k, v) ->
+          acc := fold f children.(i) !acc;
+          acc := f k v !acc)
+        keys;
+      fold f children.(Array.length children - 1) !acc
+
+let bindings t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+let of_list l = List.fold_left (fun t (k, v) -> add t k v) empty l
+
+(** Range query: bindings with [lo ≤ key ≤ hi], in order. *)
+let range (t : 'v t) ~(lo : Value.t) ~(hi : Value.t) : (Value.t * 'v) list =
+  List.filter
+    (fun (k, _) -> Value.compare lo k <= 0 && Value.compare k hi <= 0)
+    (bindings t)
+
+(* --- invariant checking (for tests) -------------------------------- *)
+
+(** Check the B-tree invariants; returns the uniform leaf depth.
+    Raises [Invalid_argument] when violated. *)
+let check_invariants (t : 'v t) : int =
+  let rec go t ~is_root =
+    let keys = node_keys t in
+    let n = Array.length keys in
+    if (not is_root) && n < min_keys then
+      invalid_arg (Printf.sprintf "underfull node (%d keys)" n);
+    if n > max_keys then invalid_arg "overfull node";
+    for i = 0 to n - 2 do
+      if Value.compare (fst keys.(i)) (fst keys.(i + 1)) >= 0 then
+        invalid_arg "keys not strictly increasing"
+    done;
+    match t with
+    | Leaf _ -> 1
+    | Node (keys, children) ->
+        if Array.length children <> Array.length keys + 1 then
+          invalid_arg "child count mismatch";
+        let depths =
+          Array.to_list (Array.map (fun c -> go c ~is_root:false) children)
+        in
+        (match depths with
+        | d :: rest ->
+            if not (List.for_all (Int.equal d) rest) then
+              invalid_arg "leaves at different depths";
+            (* separation *)
+            Array.iteri
+              (fun i (k, _) ->
+                let left_max = fst (max_binding children.(i)) in
+                let right_min = fst (min_binding children.(i + 1)) in
+                if
+                  not
+                    (Value.compare left_max k < 0
+                    && Value.compare k right_min < 0)
+                then invalid_arg "separator out of order")
+              keys;
+            d + 1
+        | [] -> invalid_arg "node with no children")
+  in
+  match t with Leaf [||] -> 0 | t -> go t ~is_root:true

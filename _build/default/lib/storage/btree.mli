@@ -1,0 +1,37 @@
+(** An in-memory, purely functional B-tree keyed by {!Value.t} — the
+    access method §5.2 names for realising [emp_rel] at the
+    internal-schema level.  Order-8 nodes, all leaves at one depth,
+    strictly increasing keys; updates return new trees sharing
+    unchanged subtrees (which fits the engine's snapshot-based
+    rollback).  Experiment E11 measures it against the list scan and
+    {!Hash_index}. *)
+
+type 'v t
+
+val empty : 'v t
+val is_empty : 'v t -> bool
+
+val add : 'v t -> Value.t -> 'v -> 'v t
+(** Insert or replace. *)
+
+val remove : 'v t -> Value.t -> 'v t
+(** No-op if absent. *)
+
+val find : 'v t -> Value.t -> 'v option
+val mem : 'v t -> Value.t -> bool
+
+val fold : (Value.t -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+(** In key order. *)
+
+val bindings : 'v t -> (Value.t * 'v) list
+val cardinal : 'v t -> int
+val of_list : (Value.t * 'v) list -> 'v t
+
+val range : 'v t -> lo:Value.t -> hi:Value.t -> (Value.t * 'v) list
+(** Bindings with [lo ≤ key ≤ hi], in order — what the B-tree buys over
+    a hash index. *)
+
+val check_invariants : 'v t -> int
+(** Verify the B-tree invariants and return the uniform leaf depth;
+    raises [Invalid_argument] on violation (used by the model-based
+    property tests). *)

@@ -1,0 +1,33 @@
+(** A hash-table access method keyed by {!Value.t} — the other access
+    method §5.2 names for realising [emp_rel] at the internal-schema
+    level.  A thin, mutable wrapper over [Hashtbl] with structural
+    hashing of canonical values; point lookups are O(1) but there are no
+    ordered traversals (that is {!Btree}'s job — experiment E11 measures
+    the trade-off). *)
+
+type 'v t = (Value.t, 'v) Hashtbl.t
+
+let create ?(size = 64) () : 'v t = Hashtbl.create size
+
+let add (t : 'v t) (k : Value.t) (v : 'v) = Hashtbl.replace t k v
+
+let remove (t : 'v t) (k : Value.t) = Hashtbl.remove t k
+
+let find (t : 'v t) (k : Value.t) : 'v option = Hashtbl.find_opt t k
+
+let mem (t : 'v t) (k : Value.t) = Hashtbl.mem t k
+
+let cardinal = Hashtbl.length
+
+let fold f (t : 'v t) acc = Hashtbl.fold f t acc
+
+(** Bindings in key order (materialises and sorts; for reporting). *)
+let bindings (t : 'v t) : (Value.t * 'v) list =
+  List.sort
+    (fun (a, _) (b, _) -> Value.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let of_list l =
+  let t = create ~size:(List.length l * 2) () in
+  List.iter (fun (k, v) -> add t k v) l;
+  t

@@ -1,0 +1,18 @@
+(** A mutable hash-table access method keyed by canonical {!Value.t} —
+    the other access method of §5.2's closing remark.  O(1) point
+    lookups, no ordered traversal (see {!Btree}). *)
+
+type 'v t
+
+val create : ?size:int -> unit -> 'v t
+val add : 'v t -> Value.t -> 'v -> unit
+val remove : 'v t -> Value.t -> unit
+val find : 'v t -> Value.t -> 'v option
+val mem : 'v t -> Value.t -> bool
+val cardinal : 'v t -> int
+val fold : (Value.t -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+
+val bindings : 'v t -> (Value.t * 'v) list
+(** In key order (materialises and sorts; for reporting). *)
+
+val of_list : (Value.t * 'v) list -> 'v t

@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Buffer Char Date_adt Format List Loc String Token

@@ -1,0 +1,1 @@
+lib/syntax/parse_error.ml: Format Lexer Loc

@@ -1,0 +1,1 @@
+lib/syntax/parse_error.mli: Format Lexer Loc

@@ -1,0 +1,1 @@
+lib/syntax/reuse.ml: Ast List Option Parse_error Parser

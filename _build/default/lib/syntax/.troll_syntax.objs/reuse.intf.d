@@ -1,0 +1,1 @@
+lib/syntax/reuse.mli: Ast

@@ -1,0 +1,1 @@
+lib/syntax/token.ml: Date_adt Format List String

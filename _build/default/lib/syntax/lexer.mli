@@ -1,0 +1,14 @@
+(** Hand-written lexer for TROLL (lexical conventions in
+    docs/GRAMMAR.md: case-insensitive keywords, [--] and nested
+    [(* … *)] comments, money and [d"…"] date literals, the paper's
+    Unicode operators). *)
+
+type error = { message : string; pos : Loc.pos }
+
+exception Error of error
+
+type lexeme = { tok : Token.t; loc : Loc.t }
+
+val tokenize : string -> lexeme list
+(** The whole source, ending with an [EOF] lexeme.  Raises {!Error} on
+    lexical errors (positions included). *)

@@ -1,0 +1,16 @@
+(** Parse errors with source positions. *)
+
+type t = { message : string; loc : Loc.t }
+
+exception E of t
+
+let raise_at loc fmt =
+  Format.kasprintf (fun message -> raise (E { message; loc })) fmt
+
+let pp ppf { message; loc } =
+  Format.fprintf ppf "parse error at %a: %s" Loc.pp loc message
+
+let to_string e = Format.asprintf "%a" pp e
+
+let of_lexer_error (e : Lexer.error) =
+  { message = e.message; loc = { Loc.start_pos = e.pos; end_pos = e.pos } }

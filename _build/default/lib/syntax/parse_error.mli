@@ -1,0 +1,10 @@
+(** Parse errors with source positions. *)
+
+type t = { message : string; loc : Loc.t }
+
+exception E of t
+
+val raise_at : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_lexer_error : Lexer.error -> t

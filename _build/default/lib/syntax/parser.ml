@@ -1,0 +1,1322 @@
+(** Recursive-descent parser for the TROLL concrete syntax.
+
+    The accepted grammar is the one emitted by {!Pretty}; in addition a
+    number of the paper's stylistic variants are accepted (section
+    keywords in any order, [interaction] as a synonym for [calling],
+    [exists (x: T) φ] without the inner colon, [for all] and [forall],
+    guarded valuation rules with or without the [=>] arrow).
+
+    Boolean connectives parse at the formula level; a parenthesized
+    sub-formula that contains no temporal operator or quantifier is
+    lowered to a plain expression when it occurs in expression position,
+    so [select[a = 1 and b = 2](q)] and [{ sometime(after(e)) and x > 0 }]
+    both parse. *)
+
+open Ast
+
+type state = { toks : Lexer.lexeme array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let cur_tok st = (cur st).tok
+let cur_loc st = (cur st).loc
+
+let peek_tok st n =
+  let i = st.pos + n in
+  if i < Array.length st.toks then st.toks.(i).tok else Token.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st fmt =
+  let loc = cur_loc st in
+  Format.kasprintf
+    (fun m ->
+      Parse_error.raise_at loc "%s (found %s)" m (Token.to_string (cur_tok st)))
+    fmt
+
+let expect st tok =
+  if Token.equal (cur_tok st) tok then advance st
+  else fail st "expected %s" (Token.to_string tok)
+
+let accept st tok =
+  if Token.equal (cur_tok st) tok then (
+    advance st;
+    true)
+  else false
+
+let accept_kw st kw =
+  match cur_tok st with
+  | Token.KW k when String.equal k kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then fail st "expected keyword %s" kw
+
+let is_kw st kw =
+  match cur_tok st with Token.KW k -> String.equal k kw | _ -> false
+
+let ident st =
+  match cur_tok st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected an identifier"
+
+let sep_list st ~sep ~item =
+  let rec go acc =
+    let x = item st in
+    if accept st sep then go (x :: acc) else List.rev (x :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st : type_expr =
+  match cur_tok st with
+  | Token.KW "set" ->
+      advance st;
+      expect st Token.LPAREN;
+      let t = parse_type st in
+      expect st Token.RPAREN;
+      TE_set t
+  | Token.KW "list" ->
+      advance st;
+      expect st Token.LPAREN;
+      let t = parse_type st in
+      expect st Token.RPAREN;
+      TE_list t
+  | Token.KW "map" ->
+      advance st;
+      expect st Token.LPAREN;
+      let k = parse_type st in
+      expect st Token.COMMA;
+      let v = parse_type st in
+      expect st Token.RPAREN;
+      TE_map (k, v)
+  | Token.KW "tuple" ->
+      advance st;
+      expect st Token.LPAREN;
+      let field st =
+        let n = ident st in
+        expect st Token.COLON;
+        let t = parse_type st in
+        (n, t)
+      in
+      let fields = sep_list st ~sep:Token.COMMA ~item:field in
+      expect st Token.RPAREN;
+      TE_tuple fields
+  | Token.BAR ->
+      advance st;
+      let c = ident st in
+      expect st Token.BAR;
+      TE_id c
+  | Token.IDENT n ->
+      advance st;
+      TE_name n
+  | _ -> fail st "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Formula / expression discrimination                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the balanced token group starting at the current '(' contain a
+   formula-only keyword?  Sound because those keywords cannot occur
+   inside a pure data expression. *)
+let paren_group_is_formula st =
+  let n = Array.length st.toks in
+  let rec scan i depth =
+    if i >= n then false
+    else
+      match st.toks.(i).tok with
+      | Token.LPAREN | Token.LBRACE | Token.LBRACKET -> scan (i + 1) (depth + 1)
+      | Token.RPAREN | Token.RBRACE | Token.RBRACKET ->
+          if depth = 1 then false else scan (i + 1) (depth - 1)
+      | Token.KW
+          ( "sometime" | "always" | "after" | "previous" | "since" | "forall"
+          | "exists" | "implies" | "not" )
+      | Token.ARROW ->
+          true
+      | Token.KW "for" when Token.equal (peek_tok st (i - st.pos + 1)) (Token.KW "all")
+        ->
+          true
+      | _ -> scan (i + 1) depth
+  in
+  scan (st.pos + 1) 1
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : expr = parse_or st
+
+(* Boolean connectives also live in expression position (selection
+   predicates, select[…] conditions): or > and > not > comparison. *)
+and parse_or st =
+  let rec go left =
+    if accept_kw st "or" then
+      let right = parse_and st in
+      go (mk_expr ~loc:left.eloc (E_binop ("or", left, right)))
+    else if accept_kw st "xor" then
+      let right = parse_and st in
+      go (mk_expr ~loc:left.eloc (E_binop ("xor", left, right)))
+    else left
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go left =
+    if accept_kw st "and" then
+      let right = parse_not st in
+      go (mk_expr ~loc:left.eloc (E_binop ("and", left, right)))
+    else left
+  in
+  go (parse_not st)
+
+and parse_not st =
+  if is_kw st "not" then (
+    let loc = cur_loc st in
+    advance st;
+    let inner = parse_not st in
+    mk_expr ~loc (E_unop ("not", inner)))
+  else parse_cmp st
+
+and parse_cmp st = parse_cmp_with st (parse_add st)
+
+and parse_cmp_with st left =
+  let op =
+    match cur_tok st with
+    | Token.EQ -> Some "="
+    | Token.NEQ -> Some "<>"
+    | Token.LT -> Some "<"
+    | Token.LE -> Some "<="
+    | Token.GT -> Some ">"
+    | Token.GE -> Some ">="
+    | Token.KW "in" -> Some "in"
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+      advance st;
+      let right = parse_add st in
+      mk_expr ~loc:left.eloc (E_binop (op, left, right))
+
+and parse_add st = parse_add_with st (parse_mul st)
+
+and parse_add_with st first =
+  let rec go left =
+    match cur_tok st with
+    | Token.PLUS ->
+        advance st;
+        let r = parse_mul st in
+        go (mk_expr ~loc:left.eloc (E_binop ("+", left, r)))
+    | Token.MINUS ->
+        advance st;
+        let r = parse_mul st in
+        go (mk_expr ~loc:left.eloc (E_binop ("-", left, r)))
+    | Token.CONCAT ->
+        advance st;
+        let r = parse_mul st in
+        go (mk_expr ~loc:left.eloc (E_binop ("++", left, r)))
+    | _ -> left
+  in
+  go first
+
+and parse_mul st = parse_mul_with st (parse_unary st)
+
+and parse_mul_with st first =
+  let rec go left =
+    match cur_tok st with
+    | Token.STAR ->
+        advance st;
+        let r = parse_unary st in
+        go (mk_expr ~loc:left.eloc (E_binop ("*", left, r)))
+    | Token.KW "div" ->
+        advance st;
+        let r = parse_unary st in
+        go (mk_expr ~loc:left.eloc (E_binop ("div", left, r)))
+    | Token.KW "mod" ->
+        advance st;
+        let r = parse_unary st in
+        go (mk_expr ~loc:left.eloc (E_binop ("mod", left, r)))
+    | _ -> left
+  in
+  go first
+
+(* Does the next token extend an already-parsed expression? *)
+and expr_continues st =
+  match cur_tok st with
+  | Token.PLUS | Token.MINUS | Token.STAR | Token.CONCAT | Token.DOT
+  | Token.EQ | Token.NEQ | Token.LT | Token.LE | Token.GT | Token.GE
+  | Token.KW ("in" | "div" | "mod") ->
+      true
+  | _ -> false
+
+(* Continue precedence climbing with [left] already parsed as a primary. *)
+and continue_expr st left =
+  let left = parse_postfix_with st left in
+  let left = parse_mul_with st left in
+  let left = parse_add_with st left in
+  parse_cmp_with st left
+
+and parse_unary st =
+  match cur_tok st with
+  | Token.MINUS ->
+      let loc = cur_loc st in
+      advance st;
+      let e = parse_unary st in
+      mk_expr ~loc (E_unop ("-", e))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  parse_postfix_with st base
+
+and parse_postfix_with st base =
+  if Token.equal (cur_tok st) Token.DOT then begin
+    advance st;
+    let name = ident st in
+    let args =
+      if Token.equal (cur_tok st) Token.LPAREN then parse_paren_args st else []
+    in
+    let node =
+      match (base.e, args) with
+      (* [self.attr(args)] *)
+      | E_self, _ -> E_attr (OR_self, name, args)
+      (* [CLASS(e).attr(args)]: an uppercase applied name followed by a
+         selector is an instance reference, not a function call *)
+      | E_apply (cls, [ arg ]), _
+        when String.length cls > 0 && cls.[0] >= 'A' && cls.[0] <= 'Z' ->
+          E_attr (OR_instance (cls, arg), name, args)
+      (* [obj.attr(args)] with arguments is attribute access *)
+      | E_var obj, _ :: _ -> E_attr (OR_name obj, name, args)
+      (* plain [e.f]: tuple field selection (name resolution may turn it
+         into attribute access later) *)
+      | _, [] -> E_field (base, name)
+      | _, _ :: _ -> E_attr (OR_name (Pretty.expr_to_string base), name, args)
+    in
+    parse_postfix_with st (mk_expr ~loc:base.eloc node)
+  end
+  else base
+
+and parse_paren_args st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else
+    let args = sep_list st ~sep:Token.COMMA ~item:parse_expr in
+    expect st Token.RPAREN;
+    args
+
+and parse_primary st : expr =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.INT i ->
+      advance st;
+      mk_expr ~loc (E_lit (L_int i))
+  | Token.MONEY c ->
+      advance st;
+      mk_expr ~loc (E_lit (L_money c))
+  | Token.STRING s ->
+      advance st;
+      mk_expr ~loc (E_lit (L_string s))
+  | Token.DATE d ->
+      advance st;
+      mk_expr ~loc (E_lit (L_date d))
+  | Token.KW "true" ->
+      advance st;
+      mk_expr ~loc (E_lit (L_bool true))
+  | Token.KW "false" ->
+      advance st;
+      mk_expr ~loc (E_lit (L_bool false))
+  | Token.KW "undefined" ->
+      advance st;
+      mk_expr ~loc (E_lit L_undefined)
+  | Token.KW "self" ->
+      advance st;
+      mk_expr ~loc E_self
+  | Token.KW "if" ->
+      advance st;
+      let c = parse_expr st in
+      expect_kw st "then";
+      let t = parse_expr st in
+      expect_kw st "else";
+      let e = parse_expr st in
+      expect_kw st "fi";
+      mk_expr ~loc (E_if (c, t, e))
+  | Token.KW "tuple" ->
+      advance st;
+      expect st Token.LPAREN;
+      if accept st Token.RPAREN then mk_expr ~loc (E_tuple [])
+      else
+      if accept st Token.RPAREN then mk_expr ~loc (E_tuple [])
+      else
+      let field st =
+        (* [name: expr] or positional [expr]; a lone identifier followed
+           by ':' is a field label *)
+        match (cur_tok st, peek_tok st 1) with
+        | Token.IDENT n, Token.COLON ->
+            advance st;
+            advance st;
+            let e = parse_expr st in
+            (Some n, e)
+        | _ -> (None, parse_expr st)
+      in
+      let fields = sep_list st ~sep:Token.COMMA ~item:field in
+      expect st Token.RPAREN;
+      mk_expr ~loc (E_tuple fields)
+  | Token.KW "in" ->
+      (* prefix membership test, as the paper writes it:
+         [in(Emps, tuple(…))] *)
+      advance st;
+      expect st Token.LPAREN;
+      let a = parse_expr st in
+      expect st Token.COMMA;
+      let b = parse_expr st in
+      expect st Token.RPAREN;
+      mk_expr ~loc (E_apply ("in", [ a; b ]))
+  | Token.KW "select" ->
+      advance st;
+      expect st Token.LBRACKET;
+      let cond = parse_expr st in
+      expect st Token.RBRACKET;
+      expect st Token.LPAREN;
+      let q = parse_query st in
+      expect st Token.RPAREN;
+      mk_expr ~loc (E_query (Q_select (cond, q)))
+  | Token.KW "project" ->
+      advance st;
+      expect st Token.LBRACKET;
+      let fields = sep_list st ~sep:Token.COMMA ~item:ident in
+      expect st Token.RBRACKET;
+      expect st Token.LPAREN;
+      let q = parse_query st in
+      expect st Token.RPAREN;
+      mk_expr ~loc (E_query (Q_project (fields, q)))
+  | Token.LBRACE ->
+      advance st;
+      if accept st Token.RBRACE then mk_expr ~loc (E_setlit [])
+      else
+        let xs = sep_list st ~sep:Token.COMMA ~item:parse_expr in
+        expect st Token.RBRACE;
+        mk_expr ~loc (E_setlit xs)
+  | Token.LBRACKET ->
+      advance st;
+      if accept st Token.RBRACKET then mk_expr ~loc (E_listlit [])
+      else
+        let xs = sep_list st ~sep:Token.COMMA ~item:parse_expr in
+        expect st Token.RBRACKET;
+        mk_expr ~loc (E_listlit xs)
+  | Token.LPAREN ->
+      if paren_group_is_formula st then begin
+        (* a parenthesised boolean-connective group: parse as a formula
+           and lower; genuinely temporal content is an error here *)
+        advance st;
+        let f = parse_formula st in
+        expect st Token.RPAREN;
+        match lower_formula f with
+        | Some e -> e
+        | None ->
+            fail st "temporal formula not allowed in expression position"
+      end
+      else begin
+        advance st;
+        let e = parse_expr st in
+        expect st Token.RPAREN;
+        e
+      end
+  | Token.IDENT name ->
+      advance st;
+      if Token.equal (cur_tok st) Token.LPAREN then
+        let args = parse_paren_args st in
+        mk_expr ~loc (E_apply (name, args))
+      else mk_expr ~loc (E_var name)
+  | _ -> fail st "expected an expression"
+
+and parse_query st : query =
+  match cur_tok st with
+  | Token.KW "select" -> (
+      let e = parse_primary st in
+      match e.e with E_query q -> q | _ -> Q_expr e)
+  | Token.KW "project" -> (
+      let e = parse_primary st in
+      match e.e with E_query q -> q | _ -> Q_expr e)
+  | _ -> Q_expr (parse_expr st)
+
+(* ------------------------------------------------------------------ *)
+(* Event terms                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_event_term st : event_term =
+  let loc = cur_loc st in
+  if accept_kw st "self" then begin
+    expect st Token.DOT;
+    let name = ident st in
+    let args =
+      if Token.equal (cur_tok st) Token.LPAREN then parse_paren_args st else []
+    in
+    mk_event ~loc ~target:OR_self name args
+  end
+  else
+    let first = ident st in
+    match cur_tok st with
+    | Token.DOT ->
+        advance st;
+        let name = ident st in
+        let args =
+          if Token.equal (cur_tok st) Token.LPAREN then parse_paren_args st
+          else []
+        in
+        mk_event ~loc ~target:(OR_name first) name args
+    | Token.LPAREN ->
+        let args = parse_paren_args st in
+        if Token.equal (cur_tok st) Token.DOT then begin
+          (* [CLASS(id).event(args)] *)
+          advance st;
+          let name = ident st in
+          let args' =
+            if Token.equal (cur_tok st) Token.LPAREN then parse_paren_args st
+            else []
+          in
+          match args with
+          | [ id_expr ] ->
+              mk_event ~loc ~target:(OR_instance (first, id_expr)) name args'
+          | _ -> fail st "instance reference %s(…) needs exactly one key" first
+        end
+        else mk_event ~loc first args
+    | _ -> mk_event ~loc first []
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and parse_formula st : formula = parse_f_since st
+
+and parse_f_since st =
+  let left = parse_f_implies st in
+  if accept_kw st "since" then
+    let right = parse_f_implies st in
+    mk_formula ~loc:left.floc (F_since (left, right))
+  else left
+
+and parse_f_implies st =
+  let left = parse_f_or st in
+  if accept st Token.ARROW || accept_kw st "implies" then
+    let right = parse_f_implies st in
+    mk_formula ~loc:left.floc (F_implies (left, right))
+  else left
+
+and parse_f_or st =
+  let rec go left =
+    if accept_kw st "or" then
+      let right = parse_f_and st in
+      go (mk_formula ~loc:left.floc (F_or (left, right)))
+    else if is_kw st "xor" then begin
+      (* xor exists only at the expression level: both operands must be
+         state formulas *)
+      advance st;
+      let right = parse_f_and st in
+      match (lower_formula left, lower_formula right) with
+      | Some a, Some b ->
+          go (mk_formula ~loc:left.floc (F_expr (mk_expr ~loc:a.eloc (E_binop ("xor", a, b)))))
+      | _ -> fail st "xor cannot combine temporal formulas"
+    end
+    else left
+  in
+  go (parse_f_and st)
+
+(* Lower a purely propositional formula back to an expression (used for
+   xor and nowhere else). *)
+and lower_formula (f : formula) : expr option =
+  match f.f with
+  | F_expr e -> Some e
+  | F_not g ->
+      Option.map
+        (fun e -> mk_expr ~loc:f.floc (E_unop ("not", e)))
+        (lower_formula g)
+  | F_and (a, b) -> lower_binop "and" f a b
+  | F_or (a, b) -> lower_binop "or" f a b
+  | F_implies _ | F_sometime _ | F_always _ | F_since _ | F_previous _
+  | F_after _ | F_forall _ | F_exists _ ->
+      None
+
+and lower_binop op f a b =
+  match (lower_formula a, lower_formula b) with
+  | Some ea, Some eb -> Some (mk_expr ~loc:f.floc (E_binop (op, ea, eb)))
+  | _ -> None
+
+and parse_f_and st =
+  let rec go left =
+    if accept_kw st "and" then
+      let right = parse_f_not st in
+      go (mk_formula ~loc:left.floc (F_and (left, right)))
+    else left
+  in
+  go (parse_f_not st)
+
+and parse_f_not st =
+  (* [not] always parses at the formula level here; [not x and y] groups
+     as [(not x) and y] exactly as the expression grammar would. *)
+  if is_kw st "not" then begin
+    let loc = cur_loc st in
+    advance st;
+    let inner = parse_f_not st in
+    mk_formula ~loc (F_not inner)
+  end
+  else parse_f_primary st
+
+and parse_f_primary st : formula =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.KW "sometime" ->
+      advance st;
+      expect st Token.LPAREN;
+      let f = parse_formula st in
+      expect st Token.RPAREN;
+      mk_formula ~loc (F_sometime f)
+  | Token.KW "always" ->
+      advance st;
+      expect st Token.LPAREN;
+      let f = parse_formula st in
+      expect st Token.RPAREN;
+      mk_formula ~loc (F_always f)
+  | Token.KW "previous" ->
+      advance st;
+      expect st Token.LPAREN;
+      let f = parse_formula st in
+      expect st Token.RPAREN;
+      mk_formula ~loc (F_previous f)
+  | Token.KW "after" ->
+      advance st;
+      expect st Token.LPAREN;
+      let ev = parse_event_term st in
+      expect st Token.RPAREN;
+      mk_formula ~loc (F_after ev)
+  | Token.KW "for" ->
+      advance st;
+      expect_kw st "all";
+      parse_quantifier st loc ~exists:false
+  | Token.KW "forall" ->
+      advance st;
+      parse_quantifier st loc ~exists:false
+  | Token.KW "exists" ->
+      advance st;
+      parse_quantifier st loc ~exists:true
+  | Token.LPAREN when paren_group_is_formula st ->
+      advance st;
+      let f = parse_formula st in
+      expect st Token.RPAREN;
+      if expr_continues st then
+        match lower_formula f with
+        | Some e -> mk_formula ~loc (F_expr (continue_expr st e))
+        | None -> f
+      else f
+  | _ ->
+      (* formula leaf: an expression up to comparison level — boolean
+         connectives above it belong to the formula grammar, so that
+         [x > 0 and sometime(a)] groups correctly *)
+      mk_formula ~loc (F_expr (parse_cmp st))
+
+and parse_quantifier st loc ~exists =
+  expect st Token.LPAREN;
+  let bind st =
+    let v = ident st in
+    expect st Token.COLON;
+    let t = parse_type st in
+    (v, t)
+  in
+  let binds = sep_list st ~sep:Token.SEMI ~item:bind in
+  let body =
+    if accept st Token.COLON then begin
+      let f = parse_formula st in
+      expect st Token.RPAREN;
+      f
+    end
+    else begin
+      (* the paper's [exists(s1: integer) φ] style *)
+      expect st Token.RPAREN;
+      parse_formula st
+    end
+  in
+  mk_formula ~loc (if exists then F_exists (binds, body) else F_forall (binds, body))
+
+(* ------------------------------------------------------------------ *)
+(* Rules and sections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_guard st =
+  if accept st Token.LBRACE then begin
+    let g = parse_formula st in
+    expect st Token.RBRACE;
+    (* optional [=>] between guard and rule body *)
+    let _ = accept st Token.ARROW in
+    Some g
+  end
+  else None
+
+let parse_valuation_rule st : valuation_rule =
+  let loc = cur_loc st in
+  let guard = parse_guard st in
+  expect st Token.LBRACKET;
+  let ev = parse_event_term st in
+  expect st Token.RBRACKET;
+  let attr = ident st in
+  let attr_args =
+    if Token.equal (cur_tok st) Token.LPAREN then parse_paren_args st else []
+  in
+  expect st Token.EQ;
+  let rhs = parse_expr st in
+  { v_guard = guard; v_event = ev; v_attr = attr; v_attr_args = attr_args;
+    v_rhs = rhs; v_loc = loc }
+
+let rec parse_calling_rule st : calling_rule =
+  let loc = cur_loc st in
+  let guard = parse_guard st in
+  let caller = parse_event_term st in
+  expect st Token.CALLS;
+  let called =
+    (* A '(' here opens a transaction sequence unless it is the argument
+       list of CLASS(id).ev — the event-term parser handles the latter,
+       so only treat '(' followed by an event-term-shaped prefix ending
+       in ';' as a sequence.  Simpler sound rule: '(' starts a sequence
+       iff the matching group contains a top-level ';'. *)
+    if Token.equal (cur_tok st) Token.LPAREN && calling_seq_follows st then begin
+      advance st;
+      let evs = sep_list st ~sep:Token.SEMI ~item:parse_event_term in
+      expect st Token.RPAREN;
+      evs
+    end
+    else [ parse_event_term st ]
+  in
+  { i_guard = guard; i_caller = caller; i_called = called; i_loc = loc }
+
+and calling_seq_follows st =
+  (* scan the balanced '(...)' group for a depth-1 ';' *)
+  let n = Array.length st.toks in
+  let rec scan i depth =
+    if i >= n then false
+    else
+      match st.toks.(i).tok with
+      | Token.LPAREN -> scan (i + 1) (depth + 1)
+      | Token.RPAREN -> if depth = 1 then false else scan (i + 1) (depth - 1)
+      | Token.SEMI when depth = 1 -> true
+      | _ -> scan (i + 1) depth
+  in
+  scan (st.pos + 1) 1
+
+let parse_permission st : permission =
+  let loc = cur_loc st in
+  match parse_guard st with
+  | Some g ->
+      let ev = parse_event_term st in
+      { p_guard = g; p_event = ev; p_loc = loc }
+  | None -> fail st "a permission starts with a { guard }"
+
+let parse_variables st : var_decl list =
+  (* [variables P, Q: PERSON; d: date;] — consume declarations while the
+     lookahead matches [idents ':'] *)
+  let rec go acc =
+    match (cur_tok st, ()) with
+    | Token.IDENT _, () ->
+        let names = sep_list st ~sep:Token.COMMA ~item:ident in
+        expect st Token.COLON;
+        let t = parse_type st in
+        expect st Token.SEMI;
+        let acc = (names, t) :: acc in
+        (* another declaration follows iff we see [ident {, ident} :] *)
+        let rec is_decl i =
+          match (peek_tok st i, peek_tok st (i + 1)) with
+          | Token.IDENT _, Token.COLON -> true
+          | Token.IDENT _, Token.COMMA -> is_decl (i + 2)
+          | _ -> false
+        in
+        if is_decl 0 then go acc else List.rev acc
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_attr_decl st : attr_decl =
+  let loc = cur_loc st in
+  let derived = accept_kw st "derived" in
+  let constant = accept_kw st "constant" in
+  let name = ident st in
+  let params =
+    if Token.equal (cur_tok st) Token.LPAREN then begin
+      advance st;
+      let ps = sep_list st ~sep:Token.COMMA ~item:parse_type in
+      expect st Token.RPAREN;
+      ps
+    end
+    else []
+  in
+  let ty =
+    if accept st Token.COLON then parse_type st
+    else (* interfaces allow [derived IncreaseSalary]-style untyped items,
+            but attributes always carry a type in our grammar *)
+      fail st "expected ':' and an attribute type"
+  in
+  { a_name = name; a_params = params; a_type = ty; a_derived = derived;
+    a_constant = constant; a_loc = loc }
+
+let parse_event_decl st : event_decl =
+  let loc = cur_loc st in
+  let kind =
+    if accept_kw st "birth" then Ev_birth
+    else if accept_kw st "death" then Ev_death
+    else Ev_normal
+  in
+  let active = accept_kw st "active" in
+  let derived = accept_kw st "derived" in
+  (* phase birth referencing a base event: [birth PERSON.become_manager]
+     or the named form [birth name <- base.event] *)
+  match (kind, cur_tok st, peek_tok st 1) with
+  | Ev_birth, Token.IDENT base, Token.DOT ->
+      advance st;
+      advance st;
+      let ev = ident st in
+      let args =
+        if Token.equal (cur_tok st) Token.LPAREN then parse_paren_args st
+        else []
+      in
+      let base_ev = mk_event ~loc ~target:(OR_name base) ev args in
+      { ev_decl_name = ev; ev_params = []; ev_kind = Ev_birth;
+        ev_active = active; ev_derived = derived; ev_born_by = Some base_ev;
+        ev_decl_loc = loc }
+  | _ ->
+      let name = ident st in
+      if accept st Token.BORNBY then begin
+        let base_ev = parse_event_term st in
+        { ev_decl_name = name; ev_params = []; ev_kind = kind;
+          ev_active = active; ev_derived = derived; ev_born_by = Some base_ev;
+          ev_decl_loc = loc }
+      end
+      else
+        let params =
+          if Token.equal (cur_tok st) Token.LPAREN then begin
+            advance st;
+            if accept st Token.RPAREN then []
+            else begin
+              let ps = sep_list st ~sep:Token.COMMA ~item:parse_type in
+              expect st Token.RPAREN;
+              ps
+            end
+          end
+          else []
+        in
+        { ev_decl_name = name; ev_params = params; ev_kind = kind;
+          ev_active = active; ev_derived = derived; ev_born_by = None;
+          ev_decl_loc = loc }
+
+let parse_comp_decl st : comp_decl =
+  let loc = cur_loc st in
+  let name = ident st in
+  expect st Token.COLON;
+  let mult, cls =
+    if accept_kw st "set" then begin
+      expect st Token.LPAREN;
+      let c = ident st in
+      expect st Token.RPAREN;
+      (C_set, c)
+    end
+    else if accept_kw st "list" then begin
+      expect st Token.LPAREN;
+      let c = ident st in
+      expect st Token.RPAREN;
+      (C_list, c)
+    end
+    else (C_single, ident st)
+  in
+  { c_name = name; c_class = cls; c_mult = mult; c_loc = loc }
+
+let parse_derivation_rule st : derivation_rule =
+  let loc = cur_loc st in
+  let attr = ident st in
+  let params =
+    if Token.equal (cur_tok st) Token.LPAREN then begin
+      advance st;
+      let ps = sep_list st ~sep:Token.COMMA ~item:ident in
+      expect st Token.RPAREN;
+      ps
+    end
+    else []
+  in
+  expect st Token.EQ;
+  let rhs = parse_expr st in
+  { d_attr = attr; d_params = params; d_rhs = rhs; d_loc = loc }
+
+let parse_constraint st : constraint_decl =
+  let loc = cur_loc st in
+  let static = accept_kw st "static" in
+  let body = parse_formula st in
+  { k_static = static; k_body = body; k_loc = loc }
+
+(* ------------------------------------------------------------------ *)
+(* Template bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let merge_bodies a b =
+  {
+    t_datatypes = a.t_datatypes @ b.t_datatypes;
+    t_inherits = a.t_inherits @ b.t_inherits;
+    t_variables =
+      a.t_variables
+      @ List.filter (fun vd -> not (List.mem vd a.t_variables)) b.t_variables;
+    t_attributes = a.t_attributes @ b.t_attributes;
+    t_events = a.t_events @ b.t_events;
+    t_components = a.t_components @ b.t_components;
+    t_valuation = a.t_valuation @ b.t_valuation;
+    t_derivation = a.t_derivation @ b.t_derivation;
+    t_calling = a.t_calling @ b.t_calling;
+    t_permissions = a.t_permissions @ b.t_permissions;
+    t_constraints = a.t_constraints @ b.t_constraints;
+  }
+
+(* Section contents are parsed as semicolon-terminated items until the
+   next section keyword / 'end'. *)
+let section_items st ~item =
+  let rec go acc =
+    match cur_tok st with
+    | Token.KW
+        ( "attributes" | "events" | "components" | "valuation" | "derivation"
+        | "calling" | "interaction" | "permissions" | "constraints"
+        | "variables" | "data" | "inheriting" | "end" | "identification"
+        | "template" | "view" | "specialization" | "rules" | "selection"
+        | "encapsulating" )
+    | Token.EOF ->
+        List.rev acc
+    | _ ->
+        let x = item st in
+        expect st Token.SEMI;
+        go (x :: acc)
+  in
+  go []
+
+let parse_body st : template_body =
+  let body = ref empty_body in
+  let continue = ref true in
+  while !continue do
+    match cur_tok st with
+    | Token.KW "data" ->
+        advance st;
+        expect_kw st "types";
+        let names =
+          sep_list st ~sep:Token.COMMA ~item:(fun st ->
+              (* allow type constructors in the informational list, e.g.
+                 [data types date, PERSON, set(PERSON);] *)
+              let t = parse_type st in
+              Format.asprintf "%a" Pretty.pp_type t)
+        in
+        expect st Token.SEMI;
+        body := { !body with t_datatypes = !body.t_datatypes @ names }
+    | Token.KW "inheriting" ->
+        advance st;
+        let obj = ident st in
+        expect_kw st "as";
+        let alias = ident st in
+        expect st Token.SEMI;
+        body := { !body with t_inherits = !body.t_inherits @ [ (obj, alias) ] }
+    | Token.KW "variables" ->
+        advance st;
+        let vds = parse_variables st in
+        body :=
+          { !body with
+            t_variables =
+              !body.t_variables
+              @ List.filter (fun vd -> not (List.mem vd !body.t_variables)) vds }
+    | Token.KW "attributes" ->
+        advance st;
+        let items = section_items st ~item:parse_attr_decl in
+        body := { !body with t_attributes = !body.t_attributes @ items }
+    | Token.KW "events" ->
+        advance st;
+        let items = section_items st ~item:parse_event_decl in
+        body := { !body with t_events = !body.t_events @ items }
+    | Token.KW "components" ->
+        advance st;
+        let items = section_items st ~item:parse_comp_decl in
+        body := { !body with t_components = !body.t_components @ items }
+    | Token.KW "valuation" ->
+        advance st;
+        (match cur_tok st with
+        | Token.KW "variables" ->
+            advance st;
+            let vds = parse_variables st in
+            body :=
+          { !body with
+            t_variables =
+              !body.t_variables
+              @ List.filter (fun vd -> not (List.mem vd !body.t_variables)) vds }
+        | _ -> ());
+        let items = section_items st ~item:parse_valuation_rule in
+        body := { !body with t_valuation = !body.t_valuation @ items }
+    | Token.KW "derivation" ->
+        advance st;
+        let _ = accept_kw st "rules" in
+        let items = section_items st ~item:parse_derivation_rule in
+        body := { !body with t_derivation = !body.t_derivation @ items }
+    | Token.KW "rules" ->
+        (* [derivation rules] split across our section loop *)
+        advance st;
+        let items = section_items st ~item:parse_derivation_rule in
+        body := { !body with t_derivation = !body.t_derivation @ items }
+    | Token.KW ("calling" | "interaction") ->
+        advance st;
+        (match cur_tok st with
+        | Token.KW "variables" ->
+            advance st;
+            let vds = parse_variables st in
+            body :=
+          { !body with
+            t_variables =
+              !body.t_variables
+              @ List.filter (fun vd -> not (List.mem vd !body.t_variables)) vds }
+        | _ -> ());
+        let items = section_items st ~item:parse_calling_rule in
+        body := { !body with t_calling = !body.t_calling @ items }
+    | Token.KW "permissions" ->
+        advance st;
+        (match cur_tok st with
+        | Token.KW "variables" ->
+            advance st;
+            let vds = parse_variables st in
+            body :=
+          { !body with
+            t_variables =
+              !body.t_variables
+              @ List.filter (fun vd -> not (List.mem vd !body.t_variables)) vds }
+        | _ -> ());
+        let items = section_items st ~item:parse_permission in
+        body := { !body with t_permissions = !body.t_permissions @ items }
+    | Token.KW "constraints" ->
+        advance st;
+        let items = section_items st ~item:parse_constraint in
+        body := { !body with t_constraints = !body.t_constraints @ items }
+    | _ -> continue := false
+  done;
+  !body
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_identification st =
+  let field st =
+    let n = ident st in
+    expect st Token.COLON;
+    let t = parse_type st in
+    (n, t)
+  in
+  section_items st ~item:field
+
+let parse_class_or_object st : decl =
+  let loc = cur_loc st in
+  expect_kw st "object";
+  if accept_kw st "class" then begin
+    let name = ident st in
+    let identification = ref [] in
+    let view_of = ref None in
+    let spec_of = ref None in
+    let pre = ref true in
+    let body = ref empty_body in
+    while !pre do
+      match cur_tok st with
+      | Token.KW "identification" ->
+          advance st;
+          (* [identification] may carry its own informational data-type
+             list, as in the paper's EMPL_IMPL *)
+          (match cur_tok st with
+          | Token.KW "data" ->
+              advance st;
+              expect_kw st "types";
+              let _ =
+                sep_list st ~sep:Token.COMMA ~item:(fun st ->
+                    Format.asprintf "%a" Pretty.pp_type (parse_type st))
+              in
+              expect st Token.SEMI
+          | _ -> ());
+          identification := !identification @ parse_identification st
+      | Token.KW "view" ->
+          advance st;
+          expect_kw st "of";
+          view_of := Some (ident st);
+          expect st Token.SEMI
+      | Token.KW "specialization" ->
+          advance st;
+          expect_kw st "of";
+          spec_of := Some (ident st);
+          expect st Token.SEMI
+      | Token.KW "template" ->
+          advance st;
+          body := merge_bodies !body (parse_body st)
+      | Token.KW "end" -> pre := false
+      | _ ->
+          (* tolerate template sections without the [template] marker *)
+          let b = parse_body st in
+          if b = empty_body then fail st "unexpected token in object class"
+          else body := merge_bodies !body b
+    done;
+    expect_kw st "end";
+    expect_kw st "object";
+    expect_kw st "class";
+    (match cur_tok st with Token.IDENT _ -> ignore (ident st) | _ -> ());
+    expect st Token.SEMI;
+    D_class
+      { cl_name = name; cl_identification = !identification;
+        cl_view_of = !view_of; cl_spec_of = !spec_of; cl_body = !body;
+        cl_loc = loc }
+  end
+  else begin
+    let name = ident st in
+    let _ = accept_kw st "template" in
+    let body = parse_body st in
+    expect_kw st "end";
+    expect_kw st "object";
+    (match cur_tok st with Token.IDENT _ -> ignore (ident st) | _ -> ());
+    expect st Token.SEMI;
+    D_object { o_name = name; o_body = body; o_loc = loc }
+  end
+
+let parse_interface st : decl =
+  let loc = cur_loc st in
+  expect_kw st "interface";
+  expect_kw st "class";
+  let name = ident st in
+  expect_kw st "encapsulating";
+  let enc st =
+    let cls = ident st in
+    match cur_tok st with
+    | Token.IDENT v ->
+        advance st;
+        (cls, Some v)
+    | _ -> (cls, None)
+  in
+  let encs = sep_list st ~sep:Token.COMMA ~item:enc in
+  let _ = accept st Token.SEMI in
+  let selection = ref None in
+  let variables = ref [] in
+  let attrs = ref [] in
+  let events = ref [] in
+  let derivs = ref [] in
+  let calls = ref [] in
+  let continue = ref true in
+  while !continue do
+    match cur_tok st with
+    | Token.KW "selection" ->
+        advance st;
+        expect_kw st "where";
+        selection := Some (parse_formula st);
+        expect st Token.SEMI
+    | Token.KW "variables" ->
+        advance st;
+        variables := !variables @ parse_variables st
+    | Token.KW "attributes" ->
+        advance st;
+        let item st =
+          let l = cur_loc st in
+          let derived = accept_kw st "derived" in
+          let n = ident st in
+          let params =
+            if Token.equal (cur_tok st) Token.LPAREN then begin
+              advance st;
+              let ps = sep_list st ~sep:Token.COMMA ~item:parse_type in
+              expect st Token.RPAREN;
+              ps
+            end
+            else []
+          in
+          expect st Token.COLON;
+          let t = parse_type st in
+          { ia_name = n; ia_params = params; ia_type = t; ia_derived = derived;
+            ia_loc = l }
+        in
+        attrs := !attrs @ section_items st ~item
+    | Token.KW "events" ->
+        advance st;
+        let item st =
+          let l = cur_loc st in
+          let derived = accept_kw st "derived" in
+          let n = ident st in
+          let params =
+            if Token.equal (cur_tok st) Token.LPAREN then begin
+              advance st;
+              if accept st Token.RPAREN then []
+              else begin
+                let ps = sep_list st ~sep:Token.COMMA ~item:parse_type in
+                expect st Token.RPAREN;
+                ps
+              end
+            end
+            else []
+          in
+          { ie_name = n; ie_params = params; ie_derived = derived; ie_loc = l }
+        in
+        events := !events @ section_items st ~item
+    | Token.KW "derivation" ->
+        advance st;
+        (* the paper nests [derivation rules] and [calling] under a
+           [derivation] header *)
+        let _ = accept_kw st "derivation" in
+        let _ = accept_kw st "rules" in
+        derivs := !derivs @ section_items st ~item:parse_derivation_rule
+    | Token.KW "rules" ->
+        advance st;
+        derivs := !derivs @ section_items st ~item:parse_derivation_rule
+    | Token.KW "calling" ->
+        advance st;
+        calls := !calls @ section_items st ~item:parse_calling_rule
+    | _ -> continue := false
+  done;
+  expect_kw st "end";
+  expect_kw st "interface";
+  expect_kw st "class";
+  (match cur_tok st with Token.IDENT _ -> ignore (ident st) | _ -> ());
+  expect st Token.SEMI;
+  D_interface
+    { if_name = name; if_encapsulating = encs; if_selection = !selection;
+      if_variables = !variables; if_attributes = !attrs; if_events = !events;
+      if_derivation = !derivs; if_calling = !calls; if_loc = loc }
+
+let parse_global st : decl =
+  expect_kw st "global";
+  expect_kw st "interactions";
+  let variables =
+    if accept_kw st "variables" then parse_variables st else []
+  in
+  let rec rules acc =
+    match cur_tok st with
+    | Token.KW ("end" | "object" | "interface" | "global" | "module" | "data")
+    | Token.EOF ->
+        List.rev acc
+    | _ ->
+        let r = parse_calling_rule st in
+        expect st Token.SEMI;
+        rules (r :: acc)
+  in
+  let rs = rules [] in
+  if accept_kw st "end" then begin
+    expect_kw st "global";
+    expect st Token.SEMI
+  end;
+  D_global { g_variables = variables; g_rules = rs }
+
+let parse_enum st : decl =
+  let loc = cur_loc st in
+  expect_kw st "data";
+  expect_kw st "type";
+  let name = ident st in
+  expect st Token.EQ;
+  expect st Token.LPAREN;
+  let consts = sep_list st ~sep:Token.COMMA ~item:ident in
+  expect st Token.RPAREN;
+  expect st Token.SEMI;
+  D_enum { en_name = name; en_consts = consts; en_loc = loc }
+
+let rec parse_decl st : decl =
+  match cur_tok st with
+  | Token.KW "object" -> parse_class_or_object st
+  | Token.KW "interface" -> parse_interface st
+  | Token.KW "global" -> parse_global st
+  | Token.KW "data" -> parse_enum st
+  | Token.KW "module" -> parse_module st
+  | _ -> fail st "expected a declaration"
+
+and parse_module st : decl =
+  let loc = cur_loc st in
+  expect_kw st "module";
+  let name = ident st in
+  let imports = ref [] in
+  while is_kw st "import" do
+    advance st;
+    let m = ident st in
+    expect st Token.DOT;
+    let s = ident st in
+    expect st Token.SEMI;
+    imports := !imports @ [ (m, s) ]
+  done;
+  let conceptual = ref [] in
+  let internal = ref [] in
+  let external_ = ref [] in
+  let continue = ref true in
+  while !continue do
+    match cur_tok st with
+    | Token.KW "conceptual" ->
+        advance st;
+        expect_kw st "schema";
+        let rec ds acc =
+          match cur_tok st with
+          | Token.KW ("object" | "interface" | "global" | "data") ->
+              ds (parse_decl st :: acc)
+          | _ -> List.rev acc
+        in
+        conceptual := !conceptual @ ds []
+    | Token.KW "internal" ->
+        advance st;
+        expect_kw st "schema";
+        let rec ds acc =
+          match cur_tok st with
+          | Token.KW ("object" | "interface" | "global" | "data") ->
+              ds (parse_decl st :: acc)
+          | _ -> List.rev acc
+        in
+        internal := !internal @ ds []
+    | Token.KW "external" ->
+        advance st;
+        expect_kw st "schema";
+        let s = ident st in
+        expect st Token.EQ;
+        expect st Token.LPAREN;
+        let names = sep_list st ~sep:Token.COMMA ~item:ident in
+        expect st Token.RPAREN;
+        expect st Token.SEMI;
+        external_ := !external_ @ [ (s, names) ]
+    | _ -> continue := false
+  done;
+  expect_kw st "end";
+  expect_kw st "module";
+  (match cur_tok st with Token.IDENT _ -> ignore (ident st) | _ -> ());
+  expect st Token.SEMI;
+  D_module
+    { m_name = name; m_imports = !imports; m_conceptual = !conceptual;
+      m_internal = !internal; m_external = !external_; m_loc = loc }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run src parse =
+  match Lexer.tokenize src with
+  | exception Lexer.Error e -> Error (Parse_error.of_lexer_error e)
+  | toks -> (
+      let st = { toks = Array.of_list toks; pos = 0 } in
+      match parse st with
+      | v ->
+          if Token.equal (cur_tok st) Token.EOF then Ok v
+          else
+            Error
+              { Parse_error.message =
+                  Format.asprintf "trailing input: %a" Token.pp (cur_tok st);
+                loc = cur_loc st }
+      | exception Parse_error.E e -> Error e)
+
+(** Parse a complete specification (a sequence of declarations). *)
+let spec src : (Ast.spec, Parse_error.t) result =
+  run src (fun st ->
+      let rec go acc =
+        if Token.equal (cur_tok st) Token.EOF then List.rev acc
+        else go (parse_decl st :: acc)
+      in
+      go [])
+
+(** Parse a single expression (for tests and the CLI). *)
+let expr_of_string src = run src parse_expr
+
+(** Parse a single formula. *)
+let formula_of_string src = run src parse_formula
+
+(** Parse a single event term (used by the animator's script language). *)
+let event_of_string src = run src parse_event_term
+
+(** Parse a single declaration. *)
+let decl_of_string src = run src parse_decl

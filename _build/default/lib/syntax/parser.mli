@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the TROLL concrete syntax
+    (docs/GRAMMAR.md).  {!Pretty} emits exactly this grammar; the test
+    suite checks print/parse/print stability on the paper's
+    specifications and on random ASTs. *)
+
+type state = { toks : Lexer.lexeme array; mutable pos : int }
+(** Exposed so that embedding languages (the animation {!Script}) can
+    reuse the sub-parsers below on their own token streams. *)
+
+(** {1 Entry points} *)
+
+val spec : string -> (Ast.spec, Parse_error.t) result
+(** A complete specification (sequence of declarations). *)
+
+val expr_of_string : string -> (Ast.expr, Parse_error.t) result
+val formula_of_string : string -> (Ast.formula, Parse_error.t) result
+val event_of_string : string -> (Ast.event_term, Parse_error.t) result
+val decl_of_string : string -> (Ast.decl, Parse_error.t) result
+
+(** {1 Sub-parsers} (raise {!Parse_error.E}) *)
+
+val parse_expr : state -> Ast.expr
+val parse_formula : state -> Ast.formula
+val parse_event_term : state -> Ast.event_term
+val parse_type : state -> Ast.type_expr
+val parse_decl : state -> Ast.decl
+val parse_paren_args : state -> Ast.expr list

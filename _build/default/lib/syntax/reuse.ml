@@ -1,0 +1,317 @@
+(** Syntactical reuse of specification texts ([SRGS91], §6.1).
+
+    The paper's first structuring principle for large specifications is
+    "the use of object specification libraries to support reusability of
+    object descriptions".  This module implements parameterized
+    specification templates at the AST level: a library specification is
+    *instantiated* by a renaming of its classes, attributes and events,
+    yielding a fresh copy under new names — e.g. a generic [CONTAINER]
+    template instantiated once as a parts store and once as a document
+    archive.
+
+    Renaming is purely syntactic and total over the declaration: class
+    references in types ([|C|]), component declarations, incorporations,
+    instance references ([C(e)]) and bare names (extension references,
+    single objects) are all mapped. *)
+
+type renaming = {
+  classes : (string * string) list;
+  attrs : (string * string) list;
+  events : (string * string) list;
+}
+
+let renaming ?(classes = []) ?(attrs = []) ?(events = []) () =
+  { classes; attrs; events }
+
+let ren map n = match List.assoc_opt n map with Some n' -> n' | None -> n
+
+let rec rename_type r (te : Ast.type_expr) : Ast.type_expr =
+  match te with
+  | Ast.TE_name n -> Ast.TE_name (ren r.classes n)
+  | Ast.TE_id n -> Ast.TE_id (ren r.classes n)
+  | Ast.TE_set t -> Ast.TE_set (rename_type r t)
+  | Ast.TE_list t -> Ast.TE_list (rename_type r t)
+  | Ast.TE_map (k, v) -> Ast.TE_map (rename_type r k, rename_type r v)
+  | Ast.TE_tuple fields ->
+      Ast.TE_tuple (List.map (fun (n, t) -> (n, rename_type r t)) fields)
+
+let rename_ref r = function
+  | Ast.OR_self -> Ast.OR_self
+  | Ast.OR_name n ->
+      (* a bare reference may be a class/object name or an attribute
+         alias; try both maps (class names win) *)
+      Ast.OR_name (ren r.attrs (ren r.classes n))
+  | Ast.OR_instance (cls, e) -> Ast.OR_instance (ren r.classes cls, e)
+
+let rec rename_expr r (x : Ast.expr) : Ast.expr =
+  let e =
+    match x.Ast.e with
+    | Ast.E_lit _ | Ast.E_self -> x.Ast.e
+    | Ast.E_var n -> Ast.E_var (ren r.attrs (ren r.classes n))
+    | Ast.E_attr (obj, name, args) ->
+        Ast.E_attr
+          ( (match rename_ref r obj with
+            | Ast.OR_instance (cls, e) -> Ast.OR_instance (cls, rename_expr r e)
+            | o -> o),
+            ren r.attrs name,
+            List.map (rename_expr r) args )
+    | Ast.E_field (b, f) -> Ast.E_field (rename_expr r b, ren r.attrs f)
+    | Ast.E_apply (f, args) ->
+        Ast.E_apply (ren r.classes f, List.map (rename_expr r) args)
+    | Ast.E_binop (op, a, b) ->
+        Ast.E_binop (op, rename_expr r a, rename_expr r b)
+    | Ast.E_unop (op, a) -> Ast.E_unop (op, rename_expr r a)
+    | Ast.E_tuple fields ->
+        Ast.E_tuple (List.map (fun (n, e) -> (n, rename_expr r e)) fields)
+    | Ast.E_setlit xs -> Ast.E_setlit (List.map (rename_expr r) xs)
+    | Ast.E_listlit xs -> Ast.E_listlit (List.map (rename_expr r) xs)
+    | Ast.E_if (a, b, c) ->
+        Ast.E_if (rename_expr r a, rename_expr r b, rename_expr r c)
+    | Ast.E_query q -> Ast.E_query (rename_query r q)
+  in
+  { x with Ast.e }
+
+and rename_query r = function
+  | Ast.Q_expr e -> Ast.Q_expr (rename_expr r e)
+  | Ast.Q_select (c, q) -> Ast.Q_select (rename_expr r c, rename_query r q)
+  | Ast.Q_project (fs, q) ->
+      Ast.Q_project (List.map (ren r.attrs) fs, rename_query r q)
+  | Ast.Q_the q -> Ast.Q_the (rename_query r q)
+  | Ast.Q_count q -> Ast.Q_count (rename_query r q)
+  | Ast.Q_sum (f, q) ->
+      Ast.Q_sum (Option.map (ren r.attrs) f, rename_query r q)
+  | Ast.Q_min (f, q) ->
+      Ast.Q_min (Option.map (ren r.attrs) f, rename_query r q)
+  | Ast.Q_max (f, q) ->
+      Ast.Q_max (Option.map (ren r.attrs) f, rename_query r q)
+
+let rename_event_term r (ev : Ast.event_term) : Ast.event_term =
+  {
+    ev with
+    Ast.target =
+      Option.map
+        (fun t ->
+          match rename_ref r t with
+          | Ast.OR_instance (cls, e) -> Ast.OR_instance (cls, rename_expr r e)
+          | t -> t)
+        ev.Ast.target;
+    ev_name = ren r.events ev.Ast.ev_name;
+    ev_args = List.map (rename_expr r) ev.Ast.ev_args;
+  }
+
+let rec rename_formula r (f : Ast.formula) : Ast.formula =
+  let g =
+    match f.Ast.f with
+    | Ast.F_expr e -> Ast.F_expr (rename_expr r e)
+    | Ast.F_not x -> Ast.F_not (rename_formula r x)
+    | Ast.F_and (a, b) -> Ast.F_and (rename_formula r a, rename_formula r b)
+    | Ast.F_or (a, b) -> Ast.F_or (rename_formula r a, rename_formula r b)
+    | Ast.F_implies (a, b) ->
+        Ast.F_implies (rename_formula r a, rename_formula r b)
+    | Ast.F_sometime x -> Ast.F_sometime (rename_formula r x)
+    | Ast.F_always x -> Ast.F_always (rename_formula r x)
+    | Ast.F_since (a, b) ->
+        Ast.F_since (rename_formula r a, rename_formula r b)
+    | Ast.F_previous x -> Ast.F_previous (rename_formula r x)
+    | Ast.F_after ev -> Ast.F_after (rename_event_term r ev)
+    | Ast.F_forall (binds, x) ->
+        Ast.F_forall
+          ( List.map (fun (v, te) -> (v, rename_type r te)) binds,
+            rename_formula r x )
+    | Ast.F_exists (binds, x) ->
+        Ast.F_exists
+          ( List.map (fun (v, te) -> (v, rename_type r te)) binds,
+            rename_formula r x )
+  in
+  { f with Ast.f = g }
+
+let rename_body r (b : Ast.template_body) : Ast.template_body =
+  {
+    Ast.t_datatypes = b.Ast.t_datatypes;
+    t_inherits =
+      List.map
+        (fun (obj, alias) -> (ren r.classes obj, ren r.attrs alias))
+        b.Ast.t_inherits;
+    t_variables =
+      List.map (fun (vs, te) -> (vs, rename_type r te)) b.Ast.t_variables;
+    t_attributes =
+      List.map
+        (fun (a : Ast.attr_decl) ->
+          {
+            a with
+            Ast.a_name = ren r.attrs a.Ast.a_name;
+            a_params = List.map (rename_type r) a.Ast.a_params;
+            a_type = rename_type r a.Ast.a_type;
+          })
+        b.Ast.t_attributes;
+    t_events =
+      List.map
+        (fun (e : Ast.event_decl) ->
+          {
+            e with
+            Ast.ev_decl_name = ren r.events e.Ast.ev_decl_name;
+            ev_params = List.map (rename_type r) e.Ast.ev_params;
+            ev_born_by = Option.map (rename_event_term r) e.Ast.ev_born_by;
+          })
+        b.Ast.t_events;
+    t_components =
+      List.map
+        (fun (cd : Ast.comp_decl) ->
+          {
+            cd with
+            Ast.c_name = ren r.attrs cd.Ast.c_name;
+            c_class = ren r.classes cd.Ast.c_class;
+          })
+        b.Ast.t_components;
+    t_valuation =
+      List.map
+        (fun (v : Ast.valuation_rule) ->
+          {
+            v with
+            Ast.v_guard = Option.map (rename_formula r) v.Ast.v_guard;
+            v_event = rename_event_term r v.Ast.v_event;
+            v_attr = ren r.attrs v.Ast.v_attr;
+            v_attr_args = List.map (rename_expr r) v.Ast.v_attr_args;
+            v_rhs = rename_expr r v.Ast.v_rhs;
+          })
+        b.Ast.t_valuation;
+    t_derivation =
+      List.map
+        (fun (d : Ast.derivation_rule) ->
+          {
+            d with
+            Ast.d_attr = ren r.attrs d.Ast.d_attr;
+            d_rhs = rename_expr r d.Ast.d_rhs;
+          })
+        b.Ast.t_derivation;
+    t_calling =
+      List.map
+        (fun (cr : Ast.calling_rule) ->
+          {
+            cr with
+            Ast.i_guard = Option.map (rename_formula r) cr.Ast.i_guard;
+            i_caller = rename_event_term r cr.Ast.i_caller;
+            i_called = List.map (rename_event_term r) cr.Ast.i_called;
+          })
+        b.Ast.t_calling;
+    t_permissions =
+      List.map
+        (fun (p : Ast.permission) ->
+          {
+            p with
+            Ast.p_guard = rename_formula r p.Ast.p_guard;
+            p_event = rename_event_term r p.Ast.p_event;
+          })
+        b.Ast.t_permissions;
+    t_constraints =
+      List.map
+        (fun (k : Ast.constraint_decl) ->
+          { k with Ast.k_body = rename_formula r k.Ast.k_body })
+        b.Ast.t_constraints;
+  }
+
+let rec rename_decl r (d : Ast.decl) : Ast.decl =
+  match d with
+  | Ast.D_enum e -> Ast.D_enum { e with Ast.en_name = ren r.classes e.Ast.en_name }
+  | Ast.D_class c ->
+      Ast.D_class
+        {
+          c with
+          Ast.cl_name = ren r.classes c.Ast.cl_name;
+          cl_identification =
+            List.map
+              (fun (n, te) -> (ren r.attrs n, rename_type r te))
+              c.Ast.cl_identification;
+          cl_view_of = Option.map (ren r.classes) c.Ast.cl_view_of;
+          cl_spec_of = Option.map (ren r.classes) c.Ast.cl_spec_of;
+          cl_body = rename_body r c.Ast.cl_body;
+        }
+  | Ast.D_object o ->
+      Ast.D_object
+        {
+          o with
+          Ast.o_name = ren r.classes o.Ast.o_name;
+          o_body = rename_body r o.Ast.o_body;
+        }
+  | Ast.D_interface i ->
+      Ast.D_interface
+        {
+          i with
+          Ast.if_name = ren r.classes i.Ast.if_name;
+          if_encapsulating =
+            List.map (fun (c, v) -> (ren r.classes c, v)) i.Ast.if_encapsulating;
+          if_selection = Option.map (rename_formula r) i.Ast.if_selection;
+          if_variables =
+            List.map (fun (vs, te) -> (vs, rename_type r te)) i.Ast.if_variables;
+          if_attributes =
+            List.map
+              (fun (a : Ast.iface_attr) ->
+                {
+                  a with
+                  Ast.ia_name = ren r.attrs a.Ast.ia_name;
+                  ia_params = List.map (rename_type r) a.Ast.ia_params;
+                  ia_type = rename_type r a.Ast.ia_type;
+                })
+              i.Ast.if_attributes;
+          if_events =
+            List.map
+              (fun (e : Ast.iface_event) ->
+                {
+                  e with
+                  Ast.ie_name = ren r.events e.Ast.ie_name;
+                  ie_params = List.map (rename_type r) e.Ast.ie_params;
+                })
+              i.Ast.if_events;
+          if_derivation =
+            List.map
+              (fun (d : Ast.derivation_rule) ->
+                {
+                  d with
+                  Ast.d_attr = ren r.attrs d.Ast.d_attr;
+                  d_rhs = rename_expr r d.Ast.d_rhs;
+                })
+              i.Ast.if_derivation;
+          if_calling =
+            List.map
+              (fun (cr : Ast.calling_rule) ->
+                {
+                  cr with
+                  Ast.i_caller = rename_event_term r cr.Ast.i_caller;
+                  i_called = List.map (rename_event_term r) cr.Ast.i_called;
+                })
+              i.Ast.if_calling;
+        }
+  | Ast.D_global g ->
+      Ast.D_global
+        {
+          Ast.g_variables =
+            List.map (fun (vs, te) -> (vs, rename_type r te)) g.Ast.g_variables;
+          g_rules =
+            List.map
+              (fun (cr : Ast.calling_rule) ->
+                {
+                  cr with
+                  Ast.i_guard = Option.map (rename_formula r) cr.Ast.i_guard;
+                  i_caller = rename_event_term r cr.Ast.i_caller;
+                  i_called = List.map (rename_event_term r) cr.Ast.i_called;
+                })
+              g.Ast.g_rules;
+        }
+  | Ast.D_module m ->
+      Ast.D_module
+        {
+          m with
+          Ast.m_conceptual = List.map (rename_decl r) m.Ast.m_conceptual;
+          m_internal = List.map (rename_decl r) m.Ast.m_internal;
+        }
+
+(** Instantiate a library specification under a renaming. *)
+let instantiate (r : renaming) (spec : Ast.spec) : Ast.spec =
+  List.map (rename_decl r) spec
+
+(** Instantiate from source text (parse, rename). *)
+let instantiate_string (r : renaming) (source : string) :
+    (Ast.spec, string) result =
+  match Parser.spec source with
+  | Ok spec -> Ok (instantiate r spec)
+  | Error e -> Error (Parse_error.to_string e)

@@ -1,0 +1,26 @@
+(** Syntactical reuse of specification texts ([SRGS91], §6.1):
+    parameterized instantiation of library specifications by a total,
+    purely syntactic renaming of classes, attributes and events — e.g.
+    a generic [CONTAINER] instantiated once as a parts store and once
+    as a document archive.  Instances re-check, re-compile and re-parse
+    (property-tested). *)
+
+type renaming = {
+  classes : (string * string) list;
+  attrs : (string * string) list;
+  events : (string * string) list;
+}
+
+val renaming :
+  ?classes:(string * string) list ->
+  ?attrs:(string * string) list ->
+  ?events:(string * string) list ->
+  unit ->
+  renaming
+
+val rename_decl : renaming -> Ast.decl -> Ast.decl
+
+val instantiate : renaming -> Ast.spec -> Ast.spec
+
+val instantiate_string : renaming -> string -> (Ast.spec, string) result
+(** Parse, then rename. *)

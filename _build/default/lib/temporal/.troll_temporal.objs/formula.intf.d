@@ -1,0 +1,1 @@
+lib/temporal/formula.mli: Format

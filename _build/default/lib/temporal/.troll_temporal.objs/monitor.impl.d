@@ -1,0 +1,1 @@
+lib/temporal/monitor.ml: Array Formula List

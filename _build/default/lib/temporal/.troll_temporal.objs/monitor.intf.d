@@ -1,0 +1,1 @@
+lib/temporal/monitor.mli: Formula

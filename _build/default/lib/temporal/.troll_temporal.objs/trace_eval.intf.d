@@ -1,0 +1,1 @@
+lib/temporal/trace_eval.mli: Formula

@@ -1,0 +1,79 @@
+(** Past-time temporal formulas, polymorphic in the atomic propositions.
+
+    TROLL permissions gate an event on the *history* of the object: the
+    formula language of this module provides exactly the past fragment
+    the paper uses — [sometime] (past "once"), [always] (historically),
+    [since], [previous] — plus the usual boolean connectives.  Atoms are
+    abstract: the kernel instantiates them with compiled state
+    predicates and event-occurrence tests.
+
+    Semantics is over finite, non-empty prefixes of a life cycle; all
+    past operators include the present instant. *)
+
+type 'a t =
+  | True
+  | False
+  | Atom of 'a
+  | Not of 'a t
+  | And of 'a t * 'a t
+  | Or of 'a t * 'a t
+  | Implies of 'a t * 'a t
+  | Sometime of 'a t  (** ∃ j ≤ now *)
+  | Always of 'a t  (** ∀ j ≤ now *)
+  | Since of 'a t * 'a t
+      (** [Since (φ, ψ)]: ψ held at some past instant and φ held at every
+          instant after it, up to and including now *)
+  | Previous of 'a t  (** held at the immediately preceding instant *)
+
+let atom a = Atom a
+
+let rec map f = function
+  | True -> True
+  | False -> False
+  | Atom a -> Atom (f a)
+  | Not g -> Not (map f g)
+  | And (a, b) -> And (map f a, map f b)
+  | Or (a, b) -> Or (map f a, map f b)
+  | Implies (a, b) -> Implies (map f a, map f b)
+  | Sometime g -> Sometime (map f g)
+  | Always g -> Always (map f g)
+  | Since (a, b) -> Since (map f a, map f b)
+  | Previous g -> Previous (map f g)
+
+let rec atoms acc = function
+  | True | False -> acc
+  | Atom a -> a :: acc
+  | Not g | Sometime g | Always g | Previous g -> atoms acc g
+  | And (a, b) | Or (a, b) | Implies (a, b) | Since (a, b) ->
+      atoms (atoms acc a) b
+
+(** Number of syntactic nodes; monitors are linear in this. *)
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not g | Sometime g | Always g | Previous g -> 1 + size g
+  | And (a, b) | Or (a, b) | Implies (a, b) | Since (a, b) ->
+      1 + size a + size b
+
+(** Does the formula mention any genuinely temporal operator?  Purely
+    propositional formulas can be checked without history. *)
+let rec is_temporal = function
+  | True | False | Atom _ -> false
+  | Not g -> is_temporal g
+  | And (a, b) | Or (a, b) | Implies (a, b) -> is_temporal a || is_temporal b
+  | Sometime _ | Always _ | Since _ | Previous _ -> true
+
+let rec pp pp_atom ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | Not g -> Format.fprintf ppf "not(%a)" (pp pp_atom) g
+  | And (a, b) ->
+      Format.fprintf ppf "(%a and %a)" (pp pp_atom) a (pp pp_atom) b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" (pp pp_atom) a (pp pp_atom) b
+  | Implies (a, b) ->
+      Format.fprintf ppf "(%a => %a)" (pp pp_atom) a (pp pp_atom) b
+  | Sometime g -> Format.fprintf ppf "sometime(%a)" (pp pp_atom) g
+  | Always g -> Format.fprintf ppf "always(%a)" (pp pp_atom) g
+  | Since (a, b) ->
+      Format.fprintf ppf "(%a since %a)" (pp pp_atom) a (pp pp_atom) b
+  | Previous g -> Format.fprintf ppf "previous(%a)" (pp pp_atom) g

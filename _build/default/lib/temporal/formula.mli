@@ -1,0 +1,40 @@
+(** Past-time temporal formulas, polymorphic in the atomic
+    propositions.
+
+    TROLL permissions gate events on the *history* of the object; this
+    is exactly the past fragment the paper uses — [sometime] (past
+    "once"), [always] (historically), [since], [previous] — plus boolean
+    connectives.  Semantics is over finite non-empty prefixes of a life
+    cycle; all past operators include the present instant. *)
+
+type 'a t =
+  | True
+  | False
+  | Atom of 'a
+  | Not of 'a t
+  | And of 'a t * 'a t
+  | Or of 'a t * 'a t
+  | Implies of 'a t * 'a t
+  | Sometime of 'a t  (** ∃ j ≤ now *)
+  | Always of 'a t  (** ∀ j ≤ now *)
+  | Since of 'a t * 'a t
+      (** ψ held at some past instant and φ at every instant after it,
+          up to and including now *)
+  | Previous of 'a t  (** held at the immediately preceding instant *)
+
+val atom : 'a -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val atoms : 'a list -> 'a t -> 'a list
+(** Prepend all atoms of the formula to the accumulator. *)
+
+val size : 'a t -> int
+(** Syntactic size; monitors are linear in this. *)
+
+val is_temporal : 'a t -> bool
+(** Mentions a genuinely temporal operator (purely propositional
+    formulas can be checked without history). *)
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

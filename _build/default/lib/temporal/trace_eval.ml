@@ -1,0 +1,47 @@
+(** Reference semantics: direct evaluation of a past formula over a
+    stored trace.
+
+    This is the *naive* baseline of experiment E4: checking a permission
+    with it requires the complete history of the object and costs
+    O(trace × |φ|) per evaluation (worse for nested temporal operators).
+    {!Monitor} computes the same value incrementally in O(|φ|) per step;
+    the test suite checks both agree on random formulas and traces. *)
+
+(** [eval ~atom trace i φ] — does [φ] hold at position [i] of [trace]?
+    [atom a s] decides atomic proposition [a] in state [s].  Positions
+    are 0-based; [i] must be within the trace. *)
+let rec eval ~atom (trace : 'state array) (i : int) (f : 'a Formula.t) : bool =
+  if i < 0 || i >= Array.length trace then
+    invalid_arg "Trace_eval.eval: position outside trace";
+  match f with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom a -> atom a trace.(i)
+  | Formula.Not g -> not (eval ~atom trace i g)
+  | Formula.And (a, b) -> eval ~atom trace i a && eval ~atom trace i b
+  | Formula.Or (a, b) -> eval ~atom trace i a || eval ~atom trace i b
+  | Formula.Implies (a, b) ->
+      (not (eval ~atom trace i a)) || eval ~atom trace i b
+  | Formula.Sometime g ->
+      let rec any j = j >= 0 && (eval ~atom trace j g || any (j - 1)) in
+      any i
+  | Formula.Always g ->
+      let rec all j = j < 0 || (eval ~atom trace j g && all (j - 1)) in
+      all i
+  | Formula.Since (a, b) ->
+      (* ∃ j ≤ i. ψ@j ∧ ∀ k ∈ (j, i]. φ@k *)
+      let rec search j =
+        j >= 0
+        && (eval ~atom trace j b
+           || (eval ~atom trace j a && search (j - 1)))
+      in
+      (* note: at position j we need ψ@j, or (φ@j ∧ recurse) — this is
+         exactly the unfolding φ S ψ = ψ ∨ (φ ∧ prev (φ S ψ)) *)
+      search i
+  | Formula.Previous g -> i > 0 && eval ~atom trace (i - 1) g
+
+(** Evaluate at the last position of a non-empty trace. *)
+let eval_last ~atom trace f =
+  let n = Array.length trace in
+  if n = 0 then invalid_arg "Trace_eval.eval_last: empty trace";
+  eval ~atom trace (n - 1) f

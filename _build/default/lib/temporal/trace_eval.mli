@@ -1,0 +1,17 @@
+(** Reference semantics: direct evaluation of past formulas over a
+    stored trace.
+
+    This is the naive baseline of experiment E4: each evaluation walks
+    the history, costing O(trace × |φ|).  {!Monitor} computes the same
+    values incrementally; the test suite checks they agree on random
+    formulas and traces. *)
+
+val eval :
+  atom:('a -> 'state -> bool) -> 'state array -> int -> 'a Formula.t -> bool
+(** [eval ~atom trace i φ]: does [φ] hold at position [i] (0-based) of
+    [trace]?  Raises [Invalid_argument] if [i] is outside the trace. *)
+
+val eval_last :
+  atom:('a -> 'state -> bool) -> 'state array -> 'a Formula.t -> bool
+(** Evaluate at the last position.  Raises [Invalid_argument] on an
+    empty trace. *)

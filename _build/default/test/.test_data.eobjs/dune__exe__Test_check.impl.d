@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check_error List Paper_specs Parse_error Parser Printf String Typecheck

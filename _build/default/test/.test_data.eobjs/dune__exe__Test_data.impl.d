@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Builtin Date_adt Env List Money Printf QCheck QCheck_alcotest Value Vtype

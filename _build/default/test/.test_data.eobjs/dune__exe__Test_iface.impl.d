@@ -1,0 +1,1 @@
+test/test_iface.ml: Alcotest Ident Interface List Money Paper_specs Runtime_error Troll Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Community Engine Ident Interface List Money Option Paper_specs Runtime_error Script String Troll Value

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Community Compile Engine Eval Event Ident List Money Paper_specs QCheck QCheck_alcotest Runtime_error String Template Value

@@ -1,0 +1,1 @@
+test/test_modsys.ml: Alcotest Ast Community Date_adt Engine Eval Event Ident Interface List Option Parse_error Parser Schema3 Society String Troll Value

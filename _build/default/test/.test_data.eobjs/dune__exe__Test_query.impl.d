@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Algebra List QCheck QCheck_alcotest Value

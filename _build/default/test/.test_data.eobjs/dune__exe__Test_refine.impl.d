@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Community Engine Format Ident Implementation List Obligation Paper_specs Refinement Runtime_error String Troll Value Vtype

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Btree Community Compile Engine Eval Event Fun Hash_index Ident List Map Paper_specs Persist QCheck QCheck_alcotest Runtime_error String Value Value_codec

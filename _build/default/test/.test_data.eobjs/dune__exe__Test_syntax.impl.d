@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Array Ast Lexer List Loc Paper_specs Parse_error Parser Pretty Printf QCheck QCheck_alcotest String Token

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Format Formula Int List Monitor QCheck QCheck_alcotest Trace_eval

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Ast Community Compile Engine Event Ident List Loc Paper_specs Parse_error Parser Refinement Runtime_error Script String Template Value Vtype

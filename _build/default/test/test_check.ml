@@ -1,0 +1,534 @@
+(** Static checker: every class of diagnostic has a test that triggers
+    it, and the paper's specifications check cleanly. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let parse src =
+  match Parser.spec src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse error: %s" (Parse_error.to_string e)
+
+let errors_of src =
+  List.filter Check_error.is_error (Typecheck.check (parse src))
+
+let warnings_of src =
+  List.filter
+    (fun d -> not (Check_error.is_error d))
+    (Typecheck.check (parse src))
+
+let contains s fragment =
+  let rec find i =
+    i + String.length fragment <= String.length s
+    && (String.sub s i (String.length fragment) = fragment || find (i + 1))
+  in
+  find 0
+
+let assert_error src fragment =
+  if
+    not
+      (List.exists
+         (fun d -> contains (Check_error.to_string d) fragment)
+         (errors_of src))
+  then
+    Alcotest.failf "expected an error mentioning %S; got: %s" fragment
+      (String.concat " | " (List.map Check_error.to_string (errors_of src)))
+
+let assert_clean src =
+  match errors_of src with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "unexpected error: %s" (Check_error.to_string e)
+
+(* a small well-formed core to modify *)
+let base body = Printf.sprintf {|
+object class C
+  identification id: string;
+  template
+    %s
+end object class C;
+|} body
+
+(* ------------------------------------------------------------------ *)
+(* Clean specifications                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_specs_clean () =
+  assert_clean Paper_specs.dept;
+  assert_clean Paper_specs.company;
+  assert_clean Paper_specs.employee_abstract;
+  assert_clean Paper_specs.employee_implementation;
+  assert_clean Paper_specs.library
+
+(* ------------------------------------------------------------------ *)
+(* Types and signatures                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_unknown_type () =
+  assert_error
+    (base "attributes a: FROB; events birth b;")
+    "unknown type FROB"
+
+let test_unknown_identity_type () =
+  assert_error (base "attributes a: |NOWHERE|; events birth b;") "unknown"
+
+let test_duplicate_attribute () =
+  assert_error
+    (base "attributes a: integer; a: string; events birth b;")
+    "duplicate attribute"
+
+let test_duplicate_event () =
+  assert_error (base "events birth b; go; go;") "duplicate event"
+
+let test_component_unknown_class () =
+  assert_error
+    (base "events birth b; components parts: set(WIDGET);")
+    "unknown class WIDGET"
+
+let test_view_of_unknown () =
+  assert_error
+    {|
+object class R
+  view of NOBODY;
+  template
+    events birth b;
+end object class R;
+|}
+    "unknown class NOBODY"
+
+let test_no_birth_warning () =
+  let ws =
+    warnings_of
+      {|
+object class C
+  identification id: string;
+  template
+    events go;
+end object class C;
+|}
+  in
+  check tbool "warned" true
+    (List.exists (fun d -> contains (Check_error.to_string d) "birth") ws)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_unbound_name () =
+  assert_error
+    (base "attributes a: integer; events birth b; valuation [b] a = zzz;")
+    "unbound name zzz"
+
+let test_operator_mistyping () =
+  assert_error
+    (base
+       {|attributes a: integer; events birth b; valuation [b] a = 1 + "x";|})
+    "no typing for operator"
+
+let test_if_branch_mismatch () =
+  assert_error
+    (base
+       {|attributes a: integer; events birth b;
+         valuation [b] a = if true then 1 else "x" fi;|})
+    "incompatible types"
+
+let test_unknown_attribute_access () =
+  assert_error
+    (base
+       {|attributes a: integer; events birth b;
+         valuation [b] a = self.nope;|})
+    "no attribute nope"
+
+let test_field_of_non_tuple () =
+  assert_error
+    (base
+       {|attributes a: integer; b2: integer; events birth b;
+         valuation [b] a = b2.f;|})
+    "cannot select field"
+
+let test_surrogate_is_known () =
+  assert_clean
+    (base
+       {|attributes a: |C|; events birth b;
+         valuation [b] a = self.surrogate;|})
+
+(* ------------------------------------------------------------------ *)
+(* Valuation rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_valuation_unknown_attr () =
+  assert_error
+    (base "events birth b; valuation [b] ghost = 1;")
+    "unknown attribute"
+
+let test_valuation_type_mismatch () =
+  assert_error
+    (base {|attributes a: integer; events birth b; valuation [b] a = "s";|})
+    "expected integer, found string"
+
+let test_valuation_derived_attr () =
+  assert_error
+    (base
+       {|attributes derived a: integer; events birth b;
+         derivation rules a = 1;
+         valuation [b] a = 2;|})
+    "derived attribute"
+
+let test_valuation_var_type_mismatch () =
+  assert_error
+    (base
+       {|attributes a: integer; events birth b; go(string);
+         valuation variables k: integer; [go(k)] a = k;|})
+    "declared integer, event parameter is string"
+
+let test_valuation_arity () =
+  assert_error
+    (base
+       {|attributes a: integer; events birth b; go(integer);
+         valuation variables k: integer; [go(k, k)] a = k;|})
+    "expects 1 argument(s)"
+
+(* ------------------------------------------------------------------ *)
+(* Derivation rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_derived_without_rule () =
+  assert_error
+    (base "attributes derived a: integer; events birth b;")
+    "no derivation rule"
+
+let test_derivation_for_stored () =
+  assert_error
+    (base
+       {|attributes a: integer; events birth b;
+         derivation rules a = 1;|})
+    "non-derived attribute"
+
+let test_derivation_type () =
+  assert_error
+    (base
+       {|attributes derived a: integer; events birth b;
+         derivation rules a = "s";|})
+    "expected integer"
+
+let test_constant_attr_write () =
+  assert_error
+    (base
+       {|attributes constant a: integer; events birth b; go;
+         valuation [b] a = 1; [go] a = 2;|})
+    "constant attribute C.a may only be set by a birth event"
+
+let test_constant_attr_birth_ok () =
+  assert_clean
+    (base
+       {|attributes constant a: integer; events birth b;
+         valuation [b] a = 1;|})
+
+let test_identification_immutable () =
+  (* identification fields are constant attributes *)
+  assert_error
+    (base {|events birth b; go; valuation [go] id = "other";|})
+    "constant attribute C.id may only be set by a birth event"
+
+let test_duplicate_declaration () =
+  assert_error
+    {|
+object class X
+  identification k: string;
+  template events birth b;
+end object class X;
+object class X
+  identification k: string;
+  template events birth b;
+end object class X;
+|}
+    "duplicate declaration of X"
+
+(* ------------------------------------------------------------------ *)
+(* Permissions, constraints, calling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_permission_unknown_event () =
+  assert_error
+    (base "events birth b; permissions { true } ghost;")
+    "no event ghost"
+
+let test_permission_nonbool_guard () =
+  assert_error
+    (base "events birth b; go; permissions { 1 + 1 } go;")
+    "expected bool"
+
+let test_constraint_temporal_in_static () =
+  assert_error
+    (base
+       "attributes a: bool; events birth b; constraints static sometime(a);")
+    "temporal operator not allowed"
+
+let test_nested_class_quantifier_warning () =
+  let ws =
+    warnings_of
+      {|
+object class P
+  identification id: string;
+  template
+    events birth b;
+end object class P;
+object class C
+  identification id: string;
+  template
+    events birth b; go;
+    permissions
+      { sometime(for all (X: P : after(go))) } go;
+end object class C;
+|}
+  in
+  check tint "one warning" 1 (List.length ws)
+
+let test_calling_unknown_called () =
+  assert_error
+    (base "events birth b; go; calling go >> self.ghost;")
+    "no event ghost"
+
+let test_calling_target_class_event () =
+  assert_clean
+    {|
+object class A
+  identification id: string;
+  template
+    events birth b; go;
+end object class A;
+object class B
+  identification id: string;
+  template
+    events birth b; trigger(|A|);
+    calling
+      variables X: |A|;
+      trigger(X) >> A(X).go;
+end object class B;
+|}
+
+let test_global_needs_instance_target () =
+  assert_error
+    {|
+object class A
+  identification id: string;
+  template
+    events birth b; go;
+end object class A;
+global interactions
+  go >> go;
+end global;
+|}
+    "must name a class instance"
+
+let test_global_wellformed () =
+  assert_clean
+    {|
+object class A
+  identification id: string;
+  template
+    events birth b; go; gone;
+end object class A;
+global interactions
+  variables X: |A|;
+  A(X).go >> A(X).gone;
+end global;
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Interfaces                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let iface_base = {|
+object class P
+  identification Name: string;
+  template
+    attributes Salary: money; Dept: string;
+    events birth born; ChangeSalary(money);
+    valuation
+      variables m: money;
+      [ChangeSalary(m)] Salary = m;
+end object class P;
+|}
+
+let test_iface_unknown_base () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating GHOST;
+  attributes Name: string;
+end interface class V;
+|})
+    "unknown class GHOST"
+
+let test_iface_unknown_attr () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating P;
+  attributes Phone: string;
+end interface class V;
+|})
+    "unknown attribute Phone"
+
+let test_iface_attr_type_mismatch () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating P;
+  attributes Salary: string;
+end interface class V;
+|})
+    "declared string, base attribute is money"
+
+let test_iface_unknown_event () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating P;
+  events Fire;
+end interface class V;
+|})
+    "unknown event Fire"
+
+let test_iface_derived_without_rule () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating P;
+  attributes derived Double: money;
+end interface class V;
+|})
+    "no derivation rule"
+
+let test_iface_derived_event_without_calling () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating P;
+  events derived Raise;
+end interface class V;
+|})
+    "no calling rule"
+
+let test_iface_temporal_selection_rejected () =
+  assert_error
+    (iface_base
+   ^ {|
+interface class V
+  encapsulating P;
+  selection where sometime(Salary > 0.00);
+  attributes Name: string;
+end interface class V;
+|})
+    "not allowed"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "paper specs check cleanly" `Quick
+            test_paper_specs_clean;
+        ] );
+      ( "signatures",
+        [
+          Alcotest.test_case "unknown type" `Quick test_unknown_type;
+          Alcotest.test_case "unknown |CLASS|" `Quick
+            test_unknown_identity_type;
+          Alcotest.test_case "duplicate attribute" `Quick
+            test_duplicate_attribute;
+          Alcotest.test_case "duplicate event" `Quick test_duplicate_event;
+          Alcotest.test_case "component class" `Quick
+            test_component_unknown_class;
+          Alcotest.test_case "view of unknown" `Quick test_view_of_unknown;
+          Alcotest.test_case "missing birth warning" `Quick
+            test_no_birth_warning;
+        ] );
+      ( "expressions",
+        [
+          Alcotest.test_case "unbound name" `Quick test_unbound_name;
+          Alcotest.test_case "operator mistyping" `Quick
+            test_operator_mistyping;
+          Alcotest.test_case "if branches" `Quick test_if_branch_mismatch;
+          Alcotest.test_case "unknown attribute" `Quick
+            test_unknown_attribute_access;
+          Alcotest.test_case "field of non-tuple" `Quick
+            test_field_of_non_tuple;
+          Alcotest.test_case "surrogate pseudo-attribute" `Quick
+            test_surrogate_is_known;
+        ] );
+      ( "valuation",
+        [
+          Alcotest.test_case "unknown attribute" `Quick
+            test_valuation_unknown_attr;
+          Alcotest.test_case "type mismatch" `Quick
+            test_valuation_type_mismatch;
+          Alcotest.test_case "derived target" `Quick
+            test_valuation_derived_attr;
+          Alcotest.test_case "binder type" `Quick
+            test_valuation_var_type_mismatch;
+          Alcotest.test_case "arity" `Quick test_valuation_arity;
+        ] );
+      ( "derivation",
+        [
+          Alcotest.test_case "derived without rule" `Quick
+            test_derived_without_rule;
+          Alcotest.test_case "rule for stored" `Quick
+            test_derivation_for_stored;
+          Alcotest.test_case "rule type" `Quick test_derivation_type;
+        ] );
+      ( "constancy",
+        [
+          Alcotest.test_case "constant write rejected" `Quick
+            test_constant_attr_write;
+          Alcotest.test_case "birth write allowed" `Quick
+            test_constant_attr_birth_ok;
+          Alcotest.test_case "identification immutable" `Quick
+            test_identification_immutable;
+          Alcotest.test_case "duplicate declaration" `Quick
+            test_duplicate_declaration;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "permission event" `Quick
+            test_permission_unknown_event;
+          Alcotest.test_case "permission guard type" `Quick
+            test_permission_nonbool_guard;
+          Alcotest.test_case "static constraint stays static" `Quick
+            test_constraint_temporal_in_static;
+          Alcotest.test_case "nested class quantifier warns" `Quick
+            test_nested_class_quantifier_warning;
+          Alcotest.test_case "calling unknown event" `Quick
+            test_calling_unknown_called;
+          Alcotest.test_case "cross-class calling" `Quick
+            test_calling_target_class_event;
+          Alcotest.test_case "global target shape" `Quick
+            test_global_needs_instance_target;
+          Alcotest.test_case "global well-formed" `Quick
+            test_global_wellformed;
+        ] );
+      ( "interfaces",
+        [
+          Alcotest.test_case "unknown base" `Quick test_iface_unknown_base;
+          Alcotest.test_case "unknown attribute" `Quick
+            test_iface_unknown_attr;
+          Alcotest.test_case "attribute type" `Quick
+            test_iface_attr_type_mismatch;
+          Alcotest.test_case "unknown event" `Quick test_iface_unknown_event;
+          Alcotest.test_case "derived attr needs rule" `Quick
+            test_iface_derived_without_rule;
+          Alcotest.test_case "derived event needs calling" `Quick
+            test_iface_derived_event_without_calling;
+          Alcotest.test_case "temporal selection rejected" `Quick
+            test_iface_temporal_selection_rejected;
+        ] );
+    ]

@@ -1,0 +1,531 @@
+(** The §3 formal layer: template morphisms, aspects, inheritance
+    schemas (specialization/abstraction construction) and community
+    diagrams (incorporation, aggregation, interfacing, sharing). *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+(* Small templates built directly (no spec text needed). *)
+let attr name ty =
+  { Template.at_name = name; at_type = ty; at_params = [];
+    at_derived = None; at_constant = false }
+
+let event ?(kind = Ast.Ev_normal) name params =
+  { Template.ed_name = name; ed_params = params; ed_kind = kind;
+    ed_active = false; ed_born_by = None }
+
+let template name ~attrs ~events =
+  { Template.t_name = name; t_kind = `Class; t_id_fields = [];
+    t_view_of = None; t_spec_of = None; t_attrs = attrs; t_events = events;
+    t_valuations = []; t_callings = []; t_perms = []; t_constraints = [];
+    t_vars = [] }
+
+(* The paper's example 3.2 hierarchy *)
+let el_device =
+  template "el_device"
+    ~attrs:[ attr "is_on" Vtype.Bool ]
+    ~events:[ event "switch_on" []; event "switch_off" [] ]
+
+let calculator =
+  template "calculator"
+    ~attrs:[ attr "display" Vtype.Int ]
+    ~events:[ event "compute" [] ]
+
+let computer =
+  template "computer"
+    ~attrs:[ attr "is_on" Vtype.Bool; attr "display" Vtype.Int;
+             attr "os" Vtype.String ]
+    ~events:
+      [ event "switch_on" []; event "switch_off" []; event "compute" [];
+        event "boot" [] ]
+
+let thing = template "thing" ~attrs:[] ~events:[]
+
+let workstation =
+  template "workstation"
+    ~attrs:(computer.Template.t_attrs @ [ attr "netaddr" Vtype.String ])
+    ~events:computer.Template.t_events
+
+let personal_c =
+  template "personal_c" ~attrs:computer.Template.t_attrs
+    ~events:computer.Template.t_events
+
+(* ------------------------------------------------------------------ *)
+(* Sigmap and template morphisms                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity_map () =
+  let m = Sigmap.identity_on computer el_device in
+  check (Alcotest.option tstr) "attr mapped" (Some "is_on")
+    (Sigmap.map_attr m "is_on");
+  check (Alcotest.option tstr) "own attr unmapped" None
+    (Sigmap.map_attr m "os");
+  check (Alcotest.option tstr) "event mapped" (Some "switch_on")
+    (Sigmap.map_event m "switch_on")
+
+let test_sigmap_compose () =
+  let f = Sigmap.make ~attrs:[ ("a", "b") ] ~events:[ ("e", "f") ] () in
+  let g = Sigmap.make ~attrs:[ ("b", "c") ] ~events:[ ("f", "g") ] () in
+  let fg = Sigmap.compose f g in
+  check (Alcotest.option tstr) "attrs compose" (Some "c")
+    (Sigmap.map_attr fg "a");
+  check (Alcotest.option tstr) "events compose" (Some "g")
+    (Sigmap.map_event fg "e")
+
+let test_projection_wellformed () =
+  let m = Template_morphism.projection ~src:computer ~dst:el_device in
+  check (Alcotest.list tstr) "no violations" []
+    (Template_morphism.violations m);
+  check tbool "surjective (example 3.4)" true
+    (Template_morphism.is_surjective m)
+
+let test_morphism_violations () =
+  (* mapping is_on to display mismatches bool/int *)
+  let bad =
+    Template_morphism.make ~src:computer ~dst:calculator
+      (Sigmap.make ~attrs:[ ("is_on", "display") ] ())
+  in
+  check tbool "type violation" true
+    (Template_morphism.violations bad <> []);
+  (* missing target item *)
+  let ghost =
+    Template_morphism.make ~src:computer ~dst:el_device
+      (Sigmap.make ~attrs:[ ("os", "ghost") ] ())
+  in
+  check tbool "missing target" true (Template_morphism.violations ghost <> [])
+
+let test_morphism_polarity () =
+  let birth_t =
+    template "B" ~attrs:[] ~events:[ event ~kind:Ast.Ev_birth "go" [] ]
+  in
+  let normal_t = template "N" ~attrs:[] ~events:[ event "go" [] ] in
+  let m =
+    Template_morphism.make ~src:birth_t ~dst:normal_t
+      (Sigmap.make ~events:[ ("go", "go") ] ())
+  in
+  check tbool "polarity violation" true (Template_morphism.violations m <> [])
+
+let test_morphism_not_surjective () =
+  let m = Template_morphism.projection ~src:el_device ~dst:computer in
+  (* el_device cannot cover computer's extra items *)
+  check tbool "not surjective" false (Template_morphism.is_surjective m)
+
+let test_morphism_compose () =
+  let f = Template_morphism.projection ~src:workstation ~dst:computer in
+  let g = Template_morphism.projection ~src:computer ~dst:el_device in
+  (match Template_morphism.compose f g with
+  | Some fg ->
+      check tstr "src" "workstation" fg.Template_morphism.src.Template.t_name;
+      check tstr "dst" "el_device" fg.Template_morphism.dst.Template.t_name;
+      check (Alcotest.list tstr) "wellformed" []
+        (Template_morphism.violations fg)
+  | None -> Alcotest.fail "endpoints meet");
+  check tbool "mismatched endpoints" true
+    (Template_morphism.compose g f = None)
+
+(* ------------------------------------------------------------------ *)
+(* Aspects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_aspect_kind () =
+  let sun = Value.String "SUN" in
+  let pxx = Value.String "PXX" in
+  let a1 = Aspect.make (Ident.make "computer" sun) computer in
+  let a2 = Aspect.make (Ident.make "el_device" sun) el_device in
+  let a3 = Aspect.make (Ident.make "el_device" pxx) el_device in
+  (* same identity, different template: inheritance (example 3.1) *)
+  check tbool "inheritance" true
+    (Aspect.kind (Aspect.morphism ~src:a1 ~dst:a2 ()) = Aspect.Inheritance);
+  (* different identities: interaction *)
+  check tbool "interaction" true
+    (Aspect.kind (Aspect.morphism ~src:a1 ~dst:a3 ()) = Aspect.Interaction)
+
+(* ------------------------------------------------------------------ *)
+(* Inheritance schemas                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let example_schema () =
+  (* example 3.2, built top-down by specialization *)
+  let s = Schema.create () in
+  Schema.add_template s thing;
+  Schema.specialize s el_device
+    ~supers:[ ("thing", Sigmap.identity_on el_device thing) ];
+  Schema.specialize s calculator
+    ~supers:[ ("thing", Sigmap.identity_on calculator thing) ];
+  (* multiple inheritance (example 3.5) *)
+  Schema.specialize s computer
+    ~supers:
+      [ ("el_device", Sigmap.identity_on computer el_device);
+        ("calculator", Sigmap.identity_on computer calculator) ];
+  Schema.specialize s workstation
+    ~supers:[ ("computer", Sigmap.identity_on workstation computer) ];
+  Schema.specialize s personal_c
+    ~supers:[ ("computer", Sigmap.identity_on personal_c computer) ];
+  s
+
+let test_schema_build () =
+  let s = example_schema () in
+  check tint "six templates" 6 (Schema.size s);
+  check (Alcotest.list tstr) "direct supers of computer"
+    [ "calculator"; "el_device" ]
+    (List.sort compare (Schema.direct_supers s "computer"));
+  check (Alcotest.list tstr) "ancestors of workstation"
+    [ "calculator"; "computer"; "el_device"; "thing" ]
+    (List.sort compare (Schema.ancestors s "workstation"));
+  check (Alcotest.list tstr) "descendants of thing"
+    [ "calculator"; "computer"; "el_device"; "personal_c"; "workstation" ]
+    (List.sort compare (Schema.descendants s "thing"))
+
+let test_schema_abstraction () =
+  (* growing upward (example 3.6): sensitive as abstraction of computer *)
+  let s = example_schema () in
+  let sensitive = template "sensitive" ~attrs:[] ~events:[] in
+  Schema.abstract s sensitive
+    ~subs:[ ("computer", Sigmap.identity_on computer sensitive) ];
+  check tbool "computer is sensitive" true
+    (List.mem "sensitive" (Schema.ancestors s "computer"));
+  check tbool "workstation inherits it" true
+    (List.mem "sensitive" (Schema.ancestors s "workstation"))
+
+let test_schema_cycles_rejected () =
+  let s = example_schema () in
+  (match
+     Schema.add_edge s ~sub:"thing" ~super:"workstation" Sigmap.empty
+   with
+  | exception Schema.Schema_error _ -> ()
+  | () -> Alcotest.fail "cycle accepted");
+  match Schema.add_edge s ~sub:"thing" ~super:"thing" Sigmap.empty with
+  | exception Schema.Schema_error _ -> ()
+  | () -> Alcotest.fail "self-loop accepted"
+
+let test_schema_duplicate_edge () =
+  let s = example_schema () in
+  match
+    Schema.add_edge s ~sub:"computer" ~super:"el_device"
+      (Sigmap.identity_on computer el_device)
+  with
+  | exception Schema.Schema_error _ -> ()
+  | () -> Alcotest.fail "duplicate edge accepted"
+
+let test_schema_illformed_morphism_rejected () =
+  let s = Schema.create () in
+  Schema.add_template s computer;
+  Schema.add_template s calculator;
+  match
+    Schema.add_edge s ~sub:"computer" ~super:"calculator"
+      (Sigmap.make ~attrs:[ ("is_on", "display") ] ())
+  with
+  | exception Schema.Schema_error _ -> ()
+  | () -> Alcotest.fail "ill-typed schema morphism accepted"
+
+let test_aspects_closure () =
+  let s = example_schema () in
+  let aspects = Schema.aspects_of s ~key:(Value.String "SUN") "workstation" in
+  check tint "aspect per ancestor + self" 5 (List.length aspects);
+  check tbool "same key everywhere" true
+    (List.for_all
+       (fun (a : Aspect.t) ->
+         Value.equal a.Aspect.id.Ident.key (Value.String "SUN"))
+       aspects);
+  let morphs =
+    Schema.inheritance_morphisms s ~key:(Value.String "SUN") "workstation"
+  in
+  check tbool "all inheritance" true
+    (List.for_all (fun m -> Aspect.kind m = Aspect.Inheritance) morphs);
+  (* one morphism per edge on paths upward: ws→comp, comp→dev, comp→calc,
+     dev→thing, calc→thing *)
+  check tint "five morphisms" 5 (List.length morphs)
+
+let test_topological () =
+  let s = example_schema () in
+  let order = Schema.topological s in
+  check tint "all nodes" 6 (List.length order);
+  let pos n =
+    let rec go i = function
+      | [] -> -1
+      | x :: r -> if String.equal x n then i else go (i + 1) r
+    in
+    go 0 order
+  in
+  List.iter
+    (fun e ->
+      check tbool
+        (Printf.sprintf "%s before %s" e.Schema.e_super e.Schema.e_sub)
+        true
+        (pos e.Schema.e_super < pos e.Schema.e_sub))
+    (Schema.edges s)
+
+(* random DAG property: aspects_of size = 1 + |ancestors| *)
+let prop_aspects_size =
+  QCheck.Test.make ~name:"schema: aspect closure size" ~count:100
+    (QCheck.make
+       ~print:(fun edges -> string_of_int (List.length edges))
+       QCheck.Gen.(
+         list_size (int_range 0 30)
+           (pair (int_range 0 14) (int_range 0 14))))
+    (fun edges ->
+      let s = Schema.create () in
+      for i = 0 to 14 do
+        Schema.add_template s
+          (template (Printf.sprintf "T%d" i) ~attrs:[] ~events:[])
+      done;
+      List.iter
+        (fun (a, b) ->
+          if a <> b then
+            let sub = Printf.sprintf "T%d" a
+            and super = Printf.sprintf "T%d" b in
+            try Schema.add_edge s ~sub ~super Sigmap.empty
+            with Schema.Schema_error _ -> ())
+        edges;
+      List.for_all
+        (fun i ->
+          let name = Printf.sprintf "T%d" i in
+          List.length (Schema.aspects_of s ~key:(Value.Int 0) name)
+          = 1 + List.length (Schema.ancestors s name))
+        [ 0; 5; 14 ])
+
+(* ------------------------------------------------------------------ *)
+(* Community diagrams                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let powsply = template "powsply" ~attrs:[] ~events:[ event "switch_on" [] ]
+let cpu = template "cpu" ~attrs:[] ~events:[ event "switch_on" [] ]
+let cable = template "cable" ~attrs:[] ~events:[ event "switch_on" [] ]
+
+let full_schema () =
+  let s = example_schema () in
+  List.iter (Schema.add_template s) [ powsply; cpu; cable ];
+  s
+
+let test_community_closure () =
+  let com = Community_diagram.create (full_schema ()) in
+  let _sun = Community_diagram.add_object com ~key:(Value.String "SUN") "workstation" in
+  (* closed under inheritance: all five aspects are present *)
+  check tint "aspects" 5 (Community_diagram.size com);
+  (* adding again is idempotent *)
+  let _ = Community_diagram.add_object com ~key:(Value.String "SUN") "workstation" in
+  check tint "idempotent" 5 (Community_diagram.size com)
+
+let test_aggregation_example_3_9 () =
+  let com = Community_diagram.create (full_schema ()) in
+  let pxx = Community_diagram.add_object com ~key:(Value.String "PXX") "powsply" in
+  let cyy = Community_diagram.add_object com ~key:(Value.String "CYY") "cpu" in
+  let ms =
+    Community_diagram.aggregate com ~whole_key:(Value.String "SUN")
+      ~whole_tpl:"computer" ~parts:[ pxx; cyy ]
+  in
+  check tint "two part morphisms" 2 (List.length ms);
+  check tbool "all interactions" true
+    (List.for_all (fun m -> Aspect.kind m = Aspect.Interaction) ms);
+  (* the whole was closed under inheritance too *)
+  check tbool "device aspect present" true
+    (Community_diagram.find_aspect com ~key:(Value.String "SUN") "el_device"
+    <> None)
+
+let test_sharing_example_3_7 () =
+  let com = Community_diagram.create (full_schema ()) in
+  let pxx = Community_diagram.add_object com ~key:(Value.String "PXX") "powsply" in
+  let cyy = Community_diagram.add_object com ~key:(Value.String "CYY") "cpu" in
+  let cbz = Community_diagram.add_object com ~key:(Value.String "CBZ") "cable" in
+  let ms = Community_diagram.share com ~shared:cbz ~sharers:[ pxx; cyy ] in
+  check tint "two sharer morphisms" 2 (List.length ms);
+  check tint "one sharing diagram" 1
+    (List.length (Community_diagram.sharing_diagrams com cbz));
+  check tint "cable has two neighbours" 2
+    (List.length (Community_diagram.neighbours com cbz))
+
+let test_interfacing_example_3_8 () =
+  let com = Community_diagram.create (full_schema ()) in
+  let base = Community_diagram.add_object com ~key:(Value.String "DB") "thing" in
+  let m =
+    Community_diagram.interface com ~iface_key:(Value.String "VIEW")
+      ~iface_tpl:"thing" ~base ()
+  in
+  (* new identity: an interaction, not an inheritance *)
+  check tbool "interfacing creates a new object" true
+    (Aspect.kind m = Aspect.Interaction)
+
+let test_inheritance_morphism_rejected_as_interaction () =
+  let com = Community_diagram.create (full_schema ()) in
+  let _ = Community_diagram.add_object com ~key:(Value.String "SUN") "computer" in
+  let a = Community_diagram.require_aspect com ~key:(Value.String "SUN") "computer" in
+  let b = Community_diagram.require_aspect com ~key:(Value.String "SUN") "el_device" in
+  match Community_diagram.add_interaction com ~src:a ~dst:b () with
+  | exception Community_diagram.Community_error _ -> ()
+  | _ -> Alcotest.fail "same-identity interaction accepted"
+
+let test_part_must_exist () =
+  let com = Community_diagram.create (full_schema ()) in
+  let ghost = Aspect.make (Ident.make "cpu" (Value.String "?")) cpu in
+  match
+    Community_diagram.incorporate com ~whole_key:(Value.String "SUN")
+      ~whole_tpl:"computer" ~part:ghost ()
+  with
+  | exception Community_diagram.Community_error _ -> ()
+  | _ -> Alcotest.fail "incorporated a part outside the community"
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural checking (example 3.4 made executable)                  *)
+(* ------------------------------------------------------------------ *)
+
+let el_device_spec = {|
+object class EL_DEVICE
+  identification id: string;
+  template
+    attributes is_on: bool;
+    events birth assemble; switch_on; switch_off;
+    valuation
+      [assemble] is_on = false;
+      [switch_on] is_on = true;
+      [switch_off] is_on = false;
+    permissions
+      { is_on = false } switch_on;
+      { is_on = true } switch_off;
+end object class EL_DEVICE;
+|}
+
+let computer_spec = {|
+object class COMPUTER
+  identification id: string;
+  template
+    attributes is_on: bool; booted: bool;
+    events birth assemble; switch_on; switch_off; boot;
+    valuation
+      [assemble] is_on = false;
+      [assemble] booted = false;
+      [switch_on] is_on = true;
+      [switch_off] is_on = false;
+      [switch_off] booted = false;
+      [boot] booted = true;
+    permissions
+      { is_on = false } switch_on;
+      { is_on = true } switch_off;
+      { is_on = true and booted = false } boot;
+end object class COMPUTER;
+|}
+
+let broken_computer_spec = {|
+object class BROKEN
+  identification id: string;
+  template
+    attributes is_on: bool;
+    events birth assemble; switch_on; switch_off;
+    valuation
+      [assemble] is_on = false;
+      [switch_on] is_on = true;
+      [switch_off] is_on = false;
+    permissions
+      { is_on = false } switch_on;
+      { is_on = false } switch_off;
+end object class BROKEN;
+|}
+
+let load_one spec cls =
+  match Compile.load spec with
+  | Error e -> Alcotest.fail e
+  | Ok (c, _) -> (
+      match Engine.create c ~cls ~key:(Value.String "x") () with
+      | Ok _ ->
+          ( { Refinement.community = c; id = Ident.make cls (Value.String "x") },
+            Community.template_exn c cls )
+      | Error r -> Alcotest.failf "%s" (Runtime_error.reason_to_string r))
+
+let test_behaviour_containment () =
+  (* "a computer IS An electronic device": the computer provides every
+     el_device behaviour *)
+  let sub_side, computer_tpl = load_one computer_spec "COMPUTER" in
+  let super_side, el_device_tpl = load_one el_device_spec "EL_DEVICE" in
+  let m = Template_morphism.projection ~src:computer_tpl ~dst:el_device_tpl in
+  check tbool "surjective" true (Template_morphism.is_surjective m);
+  match Behaviour.check m ~sub_side ~super_side ~depth:4 () with
+  | Error e -> Alcotest.fail e
+  | Ok report -> (
+      match report.Refinement.verdict with
+      | Ok () -> check tbool "cases explored" true (report.Refinement.cases > 0)
+      | Error cx ->
+          Alcotest.failf "containment failed: %s"
+            (Format.asprintf "%a" Refinement.pp_counterexample cx))
+
+let test_behaviour_violation_detected () =
+  (* BROKEN permits switch_off while off — not an el_device behaviour *)
+  let sub_side, broken_tpl = load_one broken_computer_spec "BROKEN" in
+  let super_side, el_device_tpl = load_one el_device_spec "EL_DEVICE" in
+  let m = Template_morphism.projection ~src:broken_tpl ~dst:el_device_tpl in
+  match Behaviour.check m ~sub_side ~super_side ~depth:3 () with
+  | Error e -> Alcotest.fail e
+  | Ok report -> (
+      match report.Refinement.verdict with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "protocol violation not detected")
+
+let test_behaviour_requires_surjectivity () =
+  let _, el_device_tpl = load_one el_device_spec "EL_DEVICE" in
+  let _, computer_tpl = load_one computer_spec "COMPUTER" in
+  (* the reverse projection misses computer-only items *)
+  let m = Template_morphism.projection ~src:el_device_tpl ~dst:computer_tpl in
+  match Behaviour.implementation_of m with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-surjective morphism accepted"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "morphism"
+    [
+      ( "template-morphisms",
+        [
+          Alcotest.test_case "identity sigmap" `Quick test_identity_map;
+          Alcotest.test_case "sigmap composition" `Quick test_sigmap_compose;
+          Alcotest.test_case "projection (3.4)" `Quick
+            test_projection_wellformed;
+          Alcotest.test_case "violations" `Quick test_morphism_violations;
+          Alcotest.test_case "birth/death polarity" `Quick
+            test_morphism_polarity;
+          Alcotest.test_case "surjectivity" `Quick test_morphism_not_surjective;
+          Alcotest.test_case "composition" `Quick test_morphism_compose;
+        ] );
+      ( "aspects",
+        [ Alcotest.test_case "inheritance vs interaction" `Quick
+            test_aspect_kind ] );
+      ( "schema",
+        [
+          Alcotest.test_case "example 3.2 construction" `Quick
+            test_schema_build;
+          Alcotest.test_case "abstraction upward" `Quick
+            test_schema_abstraction;
+          Alcotest.test_case "cycles rejected" `Quick
+            test_schema_cycles_rejected;
+          Alcotest.test_case "duplicate edges rejected" `Quick
+            test_schema_duplicate_edge;
+          Alcotest.test_case "ill-formed morphisms rejected" `Quick
+            test_schema_illformed_morphism_rejected;
+          Alcotest.test_case "aspect closure" `Quick test_aspects_closure;
+          Alcotest.test_case "topological order" `Quick test_topological;
+        ] );
+      ( "schema-properties",
+        [ QCheck_alcotest.to_alcotest prop_aspects_size ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "containment holds (3.4)" `Quick
+            test_behaviour_containment;
+          Alcotest.test_case "protocol violation detected" `Quick
+            test_behaviour_violation_detected;
+          Alcotest.test_case "surjectivity required" `Quick
+            test_behaviour_requires_surjectivity;
+        ] );
+      ( "community",
+        [
+          Alcotest.test_case "closure under inheritance" `Quick
+            test_community_closure;
+          Alcotest.test_case "aggregation (3.9)" `Quick
+            test_aggregation_example_3_9;
+          Alcotest.test_case "sharing (3.7)" `Quick test_sharing_example_3_7;
+          Alcotest.test_case "interfacing (3.8)" `Quick
+            test_interfacing_example_3_8;
+          Alcotest.test_case "interaction needs distinct ids" `Quick
+            test_inheritance_morphism_rejected_as_interaction;
+          Alcotest.test_case "parts must exist" `Quick test_part_must_exist;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(** The object query algebra: operators, aggregates, and algebraic laws
+    (select fusion, projection idempotence, set-operation laws). *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let value = Alcotest.testable Value.pp Value.equal
+let rel = Alcotest.(list (testable Value.pp Value.equal))
+
+let emp name salary dept =
+  [ ("ename", Value.String name); ("esalary", Value.Int salary);
+    ("dept", Value.String dept) ]
+
+let emps =
+  Algebra.of_tuples
+    [ emp "ada" 1200 "R"; emp "bob" 900 "S"; emp "cyd" 1500 "R";
+      emp "dan" 900 "S" ]
+
+let field_int f v = match Value.field f v with Value.Int i -> i | _ -> -1
+
+let test_of_value () =
+  (match Algebra.of_value (Value.set [ Value.Int 1 ]) with
+  | Ok [ Value.Int 1 ] -> ()
+  | _ -> Alcotest.fail "set");
+  (match Algebra.of_value (Value.List [ Value.Int 1; Value.Int 1 ]) with
+  | Ok [ Value.Int 1 ] -> () (* deduped *)
+  | _ -> Alcotest.fail "list dedup");
+  (match Algebra.of_value Value.Undefined with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "undefined is empty");
+  match Algebra.of_value (Value.Int 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scalar accepted"
+
+let test_select () =
+  let r = Algebra.select (fun v -> field_int "esalary" v > 1000) emps in
+  check tint "two well-paid" 2 (List.length r)
+
+let test_project () =
+  (* single field: bare values, deduplicated (900 appears twice) *)
+  check rel "salaries"
+    [ Value.Int 900; Value.Int 1200; Value.Int 1500 ]
+    (Algebra.project [ "esalary" ] emps);
+  (* multiple fields keep tuple shape *)
+  let r = Algebra.project [ "ename"; "dept" ] emps in
+  check tint "four name-dept pairs" 4 (List.length r);
+  (* bag projection keeps duplicates *)
+  check tint "bag keeps duplicates" 4
+    (List.length (Algebra.project_bag [ "esalary" ] emps))
+
+let test_rename () =
+  let r = Algebra.rename [ ("esalary", "pay") ] emps in
+  check value "renamed field" (Value.Int 1200)
+    (Value.field "pay" (List.find (fun v -> Value.field "ename" v = Value.String "ada") r))
+
+let test_set_ops () =
+  let low = Algebra.select (fun v -> field_int "esalary" v < 1000) emps in
+  let high = Algebra.select (fun v -> field_int "esalary" v >= 1000) emps in
+  check tint "partition" 4 (List.length (Algebra.union low high));
+  check tint "disjoint" 0 (List.length (Algebra.inter low high));
+  check rel "diff recovers" low (Algebra.diff emps high)
+
+let depts =
+  Algebra.of_tuples
+    [ [ ("dept", Value.String "R"); ("floor", Value.Int 3) ];
+      [ ("dept", Value.String "S"); ("floor", Value.Int 1) ] ]
+
+let test_natural_join () =
+  let j = Algebra.join emps depts in
+  check tint "each emp matched" 4 (List.length j);
+  let ada = List.find (fun v -> Value.field "ename" v = Value.String "ada") j in
+  check value "joined floor" (Value.Int 3) (Value.field "floor" ada)
+
+let test_product () =
+  check tint "cartesian size" 8 (List.length (Algebra.product emps depts))
+
+let test_join_on () =
+  let j =
+    Algebra.join_on
+      (fun a b -> Value.compare (Value.field "esalary" a) (Value.field "floor" b) > 0)
+      (fun a _ -> a)
+      emps depts
+  in
+  check tint "theta join" 4 (List.length j)
+
+let test_aggregates () =
+  check tint "count" 4 (Algebra.count emps);
+  check value "sum" (Value.Int 4500) (Algebra.sum ~field:"esalary" emps);
+  check value "min" (Value.Int 900) (Algebra.minimum ~field:"esalary" emps);
+  check value "max" (Value.Int 1500) (Algebra.maximum ~field:"esalary" emps);
+  check value "avg" (Value.Int 1125) (Algebra.average ~field:"esalary" emps);
+  check value "the of singleton" (Value.Int 42)
+    (Algebra.the [ Value.Int 42 ]);
+  check value "the of many" Value.Undefined (Algebra.the [ Value.Int 1; Value.Int 2 ])
+
+let test_group_by () =
+  let g =
+    Algebra.group_by [ "dept" ] ~agg_name:"total"
+      ~reduce:(Algebra.sum ~field:"esalary")
+      emps
+  in
+  check tint "two groups" 2 (List.length g);
+  let r_group =
+    List.find (fun v -> Value.field "dept" v = Value.String "R") g
+  in
+  check value "R total" (Value.Int 2700) (Value.field "total" r_group)
+
+(* the paper's derivation: the(project[esalary](select[ename=...](Emps))) *)
+let test_paper_derivation_shape () =
+  let r =
+    Algebra.the
+      (Algebra.project [ "esalary" ]
+         (Algebra.select
+            (fun v -> Value.field "ename" v = Value.String "ada")
+            emps))
+  in
+  check value "ada's salary" (Value.Int 1200) r
+
+(* ------------------------------------------------------------------ *)
+(* Laws                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_rel =
+  QCheck.Gen.(
+    list_size (int_range 0 12)
+      (map2
+         (fun a b ->
+           [ ("x", Value.Int a); ("y", Value.Int b) ])
+         (int_range 0 5) (int_range 0 5)))
+  |> QCheck.Gen.map Algebra.of_tuples
+
+let arb_rel =
+  QCheck.make
+    ~print:(fun r -> Value.to_string (Algebra.to_value r))
+    gen_rel
+
+let px v = field_int "x" v mod 2 = 0
+let qx v = field_int "x" v > 2
+
+let prop_select_fusion =
+  QCheck.Test.make ~name:"select p (select q r) = select (p∧q) r" ~count:200
+    arb_rel
+    (fun r ->
+      Algebra.select px (Algebra.select qx r)
+      = Algebra.select (fun v -> px v && qx v) r)
+
+let prop_project_idempotent =
+  QCheck.Test.make ~name:"project twice = project once" ~count:200 arb_rel
+    (fun r ->
+      let p1 = Algebra.project [ "x"; "y" ] r in
+      Algebra.project [ "x"; "y" ] p1 = p1)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union commutative" ~count:200
+    (QCheck.pair arb_rel arb_rel)
+    (fun (a, b) -> Algebra.union a b = Algebra.union b a)
+
+let prop_diff_inter_partition =
+  QCheck.Test.make ~name:"diff + inter partition the left operand"
+    ~count:200
+    (QCheck.pair arb_rel arb_rel)
+    (fun (a, b) ->
+      Algebra.union (Algebra.diff a b) (Algebra.inter a b) = a)
+
+let prop_select_shrinks =
+  QCheck.Test.make ~name:"select never grows" ~count:200 arb_rel (fun r ->
+      List.length (Algebra.select px r) <= List.length r)
+
+let prop_join_with_self_on_keys =
+  QCheck.Test.make ~name:"natural self-join is identity on tuples"
+    ~count:200 arb_rel
+    (fun r -> Algebra.join r r = r)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "of_value" `Quick test_of_value;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "set operations" `Quick test_set_ops;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "theta join" `Quick test_join_on;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "paper derivation shape" `Quick
+            test_paper_derivation_shape;
+        ] );
+      ( "laws",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_select_fusion; prop_project_idempotent;
+            prop_union_commutative; prop_diff_inter_partition;
+            prop_select_shrinks; prop_join_with_self_on_keys ] );
+    ]

@@ -1,0 +1,390 @@
+(** Stepwise refinement (§5.2): obligation generation, candidate
+    synthesis, and the bounded lock-step simulation on correct and
+    deliberately broken implementations. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let load src =
+  match Troll.load src with
+  | Ok sys -> sys.Troll.community
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let key name =
+  Value.Tuple [ ("EmpName", Value.String name); ("EmpBirth", Value.Date 0) ]
+
+let employee_pair () =
+  let abs = load Paper_specs.employee_abstract in
+  let conc = load Paper_specs.employee_implementation in
+  (match Engine.create abs ~cls:"EMPLOYEE" ~key:(key "eve") () with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "abs create: %s" (Runtime_error.reason_to_string r));
+  (match Engine.create conc ~cls:"EMPL_IMPL" ~key:(key "eve") () with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "conc create: %s" (Runtime_error.reason_to_string r));
+  ( { Refinement.community = abs; id = Ident.make "EMPLOYEE" (key "eve") },
+    { Refinement.community = conc; id = Ident.make "EMPL_IMPL" (key "eve") } )
+
+let impl = Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPL_IMPL" ()
+
+let alphabet =
+  [
+    { Refinement.ev_name = "IncreaseSalary"; ev_args = [ Value.Int 100 ] };
+    { Refinement.ev_name = "FireEmployee"; ev_args = [] };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Implementation mapping                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mapping_defaults () =
+  check Alcotest.string "unmapped event keeps name" "IncreaseSalary"
+    (Implementation.map_event impl "IncreaseSalary");
+  let renamed =
+    Implementation.make ~abs_class:"A" ~conc_class:"B"
+      ~event_map:[ ("raise", "bump") ]
+      ~attr_map:[ ("Salary", "Pay") ]
+      ()
+  in
+  check Alcotest.string "mapped event" "bump"
+    (Implementation.map_event renamed "raise");
+  check Alcotest.string "mapped attr" "Pay"
+    (Implementation.map_attr renamed "Salary")
+
+let test_observed_attrs () =
+  let abs = load Paper_specs.employee_abstract in
+  let tpl = Community.template_exn abs "EMPLOYEE" in
+  let obs = Implementation.observed_attrs impl tpl in
+  check tbool "Salary observed" true (List.mem_assoc "Salary" obs);
+  let hiding =
+    Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPL_IMPL"
+      ~hidden:[ "Salary" ] ()
+  in
+  check tbool "hidden attr dropped" false
+    (List.mem_assoc "Salary" (Implementation.observed_attrs hiding tpl))
+
+(* ------------------------------------------------------------------ *)
+(* Obligations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_obligations_generated () =
+  let abs = load Paper_specs.employee_abstract in
+  let conc = load Paper_specs.employee_implementation in
+  let obs =
+    Obligation.generate impl
+      ~abs_tpl:(Community.template_exn abs "EMPLOYEE")
+      ~conc_tpl:(Community.template_exn conc "EMPL_IMPL")
+  in
+  (* 3 events × (enabled + effect) = 6, no permissions on the abstract
+     side, no missing counterparts *)
+  check tint "six obligations" 6 (List.length obs);
+  check tbool "all unchecked initially" true
+    (List.for_all (fun ob -> ob.Obligation.ob_status = Obligation.Unchecked) obs)
+
+let test_obligations_missing_counterpart () =
+  let abs = load Paper_specs.employee_abstract in
+  let obs =
+    Obligation.generate
+      (Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPLOYEE"
+         ~event_map:[ ("IncreaseSalary", "Nonexistent") ]
+         ())
+      ~abs_tpl:(Community.template_exn abs "EMPLOYEE")
+      ~conc_tpl:(Community.template_exn abs "EMPLOYEE")
+  in
+  check tbool "missing counterpart reported" true
+    (List.exists
+       (fun ob -> ob.Obligation.ob_kind = Obligation.Birth_death)
+       obs)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate synthesis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_candidates () =
+  let abs = load Paper_specs.employee_abstract in
+  let tpl = Community.template_exn abs "EMPLOYEE" in
+  let cands = Refinement.candidates tpl in
+  (* no birth events among candidates *)
+  check tbool "no birth" true
+    (List.for_all
+       (fun (c : Refinement.candidate) -> c.Refinement.ev_name <> "HireEmployee")
+       cands);
+  check tbool "death present" true
+    (List.exists
+       (fun (c : Refinement.candidate) -> c.Refinement.ev_name = "FireEmployee")
+       cands);
+  (* parameterized events got argument combinations *)
+  check tbool "increase has args" true
+    (List.exists
+       (fun (c : Refinement.candidate) ->
+         c.Refinement.ev_name = "IncreaseSalary" && c.Refinement.ev_args <> [])
+       cands)
+
+let test_default_pool () =
+  check tint "bool pool" 2 (List.length (Refinement.default_pool Vtype.Bool));
+  check tbool "enum pool covers constants" true
+    (List.length (Refinement.default_pool (Vtype.Enum ("G", [ "a"; "b"; "c" ]))) = 3);
+  check tbool "tuple pool nonempty" true
+    (Refinement.default_pool
+       (Vtype.Tuple [ ("a", Vtype.Int); ("b", Vtype.Bool) ])
+    <> [])
+
+(* ------------------------------------------------------------------ *)
+(* The §5.2 refinement                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_employee_refines () =
+  let abs, conc = employee_pair () in
+  let report = Refinement.check ~impl ~abs ~conc ~alphabet ~depth:3 in
+  (match report.Refinement.verdict with
+  | Ok () -> ()
+  | Error cx ->
+      Alcotest.failf "refinement failed: %s"
+        (Format.asprintf "%a" Refinement.pp_counterexample cx));
+  check tbool "cases explored" true (report.Refinement.cases > 0);
+  (* exercised obligations were marked *)
+  check tbool "some obligations exercised" true
+    (List.exists
+       (fun ob ->
+         match ob.Obligation.ob_status with
+         | Obligation.Exercised _ -> true
+         | _ -> false)
+       report.Refinement.obligations)
+
+let test_exploration_grows_with_depth () =
+  let r1 =
+    let abs, conc = employee_pair () in
+    Refinement.check ~impl ~abs ~conc ~alphabet ~depth:2
+  in
+  let r2 =
+    let abs, conc = employee_pair () in
+    Refinement.check ~impl ~abs ~conc ~alphabet ~depth:4
+  in
+  check tbool "deeper explores more" true
+    (r2.Refinement.cases > r1.Refinement.cases)
+
+let broken_effect = {|
+object class EMPLOYEE_BAD
+  identification EmpName: string; EmpBirth: date;
+  template
+    attributes Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      [HireEmployee] Salary = 0;
+      [IncreaseSalary(n)] Salary = Salary + n + n;
+end object class EMPLOYEE_BAD;
+|}
+
+let test_broken_effect_detected () =
+  let abs = load Paper_specs.employee_abstract in
+  let conc = load broken_effect in
+  ignore (Engine.create abs ~cls:"EMPLOYEE" ~key:(key "eve") ());
+  ignore (Engine.create conc ~cls:"EMPLOYEE_BAD" ~key:(key "eve") ());
+  let report =
+    Refinement.check
+      ~impl:(Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPLOYEE_BAD" ())
+      ~abs:{ Refinement.community = abs; id = Ident.make "EMPLOYEE" (key "eve") }
+      ~conc:{ Refinement.community = conc; id = Ident.make "EMPLOYEE_BAD" (key "eve") }
+      ~alphabet ~depth:2
+  in
+  match report.Refinement.verdict with
+  | Error cx ->
+      check tbool "observation mismatch named" true
+        (String.length cx.Refinement.reason > 0);
+      check tbool "violated obligation recorded" true
+        (List.exists
+           (fun ob ->
+             match ob.Obligation.ob_status with
+             | Obligation.Violated _ -> true
+             | _ -> false)
+           report.Refinement.obligations)
+  | Ok () -> Alcotest.fail "broken effect not detected"
+
+let too_strict = {|
+object class EMPLOYEE_STRICT
+  identification EmpName: string; EmpBirth: date;
+  template
+    attributes Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      [HireEmployee] Salary = 0;
+      [IncreaseSalary(n)] Salary = Salary + n;
+    permissions
+      variables n: integer;
+      { Salary > 0 } IncreaseSalary(n);
+end object class EMPLOYEE_STRICT;
+|}
+
+let test_too_strict_detected () =
+  (* implementation rejects an event the specification allows *)
+  let abs = load Paper_specs.employee_abstract in
+  let conc = load too_strict in
+  ignore (Engine.create abs ~cls:"EMPLOYEE" ~key:(key "eve") ());
+  ignore (Engine.create conc ~cls:"EMPLOYEE_STRICT" ~key:(key "eve") ());
+  let report =
+    Refinement.check
+      ~impl:
+        (Implementation.make ~abs_class:"EMPLOYEE"
+           ~conc_class:"EMPLOYEE_STRICT" ())
+      ~abs:{ Refinement.community = abs; id = Ident.make "EMPLOYEE" (key "eve") }
+      ~conc:
+        { Refinement.community = conc;
+          id = Ident.make "EMPLOYEE_STRICT" (key "eve") }
+      ~alphabet ~depth:2
+  in
+  match report.Refinement.verdict with
+  | Error cx ->
+      check tbool "enabledness mismatch" true
+        (String.length cx.Refinement.reason > 0)
+  | Ok () -> Alcotest.fail "over-strict implementation not detected"
+
+let too_permissive = {|
+object class EMPLOYEE_LOOSE
+  identification EmpName: string; EmpBirth: date;
+  template
+    attributes Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      [HireEmployee] Salary = 0;
+      [IncreaseSalary(n)] Salary = Salary + n;
+end object class EMPLOYEE_LOOSE;
+|}
+
+let abs_with_permission = {|
+object class EMPLOYEE
+  identification EmpName: string; EmpBirth: date;
+  template
+    attributes Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      [HireEmployee] Salary = 0;
+      [IncreaseSalary(n)] Salary = Salary + n;
+    permissions
+      variables n: integer;
+      { Salary < 200 } IncreaseSalary(n);
+end object class EMPLOYEE;
+|}
+
+let test_too_permissive_detected () =
+  (* the spec forbids raises beyond a bound; the implementation ignores
+     the permission — the property-preservation direction catches it *)
+  let abs = load abs_with_permission in
+  let conc = load too_permissive in
+  ignore (Engine.create abs ~cls:"EMPLOYEE" ~key:(key "eve") ());
+  ignore (Engine.create conc ~cls:"EMPLOYEE_LOOSE" ~key:(key "eve") ());
+  let report =
+    Refinement.check
+      ~impl:
+        (Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPLOYEE_LOOSE"
+           ())
+      ~abs:{ Refinement.community = abs; id = Ident.make "EMPLOYEE" (key "eve") }
+      ~conc:
+        { Refinement.community = conc;
+          id = Ident.make "EMPLOYEE_LOOSE" (key "eve") }
+      ~alphabet ~depth:4
+  in
+  match report.Refinement.verdict with
+  | Error _ ->
+      check tbool "permission-preservation obligation violated" true
+        (List.exists
+           (fun ob ->
+             ob.Obligation.ob_kind = Obligation.Permission_preserved
+             &&
+             match ob.Obligation.ob_status with
+             | Obligation.Violated _ -> true
+             | _ -> false)
+           report.Refinement.obligations)
+  | Ok () -> Alcotest.fail "over-permissive implementation not detected"
+
+let missing_death_effect = {|
+object class EMPLOYEE_UNDEAD
+  identification EmpName: string; EmpBirth: date;
+  template
+    attributes Salary: integer;
+    events
+      birth HireEmployee;
+      FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      [HireEmployee] Salary = 0;
+      [IncreaseSalary(n)] Salary = Salary + n;
+end object class EMPLOYEE_UNDEAD;
+|}
+
+let test_lifecycle_divergence_detected () =
+  (* concrete FireEmployee is not a death event: life cycles diverge *)
+  let abs = load Paper_specs.employee_abstract in
+  let conc = load missing_death_effect in
+  ignore (Engine.create abs ~cls:"EMPLOYEE" ~key:(key "eve") ());
+  ignore (Engine.create conc ~cls:"EMPLOYEE_UNDEAD" ~key:(key "eve") ());
+  let report =
+    Refinement.check
+      ~impl:
+        (Implementation.make ~abs_class:"EMPLOYEE"
+           ~conc_class:"EMPLOYEE_UNDEAD" ())
+      ~abs:{ Refinement.community = abs; id = Ident.make "EMPLOYEE" (key "eve") }
+      ~conc:
+        { Refinement.community = conc;
+          id = Ident.make "EMPLOYEE_UNDEAD" (key "eve") }
+      ~alphabet ~depth:2
+  in
+  match report.Refinement.verdict with
+  | Error cx ->
+      check tbool "life-cycle divergence named" true
+        (String.length cx.Refinement.reason > 0)
+  | Ok () -> Alcotest.fail "life-cycle divergence not detected"
+
+let () =
+  Alcotest.run "refine"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "defaults and renames" `Quick
+            test_mapping_defaults;
+          Alcotest.test_case "observed attributes" `Quick test_observed_attrs;
+        ] );
+      ( "obligations",
+        [
+          Alcotest.test_case "generation" `Quick test_obligations_generated;
+          Alcotest.test_case "missing counterpart" `Quick
+            test_obligations_missing_counterpart;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "synthesis" `Quick test_candidates;
+          Alcotest.test_case "value pools" `Quick test_default_pool;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "EMPLOYEE over emp_rel holds" `Quick
+            test_employee_refines;
+          Alcotest.test_case "exploration grows with depth" `Quick
+            test_exploration_grows_with_depth;
+          Alcotest.test_case "wrong effect detected" `Quick
+            test_broken_effect_detected;
+          Alcotest.test_case "over-strict detected" `Quick
+            test_too_strict_detected;
+          Alcotest.test_case "over-permissive detected" `Quick
+            test_too_permissive_detected;
+          Alcotest.test_case "life-cycle divergence detected" `Quick
+            test_lifecycle_divergence_detected;
+        ] );
+    ]

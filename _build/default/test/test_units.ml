@@ -1,0 +1,275 @@
+(** Focused unit tests for the helper layers: location handling,
+    template/community lookups, compile-time errors, the script parser,
+    and miscellaneous API corners not covered by the scenario suites. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let load src =
+  match Compile.load src with
+  | Ok (c, _) -> c
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_loc () =
+  let a = Loc.make { Loc.line = 1; col = 2 } { Loc.line = 1; col = 5 } in
+  let b = Loc.make { Loc.line = 3; col = 1 } { Loc.line = 3; col = 4 } in
+  let m = Loc.merge a b in
+  check tint "merge start" 1 m.Loc.start_pos.Loc.line;
+  check tint "merge end" 3 m.Loc.end_pos.Loc.line;
+  check tstr "same-line rendering" "line 1, columns 2-5" (Loc.to_string a);
+  check tbool "multi-line rendering" true
+    (String.length (Loc.to_string m) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ident and Event                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ident () =
+  let a = Ident.make "PERSON" (Value.String "x") in
+  let b = Ident.as_class "MANAGER" a in
+  check tbool "same key" true (Ident.same_key a b);
+  check tbool "different aspects differ" false (Ident.equal a b);
+  check tbool "roundtrip via value" true
+    (Ident.of_value (Ident.to_value a) = Some a);
+  check tbool "non-surrogate" true (Ident.of_value (Value.Int 1) = None);
+  check tstr "singleton prints" "TheClock(tuple())"
+    (Ident.to_string (Ident.singleton "TheClock"));
+  (* the ordered containers are usable *)
+  let s = Ident.Set.of_list [ a; b; a ] in
+  check tint "set dedups" 2 (Ident.Set.cardinal s)
+
+let test_event () =
+  let a = Ident.make "C" (Value.String "x") in
+  let e1 = Event.make a "go" [ Value.Int 1 ] in
+  let e2 = Event.make a "go" [ Value.Int 2 ] in
+  check tbool "args distinguish" false (Event.equal e1 e2);
+  check tbool "ordering total" true (Event.compare e1 e2 <> 0);
+  check tstr "printing" "C(\"x\").go(1)" (Event.to_string e1);
+  check tstr "no-arg printing" "C(\"x\").stop"
+    (Event.to_string (Event.make a "stop" []))
+
+(* ------------------------------------------------------------------ *)
+(* Template and Community lookups                                      *)
+(* ------------------------------------------------------------------ *)
+
+let company () = load Paper_specs.company
+
+let test_template_lookups () =
+  let c = company () in
+  let tpl = Community.template_exn c "DEPT" in
+  check tbool "find_attr hit" true (Template.find_attr tpl "employees" <> None);
+  check tbool "find_attr miss" true (Template.find_attr tpl "ghost" = None);
+  check tbool "find_event hit" true (Template.find_event tpl "hire" <> None);
+  check tint "one birth" 1 (List.length (Template.birth_events tpl));
+  check tint "one death" 1 (List.length (Template.death_events tpl));
+  check tbool "declared variable" true (Template.is_var tpl "P");
+  check tint "permissions of fire" 1
+    (List.length (Template.perms_for tpl "fire"));
+  check tint "no permissions on hire" 0
+    (List.length (Template.perms_for tpl "hire"))
+
+let test_community_hierarchy () =
+  let c = company () in
+  let chain = Community.base_chain c "MANAGER" in
+  check (Alcotest.list tstr) "chain upward" [ "MANAGER"; "PERSON" ]
+    (List.map (fun (t : Template.t) -> t.Template.t_name) chain);
+  check tint "no specializations of CAR" 0
+    (List.length (Community.specializations_of c "CAR"));
+  let phases = Community.phases_born_by c "PERSON" "become_manager" in
+  check tint "MANAGER born by become_manager" 1 (List.length phases);
+  check tstr "phase class" "MANAGER"
+    ((fst (List.hd phases)).Template.t_name)
+
+let test_community_enums () =
+  let c = load Paper_specs.library in
+  check (Alcotest.option tstr) "constant lookup" (Some "Genre")
+    (Community.enum_of_const c "poetry");
+  check (Alcotest.option (Alcotest.list tstr)) "constants"
+    (Some [ "fiction"; "science"; "poetry" ])
+    (Community.enum_consts c "Genre");
+  check (Alcotest.option tstr) "unknown constant" None
+    (Community.enum_of_const c "jazz")
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time failures                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_fails src fragment =
+  match Parser.spec src with
+  | Error e -> Alcotest.failf "parse: %s" (Parse_error.to_string e)
+  | Ok decls -> (
+      match Compile.spec decls with
+      | Ok _ -> Alcotest.failf "expected compile error about %s" fragment
+      | Error e ->
+          let msg = Compile.error_to_string e in
+          let rec find i =
+            i + String.length fragment <= String.length msg
+            && (String.sub msg i (String.length fragment) = fragment
+               || find (i + 1))
+          in
+          check tbool ("mentions " ^ fragment) true (find 0))
+
+let test_compile_derived_without_rule () =
+  compile_fails
+    {|
+object class X
+  identification k: string;
+  template
+    attributes derived a: integer;
+    events birth b;
+end object class X;
+|}
+    "no derivation rule"
+
+let test_compile_parameterized_stored () =
+  compile_fails
+    {|
+object class X
+  identification k: string;
+  template
+    attributes a(integer): integer;
+    events birth b;
+end object class X;
+|}
+    "must be derived"
+
+let test_compile_unknown_component () =
+  compile_fails
+    {|
+object class X
+  identification k: string;
+  template
+    events birth b;
+    components parts: set(GHOST);
+end object class X;
+|}
+    "unknown"
+
+let test_vtype_of_ast () =
+  let c = company () in
+  check tbool "class type resolves" true
+    (Compile.vtype_of_ast c (Ast.TE_id "PERSON") = Some (Vtype.Id "PERSON"));
+  check tbool "unknown rejected" true
+    (Compile.vtype_of_ast c (Ast.TE_name "GHOST") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Script parser units                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_script src =
+  match Script.parse src with
+  | Ok cmds -> cmds
+  | Error e -> Alcotest.failf "script parse: %s" e
+
+let test_script_parse_shapes () =
+  (match parse_script {|new DEPT("d") establishment(d"1991-01-01");|} with
+  | [ Script.C_new ("DEPT", _, Some ("establishment", [ _ ])) ] -> ()
+  | _ -> Alcotest.fail "new shape");
+  (match parse_script {|new PERSON("p");|} with
+  | [ Script.C_new ("PERSON", _, None) ] -> ()
+  | _ -> Alcotest.fail "new without birth");
+  (match parse_script {|DEPT("d").hire(PERSON("p"));|} with
+  | [ Script.C_fire _ ] -> ()
+  | _ -> Alcotest.fail "fire shape");
+  (match parse_script "seq a.go; b.go end;" with
+  | [ Script.C_seq [ _; _ ] ] -> ()
+  | _ -> Alcotest.fail "seq shape");
+  (match parse_script "expect reject seq a.go end;" with
+  | [ Script.C_expect_reject (Script.C_seq [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "nested expect");
+  (match parse_script "active;" with
+  | [ Script.C_active 1000 ] -> ()
+  | _ -> Alcotest.fail "active default");
+  (match parse_script "view V; show x; trace DEPT(\"d\");" with
+  | [ Script.C_view "V"; Script.C_show _; Script.C_trace _ ] -> ()
+  | _ -> Alcotest.fail "view/show/trace")
+
+let test_script_rejects () =
+  List.iter
+    (fun src ->
+      match Script.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" src)
+    [ "new ;"; "expect accept x.go;"; "seq end;"; "trace 1 + 2;" ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine odds and ends                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_locate_event () =
+  let c = company () in
+  let key =
+    Value.Tuple [ ("Name", Value.String "a"); ("Birthdate", Value.Date 0) ]
+  in
+  let mgr = Ident.make "MANAGER" key in
+  (* ChangeSalary lives on PERSON; firing it at the MANAGER aspect
+     retargets upward *)
+  let located =
+    Engine.locate_event c (Event.make mgr "ChangeSalary" [ Value.Money 1 ])
+  in
+  check tstr "retargeted" "PERSON" located.Event.target.Ident.cls;
+  (* events owned by the phase stay *)
+  let own =
+    Engine.locate_event c (Event.make mgr "assign_official_car" [])
+  in
+  check tstr "kept" "MANAGER" own.Event.target.Ident.cls;
+  match Engine.locate_event c (Event.make mgr "levitate" []) with
+  | exception Runtime_error.Error (Runtime_error.Unknown_event _) -> ()
+  | _ -> Alcotest.fail "unknown event accepted"
+
+let test_candidate_alphabet () =
+  let c = load Paper_specs.employee_abstract in
+  let tpl = Community.template_exn c "EMPLOYEE" in
+  let alphabet = Refinement.candidates ~max_per_event:2 tpl in
+  check tbool "bounded" true
+    (List.length
+       (List.filter
+          (fun (cand : Refinement.candidate) ->
+            cand.Refinement.ev_name = "IncreaseSalary")
+          alphabet)
+    <= 2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "units"
+    [
+      ("loc", [ Alcotest.test_case "merge and print" `Quick test_loc ]);
+      ( "identities",
+        [
+          Alcotest.test_case "idents" `Quick test_ident;
+          Alcotest.test_case "events" `Quick test_event;
+        ] );
+      ( "lookups",
+        [
+          Alcotest.test_case "template" `Quick test_template_lookups;
+          Alcotest.test_case "hierarchy" `Quick test_community_hierarchy;
+          Alcotest.test_case "enumerations" `Quick test_community_enums;
+        ] );
+      ( "compile-errors",
+        [
+          Alcotest.test_case "derived without rule" `Quick
+            test_compile_derived_without_rule;
+          Alcotest.test_case "parameterized stored attr" `Quick
+            test_compile_parameterized_stored;
+          Alcotest.test_case "unknown component" `Quick
+            test_compile_unknown_component;
+          Alcotest.test_case "vtype_of_ast" `Quick test_vtype_of_ast;
+        ] );
+      ( "script-parser",
+        [
+          Alcotest.test_case "command shapes" `Quick test_script_parse_shapes;
+          Alcotest.test_case "rejects" `Quick test_script_rejects;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "locate_event" `Quick test_locate_event;
+          Alcotest.test_case "candidate bounds" `Quick test_candidate_alphabet;
+        ] );
+    ]
