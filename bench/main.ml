@@ -202,6 +202,30 @@ let rollback_tests () =
         | Ok _ -> failwith "expected rejection" );
   ]
 
+(* E10 (probes): enabledness-probe cost vs community size — the journal
+   probe (Txn.probe under Engine.enabled) touches only the objects of
+   the step and should stay flat as the society grows, while the old
+   route, firing on a Community.clone (kept as the ablation arm), pays
+   for copying every object *)
+let probe_tests () =
+  List.concat_map
+    (fun m ->
+      let c, ids = Workload.dept_community m in
+      let i = ref 0 in
+      let next () =
+        let id = ids.(!i mod m) in
+        incr i;
+        Event.make id "fund" [ Value.Money 100 ]
+      in
+      [
+        ( Printf.sprintf "E10 probe-journal/%d" m,
+          fun () -> ignore (Engine.enabled c (next ())) );
+        ( Printf.sprintf "E10 probe-clone/%d" m,
+          fun () -> ignore_outcome (Engine.fire (Community.clone c) (next ()))
+        );
+      ])
+    [ 10; 100; 1000 ]
+
 (* E11: access methods for the internal schema — the paper's closing
    remark that emp_rel "may be implemented … using a B-tree or a hash
    table access method".  Point lookups: list scan (the relation value
@@ -271,6 +295,7 @@ let all_tests ~quick () =
   @ cascade_tests ()
   @ query_tests ()
   @ rollback_tests ()
+  @ probe_tests ()
   @ access_method_tests ()
   @ persist_tests ()
 

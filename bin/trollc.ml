@@ -87,8 +87,17 @@ let restore_arg =
           "Restore the object base from $(docv) (written by --save against \
            the same specification) before running the script")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the transaction-layer statistics (transactions, \
+           savepoints, probes, journal entries, bytes snapshotted) after \
+           the script")
+
 let run_cmd =
-  let run spec_path script_path save restore =
+  let run spec_path script_path save restore stats =
     match Troll.load (read_file spec_path) with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -118,14 +127,22 @@ let run_cmd =
                 Persist.save_file sys.Troll.community path;
                 Printf.printf "state saved to %s\n" path
             | None -> ());
+            if stats then begin
+              print_endline "transaction statistics:";
+              List.iter
+                (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                (Trace.txn_stats_rows ())
+            end;
             code))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Load a specification and animate it with a script; --save/--restore \
-          persist the object base between runs")
-    Term.(const run $ spec_arg $ script_arg $ save_arg $ restore_arg)
+          persist the object base between runs; --stats reports the \
+          transaction layer's counters")
+    Term.(
+      const run $ spec_arg $ script_arg $ save_arg $ restore_arg $ stats_arg)
 
 let dot_cmd =
   let run path =

@@ -254,6 +254,31 @@ let fire t (inst : instance) (ename : string) (args : Value.t list) :
                     with Error r -> Error r)))
 
 (* ------------------------------------------------------------------ *)
+(* Enabledness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Would firing this view event be accepted right now?  The attempt
+    runs for real — authorization, selection, calling guards, the base
+    objects' own permissions — inside {!Txn.probe}, which always rolls
+    back, so the community is untouched. *)
+let enabled t (inst : instance) (ename : string) (args : Value.t list) : bool
+    =
+  match Txn.probe t.community (fun () -> fire t inst ename args) with
+  | Ok _ -> true
+  | Error _ -> false
+
+(** The parameterless view events (projected and derived) currently
+    enabled on an instance — what an animator would offer as next steps
+    through this access path. *)
+let enabled_events t (inst : instance) : string list =
+  List.filter_map
+    (fun (e : Ast.iface_event) ->
+      if e.Ast.ie_params = [] && enabled t inst e.Ast.ie_name [] then
+        Some e.Ast.ie_name
+      else None)
+    t.decl.Ast.if_events
+
+(* ------------------------------------------------------------------ *)
 (* Tabulation (view as a relation)                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -44,6 +44,13 @@ val fire :
     Creation through the view is allowed (birth events on unborn
     instances); unlisted events are rejected. *)
 
+val enabled : t -> instance -> string -> Value.t list -> bool
+(** Would firing this view event be accepted right now?  Probed via
+    {!Txn.probe} (always rolled back); the community is untouched. *)
+
+val enabled_events : t -> instance -> string list
+(** The parameterless view events currently enabled on an instance. *)
+
 val tabulate : t -> Algebra.rel
 (** The view as a relation: one tuple per instance over the
     parameterless visible attributes. *)

@@ -25,13 +25,48 @@ type global_rule = {
   gr_rule : Ast.calling_rule;
 }
 
+(** One undoable mutation of runtime state.  Entries are recorded newest
+    first while a journal is open (see {!Txn}); undoing them in LIFO
+    order restores the community exactly.  Attribute maps, monitor
+    states, extensions and the object index are immutable values held in
+    mutable slots, so every entry is an O(1) pointer (or shallow-copy)
+    save. *)
+type journal_entry =
+  | J_obj of Obj_state.t * Obj_state.snapshot
+      (** object about to be mutated: restore its fields *)
+  | J_register of Ident.t  (** object was registered: remove it again *)
+  | J_remove of Obj_state.t  (** object was removed: put it back *)
+  | J_extensions of Ident.Set.t Smap.t  (** previous extensions map *)
+
+(** The open journal of a community.  [entries]/[count] are the live
+    undo log; [total]/[bytes] count everything ever recorded (for the
+    statistics); [touched]/[epoch] implement per-scope snapshot
+    deduplication — an object is re-snapshotted only when a new scope
+    (transaction, savepoint or probe) has opened since its last
+    snapshot. *)
+type journal = {
+  mutable entries : journal_entry list;  (** newest first *)
+  mutable count : int;  (** = length of [entries] *)
+  mutable total : int;  (** entries ever recorded *)
+  mutable bytes : int;  (** approx. bytes snapshotted *)
+  touched : (Ident.t, int) Hashtbl.t;  (** object → epoch of last snap *)
+  mutable epoch : int;
+}
+
 type t = {
   templates : (string, Template.t) Hashtbl.t;
   enum_of_const : (string, string) Hashtbl.t;  (** constant → enum name *)
   enum_defs : (string, string list) Hashtbl.t;  (** enum name → constants *)
   objects : (Ident.t, Obj_state.t) Hashtbl.t;
+  mutable index : Obj_state.t Btree.t;
+      (** ordered object index (storage layer), keyed by identity value;
+          kept in sync with [objects] and rolled back through the same
+          journal *)
   mutable extensions : Ident.Set.t Smap.t;  (** class → living members *)
   mutable globals : global_rule list;
+  mutable journal : journal option;
+      (** open transaction journal; managed by {!Txn}, fed by the
+          mutators below *)
   config : config;
 }
 
@@ -41,10 +76,36 @@ let create ?(config = default_config) () =
     enum_of_const = Hashtbl.create 16;
     enum_defs = Hashtbl.create 16;
     objects = Hashtbl.create 64;
+    index = Btree.empty;
     extensions = Smap.empty;
     globals = [];
+    journal = None;
     config;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Journal plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let journal_record t e =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      j.entries <- e :: j.entries;
+      j.count <- j.count + 1;
+      j.total <- j.total + 1
+
+(** Undo one entry.  Mutates the raw fields directly: undoing must never
+    journal. *)
+let undo_entry t = function
+  | J_obj (o, s) -> Obj_state.restore o s
+  | J_register id ->
+      Hashtbl.remove t.objects id;
+      t.index <- Btree.remove t.index (Ident.to_value id)
+  | J_remove o ->
+      Hashtbl.replace t.objects o.Obj_state.id o;
+      t.index <- Btree.add t.index (Ident.to_value o.Obj_state.id) o
+  | J_extensions ext -> t.extensions <- ext
 
 let add_template t (tpl : Template.t) =
   Hashtbl.replace t.templates tpl.Template.t_name tpl
@@ -80,9 +141,17 @@ let living t id =
   | Some o when o.Obj_state.alive -> Some o
   | _ -> None
 
-let register_object t (o : Obj_state.t) = Hashtbl.replace t.objects o.Obj_state.id o
+let register_object t (o : Obj_state.t) =
+  journal_record t (J_register o.Obj_state.id);
+  Hashtbl.replace t.objects o.Obj_state.id o;
+  t.index <- Btree.add t.index (Ident.to_value o.Obj_state.id) o
 
-let remove_object t id = Hashtbl.remove t.objects id
+let remove_object t id =
+  (match Hashtbl.find_opt t.objects id with
+  | Some o -> journal_record t (J_remove o)
+  | None -> ());
+  Hashtbl.remove t.objects id;
+  t.index <- Btree.remove t.index (Ident.to_value id)
 
 (** Current extension (living members) of a class. *)
 let extension t cls =
@@ -91,6 +160,7 @@ let extension t cls =
   | None -> Ident.Set.empty
 
 let extension_add t id =
+  journal_record t (J_extensions t.extensions);
   t.extensions <-
     Smap.update id.Ident.cls
       (fun s ->
@@ -98,6 +168,7 @@ let extension_add t id =
       t.extensions
 
 let extension_remove t id =
+  journal_record t (J_extensions t.extensions);
   t.extensions <-
     Smap.update id.Ident.cls
       (function None -> None | Some s -> Some (Ident.Set.remove id s))
@@ -147,27 +218,45 @@ let phases_born_by t cls ev_name =
       List.map (fun ed -> (tpl, ed)) matching @ acc)
     t.templates []
 
-(** Deep copy for branching exploration (refinement checking): object
-    states are duplicated, templates and rules are shared (immutable). *)
+(** Deep copy for genuine branching exploration — keeping several
+    divergent futures alive at once.  Object states are duplicated,
+    templates and rules are shared (immutable); the copy starts with no
+    open journal.  For speculative "try and roll back" questions use
+    {!Txn.probe} instead: it is O(touched state), not O(society). *)
 let clone t =
   let objects = Hashtbl.create (Hashtbl.length t.objects) in
+  let index = ref Btree.empty in
   Hashtbl.iter
     (fun id (o : Obj_state.t) ->
       let o' = Obj_state.create id o.Obj_state.template in
       Obj_state.restore o' (Obj_state.snapshot o);
-      Hashtbl.replace objects id o')
+      Hashtbl.replace objects id o';
+      index := Btree.add !index (Ident.to_value id) o')
     t.objects;
   {
     templates = t.templates;
     enum_of_const = t.enum_of_const;
     enum_defs = t.enum_defs;
     objects;
+    index = !index;
     extensions = t.extensions;
     globals = t.globals;
+    journal = None;
     config = t.config;
   }
 
+(** Drop every object, extension and index entry (templates, enums and
+    globals stay).  Used when reloading persisted state; must not be
+    called with an open journal. *)
+let reset_instance_state t =
+  Hashtbl.reset t.objects;
+  t.index <- Btree.empty;
+  t.extensions <- Smap.empty
+
 let iter_objects t f = Hashtbl.iter (fun _ o -> f o) t.objects
+
+(** All objects in identity order, straight off the ordered index. *)
+let objects_sorted t = List.map snd (Btree.bindings t.index)
 
 let living_objects t =
   Hashtbl.fold
@@ -176,9 +265,7 @@ let living_objects t =
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  let objs =
-    Hashtbl.fold (fun _ o acc -> o :: acc) t.objects []
-    |> List.sort (fun a b -> Ident.compare a.Obj_state.id b.Obj_state.id)
-  in
-  List.iter (fun o -> Format.fprintf ppf "%a@," Obj_state.pp o) objs;
+  (* the index orders by identity value = (class, key), i.e. exactly
+     [Ident.compare] *)
+  List.iter (fun o -> Format.fprintf ppf "%a@," Obj_state.pp o) (objects_sorted t);
   Format.fprintf ppf "@]"

@@ -21,17 +21,50 @@ type global_rule = {
   gr_rule : Ast.calling_rule;
 }
 
+(** One undoable runtime mutation; recorded newest first while a journal
+    is open, undone in LIFO order by {!Txn}. *)
+type journal_entry =
+  | J_obj of Obj_state.t * Obj_state.snapshot
+      (** object about to be mutated: restore its fields *)
+  | J_register of Ident.t  (** object was registered: remove it again *)
+  | J_remove of Obj_state.t  (** object was removed: put it back *)
+  | J_extensions of Ident.Set.t Smap.t  (** previous extensions map *)
+
+(** The open journal of a community — the live undo log plus lifetime
+    counters and the epoch-based snapshot-dedup table.  Owned by
+    {!Txn}; the mutators below feed it. *)
+type journal = {
+  mutable entries : journal_entry list;  (** newest first *)
+  mutable count : int;  (** = length of [entries] *)
+  mutable total : int;  (** entries ever recorded *)
+  mutable bytes : int;  (** approx. bytes snapshotted *)
+  touched : (Ident.t, int) Hashtbl.t;  (** object → epoch of last snap *)
+  mutable epoch : int;
+}
+
 type t = {
   templates : (string, Template.t) Hashtbl.t;
   enum_of_const : (string, string) Hashtbl.t;
   enum_defs : (string, string list) Hashtbl.t;
   objects : (Ident.t, Obj_state.t) Hashtbl.t;
+  mutable index : Obj_state.t Btree.t;
+      (** ordered object index (storage layer), kept in sync with
+          [objects] and rolled back through the same journal *)
   mutable extensions : Ident.Set.t Smap.t;
   mutable globals : global_rule list;
+  mutable journal : journal option;  (** managed by {!Txn} *)
   config : config;
 }
 
 val create : ?config:config -> unit -> t
+
+(** {1 Journal} *)
+
+val journal_record : t -> journal_entry -> unit
+(** Append to the open journal, if any (no-op otherwise). *)
+
+val undo_entry : t -> journal_entry -> unit
+(** Undo one entry, mutating raw fields without journaling. *)
 
 (** {1 Schema} *)
 
@@ -58,7 +91,10 @@ val living : t -> Ident.t -> Obj_state.t option
 (** The exact aspect, if alive. *)
 
 val register_object : t -> Obj_state.t -> unit
+(** Add to the object table and ordered index; journaled. *)
+
 val remove_object : t -> Ident.t -> unit
+(** Drop from the object table and ordered index; journaled. *)
 
 val extension : t -> string -> Ident.Set.t
 (** Living members of a class. *)
@@ -78,9 +114,21 @@ val phases_born_by : t -> string -> string -> (Template.t * Template.event_def) 
 (** {1 Traversal} *)
 
 val clone : t -> t
-(** Deep copy for branching exploration: object states duplicated,
-    templates shared. *)
+(** Deep copy for genuine branching exploration — keeping several
+    divergent futures alive at once (object states duplicated, templates
+    shared, journal not carried over).  For speculative "try and roll
+    back" questions use {!Txn.probe}: O(touched state), not
+    O(society). *)
+
+val reset_instance_state : t -> unit
+(** Drop all objects, extensions and index entries (schema stays).  For
+    reloading persisted state; must not be called with an open
+    journal. *)
 
 val iter_objects : t -> (Obj_state.t -> unit) -> unit
 val living_objects : t -> Obj_state.t list
+
+val objects_sorted : t -> Obj_state.t list
+(** All objects in identity order, read off the ordered index. *)
+
 val pp : Format.formatter -> t -> unit

@@ -18,7 +18,6 @@
       community is unchanged. *)
 
 open Runtime_error
-module Smap = Map.Make (String)
 
 type outcome = {
   committed : Event.t list list;  (** micro-steps, in execution order *)
@@ -28,39 +27,10 @@ type outcome = {
 
 type step_result = (outcome, reason) result
 
-(* ------------------------------------------------------------------ *)
-(* Transactions                                                        *)
-(* ------------------------------------------------------------------ *)
-
-type txn = {
-  c : Community.t;
-  snaps : (Ident.t, Obj_state.t * Obj_state.snapshot) Hashtbl.t;
-  mutable saved_ext : Ident.Set.t Smap.t option;
-  mutable created : Ident.t list;
-  mutable destroyed : Ident.t list;
-}
-
-let txn_make c =
-  { c; snaps = Hashtbl.create 8; saved_ext = None; created = [];
-    destroyed = [] }
-
-let touch txn (o : Obj_state.t) =
-  if not (Hashtbl.mem txn.snaps o.Obj_state.id) then
-    Hashtbl.add txn.snaps o.Obj_state.id (o, Obj_state.snapshot o)
-
-let save_ext txn =
-  if txn.saved_ext = None then txn.saved_ext <- Some txn.c.Community.extensions
-
-let rollback txn =
-  List.iter (fun id -> Community.remove_object txn.c id) txn.created;
-  Hashtbl.iter
-    (fun id (o, s) ->
-      if not (List.exists (Ident.equal id) txn.created) then
-        Obj_state.restore o s)
-    txn.snaps;
-  (match txn.saved_ext with
-  | Some ext -> txn.c.Community.extensions <- ext
-  | None -> ())
+(* Transactions, snapshots and rollback live in {!Txn}: every mutation
+   below runs inside a [Txn.t] scope and is journaled (object snapshots
+   explicitly via [Txn.touch], community-level mutations automatically
+   by the [Community] mutators). *)
 
 (* ------------------------------------------------------------------ *)
 (* Event targeting                                                     *)
@@ -539,8 +509,7 @@ let step_monitors (c : Community.t) (o : Obj_state.t)
 (* Executing one synchronous step                                      *)
 (* ------------------------------------------------------------------ *)
 
-let exec_sync (txn : txn) (sync : Event.t list) : unit =
-  let c = txn.c in
+let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
   (* group events by target object *)
   let groups : (Ident.t * Event.t list) list =
     List.fold_left
@@ -573,13 +542,12 @@ let exec_sync (txn : txn) (sync : Event.t list) : unit =
               if not has_birth then fail (Unknown_object id)
               else begin
                 let o = Obj_state.create id tpl in
-                save_ext txn;
                 Community.register_object c o;
-                txn.created <- id :: txn.created;
+                Txn.note_created txn id;
                 o
               end
         in
-        touch txn o;
+        Txn.touch txn o;
         (* closure under inheritance: an aspect needs its base aspect —
            phases (view of) and static specializations alike *)
         (match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
@@ -678,7 +646,6 @@ let exec_sync (txn : txn) (sync : Event.t list) : unit =
           | Some ed when ed.Template.ed_kind = Ast.Ev_birth ->
               o.Obj_state.alive <- true;
               set_id_attrs o;
-              save_ext txn;
               Community.extension_add c o.Obj_state.id
           | _ -> ())
         evs)
@@ -691,12 +658,11 @@ let exec_sync (txn : txn) (sync : Event.t list) : unit =
      living phase (view) aspect depending on it, transitively *)
   let rec kill (o : Obj_state.t) =
     if o.Obj_state.alive then begin
-      touch txn o;
+      Txn.touch txn o;
       o.Obj_state.alive <- false;
       o.Obj_state.dead <- true;
-      save_ext txn;
       Community.extension_remove c o.Obj_state.id;
-      txn.destroyed <- txn.destroyed @ [ o.Obj_state.id ];
+      Txn.note_destroyed txn o.Obj_state.id;
       Hashtbl.iter
         (fun _ (tpl : Template.t) ->
           match (tpl.Template.t_view_of, tpl.Template.t_spec_of) with
@@ -733,30 +699,39 @@ let exec_sync (txn : txn) (sync : Event.t list) : unit =
 
 (** Run a list of micro-steps as one atomic transaction: each micro-step
     is closed under calling, executed, and its transaction-calling
-    follow-ups are queued behind the remaining micro-steps. *)
+    follow-ups are queued behind the remaining micro-steps.  Each
+    micro-step runs under its own savepoint, so a violation unwinds the
+    failing micro-step first and then aborts the whole attempt. *)
 let run_txn (c : Community.t) (micro_steps : Event.t list list) : step_result
     =
-  let txn = txn_make c in
+  let txn = Txn.begin_ c in
   match
     let committed = ref [] in
     let queue = Queue.create () in
     List.iter (fun s -> Queue.add s queue) micro_steps;
     while not (Queue.is_empty queue) do
       let init = Queue.pop queue in
-      let sync, followups = expand_sync c init in
-      exec_sync txn sync;
-      committed := sync :: !committed;
-      List.iter (fun s -> Queue.add s queue) followups
+      let sp = Txn.savepoint txn in
+      (try
+         let sync, followups = expand_sync c init in
+         exec_sync c txn sync;
+         committed := sync :: !committed;
+         List.iter (fun s -> Queue.add s queue) followups
+       with Error _ as e ->
+         Txn.rollback_to txn sp;
+         raise e)
     done;
     {
       committed = List.rev !committed;
-      created = List.rev txn.created;
-      destroyed = List.rev txn.destroyed;
+      created = Txn.created txn;
+      destroyed = Txn.destroyed txn;
     }
   with
-  | outcome -> Ok outcome
+  | outcome ->
+      Txn.commit txn;
+      Ok outcome
   | exception Error reason ->
-      rollback txn;
+      Txn.rollback txn;
       Error reason
 
 (** Fire a single event (with its synchronous closure). *)
@@ -850,10 +825,13 @@ let run_active c ~fuel : Event.t list =
 (* Enabledness queries (for animation front ends)                      *)
 (* ------------------------------------------------------------------ *)
 
-(** Would this event be accepted right now?  Evaluated on a clone, so
-    the community is untouched (including monitor states). *)
+(** Would this event be accepted right now?  Fired inside {!Txn.probe},
+    which always rolls back: the community is untouched (including
+    monitor states) and the cost is O(touched state), not O(society). *)
 let enabled c (ev : Event.t) : bool =
-  match fire (Community.clone c) ev with Ok _ -> true | Error _ -> false
+  match Txn.probe c (fun () -> fire c ev) with
+  | Ok _ -> true
+  | Error _ -> false
 
 (** The parameterless events of a living object that are currently
     enabled — what an animator would offer as next steps.  Events with

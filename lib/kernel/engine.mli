@@ -53,8 +53,8 @@ val run_active : Community.t -> fuel:int -> Event.t list
 (** {1 Enabledness queries} *)
 
 val enabled : Community.t -> Event.t -> bool
-(** Would this event be accepted right now?  Probed on a clone; the
-    community is untouched. *)
+(** Would this event be accepted right now?  Fired inside {!Txn.probe}
+    (journal rollback, O(touched state)); the community is untouched. *)
 
 val enabled_events : Community.t -> Ident.t -> string list
 (** Currently enabled parameterless events of a living object. *)

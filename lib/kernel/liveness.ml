@@ -76,6 +76,17 @@ let audit_class (c : Community.t) ~(cls : string) (goal : Ast.formula) :
     []
   |> List.rev
 
+(** Speculative goal check: would firing [ev] leave [o] in a state
+    satisfying [goal]?  The attempt runs inside {!Txn.probe} and is
+    always rolled back, so the community is untouched.  [None] when the
+    event is rejected (the goal is unreachable by this step). *)
+let achieves (c : Community.t) (o : Obj_state.t) (ev : Event.t)
+    (goal : Ast.formula) : bool option =
+  Txn.probe c (fun () ->
+      match Engine.fire c ev with
+      | Ok _ -> Some (evaluate_at c o o.Obj_state.attrs goal)
+      | Error _ -> None)
+
 let pp_verdict ppf v =
   Format.fprintf ppf "goal %s: %s (now %B, %d state(s) checked)"
     (Pretty.formula_to_string v.goal)

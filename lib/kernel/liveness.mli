@@ -27,4 +27,10 @@ val audit_class :
   Community.t -> cls:string -> Ast.formula -> (Ident.t * verdict) list
 (** Audit a goal for every living member of a class. *)
 
+val achieves :
+  Community.t -> Obj_state.t -> Event.t -> Ast.formula -> bool option
+(** Would firing the event leave the object in a state satisfying the
+    goal?  Probed via {!Txn.probe} (always rolled back); [None] when the
+    event is rejected. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -95,6 +95,13 @@ let restore t s =
   t.history <- s.s_history;
   t.steps <- s.s_steps
 
+(** Shallow cost of a snapshot in bytes: the record and its two copied
+    arrays.  The attribute map and monitor states are shared pointers,
+    so this is what taking the snapshot actually allocated. *)
+let snapshot_cost s =
+  (9 + Array.length s.s_perm_states + Array.length s.s_constr_states)
+  * (Sys.word_size / 8)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v 2>%a%s@," Ident.pp t.id
     (if t.dead then " (dead)" else if t.alive then "" else " (unborn)");

@@ -52,4 +52,8 @@ type snapshot
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 
+val snapshot_cost : snapshot -> int
+(** Bytes allocated by taking the snapshot (shallow: the record plus the
+    copied monitor-state arrays; maps and states are shared pointers). *)
+
 val pp : Format.formatter -> t -> unit

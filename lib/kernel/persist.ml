@@ -26,8 +26,6 @@
       constr|<index>|<bits>
     v} *)
 
-module Smap = Map.Make (String)
-
 let header = "troll-state 1"
 
 (* --- saving --------------------------------------------------------- *)
@@ -78,12 +76,8 @@ let save_object buf (o : Obj_state.t) =
 let save (c : Community.t) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (header ^ "\n");
-  let objs =
-    List.sort
-      (fun (a : Obj_state.t) b -> Ident.compare a.Obj_state.id b.Obj_state.id)
-      (Hashtbl.fold (fun _ o acc -> o :: acc) c.Community.objects [])
-  in
-  List.iter (save_object buf) objs;
+  (* the ordered index yields objects in identity order directly *)
+  List.iter (save_object buf) (Community.objects_sorted c);
   Buffer.contents buf
 
 let save_file (c : Community.t) (path : string) =
@@ -122,8 +116,7 @@ let load (c : Community.t) (dump : string) : (unit, string) result =
   | [] -> Error "empty dump"
   | h :: rest when String.equal h header -> (
       try
-        Hashtbl.reset c.Community.objects;
-        c.Community.extensions <- Smap.empty;
+        Community.reset_instance_state c;
         let current : Obj_state.t option ref = ref None in
         let pending_indexed :
             (int * int * (Value.t list * Monitor.state) list) option ref =

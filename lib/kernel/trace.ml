@@ -53,3 +53,26 @@ let pp ppf (o : Obj_state.t) =
     (of_object o)
 
 let to_string o = Format.asprintf "%a" pp o
+
+(* ------------------------------------------------------------------ *)
+(* Transaction statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let txn_stats = Txn.stats
+let reset_txn_stats = Txn.reset_stats
+
+(** The counters as labelled rows, for tabular front ends. *)
+let txn_stats_rows () =
+  let s = Txn.stats () in
+  [
+    ("transactions begun", s.Txn.begun);
+    ("transactions committed", s.Txn.committed);
+    ("transactions rolled back", s.Txn.rolled_back);
+    ("savepoints", s.Txn.savepoints);
+    ("savepoint rollbacks", s.Txn.savepoint_rollbacks);
+    ("probes", s.Txn.probes);
+    ("journal entries", s.Txn.journal_entries);
+    ("bytes snapshotted", s.Txn.bytes_snapshotted);
+  ]
+
+let pp_txn_stats ppf () = Txn.pp_stats ppf (Txn.stats ())

@@ -17,3 +17,16 @@ val occurrences : Obj_state.t -> string -> entry list
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> Obj_state.t -> unit
 val to_string : Obj_state.t -> string
+
+(** {1 Transaction statistics}
+
+    The {!Txn} layer's process-wide counters, re-exposed here next to
+    the other runtime-inspection tools (and behind [trollc --stats]). *)
+
+val txn_stats : unit -> Txn.stats
+val reset_txn_stats : unit -> unit
+
+val txn_stats_rows : unit -> (string * int) list
+(** The counters as labelled rows, for tabular front ends. *)
+
+val pp_txn_stats : Format.formatter -> unit -> unit

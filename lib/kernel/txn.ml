@@ -1,0 +1,216 @@
+(** The journaled transaction layer: every mutation of runtime state —
+    object fields, object creation/destruction, class extensions, the
+    ordered storage index — goes through a transaction scope and can be
+    rolled back from the community's journal.
+
+    The journal is a LIFO undo log ({!Community.journal}).  Obj_state
+    keeps immutable values in mutable slots, so an undo entry is a
+    pointer restore; snapshots are deduplicated per scope with an epoch
+    counter (redundant snapshots would still be *correct* — LIFO replay
+    ends on the oldest one — just wasteful).
+
+    Scopes nest: a [begin_] under an open journal, a {!savepoint}, and a
+    {!probe} all mark the current journal length and unwind back to it.
+    Only the outermost transaction owns the journal slot and accounts
+    the lifetime totals into the global {!stats}. *)
+
+type t = {
+  c : Community.t;
+  owner : bool;  (** installed the journal, will clear the slot *)
+  base : int;  (** journal length when this scope opened *)
+  mutable t_created : Ident.t list;  (** newest first *)
+  mutable t_destroyed : Ident.t list;  (** newest first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  begun : int;
+  committed : int;
+  rolled_back : int;
+  savepoints : int;
+  savepoint_rollbacks : int;
+  probes : int;
+  journal_entries : int;
+  bytes_snapshotted : int;
+}
+
+let zero_stats =
+  {
+    begun = 0;
+    committed = 0;
+    rolled_back = 0;
+    savepoints = 0;
+    savepoint_rollbacks = 0;
+    probes = 0;
+    journal_entries = 0;
+    bytes_snapshotted = 0;
+  }
+
+let counters = ref zero_stats
+
+let stats () = !counters
+let reset_stats () = counters := zero_stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>transactions begun     %d@,\
+     transactions committed %d@,\
+     transactions rolled back %d@,\
+     savepoints             %d@,\
+     savepoint rollbacks    %d@,\
+     probes                 %d@,\
+     journal entries        %d@,\
+     bytes snapshotted      %d@]"
+    s.begun s.committed s.rolled_back s.savepoints s.savepoint_rollbacks
+    s.probes s.journal_entries s.bytes_snapshotted
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_journal () : Community.journal =
+  {
+    Community.entries = [];
+    count = 0;
+    total = 0;
+    bytes = 0;
+    touched = Hashtbl.create 16;
+    epoch = 0;
+  }
+
+let begin_ (c : Community.t) =
+  counters := { !counters with begun = !counters.begun + 1 };
+  match c.Community.journal with
+  | None ->
+      c.Community.journal <- Some (fresh_journal ());
+      { c; owner = true; base = 0; t_created = []; t_destroyed = [] }
+  | Some j ->
+      (* nested scope: new epoch so touched objects are re-snapshotted
+         relative to this scope's base *)
+      j.Community.epoch <- j.Community.epoch + 1;
+      {
+        c;
+        owner = false;
+        base = j.Community.count;
+        t_created = [];
+        t_destroyed = [];
+      }
+
+let journal_exn t =
+  match t.c.Community.journal with
+  | Some j -> j
+  | None -> invalid_arg "Txn: scope already closed"
+
+(** Snapshot [o] unless this scope (epoch) already holds one. *)
+let touch t (o : Obj_state.t) =
+  let j = journal_exn t in
+  let id = o.Obj_state.id in
+  let fresh =
+    match Hashtbl.find_opt j.Community.touched id with
+    | Some e -> e < j.Community.epoch
+    | None -> true
+  in
+  if fresh then begin
+    let snap = Obj_state.snapshot o in
+    Community.journal_record t.c (Community.J_obj (o, snap));
+    j.Community.bytes <- j.Community.bytes + Obj_state.snapshot_cost snap;
+    Hashtbl.replace j.Community.touched id j.Community.epoch
+  end
+
+let note_created t id = t.t_created <- id :: t.t_created
+let note_destroyed t id = t.t_destroyed <- id :: t.t_destroyed
+let created t = List.rev t.t_created
+let destroyed t = List.rev t.t_destroyed
+
+(** Fold the journal's lifetime totals into the global counters, at
+    top-level close. *)
+let account (j : Community.journal) =
+  counters :=
+    {
+      !counters with
+      journal_entries = !counters.journal_entries + j.Community.total;
+      bytes_snapshotted = !counters.bytes_snapshotted + j.Community.bytes;
+    }
+
+(** Pop and undo entries until the journal is [mark] long again. *)
+let pop_to (c : Community.t) (j : Community.journal) mark =
+  while j.Community.count > mark do
+    match j.Community.entries with
+    | [] -> j.Community.count <- mark (* unreachable if count is kept *)
+    | e :: rest ->
+        j.Community.entries <- rest;
+        j.Community.count <- j.Community.count - 1;
+        Community.undo_entry c e
+  done;
+  (* any snapshot taken before the rollback may now be stale: force
+     re-snapshotting in whatever scope continues *)
+  j.Community.epoch <- j.Community.epoch + 1
+
+let commit t =
+  counters := { !counters with committed = !counters.committed + 1 };
+  if t.owner then begin
+    let j = journal_exn t in
+    account j;
+    t.c.Community.journal <- None
+  end
+(* nested commit: keep the entries — the outer scope may still roll
+   everything back *)
+
+let rollback t =
+  counters := { !counters with rolled_back = !counters.rolled_back + 1 };
+  let j = journal_exn t in
+  pop_to t.c j t.base;
+  if t.owner then begin
+    account j;
+    t.c.Community.journal <- None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Savepoints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type savepoint = {
+  sp_mark : int;
+  sp_created : Ident.t list;
+  sp_destroyed : Ident.t list;
+}
+
+let savepoint t =
+  counters := { !counters with savepoints = !counters.savepoints + 1 };
+  let j = journal_exn t in
+  j.Community.epoch <- j.Community.epoch + 1;
+  {
+    sp_mark = j.Community.count;
+    sp_created = t.t_created;
+    sp_destroyed = t.t_destroyed;
+  }
+
+let rollback_to t sp =
+  counters :=
+    {
+      !counters with
+      savepoint_rollbacks = !counters.savepoint_rollbacks + 1;
+    };
+  let j = journal_exn t in
+  pop_to t.c j sp.sp_mark;
+  t.t_created <- sp.sp_created;
+  t.t_destroyed <- sp.sp_destroyed
+
+(* ------------------------------------------------------------------ *)
+(* Probes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let probe (c : Community.t) f =
+  counters := { !counters with probes = !counters.probes + 1 };
+  let t = begin_ c in
+  match f () with
+  | v ->
+      rollback t;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      rollback t;
+      Printexc.raise_with_backtrace e bt

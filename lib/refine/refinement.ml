@@ -13,10 +13,12 @@
     - equal *observations*: after every accepted step, each observed
       abstract attribute equals its mapped concrete attribute.
 
-    The exploration branches over every candidate event at every depth
-    (communities are cloned per branch), so its cost grows as
-    |alphabet|^k — which is exactly why the check is *bounded*
-    (experiment E7 measures this growth). *)
+    The exploration branches over every candidate event at every depth.
+    Each branch runs speculatively under {!Txn.probe} and is
+    journal-rolled back in place — O(touched state) per branch instead
+    of the former per-branch [Community.clone] — but the number of
+    branches still grows as |alphabet|^k, which is exactly why the check
+    is *bounded* (experiment E7 measures this growth). *)
 
 type candidate = { ev_name : string; ev_args : Value.t list }
 
@@ -178,58 +180,65 @@ let check ~(impl : Implementation.t) ~(abs : side) ~(conc : side)
       List.iter
         (fun (cand : candidate) ->
           incr cases;
-          let abs_c' = Community.clone abs_c in
-          let conc_c' = Community.clone conc_c in
-          let abs_r =
-            fire_candidate { community = abs_c'; id = abs.id }
-              ~name:cand.ev_name cand
-          in
-          let conc_name = Implementation.map_event impl cand.ev_name in
-          let conc_r =
-            fire_candidate { community = conc_c'; id = conc.id }
-              ~name:conc_name cand
-          in
-          match (abs_r, conc_r) with
-          | Ok _, Ok _ -> (
-              incr accepted;
-              Obligation.mark_exercised obligations
-                ~id:(Printf.sprintf "enabled-%s" cand.ev_name);
-              match observe_mismatch abs_c' conc_c' with
-              | Some reason ->
-                  Obligation.mark_violated obligations
-                    ~id:(Printf.sprintf "effect-%s" cand.ev_name)
-                    ~reason;
-                  raise
-                    (Cex { trace = List.rev trace; failing = cand; reason })
-              | None ->
-                  Obligation.mark_exercised obligations
-                    ~id:(Printf.sprintf "effect-%s" cand.ev_name);
-                  explore abs_c' conc_c' (cand :: trace) (d - 1))
-          | Ok _, Error r ->
-              let reason =
-                Printf.sprintf
-                  "abstract side accepts but implementation rejects (%s)"
-                  (Runtime_error.reason_to_string r)
-              in
-              Obligation.mark_violated obligations
-                ~id:(Printf.sprintf "enabled-%s" cand.ev_name)
-                ~reason;
-              raise (Cex { trace = List.rev trace; failing = cand; reason })
-          | Error r, Ok _ ->
-              let reason =
-                Printf.sprintf
-                  "implementation accepts an event the specification forbids \
-                   (abstract rejection: %s)"
-                  (Runtime_error.reason_to_string r)
-              in
-              Obligation.mark_violated obligations
-                ~id:(Printf.sprintf "perm-%s" cand.ev_name)
-                ~reason;
-              raise (Cex { trace = List.rev trace; failing = cand; reason })
-          | Error _, Error _ ->
-              (* both reject: permission preserved on this case *)
-              Obligation.mark_exercised obligations
-                ~id:(Printf.sprintf "perm-%s" cand.ev_name))
+          (* each branch — the two speculative firings plus the whole
+             subtree below them — runs under nested probe scopes and is
+             journal-rolled back in place before the next candidate;
+             a counterexample propagates out through the rollbacks *)
+          Txn.probe abs_c (fun () ->
+              Txn.probe conc_c (fun () ->
+                  let abs_r =
+                    fire_candidate { community = abs_c; id = abs.id }
+                      ~name:cand.ev_name cand
+                  in
+                  let conc_name = Implementation.map_event impl cand.ev_name in
+                  let conc_r =
+                    fire_candidate { community = conc_c; id = conc.id }
+                      ~name:conc_name cand
+                  in
+                  match (abs_r, conc_r) with
+                  | Ok _, Ok _ -> (
+                      incr accepted;
+                      Obligation.mark_exercised obligations
+                        ~id:(Printf.sprintf "enabled-%s" cand.ev_name);
+                      match observe_mismatch abs_c conc_c with
+                      | Some reason ->
+                          Obligation.mark_violated obligations
+                            ~id:(Printf.sprintf "effect-%s" cand.ev_name)
+                            ~reason;
+                          raise
+                            (Cex
+                               { trace = List.rev trace; failing = cand; reason })
+                      | None ->
+                          Obligation.mark_exercised obligations
+                            ~id:(Printf.sprintf "effect-%s" cand.ev_name);
+                          explore abs_c conc_c (cand :: trace) (d - 1))
+                  | Ok _, Error r ->
+                      let reason =
+                        Printf.sprintf
+                          "abstract side accepts but implementation rejects (%s)"
+                          (Runtime_error.reason_to_string r)
+                      in
+                      Obligation.mark_violated obligations
+                        ~id:(Printf.sprintf "enabled-%s" cand.ev_name)
+                        ~reason;
+                      raise
+                        (Cex { trace = List.rev trace; failing = cand; reason })
+                  | Error r, Ok _ ->
+                      let reason =
+                        Printf.sprintf
+                          "implementation accepts an event the specification \
+                           forbids (abstract rejection: %s)"
+                          (Runtime_error.reason_to_string r)
+                      in
+                      Obligation.mark_violated obligations
+                        ~id:(Printf.sprintf "perm-%s" cand.ev_name)
+                        ~reason;
+                      raise
+                        (Cex { trace = List.rev trace; failing = cand; reason })
+                  | Error _, Error _ ->
+                      (* both reject: permission preserved on this case *)
+                      Obligation.mark_exercised obligations
+                        ~id:(Printf.sprintf "perm-%s" cand.ev_name))))
         alphabet
   in
   match explore abs.community conc.community [] depth with

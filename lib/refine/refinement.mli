@@ -48,5 +48,6 @@ val check :
   alphabet:candidate list ->
   depth:int ->
   report
-(** Both instances must be alive and in corresponding states; the
-    communities are never mutated (all exploration is on clones). *)
+(** Both instances must be alive and in corresponding states.  The
+    communities are left unchanged: every branch runs speculatively
+    under {!Txn.probe} and is journal-rolled back in place. *)

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Benchmark smoke run: quick-mode E3 (rollback) and E10 (probe vs
+# clone), with the E10 numbers emitted as BENCH_E10.json at the repo
+# root so the perf trajectory is tracked in-tree.
+#
+# Usage: scripts/bench_smoke.sh            (from the repo root)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+
+echo "== E3 (transaction rollback) =="
+dune exec bench/main.exe -- --quick --filter E3
+
+echo
+echo "== E10 (probe vs clone) =="
+out=$(dune exec bench/main.exe -- --quick --filter E10)
+printf '%s\n' "$out"
+
+# Quick-mode rows are "<name padded to 44> <ns/run>"; turn the E10
+# rows into a small JSON document.
+printf '%s\n' "$out" | awk '
+  BEGIN {
+    print "{"
+    print "  \"experiment\": \"E10\","
+    print "  \"unit\": \"ns/run\","
+    print "  \"results\": ["
+    n = 0
+  }
+  /^E10 / {
+    ns = $NF
+    name = $0
+    sub(/[ \t]+[0-9.]+[ \t]*$/, "", name)
+    sub(/[ \t]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_run\": %s}", name, ns
+  }
+  END {
+    print ""
+    print "  ]"
+    print "}"
+  }
+' > BENCH_E10.json
+
+echo
+echo "wrote BENCH_E10.json:"
+cat BENCH_E10.json

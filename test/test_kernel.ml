@@ -938,6 +938,129 @@ let prop_naive_equals_monitor_random =
       !ok)
 
 (* ------------------------------------------------------------------ *)
+(* The transaction layer (Txn): journal, savepoints, probes, stats      *)
+(* ------------------------------------------------------------------ *)
+
+let cascade_birth_spec = {|
+object class CHILD
+  identification id: string;
+  template
+    events birth make;
+end object class CHILD;
+object class PARENT
+  identification id: string;
+  template
+    attributes n: integer;
+    events birth init; go; crash;
+    valuation
+      [init] n = 0;
+      [crash] n = n - 1;
+    constraints
+      static n >= 0;
+    calling
+      go >> (CHILD("c").make; crash);
+end object class PARENT;
+|}
+
+let test_cascade_rollback_unwinds_births () =
+  let c = load cascade_birth_spec in
+  let p = ident "PARENT" "p" in
+  let child = ident "CHILD" "c" in
+  ignore (Engine.create c ~cls:"PARENT" ~key:(Value.String "p") ());
+  (* go queues two follow-up micro-steps: CHILD("c").make, then crash;
+     the constraint violation happens in the LAST micro-step, after the
+     child was born in an earlier one — the whole chain must unwind,
+     object table, extension and storage index included *)
+  (match fire c p "go" [] with
+  | Error (Runtime_error.Constraint_violated _) -> ()
+  | Ok _ -> Alcotest.fail "crash should reject the whole chain"
+  | Error r ->
+      Alcotest.failf "wrong reason %s" (Runtime_error.reason_to_string r));
+  check tbool "child object removed" true
+    (Community.find_object c child = None);
+  check tint "CHILD extension empty" 0
+    (Ident.Set.cardinal (Community.extension c "CHILD"));
+  check tbool "storage index restored" true
+    (Btree.find c.Community.index (Ident.to_value child) = None);
+  check tint "index holds only the parent" 1
+    (Btree.cardinal c.Community.index);
+  check value "parent state unchanged" (Value.Int 0) (attr c p "n")
+
+let test_probe_bit_identical () =
+  let config =
+    { Community.default_config with Community.record_history = true }
+  in
+  let c = load ~config Paper_specs.dept in
+  let alice = ident "PERSON" "alice" in
+  let d = ident "DEPT" "d" in
+  ignore (Engine.create c ~cls:"PERSON" ~key:(Value.String "alice") ());
+  ignore
+    (Engine.create c ~cls:"DEPT" ~key:(Value.String "d")
+       ~args:[ Value.Date 0 ] ());
+  ignore (fire c d "hire" [ Ident.to_value alice ]);
+  let o = Community.object_exn c d in
+  let before = Persist.save c in
+  let hist_before = List.length o.Obj_state.history in
+  let steps_before = o.Obj_state.steps in
+  (* both an accepted and a rejected probe must leave no trace *)
+  check tbool "accepted probe" true
+    (Engine.enabled c (Event.make d "fire" [ Ident.to_value alice ]));
+  check tbool "rejected probe" false
+    (Engine.enabled c (Event.make d "hire" [ Ident.to_value alice ]));
+  check Alcotest.string "dump bit-identical" before (Persist.save c);
+  (* Persist does not serialise histories: check them separately *)
+  check tint "history untouched" hist_before (List.length o.Obj_state.history);
+  check tint "steps counter untouched" steps_before o.Obj_state.steps;
+  check tbool "real step still works after probing" true
+    (accepted (fire c d "fire" [ Ident.to_value alice ]))
+
+let test_nested_savepoints_lifo () =
+  let c = load counter_spec in
+  let x = ident "COUNTER" "x" in
+  ignore (Engine.create c ~cls:"COUNTER" ~key:(Value.String "x") ());
+  let o = Community.object_exn c x in
+  let t = Txn.begin_ c in
+  Txn.touch t o;
+  Obj_state.set_attr o "n" (Value.Int 1);
+  let sp1 = Txn.savepoint t in
+  Txn.touch t o;
+  Obj_state.set_attr o "n" (Value.Int 2);
+  let sp2 = Txn.savepoint t in
+  Txn.touch t o;
+  Obj_state.set_attr o "n" (Value.Int 3);
+  check value "innermost write applied" (Value.Int 3) (Obj_state.attr o "n");
+  Txn.rollback_to t sp2;
+  check value "inner savepoint unwound first" (Value.Int 2)
+    (Obj_state.attr o "n");
+  Txn.rollback_to t sp1;
+  check value "outer savepoint unwound second" (Value.Int 1)
+    (Obj_state.attr o "n");
+  Txn.rollback t;
+  check value "whole transaction unwound last" (Value.Int 0)
+    (Obj_state.attr o "n")
+
+let test_txn_stats_counters () =
+  Txn.reset_stats ();
+  let c = load counter_spec in
+  let x = ident "COUNTER" "x" in
+  ignore (Engine.create c ~cls:"COUNTER" ~key:(Value.String "x") ());
+  ignore (fire c x "incr" []);
+  check tbool "decr enabled after incr" true
+    (Engine.enabled c (Event.make x "decr" []));
+  ignore (fire c x "decr" []);
+  (match fire c x "decr" [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decr at zero should be rejected");
+  let s = Trace.txn_stats () in
+  check tint "one probe" 1 s.Txn.probes;
+  check tbool "transactions begun" true (s.Txn.begun >= 4);
+  check tbool "transactions committed" true (s.Txn.committed >= 3);
+  check tbool "rollbacks (probe + rejection)" true (s.Txn.rolled_back >= 2);
+  check tbool "journal entries recorded" true (s.Txn.journal_entries > 0);
+  check tbool "snapshot bytes accounted" true (s.Txn.bytes_snapshotted > 0);
+  check tint "stats rows" 8 (List.length (Trace.txn_stats_rows ()))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "kernel"
@@ -981,6 +1104,16 @@ let () =
             test_rollback_restores_monitors;
           Alcotest.test_case "rollback removes created" `Quick
             test_rollback_removes_created;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "cascade rollback unwinds births" `Quick
+            test_cascade_rollback_unwinds_births;
+          Alcotest.test_case "probe leaves state bit-identical" `Quick
+            test_probe_bit_identical;
+          Alcotest.test_case "nested savepoints unwind LIFO" `Quick
+            test_nested_savepoints_lifo;
+          Alcotest.test_case "stats counters" `Quick test_txn_stats_counters;
         ] );
       ( "constraints",
         [
