@@ -5,6 +5,7 @@
       trollc check  spec.trl          # parse + static checks
       trollc pretty spec.trl          # parse and re-print
       trollc run    spec.trl run.trs  # load and animate with a script
+      trollc serve  spec.trl --socket /tmp/troll.sock   # society server
     v} *)
 
 open Cmdliner
@@ -324,10 +325,98 @@ let refine_cmd =
           implements ABSTRACT's --abs class (§5.2)")
     Term.(const run $ abs_spec $ conc_spec $ abs_class $ conc_class $ depth)
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve over a Unix-domain socket bound at $(docv)")
+  in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve a single session over stdin/stdout (one frame per line); \
+             exits when the input is exhausted and the queue is drained")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound; requests beyond it are answered \
+             $(i,overloaded)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline in milliseconds, applied to \
+             requests that carry no $(i,deadline_ms) field")
+  in
+  let run spec_path socket stdio queue default_deadline save restore =
+    match Troll.Session.load_file spec_path with
+    | Error e ->
+        Printf.eprintf "%s\n" (Troll.Error.to_string e);
+        1
+    | Ok session -> (
+        let restored =
+          match restore with
+          | None -> Ok ()
+          | Some path ->
+              Persist.load_file (Troll.Session.community session) path
+        in
+        match restored with
+        | Error e ->
+            Printf.eprintf "restore failed: %s\n" e;
+            1
+        | Ok () -> (
+            let config =
+              {
+                Server.queue_capacity = queue;
+                Server.default_deadline_ms = default_deadline;
+                Server.save_on_shutdown = save;
+              }
+            in
+            let server = Server.create ~config session in
+            match (socket, stdio) with
+            | Some path, false ->
+                Printf.eprintf "serving on %s\n%!" path;
+                Server.listen_unix server ~path;
+                0
+            | None, true ->
+                Server.serve_fds server Unix.stdin Unix.stdout;
+                0
+            | None, false ->
+                Printf.eprintf "serve: need --socket PATH or --stdio\n";
+                2
+            | Some _, true ->
+                Printf.eprintf "serve: --socket and --stdio are exclusive\n";
+                2))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load a specification once and serve it to many clients over a \
+          newline-delimited JSON protocol (see docs/PROTOCOL.md); every \
+          mutating request is one journaled transaction, a $(i,batch) \
+          request is one atomic event sequence, and a $(i,shutdown) \
+          request drains the admission queue before the daemon exits")
+    Term.(
+      const run $ spec_arg $ socket_arg $ stdio_arg $ queue_arg
+      $ deadline_arg $ save_arg $ restore_arg)
+
 let main =
   Cmd.group
     (Cmd.info "trollc" ~version:"1.0.0"
        ~doc:"Parser, checker and animator for the TROLL specification language")
-    [ parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd ]
+    [
+      parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

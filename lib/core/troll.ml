@@ -7,15 +7,20 @@
     {v  source —parse→ Ast.spec —check→ diagnostics
                —compile→ Community (+ interface views) —animate→ Engine v}
 
-    Quickstart:
+    Quickstart (the session API):
     {[
-      let sys = Troll.load_exn source in
-      let dept = Troll.ident "DEPT" (Value.String "sales") in
-      Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "sales")
-        ~args:[ Value.Date 7779 ] ();
-      match Troll.fire sys dept "hire" [ person ] with
-      | Ok _ -> ...
-      | Error reason -> ...
+      match Troll.Session.load source with
+      | Error e -> prerr_endline (Troll.Error.to_string e)
+      | Ok s ->
+          let dept = Troll.ident "DEPT" (Value.String "sales") in
+          (match
+             Troll.step s
+               (Step.Create
+                  { cls = "DEPT"; key = Value.String "sales";
+                    event = None; args = [ Value.Date 7779 ] })
+           with
+          | Ok _ -> ...
+          | Error reason -> ...)
     ]}
 
     The lower layers remain fully accessible: [Parser], [Typecheck],
@@ -30,14 +35,56 @@ type system = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Structured errors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Error = struct
+  type t =
+    | Parse of Parse_error.t
+    | Check of Check_error.t
+    | Link of string list
+    | Runtime of Runtime_error.reason
+    | Io of string
+
+  let code = function
+    | Parse _ -> "parse_error"
+    | Check _ -> "check_error"
+    | Link _ -> "link_error"
+    | Runtime r -> Runtime_error.code r
+    | Io _ -> "io_error"
+
+  let message = function
+    | Parse e -> e.Parse_error.message
+    | Check e -> e.Check_error.message
+    | Link diags -> String.concat "; " diags
+    | Runtime r -> Runtime_error.reason_to_string r
+    | Io m -> m
+
+  let loc = function
+    | Parse e -> Some e.Parse_error.loc
+    | Check e -> Some e.Check_error.loc
+    | Link _ | Runtime _ | Io _ -> None
+
+  let pp ppf = function
+    | Parse e -> Parse_error.pp ppf e
+    | Check e -> Check_error.pp ppf e
+    | Link diags ->
+        Format.fprintf ppf "link error: %s" (String.concat "; " diags)
+    | Runtime r -> Runtime_error.pp_reason ppf r
+    | Io m -> Format.fprintf ppf "io error: %s" m
+
+  let to_string e = Format.asprintf "%a" pp e
+end
+
+(* ------------------------------------------------------------------ *)
 (* Front end                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** Parse a specification source text. *)
-let parse (source : string) : (Ast.spec, string) result =
+(** Parse a specification source text, keeping the error structure. *)
+let parse_spec (source : string) : (Ast.spec, Error.t) result =
   match Parser.spec source with
   | Ok spec -> Ok spec
-  | Error e -> Error (Parse_error.to_string e)
+  | Error e -> Error (Error.Parse e)
 
 (** Statically check a parsed specification. *)
 let check = Typecheck.check
@@ -48,14 +95,14 @@ let pretty = Pretty.spec_to_string
 (** Parse, check and compile a specification; single objects are
     instantiated, interface classes become ready-to-use views.  Checking
     errors abort; warnings are carried in the result. *)
-let load ?(config = Community.default_config) (source : string) :
-    (system, string) result =
-  match parse source with
+let load_system ?(config = Community.default_config) (source : string) :
+    (system, Error.t) result =
+  match parse_spec source with
   | Error e -> Error e
   | Ok spec -> (
       let diagnostics = check spec in
       match List.filter Check_error.is_error diagnostics with
-      | e :: _ -> Error (Check_error.to_string e)
+      | e :: _ -> Error (Error.Check e)
       | [] -> (
           (* modules link through the society layer; plain declarations
              compile directly *)
@@ -65,16 +112,20 @@ let load ?(config = Community.default_config) (source : string) :
             else
               match Society.link society with
               | Ok module_decls -> Ok (module_decls @ rest)
-              | Error diags -> Error (String.concat "; " diags)
+              | Error diags -> Error (Error.Link diags)
           in
           match linked with
           | Error e -> Error e
           | Ok decls -> (
               match Compile.spec ~config decls with
-              | Error e -> Error (Compile.error_to_string e)
+              | Error e ->
+                  (* a compile error is a late static diagnostic *)
+                  Error
+                    (Error.Check
+                       (Check_error.error "%s" (Compile.error_to_string e)))
               | Ok (community, iface_decls) -> (
                   match Compile.instantiate_singles community with
-                  | Error r -> Error (Runtime_error.reason_to_string r)
+                  | Error r -> Error (Error.Runtime r)
                   | Ok () ->
                       let views =
                         List.map
@@ -84,16 +135,65 @@ let load ?(config = Community.default_config) (source : string) :
                       in
                       Ok { spec; community; views; diagnostics }))))
 
-let load_exn ?config source =
-  match load ?config source with Ok s -> s | Error e -> failwith e
+let read_file_res path : (string, Error.t) result =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    source
+  with
+  | source -> Ok source
+  | exception Sys_error m -> Error (Error.Io m)
 
-(** Load a specification from a file. *)
-let load_file ?config path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let source = really_input_string ic n in
-  close_in ic;
-  load ?config source
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type t = { sys : system }
+
+  let of_system sys = { sys }
+
+  let load ?config source = Result.map of_system (load_system ?config source)
+
+  let load_file ?config path =
+    match read_file_res path with
+    | Error e -> Error e
+    | Ok source -> load ?config source
+
+  let system s = s.sys
+  let community s = s.sys.community
+  let spec s = s.sys.spec
+  let diagnostics s = s.sys.diagnostics
+
+  let step s req = Engine.step s.sys.community req
+
+  let attr s target name : (Value.t, Error.t) result =
+    match Community.find_object s.sys.community target with
+    | None -> Error (Error.Runtime (Runtime_error.Unknown_object target))
+    | Some o -> (
+        match Eval.read_attr s.sys.community o name [] with
+        | v -> Ok v
+        | exception Runtime_error.Error r -> Error (Error.Runtime r))
+
+  let eval s (source : string) : (Value.t, Error.t) result =
+    match Parser.expr_of_string source with
+    | Error e -> Error (Error.Parse e)
+    | Ok e -> (
+        match Eval.expr s.sys.community ~env:Env.empty ~self:None e with
+        | v -> Ok v
+        | exception Runtime_error.Error r -> Error (Error.Runtime r))
+
+  let extension s cls =
+    Ident.Set.elements (Community.extension s.sys.community cls)
+
+  let run_active ?(fuel = 1000) s = Engine.run_active s.sys.community ~fuel
+  let view s name = List.assoc_opt name s.sys.views
+  let views s = s.sys.views
+end
+
+let step = Session.step
 
 (* ------------------------------------------------------------------ *)
 (* Animation                                                           *)
@@ -102,7 +202,7 @@ let load_file ?config path =
 let ident cls key = Ident.make cls key
 
 let create sys ~cls ~key ?event ?(args = []) () =
-  Engine.create sys.community ~cls ~key ?event ~args ()
+  Engine.step sys.community (Step.Create { cls; key; event; args })
 
 let create_exn sys ~cls ~key ?event ?args () =
   match create sys ~cls ~key ?event ?args () with
@@ -111,37 +211,13 @@ let create_exn sys ~cls ~key ?event ?args () =
 
 (** Fire one event (with its synchronous calling closure). *)
 let fire sys target name args =
-  Engine.fire sys.community (Event.make target name args)
+  Engine.step sys.community (Step.Fire (Event.make target name args))
 
 (** Fire a sequence of events as one atomic transaction. *)
-let fire_seq sys events = Engine.fire_seq sys.community events
+let fire_seq sys events = Engine.step sys.community (Step.Seq events)
 
 (** Fire several events simultaneously (event sharing). *)
-let fire_sync sys events = Engine.fire_sync sys.community events
-
-(** Read an attribute of a living object (derived attributes are
-    computed; inherited attributes are delegated to base aspects). *)
-let attr sys target name : (Value.t, string) result =
-  match Community.find_object sys.community target with
-  | None -> Error (Printf.sprintf "unknown object %s" (Ident.to_string target))
-  | Some o -> (
-      match Eval.read_attr sys.community o name [] with
-      | v -> Ok v
-      | exception Runtime_error.Error r ->
-          Error (Runtime_error.reason_to_string r))
-
-let attr_exn sys target name =
-  match attr sys target name with Ok v -> v | Error e -> failwith e
-
-(** Evaluate an expression in global scope (e.g. ["DEPT(\"s\").manager"]). *)
-let eval sys (source : string) : (Value.t, string) result =
-  match Parser.expr_of_string source with
-  | Error e -> Error (Parse_error.to_string e)
-  | Ok e -> (
-      match Eval.expr sys.community ~env:Env.empty ~self:None e with
-      | v -> Ok v
-      | exception Runtime_error.Error r ->
-          Error (Runtime_error.reason_to_string r))
+let fire_sync sys events = Engine.step sys.community (Step.Sync events)
 
 (** Living members of a class. *)
 let extension sys cls =
@@ -157,3 +233,31 @@ let view_exn sys name =
   match view sys name with
   | Some v -> v
   | None -> failwith (Printf.sprintf "no interface class %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated string-error wrappers                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse source = Result.map_error Error.to_string (parse_spec source)
+
+let load ?config source =
+  Result.map_error Error.to_string (load_system ?config source)
+
+let load_exn ?config source =
+  match load ?config source with Ok s -> s | Error e -> failwith e
+
+let load_file ?config path =
+  match read_file_res path with
+  | Error e -> Error (Error.to_string e)
+  | Ok source -> load ?config source
+
+let attr sys target name : (Value.t, string) result =
+  Result.map_error Error.to_string
+    (Session.attr (Session.of_system sys) target name)
+
+let attr_exn sys target name =
+  match attr sys target name with Ok v -> v | Error e -> failwith e
+
+let eval sys source : (Value.t, string) result =
+  Result.map_error Error.to_string
+    (Session.eval (Session.of_system sys) source)

@@ -5,7 +5,13 @@
               —compile→ Community (+ views) —animate→ Engine v}
     and every lower layer stays accessible ([Parser], [Typecheck],
     [Compile], [Engine], [Community], [Interface], [Refinement],
-    [Schema], [Society], [Persist], …). *)
+    [Schema], [Society], [Persist], …).
+
+    The primary API is {!Session}: a handle over a loaded system with
+    structured errors ({!Error.t}) and the single animation entry point
+    {!step} (every firing shape is a {!Step.t}).  The string-error
+    functions at the end of this interface are deprecated wrappers kept
+    for source compatibility. *)
 
 type system = {
   spec : Ast.spec;
@@ -14,9 +20,95 @@ type system = {
   diagnostics : Check_error.t list;  (** warnings from checking *)
 }
 
-(** {1 Front end} *)
+(** {1 Structured errors} *)
 
-val parse : string -> (Ast.spec, string) result
+module Error : sig
+  (** Everything the facade can report, with structure preserved:
+      parse errors keep their source location, checking errors their
+      diagnostic, engine rejections their {!Runtime_error.reason}. *)
+
+  type t =
+    | Parse of Parse_error.t  (** syntax error, with location *)
+    | Check of Check_error.t  (** static checking error, with location *)
+    | Link of string list  (** society linking diagnostics *)
+    | Runtime of Runtime_error.reason  (** rejection or engine error *)
+    | Io of string  (** file system trouble *)
+
+  val code : t -> string
+  (** Stable machine-facing code: ["parse_error"], ["check_error"],
+      ["link_error"], ["io_error"], or the {!Runtime_error.code} of the
+      wrapped reason (["permission_denied"], …). *)
+
+  val message : t -> string
+  (** The human-facing text, without location prefix. *)
+
+  val loc : t -> Loc.t option
+  (** Source location, when the error carries one. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+(** {1 Sessions}
+
+    A session is the unit of service: one loaded specification, its
+    community and views, animated through {!step}.  The society server
+    ([lib/server]) holds exactly one session and decodes every wire
+    request against it. *)
+
+module Session : sig
+  type t
+
+  val load : ?config:Community.config -> string -> (t, Error.t) result
+  (** Parse, check and compile; single objects with parameterless birth
+      events are instantiated, interface classes become ready views, and
+      module declarations are linked through the society layer.
+      Checking errors abort; warnings are carried in
+      [diagnostics]. *)
+
+  val load_file : ?config:Community.config -> string -> (t, Error.t) result
+
+  val of_system : system -> t
+  (** Wrap an already-loaded system (e.g. one built by hand through
+      [Compile]). *)
+
+  val system : t -> system
+  val community : t -> Community.t
+  val spec : t -> Ast.spec
+  val diagnostics : t -> Check_error.t list
+
+  (** {2 Animation} *)
+
+  val step : t -> Step.t -> Engine.step_result
+  (** Execute one step request as one atomic transaction — the single
+      entry point behind [fire]/[fire_seq]/[fire_sync]/[create]. *)
+
+  val attr : t -> Ident.t -> string -> (Value.t, Error.t) result
+  (** Observe an attribute (derived attributes are computed; inherited
+      ones delegate to base aspects). *)
+
+  val eval : t -> string -> (Value.t, Error.t) result
+  (** Evaluate an expression in global scope, e.g.
+      [{|DEPT("d").manager|}]. *)
+
+  val extension : t -> string -> Ident.t list
+  (** Living members of a class. *)
+
+  val run_active : ?fuel:int -> t -> Event.t list
+  (** Fire enabled active events to quiescence; returns them in
+      order. *)
+
+  val view : t -> string -> Interface.t option
+  val views : t -> (string * Interface.t) list
+end
+
+val parse_spec : string -> (Ast.spec, Error.t) result
+(** Parse a specification source text, keeping the error location. *)
+
+val step : Session.t -> Step.t -> Engine.step_result
+(** = {!Session.step}. *)
+
+(** {1 Front end} *)
 
 val check : Ast.spec -> Check_error.t list
 (** Static diagnostics (errors and warnings). *)
@@ -24,18 +116,23 @@ val check : Ast.spec -> Check_error.t list
 val pretty : Ast.spec -> string
 (** Canonical concrete syntax (re-parseable). *)
 
+val ident : string -> Value.t -> Ident.t
+
+(** {1 Deprecated string-error wrappers}
+
+    Source-compatible forerunners of the {!Session} API; each flattens
+    its structured error to a string.  New code should use {!Session}
+    and {!step}. *)
+
+val parse : string -> (Ast.spec, string) result
+(** @deprecated Use {!parse_spec}. *)
+
 val load : ?config:Community.config -> string -> (system, string) result
-(** Parse, check and compile; single objects with parameterless birth
-    events are instantiated, interface classes become ready views, and
-    module declarations are linked through the society layer.  Checking
-    errors abort; warnings are carried in [diagnostics]. *)
+(** @deprecated Use {!Session.load}. *)
 
 val load_exn : ?config:Community.config -> string -> system
 val load_file : ?config:Community.config -> string -> (system, string) result
-
-(** {1 Animation} *)
-
-val ident : string -> Value.t -> Ident.t
+(** @deprecated Use {!Session.load_file}. *)
 
 val create :
   system ->
@@ -45,7 +142,8 @@ val create :
   ?args:Value.t list ->
   unit ->
   Engine.step_result
-(** Fire the class's birth event ([event] defaults to the unique one). *)
+(** Fire the class's birth event ([event] defaults to the unique one).
+    Delegates to {!step} with a [Step.Create]. *)
 
 val create_exn :
   system ->
@@ -58,23 +156,22 @@ val create_exn :
 
 val fire : system -> Ident.t -> string -> Value.t list -> Engine.step_result
 (** Fire one event, with its synchronous calling closure; rejected steps
-    leave the community unchanged. *)
+    leave the community unchanged.  Delegates to {!step}. *)
 
 val fire_seq : system -> Event.t list -> Engine.step_result
-(** An atomic transaction of events. *)
+(** An atomic transaction of events.  Delegates to {!step}. *)
 
 val fire_sync : system -> Event.t list -> Engine.step_result
-(** Several events in one synchronous step (event sharing). *)
+(** Several events in one synchronous step (event sharing).  Delegates
+    to {!step}. *)
 
 val attr : system -> Ident.t -> string -> (Value.t, string) result
-(** Observe an attribute (derived attributes are computed; inherited
-    ones delegate to base aspects). *)
+(** @deprecated Use {!Session.attr}. *)
 
 val attr_exn : system -> Ident.t -> string -> Value.t
 
 val eval : system -> string -> (Value.t, string) result
-(** Evaluate an expression in global scope, e.g.
-    [{|DEPT("d").manager|}]. *)
+(** @deprecated Use {!Session.eval}. *)
 
 val extension : system -> string -> Ident.t list
 (** Living members of a class. *)

@@ -702,7 +702,7 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
     follow-ups are queued behind the remaining micro-steps.  Each
     micro-step runs under its own savepoint, so a violation unwinds the
     failing micro-step first and then aborts the whole attempt. *)
-let run_txn (c : Community.t) (micro_steps : Event.t list list) : step_result
+let exec_txn (c : Community.t) (micro_steps : Event.t list list) : step_result
     =
   let txn = Txn.begin_ c in
   match
@@ -734,57 +734,76 @@ let run_txn (c : Community.t) (micro_steps : Event.t list list) : step_result
       Txn.rollback txn;
       Error reason
 
+(** The single entry point: every way of changing the community is a
+    {!Step.t} executed here.  The firing shapes normalise to a
+    micro-step queue for {!exec_txn}; [Create]/[Destroy] resolve their
+    default birth/death event against the schema first. *)
+let rec step (c : Community.t) (s : Step.t) : step_result =
+  match s with
+  | Step.Fire ev -> exec_txn c [ [ ev ] ]
+  | Step.Sync evs -> exec_txn c [ evs ]
+  | Step.Seq evs -> exec_txn c (List.map (fun e -> [ e ]) evs)
+  | Step.Txn micro_steps -> exec_txn c micro_steps
+  | Step.Create { cls; key; event; args } -> (
+      match Community.find_template c cls with
+      | None -> Error (Unknown_class cls)
+      | Some tpl -> (
+          let birth =
+            match event with
+            | Some name -> (
+                match Template.find_event tpl name with
+                | Some ed when ed.Template.ed_kind = Ast.Ev_birth -> Some name
+                | Some _ | None -> None)
+            | None -> (
+                match Template.birth_events tpl with
+                | [ ed ] -> Some ed.Template.ed_name
+                | _ -> None)
+          in
+          match birth with
+          | None ->
+              Error
+                (Not_birth
+                   (Event.make (Ident.make cls key)
+                      (Option.value ~default:"<birth>" event)
+                      args))
+          | Some name ->
+              step c (Step.Fire (Event.make (Ident.make cls key) name args))))
+  | Step.Destroy { id; event; args } -> (
+      match Community.find_template c id.Ident.cls with
+      | None -> Error (Unknown_class id.Ident.cls)
+      | Some tpl -> (
+          let death =
+            match event with
+            | Some name -> Some name
+            | None -> (
+                match Template.death_events tpl with
+                | [ ed ] -> Some ed.Template.ed_name
+                | _ -> None)
+          in
+          match death with
+          | None -> Error (Unsupported "object has no unique death event")
+          | Some name -> step c (Step.Fire (Event.make id name args))))
+
 (** Fire a single event (with its synchronous closure). *)
-let fire c ev = run_txn c [ [ ev ] ]
+let fire c ev = step c (Step.Fire ev)
 
 (** Fire several events simultaneously (event sharing). *)
-let fire_sync c evs = run_txn c [ evs ]
+let fire_sync c evs = step c (Step.Sync evs)
 
 (** Fire a sequence of events as one atomic transaction. *)
-let fire_seq c evs = run_txn c (List.map (fun e -> [ e ]) evs)
+let fire_seq c evs = step c (Step.Seq evs)
+
+(** General form: a queue of micro-steps as one transaction. *)
+let run_txn c micro_steps = step c (Step.Txn micro_steps)
 
 (** Create an object: fire the class's birth event.  [event] defaults to
     the unique birth event of the template. *)
 let create c ~cls ~key ?event ?(args = []) () : step_result =
-  match Community.find_template c cls with
-  | None -> Error (Unknown_class cls)
-  | Some tpl -> (
-      let birth =
-        match event with
-        | Some name -> (
-            match Template.find_event tpl name with
-            | Some ed when ed.Template.ed_kind = Ast.Ev_birth -> Some name
-            | Some _ | None -> None)
-        | None -> (
-            match Template.birth_events tpl with
-            | [ ed ] -> Some ed.Template.ed_name
-            | _ -> None)
-      in
-      match birth with
-      | None ->
-          Error
-            (Not_birth
-               (Event.make (Ident.make cls key)
-                  (Option.value ~default:"<birth>" event)
-                  args))
-      | Some name -> fire c (Event.make (Ident.make cls key) name args))
+  step c (Step.Create { cls; key; event; args })
 
 (** Kill an object: fire the (unique) death event. *)
 let destroy c ~id ?event ?(args = []) () : step_result =
-  match Community.find_template c id.Ident.cls with
-  | None -> Error (Unknown_class id.Ident.cls)
-  | Some tpl -> (
-      let death =
-        match event with
-        | Some name -> Some name
-        | None -> (
-            match Template.death_events tpl with
-            | [ ed ] -> Some ed.Template.ed_name
-            | _ -> None)
-      in
-      match death with
-      | None -> Error (Unsupported "object has no unique death event")
-      | Some name -> fire c (Event.make id name args))
+  step c (Step.Destroy { id; event; args })
 
 (** Fire enabled active events until quiescence or [fuel] runs out.
     Only parameterless active events are considered (argument synthesis

@@ -17,19 +17,30 @@ type outcome = {
 
 type step_result = (outcome, Runtime_error.reason) result
 
-(** {1 Firing events} *)
+(** {1 Executing steps}
+
+    {!step} is the single entry point: the firing shapes, creation and
+    destruction are all constructors of {!Step.t}, and the convenience
+    functions below are thin delegators.  The wire protocol of
+    [lib/server] decodes to the same type. *)
+
+val step : Community.t -> Step.t -> step_result
+(** Execute one step request as one atomic transaction. *)
 
 val fire : Community.t -> Event.t -> step_result
-(** Fire a single event (with its synchronous closure). *)
+(** [step c (Step.Fire ev)]: a single event, with its synchronous
+    closure. *)
 
 val fire_sync : Community.t -> Event.t list -> step_result
-(** Fire several events simultaneously (event sharing). *)
+(** [step c (Step.Sync evs)]: several events simultaneously (event
+    sharing). *)
 
 val fire_seq : Community.t -> Event.t list -> step_result
-(** Fire a sequence of events as one atomic transaction. *)
+(** [step c (Step.Seq evs)]: a sequence of events as one atomic
+    transaction. *)
 
 val run_txn : Community.t -> Event.t list list -> step_result
-(** General form: a queue of micro-steps executed as one transaction. *)
+(** [step c (Step.Txn micro_steps)]: the general micro-step queue. *)
 
 val create :
   Community.t ->
@@ -39,12 +50,14 @@ val create :
   ?args:Value.t list ->
   unit ->
   step_result
-(** Fire a birth event ([event] defaults to the template's unique one). *)
+(** [step c (Step.Create _)]: fire a birth event ([event] defaults to
+    the template's unique one). *)
 
 val destroy :
   Community.t -> id:Ident.t -> ?event:string -> ?args:Value.t list -> unit ->
   step_result
-(** Fire the (unique, unless named) death event. *)
+(** [step c (Step.Destroy _)]: fire the (unique, unless named) death
+    event. *)
 
 val run_active : Community.t -> fuel:int -> Event.t list
 (** Fire enabled parameterless [active] events until quiescence or fuel

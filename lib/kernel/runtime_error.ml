@@ -49,3 +49,19 @@ let pp_reason ppf = function
   | Unsupported m -> Format.fprintf ppf "unsupported construct: %s" m
 
 let reason_to_string r = Format.asprintf "%a" pp_reason r
+
+(* stable wire codes: one per constructor, never reworded (clients
+   dispatch on them) *)
+let code = function
+  | Unknown_class _ -> "unknown_class"
+  | Unknown_object _ -> "unknown_object"
+  | Unknown_event _ -> "unknown_event"
+  | Unknown_attribute _ -> "unknown_attribute"
+  | Already_alive _ -> "already_alive"
+  | Not_alive _ -> "not_alive"
+  | Not_birth _ -> "not_birth"
+  | Permission_denied _ -> "permission_denied"
+  | Constraint_violated _ -> "constraint_violated"
+  | Valuation_conflict _ -> "valuation_conflict"
+  | Eval_error _ -> "eval_error"
+  | Unsupported _ -> "unsupported"

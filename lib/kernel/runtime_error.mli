@@ -27,3 +27,9 @@ val fail : reason -> 'a
 
 val pp_reason : Format.formatter -> reason -> unit
 val reason_to_string : reason -> string
+
+val code : reason -> string
+(** A stable snake_case code naming the constructor
+    (["permission_denied"], ["unknown_class"], …) — the machine-facing
+    half of a rejection, used by structured error frames on the wire;
+    {!reason_to_string} is the human-facing half. *)

@@ -1,0 +1,70 @@
+(** The unified step request — see the interface for the contract. *)
+
+type t =
+  | Fire of Event.t
+  | Sync of Event.t list
+  | Seq of Event.t list
+  | Txn of Event.t list list
+  | Create of {
+      cls : string;
+      key : Value.t;
+      event : string option;
+      args : Value.t list;
+    }
+  | Destroy of { id : Ident.t; event : string option; args : Value.t list }
+
+let micro_steps = function
+  | Fire ev -> Some [ [ ev ] ]
+  | Sync evs -> Some [ evs ]
+  | Seq evs -> Some (List.map (fun e -> [ e ]) evs)
+  | Txn ms -> Some ms
+  | Create _ | Destroy _ -> None
+
+let pp_events ppf evs =
+  Format.fprintf ppf "@[<hov 1>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Event.pp)
+    evs
+
+let pp ppf = function
+  | Fire ev -> Format.fprintf ppf "fire %a" Event.pp ev
+  | Sync evs -> Format.fprintf ppf "sync %a" pp_events evs
+  | Seq evs ->
+      Format.fprintf ppf "seq @[<hov 1>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           Event.pp)
+        evs
+  | Txn ms ->
+      Format.fprintf ppf "txn @[<hov 1>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_events)
+        ms
+  | Create { cls; key; event; args } ->
+      Format.fprintf ppf "create %s(%a)%s%a" cls Value.pp key
+        (match event with Some e -> " " ^ e | None -> "")
+        (fun ppf -> function
+          | [] -> ()
+          | args ->
+              Format.fprintf ppf "(%a)"
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+                   Value.pp)
+                args)
+        args
+  | Destroy { id; event; args } ->
+      Format.fprintf ppf "destroy %a%s%a" Ident.pp id
+        (match event with Some e -> " " ^ e | None -> "")
+        (fun ppf -> function
+          | [] -> ()
+          | args ->
+              Format.fprintf ppf "(%a)"
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+                   Value.pp)
+                args)
+        args
+
+let to_string s = Format.asprintf "%a" pp s

@@ -76,3 +76,88 @@ let txn_stats_rows () =
   ]
 
 let pp_txn_stats ppf () = Txn.pp_stats ppf (Txn.stats ())
+
+(* ------------------------------------------------------------------ *)
+(* Latency histograms                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Latency = struct
+  (* log2 buckets over microseconds: bucket [i] counts samples with
+     us <= 2^i, the last bucket is the overflow.  31 buckets cover
+     1 us .. ~17 min, enough for any request latency. *)
+  let bucket_count = 32
+
+  type t = {
+    buckets : int array;  (** [bucket_count] counts, last = overflow *)
+    mutable count : int;
+    mutable sum_us : float;
+    mutable max_us : float;
+  }
+
+  let create () =
+    {
+      buckets = Array.make bucket_count 0;
+      count = 0;
+      sum_us = 0.;
+      max_us = 0.;
+    }
+
+  let bucket_of_us us =
+    let rec find i bound =
+      if i >= bucket_count - 1 then bucket_count - 1
+      else if us <= bound then i
+      else find (i + 1) (bound *. 2.)
+    in
+    find 0 1.
+
+  let record t seconds =
+    let us = seconds *. 1e6 in
+    let us = if us < 0. then 0. else us in
+    t.buckets.(bucket_of_us us) <- t.buckets.(bucket_of_us us) + 1;
+    t.count <- t.count + 1;
+    t.sum_us <- t.sum_us +. us;
+    if us > t.max_us then t.max_us <- us
+
+  let count t = t.count
+  let mean_us t = if t.count = 0 then 0. else t.sum_us /. float_of_int t.count
+  let max_us t = t.max_us
+
+  (** Non-empty buckets as [(upper bound in us, count)]; the overflow
+      bucket reports an infinite bound. *)
+  let buckets t =
+    let rows = ref [] in
+    let bound = ref 1. in
+    for i = 0 to bucket_count - 1 do
+      if t.buckets.(i) > 0 then
+        rows :=
+          ( (if i = bucket_count - 1 then infinity else !bound),
+            t.buckets.(i) )
+          :: !rows;
+      bound := !bound *. 2.
+    done;
+    List.rev !rows
+
+  (** Smallest bucket upper bound such that at least [q] (0..1) of the
+      samples fall at or below it — an upper estimate of the
+      q-quantile. *)
+  let quantile_us t q =
+    if t.count = 0 then 0.
+    else begin
+      let target =
+        int_of_float (ceil (q *. float_of_int t.count))
+        |> max 1 |> min t.count
+      in
+      let seen = ref 0 and bound = ref 1. and result = ref infinity in
+      (try
+         for i = 0 to bucket_count - 1 do
+           seen := !seen + t.buckets.(i);
+           if !seen >= target then begin
+             result := (if i = bucket_count - 1 then infinity else !bound);
+             raise Exit
+           end;
+           bound := !bound *. 2.
+         done
+       with Exit -> ());
+      !result
+    end
+end

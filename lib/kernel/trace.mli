@@ -30,3 +30,31 @@ val txn_stats_rows : unit -> (string * int) list
 (** The counters as labelled rows, for tabular front ends. *)
 
 val pp_txn_stats : Format.formatter -> unit -> unit
+
+(** {1 Latency histograms}
+
+    Fixed log2-bucket histograms over microseconds, cheap enough to
+    record on every request — the society server keeps one per request
+    kind and reports them through its [stats] request. *)
+
+module Latency : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> float -> unit
+  (** Record one sample, in {e seconds} (as measured by
+      [Unix.gettimeofday] differences); negative samples clamp to 0. *)
+
+  val count : t -> int
+  val mean_us : t -> float
+  val max_us : t -> float
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets, ascending: [(upper bound in us, count)]; the
+      overflow bucket has bound [infinity]. *)
+
+  val quantile_us : t -> float -> float
+  (** Upper estimate of the q-quantile (q in 0..1): the smallest bucket
+      bound covering at least that fraction of samples. *)
+end

@@ -1,0 +1,31 @@
+(** Newline-delimited JSON framing — see the interface. *)
+
+let max_frame_bytes = 4 * 1024 * 1024
+
+type read = Frame of Json.t | Malformed of string | Eof
+
+let decode_line line =
+  let line =
+    (* tolerate CRLF clients *)
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.length line = 0 then None
+  else if String.length line > max_frame_bytes then
+    Some
+      (Malformed (Printf.sprintf "frame longer than %d bytes" max_frame_bytes))
+  else
+    match Json.of_string line with
+    | Ok doc -> Some (Frame doc)
+    | Error msg -> Some (Malformed msg)
+
+let rec read ic =
+  match input_line ic with
+  | exception End_of_file -> Eof
+  | line -> ( match decode_line line with None -> read ic | Some r -> r)
+
+let to_line doc = Json.to_string doc ^ "\n"
+
+let write oc doc =
+  output_string oc (to_line doc);
+  flush oc

@@ -1,0 +1,308 @@
+(** Minimal JSON — see the interface for the contract. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> escape_into buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          print_into buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          print_into buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect cur ch =
+  match peek cur with
+  | Some c when c = ch -> advance cur
+  | Some c -> raise (Bad (Printf.sprintf "expected '%c', found '%c'" ch c))
+  | None -> raise (Bad (Printf.sprintf "expected '%c', found end of input" ch))
+
+let parse_keyword cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.src
+    && String.sub cur.src cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else raise (Bad (Printf.sprintf "invalid literal (expected %s)" word))
+
+let parse_hex4 cur =
+  if cur.pos + 4 > String.length cur.src then raise (Bad "truncated \\u escape");
+  let s = String.sub cur.src cur.pos 4 in
+  cur.pos <- cur.pos + 4;
+  match int_of_string_opt ("0x" ^ s) with
+  | Some n -> n
+  | None -> raise (Bad "malformed \\u escape")
+
+(* encode a Unicode scalar value as UTF-8 *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let parse_string_body cur =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> raise (Bad "unterminated string")
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> raise (Bad "unterminated escape")
+        | Some c ->
+            advance cur;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' -> (
+                let u = parse_hex4 cur in
+                (* surrogate pair *)
+                if u >= 0xd800 && u <= 0xdbff then begin
+                  expect cur '\\';
+                  expect cur 'u';
+                  let lo = parse_hex4 cur in
+                  if lo < 0xdc00 || lo > 0xdfff then
+                    raise (Bad "invalid surrogate pair");
+                  add_utf8 buf
+                    (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+                end
+                else add_utf8 buf u)
+            | c -> raise (Bad (Printf.sprintf "invalid escape '\\%c'" c)));
+            loop ())
+    | Some c when Char.code c < 0x20 -> raise (Bad "control byte in string")
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let consume () =
+    while
+      match peek cur with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance cur;
+          true
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance cur;
+          true
+      | _ -> false
+    do
+      ()
+    done
+  in
+  consume ();
+  let text = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> raise (Bad (Printf.sprintf "malformed number %S" text))
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        (* integer literal beyond OCaml's int range *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> raise (Bad (Printf.sprintf "malformed number %S" text)))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> raise (Bad "empty input")
+  | Some 'n' -> parse_keyword cur "null" Null
+  | Some 't' -> parse_keyword cur "true" (Bool true)
+  | Some 'f' -> parse_keyword cur "false" (Bool false)
+  | Some '"' ->
+      advance cur;
+      String (parse_string_body cur)
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value cur ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          advance cur;
+          items := parse_value cur :: !items;
+          skip_ws cur
+        done;
+        expect cur ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cur;
+          expect cur '"';
+          let k = parse_string_body cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          advance cur;
+          fields := field () :: !fields;
+          skip_ws cur
+        done;
+        expect cur '}';
+        Obj (List.rev !fields)
+      end
+  | Some c -> raise (Bad (Printf.sprintf "unexpected character '%c'" c))
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos < String.length s then Error "trailing garbage after document"
+      else Ok v
+  | exception Bad msg -> Error msg
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | String x, String y -> String.equal x y
+  | List x, List y ->
+      List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           x y
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> Null)
+  | _ -> Null
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_list = function List l -> l | _ -> []

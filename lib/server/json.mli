@@ -1,0 +1,35 @@
+(** Minimal JSON: the tree, a strict parser and a compact printer.
+
+    Self-contained (the build image carries no JSON package) and small
+    on purpose: just what the newline-delimited wire protocol needs.
+    Numbers parse to [Int] when they are exact OCaml integers and to
+    [Float] otherwise; printing never emits raw newlines, so one
+    document always fits one frame. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line, valid UTF-8 pass-through with the mandatory
+    escapes. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one document; rejects trailing garbage. *)
+
+val equal : t -> t -> bool
+
+(** {1 Accessors} — total, for decoding requests *)
+
+val member : string -> t -> t
+(** Field of an object; [Null] when absent or not an object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_list : t -> t list
+(** The elements of a [List]; [[]] otherwise. *)

@@ -1,0 +1,496 @@
+(** The society server — a single-threaded [select] loop.  See the
+    interface for the execution model. *)
+
+type config = {
+  queue_capacity : int;
+  default_deadline_ms : int option;
+  save_on_shutdown : string option;
+}
+
+let default_config =
+  { queue_capacity = 1024; default_deadline_ms = None; save_on_shutdown = None }
+
+(* one client connection; [pending] buffers bytes up to the next
+   newline *)
+type conn = {
+  fd : Unix.file_descr;
+  out_fd : Unix.file_descr;  (** = [fd] except in stdio mode *)
+  mutable pending : Buffer.t;
+  mutable alive : bool;
+}
+
+type job = {
+  conn : conn;
+  id : Json.t;
+  request : Protocol.request;
+  op : string;
+  enqueued_at : float;
+  deadline : float option;  (** absolute, seconds since epoch *)
+}
+
+type counters = {
+  mutable received : int;
+  mutable executed : int;
+  mutable ok : int;
+  mutable rejected : int;  (** structured errors from execution *)
+  mutable expired : int;
+  mutable overloaded : int;
+  mutable shed : int;  (** answered [shutting_down] while draining *)
+  mutable malformed : int;
+}
+
+type t = {
+  session : Troll.Session.t;
+  config : config;
+  queue : job Queue.t;
+  mutable draining : bool;
+  mutable conns : conn list;
+  stats : counters;
+  latency : (string, Trace.Latency.t) Hashtbl.t;
+}
+
+let create ?(config = default_config) session =
+  {
+    session;
+    config;
+    queue = Queue.create ();
+    draining = false;
+    conns = [];
+    stats =
+      {
+        received = 0;
+        executed = 0;
+        ok = 0;
+        rejected = 0;
+        expired = 0;
+        overloaded = 0;
+        shed = 0;
+        malformed = 0;
+      };
+    latency = Hashtbl.create 16;
+  }
+
+let stop t = t.draining <- true
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let send conn frame =
+  if conn.alive then begin
+    let line = Frame.to_line frame in
+    let len = String.length line in
+    let pos = ref 0 in
+    try
+      while !pos < len do
+        pos := !pos + Unix.write_substring conn.out_fd line !pos (len - !pos)
+      done
+    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+  end
+
+let send_error conn ~id err = send conn (Protocol.error_frame ~id err)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let record_latency t op seconds =
+  let h =
+    match Hashtbl.find_opt t.latency op with
+    | Some h -> h
+    | None ->
+        let h = Trace.Latency.create () in
+        Hashtbl.add t.latency op h;
+        h
+  in
+  Trace.Latency.record h seconds
+
+let json_of_us us =
+  if us = infinity then Json.Null else Json.Int (int_of_float us)
+
+let stats_json t : Json.t =
+  let s = t.stats in
+  let latency_rows =
+    Hashtbl.fold
+      (fun op h acc ->
+        ( op,
+          Json.Obj
+            [
+              ("count", Json.Int (Trace.Latency.count h));
+              ("mean_us", Json.Int (int_of_float (Trace.Latency.mean_us h)));
+              ("max_us", Json.Int (int_of_float (Trace.Latency.max_us h)));
+              ("p50_us", json_of_us (Trace.Latency.quantile_us h 0.5));
+              ("p99_us", json_of_us (Trace.Latency.quantile_us h 0.99));
+              ( "buckets",
+                Json.List
+                  (List.map
+                     (fun (bound, count) ->
+                       Json.List [ json_of_us bound; Json.Int count ])
+                     (Trace.Latency.buckets h)) );
+            ] )
+        :: acc)
+      t.latency []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Json.Obj
+    [
+      ( "server",
+        Json.Obj
+          [
+            ("received", Json.Int s.received);
+            ("executed", Json.Int s.executed);
+            ("ok", Json.Int s.ok);
+            ("rejected", Json.Int s.rejected);
+            ("expired", Json.Int s.expired);
+            ("overloaded", Json.Int s.overloaded);
+            ("shed", Json.Int s.shed);
+            ("malformed", Json.Int s.malformed);
+            ("queue_depth", Json.Int (Queue.length t.queue));
+            ("draining", Json.Bool t.draining);
+          ] );
+      ( "txn",
+        Json.Obj
+          (List.map
+             (fun (label, n) -> (label, Json.Int n))
+             (Trace.txn_stats_rows ())) );
+      ("latency_us", Json.Obj latency_rows);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let instance_to_json (inst : Interface.instance) : Json.t =
+  Json.Obj (List.map (fun (n, id) -> (n, Protocol.ident_to_json id)) inst)
+
+let execute t (req : Protocol.request) :
+    (Json.t, Protocol.Wire_error.t) result =
+  let s = t.session in
+  let community = Troll.Session.community s in
+  match req with
+  | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Step step -> (
+      match Troll.step s step with
+      | Ok outcome -> Ok (Protocol.outcome_to_json outcome)
+      | Error reason -> Error (Protocol.Wire_error.of_reason reason))
+  | Protocol.Attr { target; attr } -> (
+      match Troll.Session.attr s target attr with
+      | Ok v -> Ok (Json.Obj [ ("value", Protocol.value_to_json v) ])
+      | Error e -> Error (Protocol.Wire_error.of_error e))
+  | Protocol.Eval expr -> (
+      match Troll.Session.eval s expr with
+      | Ok v -> Ok (Json.Obj [ ("value", Protocol.value_to_json v) ])
+      | Error e -> Error (Protocol.Wire_error.of_error e))
+  | Protocol.Extension cls -> (
+      match Community.find_template community cls with
+      | None ->
+          Error
+            (Protocol.Wire_error.of_reason (Runtime_error.Unknown_class cls))
+      | Some _ ->
+          Ok
+            (Json.Obj
+               [
+                 ( "members",
+                   Json.List
+                     (List.map Protocol.ident_to_json
+                        (Troll.Session.extension s cls)) );
+               ]))
+  | Protocol.View { view; what } -> (
+      match Troll.Session.view s view with
+      | None ->
+          Error
+            (Protocol.Wire_error.make ~code:"unknown_view"
+               (Printf.sprintf "no interface class %s" view))
+      | Some v -> (
+          match what with
+          | Protocol.Rows ->
+              Ok
+                (Json.Obj
+                   [
+                     ("view", Json.String view);
+                     ( "attrs",
+                       Json.List
+                         (List.map
+                            (fun n -> Json.String n)
+                            (Interface.attr_names v)) );
+                     ( "rows",
+                       Json.List
+                         (List.map Protocol.value_to_json
+                            (Interface.tabulate v)) );
+                   ])
+          | Protocol.Members ->
+              Ok
+                (Json.Obj
+                   [
+                     ("view", Json.String view);
+                     ( "members",
+                       Json.List
+                         (List.map instance_to_json (Interface.extension v))
+                     );
+                   ])))
+  | Protocol.Save None ->
+      Ok (Json.Obj [ ("state", Json.String (Persist.save community)) ])
+  | Protocol.Save (Some path) -> (
+      match Persist.save_file community path with
+      | () -> Ok (Json.Obj [ ("path", Json.String path) ])
+      | exception Sys_error m ->
+          Error (Protocol.Wire_error.make ~code:"io_error" m))
+  | Protocol.Restore { path; state } -> (
+      let dump =
+        match (state, path) with
+        | Some s, _ -> Ok s
+        | None, Some p -> (
+            match
+              let ic = open_in_bin p in
+              let n = in_channel_length ic in
+              let s = really_input_string ic n in
+              close_in ic;
+              s
+            with
+            | s -> Ok s
+            | exception Sys_error m ->
+                Error (Protocol.Wire_error.make ~code:"io_error" m))
+        | None, None ->
+            Error
+              (Protocol.Wire_error.make ~code:"bad_request"
+                 "restore needs a \"path\" or a \"state\"")
+      in
+      match dump with
+      | Error e -> Error e
+      | Ok dump -> (
+          match Persist.load community dump with
+          | Ok () -> Ok (Json.Obj [ ("restored", Json.Bool true) ])
+          | Error m ->
+              Error (Protocol.Wire_error.make ~code:"restore_error" m)))
+  | Protocol.Stats -> Ok (stats_json t)
+  | Protocol.Shutdown -> Ok (Json.Obj [ ("draining", Json.Bool true) ])
+
+(* ------------------------------------------------------------------ *)
+(* The queue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let process t (job : job) =
+  let now = Unix.gettimeofday () in
+  (match job.deadline with
+  | Some d when now >= d ->
+      t.stats.expired <- t.stats.expired + 1;
+      send_error job.conn ~id:job.id
+        (Protocol.Wire_error.make ~code:"deadline_expired"
+           "deadline passed before execution")
+  | _ -> (
+      let result = execute t job.request in
+      t.stats.executed <- t.stats.executed + 1;
+      (match result with
+      | Ok body ->
+          t.stats.ok <- t.stats.ok + 1;
+          send job.conn (Protocol.ok_frame ~id:job.id body)
+      | Error err ->
+          t.stats.rejected <- t.stats.rejected + 1;
+          send_error job.conn ~id:job.id err);
+      (* shutdown drains: admission stops, the queue finishes *)
+      match job.request with Protocol.Shutdown -> stop t | _ -> ()));
+  record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at)
+
+let admit t (job : job) =
+  if t.draining then begin
+    t.stats.shed <- t.stats.shed + 1;
+    send_error job.conn ~id:job.id
+      (Protocol.Wire_error.make ~code:"shutting_down" "server is draining")
+  end
+  else if Queue.length t.queue >= t.config.queue_capacity then begin
+    t.stats.overloaded <- t.stats.overloaded + 1;
+    send_error job.conn ~id:job.id
+      (Protocol.Wire_error.make ~code:"overloaded"
+         (Printf.sprintf "admission queue full (%d requests)"
+            t.config.queue_capacity))
+  end
+  else Queue.add job t.queue
+
+let handle_frame t conn (read : Frame.read) =
+  match read with
+  | Frame.Eof -> assert false
+  | Frame.Malformed msg ->
+      t.stats.malformed <- t.stats.malformed + 1;
+      send_error conn ~id:Json.Null
+        (Protocol.Wire_error.make ~code:"bad_request"
+           (Printf.sprintf "malformed frame: %s" msg))
+  | Frame.Frame doc -> (
+      let env = Protocol.decode doc in
+      match env.Protocol.request with
+      | Error msg ->
+          t.stats.malformed <- t.stats.malformed + 1;
+          send_error conn ~id:env.Protocol.req_id
+            (Protocol.Wire_error.make ~code:"bad_request" msg)
+      | Ok request ->
+          t.stats.received <- t.stats.received + 1;
+          let enqueued_at = Unix.gettimeofday () in
+          let deadline_ms =
+            match env.Protocol.deadline_ms with
+            | Some ms -> Some ms
+            | None -> t.config.default_deadline_ms
+          in
+          admit t
+            {
+              conn;
+              id = env.Protocol.req_id;
+              request;
+              op = Protocol.op_name request;
+              enqueued_at;
+              deadline =
+                Option.map
+                  (fun ms -> enqueued_at +. (float_of_int ms /. 1000.))
+                  deadline_ms;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Connection input                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    if conn.out_fd <> conn.fd then
+      try Unix.close conn.out_fd with Unix.Unix_error _ -> ()
+  end
+
+(** Drain complete lines out of the connection's pending buffer. *)
+let feed_lines t conn =
+  let data = Buffer.contents conn.pending in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from data !start '\n' with
+       | exception Not_found -> raise Exit
+       | nl ->
+           let line = String.sub data !start (nl - !start) in
+           start := nl + 1;
+           (match Frame.decode_line line with
+           | None -> ()
+           | Some read -> handle_frame t conn read)
+     done
+   with Exit -> ());
+  let rest = String.sub data !start (n - !start) in
+  Buffer.clear conn.pending;
+  Buffer.add_string conn.pending rest;
+  if Buffer.length conn.pending > Frame.max_frame_bytes then begin
+    send_error conn ~id:Json.Null
+      (Protocol.Wire_error.make ~code:"bad_request"
+         (Printf.sprintf "frame longer than %d bytes" Frame.max_frame_bytes));
+    close_conn conn
+  end
+
+let read_chunk_size = 65536
+
+(** Read once from a select-ready connection; [false] on end of
+    input. *)
+let service_input t conn =
+  let buf = Bytes.create read_chunk_size in
+  match Unix.read conn.fd buf 0 read_chunk_size with
+  | 0 -> false
+  | n ->
+      Buffer.add_subbytes conn.pending buf 0 n;
+      feed_lines t conn;
+      true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* The serve loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let flush_snapshot t =
+  match t.config.save_on_shutdown with
+  | None -> ()
+  | Some path -> Persist.save_file (Troll.Session.community t.session) path
+
+(** One select-poll-and-execute turn; [listener] accepts new
+    connections while not draining.  [input_open] is false once the
+    (stdio) input saw EOF. *)
+let serve_loop t ~listener =
+  let input_open = ref true in
+  let rec loop () =
+    let done_ =
+      t.draining && Queue.is_empty t.queue
+      || (listener = None && (not !input_open) && Queue.is_empty t.queue)
+    in
+    if not done_ then begin
+      let read_fds =
+        (match listener with Some l when not t.draining -> [ l ] | _ -> [])
+        @ List.filter_map
+            (fun c -> if c.alive && !input_open then Some c.fd else None)
+            t.conns
+      in
+      let timeout = if Queue.is_empty t.queue then 0.1 else 0. in
+      (match Unix.select read_fds [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if Some fd = listener then begin
+                match Unix.accept fd with
+                | exception Unix.Unix_error (_, _, _) -> ()
+                | cfd, _ ->
+                    t.conns <-
+                      {
+                        fd = cfd;
+                        out_fd = cfd;
+                        pending = Buffer.create 256;
+                        alive = true;
+                      }
+                      :: t.conns
+              end
+              else
+                match List.find_opt (fun c -> c.fd = fd) t.conns with
+                | None -> ()
+                | Some conn ->
+                    if not (service_input t conn) then
+                      if listener = None then
+                        (* stdio: end of input means drain and exit *)
+                        input_open := false
+                      else begin
+                        close_conn conn;
+                        t.conns <-
+                          List.filter (fun c -> c.alive) t.conns
+                      end)
+            ready);
+      if not (Queue.is_empty t.queue) then process t (Queue.pop t.queue);
+      loop ()
+    end
+  in
+  loop ()
+
+let serve_fds t in_fd out_fd =
+  let conn =
+    { fd = in_fd; out_fd; pending = Buffer.create 256; alive = true }
+  in
+  t.conns <- conn :: t.conns;
+  serve_loop t ~listener:None;
+  flush_snapshot t
+
+let listen_unix t ~path =
+  (if Sys.file_exists path then
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 64;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let on_signal _ = stop t in
+  let previous =
+    List.filter_map
+      (fun s ->
+        try Some (s, Sys.signal s (Sys.Signal_handle on_signal))
+        with Invalid_argument _ | Sys_error _ -> None)
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  serve_loop t ~listener:(Some listener);
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  List.iter close_conn t.conns;
+  t.conns <- [];
+  List.iter (fun (s, behaviour) -> Sys.set_signal s behaviour) previous;
+  flush_snapshot t

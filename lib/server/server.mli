@@ -1,0 +1,65 @@
+(** The society server: one loaded {!Troll.Session}, served to many
+    clients over newline-delimited JSON frames.
+
+    External-schema architecture (§2 of the paper): clients never hold
+    the community — they speak the {!Protocol} against a session held by
+    the daemon, and interface classes mediate their view of it.
+
+    {b Execution model.}  A single-threaded [select] loop multiplexes
+    every connection.  Complete frames are decoded and admitted to a
+    bounded queue with per-request deadlines; between polls the loop
+    executes queued requests one at a time, in admission order, against
+    the journaled engine — so every mutating request is one transaction
+    and a rejected request leaves the community bit-identical.  A
+    request whose deadline passes while it is still queued is answered
+    [deadline_expired] without touching the engine; a request arriving
+    on a full queue is answered [overloaded] immediately.
+
+    {b Shutdown.}  A [shutdown] request (or {!stop}, wired to
+    SIGINT/SIGTERM by {!listen_unix}) stops admission; requests already
+    admitted are drained in order, then the optional snapshot is
+    flushed, connections close, and the serve call returns.  Frames
+    already buffered behind the shutdown are answered
+    [shutting_down]. *)
+
+type config = {
+  queue_capacity : int;  (** admission bound; beyond it: [overloaded] *)
+  default_deadline_ms : int option;
+      (** applied when a request carries no [deadline_ms]; [None] =
+          no deadline *)
+  save_on_shutdown : string option;
+      (** flush a {!Persist} snapshot here after draining *)
+}
+
+val default_config : config
+(** Queue of 1024, no default deadline, no snapshot. *)
+
+type t
+
+val create : ?config:config -> Troll.Session.t -> t
+
+val execute :
+  t -> Protocol.request -> (Json.t, Protocol.Wire_error.t) result
+(** Execute one request against the session, bypassing queue and
+    deadlines — the loop's core, exposed for direct use and testing.
+    [Shutdown] only reports; draining is the caller's business. *)
+
+val serve_fds : t -> Unix.file_descr -> Unix.file_descr -> unit
+(** Serve one connection reading from the first and writing to the
+    second descriptor (the [--stdio] mode).  Returns once the input is
+    exhausted (or a [shutdown] request was served) and every admitted
+    request has been answered. *)
+
+val listen_unix : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale socket
+    file), serve until shutdown, then close every connection and
+    remove the socket file.  Installs SIGINT/SIGTERM handlers that
+    trigger {!stop}, and ignores SIGPIPE. *)
+
+val stop : t -> unit
+(** Begin draining: stop admitting, finish the queue, return from the
+    serve call.  Idempotent; safe from signal handlers. *)
+
+val stats_json : t -> Json.t
+(** The [stats] result document: server counters, queue depth,
+    {!Trace.txn_stats_rows}, and per-op latency histograms. *)

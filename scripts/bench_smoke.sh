@@ -1,7 +1,8 @@
 #!/bin/sh
 # Benchmark smoke run: quick-mode E3 (rollback) and E10 (probe vs
 # clone), with the E10 numbers emitted as BENCH_E10.json at the repo
-# root so the perf trajectory is tracked in-tree.
+# root so the perf trajectory is tracked in-tree, plus the E11 socket
+# round-trip benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -9,7 +10,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-dune build bench/main.exe
+dune build bench/main.exe bench/serve_bench.exe
+
+git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date_utc=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+host=$(hostname 2>/dev/null || echo unknown)
 
 echo "== E3 (transaction rollback) =="
 dune exec bench/main.exe -- --quick --filter E3
@@ -20,11 +25,14 @@ out=$(dune exec bench/main.exe -- --quick --filter E10)
 printf '%s\n' "$out"
 
 # Quick-mode rows are "<name padded to 44> <ns/run>"; turn the E10
-# rows into a small JSON document.
-printf '%s\n' "$out" | awk '
+# rows into a small JSON document with provenance.
+printf '%s\n' "$out" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
   BEGIN {
     print "{"
     print "  \"experiment\": \"E10\","
+    printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"host\": \"%s\",\n", host
     print "  \"unit\": \"ns/run\","
     print "  \"results\": ["
     n = 0
@@ -47,3 +55,7 @@ printf '%s\n' "$out" | awk '
 echo
 echo "wrote BENCH_E10.json:"
 cat BENCH_E10.json
+
+echo
+echo "== E11 (serve socket round-trips) =="
+dune exec bench/serve_bench.exe -- -n 1000 -o BENCH_E11.json

@@ -1,0 +1,524 @@
+(* The society server: JSON codec, wire protocol, structured errors,
+   and the serve loop driven in-process over pipes. *)
+
+let spec_src =
+  {|
+object class PERSON
+  identification pname: string;
+  template
+    attributes Grade: integer;
+    events
+      birth born;
+      death dies;
+      promote(integer);
+    valuation
+      variables g: integer;
+      [born] Grade = 1;
+      [promote(g)] Grade = g;
+end object class PERSON;
+
+object class DEPT
+  identification id: string;
+  template
+    attributes
+      employees: set(|PERSON|);
+    events
+      birth establishment;
+      death closure;
+      hire(|PERSON|);
+      fire(|PERSON|);
+    valuation
+      variables P: |PERSON|;
+      [establishment] employees = {};
+      [hire(P)] employees = insert(P, employees);
+      [fire(P)] employees = remove(P, employees);
+    permissions
+      variables P: |PERSON|;
+      { not(P in employees) } hire(P);
+      { sometime(after(hire(P))) } fire(P);
+end object class DEPT;
+|}
+
+let load_session () =
+  match Troll.Session.load spec_src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "spec load failed: %s" (Troll.Error.to_string e)
+
+let json : Json.t Alcotest.testable =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Json.to_string j))
+    Json.equal
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let ada = Ident.make "PERSON" (Value.String "ada")
+
+(* ---------------------------------------------------------------- *)
+(* JSON                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse of %S failed: %s" s e
+
+let test_json_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("str", Json.String "line\nbreak \"quoted\" \\ tab\t");
+        ("unicode", Json.String "caf\xc3\xa9");
+        ("nested", Json.Obj [ ("empty", Json.List []) ]);
+      ]
+  in
+  Alcotest.check json "print/parse identity" doc
+    (parse_ok (Json.to_string doc))
+
+let test_json_escapes () =
+  Alcotest.check json "\\u escape" (Json.String "A") (parse_ok {|"A"|});
+  Alcotest.check json "surrogate pair"
+    (Json.String "\xf0\x9d\x84\x9e")
+    (parse_ok {|"𝄞"|});
+  Alcotest.check json "control escapes"
+    (Json.String "\n\t\r")
+    (parse_ok {|"\n\t\r"|})
+
+let test_json_rejects () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "nul";
+  bad {|{"a": 1} trailing|};
+  bad {|{"a" 1}|};
+  bad "[1,]"
+
+(* ---------------------------------------------------------------- *)
+(* Value codec                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let value_round_trip v =
+  match Protocol.value_of_json (Protocol.value_to_json v) with
+  | Ok v' -> Alcotest.check value (Value.to_string v) v v'
+  | Error e -> Alcotest.failf "decode of %s failed: %s" (Value.to_string v) e
+
+let test_value_codec () =
+  List.iter value_round_trip
+    [
+      Value.Undefined;
+      Value.Bool true;
+      Value.Int 7;
+      Value.String "x";
+      Value.Date 8114;
+      Value.Money (Money.of_cents 1999);
+      Value.Enum ("colour", "red");
+      Value.Id ("PERSON", Value.String "ada");
+      Value.set [ Value.Int 1; Value.Int 2 ];
+      Value.List [ Value.Int 1; Value.String "mixed" ];
+      Value.map [ (Value.String "k", Value.Int 1) ];
+      Value.Tuple [ ("a", Value.Int 1); ("b", Value.Bool false) ];
+      Value.set [ Value.Id ("D", Value.String "d1"); Value.Undefined ];
+    ]
+
+let test_value_rejects_float () =
+  match Protocol.value_of_json (Json.Float 1.5) with
+  | Ok _ -> Alcotest.fail "floats must not decode into the value universe"
+  | Error _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Structured errors through JSON frames                             *)
+(* ---------------------------------------------------------------- *)
+
+let wire_error : Protocol.Wire_error.t Alcotest.testable =
+  Alcotest.testable
+    (fun ppf e -> Format.pp_print_string ppf
+        (Json.to_string (Protocol.Wire_error.to_json e)))
+    Protocol.Wire_error.equal
+
+let error_round_trip e =
+  match Protocol.Wire_error.of_json (Protocol.Wire_error.to_json e) with
+  | Ok e' -> Alcotest.check wire_error e.Protocol.Wire_error.code e e'
+  | Error m -> Alcotest.failf "error frame decode failed: %s" m
+
+let test_wire_error_round_trip () =
+  error_round_trip (Protocol.Wire_error.make ~code:"overloaded" "queue full");
+  error_round_trip
+    (Protocol.Wire_error.make ~loc:(3, 14) ~code:"parse_error" "bad token")
+
+let test_troll_error_codes () =
+  (* a parse error keeps its location through the frame codec *)
+  (match Troll.parse_spec "object class" with
+  | Ok _ -> Alcotest.fail "truncated spec should not parse"
+  | Error e ->
+      Alcotest.(check string) "parse code" "parse_error" (Troll.Error.code e);
+      let w = Protocol.Wire_error.of_error e in
+      error_round_trip w;
+      Alcotest.(check bool) "loc preserved" true
+        (w.Protocol.Wire_error.loc <> None));
+  (* runtime reasons map to stable snake_case codes *)
+  Alcotest.(check string) "runtime code" "permission_denied"
+    (Troll.Error.code
+       (Troll.Error.Runtime
+          (Runtime_error.Permission_denied
+             (Event.make ada "hire" [], "not(P in employees)"))));
+  Alcotest.(check string) "io code" "io_error"
+    (Troll.Error.code (Troll.Error.Io "missing"))
+
+(* ---------------------------------------------------------------- *)
+(* Request decoding                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let decode_req s =
+  let env = Protocol.decode (parse_ok s) in
+  match env.Protocol.request with
+  | Ok r -> (env, r)
+  | Error e -> Alcotest.failf "decode of %s failed: %s" s e
+
+let test_decode_requests () =
+  let _, r = decode_req {|{"op":"ping"}|} in
+  Alcotest.(check string) "ping" "ping" (Protocol.op_name r);
+  let env, r =
+    decode_req
+      {|{"id":7,"deadline_ms":250,"op":"fire","cls":"DEPT","key":"d","event":"hire","args":[{"$id":{"cls":"PERSON","key":"p"}}]}|}
+  in
+  Alcotest.check json "id" (Json.Int 7) env.Protocol.req_id;
+  Alcotest.(check (option int)) "deadline" (Some 250) env.Protocol.deadline_ms;
+  (match r with
+  | Protocol.Step (Step.Fire ev) ->
+      Alcotest.(check string) "event name" "hire" ev.Event.name
+  | _ -> Alcotest.fail "expected a Fire step");
+  let _, r =
+    decode_req
+      {|{"op":"batch","events":[{"cls":"PERSON","key":"p","event":"born"},{"cls":"PERSON","key":"p","event":"promote","args":[3]}]}|}
+  in
+  (match r with
+  | Protocol.Step (Step.Seq [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "batch should decode to a two-event Seq");
+  let _, r = decode_req {|{"op":"attr","cls":"DEPT","key":"d","attr":"employees"}|} in
+  match r with
+  | Protocol.Attr { attr = "employees"; _ } -> ()
+  | _ -> Alcotest.fail "expected an Attr request"
+
+let test_decode_rejects () =
+  let bad s =
+    let env = Protocol.decode (parse_ok s) in
+    match env.Protocol.request with
+    | Ok _ -> Alcotest.failf "%s should not decode" s
+    | Error _ -> ()
+  in
+  bad {|{"id":1}|};
+  bad {|{"op":"warp"}|};
+  bad {|{"op":"fire","cls":"DEPT"}|};
+  bad {|{"op":"fire","cls":"DEPT","key":"d","event":"hire","args":[1.5]}|};
+  bad {|{"op":"restore"}|}
+
+(* ---------------------------------------------------------------- *)
+(* Step equivalence: the facade's one entry point                    *)
+(* ---------------------------------------------------------------- *)
+
+let expect_step what session step =
+  match Troll.step session step with
+  | Ok outcome -> outcome
+  | Error r ->
+      Alcotest.failf "%s rejected: %s" what (Runtime_error.reason_to_string r)
+
+let test_step_create_fire () =
+  let s = load_session () in
+  let outcome =
+    expect_step "create" s
+      (Step.Create
+         { cls = "PERSON"; key = Value.String "ada"; event = None; args = [] })
+  in
+  Alcotest.(check int) "one object created" 1
+    (List.length outcome.Engine.created);
+  ignore
+    (expect_step "promote" s
+       (Step.Fire (Event.make ada "promote" [ Value.Int 5 ])));
+  match Troll.Session.attr s ada "Grade" with
+  | Ok v -> Alcotest.check value "promoted grade" (Value.Int 5) v
+  | Error e -> Alcotest.failf "attr failed: %s" (Troll.Error.to_string e)
+
+let test_step_equivalent_to_wrappers () =
+  (* the deprecated wrappers and Step.t requests must drive the engine
+     identically, state for state *)
+  let via_step = load_session () in
+  let via_wrapper = load_session () in
+  ignore
+    (expect_step "create" via_step
+       (Step.Create
+          { cls = "PERSON"; key = Value.String "ada"; event = None; args = [] }));
+  ignore
+    (expect_step "seq" via_step
+       (Step.Seq
+          [
+            Event.make ada "promote" [ Value.Int 2 ];
+            Event.make ada "promote" [ Value.Int 9 ];
+          ]));
+  let sys = Troll.Session.system via_wrapper in
+  ignore
+    (Troll.create sys ~cls:"PERSON" ~key:(Value.String "ada") () : _ result);
+  ignore
+    (Troll.fire_seq sys
+       [
+         Event.make ada "promote" [ Value.Int 2 ];
+         Event.make ada "promote" [ Value.Int 9 ];
+       ]
+      : _ result);
+  Alcotest.(check string) "identical persisted state"
+    (Persist.save (Troll.Session.community via_step))
+    (Persist.save sys.Troll.community)
+
+let test_step_rejection_reason () =
+  let s = load_session () in
+  ignore
+    (expect_step "create" s
+       (Step.Create
+          { cls = "PERSON"; key = Value.String "ada"; event = None; args = [] }));
+  match
+    Troll.step s (Step.Fire (Event.make ada "promote" [ Value.Int 1 ]))
+  with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "unexpected rejection: %s" (Runtime_error.code r)
+
+(* ---------------------------------------------------------------- *)
+(* The serve loop, driven over pipes                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Write the request lines up front, run [serve_fds] to completion,
+   read every response.  Requests and responses both fit comfortably
+   inside a pipe buffer. *)
+let serve_script ?config ?(close_input = true) lines =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let n = String.length payload in
+  if n >= 65536 then Alcotest.fail "script too large for a pipe buffer";
+  ignore (Unix.write_substring req_w payload 0 n);
+  if close_input then Unix.close req_w;
+  let session = load_session () in
+  let server = Server.create ?config session in
+  Server.serve_fds server req_r resp_w;
+  Unix.close resp_w;
+  if not close_input then Unix.close req_w;
+  Unix.close req_r;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec drain acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> drain (parse_ok line :: acc)
+  in
+  let responses = drain [] in
+  close_in ic;
+  (session, server, responses)
+
+let by_id responses id =
+  match
+    List.find_opt (fun r -> Json.equal (Json.member "id" r) (Json.Int id))
+      responses
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no response with id %d" id
+
+let check_ok what resp =
+  Alcotest.(check bool) what true (Json.member "ok" resp = Json.Bool true)
+
+let check_code what code resp =
+  Alcotest.(check bool) (what ^ " is an error") true
+    (Json.member "ok" resp = Json.Bool false);
+  Alcotest.(check (option string)) (what ^ " code") (Some code)
+    (Json.to_string_opt (Json.member "code" (Json.member "error" resp)))
+
+let hire_frame ?deadline id p =
+  Printf.sprintf
+    {|{"id":%d%s,"op":"fire","cls":"DEPT","key":"d","event":"hire","args":[{"$id":{"cls":"PERSON","key":"%s"}}]}|}
+    id
+    (match deadline with
+    | None -> ""
+    | Some ms -> Printf.sprintf {|,"deadline_ms":%d|} ms)
+    p
+
+let setup_frames =
+  [
+    {|{"id":1,"op":"create","cls":"DEPT","key":"d"}|};
+    {|{"id":2,"op":"create","cls":"PERSON","key":"ada"}|};
+  ]
+
+let test_serve_happy_path () =
+  let _, _, responses =
+    serve_script
+      (setup_frames
+      @ [
+          hire_frame 3 "ada";
+          {|{"id":4,"op":"attr","cls":"DEPT","key":"d","attr":"employees"}|};
+          {|{"id":5,"op":"stats"}|};
+        ])
+  in
+  Alcotest.(check int) "five responses" 5 (List.length responses);
+  List.iter (fun id -> check_ok (string_of_int id) (by_id responses id))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.check json "hired set"
+    (parse_ok {|{"$set":[{"$id":{"cls":"PERSON","key":"ada"}}]}|})
+    (Json.member "value" (Json.member "result" (by_id responses 4)));
+  let received =
+    Json.member "received"
+      (Json.member "server" (Json.member "result" (by_id responses 5)))
+  in
+  Alcotest.check json "stats counted every request" (Json.Int 5) received
+
+let test_serve_permission_rejected () =
+  let session, _, responses =
+    serve_script
+      (setup_frames
+      @ [
+          hire_frame 3 "ada";
+          {|{"id":10,"op":"save"}|};
+          hire_frame 4 "ada";
+          {|{"id":11,"op":"save"}|};
+        ])
+  in
+  check_code "re-hire" "permission_denied" (by_id responses 4);
+  let state id =
+    Json.to_string_opt (Json.member "state" (Json.member "result" (by_id responses id)))
+  in
+  Alcotest.(check (option string))
+    "rejected request leaves the state bit-identical" (state 10) (state 11);
+  (* and the in-process community agrees with the wire snapshot *)
+  Alcotest.(check (option string)) "snapshot is live state"
+    (Some (Persist.save (Troll.Session.community session)))
+    (state 11)
+
+let test_serve_malformed_frame () =
+  let _, _, responses =
+    serve_script
+      [ "this is not json"; {|{"op":"fire","cls":7}|}; {|{"id":2,"op":"ping"}|} ]
+  in
+  Alcotest.(check int) "three responses" 3 (List.length responses);
+  let errors =
+    List.filter (fun r -> Json.member "ok" r = Json.Bool false) responses
+  in
+  Alcotest.(check int) "two bad_request answers" 2 (List.length errors);
+  List.iter (fun r -> check_code "malformed" "bad_request" r) errors;
+  check_ok "stream resynchronised" (by_id responses 2)
+
+let test_serve_deadline_expiry () =
+  let session, _, responses =
+    serve_script
+      (setup_frames
+      @ [
+          {|{"id":20,"op":"save"}|};
+          hire_frame ~deadline:0 21 "ada";
+          {|{"id":22,"op":"save"}|};
+        ])
+  in
+  check_code "deadline" "deadline_expired" (by_id responses 21);
+  let state id =
+    Json.to_string_opt (Json.member "state" (Json.member "result" (by_id responses id)))
+  in
+  Alcotest.(check (option string))
+    "expired request never touched the engine" (state 20) (state 22);
+  Alcotest.(check (option string)) "snapshot is live state"
+    (Some (Persist.save (Troll.Session.community session)))
+    (state 22)
+
+let test_serve_overload () =
+  let config = { Server.default_config with Server.queue_capacity = 1 } in
+  let _, _, responses =
+    serve_script ~config
+      [
+        {|{"id":1,"op":"ping"}|};
+        {|{"id":2,"op":"ping"}|};
+        {|{"id":3,"op":"ping"}|};
+      ]
+  in
+  (* all three frames arrive in one read: one is admitted, the rest
+     bounce off the full queue *)
+  check_ok "admitted" (by_id responses 1);
+  check_code "second" "overloaded" (by_id responses 2);
+  check_code "third" "overloaded" (by_id responses 3)
+
+let test_serve_shutdown_drain () =
+  (* input deliberately left open: the serve call must return because
+     the shutdown drained, not because it saw EOF *)
+  let _, _, responses =
+    serve_script ~close_input:false
+      (setup_frames
+      @ [
+          {|{"id":3,"op":"shutdown"}|};
+          hire_frame 4 "ada";
+        ])
+  in
+  Alcotest.(check int) "four responses" 4 (List.length responses);
+  check_ok "shutdown acknowledged" (by_id responses 3);
+  Alcotest.check json "draining flagged" (Json.Bool true)
+    (Json.member "draining" (Json.member "result" (by_id responses 3)));
+  (* the hire was admitted before the shutdown executed, so it drains *)
+  check_ok "admitted request drained" (by_id responses 4)
+
+let test_serve_default_deadline () =
+  let config =
+    { Server.default_config with Server.default_deadline_ms = Some 0 }
+  in
+  let _, _, responses =
+    serve_script ~config [ {|{"id":1,"op":"ping"}|} ]
+  in
+  check_code "config deadline applies" "deadline_expired" (by_id responses 1)
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "rejects" `Quick test_json_rejects;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "codec round trip" `Quick test_value_codec;
+          Alcotest.test_case "rejects floats" `Quick test_value_rejects_float;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "wire round trip" `Quick
+            test_wire_error_round_trip;
+          Alcotest.test_case "troll error codes" `Quick
+            test_troll_error_codes;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "decode requests" `Quick test_decode_requests;
+          Alcotest.test_case "decode rejects" `Quick test_decode_rejects;
+        ] );
+      ( "step",
+        [
+          Alcotest.test_case "create and fire" `Quick test_step_create_fire;
+          Alcotest.test_case "wrappers are equivalent" `Quick
+            test_step_equivalent_to_wrappers;
+          Alcotest.test_case "no spurious rejection" `Quick
+            test_step_rejection_reason;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "happy path" `Quick test_serve_happy_path;
+          Alcotest.test_case "permission rejected" `Quick
+            test_serve_permission_rejected;
+          Alcotest.test_case "malformed frame" `Quick
+            test_serve_malformed_frame;
+          Alcotest.test_case "deadline expiry" `Quick
+            test_serve_deadline_expiry;
+          Alcotest.test_case "overload" `Quick test_serve_overload;
+          Alcotest.test_case "shutdown drain" `Quick
+            test_serve_shutdown_drain;
+          Alcotest.test_case "default deadline" `Quick
+            test_serve_default_deadline;
+        ] );
+    ]
