@@ -12,7 +12,11 @@
     - E6 inheritance-schema closure;
     - E7 bounded refinement checking vs depth;
     - E8 calling-cascade cost vs chain depth;
-    - E9 query-algebra operators vs relation size.
+    - E9 query-algebra operators vs relation size;
+    - E10 rollback/probe ablation over the journaled transaction layer;
+    - E11 access methods for the internal schema;
+    - E12 compiled vs interpreted rule dispatch (accepted steps);
+    - E13 persistence save/restore throughput.
 
     [dune exec bench/main.exe] runs everything under bechamel and prints
     one OLS-estimated ns/run per benchmark.  [-- --quick] uses short
@@ -261,7 +265,42 @@ let access_method_tests () =
       ])
     [ 100; 1000; 10000 ]
 
-(* E12: persistence throughput — save and restore of a community *)
+(* E12: compiled vs interpreted dispatch — the same accepted-step
+   workload as E3, run against a community staged with compiled
+   evaluators and against the interpreted reference path. *)
+let dispatch_tests () =
+  List.concat_map
+    (fun m ->
+      let compiled, cids = Workload.dept_community m in
+      let interp, iids =
+        Workload.dept_community
+          ~config:
+            {
+              Community.default_config with
+              Community.compiled_dispatch = false;
+            }
+          m
+      in
+      let ci = ref 0 and ii = ref 0 in
+      [
+        ( Printf.sprintf "E12 compiled/%d" m,
+          fun () ->
+            let id = cids.(!ci mod m) in
+            incr ci;
+            ignore_outcome
+              (Engine.fire compiled
+                 (Event.make id "fund" [ Value.Money 100 ])) );
+        ( Printf.sprintf "E12 interpreted/%d" m,
+          fun () ->
+            let id = iids.(!ii mod m) in
+            incr ii;
+            ignore_outcome
+              (Engine.fire interp (Event.make id "fund" [ Value.Money 100 ]))
+        );
+      ])
+    [ 10; 100; 1000 ]
+
+(* E13: persistence throughput — save and restore of a community *)
 let persist_tests () =
   List.concat_map
     (fun m ->
@@ -274,9 +313,9 @@ let persist_tests () =
       in
       let target = fresh () in
       [
-        ( Printf.sprintf "E12 save/%d" m,
+        ( Printf.sprintf "E13 save/%d" m,
           fun () -> ignore (Persist.save c) );
-        ( Printf.sprintf "E12 restore/%d" m,
+        ( Printf.sprintf "E13 restore/%d" m,
           fun () ->
             match Persist.load target dump with
             | Ok () -> ()
@@ -297,6 +336,7 @@ let all_tests ~quick () =
   @ rollback_tests ()
   @ probe_tests ()
   @ access_method_tests ()
+  @ dispatch_tests ()
   @ persist_tests ()
 
 (* ------------------------------------------------------------------ *)

@@ -96,15 +96,16 @@ object class QDEPT
 end object class QDEPT;
 |}))
 
-let load_exn src =
-  match Compile.load src with
+let load_exn ?config src =
+  match Compile.load ?config src with
   | Ok (c, _) -> c
   | Error e -> failwith ("workload load: " ^ e)
 
 (** A community with [m] living DEPT0 objects, each with one employee
-    hired.  Returns the community and the object identities. *)
-let dept_community m =
-  let c = load_exn dept_spec in
+    hired.  Returns the community and the object identities.  [config]
+    selects e.g. compiled versus interpreted dispatch. *)
+let dept_community ?config m =
+  let c = load_exn ?config dept_spec in
   let ids =
     Array.init m (fun i ->
         let key = Value.String (Printf.sprintf "d%d" i) in
@@ -255,7 +256,7 @@ let schema t =
     { Template.t_name = Printf.sprintf "T%d" i; t_kind = `Class;
       t_id_fields = []; t_view_of = None; t_spec_of = None; t_attrs = [];
       t_events = []; t_valuations = []; t_callings = []; t_perms = [];
-      t_constraints = []; t_vars = [] }
+      t_constraints = []; t_vars = []; t_slots = None; t_staged = None }
   in
   for i = 0 to t - 1 do
     Schema.add_template s (tpl i)

@@ -94,8 +94,10 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:
           "Print the transaction-layer statistics (transactions, \
-           savepoints, probes, journal entries, bytes snapshotted) after \
-           the script")
+           savepoints, probes, journal entries, bytes snapshotted) and \
+           the compiled-dispatch counters (slots interned, rules \
+           indexed, dispatch hits, interpreted fallbacks) after the \
+           script")
 
 let run_cmd =
   let run spec_path script_path save restore stats =
@@ -132,7 +134,11 @@ let run_cmd =
               print_endline "transaction statistics:";
               List.iter
                 (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
-                (Trace.txn_stats_rows ())
+                (Trace.txn_stats_rows ());
+              print_endline "dispatch statistics:";
+              List.iter
+                (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                (Trace.dispatch_stats_rows ())
             end;
             code))
   in

@@ -16,9 +16,25 @@ type config = {
           and the E4 ablation benchmark) *)
   max_sync_set : int;
       (** safety bound on the event-calling closure, to detect cycles *)
+  compiled_dispatch : bool;
+      (** use the staged per-event rule indexes and compiled evaluators
+          ({!Dispatch}); off = the fully interpreted reference path *)
 }
 
-let default_config = { record_history = false; max_sync_set = 4096 }
+let default_config =
+  { record_history = false; max_sync_set = 4096; compiled_dispatch = true }
+
+(** Staged dispatch state attached to a community by higher layers
+    (extended and consumed by {!Dispatch}; kept abstract here to avoid a
+    dependency cycle). *)
+type staged = ..
+
+(** Bumped whenever any community's schema-level data (templates, enums,
+    globals) changes.  Staged caches stamp themselves with the
+    generation they were built at and rebuild on mismatch; a global
+    counter is sound (cross-community invalidation only costs a rebuild)
+    and survives {!clone}, which shares the template table. *)
+let schema_generation = ref 0
 
 type global_rule = {
   gr_vars : (string * Vtype.t) list;
@@ -68,6 +84,8 @@ type t = {
       (** open transaction journal; managed by {!Txn}, fed by the
           mutators below *)
   config : config;
+  mutable staged : staged option;
+      (** community-level dispatch index, built lazily by {!Dispatch} *)
 }
 
 let create ?(config = default_config) () =
@@ -81,6 +99,7 @@ let create ?(config = default_config) () =
     globals = [];
     journal = None;
     config;
+    staged = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -108,7 +127,9 @@ let undo_entry t = function
   | J_extensions ext -> t.extensions <- ext
 
 let add_template t (tpl : Template.t) =
-  Hashtbl.replace t.templates tpl.Template.t_name tpl
+  Hashtbl.replace t.templates tpl.Template.t_name tpl;
+  incr schema_generation;
+  t.staged <- None
 
 let find_template t name = Hashtbl.find_opt t.templates name
 
@@ -121,12 +142,17 @@ let is_class t name = Hashtbl.mem t.templates name
 
 let add_enum t name consts =
   Hashtbl.replace t.enum_defs name consts;
-  List.iter (fun c -> Hashtbl.replace t.enum_of_const c name) consts
+  List.iter (fun c -> Hashtbl.replace t.enum_of_const c name) consts;
+  incr schema_generation;
+  t.staged <- None
 
 let enum_of_const t c = Hashtbl.find_opt t.enum_of_const c
 let enum_consts t name = Hashtbl.find_opt t.enum_defs name
 
-let add_global t ~vars rule = t.globals <- t.globals @ [ { gr_vars = vars; gr_rule = rule } ]
+let add_global t ~vars rule =
+  t.globals <- t.globals @ [ { gr_vars = vars; gr_rule = rule } ];
+  incr schema_generation;
+  t.staged <- None
 
 let find_object t id = Hashtbl.find_opt t.objects id
 
@@ -243,6 +269,7 @@ let clone t =
     globals = t.globals;
     journal = None;
     config = t.config;
+    staged = t.staged;
   }
 
 (** Drop every object, extension and index entry (templates, enums and

@@ -11,10 +11,22 @@ type config = {
           checker, liveness auditing, and the E4 benchmark) *)
   max_sync_set : int;
       (** safety bound on the event-calling closure (cycle detection) *)
+  compiled_dispatch : bool;
+      (** use the staged per-event rule indexes and compiled evaluators
+          ({!Dispatch}); off = the fully interpreted reference path *)
 }
 
 val default_config : config
-(** No history recording, closure bound 4096. *)
+(** No history recording, closure bound 4096, compiled dispatch on. *)
+
+(** Staged dispatch state attached to a community by higher layers
+    (extended and consumed by {!Dispatch}). *)
+type staged = ..
+
+val schema_generation : int ref
+(** Bumped on every schema mutation ({!add_template}, {!add_enum},
+    {!add_global}); staged caches stamp themselves with it and rebuild
+    on mismatch. *)
 
 type global_rule = {
   gr_vars : (string * Vtype.t) list;
@@ -54,6 +66,8 @@ type t = {
   mutable globals : global_rule list;
   mutable journal : journal option;  (** managed by {!Txn} *)
   config : config;
+  mutable staged : staged option;
+      (** community-level dispatch index, built lazily by {!Dispatch} *)
 }
 
 val create : ?config:config -> unit -> t

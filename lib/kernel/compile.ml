@@ -259,6 +259,8 @@ let compile_body (names : names) ~name ~kind ~id_fields ~view_of ~spec_of
         b.Ast.t_permissions;
     t_constraints = List.map compile_constraint b.Ast.t_constraints;
     t_vars;
+    t_slots = None;
+    t_staged = None;
   }
 
 let compile_class (names : names) (cd : Ast.class_decl) : Template.t =
@@ -288,7 +290,11 @@ let compile_class (names : names) (cd : Ast.class_decl) : Template.t =
             })
       id_fields
   in
-  { tpl with Template.t_attrs = tpl.Template.t_attrs @ id_attrs }
+  { tpl with
+    Template.t_attrs = tpl.Template.t_attrs @ id_attrs;
+    t_slots = None;
+    t_staged = None;
+  }
 
 let compile_object (names : names) (od : Ast.object_decl) : Template.t =
   compile_body names ~name:od.Ast.o_name ~kind:`Single ~id_fields:[]
@@ -332,7 +338,11 @@ let spec ?(config = Community.default_config) (decls : Ast.spec) :
   let c = Community.create ~config () in
   let ifaces = ref [] in
   match compile_decls names c ifaces decls with
-  | () -> Ok (c, !ifaces)
+  | () ->
+      (* warm the dispatch caches at load time so the first event pays
+         no staging cost *)
+      if config.Community.compiled_dispatch then Dispatch.stage_community c;
+      Ok (c, !ifaces)
   | exception E e -> Error e
   | exception Runtime_error.Error r ->
       Error { message = Runtime_error.reason_to_string r; loc = Loc.dummy }

@@ -132,11 +132,66 @@ let match_global_caller (c : Community.t) ~(vars : string list)
         Eval.match_args c ~env ~self:None ~vars pat.Ast.ev_args
           ev.Event.args
 
+(** Resolve a staged called-event term: interpreted target resolution,
+    compiled argument evaluation. *)
+let resolve_called_c (c : Community.t) ~env ~self (cd : Dispatch.ccalled) :
+    Event.t =
+  let target =
+    match cd.Dispatch.cd_term.Ast.target with
+    | None -> (
+        match self with
+        | Some (o : Obj_state.t) -> o.Obj_state.id
+        | None -> fail (Eval_error "called event without target"))
+    | Some r -> Eval.resolve_ref c ~env ~self r
+  in
+  let args = List.map (fun ca -> ca c env self) cd.Dispatch.cd_args in
+  Event.make target cd.Dispatch.cd_term.Ast.ev_name args
+
+(** Staged fast-path resolution of a singleton micro-step: a single
+    event with no calling rules indexed under its name, no global rules
+    and no phase births closes over itself.  Returns the located event,
+    the target object when it already exists, and its staged index
+    entry, so callers skip the work-list machinery — and {!exec_txn} can
+    hand the resolution straight to execution. *)
+let expand_sync_singleton (c : Community.t) (init : Event.t list) :
+    (Event.t * Obj_state.t option * Dispatch.centry) option =
+  if Dispatch.enabled c then
+    match init with
+    | [ ev0 ] when c.Community.config.Community.max_sync_set >= 1 -> (
+        let ev = locate_event c ev0 in
+        let existing = Community.find_object c ev.Event.target in
+        let tpl =
+          match existing with
+          | Some o -> o.Obj_state.template
+          | None -> Community.template_exn c ev.Event.target.Ident.cls
+        in
+        let ti = Dispatch.template_index c tpl in
+        let entry = Dispatch.entry ti ev.Event.name in
+        match entry.Dispatch.ce_callings with
+        | _ :: _ -> None
+        | [] ->
+            let ci = Dispatch.community_index c in
+            if
+              Dispatch.globals_for ci ev.Event.name = []
+              && Dispatch.phases_for ci ~cls:ev.Event.target.Ident.cls
+                   ~event:ev.Event.name
+                 = []
+            then begin
+              Dispatch.note_hit ();
+              Some (ev, existing, entry)
+            end
+            else None)
+    | _ -> None
+  else None
+
 (** Compute the synchronous closure of an initial event set.  Returns
     the closed set plus follow-up micro-steps contributed by transaction
     calling (each called sequence element becomes its own micro-step). *)
 let expand_sync (c : Community.t) (init : Event.t list) :
     Event.t list * Event.t list list =
+  match expand_sync_singleton c init with
+  | Some (ev, _, _) -> ([ ev ], [])
+  | None ->
   let sync : Event.t list ref = ref [] in
   let followups : Event.t list list ref = ref [] in
   let pending = Queue.create () in
@@ -153,73 +208,145 @@ let expand_sync (c : Community.t) (init : Event.t list) :
                 c.Community.config.Community.max_sync_set));
       let o = eval_object c ev.Event.target in
       let tpl = o.Obj_state.template in
-      let vars = List.map fst tpl.Template.t_vars in
-      (* local calling rules *)
-      List.iter
-        (fun (r : Ast.calling_rule) ->
-          match
-            Eval.match_local_event c o ~env:Env.empty ~vars r.Ast.i_caller ev
-          with
-          | None -> ()
-          | Some env ->
-              let guard_ok =
-                match r.Ast.i_guard with
-                | None -> true
-                | Some g -> Eval.formula_state c ~env ~self:(Some o) g
-              in
-              if guard_ok then begin
-                match r.Ast.i_called with
-                | [ one ] ->
-                    Queue.add (resolve_called c ~env ~self:(Some o) one)
-                      pending
-                | seq ->
-                    followups :=
-                      !followups
-                      @ List.map
-                          (fun t ->
-                            [ resolve_called c ~env ~self:(Some o) t ])
-                          seq
-              end)
-        tpl.Template.t_callings;
-      (* global interaction rules *)
-      List.iter
-        (fun (gr : Community.global_rule) ->
-          let gvars = List.map fst gr.Community.gr_vars in
-          let rule = gr.Community.gr_rule in
-          match match_global_caller c ~vars:gvars rule.Ast.i_caller ev with
-          | None -> ()
-          | Some env ->
-              let guard_ok =
-                match rule.Ast.i_guard with
-                | None -> true
-                | Some g -> Eval.formula_state c ~env ~self:None g
-              in
-              if guard_ok then begin
-                match rule.Ast.i_called with
-                | [ one ] ->
-                    Queue.add (resolve_called c ~env ~self:None one) pending
-                | seq ->
-                    followups :=
-                      !followups
-                      @ List.map
-                          (fun t -> [ resolve_called c ~env ~self:None t ])
-                          seq
-              end)
-        c.Community.globals;
-      (* phase births: classes whose birth is this base event *)
-      List.iter
-        (fun ((ptpl : Template.t), (ed : Template.event_def)) ->
-          let phase_id =
-            Ident.make ptpl.Template.t_name ev.Event.target.Ident.key
-          in
-          (* re-birth of a phase an object already plays is ignored *)
-          match Community.living c phase_id with
-          | Some _ -> ()
-          | None ->
-              Queue.add
-                (Event.make phase_id ed.Template.ed_name [])
-                pending)
-        (Community.phases_born_by c ev.Event.target.Ident.cls ev.Event.name)
+      if Dispatch.enabled c then begin
+        (* staged path: only rules indexed under this event name *)
+        Dispatch.note_hit ();
+        let ti = Dispatch.template_index c tpl in
+        let ci = Dispatch.community_index c in
+        let entry = Dispatch.entry ti ev.Event.name in
+        List.iter
+          (fun (cc : Dispatch.ccalling) ->
+            match
+              Eval.match_compiled_event c o ~env:Env.empty
+                cc.Dispatch.cc_pat ev
+            with
+            | None -> ()
+            | Some env ->
+                let guard_ok =
+                  match cc.Dispatch.cc_guard with
+                  | None -> true
+                  | Some g -> g c env (Some o)
+                in
+                if guard_ok then begin
+                  match cc.Dispatch.cc_called with
+                  | [ one ] ->
+                      Queue.add (resolve_called_c c ~env ~self:(Some o) one)
+                        pending
+                  | seq ->
+                      followups :=
+                        !followups
+                        @ List.map
+                            (fun t ->
+                              [ resolve_called_c c ~env ~self:(Some o) t ])
+                            seq
+                end)
+          entry.Dispatch.ce_callings;
+        List.iter
+          (fun (cg : Dispatch.cglobal) ->
+            let gvars = List.map fst cg.Dispatch.cg_rule.Community.gr_vars in
+            let rule = cg.Dispatch.cg_rule.Community.gr_rule in
+            match match_global_caller c ~vars:gvars rule.Ast.i_caller ev with
+            | None -> ()
+            | Some env ->
+                let guard_ok =
+                  match cg.Dispatch.cg_guard with
+                  | None -> true
+                  | Some g -> g c env None
+                in
+                if guard_ok then begin
+                  match cg.Dispatch.cg_called with
+                  | [ one ] ->
+                      Queue.add (resolve_called_c c ~env ~self:None one)
+                        pending
+                  | seq ->
+                      followups :=
+                        !followups
+                        @ List.map
+                            (fun t ->
+                              [ resolve_called_c c ~env ~self:None t ])
+                            seq
+                end)
+          (Dispatch.globals_for ci ev.Event.name);
+        List.iter
+          (fun ((ptpl : Template.t), (ed : Template.event_def)) ->
+            let phase_id =
+              Ident.make ptpl.Template.t_name ev.Event.target.Ident.key
+            in
+            match Community.living c phase_id with
+            | Some _ -> ()
+            | None ->
+                Queue.add (Event.make phase_id ed.Template.ed_name []) pending)
+          (Dispatch.phases_for ci ~cls:ev.Event.target.Ident.cls
+             ~event:ev.Event.name)
+      end
+      else begin
+        let vars = List.map fst tpl.Template.t_vars in
+        (* local calling rules *)
+        List.iter
+          (fun (r : Ast.calling_rule) ->
+            match
+              Eval.match_local_event c o ~env:Env.empty ~vars r.Ast.i_caller
+                ev
+            with
+            | None -> ()
+            | Some env ->
+                let guard_ok =
+                  match r.Ast.i_guard with
+                  | None -> true
+                  | Some g -> Eval.formula_state c ~env ~self:(Some o) g
+                in
+                if guard_ok then begin
+                  match r.Ast.i_called with
+                  | [ one ] ->
+                      Queue.add (resolve_called c ~env ~self:(Some o) one)
+                        pending
+                  | seq ->
+                      followups :=
+                        !followups
+                        @ List.map
+                            (fun t ->
+                              [ resolve_called c ~env ~self:(Some o) t ])
+                            seq
+                end)
+          tpl.Template.t_callings;
+        (* global interaction rules *)
+        List.iter
+          (fun (gr : Community.global_rule) ->
+            let gvars = List.map fst gr.Community.gr_vars in
+            let rule = gr.Community.gr_rule in
+            match match_global_caller c ~vars:gvars rule.Ast.i_caller ev with
+            | None -> ()
+            | Some env ->
+                let guard_ok =
+                  match rule.Ast.i_guard with
+                  | None -> true
+                  | Some g -> Eval.formula_state c ~env ~self:None g
+                in
+                if guard_ok then begin
+                  match rule.Ast.i_called with
+                  | [ one ] ->
+                      Queue.add (resolve_called c ~env ~self:None one) pending
+                  | seq ->
+                      followups :=
+                        !followups
+                        @ List.map
+                            (fun t -> [ resolve_called c ~env ~self:None t ])
+                            seq
+                end)
+          c.Community.globals;
+        (* phase births: classes whose birth is this base event *)
+        List.iter
+          (fun ((ptpl : Template.t), (ed : Template.event_def)) ->
+            let phase_id =
+              Ident.make ptpl.Template.t_name ev.Event.target.Ident.key
+            in
+            (* re-birth of a phase an object already plays is ignored *)
+            match Community.living c phase_id with
+            | Some _ -> ()
+            | None ->
+                Queue.add (Event.make phase_id ed.Template.ed_name []) pending)
+          (Community.phases_born_by c ev.Event.target.Ident.cls ev.Event.name)
+      end
     end
   done;
   (!sync, !followups)
@@ -230,8 +357,9 @@ let expand_sync (c : Community.t) (init : Event.t list) :
 
 (** Evaluate one monitored atom on object [o]'s current state, given the
     events [occurred] of the step being completed. *)
-let atom_eval (c : Community.t) (o : Obj_state.t) ~(occurred : Event.t list)
-    ~(binds : (string * Value.t) list) (a : Template.atom) : bool =
+let atom_eval_interp (c : Community.t) (o : Obj_state.t)
+    ~(occurred : Event.t list) ~(binds : (string * Value.t) list)
+    (a : Template.atom) : bool =
   let env = Env.of_list (a.Template.binds @ binds) in
   match a.Template.pred with
   | Template.P_state f -> (
@@ -243,6 +371,34 @@ let atom_eval (c : Community.t) (o : Obj_state.t) ~(occurred : Event.t list)
       List.exists
         (fun ev -> Eval.match_local_event c o ~env ~vars pat ev <> None)
         occurred
+
+(** Same, through the template's compiled atom table when dispatch
+    staging is on.  All monitor advancement (including [virtual_value]
+    and {!permission_holds}) funnels through here, so the compiled path
+    needs no separate plumbing. *)
+let atom_eval (c : Community.t) (o : Obj_state.t) ~(occurred : Event.t list)
+    ~(binds : (string * Value.t) list) (a : Template.atom) : bool =
+  if not (Dispatch.enabled c) then atom_eval_interp c o ~occurred ~binds a
+  else
+    let ti = Dispatch.template_index c o.Obj_state.template in
+    match Dispatch.atom ti a with
+    | Some (Dispatch.CA_state cf) -> (
+        let env = Env.of_list (a.Template.binds @ binds) in
+        match cf c env (Some o) with
+        | b -> b
+        | exception Error (Eval_error _) -> false)
+    | Some (Dispatch.CA_occurs cp) ->
+        (* the environment is only consulted once an event name matches,
+           so build it lazily — monitors step on every event and the
+           common case is a name mismatch *)
+        let env = lazy (Env.of_list (a.Template.binds @ binds)) in
+        List.exists
+          (fun (ev : Event.t) ->
+            String.equal ev.Event.name cp.Eval.cp_name
+            && Eval.match_compiled_event c o ~env:(Lazy.force env) cp ev
+               <> None)
+          occurred
+    | None -> atom_eval_interp c o ~occurred ~binds a
 
 (** Monitor value for a guard whose monitor has not been started yet:
     treat the current state as the whole history (no events occurred). *)
@@ -312,21 +468,51 @@ let permission_holds (c : Community.t) (o : Obj_state.t) idx
           | `Exists -> List.exists (fun b -> b) all)
       | Obj_state.PS_none | Obj_state.PS_closed _ -> assert false)
 
-let check_permissions (c : Community.t) (o : Obj_state.t) (ev : Event.t) =
+(** [ce] is the event's staged entry when dispatch staging is on (the
+    caller already holds it), [None] on the interpreted path. *)
+let check_permissions (c : Community.t) (o : Obj_state.t) (ev : Event.t)
+    (ce : Dispatch.centry option) =
   let tpl = o.Obj_state.template in
-  let vars = List.map fst tpl.Template.t_vars in
-  List.iteri
-    (fun idx (pm : Template.permission) ->
-      if String.equal pm.Template.pm_event ev.Event.name then
+  match ce with
+  | Some entry ->
+    (* staged path: only permissions guarding this event name, with
+       compiled argument patterns and state guards *)
+    Dispatch.note_hit ();
+    List.iter
+      (fun (cp : Dispatch.cperm) ->
         match
-          Eval.match_args c ~env:Env.empty ~self:(Some o) ~vars
-            pm.Template.pm_args ev.Event.args
+          Eval.match_compiled_args c ~env:Env.empty ~self:(Some o)
+            cp.Dispatch.cp_args cp.Dispatch.cp_nargs ev.Event.args
         with
         | None -> () (* pattern does not cover these arguments *)
         | Some env ->
-            if not (permission_holds c o idx pm ~env) then
-              fail (Permission_denied (ev, pm.Template.pm_text)))
-    tpl.Template.t_perms
+            let holds =
+              match cp.Dispatch.cp_state_guard with
+              | Some cf -> (
+                  match cf c env (Some o) with
+                  | b -> b
+                  | exception Error (Eval_error _) -> false)
+              | None ->
+                  permission_holds c o cp.Dispatch.cp_idx cp.Dispatch.cp_pm
+                    ~env
+            in
+            if not holds then
+              fail (Permission_denied (ev, cp.Dispatch.cp_pm.Template.pm_text)))
+      entry.Dispatch.ce_perms
+  | None ->
+    let vars = List.map fst tpl.Template.t_vars in
+    List.iteri
+      (fun idx (pm : Template.permission) ->
+        if String.equal pm.Template.pm_event ev.Event.name then
+          match
+            Eval.match_args c ~env:Env.empty ~self:(Some o) ~vars
+              pm.Template.pm_args ev.Event.args
+          with
+          | None -> () (* pattern does not cover these arguments *)
+          | Some env ->
+              if not (permission_holds c o idx pm ~env) then
+                fail (Permission_denied (ev, pm.Template.pm_text)))
+      tpl.Template.t_perms
 
 (* ------------------------------------------------------------------ *)
 (* Monitor advancement                                                 *)
@@ -349,12 +535,11 @@ let rec flatten_value acc (v : Value.t) =
       acc
 
 (** Keys to spawn for an indexed guard: instantiations obtained by
-    matching the guard's event patterns against the occurred events,
-    plus (for single-parameter guards) every value occurring in the
-    step's event arguments. *)
-let spawn_keys (c : Community.t) (o : Obj_state.t) ~occurred
-    ~(ix_vars : string list) (body : Template.atom Formula.t) :
-    Value.t list list =
+    matching the guard's event patterns (given as matcher closures)
+    against the occurred events, plus (for single-parameter guards)
+    every value occurring in the step's event arguments. *)
+let spawn_keys_with ~(matchers : (Event.t -> Env.t option) list) ~occurred
+    ~(ix_vars : string list) : Value.t list list =
   let keys = ref [] in
   let add key =
     if
@@ -362,21 +547,11 @@ let spawn_keys (c : Community.t) (o : Obj_state.t) ~occurred
       && List.for_all (fun v -> not (Value.is_undefined v)) key
     then keys := key :: !keys
   in
-  let patterns =
-    List.filter_map
-      (fun (a : Template.atom) ->
-        match a.Template.pred with
-        | Template.P_occurs pat -> Some pat
-        | Template.P_state _ -> None)
-      (Formula.atoms [] body)
-  in
   List.iter
-    (fun pat ->
+    (fun matcher ->
       List.iter
         (fun ev ->
-          match
-            Eval.match_local_event c o ~env:Env.empty ~vars:ix_vars pat ev
-          with
+          match matcher ev with
           | Some env ->
               add
                 (List.map
@@ -385,7 +560,7 @@ let spawn_keys (c : Community.t) (o : Obj_state.t) ~occurred
                    ix_vars)
           | None -> ())
         occurred)
-    patterns;
+    matchers;
   (match ix_vars with
   | [ _ ] ->
       List.iter
@@ -398,63 +573,172 @@ let spawn_keys (c : Community.t) (o : Obj_state.t) ~occurred
   | _ -> ());
   !keys
 
+let spawn_keys (c : Community.t) (o : Obj_state.t) ~occurred
+    ~(ix_vars : string list) (body : Template.atom Formula.t) :
+    Value.t list list =
+  let matchers =
+    List.filter_map
+      (fun (a : Template.atom) ->
+        match a.Template.pred with
+        | Template.P_occurs pat ->
+            Some
+              (fun ev ->
+                Eval.match_local_event c o ~env:Env.empty ~vars:ix_vars pat
+                  ev)
+        | Template.P_state _ -> None)
+      (Formula.atoms [] body)
+  in
+  spawn_keys_with ~matchers ~occurred ~ix_vars
+
 (** Advance all monitors of object [o] after a step in which the events
-    [occurred] (targeting [o]) happened and the post-state is current. *)
+    [occurred] (targeting [o]) happened and the post-state is current.
+    [born] and [written] (attribute slots assigned this step) feed the
+    static-constraint skip: a constraint whose footprint is exclusively
+    own stored slots, none of which changed, held after the last
+    committed step and still does. *)
 let step_monitors (c : Community.t) (o : Obj_state.t)
-    ~(occurred : Event.t list) =
+    ~(occurred : Event.t list) ~(born : bool) ~(written : int list) =
   let tpl = o.Obj_state.template in
+  let ti =
+    if Dispatch.enabled c then Some (Dispatch.template_index c tpl) else None
+  in
+  (* a monitored formula none of whose occurrence atoms name an occurred
+     event, and which has no state atoms, advances with every atom false
+     — same truth vector, no evaluation work *)
+  let const_false _ = false in
+  let fast (cm : Dispatch.cmon) =
+    (not cm.Dispatch.cm_has_state)
+    && not
+         (List.exists
+            (fun (ev : Event.t) ->
+              Array.exists (String.equal ev.Event.name) cm.Dispatch.cm_names)
+            occurred)
+  in
+  let perm_fast idx =
+    match ti with
+    | Some ti -> (
+        match ti.Dispatch.ti_perm_mons.(idx) with
+        | Some cm when fast cm ->
+            Dispatch.note_monitor_fast ();
+            true
+        | _ -> false)
+    | None -> false
+  in
   (* permissions *)
   List.iteri
     (fun idx (pm : Template.permission) ->
       match (pm.Template.pm_guard, o.Obj_state.perm_states.(idx)) with
       | Template.PG_state _, _ -> ()
-      | Template.PG_closed (_, compiled), Obj_state.PS_closed prev ->
-          let s =
-            Monitor.step compiled
-              ~atom_eval:(atom_eval c o ~occurred ~binds:[])
-              prev
-          in
-          o.Obj_state.perm_states.(idx) <- Obj_state.PS_closed (Some s)
+      | Template.PG_closed (_, compiled), Obj_state.PS_closed prev -> (
+          let pf = perm_fast idx in
+          match prev with
+          | Some p when pf ->
+              let s = Monitor.step_false compiled p in
+              if s != p then
+                o.Obj_state.perm_states.(idx) <- Obj_state.PS_closed (Some s)
+          | _ ->
+              let ae =
+                if pf then const_false else atom_eval c o ~occurred ~binds:[]
+              in
+              let s = Monitor.step compiled ~atom_eval:ae prev in
+              o.Obj_state.perm_states.(idx) <- Obj_state.PS_closed (Some s))
       | ( Template.PG_indexed { ix_vars; ix_body; ix_compiled },
           Obj_state.PS_indexed insts ) ->
+          let pf = perm_fast idx in
           let stepped =
-            List.map
-              (fun (key, s) ->
-                let binds = List.combine ix_vars key in
-                ( key,
-                  Monitor.step ix_compiled
-                    ~atom_eval:(atom_eval c o ~occurred ~binds)
-                    (Some s) ))
-              insts
+            if pf then begin
+              let unchanged = ref true in
+              let stepped =
+                List.map
+                  (fun ((key, s) as inst) ->
+                    let s' = Monitor.step_false ix_compiled s in
+                    if s' == s then inst
+                    else begin
+                      unchanged := false;
+                      (key, s')
+                    end)
+                  insts
+              in
+              if !unchanged then insts else stepped
+            end
+            else
+              List.map
+                (fun (key, s) ->
+                  ( key,
+                    Monitor.step ix_compiled
+                      ~atom_eval:
+                        (atom_eval c o ~occurred
+                           ~binds:(List.combine ix_vars key))
+                      (Some s) ))
+                insts
+          in
+          let keys =
+            match ti with
+            | Some ti -> (
+                match Dispatch.spawn_patterns ti idx with
+                | Some cps ->
+                    let matchers =
+                      List.map
+                        (fun cp ev ->
+                          Eval.match_compiled_event c o ~env:Env.empty cp ev)
+                        cps
+                    in
+                    spawn_keys_with ~matchers ~occurred ~ix_vars
+                | None -> spawn_keys c o ~occurred ~ix_vars ix_body)
+            | None -> spawn_keys c o ~occurred ~ix_vars ix_body
           in
           let fresh =
             List.filter_map
               (fun key ->
                 if find_indexed key stepped <> None then None
                 else
-                  let binds = List.combine ix_vars key in
-                  Some
-                    ( key,
-                      Monitor.step ix_compiled
-                        ~atom_eval:(atom_eval c o ~occurred ~binds)
-                        None ))
-              (spawn_keys c o ~occurred ~ix_vars ix_body)
+                  let ae =
+                    if pf then const_false
+                    else
+                      atom_eval c o ~occurred
+                        ~binds:(List.combine ix_vars key)
+                  in
+                  Some (key, Monitor.step ix_compiled ~atom_eval:ae None))
+              keys
           in
-          o.Obj_state.perm_states.(idx) <-
-            Obj_state.PS_indexed (stepped @ fresh)
+          (match fresh with
+          | [] ->
+              if stepped != insts then
+                o.Obj_state.perm_states.(idx) <- Obj_state.PS_indexed stepped
+          | _ ->
+              o.Obj_state.perm_states.(idx) <-
+                Obj_state.PS_indexed (stepped @ fresh))
       | ( Template.PG_quant { q_var; q_class; q_compiled; _ },
           Obj_state.PS_indexed insts ) ->
+          let pf = perm_fast idx in
+          let key_ae key =
+            if pf then const_false
+            else
+              let binds = match key with [ v ] -> [ (q_var, v) ] | _ -> [] in
+              atom_eval c o ~occurred ~binds
+          in
           let stepped =
-            List.map
-              (fun (key, s) ->
-                let binds =
-                  match key with [ v ] -> [ (q_var, v) ] | _ -> []
-                in
-                ( key,
-                  Monitor.step q_compiled
-                    ~atom_eval:(atom_eval c o ~occurred ~binds)
-                    (Some s) ))
-              insts
+            if pf then begin
+              let unchanged = ref true in
+              let stepped =
+                List.map
+                  (fun ((key, s) as inst) ->
+                    let s' = Monitor.step_false q_compiled s in
+                    if s' == s then inst
+                    else begin
+                      unchanged := false;
+                      (key, s')
+                    end)
+                  insts
+              in
+              if !unchanged then insts else stepped
+            end
+            else
+              List.map
+                (fun (key, s) ->
+                  ( key,
+                    Monitor.step q_compiled ~atom_eval:(key_ae key) (Some s) ))
+                insts
           in
           let members = Ident.Set.elements (Community.extension c q_class) in
           let fresh =
@@ -464,36 +748,70 @@ let step_monitors (c : Community.t) (o : Obj_state.t)
                 if find_indexed key stepped <> None then None
                 else
                   Some
-                    ( key,
-                      Monitor.step q_compiled
-                        ~atom_eval:
-                          (atom_eval c o ~occurred
-                             ~binds:[ (q_var, Ident.to_value m) ])
-                        None ))
+                    (key, Monitor.step q_compiled ~atom_eval:(key_ae key) None))
               members
           in
-          o.Obj_state.perm_states.(idx) <-
-            Obj_state.PS_indexed (stepped @ fresh)
+          (match fresh with
+          | [] ->
+              if stepped != insts then
+                o.Obj_state.perm_states.(idx) <- Obj_state.PS_indexed stepped
+          | _ ->
+              o.Obj_state.perm_states.(idx) <-
+                Obj_state.PS_indexed (stepped @ fresh))
       | _, _ -> assert false)
     tpl.Template.t_perms;
   (* temporal constraints: step and require truth *)
   let ki = ref 0 in
+  let si = ref 0 in
   List.iter
     (fun (k : Template.constraint_def) ->
       match k with
-      | Template.K_static f ->
-          if not (Eval.formula_state c ~env:Env.empty ~self:(Some o) f) then
-            fail
-              (Constraint_violated
-                 (o.Obj_state.id, Pretty.formula_to_string f))
+      | Template.K_static f -> (
+          match ti with
+          | None ->
+              if not (Eval.formula_state c ~env:Env.empty ~self:(Some o) f)
+              then
+                fail
+                  (Constraint_violated
+                     (o.Obj_state.id, Pretty.formula_to_string f))
+          | Some ti ->
+              let cs = ti.Dispatch.ti_statics.(!si) in
+              incr si;
+              let untouched =
+                cs.Dispatch.cs_local && (not born)
+                && not
+                     (Array.exists
+                        (fun s -> List.mem s written)
+                        cs.Dispatch.cs_slots)
+              in
+              if untouched then Dispatch.note_static_skip ()
+              else if not (cs.Dispatch.cs_compiled c Env.empty (Some o)) then
+                fail
+                  (Constraint_violated (o.Obj_state.id, cs.Dispatch.cs_text)))
       | Template.K_temporal (_, compiled, text) ->
           let prev = o.Obj_state.constr_states.(!ki) in
-          let s =
-            Monitor.step compiled
-              ~atom_eval:(atom_eval c o ~occurred ~binds:[])
-              prev
+          let tfast =
+            match ti with
+            | Some ti when fast ti.Dispatch.ti_temp_mons.(!ki) ->
+                Dispatch.note_monitor_fast ();
+                true
+            | _ -> false
           in
-          o.Obj_state.constr_states.(!ki) <- Some s;
+          let s =
+            match prev with
+            | Some p when tfast ->
+                let s = Monitor.step_false compiled p in
+                if s != p then o.Obj_state.constr_states.(!ki) <- Some s;
+                s
+            | _ ->
+                let ae =
+                  if tfast then const_false
+                  else atom_eval c o ~occurred ~binds:[]
+                in
+                let s = Monitor.step compiled ~atom_eval:ae prev in
+                o.Obj_state.constr_states.(!ki) <- Some s;
+                s
+          in
           incr ki;
           if not (Monitor.value compiled s) then
             fail (Constraint_violated (o.Obj_state.id, text)))
@@ -501,13 +819,53 @@ let step_monitors (c : Community.t) (o : Obj_state.t)
   (* history *)
   if c.Community.config.Community.record_history then
     o.Obj_state.history <-
-      { Obj_state.h_events = occurred; h_attrs = o.Obj_state.attrs }
+      { Obj_state.h_events = occurred; h_attrs = Array.copy o.Obj_state.attrs }
       :: o.Obj_state.history;
   o.Obj_state.steps <- o.Obj_state.steps + 1
 
 (* ------------------------------------------------------------------ *)
 (* Executing one synchronous step                                      *)
 (* ------------------------------------------------------------------ *)
+
+(** Argument arity and types (API-level safety net; checked
+    specifications construct well-typed events anyway). *)
+let validate_event_args (ev : Event.t) (ed : Template.event_def) =
+  if List.length ev.Event.args <> List.length ed.Template.ed_params then
+    fail
+      (Eval_error
+         (Printf.sprintf "%s expects %d argument(s), got %d" ev.Event.name
+            (List.length ed.Template.ed_params)
+            (List.length ev.Event.args)));
+  List.iter2
+    (fun v pty ->
+      if not (Vtype.subtype (Value.type_of v) pty) then
+        fail
+          (Eval_error
+             (Printf.sprintf "%s: argument %s does not fit parameter type %s"
+                ev.Event.name (Value.to_string v) (Vtype.to_string pty))))
+    ev.Event.args ed.Template.ed_params
+
+(** Run the staged valuation rules of one event occurrence, feeding each
+    matching rule's value into [record]. *)
+let staged_vrules (c : Community.t) (o : Obj_state.t) record (ev : Event.t)
+    (ce : Dispatch.centry) =
+  Dispatch.note_hit ();
+  List.iter
+    (fun (cv : Dispatch.cvrule) ->
+      match
+        Eval.match_compiled_event c o ~env:Env.empty cv.Dispatch.cv_pat ev
+      with
+      | None -> ()
+      | Some env ->
+          let guard_ok =
+            match cv.Dispatch.cv_guard with
+            | None -> true
+            | Some g -> g c env (Some o)
+          in
+          if guard_ok then
+            let v = cv.Dispatch.cv_rhs c env (Some o) in
+            record o cv.Dispatch.cv_attr cv.Dispatch.cv_slot v)
+    ce.Dispatch.ce_vrules
 
 let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
   (* group events by target object *)
@@ -522,15 +880,33 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
       [] sync
     |> List.rev
   in
-  (* phase 1: materialise objects, validate life-cycle stage *)
+  (* phase 1: materialise objects, validate life-cycle stage.  When
+     staging is on, the event's index entry is fetched once here and
+     threaded through every later phase. *)
   let participants =
     List.map
       (fun (id, evs) ->
         let tpl = Community.template_exn c id.Ident.cls in
+        let ti =
+          if Dispatch.enabled c then Some (Dispatch.template_index c tpl)
+          else None
+        in
+        let evs =
+          List.map
+            (fun (ev : Event.t) ->
+              match ti with
+              | Some ti -> (ev, Some (Dispatch.entry ti ev.Event.name))
+              | None -> (ev, None))
+            evs
+        in
+        let event_def (ev : Event.t) = function
+          | Some ce -> ce.Dispatch.ce_ed
+          | None -> Template.find_event tpl ev.Event.name
+        in
         let has_birth =
           List.exists
-            (fun (ev : Event.t) ->
-              match Template.find_event tpl ev.Event.name with
+            (fun (ev, ce) ->
+              match event_def ev ce with
               | Some ed -> ed.Template.ed_kind = Ast.Ev_birth
               | None -> false)
             evs
@@ -557,30 +933,11 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
             | None -> fail (Not_alive (Ident.make base id.Ident.key)))
         | _ -> ());
         List.iter
-          (fun (ev : Event.t) ->
-            match Template.find_event tpl ev.Event.name with
+          (fun ((ev : Event.t), ce) ->
+            match event_def ev ce with
             | None -> fail (Unknown_event (tpl.Template.t_name, ev.Event.name))
             | Some ed ->
-                (* argument arity and types (API-level safety net; checked
-                   specifications construct well-typed events anyway) *)
-                if List.length ev.Event.args <> List.length ed.Template.ed_params
-                then
-                  fail
-                    (Eval_error
-                       (Printf.sprintf "%s expects %d argument(s), got %d"
-                          ev.Event.name
-                          (List.length ed.Template.ed_params)
-                          (List.length ev.Event.args)));
-                List.iter2
-                  (fun v pty ->
-                    if not (Vtype.subtype (Value.type_of v) pty) then
-                      fail
-                        (Eval_error
-                           (Printf.sprintf
-                              "%s: argument %s does not fit parameter type %s"
-                              ev.Event.name (Value.to_string v)
-                              (Vtype.to_string pty))))
-                  ev.Event.args ed.Template.ed_params;
+                validate_event_args ev ed;
                 (match ed.Template.ed_kind with
                 | Ast.Ev_birth ->
                     if o.Obj_state.alive || o.Obj_state.dead then
@@ -588,61 +945,85 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
                 | Ast.Ev_death | Ast.Ev_normal ->
                     if not o.Obj_state.alive then fail (Not_alive id)))
           evs;
-        (o, evs))
+        (o, evs, has_birth))
       groups
   in
   (* phase 2: permissions on pre-states *)
   List.iter
-    (fun ((o : Obj_state.t), evs) ->
-      List.iter (fun ev -> check_permissions c o ev) evs)
+    (fun ((o : Obj_state.t), evs, _) ->
+      List.iter (fun (ev, ce) -> check_permissions c o ev ce) evs)
     participants;
-  (* phase 3: valuations on pre-states *)
-  let writes : (Obj_state.t * string * Value.t) list ref = ref [] in
+  (* phase 3: valuations on pre-states.  Conflicting writes are detected
+     in O(1) through a hashtable keyed by (identity, attribute); the
+     list preserves a deterministic application order and carries the
+     resolved slot for the apply phase.  An object receiving a single
+     staged event whose rules write pairwise-distinct slots cannot
+     conflict at all, so its writes skip the hashtable. *)
+  let write_index : (Ident.t * string, Value.t) Hashtbl.t Lazy.t =
+    lazy (Hashtbl.create 16)
+  in
+  let write_list : (Obj_state.t * string * int * Value.t) list ref = ref [] in
+  let record_write (o : Obj_state.t) attr slot v =
+    let index = Lazy.force write_index in
+    let key = (o.Obj_state.id, attr) in
+    match Hashtbl.find_opt index key with
+    | Some v' when not (Value.equal v v') ->
+        fail (Valuation_conflict (o.Obj_state.id, attr, v', v))
+    | Some _ -> ()
+    | None ->
+        Hashtbl.add index key v;
+        write_list := (o, attr, slot, v) :: !write_list
+  in
   List.iter
-    (fun ((o : Obj_state.t), evs) ->
-      let tpl = o.Obj_state.template in
-      let vars = List.map fst tpl.Template.t_vars in
-      List.iter
-        (fun (ev : Event.t) ->
+    (fun ((o : Obj_state.t), evs, _) ->
+      match evs with
+      | [ (ev, Some ce) ] when ce.Dispatch.ce_distinct_slots ->
+          staged_vrules c o
+            (fun o attr slot v ->
+              write_list := (o, attr, slot, v) :: !write_list)
+            ev ce
+      | _ ->
+          let tpl = o.Obj_state.template in
           List.iter
-            (fun (rule : Ast.valuation_rule) ->
-              match
-                Eval.match_local_event c o ~env:Env.empty ~vars
-                  rule.Ast.v_event ev
-              with
-              | None -> ()
-              | Some env ->
-                  let guard_ok =
-                    match rule.Ast.v_guard with
-                    | None -> true
-                    | Some g -> Eval.formula_state c ~env ~self:(Some o) g
-                  in
-                  if guard_ok then begin
-                    let v = Eval.expr c ~env ~self:(Some o) rule.Ast.v_rhs in
-                    (match
-                       List.find_opt
-                         (fun (o', a, _) ->
-                           o' == o && String.equal a rule.Ast.v_attr)
-                         !writes
-                     with
-                    | Some (_, _, v') when not (Value.equal v v') ->
-                        fail
-                          (Valuation_conflict
-                             (o.Obj_state.id, rule.Ast.v_attr, v', v))
-                    | Some _ -> ()
-                    | None -> writes := (o, rule.Ast.v_attr, v) :: !writes)
-                  end)
-            tpl.Template.t_valuations)
-        evs)
+            (fun ((ev : Event.t), ce) ->
+              match ce with
+              | Some ce -> staged_vrules c o record_write ev ce
+              | None ->
+                  let vars = List.map fst tpl.Template.t_vars in
+                  List.iter
+                    (fun (rule : Ast.valuation_rule) ->
+                      match
+                        Eval.match_local_event c o ~env:Env.empty ~vars
+                          rule.Ast.v_event ev
+                      with
+                      | None -> ()
+                      | Some env ->
+                          let guard_ok =
+                            match rule.Ast.v_guard with
+                            | None -> true
+                            | Some g ->
+                                Eval.formula_state c ~env ~self:(Some o) g
+                          in
+                          if guard_ok then
+                            let v =
+                              Eval.expr c ~env ~self:(Some o) rule.Ast.v_rhs
+                            in
+                            record_write o rule.Ast.v_attr (-1) v)
+                    tpl.Template.t_valuations)
+            evs)
     participants;
   (* phase 4: apply — births, identification attributes, valuations,
      deaths, extension updates *)
+  let event_def_of (o : Obj_state.t) ((ev : Event.t), ce) =
+    match ce with
+    | Some ce -> ce.Dispatch.ce_ed
+    | None -> Template.find_event o.Obj_state.template ev.Event.name
+  in
   List.iter
-    (fun ((o : Obj_state.t), evs) ->
-      let tpl = o.Obj_state.template in
+    (fun ((o : Obj_state.t), evs, _) ->
       List.iter
-        (fun (ev : Event.t) ->
-          match Template.find_event tpl ev.Event.name with
+        (fun evce ->
+          match event_def_of o evce with
           | Some ed when ed.Template.ed_kind = Ast.Ev_birth ->
               o.Obj_state.alive <- true;
               set_id_attrs o;
@@ -651,8 +1032,10 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
         evs)
     participants;
   List.iter
-    (fun ((o : Obj_state.t), attr, v) -> Obj_state.set_attr o attr v)
-    !writes;
+    (fun ((o : Obj_state.t), attr, slot, v) ->
+      if slot >= 0 then Obj_state.set_attr_slot o slot v
+      else Obj_state.set_attr o attr v)
+    (List.rev !write_list);
   (* a death ends the object's life cycle — and, because all aspects of
      one object share it, the death of a base aspect also ends every
      living phase (view) aspect depending on it, transitively *)
@@ -679,19 +1062,73 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
     end
   in
   List.iter
-    (fun ((o : Obj_state.t), evs) ->
-      let tpl = o.Obj_state.template in
+    (fun ((o : Obj_state.t), evs, _) ->
       List.iter
-        (fun (ev : Event.t) ->
-          match Template.find_event tpl ev.Event.name with
+        (fun evce ->
+          match event_def_of o evce with
           | Some ed when ed.Template.ed_kind = Ast.Ev_death -> kill o
           | _ -> ())
         evs)
     participants;
   (* phase 5: post-state constraints and monitor advancement *)
   List.iter
-    (fun ((o : Obj_state.t), evs) -> step_monitors c o ~occurred:evs)
+    (fun ((o : Obj_state.t), evs, born) ->
+      let written =
+        List.filter_map
+          (fun ((o' : Obj_state.t), _, slot, _) ->
+            if o' == o && slot >= 0 then Some slot else None)
+          !write_list
+      in
+      step_monitors c o ~occurred:(List.map fst evs) ~born ~written)
     participants
+
+(** Specialised execution of one normal (non-birth, non-death) event on
+    an existing object, with the staged index entry already resolved by
+    {!expand_sync_singleton}: the grouping, object lookup and index
+    fetches of {!exec_sync} are skipped, but phase order, failure order
+    and observable effects are identical. *)
+let exec_sync_resolved (c : Community.t) (txn : Txn.t) (ev : Event.t)
+    (o : Obj_state.t) (entry : Dispatch.centry) (ed : Template.event_def) :
+    unit =
+  Txn.touch txn o;
+  (* phase 1: validation *)
+  validate_event_args ev ed;
+  if not o.Obj_state.alive then fail (Not_alive o.Obj_state.id);
+  (* phase 2: permissions on the pre-state *)
+  check_permissions c o ev (Some entry);
+  (* phase 3: valuations on the pre-state *)
+  let write_list : (Obj_state.t * string * int * Value.t) list ref = ref [] in
+  (if entry.Dispatch.ce_distinct_slots then
+     staged_vrules c o
+       (fun o attr slot v -> write_list := (o, attr, slot, v) :: !write_list)
+       ev entry
+   else begin
+     let index = Hashtbl.create 8 in
+     staged_vrules c o
+       (fun o attr slot v ->
+         let key = (o.Obj_state.id, attr) in
+         match Hashtbl.find_opt index key with
+         | Some v' when not (Value.equal v v') ->
+             fail (Valuation_conflict (o.Obj_state.id, attr, v', v))
+         | Some _ -> ()
+         | None ->
+             Hashtbl.add index key v;
+             write_list := (o, attr, slot, v) :: !write_list)
+       ev entry
+   end);
+  (* phase 4: apply *)
+  List.iter
+    (fun ((o : Obj_state.t), attr, slot, v) ->
+      if slot >= 0 then Obj_state.set_attr_slot o slot v
+      else Obj_state.set_attr o attr v)
+    (List.rev !write_list);
+  (* phase 5: post-state constraints and monitor advancement *)
+  let written =
+    List.filter_map
+      (fun (_, _, slot, _) -> if slot >= 0 then Some slot else None)
+      !write_list
+  in
+  step_monitors c o ~occurred:[ ev ] ~born:false ~written
 
 (* ------------------------------------------------------------------ *)
 (* Public API                                                          *)
@@ -702,37 +1139,91 @@ let exec_sync (c : Community.t) (txn : Txn.t) (sync : Event.t list) : unit =
     follow-ups are queued behind the remaining micro-steps.  Each
     micro-step runs under its own savepoint, so a violation unwinds the
     failing micro-step first and then aborts the whole attempt. *)
-let exec_txn (c : Community.t) (micro_steps : Event.t list list) : step_result
-    =
-  let txn = Txn.begin_ c in
-  match
-    let committed = ref [] in
-    let queue = Queue.create () in
-    List.iter (fun s -> Queue.add s queue) micro_steps;
-    while not (Queue.is_empty queue) do
-      let init = Queue.pop queue in
-      let sp = Txn.savepoint txn in
-      (try
-         let sync, followups = expand_sync c init in
-         exec_sync c txn sync;
-         committed := sync :: !committed;
-         List.iter (fun s -> Queue.add s queue) followups
-       with Error _ as e ->
-         Txn.rollback_to txn sp;
-         raise e)
-    done;
-    {
-      committed = List.rev !committed;
-      created = Txn.created txn;
-      destroyed = Txn.destroyed txn;
-    }
-  with
-  | outcome ->
-      Txn.commit txn;
-      Ok outcome
-  | exception Error reason ->
-      Txn.rollback txn;
-      Error reason
+let rec exec_txn (c : Community.t) (micro_steps : Event.t list list) :
+    step_result =
+  (* fast path: one micro-step whose closure contributes no follow-ups
+     needs no savepoint (the transaction rollback covers it) and no
+     work-queue *)
+  match micro_steps with
+  | [ init ] -> (
+      let txn = Txn.begin_ c in
+      match
+        match expand_sync_singleton c init with
+        | Some (ev, Some o, entry)
+          when (match entry.Dispatch.ce_ed with
+               | Some ed -> ed.Template.ed_kind = Ast.Ev_normal
+               | None -> false) ->
+            let ed = Option.get entry.Dispatch.ce_ed in
+            exec_sync_resolved c txn ev o entry ed;
+            {
+              committed = [ [ ev ] ];
+              created = Txn.created txn;
+              destroyed = Txn.destroyed txn;
+            }
+        | Some (ev, _, _) ->
+            (* singleton closure, but a birth, death or unknown event:
+               the general executor handles object creation and
+               life-cycle transitions *)
+            exec_sync c txn [ ev ];
+            {
+              committed = [ [ ev ] ];
+              created = Txn.created txn;
+              destroyed = Txn.destroyed txn;
+            }
+        | None -> (
+            let sync, followups = expand_sync c init in
+            match followups with
+            | [] ->
+                exec_sync c txn sync;
+                {
+                  committed = [ sync ];
+                  created = Txn.created txn;
+                  destroyed = Txn.destroyed txn;
+                }
+            | _ ->
+                (* transaction calling: fall back to the queued protocol,
+                   with the already-expanded first micro-step re-run
+                   under its own savepoint *)
+                exec_txn_queued c txn [ init ])
+      with
+      | outcome ->
+          Txn.commit txn;
+          Ok outcome
+      | exception Error reason ->
+          Txn.rollback txn;
+          Error reason)
+  | _ -> (
+      let txn = Txn.begin_ c in
+      match exec_txn_queued c txn micro_steps with
+      | outcome ->
+          Txn.commit txn;
+          Ok outcome
+      | exception Error reason ->
+          Txn.rollback txn;
+          Error reason)
+
+and exec_txn_queued (c : Community.t) (txn : Txn.t)
+    (micro_steps : Event.t list list) =
+  let committed = ref [] in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.add s queue) micro_steps;
+  while not (Queue.is_empty queue) do
+    let init = Queue.pop queue in
+    let sp = Txn.savepoint txn in
+    try
+      let sync, followups = expand_sync c init in
+      exec_sync c txn sync;
+      committed := sync :: !committed;
+      List.iter (fun s -> Queue.add s queue) followups
+    with Error _ as e ->
+      Txn.rollback_to txn sp;
+      raise e
+  done;
+  {
+    committed = List.rev !committed;
+    created = Txn.created txn;
+    destroyed = Txn.destroyed txn;
+  }
 
 (** The single entry point: every way of changing the community is a
     {!Step.t} executed here.  The firing shapes normalise to a

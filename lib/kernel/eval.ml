@@ -516,3 +516,329 @@ let match_local_event (c : Community.t) (o : Obj_state.t)
     in
     if not target_ok then None
     else match_args c ~env ~self:(Some o) ~vars pat.Ast.ev_args ev.Event.args
+
+(* ------------------------------------------------------------------ *)
+(* Compiled evaluators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Expressions and formulas can be compiled once per template into
+   closures with all static decisions taken up front: attribute names
+   resolved to slots, enum constants and class names recognised,
+   literals folded.  Compiled closures capture only schema facts, never
+   a community — the community is a runtime argument, so clones (which
+   share templates) evaluate against their own state.  Staleness of the
+   captured schema facts is handled above this layer: {!Dispatch}
+   rebuilds all compiled state when [Community.schema_generation]
+   moves. *)
+
+type compiled_expr = Community.t -> Env.t -> Obj_state.t option -> Value.t
+type compiled_formula = Community.t -> Env.t -> Obj_state.t option -> bool
+
+(** Compiled evaluations that had to fall back to the interpreter
+    (dynamic name resolution, queries, quantifiers). *)
+let fallback_count = ref 0
+
+let fallback_expr (x : Ast.expr) : compiled_expr =
+ fun c env self ->
+  incr fallback_count;
+  expr c ~env ~self x
+
+(** [env] shadows every static resolution of a bare name. *)
+let with_env name (k : compiled_expr) : compiled_expr =
+ fun c env self ->
+  match Env.find name env with Some v -> v | None -> k c env self
+
+let rec compile_expr (c0 : Community.t) ~(tpl : Template.t option)
+    (x : Ast.expr) : compiled_expr =
+  match x.Ast.e with
+  | Ast.E_lit l ->
+      let v = lit l in
+      fun _ _ _ -> v
+  | Ast.E_self -> (
+      fun _ _ self ->
+        match self with
+        | Some o -> Ident.to_value o.Obj_state.id
+        | None -> value_error "self used outside an object context")
+  | Ast.E_var name -> compile_var c0 ~tpl name
+  | Ast.E_attr (Ast.OR_self, "surrogate", []) -> (
+      fun _ _ self ->
+        match self with
+        | Some o -> Ident.to_value o.Obj_state.id
+        | None -> value_error "self used outside an object context")
+  | Ast.E_attr (Ast.OR_self, name, []) -> (
+      match tpl with
+      | Some t -> (
+          match Template.find_attr t name with
+          | Some def when def.Template.at_derived = None -> (
+              match Template.slot_of t name with
+              | Some slot -> (
+                  fun c env self ->
+                    match self with
+                    | Some o when o.Obj_state.template == t ->
+                        Obj_state.attr_slot o slot
+                    | _ ->
+                        incr fallback_count;
+                        expr c ~env ~self x)
+              | None -> fallback_expr x)
+          | _ -> fallback_expr x)
+      | None -> fallback_expr x)
+  | Ast.E_attr _ -> fallback_expr x
+  | Ast.E_field (base, fname) ->
+      let cb = compile_expr c0 ~tpl base in
+      fun c env self -> (
+        match cb c env self with
+        | Value.Tuple _ as v -> Value.field fname v
+        | Value.Id (cls, key) ->
+            let o = object_for c ~self (Ident.make cls key) in
+            read_attr c o fname []
+        | Value.Undefined -> Value.Undefined
+        | v -> value_error "cannot select field %s of %a" fname Value.pp v)
+  | Ast.E_apply (f, args) ->
+      let cargs = List.map (compile_expr c0 ~tpl) args in
+      if Community.is_class c0 f then (
+        match cargs with
+        | [ ckey ] ->
+            fun c env self ->
+              Ident.to_value (key_of_value f (ckey c env self))
+        | _ ->
+            fun c env self ->
+              apply_builtin f (List.map (fun a -> a c env self) cargs))
+      else fun c env self ->
+        apply_builtin f (List.map (fun a -> a c env self) cargs)
+  | Ast.E_binop (op, a, b) -> (
+      let ca = compile_expr c0 ~tpl a in
+      let cb = compile_expr c0 ~tpl b in
+      match op with
+      | "and" -> (
+          fun c env self ->
+            match ca c env self with
+            | Value.Bool false -> Value.Bool false
+            | va -> apply2 op va (cb c env self))
+      | "or" -> (
+          fun c env self ->
+            match ca c env self with
+            | Value.Bool true -> Value.Bool true
+            | va -> apply2 op va (cb c env self))
+      | "implies" -> (
+          fun c env self ->
+            match ca c env self with
+            | Value.Bool false -> Value.Bool true
+            | va -> apply2 op va (cb c env self))
+      | _ -> fun c env self -> apply2 op (ca c env self) (cb c env self))
+  | Ast.E_unop (op, a) ->
+      let ca = compile_expr c0 ~tpl a in
+      fun c env self -> apply_builtin op [ ca c env self ]
+  | Ast.E_tuple fields ->
+      let cfields =
+        List.mapi
+          (fun i (name, fx) ->
+            ( (match name with
+              | Some n -> n
+              | None -> Printf.sprintf "_%d" (i + 1)),
+              compile_expr c0 ~tpl fx ))
+          fields
+      in
+      fun c env self ->
+        Value.Tuple (List.map (fun (n, cf) -> (n, cf c env self)) cfields)
+  | Ast.E_setlit xs ->
+      let cxs = List.map (compile_expr c0 ~tpl) xs in
+      fun c env self -> Value.set (List.map (fun cx -> cx c env self) cxs)
+  | Ast.E_listlit xs ->
+      let cxs = List.map (compile_expr c0 ~tpl) xs in
+      fun c env self -> Value.List (List.map (fun cx -> cx c env self) cxs)
+  | Ast.E_if (cond, t, f) -> (
+      let cc = compile_expr c0 ~tpl cond in
+      let ct = compile_expr c0 ~tpl t in
+      let cf = compile_expr c0 ~tpl f in
+      fun c env self ->
+        match cc c env self with
+        | Value.Bool true -> ct c env self
+        | Value.Bool false -> cf c env self
+        | Value.Undefined -> Value.Undefined
+        | v -> value_error "if condition is not boolean: %a" Value.pp v)
+  | Ast.E_query _ -> fallback_expr x
+
+and apply_builtin f args =
+  match Builtin.apply f args with
+  | Ok v -> v
+  | Error m -> value_error "%s" m
+
+(** A bare name, with the scoping decision (attribute slot, enum
+    constant, single object, class extension) taken at compile time.
+    The runtime environment still shadows everything, and a [self] of an
+    unexpected template falls back to dynamic resolution. *)
+and compile_var (c0 : Community.t) ~(tpl : Template.t option) name :
+    compiled_expr =
+  let dynamic : compiled_expr =
+   fun c env self ->
+    incr fallback_count;
+    var c ~env ~self name
+  in
+  let own_attr =
+    match tpl with
+    | Some t -> (
+        match Template.find_attr t name with
+        | Some def when def.Template.at_derived = None -> (
+            match Template.slot_of t name with
+            | Some slot ->
+                Some
+                  (with_env name (fun c env self ->
+                       match self with
+                       | Some o when o.Obj_state.template == t ->
+                           Obj_state.attr_slot o slot
+                       | _ -> dynamic c env self))
+            | None -> None)
+        | Some _ -> Some dynamic (* derived: evaluate its rule *)
+        | None ->
+            (* the name may be an inherited attribute: instance-dependent *)
+            if t.Template.t_view_of <> None || t.Template.t_spec_of <> None
+            then Some dynamic
+            else None)
+    | None -> None
+  in
+  match own_attr with
+  | Some ce -> ce
+  | None ->
+      (* Not an attribute of the compiled template (which, when known,
+         has no base aspect here): the scoping decision is a schema
+         fact.  It covers [self = None] and a [self] of the compiled
+         template; any other [self] resolves dynamically. *)
+      let static_ok (self : Obj_state.t option) =
+        match (self, tpl) with
+        | None, _ -> true
+        | Some o, Some t -> o.Obj_state.template == t
+        | Some _, None -> false
+      in
+      let wrap (k : compiled_expr) =
+        with_env name (fun c env self ->
+            if static_ok self then k c env self else dynamic c env self)
+      in
+      (match Community.enum_of_const c0 name with
+      | Some enum ->
+          let v = Value.Enum (enum, name) in
+          wrap (fun _ _ _ -> v)
+      | None -> (
+          match Community.find_template c0 name with
+          | Some t when t.Template.t_kind = `Single ->
+              let v = Ident.to_value (Ident.singleton name) in
+              wrap (fun _ _ _ -> v)
+          | Some _ ->
+              wrap (fun c _ _ ->
+                  Value.set
+                    (List.map Ident.to_value
+                       (Ident.Set.elements (Community.extension c name))))
+          | None -> wrap (fun _ _ _ -> value_error "unbound name %s" name)))
+
+let rec compile_formula (c0 : Community.t) ~(tpl : Template.t option)
+    (f : Ast.formula) : compiled_formula =
+  match f.Ast.f with
+  | Ast.F_expr e -> (
+      let ce = compile_expr c0 ~tpl e in
+      fun c env self ->
+        match ce c env self with
+        | Value.Bool b -> b
+        | Value.Undefined -> false
+        | v -> value_error "formula is not boolean: %a" Value.pp v)
+  | Ast.F_not g ->
+      let cg = compile_formula c0 ~tpl g in
+      fun c env self -> not (cg c env self)
+  | Ast.F_and (a, b) ->
+      let ca = compile_formula c0 ~tpl a in
+      let cb = compile_formula c0 ~tpl b in
+      fun c env self -> ca c env self && cb c env self
+  | Ast.F_or (a, b) ->
+      let ca = compile_formula c0 ~tpl a in
+      let cb = compile_formula c0 ~tpl b in
+      fun c env self -> ca c env self || cb c env self
+  | Ast.F_implies (a, b) ->
+      let ca = compile_formula c0 ~tpl a in
+      let cb = compile_formula c0 ~tpl b in
+      fun c env self -> (not (ca c env self)) || cb c env self
+  | Ast.F_forall _ | Ast.F_exists _ | Ast.F_sometime _ | Ast.F_always _
+  | Ast.F_since _ | Ast.F_previous _ | Ast.F_after _ ->
+      (* quantifiers need dynamic domains; temporal operators raise the
+         same [Unsupported] as the interpreter *)
+      fun c env self ->
+        incr fallback_count;
+        formula_state c ~env ~self f
+
+(* --- compiled event patterns --------------------------------------- *)
+
+(** One pattern argument: a binder (bare declared variable) or a
+    compiled expression to compare against the actual. *)
+type compiled_arg =
+  | CA_bind of string
+  | CA_expr of compiled_expr
+
+type compiled_pattern = {
+  cp_name : string;
+  cp_target : Ast.obj_ref option;
+      (** [None] covers both "no target" and [self]: match the own
+          object; [Some r] resolves dynamically *)
+  cp_args : compiled_arg list;
+  cp_nargs : int;
+}
+
+let compile_args (c0 : Community.t) ~(tpl : Template.t option)
+    ~(vars : string list) (patterns : Ast.expr list) : compiled_arg list =
+  List.map
+    (fun (p : Ast.expr) ->
+      match p.Ast.e with
+      | Ast.E_var name when List.mem name vars -> CA_bind name
+      | _ -> CA_expr (compile_expr c0 ~tpl p))
+    patterns
+
+let compile_pattern (c0 : Community.t) ~(tpl : Template.t option)
+    ~(vars : string list) (pat : Ast.event_term) : compiled_pattern =
+  {
+    cp_name = pat.Ast.ev_name;
+    cp_target =
+      (match pat.Ast.target with
+      | None | Some Ast.OR_self -> None
+      | Some r -> Some r);
+    cp_args = compile_args c0 ~tpl ~vars pat.Ast.ev_args;
+    cp_nargs = List.length pat.Ast.ev_args;
+  }
+
+(** Compiled counterpart of {!match_args}: binders bind on first
+    occurrence and compare afterwards; expression arguments compare by
+    value, with evaluation errors failing the match. *)
+let match_compiled_args (c : Community.t) ~env ~self
+    (cargs : compiled_arg list) (nargs : int) (actuals : Value.t list) :
+    Env.t option =
+  if List.length actuals <> nargs then None
+  else
+    let step acc ca v =
+      match acc with
+      | None -> None
+      | Some env -> (
+          match ca with
+          | CA_bind name -> (
+              match Env.find name env with
+              | None -> Some (Env.bind name v env)
+              | Some bv -> if Value.equal bv v then Some env else None)
+          | CA_expr ce -> (
+              match ce c env self with
+              | pv when Value.equal pv v -> Some env
+              | _ -> None
+              | exception Error _ -> None))
+    in
+    List.fold_left2 step (Some env) cargs actuals
+
+(** Compiled counterpart of {!match_local_event}. *)
+let match_compiled_event (c : Community.t) (o : Obj_state.t) ~env
+    (cp : compiled_pattern) (ev : Event.t) : Env.t option =
+  if not (String.equal cp.cp_name ev.Event.name) then None
+  else
+    let target_ok =
+      match cp.cp_target with
+      | None -> Ident.equal ev.Event.target o.Obj_state.id
+      | Some r -> (
+          match resolve_ref c ~env ~self:(Some o) r with
+          | id -> Ident.equal ev.Event.target id
+          | exception Error _ -> false)
+    in
+    if not target_ok then None
+    else
+      match_compiled_args c ~env ~self:(Some o) cp.cp_args cp.cp_nargs
+        ev.Event.args

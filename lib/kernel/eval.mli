@@ -65,3 +65,79 @@ val match_local_event :
   Env.t option
 (** Match an event pattern (rule heads, permissions, [after(…)] atoms)
     against an occurred event of the object. *)
+
+(** {1 Compiled evaluators}
+
+    Expressions, formulas and event patterns can be staged into closures
+    with static decisions (attribute slots, enum constants, class-ness,
+    literals) taken once at compile time.  Compiled closures capture
+    schema facts but never a community — the community is a runtime
+    argument, so clones evaluate against their own state.  {!Dispatch}
+    owns cache invalidation via [Community.schema_generation]. *)
+
+type compiled_expr = Community.t -> Env.t -> Obj_state.t option -> Value.t
+type compiled_formula = Community.t -> Env.t -> Obj_state.t option -> bool
+
+val fallback_count : int ref
+(** Compiled evaluations that fell back to the interpreter (dynamic name
+    resolution, queries, quantifiers). *)
+
+val compile_expr :
+  Community.t -> tpl:Template.t option -> Ast.expr -> compiled_expr
+(** Compile against the schema of the given community; [tpl] is the
+    template whose objects will be [self] (slot resolution), [None] for
+    self-free contexts such as global interaction guards. *)
+
+val compile_formula :
+  Community.t -> tpl:Template.t option -> Ast.formula -> compiled_formula
+(** Non-temporal connectives compile to closures; quantifiers fall back
+    to {!formula_state}; temporal operators raise as in the
+    interpreter. *)
+
+(** One compiled pattern argument: a binder or an expression compared
+    against the actual value. *)
+type compiled_arg =
+  | CA_bind of string
+  | CA_expr of compiled_expr
+
+type compiled_pattern = {
+  cp_name : string;
+  cp_target : Ast.obj_ref option;
+      (** [None] covers both "no target" and [self] *)
+  cp_args : compiled_arg list;
+  cp_nargs : int;
+}
+
+val compile_args :
+  Community.t ->
+  tpl:Template.t option ->
+  vars:string list ->
+  Ast.expr list ->
+  compiled_arg list
+
+val compile_pattern :
+  Community.t ->
+  tpl:Template.t option ->
+  vars:string list ->
+  Ast.event_term ->
+  compiled_pattern
+
+val match_compiled_args :
+  Community.t ->
+  env:Env.t ->
+  self:Obj_state.t option ->
+  compiled_arg list ->
+  int ->
+  Value.t list ->
+  Env.t option
+(** Compiled counterpart of {!match_args}: binders bind on first
+    occurrence and compare afterwards. *)
+
+val match_compiled_event :
+  Community.t ->
+  Obj_state.t ->
+  env:Env.t ->
+  compiled_pattern ->
+  Event.t ->
+  Env.t option
+(** Compiled counterpart of {!match_local_event}. *)

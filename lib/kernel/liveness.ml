@@ -24,7 +24,7 @@ type verdict = {
 }
 
 let evaluate_at (c : Community.t) (o : Obj_state.t)
-    (attrs : Value.t Obj_state.Smap.t) (goal : Ast.formula) : bool =
+    (attrs : Value.t array) (goal : Ast.formula) : bool =
   let saved = o.Obj_state.attrs in
   o.Obj_state.attrs <- attrs;
   let result =

@@ -1,8 +1,11 @@
 (** Runtime state of a single object (aspect).
 
-    Attribute maps and monitor states are immutable values held in
-    mutable fields, so a transaction rollback only needs to restore the
-    old pointers ({!snapshot} / {!restore}). *)
+    Attributes live in a flat [Value.t array] indexed by the template's
+    interned slots ({!Template.slots}), so a read or write is one array
+    access instead of a string-map lookup.  Monitor states remain
+    immutable values in mutable fields; a transaction rollback restores
+    the old pointers, with the attribute array copied on {!snapshot}
+    (it is mutated in place between snapshots). *)
 
 module Smap = Map.Make (String)
 
@@ -16,7 +19,7 @@ type pstate =
 
 type history_entry = {
   h_events : Event.t list;  (** events of the step involving this object *)
-  h_attrs : Value.t Smap.t;  (** attribute state after the step *)
+  h_attrs : Value.t array;  (** attribute state after the step (a copy) *)
 }
 
 type t = {
@@ -24,7 +27,7 @@ type t = {
   template : Template.t;
   mutable alive : bool;
   mutable dead : bool;  (** death event has occurred; cannot be reborn *)
-  mutable attrs : Value.t Smap.t;
+  mutable attrs : Value.t array;  (** parallel to [Template.slots] *)
   mutable perm_states : pstate array;  (** parallel to [template.t_perms] *)
   mutable constr_states : Monitor.state option array;
       (** parallel to temporal constraints *)
@@ -44,7 +47,7 @@ let create id (template : Template.t) =
     template;
     alive = false;
     dead = false;
-    attrs = Smap.empty;
+    attrs = Array.make (Template.n_slots template) Value.Undefined;
     perm_states =
       Array.of_list (List.map initial_pstate template.t_perms);
     constr_states =
@@ -58,17 +61,39 @@ let create id (template : Template.t) =
     steps = 0;
   }
 
-let attr t name = match Smap.find_opt name t.attrs with
-  | Some v -> v
+let attr t name =
+  match Template.slot_of t.template name with
+  | Some i -> t.attrs.(i)
   | None -> Value.Undefined
 
-let set_attr t name v = t.attrs <- Smap.add name v t.attrs
+let set_attr t name v =
+  match Template.slot_of t.template name with
+  | Some i -> t.attrs.(i) <- v
+  | None ->
+      Runtime_error.fail
+        (Runtime_error.Unknown_attribute (t.template.Template.t_name, name))
+
+let attr_slot t i = t.attrs.(i)
+let set_attr_slot t i v = t.attrs.(i) <- v
+
+(** Named bindings of an attribute array (relative to a template), in
+    slot-name order, unset ([Undefined]) slots omitted. *)
+let attrs_bindings (template : Template.t) (attrs : Value.t array) :
+    (string * Value.t) list =
+  let rows = ref [] in
+  for i = Array.length attrs - 1 downto 0 do
+    if not (Value.is_undefined attrs.(i)) then
+      rows := (Template.slot_name template i, attrs.(i)) :: !rows
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+let bindings t = attrs_bindings t.template t.attrs
 
 (** Copy of all mutable fields, for rollback. *)
 type snapshot = {
   s_alive : bool;
   s_dead : bool;
-  s_attrs : Value.t Smap.t;
+  s_attrs : Value.t array;
   s_perm_states : pstate array;
   s_constr_states : Monitor.state option array;
   s_history : history_entry list;
@@ -79,13 +104,16 @@ let snapshot t =
   {
     s_alive = t.alive;
     s_dead = t.dead;
-    s_attrs = t.attrs;
+    s_attrs = Array.copy t.attrs;
     s_perm_states = Array.copy t.perm_states;
     s_constr_states = Array.copy t.constr_states;
     s_history = t.history;
     s_steps = t.steps;
   }
 
+(* Restoring by pointer is sound because journal entries are single-use
+   (popped in LIFO order and discarded); the snapshot array becomes the
+   live one. *)
 let restore t s =
   t.alive <- s.s_alive;
   t.dead <- s.s_dead;
@@ -95,17 +123,20 @@ let restore t s =
   t.history <- s.s_history;
   t.steps <- s.s_steps
 
-(** Shallow cost of a snapshot in bytes: the record and its two copied
-    arrays.  The attribute map and monitor states are shared pointers,
-    so this is what taking the snapshot actually allocated. *)
+(** Shallow cost of a snapshot in bytes: the record and its three copied
+    arrays.  Monitor states and attribute values are shared pointers, so
+    this is what taking the snapshot actually allocated. *)
 let snapshot_cost s =
-  (9 + Array.length s.s_perm_states + Array.length s.s_constr_states)
+  (9
+  + Array.length s.s_attrs
+  + Array.length s.s_perm_states
+  + Array.length s.s_constr_states)
   * (Sys.word_size / 8)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v 2>%a%s@," Ident.pp t.id
     (if t.dead then " (dead)" else if t.alive then "" else " (unborn)");
-  Smap.iter
-    (fun name v -> Format.fprintf ppf "%s = %a@," name Value.pp v)
-    t.attrs;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%s = %a@," name Value.pp v)
+    (bindings t);
   Format.fprintf ppf "@]"

@@ -1,8 +1,11 @@
 (** Runtime state of a single object (aspect).
 
-    Attribute maps and monitor states are immutable values held in
-    mutable fields, so transaction rollback only restores old pointers
-    ({!snapshot} / {!restore}). *)
+    Attributes are stored in a flat array indexed by the template's
+    interned slots ({!Template.slots}); name-based access goes through
+    the slot table, slot-based access is a single array read/write.
+    Monitor states are immutable values held in mutable fields, so
+    transaction rollback restores old pointers; the attribute array is
+    copied on {!snapshot} because it is mutated in place. *)
 
 module Smap :
   Map.S with type key = string and type 'a t = 'a Map.Make(String).t
@@ -17,7 +20,7 @@ type pstate =
 
 type history_entry = {
   h_events : Event.t list;  (** events of the step involving this object *)
-  h_attrs : Value.t Smap.t;  (** attribute state after the step *)
+  h_attrs : Value.t array;  (** attribute state after the step (a copy) *)
 }
 
 type t = {
@@ -25,7 +28,7 @@ type t = {
   template : Template.t;
   mutable alive : bool;
   mutable dead : bool;  (** death has occurred; no rebirth *)
-  mutable attrs : Value.t Smap.t;
+  mutable attrs : Value.t array;  (** parallel to [Template.slots] *)
   mutable perm_states : pstate array;  (** parallel to [template.t_perms] *)
   mutable constr_states : Monitor.state option array;
       (** parallel to the template's temporal constraints *)
@@ -36,15 +39,28 @@ type t = {
 }
 
 val create : Ident.t -> Template.t -> t
-(** A fresh, unborn state (monitors unstarted, attributes empty). *)
+(** A fresh, unborn state (monitors unstarted, attributes all
+    [Undefined]). *)
 
 val initial_pstate : Template.permission -> pstate
 
 val attr : t -> string -> Value.t
-(** Raw stored attribute ([Undefined] when unset); derived attributes
-    are computed by {!Eval.read_attr}, not here. *)
+(** Raw stored attribute ([Undefined] when unset or unknown to the
+    template); derived attributes are computed by {!Eval.read_attr},
+    not here. *)
 
 val set_attr : t -> string -> Value.t -> unit
+(** Raises {!Runtime_error.Error} with [Unknown_attribute] when the
+    template has no slot of that name. *)
+
+val attr_slot : t -> int -> Value.t
+val set_attr_slot : t -> int -> Value.t -> unit
+
+val attrs_bindings : Template.t -> Value.t array -> (string * Value.t) list
+(** Named bindings of an attribute array relative to a template, sorted
+    by name, unset ([Undefined]) slots omitted. *)
+
+val bindings : t -> (string * Value.t) list
 
 (** Copies of all mutable fields, for rollback. *)
 type snapshot
@@ -54,6 +70,7 @@ val restore : t -> snapshot -> unit
 
 val snapshot_cost : snapshot -> int
 (** Bytes allocated by taking the snapshot (shallow: the record plus the
-    copied monitor-state arrays; maps and states are shared pointers). *)
+    copied attribute and monitor-state arrays; values and states are
+    shared pointers). *)
 
 val pp : Format.formatter -> t -> unit

@@ -40,11 +40,11 @@ let save_object buf (o : Obj_state.t) =
     (Printf.sprintf "object|%s|%s|%b|%b|%d\n" o.Obj_state.id.Ident.cls
        (Value_codec.encode o.Obj_state.id.Ident.key)
        o.Obj_state.alive o.Obj_state.dead o.Obj_state.steps);
-  Obj_state.Smap.iter
-    (fun name v ->
+  List.iter
+    (fun (name, v) ->
       Buffer.add_string buf
         (Printf.sprintf "attr|%s|%s\n" name (Value_codec.encode v)))
-    o.Obj_state.attrs;
+    (Obj_state.bindings o);
   Array.iteri
     (fun idx ps ->
       match ps with

@@ -139,6 +139,21 @@ type constraint_def =
   | K_temporal of atom Formula.t * atom Monitor.compiled * string
       (** monitored; must hold at every instant *)
 
+(** Interned attribute slots: every declared attribute gets a fixed
+    integer index, so object states store a [Value.t array] instead of a
+    string map (see {!Obj_state}).  Built lazily from [t_attrs] and
+    cached; the template record stays buildable as a plain literal. *)
+type slots = {
+  slot_names : string array;  (** declaration order *)
+  slot_index : (string, int) Hashtbl.t;
+}
+
+(** Staging hook: the dispatch layer ({!Dispatch}) caches its per-event
+    rule indexes and compiled evaluators on the template through this
+    extensible type, without the template layer depending on the
+    evaluator. *)
+type staged = ..
+
 type t = {
   t_name : string;
   t_kind : [ `Class | `Single ];
@@ -154,7 +169,26 @@ type t = {
   t_vars : (string * Vtype.t) list;
       (** declared rule variables: names that act as binders in event
           patterns *)
+  mutable t_slots : slots option;  (** lazy: see {!slots} *)
+  mutable t_staged : staged option;  (** owned by the dispatch layer *)
 }
+
+let slots t =
+  match t.t_slots with
+  | Some s -> s
+  | None ->
+      let names = Array.of_list (List.map (fun a -> a.at_name) t.t_attrs) in
+      let index = Hashtbl.create (max 4 (Array.length names)) in
+      Array.iteri
+        (fun i n -> if not (Hashtbl.mem index n) then Hashtbl.add index n i)
+        names;
+      let s = { slot_names = names; slot_index = index } in
+      t.t_slots <- Some s;
+      s
+
+let n_slots t = Array.length (slots t).slot_names
+let slot_of t name = Hashtbl.find_opt (slots t).slot_index name
+let slot_name t i = (slots t).slot_names.(i)
 
 let find_attr t name =
   List.find_opt (fun a -> String.equal a.at_name name) t.t_attrs

@@ -89,6 +89,18 @@ type constraint_def =
   | K_temporal of atom Formula.t * atom Monitor.compiled * string
       (** monitored; must hold at every instant *)
 
+(** Interned attribute slots: one fixed integer index per declared
+    attribute, backing the [Value.t array] storage of {!Obj_state}. *)
+type slots = {
+  slot_names : string array;  (** declaration order *)
+  slot_index : (string, int) Hashtbl.t;
+}
+
+(** Staging hook for the dispatch layer: {!Dispatch} extends this type
+    with its per-event rule indexes and compiled evaluators, cached on
+    the template without a dependency of this layer on the evaluator. *)
+type staged = ..
+
 type t = {
   t_name : string;
   t_kind : [ `Class | `Single ];
@@ -103,7 +115,16 @@ type t = {
   t_constraints : constraint_def list;
   t_vars : (string * Vtype.t) list;
       (** declared rule variables (binders in event patterns) *)
+  mutable t_slots : slots option;  (** lazily built slot table *)
+  mutable t_staged : staged option;  (** owned by the dispatch layer *)
 }
+
+val slots : t -> slots
+(** The slot table, built from [t_attrs] on first use and cached. *)
+
+val n_slots : t -> int
+val slot_of : t -> string -> int option
+val slot_name : t -> int -> string
 
 val find_attr : t -> string -> attr_def option
 val find_event : t -> string -> event_def option

@@ -23,7 +23,9 @@ let of_object (o : Obj_state.t) : entry list =
          {
            step = i;
            events = h.Obj_state.h_events;
-           attrs = Obj_state.Smap.bindings h.Obj_state.h_attrs;
+           attrs =
+             Obj_state.attrs_bindings o.Obj_state.template
+               h.Obj_state.h_attrs;
          })
 
 let length (o : Obj_state.t) = List.length o.Obj_state.history
@@ -76,6 +78,15 @@ let txn_stats_rows () =
   ]
 
 let pp_txn_stats ppf () = Txn.pp_stats ppf (Txn.stats ())
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-dispatch statistics                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_stats = Dispatch.stats
+let reset_dispatch_stats = Dispatch.reset_stats
+let dispatch_stats_rows = Dispatch.stats_rows
+let pp_dispatch_stats = Dispatch.pp_stats
 
 (* ------------------------------------------------------------------ *)
 (* Latency histograms                                                  *)

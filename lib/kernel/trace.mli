@@ -31,6 +31,19 @@ val txn_stats_rows : unit -> (string * int) list
 
 val pp_txn_stats : Format.formatter -> unit -> unit
 
+(** {1 Compiled-dispatch statistics}
+
+    The {!Dispatch} layer's process-wide counters: staging work done at
+    load time and per-step index hits versus interpreted fallbacks. *)
+
+val dispatch_stats : unit -> Dispatch.stats
+val reset_dispatch_stats : unit -> unit
+
+val dispatch_stats_rows : unit -> (string * int) list
+(** The counters as labelled rows, for tabular front ends. *)
+
+val pp_dispatch_stats : Format.formatter -> unit -> unit
+
 (** {1 Latency histograms}
 
     Fixed log2-bucket histograms over microseconds, cheap enough to

@@ -37,22 +37,38 @@ type stats = {
   bytes_snapshotted : int;
 }
 
-let zero_stats =
+(* kept as individual mutable cells: the hot path bumps one counter per
+   transaction op and must not allocate a fresh record each time *)
+let n_begun = ref 0
+and n_committed = ref 0
+and n_rolled_back = ref 0
+and n_savepoints = ref 0
+and n_savepoint_rollbacks = ref 0
+and n_probes = ref 0
+and n_journal_entries = ref 0
+and n_bytes_snapshotted = ref 0
+
+let stats () =
   {
-    begun = 0;
-    committed = 0;
-    rolled_back = 0;
-    savepoints = 0;
-    savepoint_rollbacks = 0;
-    probes = 0;
-    journal_entries = 0;
-    bytes_snapshotted = 0;
+    begun = !n_begun;
+    committed = !n_committed;
+    rolled_back = !n_rolled_back;
+    savepoints = !n_savepoints;
+    savepoint_rollbacks = !n_savepoint_rollbacks;
+    probes = !n_probes;
+    journal_entries = !n_journal_entries;
+    bytes_snapshotted = !n_bytes_snapshotted;
   }
 
-let counters = ref zero_stats
-
-let stats () = !counters
-let reset_stats () = counters := zero_stats
+let reset_stats () =
+  n_begun := 0;
+  n_committed := 0;
+  n_rolled_back := 0;
+  n_savepoints := 0;
+  n_savepoint_rollbacks := 0;
+  n_probes := 0;
+  n_journal_entries := 0;
+  n_bytes_snapshotted := 0
 
 let pp_stats ppf s =
   Format.fprintf ppf
@@ -81,11 +97,32 @@ let fresh_journal () : Community.journal =
     epoch = 0;
   }
 
+(* One detached journal is kept for reuse so the per-transaction cost is
+   a reset, not a record + hashtable allocation.  Only ever holds a
+   journal that no community points to. *)
+let spare_journal : Community.journal option ref = ref None
+
+let take_journal () =
+  match !spare_journal with
+  | Some j ->
+      spare_journal := None;
+      j
+  | None -> fresh_journal ()
+
+let release_journal (j : Community.journal) =
+  j.Community.entries <- [];
+  j.Community.count <- 0;
+  j.Community.total <- 0;
+  j.Community.bytes <- 0;
+  Hashtbl.reset j.Community.touched;
+  j.Community.epoch <- 0;
+  spare_journal := Some j
+
 let begin_ (c : Community.t) =
-  counters := { !counters with begun = !counters.begun + 1 };
+  incr n_begun;
   match c.Community.journal with
   | None ->
-      c.Community.journal <- Some (fresh_journal ());
+      c.Community.journal <- Some (take_journal ());
       { c; owner = true; base = 0; t_created = []; t_destroyed = [] }
   | Some j ->
       (* nested scope: new epoch so touched objects are re-snapshotted
@@ -128,12 +165,8 @@ let destroyed t = List.rev t.t_destroyed
 (** Fold the journal's lifetime totals into the global counters, at
     top-level close. *)
 let account (j : Community.journal) =
-  counters :=
-    {
-      !counters with
-      journal_entries = !counters.journal_entries + j.Community.total;
-      bytes_snapshotted = !counters.bytes_snapshotted + j.Community.bytes;
-    }
+  n_journal_entries := !n_journal_entries + j.Community.total;
+  n_bytes_snapshotted := !n_bytes_snapshotted + j.Community.bytes
 
 (** Pop and undo entries until the journal is [mark] long again. *)
 let pop_to (c : Community.t) (j : Community.journal) mark =
@@ -150,22 +183,24 @@ let pop_to (c : Community.t) (j : Community.journal) mark =
   j.Community.epoch <- j.Community.epoch + 1
 
 let commit t =
-  counters := { !counters with committed = !counters.committed + 1 };
+  incr n_committed;
   if t.owner then begin
     let j = journal_exn t in
     account j;
-    t.c.Community.journal <- None
+    t.c.Community.journal <- None;
+    release_journal j
   end
 (* nested commit: keep the entries — the outer scope may still roll
    everything back *)
 
 let rollback t =
-  counters := { !counters with rolled_back = !counters.rolled_back + 1 };
+  incr n_rolled_back;
   let j = journal_exn t in
   pop_to t.c j t.base;
   if t.owner then begin
     account j;
-    t.c.Community.journal <- None
+    t.c.Community.journal <- None;
+    release_journal j
   end
 
 (* ------------------------------------------------------------------ *)
@@ -179,7 +214,7 @@ type savepoint = {
 }
 
 let savepoint t =
-  counters := { !counters with savepoints = !counters.savepoints + 1 };
+  incr n_savepoints;
   let j = journal_exn t in
   j.Community.epoch <- j.Community.epoch + 1;
   {
@@ -189,11 +224,7 @@ let savepoint t =
   }
 
 let rollback_to t sp =
-  counters :=
-    {
-      !counters with
-      savepoint_rollbacks = !counters.savepoint_rollbacks + 1;
-    };
+  incr n_savepoint_rollbacks;
   let j = journal_exn t in
   pop_to t.c j sp.sp_mark;
   t.t_created <- sp.sp_created;
@@ -204,7 +235,7 @@ let rollback_to t sp =
 (* ------------------------------------------------------------------ *)
 
 let probe (c : Community.t) f =
-  counters := { !counters with probes = !counters.probes + 1 };
+  incr n_probes;
   let t = begin_ c in
   match f () with
   | v ->

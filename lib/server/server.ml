@@ -153,6 +153,11 @@ let stats_json t : Json.t =
           (List.map
              (fun (label, n) -> (label, Json.Int n))
              (Trace.txn_stats_rows ())) );
+      ( "dispatch",
+        Json.Obj
+          (List.map
+             (fun (label, n) -> (label, Json.Int n))
+             (Trace.dispatch_stats_rows ())) );
       ("latency_us", Json.Obj latency_rows);
     ]
 

@@ -113,6 +113,35 @@ let step (c : 'a compiled) ~(atom_eval : 'a -> bool) (prev : state option) :
   done;
   cur
 
+(** [step] specialised to the case where every atom of the new state is
+    known to be false (no occurred event matches an occurrence atom, no
+    state atoms).  Produces the same truth vector as
+    [step ~atom_eval:(fun _ -> false) (Some prev)], but returns [prev]
+    itself — states are immutable — when the vector does not change,
+    which is the common fixpoint after one quiescent step. *)
+let step_false (c : 'a compiled) (prev : state) : state =
+  let n = Array.length c.nodes in
+  let cur = Array.make n false in
+  let same = ref true in
+  for i = 0 to n - 1 do
+    let v =
+      match c.nodes.(i) with
+      | NTrue -> true
+      | NFalse | NAtom _ -> false
+      | NNot j -> not cur.(j)
+      | NAnd (j, k) -> cur.(j) && cur.(k)
+      | NOr (j, k) -> cur.(j) || cur.(k)
+      | NImplies (j, k) -> (not cur.(j)) || cur.(k)
+      | NSometime (j, _) -> cur.(j) || prev.(i)
+      | NAlways j -> cur.(j) && prev.(i)
+      | NSince (j, k) -> cur.(k) || (cur.(j) && prev.(i))
+      | NPrevious j -> prev.(j)
+    in
+    cur.(i) <- v;
+    if v <> prev.(i) then same := false
+  done;
+  if !same then prev else cur
+
 (** Truth value of the whole formula at the last seen instant. *)
 let value (c : 'a compiled) (s : state) : bool = s.(c.root)
 

@@ -23,6 +23,12 @@ val step : 'a compiled -> atom_eval:('a -> bool) -> state option -> state
 (** Advance by one observed state; [None] denotes the first instant of
     the life cycle.  [atom_eval] decides each atom in the new state. *)
 
+val step_false : 'a compiled -> state -> state
+(** [step] specialised to a new state in which every atom is known to be
+    false.  Same truth vector as
+    [step ~atom_eval:(fun _ -> false) (Some prev)], but returns [prev]
+    itself (states are immutable) when the vector does not change. *)
+
 val value : 'a compiled -> state -> bool
 (** Truth value of the whole formula at the last seen instant. *)
 

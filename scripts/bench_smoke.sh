@@ -1,8 +1,9 @@
 #!/bin/sh
-# Benchmark smoke run: quick-mode E3 (rollback) and E10 (probe vs
-# clone), with the E10 numbers emitted as BENCH_E10.json at the repo
-# root so the perf trajectory is tracked in-tree, plus the E11 socket
-# round-trip benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
+# Benchmark smoke run: quick-mode E3 (engine), E10 (probe vs clone) and
+# E12 (compiled vs interpreted dispatch), with the E10 and E12 numbers
+# emitted as BENCH_E10.json / BENCH_E12.json at the repo root so the
+# perf trajectory is tracked in-tree, plus the E11 socket round-trip
+# benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -55,6 +56,41 @@ printf '%s\n' "$out" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host"
 echo
 echo "wrote BENCH_E10.json:"
 cat BENCH_E10.json
+
+echo
+echo "== E12 (compiled vs interpreted dispatch) =="
+out12=$(dune exec bench/main.exe -- --quick --filter E12)
+printf '%s\n' "$out12"
+
+printf '%s\n' "$out12" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+  BEGIN {
+    print "{"
+    print "  \"experiment\": \"E12\","
+    printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"host\": \"%s\",\n", host
+    print "  \"unit\": \"ns/run\","
+    print "  \"results\": ["
+    n = 0
+  }
+  /^E12 / {
+    ns = $NF
+    name = $0
+    sub(/[ \t]+[0-9.]+[ \t]*$/, "", name)
+    sub(/[ \t]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_run\": %s}", name, ns
+  }
+  END {
+    print ""
+    print "  ]"
+    print "}"
+  }
+' > BENCH_E12.json
+
+echo
+echo "wrote BENCH_E12.json:"
+cat BENCH_E12.json
 
 echo
 echo "== E11 (serve socket round-trips) =="

@@ -41,7 +41,7 @@ let test_dot_escaping () =
     { Template.t_name = "A\"B"; t_kind = `Class; t_id_fields = [];
       t_view_of = None; t_spec_of = None; t_attrs = []; t_events = [];
       t_valuations = []; t_callings = []; t_perms = []; t_constraints = [];
-      t_vars = [] };
+      t_vars = []; t_slots = None; t_staged = None };
   check tbool "quotes escaped" true (contains (Dot.of_schema s) "A\\\"B")
 
 let test_dot_community () =
@@ -50,7 +50,7 @@ let test_dot_community () =
     { Template.t_name = name; t_kind = `Class; t_id_fields = [];
       t_view_of = None; t_spec_of = None; t_attrs = []; t_events = [];
       t_valuations = []; t_callings = []; t_perms = []; t_constraints = [];
-      t_vars = [] }
+      t_vars = []; t_slots = None; t_staged = None }
   in
   Schema.add_template s (tpl "computer");
   Schema.add_template s (tpl "el_device");

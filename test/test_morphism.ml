@@ -20,7 +20,7 @@ let template name ~attrs ~events =
   { Template.t_name = name; t_kind = `Class; t_id_fields = [];
     t_view_of = None; t_spec_of = None; t_attrs = attrs; t_events = events;
     t_valuations = []; t_callings = []; t_perms = []; t_constraints = [];
-    t_vars = [] }
+    t_vars = []; t_slots = None; t_staged = None }
 
 (* The paper's example 3.2 hierarchy *)
 let el_device =
