@@ -16,7 +16,9 @@
     - E10 rollback/probe ablation over the journaled transaction layer;
     - E11 access methods for the internal schema;
     - E12 compiled vs interpreted rule dispatch (accepted steps);
-    - E13 persistence save/restore throughput.
+    - E13 persistence save/restore throughput;
+    - E14 generated mixed workloads (the fuzzing generator's random
+      communities and traces replayed through the engine).
 
     [dune exec bench/main.exe] runs everything under bechamel and prints
     one OLS-estimated ns/run per benchmark.  [-- --quick] uses short
@@ -323,6 +325,26 @@ let persist_tests () =
       ])
     [ 10; 100; 1000 ]
 
+(* E14: generated mixed workloads — the lib/gen fuzzing generator
+   reused as a benchmark.  Unlike E3/E12's uniform accepted steps, a
+   generated trace mixes creates, fires, syncs, sequences,
+   transactions and destroys over specs with views, components and
+   temporal permissions; replaying it cyclically keeps a stable mix of
+   accepted and rejected steps, so this times the engine's full
+   accept-or-rollback path. *)
+let generated_tests () =
+  let tolerate (_ : Engine.step_result) = () in
+  List.map
+    (fun seed ->
+      let c, steps = Workload.generated_workload seed ~len:400 in
+      let n = Array.length steps in
+      let i = ref 0 in
+      ( Printf.sprintf "E14 generated/seed%d" seed,
+        fun () ->
+          tolerate (Engine.step c steps.(!i mod n));
+          incr i ))
+    [ 1; 7 ]
+
 let all_tests ~quick () =
   front_end_tests ()
   @ engine_tests ()
@@ -338,6 +360,7 @@ let all_tests ~quick () =
   @ access_method_tests ()
   @ dispatch_tests ()
   @ persist_tests ()
+  @ generated_tests ()
 
 (* ------------------------------------------------------------------ *)
 (* Runners                                                             *)

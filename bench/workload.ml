@@ -327,3 +327,28 @@ let company_with_views () =
       | Ok _ -> ()
       | Error r -> failwith (Runtime_error.reason_to_string r));
       (sys, Ident.make "PERSON" key)
+
+(* ------------------------------------------------------------------ *)
+(* E14: generated communities + traces (the fuzzing generator reused)  *)
+(* ------------------------------------------------------------------ *)
+
+(** A seed-deterministic random community with a long mixed step
+    workload (creates, fires, syncs, sequences, transactions,
+    destroys) from [lib/gen] — the same generator the differential
+    fuzzing suite uses, so the benchmark exercises spec shapes no
+    hand-written workload covers (views, components, temporal
+    permissions, calling cascades in one spec). *)
+let generated_workload ?config seed ~len =
+  let rng = Rng.make2 seed 0 in
+  let model = Genspec.generate (Rng.split rng) in
+  let src = Genspec.render model in
+  let fresh () =
+    match Compile.load ?config src with
+    | Ok (c, _) -> c
+    | Error e -> failwith ("generated spec rejected: " ^ e)
+  in
+  (* the trace generator biases toward accepted steps against a scratch
+     community; replay targets a fresh one *)
+  let scratch = fresh () in
+  let steps = Array.of_list (Gentrace.generate rng model scratch ~len) in
+  (fresh (), steps)

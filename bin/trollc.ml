@@ -416,13 +416,124 @@ let serve_cmd =
       const run $ spec_arg $ socket_arg $ stdio_arg $ queue_arg
       $ deadline_arg $ save_arg $ restore_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the run; every iteration is a pure function of (seed, \
+             iteration), so a reported failure replays exactly.  Default: \
+             derived from the clock (and printed)")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Generated (spec, trace) pairs to push through the oracles")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily minimise the first failing pair before reporting it")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write the (shrunk) counterexample file into $(docv)")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dump" ] ~docv:"ITER"
+          ~doc:
+            "Print the generated specification and trace of iteration \
+             $(docv) (without running the oracles) and exit — the \
+             inspection half of the seed-repro workflow")
+  in
+  let run seed iters shrink out dump =
+    let seed =
+      match seed with
+      | Some s -> s
+      | None -> int_of_float (Unix.gettimeofday () *. 1000.) land 0xFFFFFF
+    in
+    match dump with
+    | Some iter -> (
+        let rng = Rng.make2 seed iter in
+        let model = Genspec.generate (Rng.split rng) in
+        let src = Genspec.render model in
+        Printf.printf "-- seed %d iteration %d\n%s\n" seed iter src;
+        match Troll.Session.load src with
+        | Error e ->
+            Printf.printf "-- DOES NOT LOAD: %s\n" (Troll.Error.to_string e);
+            1
+        | Ok scratch ->
+            let len = Rng.range rng 15 40 in
+            let trace =
+              Gentrace.generate rng model
+                (Troll.Session.community scratch)
+                ~len
+            in
+            Printf.printf "-- trace (%d steps):\n" (List.length trace);
+            List.iteri
+              (fun i st ->
+                Printf.printf "%s\n"
+                  (Json.to_string (Oracle.request_of_step ~id:i st)))
+              trace;
+            0)
+    | None ->
+        Printf.printf "fuzz: seed %d, %d iterations, oracles: %s\n%!" seed
+          iters
+          (String.concat " " Oracle.oracle_names);
+        let outcome =
+          Fuzz.run ~log:print_endline ?out_dir:out ~seed ~iters ~shrink ()
+        in
+        (match outcome.Fuzz.failure with
+        | None ->
+            Printf.printf "fuzz: %d/%d iterations clean\n"
+              outcome.Fuzz.iterations iters;
+            0
+        | Some f ->
+            Printf.printf "fuzz: FAILED at iteration %d (oracle %s)\n"
+              f.Fuzz.f_iter f.Fuzz.f_oracle;
+            Printf.printf "  %s\n" f.Fuzz.f_detail;
+            Printf.printf "  reproduce: trollc fuzz --seed %d --iters %d\n" seed
+              (f.Fuzz.f_iter + 1);
+            Printf.printf "counterexample spec (%d -> %d trace steps):\n%s\n"
+              (List.length f.Fuzz.f_trace)
+              (List.length f.Fuzz.f_shrunk_trace)
+              f.Fuzz.f_shrunk_spec;
+            print_endline "counterexample trace:";
+            List.iteri
+              (fun i st ->
+                Printf.printf "  %s\n"
+                  (Json.to_string (Oracle.request_of_step ~id:i st)))
+              f.Fuzz.f_shrunk_trace;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate seed-deterministic well-typed specifications and event \
+          workloads, and check every pair against four differential oracles: \
+          compiled vs interpreted dispatch, engine vs society server, save/\
+          load/replay, and journal cleanliness of rejected steps (probe = \
+          clone).  The first failure is shrunk to a minimal (spec, trace) \
+          pair when --shrink is given")
+    Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ out_arg $ dump_arg)
+
 let main =
   Cmd.group
     (Cmd.info "trollc" ~version:"1.0.0"
        ~doc:"Parser, checker and animator for the TROLL specification language")
     [
       parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd;
-      serve_cmd;
+      serve_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

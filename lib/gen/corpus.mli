@@ -1,0 +1,22 @@
+(** Counterexample files: a shrunk (spec, trace) pair in one
+    self-contained text file, written when a fuzz run fails and
+    replayable afterwards (see docs/TESTING.md for the promotion
+    workflow into [test/corpus/]).
+
+    Format: comment header (seed, iteration, oracle, detail), the
+    specification source between [== SPEC ==] and [== TRACE ==], then
+    one NDJSON request frame per trace step — the same wire encoding
+    the society server speaks — closed by [== END ==]. *)
+
+val write :
+  path:string ->
+  seed:int ->
+  iter:int ->
+  oracle:string ->
+  detail:string ->
+  src:string ->
+  trace:Step.t list ->
+  unit
+
+val read : string -> (string * Step.t list, string) result
+(** Load a counterexample file back as (spec source, trace). *)

@@ -1,0 +1,98 @@
+type failure = {
+  f_iter : int;
+  f_oracle : string;
+  f_detail : string;
+  f_spec : string;
+  f_trace : Step.t list;
+  f_shrunk_spec : string;
+  f_shrunk_trace : Step.t list;
+}
+
+type outcome = { iterations : int; failure : failure option }
+
+(* One iteration: generate a model, render it, load a scratch community
+   for trace generation, then run the four oracles. *)
+let iteration ~seed ~iter =
+  let rng = Rng.make2 seed iter in
+  let model = Genspec.generate (Rng.split rng) in
+  let src = Genspec.render model in
+  match Troll.Session.load src with
+  | Error e ->
+      Some
+        ( model,
+          src,
+          [],
+          {
+            Oracle.oracle = "wellformed";
+            detail = "generated spec failed to load: " ^ Troll.Error.to_string e;
+          } )
+  | Ok scratch ->
+      let len = Rng.range rng 15 40 in
+      let trace =
+        Gentrace.generate rng model (Troll.Session.community scratch) ~len
+      in
+      (match Oracle.check_all src trace with
+      | Ok () -> None
+      | Error f -> Some (model, src, trace, f))
+
+let shrink_failure model trace (f : Oracle.failure) =
+  if f.oracle = "wellformed" then
+    (* minimise "does not load" directly: no trace is involved *)
+    let pred m _ =
+      match Troll.Session.load (Genspec.render m) with
+      | Error _ -> true
+      | Ok _ -> false
+    in
+    Shrink.shrink ~pred model []
+  else
+    let pred m t =
+      match Oracle.run_oracle f.oracle (Genspec.render m) t with
+      | Error f' -> f'.Oracle.oracle = f.oracle
+      | Ok () -> false
+    in
+    Shrink.shrink ~pred model trace
+
+let run ?(log = ignore) ?out_dir ~seed ~iters ~shrink () =
+  let rec loop i =
+    if i >= iters then { iterations = iters; failure = None }
+    else (
+      if i > 0 && i mod 50 = 0 then
+        log (Printf.sprintf "fuzz: %d/%d iterations clean" i iters);
+      match iteration ~seed ~iter:i with
+      | None -> loop (i + 1)
+      | Some (model, src, trace, f) ->
+          log
+            (Printf.sprintf "fuzz: iteration %d failed oracle %s: %s" i f.oracle
+               f.detail);
+          let shrunk_model, shrunk_trace =
+            if shrink then (
+              log "fuzz: shrinking...";
+              shrink_failure model trace f)
+            else (model, trace)
+          in
+          let shrunk_src = Genspec.render shrunk_model in
+          let failure =
+            {
+              f_iter = i;
+              f_oracle = f.oracle;
+              f_detail = f.detail;
+              f_spec = src;
+              f_trace = trace;
+              f_shrunk_spec = shrunk_src;
+              f_shrunk_trace = shrunk_trace;
+            }
+          in
+          (match out_dir with
+          | Some dir ->
+              (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "counterexample-seed%d-iter%d.fuzz" seed i)
+              in
+              Corpus.write ~path ~seed ~iter:i ~oracle:f.oracle ~detail:f.detail
+                ~src:shrunk_src ~trace:shrunk_trace;
+              log (Printf.sprintf "fuzz: counterexample written to %s" path)
+          | None -> ());
+          { iterations = i; failure = Some failure })
+  in
+  loop 0

@@ -1,0 +1,37 @@
+(** The fuzzing driver: N seeded iterations of generate → trace → four
+    oracles, shrinking the first failure.
+
+    Iteration [i] of a run draws everything from the stream
+    [Rng.make2 seed i], so a failure reported as (seed, iter) is
+    reproduced exactly by [trollc fuzz --seed SEED --iters N] for any
+    [N > iter] — and by a run of one iteration after advancing to it.
+
+    A specification that fails to load is itself a failure (oracle
+    ["wellformed"]): {!Genspec.generate} promises well-typedness. *)
+
+type failure = {
+  f_iter : int;
+  f_oracle : string;
+  f_detail : string;
+  f_spec : string;  (** rendered source as generated *)
+  f_trace : Step.t list;
+  f_shrunk_spec : string;
+  f_shrunk_trace : Step.t list;
+}
+
+type outcome = {
+  iterations : int;  (** iterations completed (== iters when clean) *)
+  failure : failure option;
+}
+
+val run :
+  ?log:(string -> unit) ->
+  ?out_dir:string ->
+  seed:int ->
+  iters:int ->
+  shrink:bool ->
+  unit ->
+  outcome
+(** Stops at the first failure (after shrinking it, when [shrink]); a
+    counterexample file is written into [out_dir] when given.  [log]
+    receives progress lines. *)

@@ -1,0 +1,842 @@
+(* Generation of well-typed TROLL specifications.
+
+   The generator draws a structured model first and renders concrete
+   syntax from it; rule bodies are rendered eagerly (they are atomic to
+   the shrinker) but carry enough metadata — the attached event, every
+   (class, event) mentioned, the variables needed, a separable guard —
+   for structural shrinking to drop classes, events, rules and guards
+   without re-parsing anything.
+
+   Well-typedness discipline, so every render passes the checker:
+   - surrogate/set-of-surrogate attribute types, components and global
+     interactions only reference classes declared *earlier*;
+   - local calling rules only call events with a *larger* index and
+     global interactions only call classes with a *smaller* index, so
+     the calling closure is acyclic by construction;
+   - variable names encode their type ([Vi1 : integer], [VoC0_1 :
+     |C0|]), so merging the variable sections of independent rules can
+     never produce one name at two types;
+   - boolean attributes referenced by temporal constraints are
+     constant-initialised to [false] at birth, keeping every birth
+     admissible with respect to those constraints. *)
+
+type atype =
+  | TInt
+  | TBool
+  | TMoney
+  | TString
+  | TEnum of string * string list
+  | TSurr of string
+  | TSetInt
+  | TSetSurr of string
+
+let type_text = function
+  | TInt -> "integer"
+  | TBool -> "bool"
+  | TMoney -> "money"
+  | TString -> "string"
+  | TEnum (n, _) -> n
+  | TSurr c -> "|" ^ c ^ "|"
+  | TSetInt -> "set(integer)"
+  | TSetSurr c -> "set(|" ^ c ^ "|)"
+
+type event_kind = Birth | Death | Normal | Active
+
+type ev = { e_name : string; e_kind : event_kind; e_params : atype list }
+type attr = { a_name : string; a_ty : atype }
+
+type rule = {
+  r_event : string;
+  r_uses : (string * string) list;
+  r_vars : (string * string) list;
+  r_guard : string option;
+  r_text : string;
+}
+
+type relation = Base | View of string * string | Spec of string
+
+type cls = {
+  c_name : string;
+  c_rel : relation;
+  c_attrs : attr list;
+  c_events : ev list;
+  c_comps : (string * string) list;
+  c_vals : rule list;
+  c_perms : rule list;
+  c_calls : rule list;
+  c_cons : rule list;
+}
+
+type spec = {
+  s_enums : (string * string list) list;
+  s_classes : cls list;
+  s_globals : rule list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Variables: one name per (type, position-within-type)              *)
+(* ---------------------------------------------------------------- *)
+
+let var_stem = function
+  | TInt -> "Vi"
+  | TBool -> "Vb"
+  | TMoney -> "Vm"
+  | TString -> "Vs"
+  | TEnum (n, _) -> "Ve" ^ n ^ "_"
+  | TSurr c -> "Vo" ^ c ^ "_"
+  | TSetInt -> "Vsi"
+  | TSetSurr c -> "Vso" ^ c ^ "_"
+
+(* The k-th parameter of a rule gets the next free index among the
+   parameters sharing its stem, so [e(int, int)] binds Vi1 and Vi2. *)
+let param_vars params =
+  let counts = Hashtbl.create 4 in
+  List.map
+    (fun ty ->
+      let stem = var_stem ty in
+      let n = (try Hashtbl.find counts stem with Not_found -> 0) + 1 in
+      Hashtbl.replace counts stem n;
+      (Printf.sprintf "%s%d" stem n, ty))
+    params
+
+let var_decls params =
+  List.map (fun (name, ty) -> (name, type_text ty)) (param_vars params)
+
+let event_term name params =
+  match param_vars params with
+  | [] -> name
+  | vars -> name ^ "(" ^ String.concat ", " (List.map fst vars) ^ ")"
+
+(* ---------------------------------------------------------------- *)
+(* Constants                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let const rng = function
+  | TInt -> string_of_int (Rng.range rng 0 5)
+  | TBool -> if Rng.bool rng then "true" else "false"
+  | TMoney -> Printf.sprintf "%d.%02d" (Rng.range rng 1 40) (Rng.range rng 0 99)
+  | TString -> Printf.sprintf "\"%c\"" (Rng.choose rng [ 's'; 't'; 'u'; 'w' ])
+  | TEnum (_, lits) -> Rng.choose rng lits
+  | TSetInt -> "{}"
+  | TSetSurr _ -> "{}"
+  | TSurr _ -> invalid_arg "Genspec.const: surrogate"
+
+(* ---------------------------------------------------------------- *)
+(* Rules                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let valuation_rule ?guard ~event ~params ~attr ~rhs () =
+  {
+    r_event = event;
+    r_uses = [];
+    r_vars = var_decls params;
+    r_guard = guard;
+    r_text = Printf.sprintf "[%s] %s = %s" (event_term event params) attr rhs;
+  }
+
+(* Right-hand sides well-typed for the attribute, drawing on the
+   event's parameter variables when one has the right type. *)
+let gen_rhs rng (a : attr) params =
+  let vars = param_vars params in
+  let of_type ty = List.filter (fun (_, t) -> t = ty) vars |> List.map fst in
+  let pick_var ty = match of_type ty with [] -> None | vs -> Some (Rng.choose rng vs) in
+  match a.a_ty with
+  | TInt -> (
+      let forms =
+        [ `Const; `Incr; `Decr ]
+        @ (match pick_var TInt with Some _ -> [ `Var; `AddVar ] | None -> [])
+      in
+      match Rng.choose rng forms with
+      | `Const -> const rng TInt
+      | `Incr -> a.a_name ^ " + 1"
+      | `Decr -> a.a_name ^ " - 1"
+      | `Var -> Option.get (pick_var TInt)
+      | `AddVar -> a.a_name ^ " + " ^ Option.get (pick_var TInt))
+  | TBool -> (
+      let forms =
+        [ `Const; `Flip ]
+        @ (match pick_var TBool with Some _ -> [ `Var ] | None -> [])
+      in
+      match Rng.choose rng forms with
+      | `Const -> const rng TBool
+      | `Flip -> "not(" ^ a.a_name ^ ")"
+      | `Var -> Option.get (pick_var TBool))
+  | TMoney -> const rng TMoney
+  | TString -> const rng TString
+  | TEnum (n, lits) -> (
+      match pick_var a.a_ty with
+      | Some v when Rng.bool rng -> v
+      | _ -> const rng (TEnum (n, lits)))
+  | TSurr c -> (
+      match pick_var (TSurr c) with Some v -> v | None -> a.a_name)
+  | TSetInt -> (
+      match pick_var TInt with
+      | Some v ->
+          if Rng.chance rng 2 3 then Printf.sprintf "insert(%s, %s)" v a.a_name
+          else Printf.sprintf "remove(%s, %s)" v a.a_name
+      | None -> "{}")
+  | TSetSurr c -> (
+      match pick_var (TSurr c) with
+      | Some v ->
+          if Rng.chance rng 2 3 then Printf.sprintf "insert(%s, %s)" v a.a_name
+          else Printf.sprintf "remove(%s, %s)" v a.a_name
+      | None -> "{}")
+
+(* A state guard over the class's own attributes; None when no
+   guardable attribute exists. *)
+let state_guard rng attrs =
+  let guardable =
+    List.filter (fun a -> match a.a_ty with TInt | TBool -> true | _ -> false) attrs
+  in
+  match guardable with
+  | [] -> None
+  | _ -> (
+      let a = Rng.choose rng guardable in
+      match a.a_ty with
+      | TInt ->
+          let op = Rng.choose rng [ ">="; "<="; "<"; ">" ] in
+          Some (Printf.sprintf "%s %s %d" a.a_name op (Rng.range rng 0 4))
+      | TBool -> Some (if Rng.bool rng then a.a_name else "not(" ^ a.a_name ^ ")")
+      | _ -> None)
+
+(* ---------------------------------------------------------------- *)
+(* Class generation                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let scalar_pool enums prior =
+  [ TInt; TInt; TBool; TMoney; TString ]
+  @ List.map (fun (n, lits) -> TEnum (n, lits)) enums
+  @ List.map (fun c -> TSurr c) prior
+
+let attr_pool enums prior =
+  scalar_pool enums prior @ [ TSetInt ] @ List.map (fun c -> TSetSurr c) prior
+
+let event_param_pool enums prior =
+  [ TInt; TInt; TBool ]
+  @ List.map (fun (n, lits) -> TEnum (n, lits)) enums
+  @ List.map (fun c -> TSurr c) prior
+
+let is_scalar = function
+  | TInt | TBool | TMoney | TString | TEnum _ | TSurr _ -> true
+  | TSetInt | TSetSurr _ -> false
+
+let normal_events cls = List.filter (fun e -> e.e_kind = Normal) cls
+
+(* Permissions for one event: a state guard, a set-membership guard on
+   a surrogate parameter, or a temporal guard referencing another event
+   of the same class. *)
+let gen_permission rng ~self ~attrs ~events e =
+  let vars = var_decls e.e_params in
+  let term = event_term e.e_name e.e_params in
+  let membership =
+    List.concat_map
+      (fun (v, ty) ->
+        match ty with
+        | TSurr c ->
+            List.filter_map
+              (fun a ->
+                match a.a_ty with
+                | TSetSurr c' when c' = c -> Some (v, a.a_name)
+                | _ -> None)
+              attrs
+        | _ -> [])
+      (param_vars e.e_params)
+  in
+  let same_sig =
+    List.filter
+      (fun e2 -> e2.e_name <> e.e_name && e2.e_params = e.e_params)
+      (normal_events events)
+  in
+  let forms =
+    [ `State ]
+    @ (if membership <> [] then [ `Member; `Member ] else [])
+    @ if same_sig <> [] then [ `Temporal; `Temporal ] else []
+  in
+  match Rng.choose rng forms with
+  | `Member ->
+      let v, set_attr = Rng.choose rng membership in
+      let negated = Rng.bool rng in
+      let g =
+        if negated then Printf.sprintf "not(%s in %s)" v set_attr
+        else Printf.sprintf "%s in %s" v set_attr
+      in
+      Some
+        {
+          r_event = e.e_name;
+          r_uses = [ (self, e.e_name) ];
+          r_vars = vars;
+          r_guard = None;
+          r_text = Printf.sprintf "{ %s } %s" g term;
+        }
+  | `Temporal ->
+      let e2 = Rng.choose rng same_sig in
+      Some
+        {
+          r_event = e.e_name;
+          r_uses = [ (self, e.e_name); (self, e2.e_name) ];
+          r_vars = vars;
+          r_guard = None;
+          r_text =
+            Printf.sprintf "{ sometime(after(%s)) } %s"
+              (event_term e2.e_name e2.e_params)
+              term;
+        }
+  | `State -> (
+      match state_guard rng attrs with
+      | None -> None
+      | Some g ->
+          Some
+            {
+              r_event = e.e_name;
+              r_uses = [ (self, e.e_name) ];
+              r_vars = vars;
+              r_guard = None;
+              r_text = Printf.sprintf "{ %s } %s" g term;
+            })
+
+(* Local calling rules: caller index < callee index keeps the closure
+   acyclic. *)
+let gen_calling rng ~self ~attrs events =
+  let evs = Array.of_list (normal_events events) in
+  let n = Array.length evs in
+  if n < 2 then None
+  else
+    let i = Rng.int rng (n - 1) in
+    let j = Rng.range rng (i + 1) (n - 1) in
+    let caller = evs.(i) and callee = evs.(j) in
+    let guard = if Rng.chance rng 1 4 then state_guard rng attrs else None in
+    let callee_term =
+      (* share the caller's variables when the signatures line up, so
+         the called event is fully determined *)
+      if callee.e_params = [] then Some callee.e_name
+      else if callee.e_params = caller.e_params then
+        Some (event_term callee.e_name callee.e_params)
+      else None
+    in
+    match callee_term with
+    | None -> None
+    | Some callee_term ->
+        let txn_extra =
+          (* transaction calling: a parameterless second callee *)
+          if Rng.chance rng 1 4 then
+            let extras =
+              Array.to_list evs
+              |> List.filteri (fun k e -> k > i && e.e_params = [] && e.e_name <> callee.e_name)
+            in
+            match extras with [] -> None | _ -> Some (Rng.choose rng extras)
+          else None
+        in
+        let rhs, uses =
+          match txn_extra with
+          | Some e3 when callee.e_params = [] ->
+              ( Printf.sprintf "(%s; %s)" callee_term e3.e_name,
+                [ (self, callee.e_name); (self, e3.e_name) ] )
+          | _ -> (callee_term, [ (self, callee.e_name) ])
+        in
+        Some
+          {
+            r_event = caller.e_name;
+            r_uses = (self, caller.e_name) :: uses;
+            r_vars = var_decls caller.e_params;
+            r_guard = guard;
+            r_text =
+              Printf.sprintf "%s >> %s" (event_term caller.e_name caller.e_params) rhs;
+          }
+
+let gen_constraints rng ~self ~attrs ~param_inited events =
+  let out = ref [] in
+  let ints = List.filter (fun a -> a.a_ty = TInt) attrs in
+  (if ints <> [] && Rng.chance rng 2 3 then
+     let a = Rng.choose rng ints in
+     let text =
+       if Rng.bool rng then Printf.sprintf "static %s <= %d" a.a_name (Rng.range rng 6 15)
+       else Printf.sprintf "static %s >= -%d" a.a_name (Rng.range rng 2 6)
+     in
+     out :=
+       { r_event = ""; r_uses = []; r_vars = []; r_guard = None; r_text = text }
+       :: !out);
+  (* a temporal constraint over a bool attribute that is known to be
+     initialised to false, so births stay admissible *)
+  let safe_bools =
+    List.filter (fun a -> a.a_ty = TBool && not (List.mem a.a_name param_inited)) attrs
+  in
+  let plain = List.filter (fun e -> e.e_params = []) (normal_events events) in
+  (if safe_bools <> [] && plain <> [] && Rng.chance rng 1 3 then
+     let a = Rng.choose rng safe_bools in
+     let e = Rng.choose rng plain in
+     out :=
+       {
+         r_event = "";
+         r_uses = [ (self, e.e_name) ];
+         r_vars = [];
+         r_guard = None;
+         r_text = Printf.sprintf "%s => sometime(after(%s))" a.a_name e.e_name;
+       }
+       :: !out);
+  List.rev !out
+
+(* One base class: attributes over the full pool, birth initialising
+   every attribute (the first one or two scalars from parameters),
+   death, normal/active events with valuations, permissions, calling
+   rules, constraints and components. *)
+let gen_base_class rng ~enums ~prior ~name =
+  let n_attrs = Rng.range rng 2 4 in
+  let pool = attr_pool enums prior in
+  let attrs =
+    List.init n_attrs (fun i ->
+        { a_name = Printf.sprintf "a%d" i; a_ty = Rng.choose rng pool })
+  in
+  (* birth parameters: up to two scalar attributes are initialised from
+     arguments, the rest from constants *)
+  let param_attrs =
+    let scalars = List.filter (fun a -> is_scalar a.a_ty) attrs in
+    let take = min (List.length scalars) (Rng.range rng 0 2) in
+    List.filteri (fun i _ -> i < take) scalars
+  in
+  let param_inited = List.map (fun a -> a.a_name) param_attrs in
+  let birth =
+    { e_name = "bth"; e_kind = Birth; e_params = List.map (fun a -> a.a_ty) param_attrs }
+  in
+  let death = { e_name = "dth"; e_kind = Death; e_params = [] } in
+  let n_normal = Rng.range rng 2 3 in
+  let ep_pool = event_param_pool enums prior in
+  let normals =
+    List.init n_normal (fun i ->
+        let n_params = if i = 0 then 0 else Rng.range rng 0 2 in
+        {
+          e_name = Printf.sprintf "ev%d" i;
+          e_kind = Normal;
+          e_params = List.init n_params (fun _ -> Rng.choose rng ep_pool);
+        })
+  in
+  let active =
+    if Rng.chance rng 1 5 then [ { e_name = "act"; e_kind = Active; e_params = [] } ]
+    else []
+  in
+  let comps =
+    match prior with
+    | [] -> []
+    | _ when Rng.chance rng 1 4 -> [ ("cmp0", Rng.choose rng prior) ]
+    | _ -> []
+  in
+  let comp_events =
+    List.map
+      (fun (_, c) -> { e_name = "lnk"; e_kind = Normal; e_params = [ TSurr c ] })
+      comps
+  in
+  let events = (birth :: death :: normals) @ active @ comp_events in
+  (* birth valuations *)
+  let birth_vals =
+    let pvars = param_vars birth.e_params in
+    List.filteri (fun i _ -> i < List.length pvars) param_attrs
+    |> List.mapi (fun i a ->
+           valuation_rule ~event:birth.e_name ~params:birth.e_params ~attr:a.a_name
+             ~rhs:(fst (List.nth pvars i)) ())
+  in
+  let const_vals =
+    List.filter_map
+      (fun a ->
+        if List.mem a.a_name param_inited then None
+        else
+          match a.a_ty with
+          | TSurr _ -> None (* left undefined until an event assigns it *)
+          | TBool ->
+              (* always false: see the temporal-constraint discipline *)
+              Some
+                (valuation_rule ~event:birth.e_name ~params:birth.e_params
+                   ~attr:a.a_name ~rhs:"false" ())
+          | ty ->
+              Some
+                (valuation_rule ~event:birth.e_name ~params:birth.e_params
+                   ~attr:a.a_name ~rhs:(const rng ty) ()))
+      attrs
+  in
+  let comp_vals =
+    List.map
+      (fun (cn, _) ->
+        valuation_rule ~event:birth.e_name ~params:birth.e_params ~attr:cn ~rhs:"{}" ())
+      comps
+    @ List.map2
+        (fun (cn, _) e ->
+          let v = fst (List.hd (param_vars e.e_params)) in
+          valuation_rule ~event:e.e_name ~params:e.e_params ~attr:cn
+            ~rhs:(Printf.sprintf "insert(%s, %s)" v cn) ())
+        comps comp_events
+  in
+  (* event valuations: 0–2 attribute updates per normal/active event *)
+  let event_vals =
+    List.concat_map
+      (fun e ->
+        let n = Rng.range rng (if e.e_params = [] then 0 else 1) 2 in
+        let chosen = List.filteri (fun i _ -> i < n) (Rng.shuffle rng attrs) in
+        List.map
+          (fun a ->
+            let guard =
+              if Rng.chance rng 1 4 then state_guard rng attrs else None
+            in
+            valuation_rule ?guard ~event:e.e_name ~params:e.e_params ~attr:a.a_name
+              ~rhs:(gen_rhs rng a e.e_params) ())
+          chosen)
+      (normals @ active)
+  in
+  let vals =
+    (birth_vals @ const_vals @ comp_vals @ event_vals)
+    |> List.map (fun r -> { r with r_uses = [ (name, r.r_event) ] })
+  in
+  let perms =
+    List.filter_map
+      (fun e ->
+        if Rng.chance rng 1 3 then
+          gen_permission rng ~self:name ~attrs ~events e
+        else None)
+      (normals @ comp_events)
+    @ List.filter_map
+        (fun e ->
+          (* active events always carry a permission so [run_active]
+             reaches quiescence *)
+          match state_guard rng attrs with
+          | Some g ->
+              Some
+                {
+                  r_event = e.e_name;
+                  r_uses = [ (name, e.e_name) ];
+                  r_vars = [];
+                  r_guard = None;
+                  r_text = Printf.sprintf "{ %s } %s" g e.e_name;
+                }
+          | None -> None)
+        active
+  in
+  let calls =
+    List.filter_map
+      (fun _ -> gen_calling rng ~self:name ~attrs events)
+      (List.init (Rng.range rng 0 2) Fun.id)
+  in
+  let cons = gen_constraints rng ~self:name ~attrs ~param_inited events in
+  {
+    c_name = name;
+    c_rel = Base;
+    c_attrs = attrs;
+    c_events = events;
+    c_comps = List.map (fun (cn, c) -> (cn, "set(" ^ c ^ ")")) comps;
+    c_vals = vals;
+    c_perms = perms;
+    c_calls = calls;
+    c_cons = cons;
+  }
+
+(* An aspect (phase) or specialization class over a base. *)
+let gen_derived_class rng ~enums ~bases ~name =
+  let base = Rng.choose rng bases in
+  let as_view =
+    let triggers =
+      List.filter (fun e -> e.e_kind = Normal && e.e_params = []) base.c_events
+    in
+    if triggers <> [] && Rng.bool rng then Some (Rng.choose rng triggers) else None
+  in
+  let attrs =
+    List.init (Rng.range rng 1 2) (fun i ->
+        {
+          a_name = Printf.sprintf "pa%d" i;
+          a_ty = Rng.choose rng (scalar_pool enums []);
+        })
+  in
+  let normals =
+    List.init (Rng.range rng 1 2) (fun i ->
+        let n_params = Rng.range rng 0 1 in
+        {
+          e_name = Printf.sprintf "pv%d" i;
+          e_kind = Normal;
+          e_params = List.init n_params (fun _ -> Rng.choose rng [ TInt; TBool ]);
+        })
+  in
+  let event_vals =
+    List.concat_map
+      (fun e ->
+        let n = Rng.range rng (if e.e_params = [] then 0 else 1) 1 in
+        let chosen = List.filteri (fun i _ -> i < n) (Rng.shuffle rng attrs) in
+        List.map
+          (fun a ->
+            valuation_rule ~event:e.e_name ~params:e.e_params ~attr:a.a_name
+              ~rhs:(gen_rhs rng a e.e_params) ())
+          chosen)
+      normals
+    |> List.map (fun r -> { r with r_uses = [ (name, r.r_event) ] })
+  in
+  (* the company idiom: a constraint on an inherited attribute gates
+     the phase's creation *)
+  let cons =
+    let base_ints = List.filter (fun a -> a.a_ty = TInt) base.c_attrs in
+    if base_ints <> [] && Rng.chance rng 1 2 then
+      let a = Rng.choose rng base_ints in
+      [
+        {
+          r_event = "";
+          r_uses = [];
+          r_vars = [];
+          r_guard = None;
+          r_text = Printf.sprintf "static %s >= %d" a.a_name (Rng.range rng (-2) 1);
+        };
+      ]
+    else []
+  in
+  match as_view with
+  | Some trigger ->
+      {
+        c_name = name;
+        c_rel = View (base.c_name, trigger.e_name);
+        c_attrs = attrs;
+        c_events = { e_name = "pdth"; e_kind = Death; e_params = [] } :: normals;
+        c_comps = [];
+        c_vals = event_vals;
+        c_perms = [];
+        c_calls = [];
+        c_cons = cons;
+      }
+  | None ->
+      let birth = { e_name = "pbth"; e_kind = Birth; e_params = [] } in
+      {
+        c_name = name;
+        c_rel = Spec base.c_name;
+        c_attrs = attrs;
+        c_events = birth :: normals;
+        c_comps = [];
+        c_vals =
+          (List.filter_map
+             (fun a ->
+               match a.a_ty with
+               | TSurr _ -> None
+               | ty ->
+                   Some
+                     (valuation_rule ~event:birth.e_name ~params:[] ~attr:a.a_name
+                        ~rhs:(const rng ty) ()))
+             attrs
+          |> List.map (fun r -> { r with r_uses = [ (name, r.r_event) ] }))
+          @ event_vals;
+        c_perms = [];
+        c_calls = [];
+        c_cons = cons;
+      }
+
+(* Global interactions: a caller event with a surrogate parameter calls
+   a parameterless event of that (earlier) class — acyclic because the
+   callee class always precedes the caller. *)
+let gen_global rng classes =
+  let candidates =
+    List.concat_map
+      (fun c ->
+        if c.c_rel <> Base then []
+        else
+          List.concat_map
+            (fun e ->
+              if e.e_kind <> Normal then []
+              else
+                List.concat_map
+                  (fun (v, ty) ->
+                    match ty with
+                    | TSurr callee_cls -> (
+                        match
+                          List.find_opt (fun k -> k.c_name = callee_cls) classes
+                        with
+                        | Some callee ->
+                            List.filter_map
+                              (fun f ->
+                                if f.e_kind = Normal && f.e_params = [] then
+                                  Some (c, e, v, callee, f)
+                                else None)
+                              callee.c_events
+                        | None -> [])
+                    | _ -> [])
+                  (param_vars e.e_params))
+            c.c_events)
+      classes
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let caller_cls, e, v, callee, f = Rng.choose rng candidates in
+      let self_var = "Vo" ^ caller_cls.c_name ^ "_9" in
+      Some
+        {
+          r_event = e.e_name;
+          r_uses = [ (caller_cls.c_name, e.e_name); (callee.c_name, f.e_name) ];
+          r_vars =
+            (self_var, "|" ^ caller_cls.c_name ^ "|") :: var_decls e.e_params;
+          r_guard = None;
+          r_text =
+            Printf.sprintf "%s(%s).%s >> %s(%s).%s" caller_cls.c_name self_var
+              (event_term e.e_name e.e_params)
+              callee.c_name v f.e_name;
+        }
+
+let generate rng =
+  let n_enums = Rng.range rng 0 2 in
+  let enums =
+    List.init n_enums (fun i ->
+        let n = Rng.range rng 2 4 in
+        ( Printf.sprintf "En%d" i,
+          List.init n (fun j -> Printf.sprintf "c%d_%c" i (Char.chr (97 + j))) ))
+  in
+  let n_bases = Rng.range rng 2 4 in
+  let bases =
+    List.fold_left
+      (fun acc i ->
+        let prior = List.rev_map (fun c -> c.c_name) acc in
+        let c =
+          gen_base_class (Rng.split rng) ~enums ~prior
+            ~name:(Printf.sprintf "C%d" i)
+        in
+        c :: acc)
+      []
+      (List.init n_bases Fun.id)
+    |> List.rev
+  in
+  let n_derived = Rng.range rng 0 2 in
+  let derived =
+    List.init n_derived (fun i ->
+        gen_derived_class (Rng.split rng) ~enums ~bases
+          ~name:(Printf.sprintf "C%d" (n_bases + i)))
+  in
+  let classes = bases @ derived in
+  let globals =
+    List.filter_map
+      (fun _ -> gen_global rng classes)
+      (List.init (Rng.range rng 0 2) Fun.id)
+  in
+  { s_enums = enums; s_classes = classes; s_globals = globals }
+
+(* ---------------------------------------------------------------- *)
+(* Rendering                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let render_vars buf indent rules =
+  let seen = Hashtbl.create 8 in
+  let decls =
+    List.concat_map (fun r -> r.r_vars) rules
+    |> List.filter (fun (n, _) ->
+           if Hashtbl.mem seen n then false
+           else (
+             Hashtbl.add seen n ();
+             true))
+  in
+  match decls with
+  | [] -> ()
+  | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "%svariables %s\n" indent
+           (String.concat " "
+              (List.map (fun (n, t) -> Printf.sprintf "%s: %s;" n t) decls)))
+
+let render_rule_text r =
+  match r.r_guard with
+  | Some g -> Printf.sprintf "{ %s } => %s" g r.r_text
+  | None -> r.r_text
+
+let render_calling_text r =
+  match r.r_guard with
+  | Some g -> Printf.sprintf "{ %s } %s" g r.r_text
+  | None -> r.r_text
+
+let render_section buf name rules render_one =
+  match rules with
+  | [] -> ()
+  | _ ->
+      Buffer.add_string buf (Printf.sprintf "    %s\n" name);
+      render_vars buf "      " rules;
+      List.iter
+        (fun r -> Buffer.add_string buf (Printf.sprintf "      %s;\n" (render_one r)))
+        rules
+
+let render_event e =
+  let params =
+    match e.e_params with
+    | [] -> ""
+    | ps -> "(" ^ String.concat ", " (List.map type_text ps) ^ ")"
+  in
+  let prefix =
+    match e.e_kind with
+    | Birth -> "birth "
+    | Death -> "death "
+    | Active -> "active "
+    | Normal -> ""
+  in
+  prefix ^ e.e_name ^ params
+
+let render_class buf c =
+  Buffer.add_string buf (Printf.sprintf "object class %s\n" c.c_name);
+  (match c.c_rel with
+  | Base | Spec _ ->
+      (match c.c_rel with
+      | Spec base -> Buffer.add_string buf (Printf.sprintf "  specialization of %s;\n" base)
+      | _ -> ());
+      Buffer.add_string buf "  identification k: string;\n"
+  | View (base, _) -> Buffer.add_string buf (Printf.sprintf "  view of %s;\n" base));
+  Buffer.add_string buf "  template\n";
+  (match c.c_attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string buf "    attributes\n";
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "      %s: %s;\n" a.a_name (type_text a.a_ty)))
+        attrs);
+  Buffer.add_string buf "    events\n";
+  (match c.c_rel with
+  | View (base, trigger) ->
+      Buffer.add_string buf (Printf.sprintf "      birth %s.%s;\n" base trigger)
+  | _ -> ());
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "      %s;\n" (render_event e)))
+    c.c_events;
+  (match c.c_comps with
+  | [] -> ()
+  | comps ->
+      Buffer.add_string buf "    components\n";
+      List.iter
+        (fun (n, t) -> Buffer.add_string buf (Printf.sprintf "      %s: %s;\n" n t))
+        comps);
+  render_section buf "valuation" c.c_vals render_rule_text;
+  render_section buf "permissions" c.c_perms (fun r -> r.r_text);
+  render_section buf "calling" c.c_calls render_calling_text;
+  render_section buf "constraints" c.c_cons (fun r -> r.r_text);
+  Buffer.add_string buf (Printf.sprintf "end object class %s;\n\n" c.c_name)
+
+let render spec =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (n, lits) ->
+      Buffer.add_string buf
+        (Printf.sprintf "data type %s = (%s);\n" n (String.concat ", " lits)))
+    spec.s_enums;
+  if spec.s_enums <> [] then Buffer.add_char buf '\n';
+  List.iter (render_class buf) spec.s_classes;
+  (match spec.s_globals with
+  | [] -> ()
+  | globals ->
+      Buffer.add_string buf "global interactions\n";
+      render_vars buf "  " globals;
+      List.iter
+        (fun r -> Buffer.add_string buf (Printf.sprintf "  %s;\n" r.r_text))
+        globals;
+      Buffer.add_string buf "end global;\n");
+  Buffer.contents buf
+
+(* ---------------------------------------------------------------- *)
+(* Lookups                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let find_class spec name = List.find_opt (fun c -> c.c_name = name) spec.s_classes
+
+let rec event_params spec cls ev =
+  match find_class spec cls with
+  | None -> None
+  | Some c -> (
+      match List.find_opt (fun e -> e.e_name = ev) c.c_events with
+      | Some e -> Some e.e_params
+      | None -> (
+          match c.c_rel with
+          | Base -> None
+          | View (base, trigger) ->
+              if ev = trigger then Some [] else event_params spec base ev
+          | Spec base -> event_params spec base ev))

@@ -1,0 +1,94 @@
+(** Generation of well-typed TROLL specifications.
+
+    A generated specification is kept as a structured model — classes
+    with attributes, events, valuation/permission/calling/constraint
+    rules, components, aspect ("view of") and inheritance
+    ("specialization of") edges, plus global interactions — and rendered
+    to concrete syntax on demand.  The model is what the shrinker edits:
+    rule texts are atomic, but classes, events, individual rules and
+    optional guards can all be dropped structurally, and every rule
+    records which events it mentions so dependent rules fall away with
+    their events.
+
+    Every model produced by {!generate} renders to a source text that
+    passes the full [Troll.Session.load] pipeline (parse, static check,
+    compile); the fuzzer treats a load failure as a bug in its own
+    right. *)
+
+(** Value types the generator draws from (a subset of {!Vtype.t} that
+    keeps expression synthesis simple). *)
+type atype =
+  | TInt
+  | TBool
+  | TMoney
+  | TString
+  | TEnum of string * string list  (** enumeration name, constants *)
+  | TSurr of string  (** [|CLS|] *)
+  | TSetInt
+  | TSetSurr of string
+
+val type_text : atype -> string
+(** Concrete syntax of the type. *)
+
+type event_kind = Birth | Death | Normal | Active
+
+type ev = { e_name : string; e_kind : event_kind; e_params : atype list }
+type attr = { a_name : string; a_ty : atype }
+
+type rule = {
+  r_event : string;
+      (** the event this rule is attached to; [""] for constraints *)
+  r_uses : (string * string) list;
+      (** every (class, event) the rule text mentions — the rule must be
+          dropped when any of them is *)
+  r_vars : (string * string) list;  (** variable name, type text *)
+  r_guard : string option;
+      (** separable guard (valuation / calling rules only) *)
+  r_text : string;  (** rule body, without guard or trailing [;] *)
+}
+
+(** How a class relates to the rest of the schema. *)
+type relation =
+  | Base  (** plain object class with its own identification *)
+  | View of string * string
+      (** [(base, trigger)]: an aspect/phase class, [view of base],
+          born when the parameterless base event [trigger] fires *)
+  | Spec of string
+      (** [specialization of base]: own birth, requires the base aspect
+          alive under the same key *)
+
+type cls = {
+  c_name : string;
+  c_rel : relation;
+  c_attrs : attr list;
+  c_events : ev list;  (** excludes the phase-birth trigger for [View] *)
+  c_comps : (string * string) list;  (** component name, element class *)
+  c_vals : rule list;
+  c_perms : rule list;
+  c_calls : rule list;
+  c_cons : rule list;
+}
+
+type spec = {
+  s_enums : (string * string list) list;
+  s_classes : cls list;
+  s_globals : rule list;  (** global interaction calling rules *)
+}
+
+val generate : Rng.t -> spec
+(** Draw a fresh model: 2–4 base classes (attributes over the full type
+    pool including surrogates and sets of surrogates, birth/death/normal
+    and occasional active events, valuations with optional guards,
+    state and temporal permissions, local and transaction calling
+    rules, components), 0–2 aspect or specialization classes, 0–2
+    enumerations, and 0–2 global interactions.  Deterministic in the
+    stream. *)
+
+val render : spec -> string
+(** Concrete syntax of the whole specification. *)
+
+val find_class : spec -> string -> cls option
+
+val event_params : spec -> string -> string -> atype list option
+(** [event_params s cls ev]: declared parameter types, looking through
+    aspect and specialization edges to the base class. *)

@@ -1,0 +1,180 @@
+(* Workload generation: draw steps against a scratch community,
+   advancing it as we go so later steps are generated against the state
+   the earlier ones produced.  The scratch community also powers the
+   accepted-step bias: candidates are probed with [Engine.enabled]
+   (journal rollback, no mutation) before one is settled on. *)
+
+let rec value_of_vtype rng c (ty : Vtype.t) : Value.t =
+  match ty with
+  | Vtype.Bool -> Value.Bool (Rng.bool rng)
+  | Vtype.Int -> Value.Int (Rng.range rng (-2) 8)
+  | Vtype.Nat -> Value.Int (Rng.range rng 0 8)
+  | Vtype.String -> Value.String (Rng.choose rng [ "s"; "t"; "u"; "w" ])
+  | Vtype.Date -> Value.Date (Rng.range rng 0 9000)
+  | Vtype.Money -> Value.Money (Money.of_cents (Rng.range rng 0 5000))
+  | Vtype.Enum (n, lits) -> Value.Enum (n, Rng.choose rng lits)
+  | Vtype.Id cls ->
+      let living = Ident.Set.elements (Community.extension c cls) in
+      if living <> [] && Rng.chance rng 9 10 then
+        Ident.to_value (Rng.choose rng living)
+      else Ident.to_value (Ident.make cls (Value.String "ghost"))
+  | Vtype.Set t ->
+      Value.set (List.init (Rng.int rng 3) (fun _ -> value_of_vtype rng c t))
+  | Vtype.List t ->
+      Value.List (List.init (Rng.int rng 3) (fun _ -> value_of_vtype rng c t))
+  | Vtype.Map (k, v) ->
+      Value.map
+        (List.init (Rng.int rng 2) (fun _ ->
+             (value_of_vtype rng c k, value_of_vtype rng c v)))
+  | Vtype.Tuple fields ->
+      Value.Tuple (List.map (fun (n, t) -> (n, value_of_vtype rng c t)) fields)
+  | Vtype.Any -> Value.Int 0
+
+let rec class_chain spec cls =
+  match Genspec.find_class spec cls with
+  | None -> []
+  | Some c -> (
+      c
+      ::
+      (match c.Genspec.c_rel with
+      | Genspec.Base -> []
+      | Genspec.View (b, _) | Genspec.Spec b -> class_chain spec b))
+
+let is_death spec cls name =
+  List.exists
+    (fun c ->
+      List.exists
+        (fun e -> e.Genspec.e_name = name && e.Genspec.e_kind = Genspec.Death)
+        c.Genspec.c_events)
+    (class_chain spec cls)
+
+let generate rng spec scratch ~len =
+  let counter = ref 0 in
+  let fresh_key () =
+    incr counter;
+    Value.String (Printf.sprintf "k%d" !counter)
+  in
+  let living_of cls = Ident.Set.elements (Community.extension scratch cls) in
+  let all_living () =
+    List.concat_map (fun c -> living_of c.Genspec.c_name) spec.Genspec.s_classes
+  in
+  let creatable =
+    List.filter
+      (fun c -> match c.Genspec.c_rel with Genspec.View _ -> false | _ -> true)
+      spec.Genspec.s_classes
+  in
+  let birth_args cls =
+    match Community.find_template scratch cls with
+    | None -> []
+    | Some t -> (
+        match Template.birth_events t with
+        | [ ed ] ->
+            List.map (value_of_vtype rng scratch) ed.Template.ed_params
+        | _ -> [])
+  in
+  let gen_create () =
+    let c = Rng.choose rng creatable in
+    let cls = c.Genspec.c_name in
+    let key =
+      match c.Genspec.c_rel with
+      | Genspec.Spec base -> (
+          (* a specialization needs its base aspect alive under the
+             same key *)
+          match living_of base with
+          | [] -> fresh_key ()
+          | keys when Rng.chance rng 4 5 -> (Rng.choose rng keys).Ident.key
+          | _ -> fresh_key ())
+      | _ -> (
+          match living_of cls with
+          | existing when existing <> [] && Rng.chance rng 1 10 ->
+              (* duplicate key: exercises the already_alive rejection *)
+              (Rng.choose rng existing).Ident.key
+          | _ -> fresh_key ())
+    in
+    Step.Create { cls; key; event = None; args = birth_args cls }
+  in
+  let pick_living () =
+    match all_living () with [] -> None | xs -> Some (Rng.choose rng xs)
+  in
+  let gen_event id =
+    match Engine.candidate_events scratch id with
+    | [] -> None
+    | cands ->
+        let cands =
+          (* deaths mostly come through Destroy steps instead *)
+          let nd =
+            List.filter (fun (n, _) -> not (is_death spec id.Ident.cls n)) cands
+          in
+          if nd <> [] && Rng.chance rng 9 10 then nd else cands
+        in
+        let name, params = Rng.choose rng cands in
+        Some (Event.make id name (List.map (value_of_vtype rng scratch) params))
+  in
+  let gen_some_event () = Option.bind (pick_living ()) gen_event in
+  let gen_fire () =
+    match gen_some_event () with
+    | None -> gen_create ()
+    | Some ev ->
+        let ev =
+          if Rng.chance rng 7 10 then
+            (* accepted-step bias: resample a few times for an enabled
+               candidate, falling back to the last draw *)
+            let rec search best k =
+              if k = 0 || Engine.enabled scratch best then best
+              else
+                match gen_some_event () with
+                | None -> best
+                | Some ev2 -> search ev2 (k - 1)
+            in
+            search ev 3
+          else ev
+        in
+        Step.Fire ev
+  in
+  let gen_events n =
+    List.filter_map (fun _ -> gen_some_event ()) (List.init n Fun.id)
+  in
+  let gen_sync () =
+    match gen_events 2 with [] -> gen_create () | evs -> Step.Sync evs
+  in
+  let gen_seq () =
+    match gen_events (Rng.range rng 2 3) with
+    | [] -> gen_create ()
+    | evs -> Step.Seq evs
+  in
+  let gen_txn () =
+    match gen_events 2 with
+    | [] -> gen_create ()
+    | evs -> Step.Txn (List.map (fun e -> [ e ]) evs)
+  in
+  let gen_destroy () =
+    match pick_living () with
+    | None -> gen_create ()
+    | Some id -> Step.Destroy { id; event = None; args = [] }
+  in
+  let gen_ghost () =
+    (* deliberately ill-targeted: unknown objects and events keep the
+       error paths under differential test *)
+    let c = Rng.choose rng spec.Genspec.s_classes in
+    let id = Ident.make c.Genspec.c_name (Value.String "ghost") in
+    if Rng.bool rng then Step.Fire (Event.make id "no_such_event" [])
+    else Step.Destroy { id; event = None; args = [] }
+  in
+  let steps = ref [] in
+  for _ = 1 to len do
+    let step =
+      if all_living () = [] then gen_create ()
+      else
+        let r = Rng.int rng 100 in
+        if r < 26 then gen_create ()
+        else if r < 64 then gen_fire ()
+        else if r < 74 then gen_sync ()
+        else if r < 84 then gen_seq ()
+        else if r < 89 then gen_txn ()
+        else if r < 96 then gen_destroy ()
+        else gen_ghost ()
+    in
+    ignore (Engine.step scratch step);
+    steps := step :: !steps
+  done;
+  List.rev !steps

@@ -1,0 +1,20 @@
+(** Event-sequence workloads over a generated specification.
+
+    {!generate} draws a list of {!Step.t} requests — creations, single
+    fires, synchronous sets, sequences, transactions and destructions —
+    against a scratch community that it advances as it goes, so later
+    steps see the state earlier steps produced.  Argument synthesis is
+    type-directed ({!value_of_vtype}); event selection is biased toward
+    accepted steps by probing {!Engine.enabled} on a few candidates
+    before settling, while keeping a tail of rejected and even
+    ill-targeted steps so the oracles exercise rollback and error
+    paths. *)
+
+val value_of_vtype : Rng.t -> Community.t -> Vtype.t -> Value.t
+(** A pseudo-random value of the type; surrogate types draw a living
+    object of the class when one exists (occasionally, or when the
+    extension is empty, a dangling identity). *)
+
+val generate : Rng.t -> Genspec.spec -> Community.t -> len:int -> Step.t list
+(** [generate rng spec scratch ~len]: a workload of [len] steps.  The
+    scratch community (loaded from [Genspec.render spec]) is mutated. *)

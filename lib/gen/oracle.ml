@@ -1,0 +1,298 @@
+(* The four differential oracles.  Each one loads fresh communities
+   from the rendered source, runs the trace and compares independent
+   execution paths; [Persist.save] images are the state-equality
+   witness throughout (canonical, total, bit-comparable). *)
+
+type failure = { oracle : string; detail : string }
+
+let failf oracle fmt = Printf.ksprintf (fun detail -> Error { oracle; detail }) fmt
+
+let code_of = function
+  | Ok _ -> "ok"
+  | Error r -> Runtime_error.code r
+
+let load_session ?(compiled = true) src =
+  let config = { Community.default_config with compiled_dispatch = compiled } in
+  Troll.Session.load ~config src
+
+let with_session oracle ?compiled src k =
+  match load_session ?compiled src with
+  | Ok s -> k s
+  | Error e -> failf "load" "%s: spec failed to load: %s" oracle (Troll.Error.to_string e)
+
+let step_label i st = Printf.sprintf "step %d (%s)" i (Step.to_string st)
+
+(* ---------------------------------------------------------------- *)
+(* Oracle 1: compiled vs interpreted dispatch                        *)
+(* ---------------------------------------------------------------- *)
+
+let dispatch src trace =
+  with_session "dispatch" ~compiled:true src @@ fun sc ->
+  with_session "dispatch" ~compiled:false src @@ fun si ->
+  let rec loop i = function
+    | [] -> Ok ()
+    | st :: rest ->
+        let rc = Troll.Session.step sc st in
+        let ri = Troll.Session.step si st in
+        if code_of rc <> code_of ri then
+          failf "dispatch" "%s: compiled=%s interpreted=%s" (step_label i st)
+            (code_of rc) (code_of ri)
+        else loop (i + 1) rest
+  in
+  match loop 0 trace with
+  | Error _ as e -> e
+  | Ok () ->
+      let img_c = Persist.save (Troll.Session.community sc) in
+      let img_i = Persist.save (Troll.Session.community si) in
+      if img_c <> img_i then
+        failf "dispatch" "final save images differ (compiled %d bytes, interpreted %d bytes)"
+          (String.length img_c) (String.length img_i)
+      else Ok ()
+
+(* ---------------------------------------------------------------- *)
+(* Oracle 2: in-process engine vs the society server over a pipe     *)
+(* ---------------------------------------------------------------- *)
+
+let request_of_step ~id step =
+  let evj = Protocol.event_to_json in
+  let fields =
+    match step with
+    | Step.Fire ev -> (
+        match evj ev with
+        | Json.Obj fields -> ("op", Json.String "fire") :: fields
+        | _ -> assert false)
+    | Step.Sync evs ->
+        [ ("op", Json.String "sync"); ("events", Json.List (List.map evj evs)) ]
+    | Step.Seq evs ->
+        [ ("op", Json.String "batch"); ("events", Json.List (List.map evj evs)) ]
+    | Step.Txn micro ->
+        [
+          ("op", Json.String "txn");
+          ( "steps",
+            Json.List (List.map (fun evs -> Json.List (List.map evj evs)) micro) );
+        ]
+    | Step.Create { cls; key; event; args } ->
+        [ ("op", Json.String "create"); ("cls", Json.String cls);
+          ("key", Protocol.value_to_json key) ]
+        @ (match event with Some e -> [ ("event", Json.String e) ] | None -> [])
+        @ [ ("args", Json.List (List.map Protocol.value_to_json args)) ]
+    | Step.Destroy { id = oid; event; args } ->
+        [ ("op", Json.String "destroy"); ("cls", Json.String oid.Ident.cls);
+          ("key", Protocol.value_to_json oid.Ident.key) ]
+        @ (match event with Some e -> [ ("event", Json.String e) ] | None -> [])
+        @ [ ("args", Json.List (List.map Protocol.value_to_json args)) ]
+  in
+  Json.Obj (("id", Json.Int id) :: fields)
+
+(* Drive [Server.serve_fds] in a forked child over two pipes; a second
+   forked child writes the request lines, so the parent only reads and
+   no pipe can deadlock regardless of payload sizes. *)
+let run_server_lines session requests =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server_pid = Unix.fork () in
+  if server_pid = 0 then (
+    Unix.close req_w;
+    Unix.close resp_r;
+    let srv = Server.create session in
+    (try Server.serve_fds srv req_r resp_w with _ -> ());
+    Unix._exit 0);
+  Unix.close req_r;
+  Unix.close resp_w;
+  let writer_pid = Unix.fork () in
+  if writer_pid = 0 then (
+    Unix.close resp_r;
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun j ->
+        Buffer.add_string buf (Json.to_string j);
+        Buffer.add_char buf '\n')
+      requests;
+    let s = Buffer.contents buf in
+    let rec write_all off =
+      if off < String.length s then
+        let n = Unix.write_substring req_w s off (String.length s - off) in
+        write_all (off + n)
+    in
+    (try write_all 0 with _ -> ());
+    (try Unix.close req_w with _ -> ());
+    Unix._exit 0);
+  Unix.close req_w;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec read_lines acc =
+    match input_line ic with
+    | line -> read_lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read_lines [] in
+  close_in ic;
+  ignore (Unix.waitpid [] writer_pid);
+  ignore (Unix.waitpid [] server_pid);
+  lines
+
+let server src trace =
+  with_session "server" src @@ fun local ->
+  with_session "server" src @@ fun remote ->
+  let requests =
+    List.mapi (fun i st -> request_of_step ~id:i st) trace
+    @ [ Json.Obj [ ("id", Json.Int (List.length trace)); ("op", Json.String "save") ] ]
+  in
+  let lines = run_server_lines remote requests in
+  if List.length lines <> List.length requests then
+    failf "server" "expected %d response frames, got %d" (List.length requests)
+      (List.length lines)
+  else
+    let parse i line =
+      match Json.of_string line with
+      | Ok j -> Ok j
+      | Error e -> failf "server" "response %d unparsable (%s): %s" i e line
+    in
+    let rec loop i steps lines =
+      match (steps, lines) with
+      | [], [ last ] -> (
+          (* the trailing save frame: compare against the in-process image *)
+          match parse i last with
+          | Error _ as e -> e
+          | Ok j -> (
+              match Json.member "ok" j with
+              | Json.Bool true -> (
+                  match Json.member "state" (Json.member "result" j) with
+                  | Json.String dump ->
+                      let img = Persist.save (Troll.Session.community local) in
+                      if dump <> img then
+                        failf "server"
+                          "final state differs (server %d bytes, engine %d bytes)"
+                          (String.length dump) (String.length img)
+                      else Ok ()
+                  | _ -> failf "server" "save response carries no state")
+              | _ -> failf "server" "save request failed: %s" last))
+      | st :: steps', line :: lines' -> (
+          let r = Troll.Session.step local st in
+          match parse i line with
+          | Error _ as e -> e
+          | Ok j -> (
+              match (r, Json.member "ok" j) with
+              | Ok outcome, Json.Bool true ->
+                  let expected = Protocol.outcome_to_json outcome in
+                  if not (Json.equal (Json.member "result" j) expected) then
+                    failf "server" "%s: outcome differs: engine %s, server %s"
+                      (step_label i st) (Json.to_string expected)
+                      (Json.to_string (Json.member "result" j))
+                  else loop (i + 1) steps' lines'
+              | Error reason, Json.Bool false -> (
+                  match Json.member "code" (Json.member "error" j) with
+                  | Json.String c when c = Runtime_error.code reason ->
+                      loop (i + 1) steps' lines'
+                  | Json.String c ->
+                      failf "server" "%s: engine code %s, server code %s"
+                        (step_label i st) (Runtime_error.code reason) c
+                  | _ -> failf "server" "%s: error frame carries no code" (step_label i st))
+              | Ok _, _ ->
+                  failf "server" "%s: engine accepted, server rejected: %s"
+                    (step_label i st) line
+              | Error reason, _ ->
+                  failf "server" "%s: engine rejected (%s), server accepted"
+                    (step_label i st) (Runtime_error.code reason)))
+      | _ -> failf "server" "response frames out of step with the trace"
+    in
+    loop 0 trace lines
+
+(* ---------------------------------------------------------------- *)
+(* Oracle 3: save → load → replay                                    *)
+(* ---------------------------------------------------------------- *)
+
+let replay src trace =
+  with_session "replay" src @@ fun sa ->
+  with_session "replay" src @@ fun sb ->
+  let ca = Troll.Session.community sa in
+  let cb = Troll.Session.community sb in
+  let n = List.length trace in
+  let mid = n / 2 in
+  let prefix = List.filteri (fun i _ -> i < mid) trace in
+  let suffix = List.filteri (fun i _ -> i >= mid) trace in
+  List.iter (fun st -> ignore (Troll.Session.step sa st)) prefix;
+  let dump = Persist.save ca in
+  match Persist.load cb dump with
+  | Error e -> failf "replay" "midpoint dump failed to restore: %s" e
+  | Ok () ->
+      let restored = Persist.save cb in
+      if restored <> dump then
+        failf "replay" "restored image differs from the dump it was loaded from"
+      else
+        let rec loop i = function
+          | [] -> Ok ()
+          | st :: rest ->
+              let ra = Troll.Session.step sa st in
+              let rb = Troll.Session.step sb st in
+              if code_of ra <> code_of rb then
+                failf "replay" "%s: original=%s restored=%s" (step_label (mid + i) st)
+                  (code_of ra) (code_of rb)
+              else loop (i + 1) rest
+        in
+        (match loop 0 suffix with
+        | Error _ as e -> e
+        | Ok () ->
+            if Persist.save ca <> Persist.save cb then
+              failf "replay" "final images diverge after replaying the suffix"
+            else Ok ())
+
+(* ---------------------------------------------------------------- *)
+(* Oracle 4: rejected steps leave the journal clean; probe = clone   *)
+(* ---------------------------------------------------------------- *)
+
+let journal src trace =
+  with_session "journal" src @@ fun s ->
+  let c = Troll.Session.community s in
+  let rec loop i = function
+    | [] -> Ok ()
+    | st :: rest -> (
+        let pre = Persist.save c in
+        let probe_r = Txn.probe c (fun () -> Engine.step c st) in
+        if Persist.save c <> pre then
+          failf "journal" "%s: probe dirtied the community" (step_label i st)
+        else
+          let c2 = Community.clone c in
+          let r2 = Engine.step c2 st in
+          let r1 = Engine.step c st in
+          if code_of r1 <> code_of probe_r then
+            failf "journal" "%s: probe verdict %s, execution verdict %s"
+              (step_label i st) (code_of probe_r) (code_of r1)
+          else if code_of r1 <> code_of r2 then
+            failf "journal" "%s: clone verdict %s, execution verdict %s"
+              (step_label i st) (code_of r2) (code_of r1)
+          else
+            match r1 with
+            | Error _ when Persist.save c <> pre ->
+                failf "journal" "%s: rejected step left the community dirty"
+                  (step_label i st)
+            | _ ->
+                if Persist.save c <> Persist.save c2 then
+                  failf "journal" "%s: clone and community images diverge"
+                    (step_label i st)
+                else loop (i + 1) rest)
+  in
+  loop 0 trace
+
+(* ---------------------------------------------------------------- *)
+(* Driver                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let oracle_names = [ "dispatch"; "server"; "replay"; "journal" ]
+
+let run_oracle name src trace =
+  let f =
+    match name with
+    | "dispatch" -> dispatch
+    | "server" -> server
+    | "replay" -> replay
+    | "journal" -> journal
+    | other -> invalid_arg ("Oracle.run_oracle: " ^ other)
+  in
+  try f src trace
+  with e -> Error { oracle = "exception"; detail = Printexc.to_string e }
+
+let check_all src trace =
+  List.fold_left
+    (fun acc name ->
+      match acc with Error _ -> acc | Ok () -> run_oracle name src trace)
+    (Ok ()) oracle_names

@@ -1,0 +1,38 @@
+(** The four differential oracles every generated (spec, trace) pair is
+    checked against.
+
+    - ["dispatch"]: compiled vs interpreted rule dispatch — identical
+      {!Runtime_error.code}s step by step and bit-identical
+      {!Persist.save} images at the end.
+    - ["server"]: {!Engine.step} in-process vs the NDJSON society
+      server over a pipe (a forked child runs [Server.serve_fds]) —
+      frame-by-frame agreement on outcome and error code, plus a final
+      inline [save] compared against the in-process image.
+    - ["replay"]: save at the trace midpoint, load into a fresh
+      community, replay the suffix on both — identical codes and final
+      images.
+    - ["journal"]: every step is probed ({!Txn.probe}), cloned
+      ({!Community.clone}) and executed — the three verdicts agree, the
+      probe leaves the image untouched, a rejected step leaves it
+      untouched, and clone and community stay bit-identical.
+
+    Oracles take the rendered source so the shrinker can re-render
+    candidate models and re-run just the failing oracle. *)
+
+type failure = { oracle : string; detail : string }
+
+val oracle_names : string list
+
+val run_oracle : string -> string -> Step.t list -> (unit, failure) result
+(** [run_oracle name src trace].  A spec that fails to load yields a
+    ["load"] failure; an escaped exception an ["exception"] failure —
+    both distinct from every real oracle name, so a shrinking predicate
+    keyed on the original oracle rejects such candidates.  Unknown
+    names raise [Invalid_argument]. *)
+
+val check_all : string -> Step.t list -> (unit, failure) result
+(** Run all four oracles in order, returning the first failure. *)
+
+val request_of_step : id:int -> Step.t -> Json.t
+(** The wire request frame executing the step, as the society server
+    decodes it ([op] = create / destroy / fire / batch / sync / txn). *)

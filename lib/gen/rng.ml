@@ -1,0 +1,53 @@
+(* Splitmix64 (Steele, Lea & Flood 2014): a tiny, statistically solid,
+   trivially seedable generator.  We keep our own stream instead of
+   [Random] so fuzzer runs reproduce bit-for-bit from a seed across
+   OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.mul (Int64.of_int seed) 0x2545F4914F6CDD1DL }
+
+let make2 seed salt =
+  {
+    state =
+      Int64.add
+        (Int64.mul (Int64.of_int seed) 0x2545F4914F6CDD1DL)
+        (Int64.mul (Int64.of_int salt) golden);
+  }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (bits64 t) Int64.max_int) (Int64.of_int n))
+
+let range t lo hi = lo + int t (hi - lo + 1)
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let chance t num den = int t den < num
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

@@ -1,0 +1,38 @@
+(** Seed-deterministic pseudo-random numbers for the spec fuzzer.
+
+    A splitmix64 stream: the same [(seed, salt)] pair always yields the
+    same draws, on every platform, independent of the OCaml [Random]
+    module's state or version.  Streams are cheap records; {!split]
+    derives an independent child stream so generation of one component
+    cannot perturb the draws of its siblings. *)
+
+type t
+
+val make : int -> t
+(** A stream from a bare seed. *)
+
+val make2 : int -> int -> t
+(** A stream from a [(seed, salt)] pair — used for per-iteration
+    streams, [make2 seed iter]. *)
+
+val split : t -> t
+(** An independent child stream (advances the parent by one draw). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]; requires [n > 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+
+val chance : t -> int -> int -> bool
+(** [chance t num den]: true with probability [num/den]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

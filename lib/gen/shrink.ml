@@ -1,0 +1,178 @@
+(* Greedy structural shrinking.  The predicate is the only judge: a
+   candidate is kept exactly when it still fails the original oracle,
+   and ill-formed candidates (a dropped class still referenced by a
+   surrogate attribute, say) fail to load, which the oracles report as
+   a distinct failure kind, so the predicate rejects them for free. *)
+
+open Genspec
+
+(* ---------------------------------------------------------------- *)
+(* Trace surgery                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let remove_range i n l = List.filteri (fun k _ -> k < i || k >= i + n) l
+
+let step_events = function
+  | Step.Fire e -> [ e ]
+  | Step.Sync evs | Step.Seq evs -> evs
+  | Step.Txn micro -> List.concat micro
+  | Step.Create _ | Step.Destroy _ -> []
+
+let mentions_class cls st =
+  match st with
+  | Step.Create { cls = c; _ } -> c = cls
+  | Step.Destroy { id; _ } -> id.Ident.cls = cls
+  | _ -> List.exists (fun e -> e.Event.target.Ident.cls = cls) (step_events st)
+
+let fires cls ev st =
+  List.exists
+    (fun e -> e.Event.target.Ident.cls = cls && e.Event.name = ev)
+    (step_events st)
+
+(* Chunk removal with halving sizes, to a fixpoint. *)
+let reduce_trace pred spec trace =
+  let rec chunk_pass size trace =
+    if size = 0 then trace
+    else
+      let rec scan i trace =
+        if i >= List.length trace then chunk_pass (size / 2) trace
+        else
+          let cand = remove_range i size trace in
+          if List.length cand < List.length trace && pred spec cand then scan i cand
+          else scan (i + size) trace
+      in
+      scan 0 trace
+  in
+  match trace with [] -> [] | _ -> chunk_pass (max 1 (List.length trace / 2)) trace
+
+(* ---------------------------------------------------------------- *)
+(* Spec surgery                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let uses_event pair r = List.mem pair r.r_uses
+
+let filter_class_rules keep c =
+  {
+    c with
+    c_vals = List.filter keep c.c_vals;
+    c_perms = List.filter keep c.c_perms;
+    c_calls = List.filter keep c.c_calls;
+    c_cons = List.filter keep c.c_cons;
+  }
+
+let drop_class spec name =
+  {
+    spec with
+    s_classes = List.filter (fun c -> c.c_name <> name) spec.s_classes;
+    s_globals =
+      List.filter
+        (fun r -> not (List.exists (fun (c, _) -> c = name) r.r_uses))
+        spec.s_globals;
+  }
+
+let drop_event spec cls_name ev_name =
+  let pair = (cls_name, ev_name) in
+  let keep r = not (uses_event pair r) in
+  {
+    spec with
+    s_classes =
+      List.map
+        (fun c ->
+          let c = filter_class_rules keep c in
+          if c.c_name = cls_name then
+            { c with c_events = List.filter (fun e -> e.e_name <> ev_name) c.c_events }
+          else c)
+        spec.s_classes;
+    s_globals = List.filter keep spec.s_globals;
+  }
+
+let map_class spec name f =
+  {
+    spec with
+    s_classes = List.map (fun c -> if c.c_name = name then f c else c) spec.s_classes;
+  }
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+let unguard_nth n l = List.mapi (fun i r -> if i = n then { r with r_guard = None } else r) l
+
+(* Every single-edit candidate, biggest-first: classes, then events,
+   then individual rules, then guards.  Each edit pairs the new spec
+   with the trace filter that keeps the trace meaningful under it. *)
+let edits spec =
+  let keep_all tr = tr in
+  let class_drops =
+    List.rev_map
+      (fun c ->
+        ( drop_class spec c.c_name,
+          fun tr -> List.filter (fun st -> not (mentions_class c.c_name st)) tr ))
+      spec.s_classes
+  in
+  let event_drops =
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun e ->
+            match e.e_kind with
+            | Normal | Active ->
+                Some
+                  ( drop_event spec c.c_name e.e_name,
+                    fun tr ->
+                      List.filter (fun st -> not (fires c.c_name e.e_name st)) tr )
+            | Birth | Death -> None)
+          c.c_events)
+      spec.s_classes
+  in
+  let rule_drops =
+    List.concat_map
+      (fun c ->
+        let per field set =
+          List.mapi
+            (fun i _ -> (map_class spec c.c_name (fun c -> set c (drop_nth i (field c))), keep_all))
+            (field c)
+        in
+        per (fun c -> c.c_vals) (fun c l -> { c with c_vals = l })
+        @ per (fun c -> c.c_perms) (fun c l -> { c with c_perms = l })
+        @ per (fun c -> c.c_calls) (fun c l -> { c with c_calls = l })
+        @ per (fun c -> c.c_cons) (fun c l -> { c with c_cons = l }))
+      spec.s_classes
+    @ List.mapi
+        (fun i _ -> ({ spec with s_globals = drop_nth i spec.s_globals }, keep_all))
+        spec.s_globals
+  in
+  let guard_drops =
+    List.concat_map
+      (fun c ->
+        let per field set =
+          List.concat
+            (List.mapi
+               (fun i r ->
+                 match r.r_guard with
+                 | Some _ ->
+                     [ (map_class spec c.c_name (fun c -> set c (unguard_nth i (field c))), keep_all) ]
+                 | None -> [])
+               (field c))
+        in
+        per (fun c -> c.c_vals) (fun c l -> { c with c_vals = l })
+        @ per (fun c -> c.c_calls) (fun c l -> { c with c_calls = l }))
+      spec.s_classes
+  in
+  class_drops @ event_drops @ rule_drops @ guard_drops
+
+let shrink ~pred spec trace =
+  let trace = reduce_trace pred spec trace in
+  let rec spec_pass spec trace budget =
+    if budget = 0 then (spec, trace)
+    else
+      let rec try_edits = function
+        | [] -> None
+        | (spec', tracef) :: rest ->
+            let trace' = tracef trace in
+            if pred spec' trace' then Some (spec', trace') else try_edits rest
+      in
+      match try_edits (edits spec) with
+      | Some (spec', trace') -> spec_pass spec' trace' (budget - 1)
+      | None -> (spec, trace)
+  in
+  let spec, trace = spec_pass spec trace 100 in
+  let trace = reduce_trace pred spec trace in
+  (spec, trace)

@@ -1,0 +1,18 @@
+(** Greedy structural shrinking of a failing (spec, trace) pair.
+
+    [shrink ~pred spec trace] minimises against [pred] ("does this
+    candidate still fail the way the original did?").  Trace reduction
+    removes contiguous chunks of halving sizes to a fixpoint; spec
+    reduction greedily drops whole classes (with the trace steps that
+    mention them), events (with their dependent rules and trace steps),
+    individual valuation/permission/calling/constraint rules, global
+    interactions, and optional guards — accepting any edit [pred]
+    confirms, then re-reducing the trace.  Candidates that no longer
+    load are rejected by [pred] itself (the oracles report a distinct
+    ["load"] failure), so no separate validity check is needed. *)
+
+val shrink :
+  pred:(Genspec.spec -> Step.t list -> bool) ->
+  Genspec.spec ->
+  Step.t list ->
+  Genspec.spec * Step.t list

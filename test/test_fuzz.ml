@@ -1,0 +1,208 @@
+(* The generative fuzzing layer: seed determinism of the generator,
+   a small tier-1 oracle run (the large run lives under the @fuzz
+   alias), shrinker minimisation against a planted predicate, corpus
+   round-trips, and replay of committed counterexamples. *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+
+(* ---------------------------------------------------------------- *)
+(* Generator determinism and well-formedness                         *)
+(* ---------------------------------------------------------------- *)
+
+let gen_src seed iter =
+  Genspec.render (Genspec.generate (Rng.split (Rng.make2 seed iter)))
+
+let test_generator_deterministic () =
+  for i = 0 to 9 do
+    check tstr
+      (Printf.sprintf "same (seed, iter) = same source (iter %d)" i)
+      (gen_src 7 i) (gen_src 7 i)
+  done;
+  (* different iterations draw different specs at least once *)
+  check tbool "iterations differ" true
+    (List.exists (fun i -> gen_src 7 i <> gen_src 7 0) [ 1; 2; 3 ])
+
+let test_generated_specs_load () =
+  for i = 0 to 19 do
+    let src = gen_src 11 i in
+    match Troll.Session.load src with
+    | Ok _ -> ()
+    | Error e ->
+        Alcotest.failf "iteration %d failed to load: %s\n%s" i
+          (Troll.Error.to_string e) src
+  done
+
+let test_trace_deterministic () =
+  let trace seed iter =
+    let rng = Rng.make2 seed iter in
+    let model = Genspec.generate (Rng.split rng) in
+    match Troll.Session.load (Genspec.render model) with
+    | Error e -> Alcotest.failf "load: %s" (Troll.Error.to_string e)
+    | Ok s ->
+        let len = Rng.range rng 15 40 in
+        Gentrace.generate rng model (Troll.Session.community s) ~len
+        |> List.map Step.to_string
+  in
+  check (Alcotest.list tstr) "same (seed, iter) = same trace" (trace 3 5)
+    (trace 3 5)
+
+(* ---------------------------------------------------------------- *)
+(* Small deterministic oracle run (tier-1; @fuzz runs 500)           *)
+(* ---------------------------------------------------------------- *)
+
+let test_fuzz_small () =
+  let outcome = Fuzz.run ~seed:42 ~iters:25 ~shrink:true () in
+  match outcome.Fuzz.failure with
+  | None -> check tint "iterations" 25 outcome.Fuzz.iterations
+  | Some f ->
+      Alcotest.failf "iteration %d failed oracle %s: %s\nshrunk spec:\n%s"
+        f.Fuzz.f_iter f.Fuzz.f_oracle f.Fuzz.f_detail f.Fuzz.f_shrunk_spec
+
+(* ---------------------------------------------------------------- *)
+(* Shrinker                                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Plant a synthetic failure: "the trace fires C0.ev0".  The shrinker
+   must reduce the trace to one such step and the spec to the one class
+   the step mentions. *)
+let test_shrinker_minimises () =
+  let rng = Rng.make2 99 4 in
+  let model = Genspec.generate (Rng.split rng) in
+  match Troll.Session.load (Genspec.render model) with
+  | Error e -> Alcotest.failf "load: %s" (Troll.Error.to_string e)
+  | Ok s ->
+      let trace =
+        Gentrace.generate rng model (Troll.Session.community s) ~len:30
+      in
+      (* plain Fire only, so the surviving step mentions exactly C0 *)
+      let fires_marker = function
+        | Step.Fire e ->
+            e.Event.target.Ident.cls = "C0" && e.Event.name = "ev0"
+        | _ -> false
+      in
+      if not (List.exists fires_marker trace) then
+        Alcotest.fail "seed draws no C0.ev0 step; pick another seed"
+      else
+        let pred _ t = List.exists fires_marker t in
+        let model', trace' = Shrink.shrink ~pred model trace in
+        check tbool "still fails" true (pred model' trace');
+        check tint "trace reduced to the one step" 1 (List.length trace');
+        check tint "classes reduced to the one mentioned" 1
+          (List.length model'.Genspec.s_classes)
+
+(* ---------------------------------------------------------------- *)
+(* Corpus round-trip and replay                                      *)
+(* ---------------------------------------------------------------- *)
+
+let test_corpus_round_trip () =
+  let rng = Rng.make2 5 0 in
+  let model = Genspec.generate (Rng.split rng) in
+  let src = Genspec.render model in
+  match Troll.Session.load src with
+  | Error e -> Alcotest.failf "load: %s" (Troll.Error.to_string e)
+  | Ok s ->
+      let trace =
+        Gentrace.generate rng model (Troll.Session.community s) ~len:12
+      in
+      let path = Filename.temp_file "troll_corpus" ".fuzz" in
+      Corpus.write ~path ~seed:5 ~iter:0 ~oracle:"dispatch" ~detail:"round trip"
+        ~src ~trace;
+      let result = Corpus.read path in
+      Sys.remove path;
+      (match result with
+      | Error e -> Alcotest.failf "corpus read failed: %s" e
+      | Ok (src', trace') ->
+          check tstr "spec round-trips" src src';
+          check
+            (Alcotest.list tstr)
+            "trace round-trips"
+            (List.map Step.to_string trace)
+            (List.map Step.to_string trace'))
+
+(* Committed counterexamples under test/corpus are regressions: their
+   bug is fixed, so every oracle must pass on them now. *)
+let test_corpus_replay () =
+  let dir = "corpus" in
+  let files =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".fuzz")
+      |> List.sort compare
+    else []
+  in
+  List.iter
+    (fun file ->
+      match Corpus.read (Filename.concat dir file) with
+      | Error e -> Alcotest.failf "%s: %s" file e
+      | Ok (src, trace) -> (
+          match Oracle.check_all src trace with
+          | Ok () -> ()
+          | Error f ->
+              Alcotest.failf "%s: oracle %s failed: %s" file f.Oracle.oracle
+                f.Oracle.detail))
+    files
+
+(* ---------------------------------------------------------------- *)
+(* Oracle sanity: a known-good hand-written pair passes              *)
+(* ---------------------------------------------------------------- *)
+
+let test_oracles_on_dept () =
+  let src =
+    {|
+object class PERSON
+  identification pname: string;
+  template
+    attributes Grade: integer;
+    events
+      birth born;
+      death dies;
+      promote(integer);
+    valuation
+      variables g: integer;
+      [born] Grade = 1;
+      [promote(g)] Grade = g;
+end object class PERSON;
+|}
+  in
+  let p name = Ident.make "PERSON" (Value.String name) in
+  let trace =
+    [
+      Step.Create { cls = "PERSON"; key = Value.String "a"; event = None; args = [] };
+      Step.Fire (Event.make (p "a") "promote" [ Value.Int 3 ]);
+      Step.Fire (Event.make (p "ghost") "promote" [ Value.Int 1 ]);
+      Step.Destroy { id = p "a"; event = None; args = [] };
+    ]
+  in
+  match Oracle.check_all src trace with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "oracle %s failed: %s" f.Oracle.oracle f.Oracle.detail
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "generated specs load" `Quick
+            test_generated_specs_load;
+          Alcotest.test_case "trace deterministic" `Quick
+            test_trace_deterministic;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "hand-written pair passes" `Quick
+            test_oracles_on_dept;
+          Alcotest.test_case "25 seeded iterations" `Quick test_fuzz_small;
+        ] );
+      ( "shrinker",
+        [ Alcotest.test_case "minimises a planted failure" `Quick test_shrinker_minimises ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round trip" `Quick test_corpus_round_trip;
+          Alcotest.test_case "replay committed counterexamples" `Quick
+            test_corpus_replay;
+        ] );
+    ]

@@ -1039,6 +1039,70 @@ let test_nested_savepoints_lifo () =
   check value "whole transaction unwound last" (Value.Int 0)
     (Obj_state.attr o "n")
 
+exception Boom
+
+(* The exception branch of Txn.probe: the raise must pass through with
+   every speculative mutation undone, the community's journal slot
+   released (a later transaction takes the pooled journal, not a leaked
+   live one), and — when the probe runs nested inside an open
+   transaction — the outer journal and its savepoint LIFO untouched. *)
+let test_probe_exception_branch () =
+  let c = load counter_spec in
+  let x = ident "COUNTER" "x" in
+  ignore (Engine.create c ~cls:"COUNTER" ~key:(Value.String "x") ());
+  ignore (fire c x "incr" []);
+  let before = Persist.save c in
+  (* top-level: mutate through the engine, then raise out of the probe *)
+  (match
+     Txn.probe c (fun () ->
+         ignore (fire c x "incr" []);
+         raise Boom)
+   with
+  | _ -> Alcotest.fail "expected Boom to escape the probe"
+  | exception Boom -> ());
+  check Alcotest.string "raising probe leaves no trace" before (Persist.save c);
+  check tbool "journal slot released" true (c.Community.journal = None);
+  (* the pooled journal is reusable, not corrupted: a real step works *)
+  check tbool "engine still works" true (accepted (fire c x "decr" []));
+  ignore (fire c x "incr" []);
+  (* nested: a raising probe between two savepoints, with a dangling
+     inner scope the probe must unwind itself *)
+  let o = Community.object_exn c x in
+  let outer_before = Persist.save c in
+  let t = Txn.begin_ c in
+  Txn.touch t o;
+  Obj_state.set_attr o "n" (Value.Int 1);
+  let sp1 = Txn.savepoint t in
+  Txn.touch t o;
+  Obj_state.set_attr o "n" (Value.Int 2);
+  (match
+     Txn.probe c (fun () ->
+         let inner = Txn.begin_ c in
+         Txn.touch inner o;
+         Obj_state.set_attr o "n" (Value.Int 99);
+         (* neither commit nor rollback of [inner]: the probe's
+            exception path owns the unwind *)
+         raise Boom)
+   with
+  | _ -> Alcotest.fail "expected Boom to escape the nested probe"
+  | exception Boom -> ());
+  check value "probe mutations unwound under open txn" (Value.Int 2)
+    (Obj_state.attr o "n");
+  let sp2 = Txn.savepoint t in
+  Txn.touch t o;
+  Obj_state.set_attr o "n" (Value.Int 3);
+  Txn.rollback_to t sp2;
+  check value "savepoint after the probe unwinds first" (Value.Int 2)
+    (Obj_state.attr o "n");
+  Txn.rollback_to t sp1;
+  check value "savepoint before the probe unwinds second" (Value.Int 1)
+    (Obj_state.attr o "n");
+  Txn.rollback t;
+  check Alcotest.string "outer rollback restores the pre-txn image"
+    outer_before (Persist.save c);
+  check tbool "journal slot released after outer close" true
+    (c.Community.journal = None)
+
 let test_txn_stats_counters () =
   Txn.reset_stats ();
   let c = load counter_spec in
@@ -1113,6 +1177,8 @@ let () =
             test_probe_bit_identical;
           Alcotest.test_case "nested savepoints unwind LIFO" `Quick
             test_nested_savepoints_lifo;
+          Alcotest.test_case "raising probe: no leak, LIFO intact" `Quick
+            test_probe_exception_branch;
           Alcotest.test_case "stats counters" `Quick test_txn_stats_counters;
         ] );
       ( "constraints",

@@ -461,6 +461,62 @@ let test_serve_shutdown_drain () =
   (* the hire was admitted before the shutdown executed, so it drains *)
   check_ok "admitted request drained" (by_id responses 4)
 
+(* NDJSON reassembly across short reads.  A forked writer delivers the
+   script in two chunks with a pause in between, so the server's first
+   read ends mid-frame — and the split point sits between the two bytes
+   of a UTF-8 "é" (0xC3 0xA9) inside a key string, pinning that the
+   framing layer buffers raw bytes and never decodes a partial read.
+   The fire against PERSON("adé") can only succeed if the split frame
+   reassembled with the é intact. *)
+let test_serve_split_frame () =
+  let payload =
+    String.concat ""
+      (List.map
+         (fun l -> l ^ "\n")
+         [
+           {|{"id":1,"op":"create","cls":"DEPT","key":"d"}|};
+           {|{"id":2,"op":"create","cls":"PERSON","key":"adé"}|};
+           {|{"id":3,"op":"fire","cls":"DEPT","key":"d","event":"hire","args":[{"$id":{"cls":"PERSON","key":"adé"}}]}|};
+         ])
+  in
+  (* split one byte after the first 0xC3: inside the é of frame 2 *)
+  let split = String.index payload '\xc3' + 1 in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      (* writer child: two delayed chunks, then EOF *)
+      Unix.close req_r;
+      Unix.close resp_r;
+      Unix.close resp_w;
+      ignore (Unix.write_substring req_w payload 0 split);
+      Unix.sleepf 0.05;
+      ignore
+        (Unix.write_substring req_w payload split
+           (String.length payload - split));
+      Unix.close req_w;
+      Unix._exit 0
+  | writer ->
+      Unix.close req_w;
+      let session = load_session () in
+      let server = Server.create session in
+      Server.serve_fds server req_r resp_w;
+      Unix.close resp_w;
+      Unix.close req_r;
+      let ic = Unix.in_channel_of_descr resp_r in
+      let rec drain acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> drain (parse_ok line :: acc)
+      in
+      let responses = drain [] in
+      close_in ic;
+      ignore (Unix.waitpid [] writer);
+      Alcotest.(check int) "three responses" 3 (List.length responses);
+      check_ok "frame before the split" (by_id responses 1);
+      check_ok "frame split mid-é reassembled" (by_id responses 2);
+      check_ok "fire resolves the reassembled key" (by_id responses 3)
+
 let test_serve_default_deadline () =
   let config =
     { Server.default_config with Server.default_deadline_ms = Some 0 }
@@ -518,6 +574,8 @@ let () =
           Alcotest.test_case "overload" `Quick test_serve_overload;
           Alcotest.test_case "shutdown drain" `Quick
             test_serve_shutdown_drain;
+          Alcotest.test_case "frame split across reads mid-UTF-8" `Quick
+            test_serve_split_frame;
           Alcotest.test_case "default deadline" `Quick
             test_serve_default_deadline;
         ] );

@@ -122,6 +122,36 @@ let test_monitor_stepwise () =
   (* old states are unaffected (immutability supports rollback) *)
   check tbool "old state intact" false (Monitor.value c s1)
 
+(* step_false is the engine's fast path for objects untouched by a step
+   (engine.ml uses it in four places): it must agree with the general
+   step on an all-false state, and when the truth vector is unchanged it
+   must return the input state itself — the pointer reuse is what lets
+   rollback keep old states and lets the engine skip re-allocating
+   monitor vectors for idle objects. *)
+let all_false = Monitor.step ~atom_eval:(fun _ -> false)
+
+let test_step_false_pointer_reuse () =
+  (* sometime(a) latches: once true, further all-false steps leave the
+     vector fixed, so step_false must hand back the very same state *)
+  let c = Monitor.compile (Formula.Sometime f_a) in
+  let s0 = Monitor.step c ~atom_eval:(fun i -> [| true; false |].(i)) None in
+  (* first all-false step flips the atom entry, so a fresh state *)
+  let s1 = Monitor.step_false c s0 in
+  check tbool "atom entry flipped: fresh state" true (not (s1 == s0));
+  (* from here the vector is a fixpoint of all-false stepping *)
+  let s2 = Monitor.step_false c s1 in
+  check tbool "latched vector: state physically reused" true (s2 == s1);
+  check tbool "latched verdict" true (Monitor.value c s2);
+  (* previous(a) after a true instant: the vector does change, so a
+     fresh state must come back and carry the right verdict *)
+  let c' = Monitor.compile (Formula.Previous f_a) in
+  let t1 = Monitor.step c' ~atom_eval:(fun i -> [| true; false |].(i)) None in
+  let t2 = Monitor.step_false c' t1 in
+  check tbool "changed vector: fresh state" true (not (t2 == t1));
+  check tbool "previous now true" true (Monitor.value c' t2);
+  check tbool "matches general step" (Monitor.value c' (all_false c' (Some t1)))
+    (Monitor.value c' t2)
+
 (* random formulas over two atoms *)
 let gen_formula =
   let open QCheck.Gen in
@@ -167,6 +197,33 @@ let prop_monitor_equals_trace_eval =
           state := Some st;
           if Monitor.value c st <> Trace_eval.eval ~atom tr i f then ok := false)
         tr;
+      !ok)
+
+let prop_step_false_equals_step =
+  QCheck.Test.make
+    ~name:"step_false ≡ step on all-false states, with pointer reuse"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (f, tr) ->
+         Format.asprintf "%a on %d states" pp_formula_int f (Array.length tr))
+       (QCheck.Gen.pair gen_formula gen_trace))
+    (fun (f, tr) ->
+      let c = Monitor.compile f in
+      (* run the random prefix, then trail three all-false instants *)
+      let s = ref (Monitor.run c ~atom tr) in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let fast = Monitor.step_false c !s in
+        let slow = all_false c (Some !s) in
+        if Monitor.state_to_bools fast <> Monitor.state_to_bools slow then
+          ok := false;
+        if Monitor.value c fast <> Monitor.value c slow then ok := false;
+        (* unchanged vector must come back as the same pointer *)
+        if Monitor.state_to_bools fast = Monitor.state_to_bools !s
+           && not (fast == !s)
+        then ok := false;
+        s := fast
+      done;
       !ok)
 
 let prop_monitor_size_linear =
@@ -251,10 +308,16 @@ let () =
           Alcotest.test_case "basic operators" `Quick test_monitor_basic;
           Alcotest.test_case "stepwise + immutability" `Quick
             test_monitor_stepwise;
+          Alcotest.test_case "step_false pointer reuse" `Quick
+            test_step_false_pointer_reuse;
         ] );
       ( "monitor-properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_monitor_equals_trace_eval; prop_monitor_size_linear ] );
+          [
+            prop_monitor_equals_trace_eval;
+            prop_step_false_equals_step;
+            prop_monitor_size_linear;
+          ] );
       ( "parametric",
         [
           Alcotest.test_case "forall spawning" `Quick test_param_forall;
