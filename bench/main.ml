@@ -18,7 +18,10 @@
     - E12 compiled vs interpreted rule dispatch (accepted steps);
     - E13 persistence save/restore throughput;
     - E14 generated mixed workloads (the fuzzing generator's random
-      communities and traces replayed through the engine).
+      communities and traces replayed through the engine);
+    - E15 parallel-probe scaling: coalesced enabledness batches and
+      parallel refinement checks over frozen views at pool sizes
+      1/2/4/8.
 
     [dune exec bench/main.exe] runs everything under bechamel and prints
     one OLS-estimated ns/run per benchmark.  [-- --quick] uses short
@@ -142,7 +145,7 @@ let refinement_tests ~max_depth () =
                  ~impl:
                    (Implementation.make ~abs_class:"EMPLOYEE"
                       ~conc_class:"EMPL_IMPL" ())
-                 ~abs ~conc ~alphabet:Workload.refinement_alphabet ~depth
+                 ~abs ~conc ~alphabet:Workload.refinement_alphabet ~depth ()
              in
              match report.Refinement.verdict with
              | Ok () -> ()
@@ -345,6 +348,55 @@ let generated_tests () =
           incr i ))
     [ 1; 7 ]
 
+(* E15: parallel-probe scaling — one coalesced enabledness batch over a
+   frozen view of the largest generated workload, and one parallel
+   refinement check, at pool sizes 1/2/4/8.  The jobs=1 arm is the
+   sequential baseline the speedup divides by; on a single-core host
+   the larger arms only measure scheduling overhead. *)
+let parallel_tests () =
+  let tolerate (_ : Engine.step_result) = () in
+  let c, steps = Workload.generated_workload 1 ~len:400 in
+  Array.iter (fun st -> tolerate (Engine.step c st)) steps;
+  let view = View.freeze c in
+  (* the batch: every living object x its parameterless events, tiled
+     until the dispatch is big enough to amortise chunking *)
+  let base =
+    List.concat_map
+      (fun (o : Obj_state.t) ->
+        Array.to_list
+          (Array.map
+             (fun (ed : Template.event_def) ->
+               Event.make o.Obj_state.id ed.Template.ed_name [])
+             (Engine.nullary_descriptors c o.Obj_state.template)))
+      (Community.living_objects c)
+    |> Array.of_list
+  in
+  if Array.length base = 0 then failwith "E15: workload left no living objects";
+  let tile = (512 + Array.length base - 1) / Array.length base in
+  let batch = Array.concat (List.init tile (fun _ -> base)) in
+  let abs, conc = Workload.employee_pair () in
+  List.concat_map
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      at_exit (fun () -> Pool.shutdown pool);
+      [
+        ( Printf.sprintf "E15 probe-batch/jobs%d" jobs,
+          fun () -> ignore (Engine.enabled_batch_par ~pool view batch) );
+        ( Printf.sprintf "E15 refine-par/jobs%d" jobs,
+          fun () ->
+            let report =
+              Refinement.check ~pool
+                ~impl:
+                  (Implementation.make ~abs_class:"EMPLOYEE"
+                     ~conc_class:"EMPL_IMPL" ())
+                ~abs ~conc ~alphabet:Workload.refinement_alphabet ~depth:4 ()
+            in
+            match report.Refinement.verdict with
+            | Ok () -> ()
+            | Error _ -> failwith "refinement failed" );
+      ])
+    [ 1; 2; 4; 8 ]
+
 let all_tests ~quick () =
   front_end_tests ()
   @ engine_tests ()
@@ -361,6 +413,7 @@ let all_tests ~quick () =
   @ dispatch_tests ()
   @ persist_tests ()
   @ generated_tests ()
+  @ parallel_tests ()
 
 (* ------------------------------------------------------------------ *)
 (* Runners                                                             *)

@@ -94,13 +94,30 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:
           "Print the transaction-layer statistics (transactions, \
-           savepoints, probes, journal entries, bytes snapshotted) and \
+           savepoints, probes, journal entries, bytes snapshotted), \
            the compiled-dispatch counters (slots interned, rules \
-           indexed, dispatch hits, interpreted fallbacks) after the \
-           script")
+           indexed, dispatch hits, interpreted fallbacks) and the \
+           parallel-probe counters (views frozen and thawed, pool \
+           dispatches) after the script")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Probe-pool size for parallel enabledness queries; 1 probes \
+           sequentially on the calling thread without spawning a \
+           domain.  Default: $(b,TROLLC_JOBS) if set, else one less \
+           than the recommended domain count (at least 1)")
+
+let resolve_jobs = function
+  | Some n -> max 1 n
+  | None -> Pool.default_jobs ()
 
 let run_cmd =
-  let run spec_path script_path save restore stats =
+  let run spec_path script_path save restore stats jobs =
+    (match jobs with Some n -> Pool.set_default_jobs (max 1 n) | None -> ());
     match Troll.load (read_file spec_path) with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -138,8 +155,13 @@ let run_cmd =
               print_endline "dispatch statistics:";
               List.iter
                 (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
-                (Trace.dispatch_stats_rows ())
+                (Trace.dispatch_stats_rows ());
+              print_endline "probe statistics:";
+              List.iter
+                (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                (Trace.probe_stats_rows ())
             end;
+            Pool.shutdown_default ();
             code))
   in
   Cmd.v
@@ -147,9 +169,11 @@ let run_cmd =
        ~doc:
          "Load a specification and animate it with a script; --save/--restore \
           persist the object base between runs; --stats reports the \
-          transaction layer's counters")
+          transaction layer's counters; --jobs sizes the parallel probe \
+          pool")
     Term.(
-      const run $ spec_arg $ script_arg $ save_arg $ restore_arg $ stats_arg)
+      const run $ spec_arg $ script_arg $ save_arg $ restore_arg $ stats_arg
+      $ jobs_arg)
 
 let dot_cmd =
   let run path =
@@ -272,7 +296,7 @@ let refine_cmd =
   let depth =
     Arg.(value & opt int 3 & info [ "depth" ] ~doc:"exploration depth bound")
   in
-  let run abs_path conc_path abs_cls conc_cls depth =
+  let run abs_path conc_path abs_cls conc_cls depth jobs =
     let load path =
       match Troll.load (read_file path) with
       | Ok sys -> Ok sys.Troll.community
@@ -308,16 +332,21 @@ let refine_cmd =
                   Implementation.make ~abs_class:abs_cls ~conc_class:conc_cls
                     ()
                 in
+                let pool = Pool.create ~jobs:(resolve_jobs jobs) in
                 let report =
-                  Refinement.check ~impl
-                    ~abs:
-                      { Refinement.community = abs_c;
-                        id = Ident.make abs_cls (key_for abs_tpl "probe") }
-                    ~conc:
-                      { Refinement.community = conc_c;
-                        id = Ident.make conc_cls (key_for conc_tpl "probe") }
-                    ~alphabet:(Refinement.candidates abs_tpl)
-                    ~depth
+                  Fun.protect
+                    ~finally:(fun () -> Pool.shutdown pool)
+                    (fun () ->
+                      Refinement.check ~pool ~impl
+                        ~abs:
+                          { Refinement.community = abs_c;
+                            id = Ident.make abs_cls (key_for abs_tpl "probe") }
+                        ~conc:
+                          { Refinement.community = conc_c;
+                            id =
+                              Ident.make conc_cls (key_for conc_tpl "probe") }
+                        ~alphabet:(Refinement.candidates abs_tpl)
+                        ~depth ())
                 in
                 Format.printf "%a@." Refinement.pp_report report;
                 (match report.Refinement.verdict with
@@ -328,8 +357,11 @@ let refine_cmd =
     (Cmd.info "refine"
        ~doc:
          "Check by bounded lock-step simulation that CONCRETE's --conc class \
-          implements ABSTRACT's --abs class (§5.2)")
-    Term.(const run $ abs_spec $ conc_spec $ abs_class $ conc_class $ depth)
+          implements ABSTRACT's --abs class (§5.2); --jobs explores the \
+          abstract alphabet's branches in parallel over frozen views")
+    Term.(
+      const run $ abs_spec $ conc_spec $ abs_class $ conc_class $ depth
+      $ jobs_arg)
 
 let serve_cmd =
   let socket_arg =
@@ -364,7 +396,7 @@ let serve_cmd =
             "Default per-request deadline in milliseconds, applied to \
              requests that carry no $(i,deadline_ms) field")
   in
-  let run spec_path socket stdio queue default_deadline save restore =
+  let run spec_path socket stdio queue default_deadline save restore jobs =
     match Troll.Session.load_file spec_path with
     | Error e ->
         Printf.eprintf "%s\n" (Troll.Error.to_string e);
@@ -386,6 +418,7 @@ let serve_cmd =
                 Server.queue_capacity = queue;
                 Server.default_deadline_ms = default_deadline;
                 Server.save_on_shutdown = save;
+                Server.jobs = resolve_jobs jobs;
               }
             in
             let server = Server.create ~config session in
@@ -411,10 +444,12 @@ let serve_cmd =
           newline-delimited JSON protocol (see docs/PROTOCOL.md); every \
           mutating request is one journaled transaction, a $(i,batch) \
           request is one atomic event sequence, and a $(i,shutdown) \
-          request drains the admission queue before the daemon exits")
+          request drains the admission queue before the daemon exits; \
+          $(i,enabled)/$(i,candidates) probes are answered from frozen \
+          views over a --jobs-sized domain pool")
     Term.(
       const run $ spec_arg $ socket_arg $ stdio_arg $ queue_arg
-      $ deadline_arg $ save_arg $ restore_arg)
+      $ deadline_arg $ save_arg $ restore_arg $ jobs_arg)
 
 let fuzz_cmd =
   let seed_arg =
@@ -520,11 +555,12 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Generate seed-deterministic well-typed specifications and event \
-          workloads, and check every pair against four differential oracles: \
+          workloads, and check every pair against five differential oracles: \
           compiled vs interpreted dispatch, engine vs society server, save/\
-          load/replay, and journal cleanliness of rejected steps (probe = \
-          clone).  The first failure is shrunk to a minimal (spec, trace) \
-          pair when --shrink is given")
+          load/replay, journal cleanliness of rejected steps (probe = \
+          clone), and parallel vs sequential enabledness probes.  The first \
+          failure is shrunk to a minimal (spec, trace) pair when --shrink \
+          is given")
     Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ out_arg $ dump_arg)
 
 let main =

@@ -85,7 +85,7 @@ let () =
       ~conc:
         { Refinement.community = conc_sys.Troll.community;
           id = Troll.ident "EMPL_IMPL" (key "eve") }
-      ~alphabet ~depth:4
+      ~alphabet ~depth:4 ()
   in
   Format.printf "%a@." Refinement.pp_report report;
 
@@ -126,7 +126,7 @@ end object class EMPLOYEE_BAD;
       ~conc:
         { Refinement.community = bad_sys.Troll.community;
           id = Troll.ident "EMPLOYEE_BAD" (key "eve") }
-      ~alphabet ~depth:3
+      ~alphabet ~depth:3 ()
   in
   match report.Refinement.verdict with
   | Ok () -> print_endline "  (unexpected: broken refinement passed)"

@@ -1,4 +1,4 @@
-(* The four differential oracles.  Each one loads fresh communities
+(* The five differential oracles.  Each one loads fresh communities
    from the rendered source, runs the trace and compares independent
    execution paths; [Persist.save] images are the state-equality
    witness throughout (canonical, total, bit-comparable). *)
@@ -274,10 +274,131 @@ let journal src trace =
   loop 0 trace
 
 (* ---------------------------------------------------------------- *)
+(* Oracle 5: parallel probes ≡ sequential probes on every prefix     *)
+(* ---------------------------------------------------------------- *)
+
+(* [enabled_events_par] runs over a domain pool, and once a domain has
+   ever been created in a process [Unix.fork] raises — which the
+   "server" oracle and any later iteration of it depend on.  So the
+   whole comparison runs in a forked child: the child alone creates the
+   jobs=4 pool, replays the trace, and at every prefix compares the
+   parallel answers from a frozen view against the sequential engine;
+   the parent only reads a one-line verdict from a pipe and never
+   creates a domain. *)
+
+let parallel_jobs = 4
+
+(* The child's body: returns "ok" or a single-line "FAIL ..." detail. *)
+let parallel_verdict src trace =
+  match load_session src with
+  | Error e -> Printf.sprintf "spec failed to load: %s" (Troll.Error.to_string e)
+  | Ok s -> (
+      let c = Troll.Session.community s in
+      let pool = Pool.create ~jobs:parallel_jobs in
+      let bool_opt = function
+        | None -> "?"
+        | Some true -> "t"
+        | Some false -> "f"
+      in
+      let check_object i view (o : Obj_state.t) =
+        let id = o.Obj_state.id in
+        let seq = Engine.enabled_events c id in
+        let par = Engine.enabled_events_par ~pool view id in
+        if seq <> par then
+          Some
+            (Printf.sprintf "prefix %d: %s: enabled seq [%s] par [%s]" i
+               (Ident.to_string id) (String.concat " " seq)
+               (String.concat " " par))
+        else
+          let cseq = Engine.candidate_events c id in
+          let cpar = Engine.candidate_events_par ~pool view id in
+          if
+            List.map fst cseq <> List.map (fun (n, _, _) -> n) cpar
+            || List.map snd cseq <> List.map (fun (_, p, _) -> p) cpar
+          then
+            Some
+              (Printf.sprintf "prefix %d: %s: candidate lists differ" i
+                 (Ident.to_string id))
+          else
+            let bad =
+              List.find_opt
+                (fun (n, params, verdict) ->
+                  match (params, verdict) with
+                  | [], Some b -> b <> List.mem n seq
+                  | [], None -> o.Obj_state.alive
+                  | _ :: _, Some _ -> true
+                  | _ :: _, None -> false)
+                cpar
+            in
+            match bad with
+            | Some (n, _, verdict) ->
+                Some
+                  (Printf.sprintf
+                     "prefix %d: %s: candidate %s verdict %s vs enabled %b" i
+                     (Ident.to_string id) n (bool_opt verdict)
+                     (List.mem n seq))
+            | None -> None
+      in
+      let check_prefix i =
+        let view = View.freeze c in
+        let rec loop = function
+          | [] ->
+              if not (View.valid view) then
+                Some (Printf.sprintf "prefix %d: probes invalidated the view" i)
+              else None
+          | o :: rest -> (
+              match check_object i view o with
+              | Some _ as f -> f
+              | None -> loop rest)
+        in
+        loop (Community.objects_sorted c)
+      in
+      let rec run i = function
+        | [] -> check_prefix i
+        | st :: rest -> (
+            match check_prefix i with
+            | Some _ as f -> f
+            | None ->
+                ignore (Troll.Session.step s st);
+                run (i + 1) rest)
+      in
+      let outcome = run 0 trace in
+      Pool.shutdown pool;
+      match outcome with
+      | None -> "ok"
+      | Some detail -> "FAIL " ^ detail)
+
+let parallel src trace =
+  let r, w = Unix.pipe () in
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    Unix.close r;
+    let verdict =
+      try parallel_verdict src trace
+      with e -> "FAIL exception: " ^ Printexc.to_string e
+    in
+    let oc = Unix.out_channel_of_descr w in
+    (try
+       output_string oc verdict;
+       output_char oc '\n';
+       flush oc
+     with _ -> ());
+    Unix._exit 0
+  end;
+  Unix.close w;
+  let ic = Unix.in_channel_of_descr r in
+  let line =
+    try input_line ic with End_of_file -> "FAIL child wrote no verdict"
+  in
+  close_in ic;
+  ignore (Unix.waitpid [] pid);
+  if line = "ok" then Ok () else failf "parallel" "%s" line
+
+(* ---------------------------------------------------------------- *)
 (* Driver                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let oracle_names = [ "dispatch"; "server"; "replay"; "journal" ]
+let oracle_names = [ "dispatch"; "server"; "replay"; "journal"; "parallel" ]
 
 let run_oracle name src trace =
   let f =
@@ -286,6 +407,7 @@ let run_oracle name src trace =
     | "server" -> server
     | "replay" -> replay
     | "journal" -> journal
+    | "parallel" -> parallel
     | other -> invalid_arg ("Oracle.run_oracle: " ^ other)
   in
   try f src trace

@@ -1,4 +1,4 @@
-(** The four differential oracles every generated (spec, trace) pair is
+(** The five differential oracles every generated (spec, trace) pair is
     checked against.
 
     - ["dispatch"]: compiled vs interpreted rule dispatch — identical
@@ -15,6 +15,12 @@
       ({!Community.clone}) and executed — the three verdicts agree, the
       probe leaves the image untouched, a rejected step leaves it
       untouched, and clone and community stay bit-identical.
+    - ["parallel"]: {!Engine.enabled_events_par} /
+      {!Engine.candidate_events_par} over a jobs=4 {!Pool} against a
+      frozen {!View} vs the sequential queries, on every trace prefix
+      and every object; probing must not invalidate the view.  Runs in
+      a forked child (domains would make the parent unforkable), so the
+      fuzz driver itself never creates a domain.
 
     Oracles take the rendered source so the shrinker can re-render
     candidate models and re-run just the failing oracle. *)
@@ -31,7 +37,7 @@ val run_oracle : string -> string -> Step.t list -> (unit, failure) result
     names raise [Invalid_argument]. *)
 
 val check_all : string -> Step.t list -> (unit, failure) result
-(** Run all four oracles in order, returning the first failure. *)
+(** Run all five oracles in order, returning the first failure. *)
 
 val request_of_step : id:int -> Step.t -> Json.t
 (** The wire request frame executing the step, as the society server

@@ -86,6 +86,12 @@ type t = {
   config : config;
   mutable staged : staged option;
       (** community-level dispatch index, built lazily by {!Dispatch} *)
+  mutable version : int;
+      (** instance-state version: bumped on every committed transaction
+          and on every direct (journal-less) mutation, so a frozen
+          {!View} can tell cheaply whether this community still looks
+          the way it did at freeze time.  Rollbacks restore state
+          exactly and do not bump. *)
 }
 
 let create ?(config = default_config) () =
@@ -100,7 +106,10 @@ let create ?(config = default_config) () =
     journal = None;
     config;
     staged = None;
+    version = 0;
   }
+
+let bump_version t = t.version <- t.version + 1
 
 (* ------------------------------------------------------------------ *)
 (* Journal plumbing                                                    *)
@@ -129,7 +138,8 @@ let undo_entry t = function
 let add_template t (tpl : Template.t) =
   Hashtbl.replace t.templates tpl.Template.t_name tpl;
   incr schema_generation;
-  t.staged <- None
+  t.staged <- None;
+  bump_version t
 
 let find_template t name = Hashtbl.find_opt t.templates name
 
@@ -144,7 +154,8 @@ let add_enum t name consts =
   Hashtbl.replace t.enum_defs name consts;
   List.iter (fun c -> Hashtbl.replace t.enum_of_const c name) consts;
   incr schema_generation;
-  t.staged <- None
+  t.staged <- None;
+  bump_version t
 
 let enum_of_const t c = Hashtbl.find_opt t.enum_of_const c
 let enum_consts t name = Hashtbl.find_opt t.enum_defs name
@@ -152,7 +163,8 @@ let enum_consts t name = Hashtbl.find_opt t.enum_defs name
 let add_global t ~vars rule =
   t.globals <- t.globals @ [ { gr_vars = vars; gr_rule = rule } ];
   incr schema_generation;
-  t.staged <- None
+  t.staged <- None;
+  bump_version t
 
 let find_object t id = Hashtbl.find_opt t.objects id
 
@@ -169,6 +181,7 @@ let living t id =
 
 let register_object t (o : Obj_state.t) =
   journal_record t (J_register o.Obj_state.id);
+  if t.journal = None then bump_version t;
   Hashtbl.replace t.objects o.Obj_state.id o;
   t.index <- Btree.add t.index (Ident.to_value o.Obj_state.id) o
 
@@ -176,6 +189,7 @@ let remove_object t id =
   (match Hashtbl.find_opt t.objects id with
   | Some o -> journal_record t (J_remove o)
   | None -> ());
+  if t.journal = None then bump_version t;
   Hashtbl.remove t.objects id;
   t.index <- Btree.remove t.index (Ident.to_value id)
 
@@ -187,6 +201,7 @@ let extension t cls =
 
 let extension_add t id =
   journal_record t (J_extensions t.extensions);
+  if t.journal = None then bump_version t;
   t.extensions <-
     Smap.update id.Ident.cls
       (fun s ->
@@ -195,6 +210,7 @@ let extension_add t id =
 
 let extension_remove t id =
   journal_record t (J_extensions t.extensions);
+  if t.journal = None then bump_version t;
   t.extensions <-
     Smap.update id.Ident.cls
       (function None -> None | Some s -> Some (Ident.Set.remove id s))
@@ -270,6 +286,7 @@ let clone t =
     journal = None;
     config = t.config;
     staged = t.staged;
+    version = 0;
   }
 
 (** Drop every object, extension and index entry (templates, enums and
@@ -278,7 +295,8 @@ let clone t =
 let reset_instance_state t =
   Hashtbl.reset t.objects;
   t.index <- Btree.empty;
-  t.extensions <- Smap.empty
+  t.extensions <- Smap.empty;
+  bump_version t
 
 let iter_objects t f = Hashtbl.iter (fun _ o -> f o) t.objects
 

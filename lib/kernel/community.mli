@@ -68,9 +68,19 @@ type t = {
   config : config;
   mutable staged : staged option;
       (** community-level dispatch index, built lazily by {!Dispatch} *)
+  mutable version : int;
+      (** instance-state version: bumped on every committed transaction
+          ({!Txn.commit} of the owning scope) and on every direct
+          journal-less mutation; rollbacks restore state exactly and do
+          not bump.  {!View}s stamp themselves with it to detect
+          staleness in O(1). *)
 }
 
 val create : ?config:config -> unit -> t
+
+val bump_version : t -> unit
+(** Advance {!field-version}; called by the mutators here and by
+    {!Txn.commit}. *)
 
 (** {1 Journal} *)
 

@@ -185,6 +185,13 @@ type tpl_index = {
       (** per permission index: event footprint of a monitored guard's
           body; [None] for [PG_state] guards *)
   ti_temp_mons : cmon array;  (** per [K_temporal] constraint, in order *)
+  ti_nullary : Template.event_def array;
+      (** parameterless non-birth events, in declaration order — the
+          probe set of [Engine.enabled_events], hoisted here so neither
+          the sequential nor the batched path re-filters [t_events] *)
+  ti_candidates : (string * Vtype.t list) array;
+      (** all non-birth events with their parameter types, in
+          declaration order ([Engine.candidate_events]) *)
 }
 
 type Template.staged += T_staged of tpl_index
@@ -467,8 +474,26 @@ let build_tpl (c : Community.t) (tpl : Template.t) : tpl_index =
            | Template.K_temporal (body, _, _) -> Some (monitor_footprint body))
          tpl.Template.t_constraints)
   in
+  let non_birth =
+    List.filter
+      (fun (ed : Template.event_def) -> ed.ed_kind <> Ast.Ev_birth)
+      tpl.Template.t_events
+  in
+  let ti_nullary =
+    Array.of_list
+      (List.filter
+         (fun (ed : Template.event_def) -> ed.ed_params = [])
+         non_birth)
+  in
+  let ti_candidates =
+    Array.of_list
+      (List.map
+         (fun (ed : Template.event_def) ->
+           (ed.Template.ed_name, ed.Template.ed_params))
+         non_birth)
+  in
   { ti_generation = generation; ti_by_event = by_event; ti_atoms; ti_spawns;
-    ti_statics; ti_perm_mons; ti_temp_mons }
+    ti_statics; ti_perm_mons; ti_temp_mons; ti_nullary; ti_candidates }
 
 let template_index (c : Community.t) (tpl : Template.t) : tpl_index =
   match tpl.Template.t_staged with

@@ -105,6 +105,13 @@ type tpl_index = {
   ti_perm_mons : cmon option array;
       (** per permission index; [None] for [PG_state] guards *)
   ti_temp_mons : cmon array;  (** per [K_temporal] constraint, in order *)
+  ti_nullary : Template.event_def array;
+      (** parameterless non-birth events, in declaration order — the
+          probe set of [Engine.enabled_events], hoisted here so neither
+          the sequential nor the batched path re-filters [t_events] *)
+  ti_candidates : (string * Vtype.t list) array;
+      (** all non-birth events with their parameter types, in
+          declaration order ([Engine.candidate_events]) *)
 }
 
 type Template.staged += T_staged of tpl_index

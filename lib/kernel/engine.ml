@@ -1343,6 +1343,34 @@ let enabled c (ev : Event.t) : bool =
   | Ok _ -> true
   | Error _ -> false
 
+(** Parameterless non-birth events of a template, in declaration order.
+    With compiled dispatch on, the list is read off the staged index
+    (hoisted once per template per schema generation) instead of being
+    re-filtered from [t_events] on every query. *)
+let nullary_descriptors c (tpl : Template.t) : Template.event_def array =
+  if Dispatch.enabled c then
+    (Dispatch.template_index c tpl).Dispatch.ti_nullary
+  else
+    Array.of_list
+      (List.filter
+         (fun (ed : Template.event_def) ->
+           ed.Template.ed_params = [] && ed.Template.ed_kind <> Ast.Ev_birth)
+         tpl.Template.t_events)
+
+(** Non-birth events with their parameter types, in declaration
+    order. *)
+let candidate_descriptors c (tpl : Template.t) :
+    (string * Vtype.t list) array =
+  if Dispatch.enabled c then
+    (Dispatch.template_index c tpl).Dispatch.ti_candidates
+  else
+    Array.of_list
+      (List.filter_map
+         (fun (ed : Template.event_def) ->
+           if ed.Template.ed_kind = Ast.Ev_birth then None
+           else Some (ed.Template.ed_name, ed.Template.ed_params))
+         tpl.Template.t_events)
+
 (** The parameterless events of a living object that are currently
     enabled — what an animator would offer as next steps.  Events with
     parameters are reported by {!candidate_events} instead (enabledness
@@ -1353,25 +1381,92 @@ let enabled_events c (id : Ident.t) : string list =
   | Some o ->
       List.filter_map
         (fun (ed : Template.event_def) ->
-          if ed.Template.ed_params = [] && ed.Template.ed_kind <> Ast.Ev_birth
-          then
-            if enabled c (Event.make id ed.Template.ed_name []) then
-              Some ed.Template.ed_name
-            else None
+          if enabled c (Event.make id ed.Template.ed_name []) then
+            Some ed.Template.ed_name
           else None)
-        o.Obj_state.template.Template.t_events
+        (Array.to_list (nullary_descriptors c o.Obj_state.template))
 
 (** All event names of an object's template with their parameter
     types (birth events excluded for living objects). *)
 let candidate_events c (id : Ident.t) : (string * Vtype.t list) list =
   match Community.find_template c id.Ident.cls with
   | None -> []
+  | Some tpl -> Array.to_list (candidate_descriptors c tpl)
+
+(* ------------------------------------------------------------------ *)
+(* Batched parallel probes over a frozen view                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every worker (and the submitting domain) probes its own
+   domain-private thaw of the view, so the probes are data-race free by
+   construction; at [jobs = 1] the pool runs the same loop on the
+   caller and the answers are bit-identical to the sequential
+   queries. *)
+
+let resolve_pool = function Some p -> p | None -> Pool.default ()
+
+(** Enabledness of an arbitrary batch of events against one frozen
+    view — the unit of work of the society server's coalesced probe
+    dispatch. *)
+let enabled_batch_par ?pool (v : View.t) (evs : Event.t array) : bool array =
+  let pool = resolve_pool pool in
+  let n = Array.length evs in
+  let out = Array.make n false in
+  Pool.run pool ~n (fun i ->
+      let c = View.thaw_cached v in
+      out.(i) <- enabled c evs.(i));
+  out
+
+(** [enabled_events] answered from a frozen view, probing the
+    parameterless events in parallel.  Same names in the same
+    (declaration) order as the sequential query. *)
+let enabled_events_par ?pool (v : View.t) (id : Ident.t) : string list =
+  let pool = resolve_pool pool in
+  let c0 = View.thaw_cached v in
+  match Community.living c0 id with
+  | None -> []
+  | Some o ->
+      let descs = nullary_descriptors c0 o.Obj_state.template in
+      let evs =
+        Array.map (fun ed -> Event.make id ed.Template.ed_name []) descs
+      in
+      let ok = enabled_batch_par ~pool v evs in
+      let acc = ref [] in
+      for i = Array.length descs - 1 downto 0 do
+        if ok.(i) then acc := descs.(i).Template.ed_name :: !acc
+      done;
+      !acc
+
+(** [candidate_events] answered from a frozen view, with enabledness
+    decided in parallel for the parameterless candidates.  [None] marks
+    events whose enabledness depends on arguments (or a dead object) —
+    the candidate is still offered, just undecided. *)
+let candidate_events_par ?pool (v : View.t) (id : Ident.t) :
+    (string * Vtype.t list * bool option) list =
+  let pool = resolve_pool pool in
+  let c0 = View.thaw_cached v in
+  match Community.find_template c0 id.Ident.cls with
+  | None -> []
   | Some tpl ->
-      List.filter_map
-        (fun (ed : Template.event_def) ->
-          if ed.Template.ed_kind = Ast.Ev_birth then None
-          else Some (ed.Template.ed_name, ed.Template.ed_params))
-        tpl.Template.t_events
+      let cands = candidate_descriptors c0 tpl in
+      let alive = Community.living c0 id <> None in
+      let probe_idx =
+        if alive then
+          Array.of_list
+            (List.filter
+               (fun i -> snd cands.(i) = [])
+               (List.init (Array.length cands) (fun i -> i)))
+        else [||]
+      in
+      let evs =
+        Array.map (fun i -> Event.make id (fst cands.(i)) []) probe_idx
+      in
+      let ok = enabled_batch_par ~pool v evs in
+      let verdicts = Array.make (Array.length cands) None in
+      Array.iteri (fun k i -> verdicts.(i) <- Some ok.(k)) probe_idx;
+      List.init (Array.length cands) (fun i ->
+          let name, params = cands.(i) in
+          (name, params, verdicts.(i)))
 
 (* ------------------------------------------------------------------ *)
 (* Naive (trace-based) permission checking — the E4 ablation baseline  *)

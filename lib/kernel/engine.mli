@@ -76,6 +76,41 @@ val candidate_events : Community.t -> Ident.t -> (string * Vtype.t list) list
 (** All non-birth events of the object's template with parameter
     types. *)
 
+(** {1 Batched parallel probes}
+
+    The same questions answered from a frozen {!View}: every pool
+    participant probes a domain-private thaw of the view, so nothing is
+    shared mutable.  With a [jobs = 1] pool the loop runs sequentially
+    on the caller and the answers are bit-identical to the queries
+    above.  [pool] defaults to {!Pool.default}. *)
+
+val nullary_descriptors :
+  Community.t -> Template.t -> Template.event_def array
+(** Parameterless non-birth events of a template, in declaration order
+    — the probe set of {!enabled_events}; read off the staged index
+    under compiled dispatch.  (The society server uses it to build
+    coalesced probe batches.) *)
+
+val candidate_descriptors :
+  Community.t -> Template.t -> (string * Vtype.t list) array
+(** Non-birth events with parameter types, in declaration order — the
+    answer set of {!candidate_events}, likewise staged. *)
+
+val enabled_batch_par : ?pool:Pool.t -> View.t -> Event.t array -> bool array
+(** Enabledness of an arbitrary batch of events — the unit of work of
+    the society server's coalesced probe dispatch. *)
+
+val enabled_events_par : ?pool:Pool.t -> View.t -> Ident.t -> string list
+(** {!enabled_events} against the view, parameterless events probed in
+    parallel; same names, same (declaration) order. *)
+
+val candidate_events_par :
+  ?pool:Pool.t -> View.t -> Ident.t ->
+  (string * Vtype.t list * bool option) list
+(** {!candidate_events} against the view, with enabledness decided in
+    parallel for parameterless candidates; [None] when enabledness
+    depends on arguments or the object is not alive. *)
+
 (** {1 Pieces exposed to the interface layer and the benchmarks} *)
 
 val locate_event : Community.t -> Event.t -> Event.t

@@ -111,6 +111,19 @@ let snapshot t =
     s_steps = t.steps;
   }
 
+(* A snapshot whose arrays can be installed as live state without
+   aliasing the original.  Monitor states, values and history entries
+   are immutable and stay shared; only the three mutated-in-place
+   arrays are duplicated.  Used by View.thaw, where one frozen snapshot
+   seeds a private mutable object per domain. *)
+let copy_snapshot s =
+  {
+    s with
+    s_attrs = Array.copy s.s_attrs;
+    s_perm_states = Array.copy s.s_perm_states;
+    s_constr_states = Array.copy s.s_constr_states;
+  }
+
 (* Restoring by pointer is sound because journal entries are single-use
    (popped in LIFO order and discarded); the snapshot array becomes the
    live one. *)

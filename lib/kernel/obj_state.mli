@@ -68,6 +68,12 @@ type snapshot
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 
+val copy_snapshot : snapshot -> snapshot
+(** A snapshot safe to {!restore} into a different object without
+    aliasing the original: the mutated-in-place arrays are duplicated,
+    immutable values stay shared.  ({!View} materializes per-domain
+    objects from one frozen snapshot this way.) *)
+
 val snapshot_cost : snapshot -> int
 (** Bytes allocated by taking the snapshot (shallow: the record plus the
     copied attribute and monitor-state arrays; values and states are

@@ -1,0 +1,57 @@
+(** Fixed pool of worker domains for read-only probe fan-out.
+
+    A pool of size [jobs] owns [jobs - 1] persistent worker domains;
+    the submitting domain participates in every dispatch.  [jobs = 1]
+    spawns no domains and runs strictly sequentially on the caller —
+    bit-identical to not having a pool (same evaluation order, same
+    statistics), and fork-safe: [Unix.fork] refuses to run in any
+    process that has ever created a domain, so sequential pools keep
+    fork-based tooling (the fuzz server oracle) working.
+
+    Work is self-scheduled by an atomic chunk cursor — about four
+    chunks per participant, no queues, no stealing.  Dispatches are
+    serial per pool: {!run} blocks the submitter until the whole index
+    range has drained. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] worker domains ([jobs] is clamped to at least
+    1). *)
+
+val jobs : t -> int
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] calls [f i] once for every [0 <= i < n], in parallel
+    across the pool's domains, and returns when all calls have
+    finished.  [f] must only touch domain-private or frozen data (see
+    {!View}).  The first exception raised by any participant is
+    re-raised here after the dispatch drains. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] on top of {!run} (element order preserved). *)
+
+val shutdown : t -> unit
+(** Join all worker domains; idempotent.  The pool must be idle. *)
+
+(** {1 Default pool}
+
+    The CLI resolves a process-wide job count once ([--jobs], then the
+    [TROLLC_JOBS] environment variable, then
+    [Domain.recommended_domain_count () - 1], floor 1) and shares one
+    lazily created pool. *)
+
+val default_jobs : unit -> int
+val set_default_jobs : int -> unit
+
+val default : unit -> t
+(** The shared pool, created on first use at {!default_jobs} size.
+    Never call this from a process that still needs to [Unix.fork]
+    unless the resolved size is 1. *)
+
+val shutdown_default : unit -> unit
+
+(** {1 Statistics} *)
+
+val stats_rows : unit -> (string * int) list
+val reset_stats : unit -> unit

@@ -44,6 +44,17 @@ val dispatch_stats_rows : unit -> (string * int) list
 
 val pp_dispatch_stats : Format.formatter -> unit -> unit
 
+(** {1 Parallel-probe statistics}
+
+    The {!View} and {!Pool} process-wide counters: views frozen,
+    invalidated and thawed, and pool dispatches (parallel vs.
+    sequential) with their item and chunk counts. *)
+
+val probe_stats_rows : unit -> (string * int) list
+(** The counters as labelled rows, for tabular front ends. *)
+
+val reset_probe_stats : unit -> unit
+
 (** {1 Latency histograms}
 
     Fixed log2-bucket histograms over microseconds, cheap enough to

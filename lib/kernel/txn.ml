@@ -97,15 +97,20 @@ let fresh_journal () : Community.journal =
     epoch = 0;
   }
 
-(* One detached journal is kept for reuse so the per-transaction cost is
-   a reset, not a record + hashtable allocation.  Only ever holds a
-   journal that no community points to. *)
-let spare_journal : Community.journal option ref = ref None
+(* One detached journal per domain is kept for reuse so the
+   per-transaction cost is a reset, not a record + hashtable
+   allocation.  The slot is domain-local: parallel probe workers each
+   recycle their own journal and never contend on (or corrupt) a shared
+   one.  A slot only ever holds a journal that no community points
+   to. *)
+let spare_journal : Community.journal option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let take_journal () =
-  match !spare_journal with
+  let slot = Domain.DLS.get spare_journal in
+  match !slot with
   | Some j ->
-      spare_journal := None;
+      slot := None;
       j
   | None -> fresh_journal ()
 
@@ -116,7 +121,7 @@ let release_journal (j : Community.journal) =
   j.Community.bytes <- 0;
   Hashtbl.reset j.Community.touched;
   j.Community.epoch <- 0;
-  spare_journal := Some j
+  (Domain.DLS.get spare_journal) := Some j
 
 let begin_ (c : Community.t) =
   incr n_begun;
@@ -186,6 +191,9 @@ let commit t =
   incr n_committed;
   if t.owner then begin
     let j = journal_exn t in
+    (* the transaction mutated something it keeps: outstanding views of
+       this community are now stale *)
+    if j.Community.total > 0 then Community.bump_version t.c;
     account j;
     t.c.Community.journal <- None;
     release_journal j

@@ -1,0 +1,46 @@
+(** Frozen read-only projection of a community, for parallel probes.
+
+    Taken at a quiescent point (no open journal), a view is immutable
+    and shareable across domains.  Workers {!thaw} private mutable
+    communities from it and run ordinary [Txn.probe]s there; the owning
+    domain keeps mutating the source community freely, and {!valid}
+    detects staleness in O(1) from the schema generation and the
+    source's instance-state version. *)
+
+type t
+
+val freeze : Community.t -> t
+(** Capture the community.  O(society): one {!Obj_state.snapshot} per
+    object plus the (persistent) extensions map and rule list.  Also
+    pre-warms the staged dispatch caches so no thawed copy builds them
+    concurrently.  Raises [Invalid_argument] when a transaction is
+    open. *)
+
+val valid : t -> bool
+(** The source community still looks exactly as it did at freeze time:
+    no schema change, no committed transaction, no direct mutation, no
+    open journal.  Rollbacks never invalidate. *)
+
+val source : t -> Community.t
+val n_objects : t -> int
+val version : t -> int
+
+val thaw : t -> Community.t
+(** A fresh private community materialized from the view: objects are
+    rebuilt from copied snapshots (never aliasing the view), schema
+    tables and staged caches are shared read-only.  Safe to call
+    concurrently from several domains on the same view. *)
+
+val thaw_cached : t -> Community.t
+(** {!thaw} memoized per domain (small LRU keyed by view identity), so
+    a pool worker probing the same view repeatedly pays materialization
+    once.  The returned community is domain-private but shared between
+    calls: probes roll back, so reuse is sound. *)
+
+val note_invalidated : unit -> unit
+(** Record that a holder discarded a stale view (statistics only). *)
+
+(** {1 Statistics} *)
+
+val stats_rows : unit -> (string * int) list
+val reset_stats : unit -> unit

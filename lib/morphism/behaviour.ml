@@ -52,4 +52,4 @@ let check (m : Template_morphism.t) ~(sub_side : Refinement.side)
         | Some a -> a
         | None -> Refinement.candidates m.Template_morphism.dst
       in
-      Ok (Refinement.check ~impl ~abs:super_side ~conc:sub_side ~alphabet ~depth)
+      Ok (Refinement.check ~impl ~abs:super_side ~conc:sub_side ~alphabet ~depth ())

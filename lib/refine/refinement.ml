@@ -120,15 +120,40 @@ type side = { community : Community.t; id : Ident.t }
 let fire_candidate (s : side) ~(name : string) (c : candidate) =
   Engine.fire s.community (Event.make s.id name c.ev_args)
 
+(** What one top-level branch of the exploration did, recorded privately
+    so branches can run on separate domains and be merged back in
+    alphabet order — the merged report is bit-identical to the
+    sequential DFS (branch [i]'s whole subtree precedes branch [i+1]'s
+    in DFS order, so the first counterexample in branch order is the
+    first in DFS order, and everything after it is discarded exactly as
+    the sequential run never would have executed it). *)
+type mark = M_exercised of string | M_violated of string * string
+
+type branch_log = {
+  mutable bo_cases : int;
+  mutable bo_accepted : int;
+  mutable bo_marks : mark list;  (** newest first *)
+  mutable bo_cex : counterexample option;
+}
+
+let new_log () =
+  { bo_cases = 0; bo_accepted = 0; bo_marks = []; bo_cex = None }
+
 (** Check the implementation [impl] by bounded lock-step simulation.
 
     [abs]/[conc] give the communities and instance identities of the two
     sides (the instances must already be alive and in corresponding
     states).  [alphabet] lists the candidate events in abstract terms;
     each is mapped through [impl] for the concrete side.  [depth] bounds
-    the trace length. *)
-let check ~(impl : Implementation.t) ~(abs : side) ~(conc : side)
-    ~(alphabet : candidate list) ~(depth : int) : report =
+    the trace length.
+
+    With a [pool] of more than one domain, the top-level alphabet
+    branches are explored in parallel, each against domain-private
+    thaws of frozen views of the two communities ({!View}); the source
+    communities are never touched.  The report is the same either
+    way. *)
+let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
+    ~(conc : side) ~(alphabet : candidate list) ~(depth : int) () : report =
   let abs_tpl =
     Community.template_exn abs.community impl.Implementation.abs_class
   in
@@ -136,8 +161,6 @@ let check ~(impl : Implementation.t) ~(abs : side) ~(conc : side)
     Community.template_exn conc.community impl.Implementation.conc_class
   in
   let obligations = Obligation.generate impl ~abs_tpl ~conc_tpl in
-  let cases = ref 0 in
-  let accepted = ref 0 in
   let exception Cex of counterexample in
   let observe_mismatch abs_c conc_c =
     (* life-cycle stage must agree; attribute observations are only
@@ -174,78 +197,129 @@ let check ~(impl : Implementation.t) ~(abs : side) ~(conc : side)
                abs_a (Value.to_string va) (Value.to_string vc)))
       (Implementation.observed_attrs impl abs_tpl)
   in
-  let rec explore (abs_c : Community.t) (conc_c : Community.t) trace d =
-    if d = 0 then ()
-    else
-      List.iter
-        (fun (cand : candidate) ->
-          incr cases;
-          (* each branch — the two speculative firings plus the whole
-             subtree below them — runs under nested probe scopes and is
-             journal-rolled back in place before the next candidate;
-             a counterexample propagates out through the rollbacks *)
-          Txn.probe abs_c (fun () ->
-              Txn.probe conc_c (fun () ->
-                  let abs_r =
-                    fire_candidate { community = abs_c; id = abs.id }
-                      ~name:cand.ev_name cand
-                  in
-                  let conc_name = Implementation.map_event impl cand.ev_name in
-                  let conc_r =
-                    fire_candidate { community = conc_c; id = conc.id }
-                      ~name:conc_name cand
-                  in
-                  match (abs_r, conc_r) with
-                  | Ok _, Ok _ -> (
-                      incr accepted;
-                      Obligation.mark_exercised obligations
-                        ~id:(Printf.sprintf "enabled-%s" cand.ev_name);
-                      match observe_mismatch abs_c conc_c with
-                      | Some reason ->
-                          Obligation.mark_violated obligations
-                            ~id:(Printf.sprintf "effect-%s" cand.ev_name)
-                            ~reason;
-                          raise
-                            (Cex
-                               { trace = List.rev trace; failing = cand; reason })
-                      | None ->
-                          Obligation.mark_exercised obligations
-                            ~id:(Printf.sprintf "effect-%s" cand.ev_name);
-                          explore abs_c conc_c (cand :: trace) (d - 1))
-                  | Ok _, Error r ->
-                      let reason =
-                        Printf.sprintf
-                          "abstract side accepts but implementation rejects (%s)"
-                          (Runtime_error.reason_to_string r)
-                      in
-                      Obligation.mark_violated obligations
-                        ~id:(Printf.sprintf "enabled-%s" cand.ev_name)
-                        ~reason;
-                      raise
-                        (Cex { trace = List.rev trace; failing = cand; reason })
-                  | Error r, Ok _ ->
-                      let reason =
-                        Printf.sprintf
-                          "implementation accepts an event the specification \
-                           forbids (abstract rejection: %s)"
-                          (Runtime_error.reason_to_string r)
-                      in
-                      Obligation.mark_violated obligations
-                        ~id:(Printf.sprintf "perm-%s" cand.ev_name)
-                        ~reason;
-                      raise
-                        (Cex { trace = List.rev trace; failing = cand; reason })
-                  | Error _, Error _ ->
-                      (* both reject: permission preserved on this case *)
-                      Obligation.mark_exercised obligations
-                        ~id:(Printf.sprintf "perm-%s" cand.ev_name))))
+  let mark_ex log id = log.bo_marks <- M_exercised id :: log.bo_marks in
+  let mark_vi log id reason =
+    log.bo_marks <- M_violated (id, reason) :: log.bo_marks
+  in
+  let rec explore_cand log (abs_c : Community.t) (conc_c : Community.t)
+      trace d (cand : candidate) =
+    log.bo_cases <- log.bo_cases + 1;
+    (* each branch — the two speculative firings plus the whole subtree
+       below them — runs under nested probe scopes and is
+       journal-rolled back in place before the next candidate; a
+       counterexample propagates out through the rollbacks *)
+    Txn.probe abs_c (fun () ->
+        Txn.probe conc_c (fun () ->
+            let abs_r =
+              fire_candidate { community = abs_c; id = abs.id }
+                ~name:cand.ev_name cand
+            in
+            let conc_name = Implementation.map_event impl cand.ev_name in
+            let conc_r =
+              fire_candidate { community = conc_c; id = conc.id }
+                ~name:conc_name cand
+            in
+            match (abs_r, conc_r) with
+            | Ok _, Ok _ -> (
+                log.bo_accepted <- log.bo_accepted + 1;
+                mark_ex log (Printf.sprintf "enabled-%s" cand.ev_name);
+                match observe_mismatch abs_c conc_c with
+                | Some reason ->
+                    mark_vi log
+                      (Printf.sprintf "effect-%s" cand.ev_name)
+                      reason;
+                    raise
+                      (Cex { trace = List.rev trace; failing = cand; reason })
+                | None ->
+                    mark_ex log (Printf.sprintf "effect-%s" cand.ev_name);
+                    explore log abs_c conc_c (cand :: trace) (d - 1))
+            | Ok _, Error r ->
+                let reason =
+                  Printf.sprintf
+                    "abstract side accepts but implementation rejects (%s)"
+                    (Runtime_error.reason_to_string r)
+                in
+                mark_vi log (Printf.sprintf "enabled-%s" cand.ev_name) reason;
+                raise (Cex { trace = List.rev trace; failing = cand; reason })
+            | Error r, Ok _ ->
+                let reason =
+                  Printf.sprintf
+                    "implementation accepts an event the specification \
+                     forbids (abstract rejection: %s)"
+                    (Runtime_error.reason_to_string r)
+                in
+                mark_vi log (Printf.sprintf "perm-%s" cand.ev_name) reason;
+                raise (Cex { trace = List.rev trace; failing = cand; reason })
+            | Error _, Error _ ->
+                (* both reject: permission preserved on this case *)
+                mark_ex log (Printf.sprintf "perm-%s" cand.ev_name)))
+  and explore log abs_c conc_c trace d =
+    if d > 0 then
+      List.iter (fun cand -> explore_cand log abs_c conc_c trace d cand)
         alphabet
   in
-  match explore abs.community conc.community [] depth with
-  | () ->
-      { verdict = Ok (); cases = !cases; accepted = !accepted; obligations }
-  | exception Cex cx ->
-      { verdict = Error cx; cases = !cases; accepted = !accepted; obligations }
+  let quiescent =
+    abs.community.Community.journal = None
+    && conc.community.Community.journal = None
+  in
+  let logs =
+    match pool with
+    | Some p
+      when Pool.jobs p > 1 && depth > 0
+           && List.length alphabet > 1
+           && quiescent ->
+        (* one task per top-level alphabet branch, each on domain-private
+           thaws; when both sides share one community the view (and thus
+           the thaw) is shared too, preserving the aliasing *)
+        let abs_view = View.freeze abs.community in
+        let conc_view =
+          if conc.community == abs.community then abs_view
+          else View.freeze conc.community
+        in
+        let cands = Array.of_list alphabet in
+        let logs = Array.init (Array.length cands) (fun _ -> new_log ()) in
+        Pool.run p ~n:(Array.length cands) (fun i ->
+            let abs_c = View.thaw_cached abs_view in
+            let conc_c =
+              if conc_view == abs_view then abs_c
+              else View.thaw_cached conc_view
+            in
+            let log = logs.(i) in
+            match explore_cand log abs_c conc_c [] depth cands.(i) with
+            | () -> ()
+            | exception Cex cx -> log.bo_cex <- Some cx);
+        Array.to_list logs
+    | _ ->
+        let log = new_log () in
+        (match explore log abs.community conc.community [] depth with
+        | () -> ()
+        | exception Cex cx -> log.bo_cex <- Some cx);
+        [ log ]
+  in
+  (* merge strictly in alphabet order, stopping at the first branch that
+     found a counterexample (later branches were never part of the
+     sequential exploration) *)
+  let cases = ref 0 and accepted = ref 0 in
+  let verdict = ref (Ok ()) in
+  (try
+     List.iter
+       (fun log ->
+         cases := !cases + log.bo_cases;
+         accepted := !accepted + log.bo_accepted;
+         List.iter
+           (function
+             | M_exercised id -> Obligation.mark_exercised obligations ~id
+             | M_violated (id, reason) ->
+                 Obligation.mark_violated obligations ~id ~reason)
+           (List.rev log.bo_marks);
+         match log.bo_cex with
+         | Some cx ->
+             verdict := Error cx;
+             raise Exit
+         | None -> ())
+       logs
+   with Exit -> ());
+  { verdict = !verdict; cases = !cases; accepted = !accepted; obligations }
 
 let pp_report ppf r =
   (match r.verdict with

@@ -42,12 +42,20 @@ val candidates :
 type side = { community : Community.t; id : Ident.t }
 
 val check :
+  ?pool:Pool.t ->
   impl:Implementation.t ->
   abs:side ->
   conc:side ->
   alphabet:candidate list ->
   depth:int ->
+  unit ->
   report
 (** Both instances must be alive and in corresponding states.  The
     communities are left unchanged: every branch runs speculatively
-    under {!Txn.probe} and is journal-rolled back in place. *)
+    under {!Txn.probe} and is journal-rolled back in place.
+
+    With a [pool] of more than one domain, the top-level alphabet
+    branches run in parallel on domain-private thaws of frozen {!View}s
+    of the two communities, merged back in alphabet order — the report
+    is identical to the sequential one (and the sources untouched
+    either way). *)

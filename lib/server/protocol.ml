@@ -233,6 +233,8 @@ type request =
   | Attr of { target : Ident.t; attr : string }
   | Eval of string
   | Extension of string
+  | Enabled of Ident.t
+  | Candidates of Ident.t
   | View of { view : string; what : view_query }
   | Save of string option
   | Restore of { path : string option; state : string option }
@@ -309,6 +311,12 @@ let decode_request (j : Json.t) : (request, string) result =
   | Json.String "extension" ->
       let* cls = string_field j "cls" in
       Ok (Extension cls)
+  | Json.String "enabled" ->
+      let* id = ident_of_json j in
+      Ok (Enabled id)
+  | Json.String "candidates" ->
+      let* id = ident_of_json j in
+      Ok (Candidates id)
   | Json.String "view" -> (
       let* view = string_field j "view" in
       match opt_string_field j "what" with
@@ -347,6 +355,8 @@ let op_name = function
   | Attr _ -> "attr"
   | Eval _ -> "eval"
   | Extension _ -> "extension"
+  | Enabled _ -> "enabled"
+  | Candidates _ -> "candidates"
   | View _ -> "view"
   | Save _ -> "save"
   | Restore _ -> "restore"

@@ -64,6 +64,13 @@ type request =
   | Attr of { target : Ident.t; attr : string }
   | Eval of string
   | Extension of string
+  | Enabled of Ident.t
+      (** currently enabled parameterless events of the object —
+          answered from a frozen view, probed by the server's domain
+          pool *)
+  | Candidates of Ident.t
+      (** all non-birth events of the object's class with parameter
+          types and (for parameterless ones) enabledness *)
   | View of { view : string; what : view_query }
   | Save of string option  (** write to path, or return the dump inline *)
   | Restore of { path : string option; state : string option }

@@ -5,10 +5,16 @@ type config = {
   queue_capacity : int;
   default_deadline_ms : int option;
   save_on_shutdown : string option;
+  jobs : int;  (** probe pool size; 1 = sequential (and fork-safe) *)
 }
 
 let default_config =
-  { queue_capacity = 1024; default_deadline_ms = None; save_on_shutdown = None }
+  {
+    queue_capacity = 1024;
+    default_deadline_ms = None;
+    save_on_shutdown = None;
+    jobs = 1;
+  }
 
 (* one client connection; [pending] buffers bytes up to the next
    newline *)
@@ -37,6 +43,8 @@ type counters = {
   mutable overloaded : int;
   mutable shed : int;  (** answered [shutting_down] while draining *)
   mutable malformed : int;
+  mutable probe_requests : int;  (** enabled/candidates answered *)
+  mutable probe_batches : int;  (** coalesced probe dispatches *)
 }
 
 type t = {
@@ -47,6 +55,13 @@ type t = {
   mutable conns : conn list;
   stats : counters;
   latency : (string, Trace.Latency.t) Hashtbl.t;
+  mutable view : View.t option;
+      (** frozen projection reused across probe requests until the
+          community changes (one freeze per quiescent point) *)
+  mutable pool : Pool.t option;
+      (** probe pool, created lazily on the first probe request — a
+          server that never probes never spawns a domain and stays
+          fork-safe *)
 }
 
 let create ?(config = default_config) session =
@@ -66,11 +81,47 @@ let create ?(config = default_config) session =
         overloaded = 0;
         shed = 0;
         malformed = 0;
+        probe_requests = 0;
+        probe_batches = 0;
       };
     latency = Hashtbl.create 16;
+    view = None;
+    pool = None;
   }
 
 let stop t = t.draining <- true
+
+(* ------------------------------------------------------------------ *)
+(* Probe views and pool                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The frozen view for the current quiescent point, freezing a fresh
+    one only when the cached view went stale (schema edit, committed
+    step, restore). *)
+let current_view t : View.t =
+  let community = Troll.Session.community t.session in
+  match t.view with
+  | Some v when View.valid v && View.source v == community -> v
+  | prior ->
+      if Option.is_some prior then View.note_invalidated ();
+      let v = View.freeze community in
+      t.view <- Some v;
+      v
+
+let probe_pool t : Pool.t =
+  match t.pool with
+  | Some p -> p
+  | None ->
+      let p = Pool.create ~jobs:t.config.jobs in
+      t.pool <- Some p;
+      p
+
+let shutdown_pool t =
+  match t.pool with
+  | Some p ->
+      Pool.shutdown p;
+      t.pool <- None
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
@@ -158,6 +209,14 @@ let stats_json t : Json.t =
           (List.map
              (fun (label, n) -> (label, Json.Int n))
              (Trace.dispatch_stats_rows ())) );
+      ( "probe",
+        Json.Obj
+          (("requests", Json.Int s.probe_requests)
+          :: ("batches", Json.Int s.probe_batches)
+          :: ("jobs", Json.Int t.config.jobs)
+          :: List.map
+               (fun (label, n) -> (label, Json.Int n))
+               (Trace.probe_stats_rows ())) );
       ("latency_us", Json.Obj latency_rows);
     ]
 
@@ -167,6 +226,36 @@ let stats_json t : Json.t =
 
 let instance_to_json (inst : Interface.instance) : Json.t =
   Json.Obj (List.map (fun (n, id) -> (n, Protocol.ident_to_json id)) inst)
+
+let enabled_result names : Json.t =
+  Json.Obj
+    [ ("events", Json.List (List.map (fun n -> Json.String n) names)) ]
+
+let candidates_result cands : Json.t =
+  Json.Obj
+    [
+      ( "candidates",
+        Json.List
+          (List.map
+             (fun (name, params, en) ->
+               Json.Obj
+                 ([
+                    ("event", Json.String name);
+                    ( "params",
+                      Json.List
+                        (List.map
+                           (fun ty -> Json.String (Vtype.to_string ty))
+                           params) );
+                  ]
+                 @
+                 match en with
+                 | None -> []
+                 | Some b -> [ ("enabled", Json.Bool b) ]))
+             cands) );
+    ]
+
+let unknown_class_error cls =
+  Protocol.Wire_error.of_reason (Runtime_error.Unknown_class cls)
 
 let execute t (req : Protocol.request) :
     (Json.t, Protocol.Wire_error.t) result =
@@ -200,6 +289,24 @@ let execute t (req : Protocol.request) :
                      (List.map Protocol.ident_to_json
                         (Troll.Session.extension s cls)) );
                ]))
+  | Protocol.Enabled id -> (
+      match Community.find_template community id.Ident.cls with
+      | None -> Error (unknown_class_error id.Ident.cls)
+      | Some _ ->
+          t.stats.probe_requests <- t.stats.probe_requests + 1;
+          let view = current_view t in
+          Ok
+            (enabled_result
+               (Engine.enabled_events_par ~pool:(probe_pool t) view id)))
+  | Protocol.Candidates id -> (
+      match Community.find_template community id.Ident.cls with
+      | None -> Error (unknown_class_error id.Ident.cls)
+      | Some _ ->
+          t.stats.probe_requests <- t.stats.probe_requests + 1;
+          let view = current_view t in
+          Ok
+            (candidates_result
+               (Engine.candidate_events_par ~pool:(probe_pool t) view id)))
   | Protocol.View { view; what } -> (
       match Troll.Session.view s view with
       | None ->
@@ -295,6 +402,124 @@ let process t (job : job) =
       (* shutdown drains: admission stops, the queue finishes *)
       match job.request with Protocol.Shutdown -> stop t | _ -> ()));
   record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at)
+
+let is_probe (job : job) =
+  match job.request with
+  | Protocol.Enabled _ | Protocol.Candidates _ -> true
+  | _ -> false
+
+(** Answer a run of consecutive probe jobs from one frozen view, with
+    every individual enabledness probe of every job in the run coalesced
+    into a single pool dispatch.  Per-job deadline checks, counters and
+    latency recording are exactly those of per-job {!process}; the
+    answers equal per-job execution because all jobs in the run see the
+    same quiescent point. *)
+let process_probe_batch t (jobs : job list) =
+  let now = Unix.gettimeofday () in
+  let finish job result =
+    t.stats.executed <- t.stats.executed + 1;
+    (match result with
+    | Ok body ->
+        t.stats.ok <- t.stats.ok + 1;
+        send job.conn (Protocol.ok_frame ~id:job.id body)
+    | Error err ->
+        t.stats.rejected <- t.stats.rejected + 1;
+        send_error job.conn ~id:job.id err);
+    record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at)
+  in
+  let live =
+    List.filter
+      (fun job ->
+        match job.deadline with
+        | Some d when now >= d ->
+            t.stats.expired <- t.stats.expired + 1;
+            send_error job.conn ~id:job.id
+              (Protocol.Wire_error.make ~code:"deadline_expired"
+                 "deadline passed before execution");
+            record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at);
+            false
+        | _ -> true)
+      jobs
+  in
+  if live <> [] then begin
+    t.stats.probe_batches <- t.stats.probe_batches + 1;
+    let view = current_view t in
+    let pool = probe_pool t in
+    (* the main-domain thaw only answers schema/liveness questions while
+       planning; the probes themselves run on per-domain thaws *)
+    let c0 = View.thaw_cached view in
+    let evs = ref [] and n_evs = ref 0 in
+    let push ev =
+      evs := ev :: !evs;
+      incr n_evs;
+      !n_evs - 1
+    in
+    let plans =
+      List.map
+        (fun job ->
+          t.stats.probe_requests <- t.stats.probe_requests + 1;
+          match job.request with
+          | Protocol.Enabled id -> (
+              match Community.find_template c0 id.Ident.cls with
+              | None -> (job, `Done (Error (unknown_class_error id.Ident.cls)))
+              | Some _ -> (
+                  match Community.living c0 id with
+                  | None -> (job, `Done (Ok (enabled_result [])))
+                  | Some o ->
+                      let descs =
+                        Engine.nullary_descriptors c0 o.Obj_state.template
+                      in
+                      let offs =
+                        Array.map
+                          (fun (ed : Template.event_def) ->
+                            push (Event.make id ed.Template.ed_name []))
+                          descs
+                      in
+                      (job, `Enabled (descs, offs))))
+          | Protocol.Candidates id -> (
+              match Community.find_template c0 id.Ident.cls with
+              | None -> (job, `Done (Error (unknown_class_error id.Ident.cls)))
+              | Some tpl ->
+                  let cands = Engine.candidate_descriptors c0 tpl in
+                  let alive = Option.is_some (Community.living c0 id) in
+                  let slots =
+                    Array.map
+                      (fun (name, params) ->
+                        if alive && params = [] then
+                          Some (push (Event.make id name []))
+                        else None)
+                      cands
+                  in
+                  (job, `Cands (cands, slots)))
+          | _ ->
+              (job, `Done (Error
+                             (Protocol.Wire_error.make ~code:"internal_error"
+                                "non-probe request in a probe batch"))))
+        live
+    in
+    let ok =
+      Engine.enabled_batch_par ~pool view (Array.of_list (List.rev !evs))
+    in
+    List.iter
+      (fun (job, plan) ->
+        match plan with
+        | `Done r -> finish job r
+        | `Enabled (descs, offs) ->
+            let names = ref [] in
+            for i = Array.length descs - 1 downto 0 do
+              if ok.(offs.(i)) then
+                names := descs.(i).Template.ed_name :: !names
+            done;
+            finish job (Ok (enabled_result !names))
+        | `Cands (cands, slots) ->
+            finish job
+              (Ok
+                 (candidates_result
+                    (List.init (Array.length cands) (fun i ->
+                         let name, params = cands.(i) in
+                         (name, params, Option.map (fun k -> ok.(k)) slots.(i)))))))
+      plans
+  end
 
 let admit t (job : job) =
   if t.draining then begin
@@ -462,7 +687,21 @@ let serve_loop t ~listener =
                           List.filter (fun c -> c.alive) t.conns
                       end)
             ready);
-      if not (Queue.is_empty t.queue) then process t (Queue.pop t.queue);
+      (if not (Queue.is_empty t.queue) then
+         let job = Queue.pop t.queue in
+         if is_probe job then begin
+           (* decode-ahead batching: the maximal run of consecutive
+              probe jobs at the queue head is answered from one view in
+              one pool dispatch *)
+           let batch = ref [ job ] in
+           while
+             (not (Queue.is_empty t.queue)) && is_probe (Queue.peek t.queue)
+           do
+             batch := Queue.pop t.queue :: !batch
+           done;
+           process_probe_batch t (List.rev !batch)
+         end
+         else process t job);
       loop ()
     end
   in
@@ -474,6 +713,7 @@ let serve_fds t in_fd out_fd =
   in
   t.conns <- conn :: t.conns;
   serve_loop t ~listener:None;
+  shutdown_pool t;
   flush_snapshot t
 
 let listen_unix t ~path =
@@ -498,4 +738,5 @@ let listen_unix t ~path =
   List.iter close_conn t.conns;
   t.conns <- [];
   List.iter (fun (s, behaviour) -> Sys.set_signal s behaviour) previous;
+  shutdown_pool t;
   flush_snapshot t

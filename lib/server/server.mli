@@ -15,6 +15,16 @@
     [deadline_expired] without touching the engine; a request arriving
     on a full queue is answered [overloaded] immediately.
 
+    {b Parallel probes.}  Read-only probe requests ([enabled],
+    [candidates]) are answered from a frozen {!View} of the community,
+    taken once per quiescent point and reused until a step commits (or
+    the schema or a restore changes state).  The select loop decodes
+    ahead: a run of consecutive probe requests at the queue head is
+    coalesced into a single dispatch over the probe pool ([config.jobs]
+    domains; 1 = sequential on the loop thread, the default).  The pool
+    is created lazily on the first probe request, so a server that
+    never probes never spawns a domain and stays fork-safe.
+
     {b Shutdown.}  A [shutdown] request (or {!stop}, wired to
     SIGINT/SIGTERM by {!listen_unix}) stops admission; requests already
     admitted are drained in order, then the optional snapshot is
@@ -29,10 +39,13 @@ type config = {
           no deadline *)
   save_on_shutdown : string option;
       (** flush a {!Persist} snapshot here after draining *)
+  jobs : int;
+      (** probe-pool size ([--jobs]); 1 = probe sequentially on the
+          loop thread, never spawning a domain *)
 }
 
 val default_config : config
-(** Queue of 1024, no default deadline, no snapshot. *)
+(** Queue of 1024, no default deadline, no snapshot, one job. *)
 
 type t
 
@@ -62,4 +75,5 @@ val stop : t -> unit
 
 val stats_json : t -> Json.t
 (** The [stats] result document: server counters, queue depth,
-    {!Trace.txn_stats_rows}, and per-op latency histograms. *)
+    {!Trace.txn_stats_rows}, probe/view/pool counters, and per-op
+    latency histograms. *)

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Benchmark smoke run: quick-mode E3 (engine), E10 (probe vs clone) and
-# E12 (compiled vs interpreted dispatch), with the E10 and E12 numbers
-# emitted as BENCH_E10.json / BENCH_E12.json at the repo root so the
-# perf trajectory is tracked in-tree, plus the E11 socket round-trip
-# benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
+# Benchmark smoke run: quick-mode E3 (engine), E10 (probe vs clone),
+# E12 (compiled vs interpreted dispatch) and E15 (parallel-probe
+# scaling), with the E10, E12 and E15 numbers emitted as
+# BENCH_E10.json / BENCH_E12.json / BENCH_E15.json at the repo root so
+# the perf trajectory is tracked in-tree, plus the E11 socket
+# round-trip benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -91,6 +92,41 @@ printf '%s\n' "$out12" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$hos
 echo
 echo "wrote BENCH_E12.json:"
 cat BENCH_E12.json
+
+echo
+echo "== E15 (parallel-probe scaling) =="
+out15=$(dune exec bench/main.exe -- --quick --filter E15)
+printf '%s\n' "$out15"
+
+printf '%s\n' "$out15" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+  BEGIN {
+    print "{"
+    print "  \"experiment\": \"E15\","
+    printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"host\": \"%s\",\n", host
+    print "  \"unit\": \"ns/run\","
+    print "  \"results\": ["
+    n = 0
+  }
+  /^E15 / {
+    ns = $NF
+    name = $0
+    sub(/[ \t]+[0-9.]+[ \t]*$/, "", name)
+    sub(/[ \t]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_run\": %s}", name, ns
+  }
+  END {
+    print ""
+    print "  ]"
+    print "}"
+  }
+' > BENCH_E15.json
+
+echo
+echo "wrote BENCH_E15.json:"
+cat BENCH_E15.json
 
 echo
 echo "== E11 (serve socket round-trips) =="

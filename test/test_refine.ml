@@ -136,7 +136,7 @@ let test_default_pool () =
 
 let test_employee_refines () =
   let abs, conc = employee_pair () in
-  let report = Refinement.check ~impl ~abs ~conc ~alphabet ~depth:3 in
+  let report = Refinement.check ~impl ~abs ~conc ~alphabet ~depth:3 () in
   (match report.Refinement.verdict with
   | Ok () -> ()
   | Error cx ->
@@ -155,11 +155,11 @@ let test_employee_refines () =
 let test_exploration_grows_with_depth () =
   let r1 =
     let abs, conc = employee_pair () in
-    Refinement.check ~impl ~abs ~conc ~alphabet ~depth:2
+    Refinement.check ~impl ~abs ~conc ~alphabet ~depth:2 ()
   in
   let r2 =
     let abs, conc = employee_pair () in
-    Refinement.check ~impl ~abs ~conc ~alphabet ~depth:4
+    Refinement.check ~impl ~abs ~conc ~alphabet ~depth:4 ()
   in
   check tbool "deeper explores more" true
     (r2.Refinement.cases > r1.Refinement.cases)
@@ -190,7 +190,7 @@ let test_broken_effect_detected () =
       ~impl:(Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPLOYEE_BAD" ())
       ~abs:{ Refinement.community = abs; id = Ident.make "EMPLOYEE" (key "eve") }
       ~conc:{ Refinement.community = conc; id = Ident.make "EMPLOYEE_BAD" (key "eve") }
-      ~alphabet ~depth:2
+      ~alphabet ~depth:2 ()
   in
   match report.Refinement.verdict with
   | Error cx ->
@@ -239,7 +239,7 @@ let test_too_strict_detected () =
       ~conc:
         { Refinement.community = conc;
           id = Ident.make "EMPLOYEE_STRICT" (key "eve") }
-      ~alphabet ~depth:2
+      ~alphabet ~depth:2 ()
   in
   match report.Refinement.verdict with
   | Error cx ->
@@ -298,7 +298,7 @@ let test_too_permissive_detected () =
       ~conc:
         { Refinement.community = conc;
           id = Ident.make "EMPLOYEE_LOOSE" (key "eve") }
-      ~alphabet ~depth:4
+      ~alphabet ~depth:4 ()
   in
   match report.Refinement.verdict with
   | Error _ ->
@@ -344,7 +344,7 @@ let test_lifecycle_divergence_detected () =
       ~conc:
         { Refinement.community = conc;
           id = Ident.make "EMPLOYEE_UNDEAD" (key "eve") }
-      ~alphabet ~depth:2
+      ~alphabet ~depth:2 ()
   in
   match report.Refinement.verdict with
   | Error cx ->
