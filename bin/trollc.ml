@@ -100,6 +100,79 @@ let stats_arg =
            parallel-probe counters (views frozen and thawed, pool \
            dispatches) after the script")
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Durability: append every committed step's effect record to a \
+           write-ahead log in $(docv) (created if missing).  If the \
+           directory already holds WAL state from the same \
+           specification, the committed state is recovered before \
+           anything runs")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Compact the WAL after every $(docv) committed batches: write \
+           a full snapshot and rotate the log (0 = only on attach and \
+           shutdown)")
+
+let wal_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "wal-fsync" ]
+        ~doc:
+          "fsync the WAL after every commit batch (survives power loss); \
+           without it records are flushed to the OS page cache, which \
+           survives process death only")
+
+let kill_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-after" ] ~docv:"N"
+        ~doc:
+          "Crash-testing aid: SIGKILL this process right after the \
+           $(docv)-th WAL commit batch of this run becomes durable — \
+           the state must then be recoverable with $(b,trollc recover)")
+
+(** Attach a WAL per the common flags; [None] when --wal was not
+    given. *)
+let attach_wal ~wal ~snapshot_every ~wal_fsync ~kill_after ~src community =
+  match wal with
+  | None -> Ok None
+  | Some dir ->
+      let spec_digest = Digest.to_hex (Digest.string src) in
+      let fsync = if wal_fsync then `Batch else `Never in
+      let on_batch =
+        match kill_after with
+        | None -> None
+        | Some n ->
+            let count = ref 0 in
+            Some
+              (fun _seq ->
+                incr count;
+                if !count >= n then Unix.kill (Unix.getpid ()) Sys.sigkill)
+      in
+      (match
+         Wal.attach ~dir ~spec_digest ~fsync ~snapshot_every ?on_batch
+           community
+       with
+      | Ok (t, recovered) ->
+          (match recovered with
+          | Some r ->
+              Printf.eprintf
+                "wal: recovered %s (snapshot seq %d + %d record(s)%s)\n%!" dir
+                r.Wal.r_snapshot_seq r.Wal.r_replayed
+                (if r.Wal.r_torn_dropped then ", torn tail dropped" else "")
+          | None -> ());
+          Ok (Some t)
+      | Error m -> Error m)
+
 let jobs_arg =
   Arg.(
     value
@@ -116,9 +189,11 @@ let resolve_jobs = function
   | None -> Pool.default_jobs ()
 
 let run_cmd =
-  let run spec_path script_path save restore stats jobs =
+  let run spec_path script_path save restore stats jobs wal snapshot_every
+      wal_fsync kill_after =
     (match jobs with Some n -> Pool.set_default_jobs (max 1 n) | None -> ());
-    match Troll.load (read_file spec_path) with
+    let src = read_file spec_path in
+    match Troll.load src with
     | Error e ->
         Printf.eprintf "%s\n" e;
         1
@@ -133,47 +208,62 @@ let run_cmd =
             Printf.eprintf "restore failed: %s\n" e;
             1
         | Ok () -> (
-            let outcome = Script.run_string sys (read_file script_path) in
-            List.iter print_endline outcome.Script.output;
-            let code =
-              match outcome.Script.failed with
-              | None -> 0
-              | Some e ->
-                  Printf.eprintf "script failed: %s\n" e;
-                  1
-            in
-            (match save with
-            | Some path ->
-                Persist.save_file sys.Troll.community path;
-                Printf.printf "state saved to %s\n" path
-            | None -> ());
-            if stats then begin
-              print_endline "transaction statistics:";
-              List.iter
-                (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
-                (Trace.txn_stats_rows ());
-              print_endline "dispatch statistics:";
-              List.iter
-                (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
-                (Trace.dispatch_stats_rows ());
-              print_endline "probe statistics:";
-              List.iter
-                (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
-                (Trace.probe_stats_rows ())
-            end;
-            Pool.shutdown_default ();
-            code))
+            match
+              attach_wal ~wal ~snapshot_every ~wal_fsync ~kill_after ~src
+                sys.Troll.community
+            with
+            | Error m ->
+                Printf.eprintf "wal: %s\n" m;
+                1
+            | Ok wal_t ->
+                let outcome = Script.run_string sys (read_file script_path) in
+                List.iter print_endline outcome.Script.output;
+                let code =
+                  match outcome.Script.failed with
+                  | None -> 0
+                  | Some e ->
+                      Printf.eprintf "script failed: %s\n" e;
+                      1
+                in
+                Option.iter Wal.detach wal_t;
+                (match save with
+                | Some path ->
+                    Persist.save_file sys.Troll.community path;
+                    Printf.printf "state saved to %s\n" path
+                | None -> ());
+                if stats then begin
+                  print_endline "transaction statistics:";
+                  List.iter
+                    (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                    (Trace.txn_stats_rows ());
+                  print_endline "dispatch statistics:";
+                  List.iter
+                    (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                    (Trace.dispatch_stats_rows ());
+                  print_endline "probe statistics:";
+                  List.iter
+                    (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                    (Trace.probe_stats_rows ());
+                  print_endline "wal statistics:";
+                  List.iter
+                    (fun (label, n) -> Printf.printf "  %-26s %d\n" label n)
+                    (Trace.wal_stats_rows ())
+                end;
+                Pool.shutdown_default ();
+                code))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Load a specification and animate it with a script; --save/--restore \
-          persist the object base between runs; --stats reports the \
-          transaction layer's counters; --jobs sizes the parallel probe \
-          pool")
+          persist the object base between runs; --wal makes every committed \
+          step durable (with --snapshot-every compaction and --wal-fsync \
+          batch fsync); --stats reports the transaction, dispatch, probe \
+          and wal counters; --jobs sizes the parallel probe pool")
     Term.(
       const run $ spec_arg $ script_arg $ save_arg $ restore_arg $ stats_arg
-      $ jobs_arg)
+      $ jobs_arg $ wal_arg $ snapshot_every_arg $ wal_fsync_arg
+      $ kill_after_arg)
 
 let dot_cmd =
   let run path =
@@ -396,7 +486,8 @@ let serve_cmd =
             "Default per-request deadline in milliseconds, applied to \
              requests that carry no $(i,deadline_ms) field")
   in
-  let run spec_path socket stdio queue default_deadline save restore jobs =
+  let run spec_path socket stdio queue default_deadline save restore jobs wal
+      snapshot_every wal_fsync =
     match Troll.Session.load_file spec_path with
     | Error e ->
         Printf.eprintf "%s\n" (Troll.Error.to_string e);
@@ -413,29 +504,39 @@ let serve_cmd =
             Printf.eprintf "restore failed: %s\n" e;
             1
         | Ok () -> (
-            let config =
-              {
-                Server.queue_capacity = queue;
-                Server.default_deadline_ms = default_deadline;
-                Server.save_on_shutdown = save;
-                Server.jobs = resolve_jobs jobs;
-              }
-            in
-            let server = Server.create ~config session in
-            match (socket, stdio) with
-            | Some path, false ->
-                Printf.eprintf "serving on %s\n%!" path;
-                Server.listen_unix server ~path;
-                0
-            | None, true ->
-                Server.serve_fds server Unix.stdin Unix.stdout;
-                0
-            | None, false ->
-                Printf.eprintf "serve: need --socket PATH or --stdio\n";
-                2
-            | Some _, true ->
-                Printf.eprintf "serve: --socket and --stdio are exclusive\n";
-                2))
+            match
+              attach_wal ~wal ~snapshot_every ~wal_fsync ~kill_after:None
+                ~src:(read_file spec_path)
+                (Troll.Session.community session)
+            with
+            | Error m ->
+                Printf.eprintf "wal: %s\n" m;
+                1
+            | Ok wal_t -> (
+                let config =
+                  {
+                    Server.queue_capacity = queue;
+                    Server.default_deadline_ms = default_deadline;
+                    Server.save_on_shutdown = save;
+                    Server.jobs = resolve_jobs jobs;
+                  }
+                in
+                let server = Server.create ~config ?wal:wal_t session in
+                match (socket, stdio) with
+                | Some path, false ->
+                    Printf.eprintf "serving on %s\n%!" path;
+                    Server.listen_unix server ~path;
+                    0
+                | None, true ->
+                    Server.serve_fds server Unix.stdin Unix.stdout;
+                    0
+                | None, false ->
+                    Printf.eprintf "serve: need --socket PATH or --stdio\n";
+                    2
+                | Some _, true ->
+                    Printf.eprintf
+                      "serve: --socket and --stdio are exclusive\n";
+                    2)))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -446,10 +547,12 @@ let serve_cmd =
           request is one atomic event sequence, and a $(i,shutdown) \
           request drains the admission queue before the daemon exits; \
           $(i,enabled)/$(i,candidates) probes are answered from frozen \
-          views over a --jobs-sized domain pool")
+          views over a --jobs-sized domain pool; --wal makes committed \
+          steps durable with one group fsync per loop turn")
     Term.(
       const run $ spec_arg $ socket_arg $ stdio_arg $ queue_arg
-      $ deadline_arg $ save_arg $ restore_arg $ jobs_arg)
+      $ deadline_arg $ save_arg $ restore_arg $ jobs_arg $ wal_arg
+      $ snapshot_every_arg $ wal_fsync_arg)
 
 let fuzz_cmd =
   let seed_arg =
@@ -555,13 +658,56 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Generate seed-deterministic well-typed specifications and event \
-          workloads, and check every pair against five differential oracles: \
+          workloads, and check every pair against six differential oracles: \
           compiled vs interpreted dispatch, engine vs society server, save/\
           load/replay, journal cleanliness of rejected steps (probe = \
-          clone), and parallel vs sequential enabledness probes.  The first \
-          failure is shrunk to a minimal (spec, trace) pair when --shrink \
-          is given")
+          clone), parallel vs sequential enabledness probes, and kill -9 \
+          crash recovery from the WAL.  The first failure is shrunk to a \
+          minimal (spec, trace) pair when --shrink is given")
     Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ out_arg $ dump_arg)
+
+let recover_cmd =
+  let run spec_path wal save =
+    match wal with
+    | None ->
+        Printf.eprintf "recover: need --wal DIR\n";
+        2
+    | Some dir -> (
+        let src = read_file spec_path in
+        match Troll.load src with
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            1
+        | Ok sys -> (
+            let spec_digest = Digest.to_hex (Digest.string src) in
+            match Wal.recover ~dir ~spec_digest sys.Troll.community with
+            | Error m ->
+                Printf.eprintf "recover: %s\n" m;
+                1
+            | Ok r ->
+                Printf.eprintf
+                  "recovered %s: snapshot seq %d + %d record(s) replayed \
+                   (last seq %d)%s\n\
+                   %!"
+                  dir r.Wal.r_snapshot_seq r.Wal.r_replayed r.Wal.r_last_seq
+                  (if r.Wal.r_torn_dropped then ", torn tail dropped" else "");
+                (match save with
+                | Some path ->
+                    Persist.save_file sys.Troll.community path;
+                    Printf.eprintf "state saved to %s\n" path
+                | None -> print_string (Persist.save sys.Troll.community));
+                0))
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild the object base of SPEC from a write-ahead log directory: \
+          load the snapshot, replay the committed effect records past it \
+          (dropping a torn final record), and dump the recovered state to \
+          stdout — or persist it with --save.  The WAL is not modified; \
+          restart animation with $(b,trollc run --wal) $(i,DIR) to resume \
+          appending")
+    Term.(const run $ spec_arg $ wal_arg $ save_arg)
 
 let main =
   Cmd.group
@@ -569,7 +715,7 @@ let main =
        ~doc:"Parser, checker and animator for the TROLL specification language")
     [
       parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd;
-      serve_cmd; fuzz_cmd;
+      serve_cmd; fuzz_cmd; recover_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

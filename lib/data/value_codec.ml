@@ -14,33 +14,63 @@
     [decode (encode v) = Ok v] for every canonical value (checked by a
     qcheck property). *)
 
+(* Direct buffer writes throughout — this codec sits on the WAL's
+   commit path (one call per touched attribute), where [Printf]'s
+   format interpretation dominated the encoding cost (E16). *)
+
+(* [string_of_int] allocates a fresh string per call; writing the
+   digits directly is measurable with dozens of integers per record. *)
+let rec add_pos buf n =
+  if n >= 10 then add_pos buf (n / 10);
+  Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+
+let add_int buf n =
+  if n < 0 then Buffer.add_string buf (string_of_int n) (* min_int-safe *)
+  else add_pos buf n
+
+let add_tagged_int buf tag n =
+  Buffer.add_char buf tag;
+  add_int buf n;
+  Buffer.add_char buf ';'
+
+let add_counted buf s =
+  add_int buf (String.length s);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let add_sized buf tag n =
+  Buffer.add_char buf tag;
+  add_int buf n;
+  Buffer.add_char buf '['
+
 let rec encode_buf buf (v : Value.t) =
   match v with
   | Value.Bool false -> Buffer.add_string buf "B0"
   | Value.Bool true -> Buffer.add_string buf "B1"
-  | Value.Int i -> Buffer.add_string buf (Printf.sprintf "I%d;" i)
-  | Value.Date d -> Buffer.add_string buf (Printf.sprintf "D%d;" d)
-  | Value.Money m -> Buffer.add_string buf (Printf.sprintf "M%d;" m)
+  | Value.Int i -> add_tagged_int buf 'I' i
+  | Value.Date d -> add_tagged_int buf 'D' d
+  | Value.Money m -> add_tagged_int buf 'M' m
   | Value.String s ->
-      Buffer.add_string buf (Printf.sprintf "S%d:" (String.length s));
-      Buffer.add_string buf s
+      Buffer.add_char buf 'S';
+      add_counted buf s
   | Value.Enum (name, c) ->
-      Buffer.add_string buf
-        (Printf.sprintf "E%d:%s%d:%s" (String.length name) name
-           (String.length c) c)
+      Buffer.add_char buf 'E';
+      add_counted buf name;
+      add_counted buf c
   | Value.Id (cls, key) ->
-      Buffer.add_string buf (Printf.sprintf "J%d:%s" (String.length cls) cls);
+      Buffer.add_char buf 'J';
+      add_counted buf cls;
       encode_buf buf key
   | Value.Set xs ->
-      Buffer.add_string buf (Printf.sprintf "*%d[" (List.length xs));
+      add_sized buf '*' (List.length xs);
       List.iter (encode_buf buf) xs;
       Buffer.add_char buf ']'
   | Value.List xs ->
-      Buffer.add_string buf (Printf.sprintf "L%d[" (List.length xs));
+      add_sized buf 'L' (List.length xs);
       List.iter (encode_buf buf) xs;
       Buffer.add_char buf ']'
   | Value.Map kvs ->
-      Buffer.add_string buf (Printf.sprintf "P%d[" (List.length kvs));
+      add_sized buf 'P' (List.length kvs);
       List.iter
         (fun (k, v) ->
           encode_buf buf k;
@@ -48,10 +78,10 @@ let rec encode_buf buf (v : Value.t) =
         kvs;
       Buffer.add_char buf ']'
   | Value.Tuple fields ->
-      Buffer.add_string buf (Printf.sprintf "T%d[" (List.length fields));
+      add_sized buf 'T' (List.length fields);
       List.iter
         (fun (n, v) ->
-          Buffer.add_string buf (Printf.sprintf "%d:%s" (String.length n) n);
+          add_counted buf n;
           encode_buf buf v)
         fields;
       Buffer.add_char buf ']'

@@ -4,5 +4,13 @@
 
 val encode : Value.t -> string
 
+val encode_buf : Buffer.t -> Value.t -> unit
+(** [encode] into an existing buffer — the allocation-free form the
+    WAL's commit path streams through. *)
+
+val add_int : Buffer.t -> int -> unit
+(** Append an integer's decimal digits without the [string_of_int]
+    allocation (shared by the effect-log and WAL framers). *)
+
 val decode : string -> (Value.t, string) result
 (** Rejects malformed and trailing input. *)

@@ -395,10 +395,111 @@ let parallel src trace =
   if line = "ok" then Ok () else failf "parallel" "%s" line
 
 (* ---------------------------------------------------------------- *)
+(* Oracle 6: kill -9 at a commit boundary, recover from the WAL      *)
+(* ---------------------------------------------------------------- *)
+
+(* A forked child animates the trace with a WAL attached and SIGKILLs
+   itself from inside the [on_batch] callback of the k-th committed
+   batch — after the record is durable, before anything else runs.  The
+   parent recovers the directory into a fresh community and compares
+   the [Persist.save] image against a clean run of the same trace
+   stopped at the same commit boundary.  The kill point is a pure
+   function of (src, trace), so a reported failure replays exactly.
+
+   The child creates no domains (forked before any pool exists), and
+   the clean run counts boundaries with the same commit hook the WAL
+   uses — only commits whose effect delta is non-empty append a batch,
+   so both sides count identically. *)
+
+let recovery_dir_seq = ref 0
+
+let rm_recovery_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let recovery src trace =
+  with_session "recovery" src @@ fun _loads ->
+  let spec_digest = Digest.to_hex (Digest.string src) in
+  let n = List.length trace in
+  let k = 1 + ((Hashtbl.hash src + (31 * n)) mod (n + 1)) in
+  incr recovery_dir_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "troll-fuzz-recovery-%d-%d" (Unix.getpid ())
+         !recovery_dir_seq)
+  in
+  rm_recovery_dir dir;
+  Fun.protect ~finally:(fun () -> rm_recovery_dir dir) @@ fun () ->
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (* child: animate with a durable WAL, die mid-flight at batch k *)
+    match load_session src with
+    | Error _ -> Unix._exit 3
+    | Ok s -> (
+        let c = Troll.Session.community s in
+        let batches = ref 0 in
+        let on_batch _seq =
+          incr batches;
+          if !batches >= k then Unix.kill (Unix.getpid ()) Sys.sigkill
+        in
+        match
+          Wal.attach ~dir ~spec_digest ~fsync:`Batch ~snapshot_every:0
+            ~on_batch c
+        with
+        | Error _ -> Unix._exit 4
+        | Ok (t, _) ->
+            List.iter (fun st -> ignore (Troll.Session.step s st)) trace;
+            Wal.detach t;
+            (* trace exhausted before batch k: a clean shutdown is the
+               boundary under test instead *)
+            Unix._exit 0)
+  end;
+  let _, status = Unix.waitpid [] pid in
+  let compare_recovered () =
+    with_session "recovery" src @@ fun sr ->
+    let cr = Troll.Session.community sr in
+    match Wal.recover ~dir ~spec_digest cr with
+    | Error e -> failf "recovery" "recovery after kill at batch %d: %s" k e
+    | Ok r ->
+        (* clean reference: same trace, stopped at the same boundary *)
+        with_session "recovery" src @@ fun sc ->
+        let cc = Troll.Session.community sc in
+        let batches = ref 0 in
+        cc.Community.commit_hook <-
+          Some (fun j -> if Effect_log.delta cc j <> [] then incr batches);
+        List.iter
+          (fun st -> if !batches < k then ignore (Troll.Session.step sc st))
+          trace;
+        cc.Community.commit_hook <- None;
+        let img_r = Persist.save cr in
+        let img_c = Persist.save cc in
+        if img_r <> img_c then
+          failf "recovery"
+            "killed at batch %d of %d step(s): recovered image differs from \
+             the clean prefix (%d vs %d bytes, %d record(s) replayed)"
+            k n (String.length img_r) (String.length img_c) r.Wal.r_replayed
+        else Ok ()
+  in
+  match status with
+  | Unix.WEXITED 3 -> failf "recovery" "child failed to load the spec"
+  | Unix.WEXITED 4 -> failf "recovery" "child failed to attach the WAL"
+  | Unix.WEXITED 0 -> compare_recovered ()
+  | Unix.WSIGNALED s when s = Sys.sigkill -> compare_recovered ()
+  | Unix.WEXITED c -> failf "recovery" "child exited with %d" c
+  | Unix.WSIGNALED s -> failf "recovery" "child died on signal %d" s
+  | Unix.WSTOPPED s -> failf "recovery" "child stopped on signal %d" s
+
+(* ---------------------------------------------------------------- *)
 (* Driver                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let oracle_names = [ "dispatch"; "server"; "replay"; "journal"; "parallel" ]
+let oracle_names =
+  [ "dispatch"; "server"; "replay"; "journal"; "parallel"; "recovery" ]
 
 let run_oracle name src trace =
   let f =
@@ -408,6 +509,7 @@ let run_oracle name src trace =
     | "replay" -> replay
     | "journal" -> journal
     | "parallel" -> parallel
+    | "recovery" -> recovery
     | other -> invalid_arg ("Oracle.run_oracle: " ^ other)
   in
   try f src trace

@@ -1,4 +1,4 @@
-(** The five differential oracles every generated (spec, trace) pair is
+(** The six differential oracles every generated (spec, trace) pair is
     checked against.
 
     - ["dispatch"]: compiled vs interpreted rule dispatch — identical
@@ -21,6 +21,13 @@
       and every object; probing must not invalidate the view.  Runs in
       a forked child (domains would make the parent unforkable), so the
       fuzz driver itself never creates a domain.
+    - ["recovery"]: a forked child animates the trace with a {!Wal}
+      attached ([fsync `Batch]) and SIGKILLs itself from inside the
+      commit callback of the k-th durable batch; {!Wal.recover} must
+      then rebuild a community whose {!Persist.save} image is
+      bit-identical to a clean run stopped at the same commit
+      boundary.  k is a pure function of (src, trace), so failures
+      replay exactly.
 
     Oracles take the rendered source so the shrinker can re-render
     candidate models and re-run just the failing oracle. *)
@@ -37,7 +44,7 @@ val run_oracle : string -> string -> Step.t list -> (unit, failure) result
     names raise [Invalid_argument]. *)
 
 val check_all : string -> Step.t list -> (unit, failure) result
-(** Run all five oracles in order, returning the first failure. *)
+(** Run all six oracles in order, returning the first failure. *)
 
 val request_of_step : id:int -> Step.t -> Json.t
 (** The wire request frame executing the step, as the society server

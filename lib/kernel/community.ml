@@ -92,6 +92,12 @@ type t = {
           {!View} can tell cheaply whether this community still looks
           the way it did at freeze time.  Rollbacks restore state
           exactly and do not bump. *)
+  mutable commit_hook : (journal -> unit) option;
+      (** called by {!Txn.commit} of the owning scope, after the state
+          is final but before the journal is released, whenever any
+          entries survived — the redo-log side of the journal ({!Wal}
+          derives the committed effect delta from it).  Never called on
+          rollbacks or probes. *)
 }
 
 let create ?(config = default_config) () =
@@ -107,6 +113,7 @@ let create ?(config = default_config) () =
     config;
     staged = None;
     version = 0;
+    commit_hook = None;
   }
 
 let bump_version t = t.version <- t.version + 1
@@ -287,6 +294,7 @@ let clone t =
     config = t.config;
     staged = t.staged;
     version = 0;
+    commit_hook = None;
   }
 
 (** Drop every object, extension and index entry (templates, enums and

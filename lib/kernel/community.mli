@@ -74,6 +74,12 @@ type t = {
           journal-less mutation; rollbacks restore state exactly and do
           not bump.  {!View}s stamp themselves with it to detect
           staleness in O(1). *)
+  mutable commit_hook : (journal -> unit) option;
+      (** called by {!Txn.commit} of the owning scope, after the state
+          is final but before the journal is released, whenever any
+          entries survived — the redo-log side of the journal ({!Wal}
+          derives the committed effect delta from it).  Never called on
+          rollbacks or probes. *)
 }
 
 val create : ?config:config -> unit -> t

@@ -62,8 +62,19 @@ val attrs_bindings : Template.t -> Value.t array -> (string * Value.t) list
 
 val bindings : t -> (string * Value.t) list
 
-(** Copies of all mutable fields, for rollback. *)
-type snapshot
+(** Copies of all mutable fields, for rollback.  The fields are public
+    so that {!Effect_log} can diff a journal snapshot (the state at
+    transaction entry) against the committed state to derive the redo
+    effect record. *)
+type snapshot = {
+  s_alive : bool;
+  s_dead : bool;
+  s_attrs : Value.t array;
+  s_perm_states : pstate array;
+  s_constr_states : Monitor.state option array;
+  s_history : history_entry list;
+  s_steps : int;
+}
 
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit

@@ -80,10 +80,36 @@ let save (c : Community.t) : string =
   List.iter (save_object buf) (Community.objects_sorted c);
   Buffer.contents buf
 
+(** Crash-safe file write: the contents go to a temp file in the same
+    directory (same filesystem, so the rename is atomic), are fsynced,
+    and replace [path] by rename; the directory is then fsynced so the
+    rename itself survives a crash.  A reader never sees a truncated
+    file — either the old contents or the new. *)
+let write_file_atomic (path : string) (contents : string) =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (try
+     let oc = open_out_bin tmp in
+     output_string oc contents;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc;
+     Unix.rename tmp path
+   with e ->
+     cleanup ();
+     raise e);
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (* directory fsync is best-effort: some filesystems refuse it *)
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
 let save_file (c : Community.t) (path : string) =
-  let oc = open_out_bin path in
-  output_string oc (save c);
-  close_out oc
+  write_file_atomic path (save c)
 
 (* --- loading -------------------------------------------------------- *)
 

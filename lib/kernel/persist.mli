@@ -11,7 +11,15 @@
     property. *)
 
 val save : Community.t -> string
+
 val save_file : Community.t -> string -> unit
+(** Crash-safe: writes via {!write_file_atomic}. *)
+
+val write_file_atomic : string -> string -> unit
+(** [write_file_atomic path contents] writes through a same-directory
+    temp file, fsyncs, atomically renames over [path], then fsyncs the
+    directory — a crash leaves either the old file or the new one,
+    never a truncated mix.  Also used by {!Wal} for snapshots. *)
 
 val load : Community.t -> string -> (unit, string) result
 (** Restore a dump; existing objects are discarded.  Fails (with the

@@ -102,6 +102,29 @@ let reset_probe_stats () =
   Pool.reset_stats ()
 
 (* ------------------------------------------------------------------ *)
+(* WAL statistics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let wal_stats = Wal.stats
+let reset_wal_stats = Wal.reset_stats
+
+(** Durability counters as labelled rows — the "wal statistics" block of
+    [trollc run --stats] and the server's stats frame. *)
+let wal_stats_rows () =
+  let s = Wal.stats () in
+  [
+    ("wal batches", s.Wal.batches);
+    ("wal effects", s.Wal.effects);
+    ("wal bytes", s.Wal.bytes);
+    ("wal fsyncs", s.Wal.fsyncs);
+    ("wal fsync total us", s.Wal.fsync_total_us);
+    ("wal fsync max us", s.Wal.fsync_max_us);
+    ("wal snapshots", s.Wal.snapshots);
+    ("wal records replayed", s.Wal.replayed);
+    ("wal torn records dropped", s.Wal.torn_dropped);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Latency histograms                                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -55,6 +55,19 @@ val probe_stats_rows : unit -> (string * int) list
 
 val reset_probe_stats : unit -> unit
 
+(** {1 WAL statistics}
+
+    The {!Wal} layer's process-wide durability counters: commit batches
+    and effects appended, payload bytes, fsyncs (with total/max
+    latency), compaction snapshots, and recovery replay/torn-drop
+    counts. *)
+
+val wal_stats : unit -> Wal.stats
+val reset_wal_stats : unit -> unit
+
+val wal_stats_rows : unit -> (string * int) list
+(** The counters as labelled rows, for tabular front ends. *)
+
 (** {1 Latency histograms}
 
     Fixed log2-bucket histograms over microseconds, cheap enough to

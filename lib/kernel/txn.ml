@@ -194,6 +194,13 @@ let commit t =
     (* the transaction mutated something it keeps: outstanding views of
        this community are now stale *)
     if j.Community.total > 0 then Community.bump_version t.c;
+    (* redo-log side: hand the surviving undo entries to the commit hook
+       (the WAL) while the final state is in place.  [count = 0] means
+       every recorded entry was unwound by savepoints — no net delta,
+       nothing to log. *)
+    (match t.c.Community.commit_hook with
+    | Some hook when j.Community.count > 0 -> hook j
+    | _ -> ());
     account j;
     t.c.Community.journal <- None;
     release_journal j

@@ -137,6 +137,7 @@ let thaw (v : t) : Community.t =
     config = v.v_config;
     staged = v.v_staged;
     version = 0;
+    commit_hook = None;
   }
 
 (* Per-domain cache of recent thaws, keyed by [vid].  Refinement checks

@@ -238,6 +238,7 @@ type request =
   | View of { view : string; what : view_query }
   | Save of string option
   | Restore of { path : string option; state : string option }
+  | Snapshot
   | Stats
   | Shutdown
 
@@ -331,6 +332,7 @@ let decode_request (j : Json.t) : (request, string) result =
       match (path, state) with
       | None, None -> Error "restore needs a \"path\" or a \"state\""
       | _ -> Ok (Restore { path; state }))
+  | Json.String "snapshot" -> Ok Snapshot
   | Json.String "stats" -> Ok Stats
   | Json.String "shutdown" -> Ok Shutdown
   | Json.String op -> Error (Printf.sprintf "unknown op %S" op)
@@ -360,6 +362,7 @@ let op_name = function
   | View _ -> "view"
   | Save _ -> "save"
   | Restore _ -> "restore"
+  | Snapshot -> "snapshot"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 

@@ -74,6 +74,9 @@ type request =
   | View of { view : string; what : view_query }
   | Save of string option  (** write to path, or return the dump inline *)
   | Restore of { path : string option; state : string option }
+  | Snapshot
+      (** force a WAL compaction (snapshot + log rotation); answered
+          with [no_wal] when the server runs without a WAL *)
   | Stats
   | Shutdown
 

@@ -62,12 +62,17 @@ type t = {
       (** probe pool, created lazily on the first probe request — a
           server that never probes never spawns a domain and stays
           fork-safe *)
+  wal : Wal.t option;
+      (** durability log; appends happen inside commits via the
+          community's hook, the serve loop group-fsyncs at turn
+          boundaries *)
 }
 
-let create ?(config = default_config) session =
+let create ?(config = default_config) ?wal session =
   {
     session;
     config;
+    wal;
     queue = Queue.create ();
     draining = false;
     conns = [];
@@ -217,6 +222,29 @@ let stats_json t : Json.t =
           :: List.map
                (fun (label, n) -> (label, Json.Int n))
                (Trace.probe_stats_rows ())) );
+      ( "wal",
+        match t.wal with
+        | None -> Json.Obj [ ("attached", Json.Bool false) ]
+        | Some w ->
+            let ws = Wal.stats () in
+            let mean_us =
+              if ws.Wal.fsyncs = 0 then 0
+              else ws.Wal.fsync_total_us / ws.Wal.fsyncs
+            in
+            Json.Obj
+              [
+                ("attached", Json.Bool true);
+                ("dir", Json.String (Wal.dir w));
+                ("last_seq", Json.Int (Wal.last_seq w));
+                ("depth", Json.Int (Wal.depth w));
+                ("batches", Json.Int ws.Wal.batches);
+                ("effects", Json.Int ws.Wal.effects);
+                ("bytes", Json.Int ws.Wal.bytes);
+                ("snapshots", Json.Int ws.Wal.snapshots);
+                ("fsyncs", Json.Int ws.Wal.fsyncs);
+                ("fsync_mean_us", Json.Int mean_us);
+                ("fsync_max_us", Json.Int ws.Wal.fsync_max_us);
+              ] );
       ("latency_us", Json.Obj latency_rows);
     ]
 
@@ -371,9 +399,27 @@ let execute t (req : Protocol.request) :
       | Error e -> Error e
       | Ok dump -> (
           match Persist.load community dump with
-          | Ok () -> Ok (Json.Obj [ ("restored", Json.Bool true) ])
+          | Ok () ->
+              (* the restore bypassed the journal, so the WAL tail no
+                 longer describes this state: compact immediately *)
+              Option.iter Wal.snapshot t.wal;
+              Ok (Json.Obj [ ("restored", Json.Bool true) ])
           | Error m ->
               Error (Protocol.Wire_error.make ~code:"restore_error" m)))
+  | Protocol.Snapshot -> (
+      match t.wal with
+      | None ->
+          Error
+            (Protocol.Wire_error.make ~code:"no_wal"
+               "server is running without a WAL")
+      | Some w ->
+          Wal.snapshot w;
+          Ok
+            (Json.Obj
+               [
+                 ("snapshot_seq", Json.Int (Wal.last_seq w));
+                 ("depth", Json.Int (Wal.depth w));
+               ]))
   | Protocol.Stats -> Ok (stats_json t)
   | Protocol.Shutdown -> Ok (Json.Obj [ ("draining", Json.Bool true) ])
 
@@ -702,6 +748,10 @@ let serve_loop t ~listener =
            process_probe_batch t (List.rev !batch)
          end
          else process t job);
+      (* group fsync at the turn boundary: everything committed by the
+         jobs of this turn becomes durable in one fsync (a no-op when
+         nothing was appended, or under the per-batch fsync policy) *)
+      Option.iter Wal.sync t.wal;
       loop ()
     end
   in
@@ -714,6 +764,7 @@ let serve_fds t in_fd out_fd =
   t.conns <- conn :: t.conns;
   serve_loop t ~listener:None;
   shutdown_pool t;
+  Option.iter Wal.detach t.wal;
   flush_snapshot t
 
 let listen_unix t ~path =
@@ -739,4 +790,5 @@ let listen_unix t ~path =
   t.conns <- [];
   List.iter (fun (s, behaviour) -> Sys.set_signal s behaviour) previous;
   shutdown_pool t;
+  Option.iter Wal.detach t.wal;
   flush_snapshot t

@@ -25,12 +25,23 @@
     is created lazily on the first probe request, so a server that
     never probes never spawns a domain and stays fork-safe.
 
+    {b Durability.}  With a {!Wal.t} attached, every mutating request
+    appends its committed effect delta through the community's commit
+    hook, and the loop group-fsyncs at turn boundaries: all commits of
+    one turn become durable in a single fsync (acknowledgements are
+    sent before the fsync — a power loss in that window can lose the
+    turn's tail; process death cannot, see [docs/PERSISTENCE.md]).  A
+    [snapshot] request forces a compaction; a [restore] is followed by
+    an automatic one, because it changes state outside the journal.
+    WAL depth, sequence number and fsync latency are reported in the
+    [stats] frame.
+
     {b Shutdown.}  A [shutdown] request (or {!stop}, wired to
     SIGINT/SIGTERM by {!listen_unix}) stops admission; requests already
-    admitted are drained in order, then the optional snapshot is
-    flushed, connections close, and the serve call returns.  Frames
-    already buffered behind the shutdown are answered
-    [shutting_down]. *)
+    admitted are drained in order, then the WAL (if any) is synced and
+    detached, the optional snapshot is flushed, connections close, and
+    the serve call returns.  Frames already buffered behind the
+    shutdown are answered [shutting_down]. *)
 
 type config = {
   queue_capacity : int;  (** admission bound; beyond it: [overloaded] *)
@@ -49,7 +60,10 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Troll.Session.t -> t
+val create : ?config:config -> ?wal:Wal.t -> Troll.Session.t -> t
+(** [wal] must already be attached ({!Wal.attach}) to the session's
+    community; the server takes over group fsync, compaction requests
+    and shutdown detach. *)
 
 val execute :
   t -> Protocol.request -> (Json.t, Protocol.Wire_error.t) result

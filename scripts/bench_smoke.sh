@@ -1,10 +1,11 @@
 #!/bin/sh
 # Benchmark smoke run: quick-mode E3 (engine), E10 (probe vs clone),
-# E12 (compiled vs interpreted dispatch) and E15 (parallel-probe
-# scaling), with the E10, E12 and E15 numbers emitted as
-# BENCH_E10.json / BENCH_E12.json / BENCH_E15.json at the repo root so
-# the perf trajectory is tracked in-tree, plus the E11 socket
-# round-trip benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
+# E12 (compiled vs interpreted dispatch), E15 (parallel-probe
+# scaling) and E16 (WAL durability cost), with the E10, E12, E15 and
+# E16 numbers emitted as BENCH_E10.json / BENCH_E12.json /
+# BENCH_E15.json / BENCH_E16.json at the repo root so the perf
+# trajectory is tracked in-tree, plus the E11 socket round-trip
+# benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -127,6 +128,54 @@ printf '%s\n' "$out15" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$hos
 echo
 echo "wrote BENCH_E15.json:"
 cat BENCH_E15.json
+
+echo
+echo "== E16 (durability: WAL steps/s) =="
+# Five full runs; keep each arm's fastest run.  E16 reports minimum-
+# of-repetitions already, but a background load spike during one run
+# can still skew a whole arm — the cross-run minimum filters that.
+out16=$(for i in 1 2 3 4 5; do dune exec bench/main.exe -- --quick --filter "E16"; done)
+printf '%s\n' "$out16" | awk 'NR <= 2 || /^E16 /'
+
+printf '%s\n' "$out16" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+  /^E16 / {
+    ns = $(NF - 1)
+    name = $0
+    sub(/[ \t]+[0-9.]+[ \t]+[0-9.]+[ \t]*$/, "", name)
+    sub(/[ \t]+$/, "", name)
+    if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+  }
+  END {
+    print "{"
+    print "  \"experiment\": \"E16\","
+    printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"host\": \"%s\",\n", host
+    print "  \"unit\": \"ns/step\","
+    print "  \"note\": \"script-layer animation steps (trollc run path), best of 5 runs per arm\","
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      if (name ~ /wal-off/) off = best[name] + 0
+      if (name ~ /wal-on/) on = best[name] + 0
+    }
+    if (off > 0 && on > 0)
+      printf "  \"wal_on_overhead\": %.3f,\n", on / off
+    print "  \"results\": ["
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      ns = best[name] + 0
+      printf "    {\"name\": \"%s\", \"ns_per_step\": %.1f, \"steps_per_s\": %.0f}%s\n", \
+        name, ns, 1e9 / ns, (i < n - 1 ? "," : "")
+    }
+    print "  ]"
+    print "}"
+  }
+' > BENCH_E16.json
+
+echo
+echo "wrote BENCH_E16.json:"
+cat BENCH_E16.json
 
 echo
 echo "== E11 (serve socket round-trips) =="
