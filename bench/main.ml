@@ -42,6 +42,11 @@ let ignore_outcome : Engine.step_result -> unit = function
   | Ok _ -> ()
   | Error r -> failwith (Runtime_error.reason_to_string r)
 
+let view_exn (sys : Troll.system) name =
+  match List.assoc_opt name sys.Troll.views with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no interface class %s" name)
+
 (* E1/E2 *)
 let front_end_tests () =
   List.concat_map
@@ -106,8 +111,8 @@ let view_tests () =
   let sys, alice = Workload.company_with_views () in
   let c = sys.Troll.community in
   let o = Community.object_exn c alice in
-  let sal = Troll.view_exn sys "SAL_EMPLOYEE" in
-  let sal2 = Troll.view_exn sys "SAL_EMPLOYEE2" in
+  let sal = view_exn sys "SAL_EMPLOYEE" in
+  let sal2 = view_exn sys "SAL_EMPLOYEE2" in
   let inst = [ ("PERSON", alice) ] in
   [
     ("E5 direct-read", (fun () -> ignore (Eval.read_attr c o "Salary" [])));
@@ -456,7 +461,7 @@ let run_e16 () =
     | Error e -> failwith ("E16: script parse failed: " ^ e)
   in
   let arm name fsync reps =
-    let sys = Troll.load_exn Workload.cascade_spec in
+    let sys = Workload.load_system_exn Workload.cascade_spec in
     let o = Script.run_string sys setup_script in
     (match o.Script.failed with
     | Some f -> failwith ("E16: setup failed: " ^ f)

@@ -5,6 +5,13 @@
     shape the paper's examples describe (DEPT-style information-system
     classes), scaled by a size parameter. *)
 
+(** Load a specification through the session API, failing loudly — the
+    benches never expect a load error. *)
+let load_system_exn src : Troll.system =
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> failwith (Troll.Error.to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* E1/E2: specification texts of n classes                             *)
 (* ------------------------------------------------------------------ *)
@@ -311,22 +318,18 @@ let refinement_alphabet =
 (* ------------------------------------------------------------------ *)
 
 let company_with_views () =
-  match Troll.load Paper_specs.company with
-  | Error e -> failwith e
-  | Ok sys ->
-      let key =
-        Value.Tuple
-          [ ("Name", Value.String "alice"); ("Birthdate", Value.Date 0) ]
-      in
-      (match
-         Engine.create sys.Troll.community ~cls:"PERSON" ~key
-           ~args:
-             [ Value.Money (Money.of_units 6000); Value.String "Research" ]
-           ()
-       with
-      | Ok _ -> ()
-      | Error r -> failwith (Runtime_error.reason_to_string r));
-      (sys, Ident.make "PERSON" key)
+  let sys = load_system_exn Paper_specs.company in
+  let key =
+    Value.Tuple [ ("Name", Value.String "alice"); ("Birthdate", Value.Date 0) ]
+  in
+  (match
+     Engine.create sys.Troll.community ~cls:"PERSON" ~key
+       ~args:[ Value.Money (Money.of_units 6000); Value.String "Research" ]
+       ()
+   with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r));
+  (sys, Ident.make "PERSON" key)
 
 (* ------------------------------------------------------------------ *)
 (* E14: generated communities + traces (the fuzzing generator reused)  *)

@@ -24,11 +24,18 @@ let spec_arg =
     & info [] ~docv:"SPEC" ~doc:"TROLL specification file")
 
 let with_parsed path k =
-  match Troll.parse (read_file path) with
+  match Troll.parse_spec (read_file path) with
   | Error e ->
-      Printf.eprintf "%s\n" e;
+      Printf.eprintf "%s\n" (Troll.Error.to_string e);
       1
   | Ok spec -> k spec
+
+(** Load through the session API, flattening the structured error for
+    the command line. *)
+let load_system ?config src : (Troll.system, string) result =
+  match Troll.Session.load ?config src with
+  | Ok session -> Ok (Troll.Session.system session)
+  | Error e -> Error (Troll.Error.to_string e)
 
 let parse_cmd =
   let run path =
@@ -193,7 +200,7 @@ let run_cmd =
       wal_fsync kill_after =
     (match jobs with Some n -> Pool.set_default_jobs (max 1 n) | None -> ());
     let src = read_file spec_path in
-    match Troll.load src with
+    match load_system src with
     | Error e ->
         Printf.eprintf "%s\n" e;
         1
@@ -267,7 +274,7 @@ let run_cmd =
 
 let dot_cmd =
   let run path =
-    match Troll.load (read_file path) with
+    match load_system (read_file path) with
     | Error e ->
         Printf.eprintf "%s\n" e;
         1
@@ -295,7 +302,7 @@ let repl_cmd =
     let config =
       { Community.default_config with Community.record_history = true }
     in
-    match Troll.load ~config (read_file spec_path) with
+    match load_system ~config (read_file spec_path) with
     | Error e ->
         Printf.eprintf "%s\n" e;
         1
@@ -388,7 +395,7 @@ let refine_cmd =
   in
   let run abs_path conc_path abs_cls conc_cls depth jobs =
     let load path =
-      match Troll.load (read_file path) with
+      match load_system (read_file path) with
       | Ok sys -> Ok sys.Troll.community
       | Error e -> Error e
     in
@@ -554,6 +561,164 @@ let serve_cmd =
       $ deadline_arg $ save_arg $ restore_arg $ jobs_arg $ wal_arg
       $ snapshot_every_arg $ wal_fsync_arg)
 
+let shard_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Router socket; shard $(i,k) listens on $(docv).$(i,k) and \
+             its pid is written to $(docv).$(i,k).pid")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shard servers to launch")
+  in
+  let map_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "map" ] ~docv:"MAP"
+          ~doc:
+            "Partition map in wire form ($(i,hash:<n>) or \
+             $(i,classes:<n>:CLS=<k>,…)), validated against the \
+             specification.  Default: class groups round-robin over \
+             --shards shards")
+  in
+  let wal_root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-root" ] ~docv:"DIR"
+          ~doc:
+            "Give shard $(i,k) a write-ahead log in $(docv)/$(i,k).  \
+             Required for full crash recovery: with a WAL the router \
+             mirrors every shipped record and a killed shard is \
+             respawned and caught up; without one a respawned shard \
+             only recovers the state mirrored at connect time")
+  in
+  let run spec_path socket shards map wal_root wal_fsync jobs =
+    let src = read_file spec_path in
+    match Troll.Session.load src with
+    | Error e ->
+        Printf.eprintf "%s\n" (Troll.Error.to_string e);
+        1
+    | Ok facade -> (
+        let community = Troll.Session.community facade in
+        let map_result =
+          match map with
+          | None -> Ok (Shard.auto community ~shards)
+          | Some w -> Shard.of_string community w
+        in
+        match map_result with
+        | Error m ->
+            Printf.eprintf "shard: %s\n" m;
+            1
+        | Ok map ->
+            let n = Shard.shards map in
+            let wire = Shard.to_string map in
+            let shard_socket k = Printf.sprintf "%s.%d" socket k in
+            let pidfile k = Printf.sprintf "%s.%d.pid" socket k in
+            Option.iter
+              (fun root ->
+                try Unix.mkdir root 0o755
+                with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+              wal_root;
+            (* children are respawned by the router and never awaited *)
+            (try Sys.set_signal Sys.sigchld Sys.Signal_ignore
+             with Invalid_argument _ -> ());
+            let spawn k =
+              match Unix.fork () with
+              | 0 ->
+                  let code =
+                    match
+                      Troll.Session.load_shard_cell ~map:wire ~shard:k src
+                    with
+                    | Error e ->
+                        Printf.eprintf "shard %d: %s\n" k
+                          (Troll.Error.to_string e);
+                        1
+                    | Ok session -> (
+                        let wal_dir =
+                          Option.map
+                            (fun root ->
+                              Filename.concat root (string_of_int k))
+                            wal_root
+                        in
+                        match
+                          attach_wal ~wal:wal_dir ~snapshot_every:0
+                            ~wal_fsync ~kill_after:None ~src
+                            (Troll.Session.community session)
+                        with
+                        | Error m ->
+                            Printf.eprintf "shard %d wal: %s\n" k m;
+                            1
+                        | Ok wal_t ->
+                            let config =
+                              {
+                                Server.default_config with
+                                Server.jobs = resolve_jobs jobs;
+                              }
+                            in
+                            let server =
+                              Server.create ~config ?wal:wal_t session
+                            in
+                            Server.listen_unix server
+                              ~path:(shard_socket k);
+                            0)
+                  in
+                  exit code
+              | pid ->
+                  let oc = open_out (pidfile k) in
+                  output_string oc (string_of_int pid ^ "\n");
+                  close_out oc;
+                  pid
+            in
+            let pids = Array.init n spawn in
+            let respawn k =
+              Printf.eprintf "router: respawning shard %d\n%!" k;
+              pids.(k) <- spawn k
+            in
+            let router =
+              Router.create ~community ~map
+                ~paths:(Array.init n shard_socket)
+                ~respawn ()
+            in
+            Printf.eprintf "routing %d shard(s) on %s (map %s)\n%!" n socket
+              wire;
+            let code =
+              match Router.listen_unix router ~path:socket with
+              | Ok () -> 0
+              | Error m ->
+                  Printf.eprintf "shard: %s\n" m;
+                  1
+            in
+            Array.iter
+              (fun pid ->
+                try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+              pids;
+            Array.iteri
+              (fun k _ -> try Sys.remove (pidfile k) with Sys_error _ -> ())
+              pids;
+            code)
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Partition the society over N shard servers behind one router: \
+          each shard is a forked $(b,trollc serve)-style process owning \
+          its classes' instances (and WAL), the router speaks the same \
+          NDJSON protocol to clients, forwards steps to their owning \
+          shard, runs cross-shard steps through a two-phase commit over \
+          $(i,prepare)/$(i,commit)/$(i,abort), and — having mirrored \
+          every shipped WAL record — respawns and catches up a shard \
+          that dies (see docs/SHARDING.md)")
+    Term.(
+      const run $ spec_arg $ socket_arg $ shards_arg $ map_arg
+      $ wal_root_arg $ wal_fsync_arg $ jobs_arg)
+
 let fuzz_cmd =
   let seed_arg =
     Arg.(
@@ -674,7 +839,7 @@ let recover_cmd =
         2
     | Some dir -> (
         let src = read_file spec_path in
-        match Troll.load src with
+        match load_system src with
         | Error e ->
             Printf.eprintf "%s\n" e;
             1
@@ -715,7 +880,7 @@ let main =
        ~doc:"Parser, checker and animator for the TROLL specification language")
     [
       parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd;
-      serve_cmd; fuzz_cmd; recover_cmd;
+      serve_cmd; shard_cmd; fuzz_cmd; recover_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

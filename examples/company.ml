@@ -5,6 +5,32 @@
 
     Run with [dune exec examples/company.exe]. *)
 
+(* bridges from the removed string-error wrappers to the
+   session/engine API *)
+let load_exn src =
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let create_exn sys ~cls ~key ?event ?(args = []) () =
+  match Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+  with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+let attr_exn sys target name =
+  match Troll.Session.attr (Troll.Session.of_system sys) target name with
+  | Ok v -> v
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let view_exn (sys : Troll.system) name =
+  match List.assoc_opt name sys.Troll.views with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no interface class %s" name)
+
 let show label v = Printf.printf "  %-28s = %s\n" label (Value.to_string v)
 
 let person_key name birth =
@@ -12,38 +38,38 @@ let person_key name birth =
 
 let () =
   print_endline "== company: phases, aggregation, interfaces ==";
-  let sys = Troll.load_exn Paper_specs.company in
+  let sys = load_exn Paper_specs.company in
   let money u = Value.Money (Money.of_units u) in
 
   (* People. *)
   let d0 = Option.get (Date_adt.of_string "1960-05-01") in
   let alice = Troll.ident "PERSON" (person_key "alice" d0) in
   let bob = Troll.ident "PERSON" (person_key "bob" d0) in
-  Troll.create_exn sys ~cls:"PERSON" ~key:alice.Ident.key
+  create_exn sys ~cls:"PERSON" ~key:alice.Ident.key
     ~args:[ money 6000; Value.String "Research" ] ();
-  Troll.create_exn sys ~cls:"PERSON" ~key:bob.Ident.key
+  create_exn sys ~cls:"PERSON" ~key:bob.Ident.key
     ~args:[ money 3000; Value.String "Sales" ] ();
 
   (* Departments and the company as a complex object. *)
   let research = Troll.ident "DEPT" (Value.String "Research") in
   let sales = Troll.ident "DEPT" (Value.String "Sales") in
-  Troll.create_exn sys ~cls:"DEPT" ~key:research.Ident.key ();
-  Troll.create_exn sys ~cls:"DEPT" ~key:sales.Ident.key ();
+  create_exn sys ~cls:"DEPT" ~key:research.Ident.key ();
+  create_exn sys ~cls:"DEPT" ~key:sales.Ident.key ();
   let company = Ident.singleton "TheCompany" in
-  Troll.create_exn sys ~cls:"TheCompany" ~key:company.Ident.key
+  create_exn sys ~cls:"TheCompany" ~key:company.Ident.key
     ~args:[ Value.Date (Option.get (Date_adt.of_string "1991-01-02")) ] ();
   List.iter
-    (fun d -> ignore (Troll.fire sys company "add_dept" [ Ident.to_value d ]))
+    (fun d -> ignore (fire sys company "add_dept" [ Ident.to_value d ]))
     [ research; sales ];
-  show "TheCompany.depts" (Troll.attr_exn sys company "depts");
+  show "TheCompany.depts" (attr_exn sys company "depts");
 
-  ignore (Troll.fire sys research "hire" [ Ident.to_value alice ]);
-  ignore (Troll.fire sys sales "hire" [ Ident.to_value bob ]);
+  ignore (fire sys research "hire" [ Ident.to_value alice ]);
+  ignore (fire sys sales "hire" [ Ident.to_value bob ]);
 
   (* Promotion: new_manager calls become_manager, which births the
      MANAGER phase of the same identity. *)
   print_endline "\n-- phases (roles) --";
-  (match Troll.fire sys research "new_manager" [ Ident.to_value alice ] with
+  (match fire sys research "new_manager" [ Ident.to_value alice ] with
   | Ok o ->
       Printf.printf "  promotion step: %s\n"
         (String.concat ", "
@@ -51,25 +77,25 @@ let () =
   | Error r -> Printf.printf "  REJECTED: %s\n" (Runtime_error.reason_to_string r));
   let alice_mgr = Ident.as_class "MANAGER" alice in
   let car = Troll.ident "CAR" (Value.String "BS-XY-12") in
-  Troll.create_exn sys ~cls:"CAR" ~key:car.Ident.key ();
-  ignore (Troll.fire sys alice_mgr "assign_official_car" [ Ident.to_value car ]);
-  show "alice(as MANAGER).OfficialCar" (Troll.attr_exn sys alice_mgr "OfficialCar");
+  create_exn sys ~cls:"CAR" ~key:car.Ident.key ();
+  ignore (fire sys alice_mgr "assign_official_car" [ Ident.to_value car ]);
+  show "alice(as MANAGER).OfficialCar" (attr_exn sys alice_mgr "OfficialCar");
   (* inherited attribute through the phase *)
-  show "alice(as MANAGER).Salary" (Troll.attr_exn sys alice_mgr "Salary");
+  show "alice(as MANAGER).Salary" (attr_exn sys alice_mgr "Salary");
 
   (* bob earns too little to become a manager: the MANAGER constraint
      [Salary >= 5.000] rejects the phase birth, and atomicity rolls the
      whole promotion back. *)
-  (match Troll.fire sys sales "new_manager" [ Ident.to_value bob ] with
+  (match fire sys sales "new_manager" [ Ident.to_value bob ] with
   | Ok _ -> print_endline "  bob promoted (unexpected!)"
   | Error r ->
       Printf.printf "  bob's promotion rejected: %s\n"
         (Runtime_error.reason_to_string r));
-  show "Sales.manager (unchanged)" (Troll.attr_exn sys sales "manager");
+  show "Sales.manager (unchanged)" (attr_exn sys sales "manager");
 
   (* Interfaces. *)
   print_endline "\n-- interfaces (views) --";
-  let sal = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let sal = view_exn sys "SAL_EMPLOYEE" in
   let inst_alice = [ ("PERSON", alice) ] in
   (match Interface.attr sal inst_alice "Salary" [] with
   | Ok v -> show "SAL_EMPLOYEE(alice).Salary" v
@@ -80,15 +106,15 @@ let () =
   | Error _ ->
       print_endline "  SAL_EMPLOYEE(alice).Dept      hidden (projection)");
 
-  let sal2 = Troll.view_exn sys "SAL_EMPLOYEE2" in
+  let sal2 = view_exn sys "SAL_EMPLOYEE2" in
   (match Interface.attr sal2 inst_alice "CurrentIncomePerYear" [] with
   | Ok v -> show "yearly income (derived *13.5)" v
   | Error r -> print_endline (Runtime_error.reason_to_string r));
   (match Interface.fire sal2 inst_alice "IncreaseSalary" [] with
-  | Ok _ -> show "Salary after IncreaseSalary" (Troll.attr_exn sys alice "Salary")
+  | Ok _ -> show "Salary after IncreaseSalary" (attr_exn sys alice "Salary")
   | Error r -> print_endline (Runtime_error.reason_to_string r));
 
-  let research_view = Troll.view_exn sys "RESEARCH_EMPLOYEE" in
+  let research_view = view_exn sys "RESEARCH_EMPLOYEE" in
   Printf.printf "  RESEARCH_EMPLOYEE extension: %d member(s)\n"
     (List.length (Interface.extension research_view));
   List.iter
@@ -96,7 +122,7 @@ let () =
     (Interface.tabulate research_view);
 
   print_endline "\n-- join view WORKS_FOR --";
-  let works_for = Troll.view_exn sys "WORKS_FOR" in
+  let works_for = view_exn sys "WORKS_FOR" in
   List.iter
     (fun row -> Printf.printf "    %s\n" (Value.to_string row))
     (Interface.tabulate works_for)

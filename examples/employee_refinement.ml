@@ -4,6 +4,32 @@
 
     Run with [dune exec examples/employee_refinement.exe]. *)
 
+(* bridges from the removed string-error wrappers to the
+   session/engine API *)
+let load_exn src =
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let create_exn sys ~cls ~key ?event ?(args = []) () =
+  match Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+  with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+let attr_exn sys target name =
+  match Troll.Session.attr (Troll.Session.of_system sys) target name with
+  | Ok v -> v
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let view_exn (sys : Troll.system) name =
+  match List.assoc_opt name sys.Troll.views with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no interface class %s" name)
+
 let key name =
   Value.Tuple [ ("EmpName", Value.String name); ("EmpBirth", Value.Date 0) ]
 
@@ -11,26 +37,26 @@ let () =
   print_endline "== stepwise refinement: EMPLOYEE over emp_rel ==";
 
   (* Abstract side. *)
-  let abs_sys = Troll.load_exn Paper_specs.employee_abstract in
+  let abs_sys = load_exn Paper_specs.employee_abstract in
   let ada_abs = Troll.ident "EMPLOYEE" (key "ada") in
-  Troll.create_exn abs_sys ~cls:"EMPLOYEE" ~key:ada_abs.Ident.key ();
+  create_exn abs_sys ~cls:"EMPLOYEE" ~key:ada_abs.Ident.key ();
 
   (* Concrete side: emp_rel (created automatically as a single object),
      EMPL_IMPL on top, EMPL hiding the implementation. *)
-  let conc_sys = Troll.load_exn Paper_specs.employee_implementation in
+  let conc_sys = load_exn Paper_specs.employee_implementation in
   let ada_conc = Troll.ident "EMPL_IMPL" (key "ada") in
-  Troll.create_exn conc_sys ~cls:"EMPL_IMPL" ~key:ada_conc.Ident.key ();
+  create_exn conc_sys ~cls:"EMPL_IMPL" ~key:ada_conc.Ident.key ();
 
   print_endline "\n-- driving both sides through the EMPL interface --";
-  let empl = Troll.view_exn conc_sys "EMPL" in
+  let empl = view_exn conc_sys "EMPL" in
   let inst = [ ("EMPL_IMPL", ada_conc) ] in
   (match Interface.fire empl inst "IncreaseSalary" [ Value.Int 700 ] with
   | Ok _ -> ()
   | Error r -> Printf.printf "  %s\n" (Runtime_error.reason_to_string r));
-  ignore (Troll.fire abs_sys ada_abs "IncreaseSalary" [ Value.Int 700 ]);
+  ignore (fire abs_sys ada_abs "IncreaseSalary" [ Value.Int 700 ]);
   let show side sys id =
     Printf.printf "  %-9s Salary = %s\n" side
-      (Value.to_string (Troll.attr_exn sys id "Salary"))
+      (Value.to_string (attr_exn sys id "Salary"))
   in
   show "abstract" abs_sys ada_abs;
   show "concrete" conc_sys ada_conc;
@@ -39,13 +65,13 @@ let () =
   | Error r -> print_endline (Runtime_error.reason_to_string r));
   Printf.printf "  emp_rel.Emps = %s\n"
     (Value.to_string
-       (Troll.attr_exn conc_sys (Ident.singleton "emp_rel") "Emps"));
+       (attr_exn conc_sys (Ident.singleton "emp_rel") "Emps"));
 
   (* Transaction calling inside emp_rel: ChangeSalary >> (DeleteEmp;
      InsertEmp) runs as one atomic unit. *)
   print_endline "\n-- transaction calling --";
   (match
-     Troll.fire conc_sys (Ident.singleton "emp_rel") "ChangeSalary"
+     fire conc_sys (Ident.singleton "emp_rel") "ChangeSalary"
        [ Value.String "ada"; Value.Date 0; Value.Int 1200 ]
    with
   | Ok o ->
@@ -57,16 +83,16 @@ let () =
             (String.concat "; " (List.map Event.to_string step)))
         o.Engine.committed
   | Error r -> Printf.printf "  %s\n" (Runtime_error.reason_to_string r));
-  ignore (Troll.fire abs_sys ada_abs "IncreaseSalary" [ Value.Int 500 ]);
+  ignore (fire abs_sys ada_abs "IncreaseSalary" [ Value.Int 500 ]);
   show "abstract" abs_sys ada_abs;
   show "concrete" conc_sys ada_conc;
 
   (* Bounded refinement check, on fresh communities. *)
   print_endline "\n-- bounded refinement check --";
-  let abs_sys = Troll.load_exn Paper_specs.employee_abstract in
-  let conc_sys = Troll.load_exn Paper_specs.employee_implementation in
-  Troll.create_exn abs_sys ~cls:"EMPLOYEE" ~key:(key "eve") ();
-  Troll.create_exn conc_sys ~cls:"EMPL_IMPL" ~key:(key "eve") ();
+  let abs_sys = load_exn Paper_specs.employee_abstract in
+  let conc_sys = load_exn Paper_specs.employee_implementation in
+  create_exn abs_sys ~cls:"EMPLOYEE" ~key:(key "eve") ();
+  create_exn conc_sys ~cls:"EMPL_IMPL" ~key:(key "eve") ();
   let impl =
     Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPL_IMPL" ()
   in
@@ -111,10 +137,10 @@ object class EMPLOYEE_BAD
 end object class EMPLOYEE_BAD;
 |}
   in
-  let bad_sys = Troll.load_exn broken in
-  Troll.create_exn bad_sys ~cls:"EMPLOYEE_BAD" ~key:(key "eve") ();
-  let abs_sys = Troll.load_exn Paper_specs.employee_abstract in
-  Troll.create_exn abs_sys ~cls:"EMPLOYEE" ~key:(key "eve") ();
+  let bad_sys = load_exn broken in
+  create_exn bad_sys ~cls:"EMPLOYEE_BAD" ~key:(key "eve") ();
+  let abs_sys = load_exn Paper_specs.employee_abstract in
+  create_exn abs_sys ~cls:"EMPLOYEE" ~key:(key "eve") ();
   let impl_bad =
     Implementation.make ~abs_class:"EMPLOYEE" ~conc_class:"EMPLOYEE_BAD" ()
   in

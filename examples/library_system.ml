@@ -4,6 +4,34 @@
 
     Run with [dune exec examples/library_system.exe]. *)
 
+(* bridges from the removed string-error wrappers to the
+   session/engine API *)
+let load_exn src =
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let create_exn sys ~cls ~key ?event ?(args = []) () =
+  match Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+  with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+let attr_exn sys target name =
+  match Troll.Session.attr (Troll.Session.of_system sys) target name with
+  | Ok v -> v
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let eval sys src =
+  Result.map_error Troll.Error.to_string
+    (Troll.Session.eval (Troll.Session.of_system sys) src)
+
+let run_active ?(fuel = 1000) (sys : Troll.system) =
+  Engine.run_active sys.Troll.community ~fuel
+
 let result label = function
   | Ok (_ : Engine.outcome) -> Printf.printf "  %-38s accepted\n" label
   | Error r ->
@@ -12,70 +40,70 @@ let result label = function
 
 let () =
   print_endline "== library: active objects and synchronisation ==";
-  let sys = Troll.load_exn Paper_specs.library in
+  let sys = load_exn Paper_specs.library in
 
   (* Stock and membership. *)
   let sicp = Troll.ident "BOOK" (Value.String "0-262-01153-0") in
   let tao = Troll.ident "BOOK" (Value.String "0-201-03801-3") in
-  Troll.create_exn sys ~cls:"BOOK" ~key:sicp.Ident.key
+  create_exn sys ~cls:"BOOK" ~key:sicp.Ident.key
     ~args:[ Value.String "SICP"; Value.Enum ("Genre", "science") ] ();
-  Troll.create_exn sys ~cls:"BOOK" ~key:tao.Ident.key
+  create_exn sys ~cls:"BOOK" ~key:tao.Ident.key
     ~args:[ Value.String "TAOCP"; Value.Enum ("Genre", "science") ] ();
   let kim = Troll.ident "MEMBER" (Value.String "kim") in
-  Troll.create_exn sys ~cls:"MEMBER" ~key:kim.Ident.key ();
+  create_exn sys ~cls:"MEMBER" ~key:kim.Ident.key ();
 
   print_endline "\n-- borrowing synchronises MEMBER and BOOK --";
   result "kim borrows SICP"
-    (Troll.fire sys kim "borrow" [ Ident.to_value sicp ]);
+    (fire sys kim "borrow" [ Ident.to_value sicp ]);
   Printf.printf "  SICP.OnLoan   = %s\n"
-    (Value.to_string (Troll.attr_exn sys sicp "OnLoan"));
+    (Value.to_string (attr_exn sys sicp "OnLoan"));
   Printf.printf "  kim.Borrowed  = %s\n"
-    (Value.to_string (Troll.attr_exn sys kim "Borrowed"));
+    (Value.to_string (attr_exn sys kim "Borrowed"));
 
   (* The calling rule makes the permission of the called event gate the
      whole step: lending an on-loan book is impossible through any
      member. *)
   let lee = Troll.ident "MEMBER" (Value.String "lee") in
-  Troll.create_exn sys ~cls:"MEMBER" ~key:lee.Ident.key ();
+  create_exn sys ~cls:"MEMBER" ~key:lee.Ident.key ();
   result "lee borrows SICP (already on loan)"
-    (Troll.fire sys lee "borrow" [ Ident.to_value sicp ]);
+    (fire sys lee "borrow" [ Ident.to_value sicp ]);
   result "lee borrows TAOCP"
-    (Troll.fire sys lee "borrow" [ Ident.to_value tao ]);
+    (fire sys lee "borrow" [ Ident.to_value tao ]);
 
   print_endline "\n-- permissions on leaving --";
   result "lee leaves with a book out" (Engine.destroy sys.Troll.community ~id:lee ());
-  ignore (Troll.fire sys lee "fine" [ Value.Money (Money.of_cents 250) ]);
+  ignore (fire sys lee "fine" [ Value.Money (Money.of_cents 250) ]);
   result "lee returns TAOCP"
-    (Troll.fire sys lee "bring_back" [ Ident.to_value tao ]);
+    (fire sys lee "bring_back" [ Ident.to_value tao ]);
   result "lee leaves with fines unpaid" (Engine.destroy sys.Troll.community ~id:lee ());
   result "lee pays too much"
-    (Troll.fire sys lee "pay" [ Value.Money (Money.of_cents 300) ]);
+    (fire sys lee "pay" [ Value.Money (Money.of_cents 300) ]);
   result "lee pays 2.50"
-    (Troll.fire sys lee "pay" [ Value.Money (Money.of_cents 250) ]);
+    (fire sys lee "pay" [ Value.Money (Money.of_cents 250) ]);
   result "lee leaves" (Engine.destroy sys.Troll.community ~id:lee ());
 
   print_endline "\n-- the active clock --";
   let clock = Ident.singleton "LibraryClock" in
-  Troll.create_exn sys ~cls:"LibraryClock" ~key:clock.Ident.key
+  create_exn sys ~cls:"LibraryClock" ~key:clock.Ident.key
     ~args:[ Value.Date (Option.get (Date_adt.of_string "1991-06-01")) ] ();
   (* tick is active but its permission allows at most 7 ticks between
      audits: the engine runs it to quiescence. *)
-  let fired = Troll.run_active sys ~fuel:100 in
+  let fired = run_active sys ~fuel:100 in
   Printf.printf "  active run fired %d tick(s)\n" (List.length fired);
   Printf.printf "  Today = %s\n"
-    (Value.to_string (Troll.attr_exn sys clock "Today"));
-  ignore (Troll.fire sys clock "audit" []);
-  let fired = Troll.run_active sys ~fuel:100 in
+    (Value.to_string (attr_exn sys clock "Today"));
+  ignore (fire sys clock "audit" []);
+  let fired = run_active sys ~fuel:100 in
   Printf.printf "  after audit, %d more tick(s)\n" (List.length fired);
   Printf.printf "  Today = %s\n"
-    (Value.to_string (Troll.attr_exn sys clock "Today"));
+    (Value.to_string (attr_exn sys clock "Today"));
 
   print_endline "\n-- genre query over the extension --";
-  (match Troll.eval sys "BOOK" with
+  (match eval sys "BOOK" with
   | Ok v -> Printf.printf "  extension BOOK = %s\n" (Value.to_string v)
   | Error e -> print_endline e);
   match
-    Troll.eval sys "count(BOOK)"
+    eval sys "count(BOOK)"
   with
   | Ok v -> Printf.printf "  count(BOOK)    = %s\n" (Value.to_string v)
   | Error e -> print_endline e

@@ -3,6 +3,30 @@
 
     Run with [dune exec examples/quickstart.exe]. *)
 
+(* bridges from the removed string-error wrappers to the
+   session/engine API *)
+let load_exn src =
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let create_exn sys ~cls ~key ?event ?(args = []) () =
+  match Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+  with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+let attr_exn sys target name =
+  match Troll.Session.attr (Troll.Session.of_system sys) target name with
+  | Ok v -> v
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let extension (sys : Troll.system) cls =
+  Ident.Set.elements (Community.extension sys.Troll.community cls)
+
 let print_result label = function
   | Ok (_ : Engine.outcome) -> Printf.printf "  %-34s accepted\n" label
   | Error r ->
@@ -11,14 +35,14 @@ let print_result label = function
 
 let () =
   print_endline "== TROLL quickstart: the DEPT class from the paper ==";
-  let sys = Troll.load_exn Paper_specs.dept in
+  let sys = load_exn Paper_specs.dept in
 
   (* Create a person and a department. *)
   let alice = Troll.ident "PERSON" (Value.String "alice") in
   let sales = Troll.ident "DEPT" (Value.String "sales") in
-  Troll.create_exn sys ~cls:"PERSON" ~key:(Value.String "alice") ();
+  create_exn sys ~cls:"PERSON" ~key:(Value.String "alice") ();
   let date = Option.get (Date_adt.of_string "1991-03-21") in
-  Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "sales")
+  create_exn sys ~cls:"DEPT" ~key:(Value.String "sales")
     ~args:[ Value.Date date ] ();
   Printf.printf "created %s and %s\n" (Ident.to_string alice)
     (Ident.to_string sales);
@@ -26,24 +50,24 @@ let () =
   (* Permissions: fire(P) needs sometime(after(hire(P))). *)
   print_endline "\n-- temporal permissions --";
   print_result "fire alice (never hired)"
-    (Troll.fire sys sales "fire" [ Ident.to_value alice ]);
+    (fire sys sales "fire" [ Ident.to_value alice ]);
   print_result "hire alice"
-    (Troll.fire sys sales "hire" [ Ident.to_value alice ]);
+    (fire sys sales "hire" [ Ident.to_value alice ]);
   print_result "hire alice again (in employees)"
-    (Troll.fire sys sales "hire" [ Ident.to_value alice ]);
+    (fire sys sales "hire" [ Ident.to_value alice ]);
   print_result "closure (alice not yet fired)"
-    (Troll.fire sys sales "closure" []);
+    (fire sys sales "closure" []);
   print_result "fire alice"
-    (Troll.fire sys sales "fire" [ Ident.to_value alice ]);
+    (fire sys sales "fire" [ Ident.to_value alice ]);
   print_result "closure (all employees fired)"
-    (Troll.fire sys sales "closure" []);
+    (fire sys sales "closure" []);
 
   (* Observations. *)
   print_endline "\n-- observations --";
   let rnd = Troll.ident "DEPT" (Value.String "rnd") in
-  Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "rnd")
+  create_exn sys ~cls:"DEPT" ~key:(Value.String "rnd")
     ~args:[ Value.Date date ] ();
-  (match Troll.fire sys rnd "new_manager" [ Ident.to_value alice ] with
+  (match fire sys rnd "new_manager" [ Ident.to_value alice ] with
   | Ok outcome ->
       print_endline
         "new_manager called become_manager synchronously (event calling):";
@@ -55,15 +79,15 @@ let () =
         outcome.Engine.committed
   | Error r -> Printf.printf "unexpected: %s\n" (Runtime_error.reason_to_string r));
   Printf.printf "rnd.manager     = %s\n"
-    (Value.to_string (Troll.attr_exn sys rnd "manager"));
+    (Value.to_string (attr_exn sys rnd "manager"));
   Printf.printf "rnd.est_date    = %s\n"
-    (Value.to_string (Troll.attr_exn sys rnd "est_date"));
+    (Value.to_string (attr_exn sys rnd "est_date"));
   Printf.printf "PERSON extension = %s\n"
-    (String.concat ", " (List.map Ident.to_string (Troll.extension sys "PERSON")));
+    (String.concat ", " (List.map Ident.to_string (extension sys "PERSON")));
 
   (* The same session as an animation script. *)
   print_endline "\n-- script interface --";
-  let sys2 = Troll.load_exn Paper_specs.dept in
+  let sys2 = load_exn Paper_specs.dept in
   let outcome =
     Script.run_string sys2
       {|

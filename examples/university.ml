@@ -83,9 +83,9 @@ let () =
 
   (* ---- society validation and linking -------------------------- *)
   let spec =
-    match Troll.parse (registry_module ^ teaching_module) with
+    match Troll.parse_spec (registry_module ^ teaching_module) with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Troll.Error.to_string e)
   in
   let society, _rest = Society.of_spec spec in
   (match Society.validate society with

@@ -206,7 +206,9 @@ let rec exec_cmd sys (cmd : cmd) : (string list, string) result =
                 arg_exprs )
         | None -> (None, [])
       in
-      match Troll.create sys ~cls ~key ?event ~args () with
+      match
+        Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+      with
       | Ok _ -> Ok [ Printf.sprintf "created %s(%s)" cls (Value.to_string key) ]
       | Error r -> Error (Runtime_error.reason_to_string r))
   | C_fire term -> (
@@ -258,7 +260,7 @@ let rec exec_cmd sys (cmd : cmd) : (string list, string) result =
               [ Format.asprintf "%a" Liveness.pp_verdict
                   (Liveness.audit sys.Troll.community o goal) ])
   | C_view name -> (
-      match Troll.view sys name with
+      match List.assoc_opt name sys.Troll.views with
       | None -> Error (Printf.sprintf "no interface class %s" name)
       | Some v ->
           let rows = Interface.tabulate v in
@@ -266,7 +268,7 @@ let rec exec_cmd sys (cmd : cmd) : (string list, string) result =
             (Printf.sprintf "%s: %d row(s)" name (List.length rows)
             :: List.map (fun r -> "  " ^ Value.to_string r) rows))
   | C_active fuel ->
-      let fired = Troll.run_active ~fuel sys in
+      let fired = Engine.run_active sys.Troll.community ~fuel in
       Ok
         (Printf.sprintf "active: %d event(s)" (List.length fired)
         :: List.map (fun e -> "  " ^ Event.to_string e) fired)

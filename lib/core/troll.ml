@@ -93,10 +93,11 @@ let check = Typecheck.check
 let pretty = Pretty.spec_to_string
 
 (** Parse, check and compile a specification; single objects are
-    instantiated, interface classes become ready-to-use views.  Checking
-    errors abort; warnings are carried in the result. *)
-let load_system ?(config = Community.default_config) (source : string) :
-    (system, Error.t) result =
+    instantiated ([singles = false] defers that to the shard loaders),
+    interface classes become ready-to-use views.  Checking errors abort;
+    warnings are carried in the result. *)
+let load_system ?(config = Community.default_config) ?(singles = true)
+    (source : string) : (system, Error.t) result =
   match parse_spec source with
   | Error e -> Error e
   | Ok spec -> (
@@ -124,7 +125,11 @@ let load_system ?(config = Community.default_config) (source : string) :
                     (Error.Check
                        (Check_error.error "%s" (Compile.error_to_string e)))
               | Ok (community, iface_decls) -> (
-                  match Compile.instantiate_singles community with
+                  let instantiated =
+                    if singles then Compile.instantiate_singles community
+                    else Ok ()
+                  in
+                  match instantiated with
                   | Error r -> Error (Error.Runtime r)
                   | Ok () ->
                       let views =
@@ -151,44 +156,174 @@ let read_file_res path : (string, Error.t) result =
 (* ------------------------------------------------------------------ *)
 
 module Session = struct
-  type t = { sys : system }
+  (** A sharded session keeps one full engine cell per shard plus the
+      facade system ([sys]): the facade's community holds no live
+      instance state of its own — it is the schema the partition map is
+      validated against and the scratch space {!save} merges the
+      per-shard dumps into. *)
+  type backend =
+    | Single
+    | Sharded of {
+        map : Shard.map;
+        cells : system array;
+        parts : Shard.participant array;
+      }
 
-  let of_system sys = { sys }
+  type t = { sys : system; backend : backend }
 
-  let load ?config source = Result.map of_system (load_system ?config source)
+  let of_system sys = { sys; backend = Single }
+
+  let load ?config source =
+    Result.map of_system (load_system ?config source)
 
   let load_file ?config path =
     match read_file_res path with
     | Error e -> Error e
     | Ok source -> load ?config source
 
+  let partition_error m = Error.Link [ "partition: " ^ m ]
+
+  (** Instantiate exactly the single objects shard [k] owns. *)
+  let instantiate_owned map k community =
+    Compile.instantiate_singles community ~only:(fun name ->
+        Shard.owner_ident map (Ident.singleton name) = Ok k)
+
+  let load_sharded ?config ~shards ?map source =
+    match load_system ?config source with
+    | Error e -> Error e
+    | Ok facade -> (
+        let map_r =
+          match map with
+          | None -> Ok (Shard.auto facade.community ~shards)
+          | Some s -> Shard.of_string facade.community s
+        in
+        match map_r with
+        | Error m -> Error (partition_error m)
+        | Ok map -> (
+            let n = Shard.shards map in
+            let rec build k acc =
+              if k = n then Ok (List.rev acc)
+              else
+                match load_system ?config ~singles:false source with
+                | Error e -> Error e
+                | Ok cell -> (
+                    match instantiate_owned map k cell.community with
+                    | Error r -> Error (Error.Runtime r)
+                    | Ok () -> build (k + 1) (cell :: acc))
+            in
+            match build 0 [] with
+            | Error e -> Error e
+            | Ok cells ->
+                let cells = Array.of_list cells in
+                let parts =
+                  Array.map
+                    (fun cell -> Shard.local_participant cell.community)
+                    cells
+                in
+                Ok { sys = facade; backend = Sharded { map; cells; parts } }))
+
+  let load_shard_cell ?config ~map:map_s ~shard source =
+    match load_system ?config ~singles:false source with
+    | Error e -> Error e
+    | Ok sys -> (
+        match Shard.of_string sys.community map_s with
+        | Error m -> Error (partition_error m)
+        | Ok map ->
+            if shard < 0 || shard >= Shard.shards map then
+              Error (Error.Runtime (Runtime_error.Unknown_shard shard))
+            else (
+              match instantiate_owned map shard sys.community with
+              | Error r -> Error (Error.Runtime r)
+              | Ok () -> Ok { sys; backend = Single }))
+
   let system s = s.sys
   let community s = s.sys.community
   let spec s = s.sys.spec
   let diagnostics s = s.sys.diagnostics
 
-  let step s req = Engine.step s.sys.community req
+  let shard_map s =
+    match s.backend with Single -> None | Sharded { map; _ } -> Some map
 
-  let attr s target name : (Value.t, Error.t) result =
-    match Community.find_object s.sys.community target with
+  let shard_count s =
+    match s.backend with
+    | Single -> 1
+    | Sharded { map; _ } -> Shard.shards map
+
+  let step s req =
+    match s.backend with
+    | Single -> Engine.step s.sys.community req
+    | Sharded { map; parts; _ } -> Shard.coordinate map parts req
+
+  let attr_in community target name : (Value.t, Error.t) result =
+    match Community.find_object community target with
     | None -> Error (Error.Runtime (Runtime_error.Unknown_object target))
     | Some o -> (
-        match Eval.read_attr s.sys.community o name [] with
+        match Eval.read_attr community o name [] with
         | v -> Ok v
         | exception Runtime_error.Error r -> Error (Error.Runtime r))
+
+  let attr s target name : (Value.t, Error.t) result =
+    match s.backend with
+    | Single -> attr_in s.sys.community target name
+    | Sharded { map; cells; _ } -> (
+        match Shard.owner_ident map target with
+        | Error r -> Error (Error.Runtime r)
+        | Ok k when k < 0 || k >= Array.length cells ->
+            Error (Error.Runtime (Runtime_error.Unknown_shard k))
+        | Ok k -> attr_in cells.(k).community target name)
 
   let eval s (source : string) : (Value.t, Error.t) result =
-    match Parser.expr_of_string source with
-    | Error e -> Error (Error.Parse e)
-    | Ok e -> (
-        match Eval.expr s.sys.community ~env:Env.empty ~self:None e with
-        | v -> Ok v
-        | exception Runtime_error.Error r -> Error (Error.Runtime r))
+    match s.backend with
+    | Sharded _ ->
+        Error
+          (Error.Runtime
+             (Runtime_error.Unsupported
+                "global evaluation is not available on a sharded session"))
+    | Single -> (
+        match Parser.expr_of_string source with
+        | Error e -> Error (Error.Parse e)
+        | Ok e -> (
+            match Eval.expr s.sys.community ~env:Env.empty ~self:None e with
+            | v -> Ok v
+            | exception Runtime_error.Error r -> Error (Error.Runtime r)))
 
   let extension s cls =
-    Ident.Set.elements (Community.extension s.sys.community cls)
+    match s.backend with
+    | Single -> Ident.Set.elements (Community.extension s.sys.community cls)
+    | Sharded { cells; _ } ->
+        Ident.Set.elements
+          (Array.fold_left
+             (fun acc cell ->
+               Ident.Set.union acc (Community.extension cell.community cls))
+             Ident.Set.empty cells)
 
-  let run_active ?(fuel = 1000) s = Engine.run_active s.sys.community ~fuel
+  let run_active ?(fuel = 1000) s =
+    match s.backend with
+    | Single -> Engine.run_active s.sys.community ~fuel
+    | Sharded { cells; _ } ->
+        Array.to_list cells
+        |> List.concat_map (fun cell ->
+               Engine.run_active cell.community ~fuel)
+
+  let save s =
+    match s.backend with
+    | Single -> Persist.save s.sys.community
+    | Sharded { cells; _ } ->
+        (* per-shard extensions are disjoint, and {!Persist.save} orders
+           objects by identity, so the merged dump is independent of the
+           partition *)
+        let facade = s.sys.community in
+        Community.reset_instance_state facade;
+        Array.iter
+          (fun cell ->
+            match
+              Persist.load ~reset:false facade (Persist.save cell.community)
+            with
+            | Ok () -> ()
+            | Error m -> invalid_arg ("Session.save: shard merge: " ^ m))
+          cells;
+        Persist.save facade
+
   let view s name = List.assoc_opt name s.sys.views
   let views s = s.sys.views
 end
@@ -196,68 +331,7 @@ end
 let step = Session.step
 
 (* ------------------------------------------------------------------ *)
-(* Animation                                                           *)
+(* Identities                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let ident cls key = Ident.make cls key
-
-let create sys ~cls ~key ?event ?(args = []) () =
-  Engine.step sys.community (Step.Create { cls; key; event; args })
-
-let create_exn sys ~cls ~key ?event ?args () =
-  match create sys ~cls ~key ?event ?args () with
-  | Ok _ -> ()
-  | Error r -> failwith (Runtime_error.reason_to_string r)
-
-(** Fire one event (with its synchronous calling closure). *)
-let fire sys target name args =
-  Engine.step sys.community (Step.Fire (Event.make target name args))
-
-(** Fire a sequence of events as one atomic transaction. *)
-let fire_seq sys events = Engine.step sys.community (Step.Seq events)
-
-(** Fire several events simultaneously (event sharing). *)
-let fire_sync sys events = Engine.step sys.community (Step.Sync events)
-
-(** Living members of a class. *)
-let extension sys cls =
-  Ident.Set.elements (Community.extension sys.community cls)
-
-(** Run enabled active events to quiescence (bounded by [fuel]). *)
-let run_active ?(fuel = 1000) sys = Engine.run_active sys.community ~fuel
-
-(** Look up an interface view by name. *)
-let view sys name = List.assoc_opt name sys.views
-
-let view_exn sys name =
-  match view sys name with
-  | Some v -> v
-  | None -> failwith (Printf.sprintf "no interface class %s" name)
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated string-error wrappers                                    *)
-(* ------------------------------------------------------------------ *)
-
-let parse source = Result.map_error Error.to_string (parse_spec source)
-
-let load ?config source =
-  Result.map_error Error.to_string (load_system ?config source)
-
-let load_exn ?config source =
-  match load ?config source with Ok s -> s | Error e -> failwith e
-
-let load_file ?config path =
-  match read_file_res path with
-  | Error e -> Error (Error.to_string e)
-  | Ok source -> load ?config source
-
-let attr sys target name : (Value.t, string) result =
-  Result.map_error Error.to_string
-    (Session.attr (Session.of_system sys) target name)
-
-let attr_exn sys target name =
-  match attr sys target name with Ok v -> v | Error e -> failwith e
-
-let eval sys source : (Value.t, string) result =
-  Result.map_error Error.to_string
-    (Session.eval (Session.of_system sys) source)

@@ -9,9 +9,10 @@
 
     The primary API is {!Session}: a handle over a loaded system with
     structured errors ({!Error.t}) and the single animation entry point
-    {!step} (every firing shape is a {!Step.t}).  The string-error
-    functions at the end of this interface are deprecated wrappers kept
-    for source compatibility. *)
+    {!step} (every firing shape is a {!Step.t}).  A session is either a
+    single engine or — following the paper's §6 modularization into
+    societies connected only by event import — a set of shard cells
+    routed through a partition map ({!Session.load_sharded}). *)
 
 type system = {
   spec : Ast.spec;
@@ -72,10 +73,44 @@ module Session : sig
   (** Wrap an already-loaded system (e.g. one built by hand through
       [Compile]). *)
 
+  val load_sharded :
+    ?config:Community.config ->
+    shards:int ->
+    ?map:string ->
+    string ->
+    (t, Error.t) result
+  (** In-process sharded session: one full engine cell per shard, every
+      step routed through {!Shard.coordinate} (cross-shard steps commit
+      by two-phase protocol on {!Txn} savepoints).  [map] is a partition
+      map in {!Shard.to_string}'s wire form, validated against the
+      specification; by default {!Shard.auto} spreads the class groups
+      round-robin.  Each single object is instantiated only in its
+      owning cell.  Partition errors report as [Error.Link]. *)
+
+  val load_shard_cell :
+    ?config:Community.config ->
+    map:string ->
+    shard:int ->
+    string ->
+    (t, Error.t) result
+  (** One shard's slice as a plain single-engine session: the full
+      schema, but single objects instantiated only when shard [shard]
+      owns them under [map].  This is what each shard server process of
+      [trollc shard] runs behind the NDJSON protocol. *)
+
   val system : t -> system
   val community : t -> Community.t
+  (** For a sharded session this is the facade community: the schema
+      without live instances (shard cells hold those). *)
+
   val spec : t -> Ast.spec
   val diagnostics : t -> Check_error.t list
+
+  val shard_map : t -> Shard.map option
+  (** [None] for a single-engine session. *)
+
+  val shard_count : t -> int
+  (** [1] for a single-engine session. *)
 
   (** {2 Animation} *)
 
@@ -89,14 +124,22 @@ module Session : sig
 
   val eval : t -> string -> (Value.t, Error.t) result
   (** Evaluate an expression in global scope, e.g.
-      [{|DEPT("d").manager|}]. *)
+      [{|DEPT("d").manager|}].  Unsupported on a sharded session
+      (global scope spans shards). *)
 
   val extension : t -> string -> Ident.t list
-  (** Living members of a class. *)
+  (** Living members of a class (union over the shards when sharded). *)
 
   val run_active : ?fuel:int -> t -> Event.t list
-  (** Fire enabled active events to quiescence; returns them in
-      order. *)
+  (** Fire enabled active events to quiescence; returns them in order
+      (shard order when sharded — active events never cross shards, by
+      the partition invariant). *)
+
+  val save : t -> string
+  (** {!Persist.save} of the session's state.  For a sharded session
+      the disjoint per-shard dumps are merged; since dumps are ordered
+      by object identity, the result is bit-identical to the dump of an
+      equivalent single-engine session. *)
 
   val view : t -> string -> Interface.t option
   val views : t -> (string * Interface.t) list
@@ -117,67 +160,3 @@ val pretty : Ast.spec -> string
 (** Canonical concrete syntax (re-parseable). *)
 
 val ident : string -> Value.t -> Ident.t
-
-(** {1 Deprecated string-error wrappers}
-
-    Source-compatible forerunners of the {!Session} API; each flattens
-    its structured error to a string.  New code should use {!Session}
-    and {!step}. *)
-
-val parse : string -> (Ast.spec, string) result
-(** @deprecated Use {!parse_spec}. *)
-
-val load : ?config:Community.config -> string -> (system, string) result
-(** @deprecated Use {!Session.load}. *)
-
-val load_exn : ?config:Community.config -> string -> system
-val load_file : ?config:Community.config -> string -> (system, string) result
-(** @deprecated Use {!Session.load_file}. *)
-
-val create :
-  system ->
-  cls:string ->
-  key:Value.t ->
-  ?event:string ->
-  ?args:Value.t list ->
-  unit ->
-  Engine.step_result
-(** Fire the class's birth event ([event] defaults to the unique one).
-    Delegates to {!step} with a [Step.Create]. *)
-
-val create_exn :
-  system ->
-  cls:string ->
-  key:Value.t ->
-  ?event:string ->
-  ?args:Value.t list ->
-  unit ->
-  unit
-
-val fire : system -> Ident.t -> string -> Value.t list -> Engine.step_result
-(** Fire one event, with its synchronous calling closure; rejected steps
-    leave the community unchanged.  Delegates to {!step}. *)
-
-val fire_seq : system -> Event.t list -> Engine.step_result
-(** An atomic transaction of events.  Delegates to {!step}. *)
-
-val fire_sync : system -> Event.t list -> Engine.step_result
-(** Several events in one synchronous step (event sharing).  Delegates
-    to {!step}. *)
-
-val attr : system -> Ident.t -> string -> (Value.t, string) result
-(** @deprecated Use {!Session.attr}. *)
-
-val attr_exn : system -> Ident.t -> string -> Value.t
-
-val eval : system -> string -> (Value.t, string) result
-(** @deprecated Use {!Session.eval}. *)
-
-val extension : system -> string -> Ident.t list
-(** Living members of a class. *)
-
-val run_active : ?fuel:int -> system -> Event.t list
-(** Fire enabled active events to quiescence; returns them in order. *)
-
-val view : system -> string -> Interface.t option
-val view_exn : system -> string -> Interface.t

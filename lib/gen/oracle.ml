@@ -1,4 +1,4 @@
-(* The five differential oracles.  Each one loads fresh communities
+(* The seven differential oracles.  Each one loads fresh communities
    from the rendered source, runs the trace and compares independent
    execution paths; [Persist.save] images are the state-equality
    witness throughout (canonical, total, bit-comparable). *)
@@ -495,11 +495,84 @@ let recovery src trace =
   | Unix.WSTOPPED s -> failf "recovery" "child stopped on signal %d" s
 
 (* ---------------------------------------------------------------- *)
+(* Oracle 7: sharded session vs the single engine                    *)
+(* ---------------------------------------------------------------- *)
+
+(* A pseudo-random 2-shard partition — each class-interaction group
+   assigned by a hash of (src, group index), so the split is a pure
+   function of the spec and failures replay exactly — routes the trace
+   through {!Shard.coordinate}: single-owner steps take the fast path,
+   cross-shard steps commit by two-phase protocol on Txn savepoints.
+   A plain session animates the same trace.  Error codes must agree
+   step by step, and the merged sharded dump must be bit-identical to
+   the single-engine dump.  Outcome shapes are NOT compared: a
+   cross-shard sync step decomposes into per-shard micro-steps, so the
+   state images are the equality witness. *)
+
+let sharded src trace =
+  with_session "sharded" src @@ fun probe ->
+  let facade = Troll.Session.community probe in
+  let assignment =
+    List.concat
+      (List.mapi
+         (fun i group ->
+           let k = (Hashtbl.hash src + (17 * i)) land 1 in
+           List.map (fun cls -> (cls, k)) group)
+         (Shard.groups facade))
+  in
+  let m =
+    match Shard.of_classes facade ~shards:2 assignment with
+    | Ok m -> m
+    | Error e ->
+        (* cannot happen: whole groups are co-located by construction *)
+        invalid_arg ("sharded oracle map: " ^ e)
+  in
+  let map = Shard.to_string m in
+  (* When a genuinely cross-shard step is rejected for several
+     independent reasons of the SAME engine phase, which one surfaces
+     depends on the decomposition (each shard sees only its own
+     events) — only the phase class is guaranteed, so only it is
+     compared there.  Everything else must match code-for-code. *)
+  let same_phase_cross_shard st rs r1 =
+    match (rs, r1) with
+    | Error a, Error b
+      when Runtime_error.phase_rank a = Runtime_error.phase_rank b -> (
+        match Shard.split m st with Ok (_ :: _ :: _) -> true | _ -> false)
+    | _ -> false
+  in
+  match Troll.Session.load_sharded ~shards:2 ~map src with
+  | Error e -> failf "sharded" "sharded load (map %s): %s" map (Troll.Error.to_string e)
+  | Ok sh ->
+      with_session "sharded" src @@ fun sg ->
+      let rec loop i = function
+        | [] -> Ok ()
+        | st :: rest ->
+            let rs = Troll.Session.step sh st in
+            let r1 = Troll.Session.step sg st in
+            if code_of rs <> code_of r1 && not (same_phase_cross_shard st rs r1)
+            then
+              failf "sharded" "%s (map %s): sharded=%s single=%s"
+                (step_label i st) map (code_of rs) (code_of r1)
+            else loop (i + 1) rest
+      in
+      (match loop 0 trace with
+      | Error _ as e -> e
+      | Ok () ->
+          let img_s = Troll.Session.save sh in
+          let img_1 = Troll.Session.save sg in
+          if img_s <> img_1 then
+            failf "sharded"
+              "final save images differ under map %s (merged %d bytes, \
+               single %d bytes)"
+              map (String.length img_s) (String.length img_1)
+          else Ok ())
+
+(* ---------------------------------------------------------------- *)
 (* Driver                                                            *)
 (* ---------------------------------------------------------------- *)
 
 let oracle_names =
-  [ "dispatch"; "server"; "replay"; "journal"; "parallel"; "recovery" ]
+  [ "dispatch"; "server"; "replay"; "journal"; "parallel"; "recovery"; "sharded" ]
 
 let run_oracle name src trace =
   let f =
@@ -510,6 +583,7 @@ let run_oracle name src trace =
     | "journal" -> journal
     | "parallel" -> parallel
     | "recovery" -> recovery
+    | "sharded" -> sharded
     | other -> invalid_arg ("Oracle.run_oracle: " ^ other)
   in
   try f src trace

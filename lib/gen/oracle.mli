@@ -1,5 +1,5 @@
-(** The six differential oracles every generated (spec, trace) pair is
-    checked against.
+(** The seven differential oracles every generated (spec, trace) pair
+    is checked against.
 
     - ["dispatch"]: compiled vs interpreted rule dispatch — identical
       {!Runtime_error.code}s step by step and bit-identical
@@ -28,6 +28,14 @@
       bit-identical to a clean run stopped at the same commit
       boundary.  k is a pure function of (src, trace), so failures
       replay exactly.
+    - ["sharded"]: a pseudo-random 2-shard partition (class groups
+      assigned by a hash of the source, so failures replay exactly)
+      routes the trace through {!Shard.coordinate} — cross-shard steps
+      commit by two-phase protocol — against a plain single-engine
+      session: identical error codes step by step, and the merged
+      {!Troll.Session.save} dump bit-identical to the single-engine
+      dump.  Outcome shapes are not compared (a cross-shard sync step
+      decomposes into per-shard micro-steps).
 
     Oracles take the rendered source so the shrinker can re-render
     candidate models and re-run just the failing oracle. *)
@@ -44,7 +52,7 @@ val run_oracle : string -> string -> Step.t list -> (unit, failure) result
     names raise [Invalid_argument]. *)
 
 val check_all : string -> Step.t list -> (unit, failure) result
-(** Run all six oracles in order, returning the first failure. *)
+(** Run all seven oracles in order, returning the first failure. *)
 
 val request_of_step : id:int -> Step.t -> Json.t
 (** The wire request frame executing the step, as the society server

@@ -350,12 +350,14 @@ let spec ?(config = Community.default_config) (decls : Ast.spec) :
 (** Create every single object of the community by firing its birth
     event (single objects with parameterless birth events only; others
     must be created explicitly). *)
-let instantiate_singles (c : Community.t) :
+let instantiate_singles ?(only = fun _ -> true) (c : Community.t) :
     (unit, Runtime_error.reason) result =
   let singles =
     Hashtbl.fold
       (fun _ (tpl : Template.t) acc ->
-        if tpl.Template.t_kind = `Single then tpl :: acc else acc)
+        if tpl.Template.t_kind = `Single && only tpl.Template.t_name then
+          tpl :: acc
+        else acc)
       c.Community.templates []
   in
   let rec go = function

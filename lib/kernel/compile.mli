@@ -23,8 +23,11 @@ val spec :
     flattened (link through {!Society} for visibility checking). *)
 
 val instantiate_singles :
-  Community.t -> (unit, Runtime_error.reason) result
-(** Create every single object that has a parameterless birth event. *)
+  ?only:(string -> bool) -> Community.t -> (unit, Runtime_error.reason) result
+(** Create every single object that has a parameterless birth event.
+    [only] restricts instantiation to matching class names — the shard
+    layer uses it so each shard cell holds exactly the single objects it
+    owns. *)
 
 val load :
   ?config:Community.config ->

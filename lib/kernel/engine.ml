@@ -1225,16 +1225,18 @@ and exec_txn_queued (c : Community.t) (txn : Txn.t)
     destroyed = Txn.destroyed txn;
   }
 
-(** The single entry point: every way of changing the community is a
-    {!Step.t} executed here.  The firing shapes normalise to a
-    micro-step queue for {!exec_txn}; [Create]/[Destroy] resolve their
-    default birth/death event against the schema first. *)
-let rec step (c : Community.t) (s : Step.t) : step_result =
+(** Resolve a step request to the micro-step queue it animates:
+    [Create]/[Destroy] pick their default birth/death event against the
+    schema, the firing shapes pass through.  Shared by {!step} and the
+    two-phase {!prepare} so both commit paths execute the very same
+    queue. *)
+let normalise (c : Community.t) (s : Step.t) :
+    (Event.t list list, Runtime_error.reason) result =
   match s with
-  | Step.Fire ev -> exec_txn c [ [ ev ] ]
-  | Step.Sync evs -> exec_txn c [ evs ]
-  | Step.Seq evs -> exec_txn c (List.map (fun e -> [ e ]) evs)
-  | Step.Txn micro_steps -> exec_txn c micro_steps
+  | Step.Fire ev -> Ok [ [ ev ] ]
+  | Step.Sync evs -> Ok [ evs ]
+  | Step.Seq evs -> Ok (List.map (fun e -> [ e ]) evs)
+  | Step.Txn micro_steps -> Ok micro_steps
   | Step.Create { cls; key; event; args } -> (
       match Community.find_template c cls with
       | None -> Error (Unknown_class cls)
@@ -1257,8 +1259,7 @@ let rec step (c : Community.t) (s : Step.t) : step_result =
                    (Event.make (Ident.make cls key)
                       (Option.value ~default:"<birth>" event)
                       args))
-          | Some name ->
-              step c (Step.Fire (Event.make (Ident.make cls key) name args))))
+          | Some name -> Ok [ [ Event.make (Ident.make cls key) name args ] ]))
   | Step.Destroy { id; event; args } -> (
       match Community.find_template c id.Ident.cls with
       | None -> Error (Unknown_class id.Ident.cls)
@@ -1273,7 +1274,41 @@ let rec step (c : Community.t) (s : Step.t) : step_result =
           in
           match death with
           | None -> Error (Unsupported "object has no unique death event")
-          | Some name -> step c (Step.Fire (Event.make id name args))))
+          | Some name -> Ok [ [ Event.make id name args ] ]))
+
+(** The single entry point: every way of changing the community is a
+    {!Step.t} executed here. *)
+let step (c : Community.t) (s : Step.t) : step_result =
+  match normalise c s with
+  | Error _ as e -> e
+  | Ok micro_steps -> exec_txn c micro_steps
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase execution (shard participants)                            *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = { p_txn : Txn.t; p_outcome : outcome }
+
+(** Execute the step but leave its transaction open: the effects are
+    applied and the outcome known, yet nothing is owned-committed (no
+    version bump, no commit hook, no WAL record).  The caller must
+    resolve the scope with {!commit_prepared} or {!rollback_prepared}
+    before anything else animates this community. *)
+let prepare (c : Community.t) (s : Step.t) :
+    (prepared, Runtime_error.reason) result =
+  match normalise c s with
+  | Error _ as e -> e
+  | Ok micro_steps -> (
+      let txn = Txn.begin_ c in
+      match exec_txn_queued c txn micro_steps with
+      | outcome -> Ok { p_txn = txn; p_outcome = outcome }
+      | exception Error reason ->
+          Txn.rollback txn;
+          Error reason)
+
+let outcome_of_prepared p = p.p_outcome
+let commit_prepared p = Txn.commit p.p_txn
+let rollback_prepared p = Txn.rollback p.p_txn
 
 (** Fire a single event (with its synchronous closure). *)
 let fire c ev = step c (Step.Fire ev)

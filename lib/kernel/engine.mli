@@ -27,6 +27,38 @@ type step_result = (outcome, Runtime_error.reason) result
 val step : Community.t -> Step.t -> step_result
 (** Execute one step request as one atomic transaction. *)
 
+val normalise :
+  Community.t -> Step.t -> (Event.t list list, Runtime_error.reason) result
+(** The micro-step queue a request animates; [Create]/[Destroy] resolve
+    their default birth/death event against the schema. *)
+
+(** {1 Two-phase execution}
+
+    The shard commit protocol ({!Shard}): a coordinator prepares the
+    sub-step on every participating community, and only when all of
+    them accept does it commit each open transaction.  A prepared
+    transaction holds the community in the tentative post-state; the
+    caller must resolve it before anything else animates the
+    community. *)
+
+type prepared
+(** An executed but not yet committed step: the open transaction plus
+    its outcome. *)
+
+val prepare : Community.t -> Step.t -> (prepared, Runtime_error.reason) result
+(** Run the step, keep the transaction open.  On [Error] the community
+    is already rolled back, exactly as after a rejected {!step}. *)
+
+val outcome_of_prepared : prepared -> outcome
+
+val commit_prepared : prepared -> unit
+(** Commit the open transaction: version bump, commit hook (hence WAL
+    record) — the effects become permanent. *)
+
+val rollback_prepared : prepared -> unit
+(** Undo the prepared step completely; the community is restored
+    bit-identically to its pre-transaction state. *)
+
 val fire : Community.t -> Event.t -> step_result
 (** [step c (Step.Fire ev)]: a single event, with its synchronous
     closure. *)

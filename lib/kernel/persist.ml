@@ -133,8 +133,11 @@ let monitor_state_for compiled bits =
   | None -> fail "monitor state does not match the specification's formula"
 
 (** Restore a state dump into a community compiled from the same
-    specification.  Existing objects are discarded. *)
-let load (c : Community.t) (dump : string) : (unit, string) result =
+    specification.  Existing objects are discarded unless [reset] is
+    [false], which merges the dump's objects into the current state —
+    the shard layer unions disjoint per-shard dumps this way. *)
+let load ?(reset = true) (c : Community.t) (dump : string) :
+    (unit, string) result =
   let lines =
     List.filter (fun l -> l <> "") (String.split_on_char '\n' dump)
   in
@@ -142,7 +145,7 @@ let load (c : Community.t) (dump : string) : (unit, string) result =
   | [] -> Error "empty dump"
   | h :: rest when String.equal h header -> (
       try
-        Community.reset_instance_state c;
+        if reset then Community.reset_instance_state c;
         let current : Obj_state.t option ref = ref None in
         let pending_indexed :
             (int * int * (Value.t list * Monitor.state) list) option ref =

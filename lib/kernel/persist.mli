@@ -21,9 +21,12 @@ val write_file_atomic : string -> string -> unit
     directory — a crash leaves either the old file or the new one,
     never a truncated mix.  Also used by {!Wal} for snapshots. *)
 
-val load : Community.t -> string -> (unit, string) result
+val load : ?reset:bool -> Community.t -> string -> (unit, string) result
 (** Restore a dump; existing objects are discarded.  Fails (with the
     community in an unspecified but safe-to-discard state) on malformed
-    input or a dump from a different specification. *)
+    input or a dump from a different specification.  [~reset:false]
+    keeps the current objects and merges the dump in — the shard layer
+    unions *disjoint* per-shard dumps this way (loading an object that
+    already exists is unspecified). *)
 
 val load_file : Community.t -> string -> (unit, string) result

@@ -20,6 +20,10 @@ type reason =
       (** two events of one synchronous step write different values *)
   | Eval_error of string
   | Unsupported of string
+  | Unknown_shard of int
+      (** a routed step named a shard outside the partition map *)
+  | Shard_unavailable of int
+      (** the owning shard process is down (mid-protocol death) *)
 
 exception Error of reason
 
@@ -47,6 +51,8 @@ let pp_reason ppf = function
         Value.pp v1 Value.pp v2
   | Eval_error m -> Format.fprintf ppf "evaluation error: %s" m
   | Unsupported m -> Format.fprintf ppf "unsupported construct: %s" m
+  | Unknown_shard k -> Format.fprintf ppf "no shard %d in the partition map" k
+  | Shard_unavailable k -> Format.fprintf ppf "shard %d is unavailable" k
 
 let reason_to_string r = Format.asprintf "%a" pp_reason r
 
@@ -65,3 +71,21 @@ let code = function
   | Valuation_conflict _ -> "valuation_conflict"
   | Eval_error _ -> "eval_error"
   | Unsupported _ -> "unsupported"
+  | Unknown_shard _ -> "unknown_shard"
+  | Shard_unavailable _ -> "shard_unavailable"
+
+(* The engine runs its phases over the WHOLE synchronous set: life
+   cycles and name resolution for every event first, only then
+   permissions, valuations and constraints.  When a step is decomposed
+   across shards, each shard reports its own first failure; ranking
+   them by phase lets a coordinator surface the same CLASS of error a
+   single engine would.  Attribution within one phase class stays
+   decomposition-dependent (each shard sees only its own events). *)
+let phase_rank = function
+  | Unknown_shard _ | Shard_unavailable _ -> 0
+  | Unknown_class _ | Unknown_object _ | Unknown_event _
+  | Unknown_attribute _ | Already_alive _ | Not_alive _ | Not_birth _ ->
+      1
+  | Permission_denied _ | Constraint_violated _ | Valuation_conflict _
+  | Eval_error _ | Unsupported _ ->
+      2

@@ -19,6 +19,10 @@ type reason =
       (** two events of one synchronous step write different values *)
   | Eval_error of string
   | Unsupported of string
+  | Unknown_shard of int
+      (** a routed step named a shard outside the partition map *)
+  | Shard_unavailable of int
+      (** the owning shard process is down (mid-protocol death) *)
 
 exception Error of reason
 
@@ -33,3 +37,12 @@ val code : reason -> string
     (["permission_denied"], ["unknown_class"], …) — the machine-facing
     half of a rejection, used by structured error frames on the wire;
     {!reason_to_string} is the human-facing half. *)
+
+val phase_rank : reason -> int
+(** Which engine phase (run over the whole synchronous set) a reason
+    belongs to: 0 routing/availability, 1 life cycles and name
+    resolution, 2 execution rejections (permissions, valuations,
+    constraints, evaluation).  A coordinator merging sub-step failures
+    from several shards reports the minimum-rank error so the same
+    class of error surfaces as in a single engine; attribution within
+    one rank stays decomposition-dependent. *)

@@ -161,6 +161,9 @@ type t = {
   snapshot_every : int;  (** auto-compact after this many records; 0 = off *)
   truncate_history : bool;
   mutable on_batch : (int -> unit) option;
+  mutable shipper : (int -> string -> unit) option;
+      (** record shipping: called with (seq, payload) for every appended
+          record — the replication / shard-catchup feed *)
   mutable oc : out_channel;  (** append handle on [wal.log] *)
   mutable seq : int;  (** sequence number of the last record written *)
   mutable depth : int;  (** records in [wal.log] past the snapshot *)
@@ -270,6 +273,7 @@ let append_payload t ~effects (payload : string) =
      exactly the durability [`Never] doesn't promise; a flush cut
      mid-record is dropped at recovery as a torn record. *)
   (match t.fsync with `Batch -> sync t | `Never -> ());
+  (match t.shipper with Some f -> f t.seq payload | None -> ());
   (match t.on_batch with Some f -> f t.seq | None -> ());
   if t.snapshot_every > 0 && t.depth >= t.snapshot_every then snapshot t
 
@@ -503,6 +507,7 @@ let attach ~dir ~spec_digest ?(fsync = `Never) ?(snapshot_every = 0)
             snapshot_every;
             truncate_history;
             on_batch;
+            shipper = None;
             (* opened on the existing log only so [snapshot] below has a
                handle to rotate; nothing is appended before the rotation,
                and the snapshot lands (atomically) before the old tail is
@@ -523,3 +528,4 @@ let attach ~dir ~spec_digest ?(fsync = `Never) ?(snapshot_every = 0)
   end
 
 let set_on_batch t f = t.on_batch <- f
+let set_shipper t f = t.shipper <- f

@@ -80,6 +80,14 @@ val depth : t -> int
 
 val set_on_batch : t -> (int -> unit) option -> unit
 
+val set_shipper : t -> (int -> string -> unit) option -> unit
+(** Install (or clear) the record-shipping hook: called with
+    [(seq, payload)] for every record as it is appended — before the
+    batch fsync callback.  The society server streams these to the
+    shard router, which mirrors them for WAL catch-up of a restarted
+    shard; {!Effect_log.decode}/{!Effect_log.apply} replay a shipped
+    payload on the receiving side. *)
+
 val crc32 : string -> int
 (** CRC-32 (IEEE 802.3) of a string; exposed for tests. *)
 

@@ -227,9 +227,18 @@ end
 
 type view_query = Rows | Members
 
+(* Protocol version spoken by this build.  Bumped on incompatible wire
+   changes; [hello] lets a peer fail fast on a mismatch. *)
+let version = 1
+
 type request =
   | Ping
+  | Hello of { version : int; caps : string list }
   | Step of Step.t
+  | Prepare of Step.t
+  | Commit
+  | Abort
+  | Catchup of { base : string option; records : string list }
   | Attr of { target : Ident.t; attr : string }
   | Eval of string
   | Extension of string
@@ -256,10 +265,46 @@ let string_field j name : (string, string) result =
 let opt_string_field j name : string option =
   Json.to_string_opt (Json.member name j)
 
-let decode_request (j : Json.t) : (request, string) result =
+let rec decode_request (j : Json.t) : (request, string) result =
   let ( let* ) = Result.bind in
   match Json.member "op" j with
   | Json.String "ping" -> Ok Ping
+  | Json.String "hello" -> (
+      match Json.to_int_opt (Json.member "version" j) with
+      | None -> Error "hello needs an integer \"version\""
+      | Some version -> (
+          match Json.member "caps" j with
+          | Json.Null -> Ok (Hello { version; caps = [] })
+          | Json.List items ->
+              let rec caps acc = function
+                | [] -> Ok (Hello { version; caps = List.rev acc })
+                | Json.String c :: rest -> caps (c :: acc) rest
+                | _ -> Error "\"caps\" must be a list of strings"
+              in
+              caps [] items
+          | _ -> Error "\"caps\" must be a list of strings"))
+  | Json.String "prepare" -> (
+      match Json.member "step" j with
+      | Json.Obj _ as step_j -> (
+          let* sub = decode_request step_j in
+          match sub with
+          | Step s -> Ok (Prepare s)
+          | _ -> Error "\"step\" must be a step-shaped request")
+      | _ -> Error "prepare needs a \"step\" object")
+  | Json.String "commit" -> Ok Commit
+  | Json.String "abort" -> Ok Abort
+  | Json.String "catchup" -> (
+      let base = opt_string_field j "base" in
+      match Json.member "records" j with
+      | Json.Null -> Ok (Catchup { base; records = [] })
+      | Json.List items ->
+          let rec records acc = function
+            | [] -> Ok (Catchup { base; records = List.rev acc })
+            | Json.String r :: rest -> records (r :: acc) rest
+            | _ -> Error "\"records\" must be a list of strings"
+          in
+          records [] items
+      | _ -> Error "\"records\" must be a list of strings")
   | Json.String "create" ->
       let* cls = string_field j "cls" in
       let* key =
@@ -348,6 +393,11 @@ let decode (j : Json.t) : envelope =
 
 let op_name = function
   | Ping -> "ping"
+  | Hello _ -> "hello"
+  | Prepare _ -> "prepare"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Catchup _ -> "catchup"
   | Step (Step.Create _) -> "create"
   | Step (Step.Destroy _) -> "destroy"
   | Step (Step.Fire _) -> "fire"
@@ -369,6 +419,52 @@ let op_name = function
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
+
+let request_of_step ~id (s : Step.t) : Json.t =
+  let sync_to_json evs = Json.List (List.map event_to_json evs) in
+  let fields =
+    match s with
+    | Step.Fire ev -> (
+        match event_to_json ev with
+        | Json.Obj fs -> ("op", Json.String "fire") :: fs
+        | _ -> assert false)
+    | Step.Sync evs -> [ ("op", Json.String "sync"); ("events", sync_to_json evs) ]
+    | Step.Seq evs -> [ ("op", Json.String "batch"); ("events", sync_to_json evs) ]
+    | Step.Txn micro ->
+        [
+          ("op", Json.String "txn");
+          ("steps", Json.List (List.map sync_to_json micro));
+        ]
+    | Step.Create { cls; key; event; args } ->
+        ("op", Json.String "create")
+        :: ("cls", Json.String cls)
+        :: ("key", value_to_json key)
+        :: ("args", Json.List (List.map value_to_json args))
+        :: (match event with
+           | None -> []
+           | Some e -> [ ("event", Json.String e) ])
+    | Step.Destroy { id; event; args } ->
+        ("op", Json.String "destroy")
+        :: ("cls", Json.String id.Ident.cls)
+        :: ("key", value_to_json id.Ident.key)
+        :: ("args", Json.List (List.map value_to_json args))
+        :: (match event with
+           | None -> []
+           | Some e -> [ ("event", Json.String e) ])
+  in
+  Json.Obj (("id", id) :: fields)
+
+let wal_frame records : Json.t =
+  Json.Obj
+    [
+      ( "wal",
+        Json.List
+          (List.map
+             (fun (seq, payload) ->
+               Json.Obj
+                 [ ("seq", Json.Int seq); ("payload", Json.String payload) ])
+             records) );
+    ]
 
 let ok_frame ~id result : Json.t =
   Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]

@@ -58,9 +58,29 @@ end
 
 type view_query = Rows | Members
 
+val version : int
+(** Protocol version spoken by this build.  A [hello] request carrying
+    a different version is answered with a [version_mismatch] error. *)
+
 type request =
   | Ping
+  | Hello of { version : int; caps : string list }
+      (** handshake: the client announces its protocol version and the
+          capabilities it wants ([wal] subscribes the connection to
+          shipped WAL records); answered with the server's version and
+          capability flags *)
   | Step of Step.t  (** create / destroy / fire / batch / sync / txn *)
+  | Prepare of Step.t
+      (** first phase of a distributed commit: run the step inside a
+          transaction but leave it open; the tentative outcome is
+          returned and the server blocks other work until [commit] or
+          [abort] *)
+  | Commit  (** second phase: commit the prepared transaction *)
+  | Abort  (** roll the prepared transaction back (idempotent) *)
+  | Catchup of { base : string option; records : string list }
+      (** replace the community state with the [base] dump (when given)
+          and replay shipped WAL record payloads on top; used to bring a
+          restarted shard back in sync *)
   | Attr of { target : Ident.t; attr : string }
   | Eval of string
   | Extension of string
@@ -92,7 +112,16 @@ val decode : Json.t -> envelope
 val op_name : request -> string
 (** The operation label, for per-op statistics. *)
 
+val request_of_step : id:Json.t -> Step.t -> Json.t
+(** Encode a step as a request document ([decode] inverts it).  Used by
+    the shard router to ship decomposed sub-steps to their owners. *)
+
 (** {1 Responses} *)
+
+val wal_frame : (int * string) list -> Json.t
+(** [{"wal": [{"seq": n, "payload": s}, …]}] — an unsolicited shipment
+    of WAL records, pushed to connections that negotiated the [wal]
+    capability in [hello].  The frame has no ["id"]. *)
 
 val ok_frame : id:Json.t -> Json.t -> Json.t
 (** [{"id": …, "ok": true, "result": …}]. *)

@@ -23,6 +23,9 @@ type conn = {
   out_fd : Unix.file_descr;  (** = [fd] except in stdio mode *)
   mutable pending : Buffer.t;
   mutable alive : bool;
+  mutable ship : bool;
+      (** negotiated the [wal] capability in [hello]: shipped WAL
+          records are pushed to this connection at turn boundaries *)
 }
 
 type job = {
@@ -66,13 +69,23 @@ type t = {
       (** durability log; appends happen inside commits via the
           community's hook, the serve loop group-fsyncs at turn
           boundaries *)
+  mutable prepared : Engine.prepared option;
+      (** the open transaction of a two-phase commit; while [Some],
+          everything except ping/hello/commit/abort/stats/shutdown is
+          answered with [txn_pending] *)
+  ship_queue : (int * string) Queue.t;
+      (** WAL records appended since the last turn boundary, waiting to
+          be pushed to [ship] connections *)
 }
 
 let create ?(config = default_config) ?wal session =
+  let t =
   {
     session;
     config;
     wal;
+    prepared = None;
+    ship_queue = Queue.create ();
     queue = Queue.create ();
     draining = false;
     conns = [];
@@ -93,6 +106,18 @@ let create ?(config = default_config) ?wal session =
     view = None;
     pool = None;
   }
+  in
+  (* mirror every appended WAL record to subscribed connections; the
+     queue only fills while someone is actually listening *)
+  Option.iter
+    (fun w ->
+      Wal.set_shipper w
+        (Some
+           (fun seq payload ->
+             if List.exists (fun c -> c.ship && c.alive) t.conns then
+               Queue.add (seq, payload) t.ship_queue)))
+    wal;
+  t
 
 let stop t = t.draining <- true
 
@@ -285,12 +310,101 @@ let candidates_result cands : Json.t =
 let unknown_class_error cls =
   Protocol.Wire_error.of_reason (Runtime_error.Unknown_class cls)
 
+(** Operations that stay answerable while a prepared transaction is
+    open.  Everything else would observe (or destroy) tentative state. *)
+let allowed_while_prepared = function
+  | Protocol.Ping | Protocol.Hello _ | Protocol.Commit | Protocol.Abort
+  | Protocol.Stats | Protocol.Shutdown ->
+      true
+  | _ -> false
+
+let server_caps t =
+  (if Option.is_some t.wal then [ "wal" ] else [])
+  @ (if t.config.jobs > 1 then [ "jobs" ] else [])
+
 let execute t (req : Protocol.request) :
     (Json.t, Protocol.Wire_error.t) result =
   let s = t.session in
   let community = Troll.Session.community s in
+  if Option.is_some t.prepared && not (allowed_while_prepared req) then
+    Error
+      (Protocol.Wire_error.make ~code:"txn_pending"
+         "a prepared transaction is open; commit or abort it first")
+  else
   match req with
   | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Hello { version; caps } ->
+      if version <> Protocol.version then
+        Error
+          (Protocol.Wire_error.make ~code:"version_mismatch"
+             (Printf.sprintf
+                "server speaks protocol version %d, client offered %d"
+                Protocol.version version))
+      else begin
+        ignore caps;
+        let mine = server_caps t in
+        Ok
+          (Json.Obj
+             [
+               ("version", Json.Int Protocol.version);
+               ("caps", Json.List (List.map (fun c -> Json.String c) mine));
+             ])
+      end
+  | Protocol.Prepare step -> (
+      match Engine.prepare community step with
+      | Ok p ->
+          t.prepared <- Some p;
+          Ok (Protocol.outcome_to_json (Engine.outcome_of_prepared p))
+      | Error reason -> Error (Protocol.Wire_error.of_reason reason))
+  | Protocol.Commit -> (
+      match t.prepared with
+      | None ->
+          Error
+            (Protocol.Wire_error.make ~code:"no_txn"
+               "no prepared transaction to commit")
+      | Some p ->
+          t.prepared <- None;
+          Engine.commit_prepared p;
+          Ok (Json.Obj [ ("committed", Json.Bool true) ]))
+  | Protocol.Abort -> (
+      match t.prepared with
+      | None -> Ok (Json.Obj [ ("aborted", Json.Bool false) ])
+      | Some p ->
+          t.prepared <- None;
+          Engine.rollback_prepared p;
+          Ok (Json.Obj [ ("aborted", Json.Bool true) ]))
+  | Protocol.Catchup { base; records } -> (
+      let restored =
+        match base with
+        | None -> Ok ()
+        | Some dump -> (
+            match Persist.load community dump with
+            | Ok () -> Ok ()
+            | Error m ->
+                Error (Protocol.Wire_error.make ~code:"restore_error" m))
+      in
+      match restored with
+      | Error e -> Error e
+      | Ok () -> (
+          let rec replay n = function
+            | [] -> Ok n
+            | payload :: rest -> (
+                match Effect_log.decode payload with
+                | Error m -> Error m
+                | Ok effs -> (
+                    match Effect_log.apply community effs with
+                    | Ok () -> replay (n + 1) rest
+                    | Error m -> Error m))
+          in
+          match replay 0 records with
+          | Error m ->
+              Error (Protocol.Wire_error.make ~code:"catchup_error" m)
+          | Ok n ->
+              (* the replay bypassed the journal; re-anchor the WAL on
+                 the caught-up state *)
+              t.view <- None;
+              Option.iter Wal.snapshot t.wal;
+              Ok (Json.Obj [ ("applied", Json.Int n) ])))
   | Protocol.Step step -> (
       match Troll.step s step with
       | Ok outcome -> Ok (Protocol.outcome_to_json outcome)
@@ -369,7 +483,16 @@ let execute t (req : Protocol.request) :
                      );
                    ])))
   | Protocol.Save None ->
-      Ok (Json.Obj [ ("state", Json.String (Persist.save community)) ])
+      (* [wal_seq] anchors the dump in the WAL: records with seq <= it
+         are already part of the state (a mirroring router uses this to
+         discard stale shipments) *)
+      Ok
+        (Json.Obj
+           (("state", Json.String (Persist.save community))
+           ::
+           (match t.wal with
+           | None -> []
+           | Some w -> [ ("wal_seq", Json.Int (Wal.last_seq w)) ])))
   | Protocol.Save (Some path) -> (
       match Persist.save_file community path with
       | () -> Ok (Json.Obj [ ("path", Json.String path) ])
@@ -438,6 +561,13 @@ let process t (job : job) =
   | _ -> (
       let result = execute t job.request in
       t.stats.executed <- t.stats.executed + 1;
+      (* [hello] negotiates per-connection capabilities: subscribing to
+         WAL shipments needs the connection, which [execute] (exposed
+         connection-free) never sees *)
+      (match (job.request, result) with
+      | Protocol.Hello { caps; _ }, Ok _ ->
+          job.conn.ship <- List.mem "wal" caps && Option.is_some t.wal
+      | _ -> ());
       (match result with
       | Ok body ->
           t.stats.ok <- t.stats.ok + 1;
@@ -678,7 +808,17 @@ let service_input t conn =
 (* The serve loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(** Roll back a prepared transaction abandoned by its coordinator, so
+    shutdown never persists tentative state. *)
+let abort_abandoned t =
+  match t.prepared with
+  | None -> ()
+  | Some p ->
+      t.prepared <- None;
+      Engine.rollback_prepared p
+
 let flush_snapshot t =
+  abort_abandoned t;
   match t.config.save_on_shutdown with
   | None -> ()
   | Some path -> Persist.save_file (Troll.Session.community t.session) path
@@ -716,6 +856,7 @@ let serve_loop t ~listener =
                         out_fd = cfd;
                         pending = Buffer.create 256;
                         alive = true;
+                        ship = false;
                       }
                       :: t.conns
               end
@@ -752,6 +893,14 @@ let serve_loop t ~listener =
          jobs of this turn becomes durable in one fsync (a no-op when
          nothing was appended, or under the per-batch fsync policy) *)
       Option.iter Wal.sync t.wal;
+      (* push the records made durable by that fsync to subscribed
+         connections, as one unsolicited frame per turn *)
+      if not (Queue.is_empty t.ship_queue) then begin
+        let records = List.of_seq (Queue.to_seq t.ship_queue) in
+        Queue.clear t.ship_queue;
+        let frame = Protocol.wal_frame records in
+        List.iter (fun c -> if c.ship && c.alive then send c frame) t.conns
+      end;
       loop ()
     end
   in
@@ -759,7 +908,13 @@ let serve_loop t ~listener =
 
 let serve_fds t in_fd out_fd =
   let conn =
-    { fd = in_fd; out_fd; pending = Buffer.create 256; alive = true }
+    {
+      fd = in_fd;
+      out_fd;
+      pending = Buffer.create 256;
+      alive = true;
+      ship = false;
+    }
   in
   t.conns <- conn :: t.conns;
   serve_loop t ~listener:None;

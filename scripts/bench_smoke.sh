@@ -5,7 +5,9 @@
 # E16 numbers emitted as BENCH_E10.json / BENCH_E12.json /
 # BENCH_E15.json / BENCH_E16.json at the repo root so the perf
 # trajectory is tracked in-tree, plus the E11 socket round-trip
-# benchmark (bench/serve_bench.ml) emitting BENCH_E11.json.
+# benchmark (bench/serve_bench.ml) emitting BENCH_E11.json and the
+# E17 sharded-throughput benchmark (bench/shard_bench.ml) emitting
+# BENCH_E17.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -13,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-dune build bench/main.exe bench/serve_bench.exe
+dune build bench/main.exe bench/serve_bench.exe bench/shard_bench.exe
 
 git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_utc=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -180,3 +182,7 @@ cat BENCH_E16.json
 echo
 echo "== E11 (serve socket round-trips) =="
 dune exec bench/serve_bench.exe -- -n 1000 -o BENCH_E11.json
+
+echo
+echo "== E17 (sharded step throughput) =="
+dune exec bench/shard_bench.exe -- -n 1500 -o BENCH_E17.json

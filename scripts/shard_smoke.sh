@@ -1,0 +1,129 @@
+#!/bin/sh
+# Sharded-society smoke test: launch two shard servers plus the router
+# with `trollc shard`, drive a mixed workload (single-shard steps,
+# cross-shard two-phase syncs, guaranteed rejections), kill -9 one
+# shard halfway through, keep driving while the router respawns it and
+# catches it up from the mirrored WAL records, then require the merged
+# final state to be bit-identical to a single-engine `trollc serve`
+# run of the very same trace.
+#
+# Usage: scripts/shard_smoke.sh          (from the repo root)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bin/trollc.exe
+
+TROLLC=_build/default/bin/trollc.exe
+SPEC=examples/specs/cells.trl
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/troll-shard-smoke.XXXXXX")
+SHARD_PID=
+SERVE_PID=
+cleanup() {
+  [ -n "$SHARD_PID" ] && kill "$SHARD_PID" 2>/dev/null || true
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== launch: 2 shards + router, and a single-engine reference =="
+"$TROLLC" shard "$SPEC" --socket "$tmp/shard.sock" --shards 2 \
+  --wal-root "$tmp/wal" --wal-fsync 2> "$tmp/shard.log" &
+SHARD_PID=$!
+"$TROLLC" serve "$SPEC" --socket "$tmp/single.sock" 2> "$tmp/serve.log" &
+SERVE_PID=$!
+
+python3 - "$tmp/shard.sock" "$tmp/single.sock" <<'EOF'
+import json, os, signal, socket, sys, time
+
+shard_sock, single_sock = sys.argv[1], sys.argv[2]
+
+def connect(path, tries=100):
+    for _ in range(tries):
+        if os.path.exists(path):
+            s = socket.socket(socket.AF_UNIX)
+            try:
+                s.connect(path)
+                return s.makefile("rw")
+            except OSError:
+                s.close()
+        time.sleep(0.05)
+    sys.exit(f"FAIL: cannot connect to {path}")
+
+def rpc(f, obj, retries=30):
+    """One request; retries while the router is respawning a shard."""
+    for _ in range(retries):
+        f.write(json.dumps(obj) + "\n"); f.flush()
+        resp = json.loads(f.readline())
+        if resp.get("ok"):
+            return resp
+        code = resp.get("error", {}).get("code")
+        if code == "shard_unavailable":
+            time.sleep(0.2)
+            continue
+        return resp
+    return resp
+
+def trace(f, killer=None):
+    """The deterministic mixed workload; returns the final save dump."""
+    r = rpc(f, {"id": 0, "op": "hello", "version": 1})
+    assert r["ok"], r
+    for i in range(8):
+        r = rpc(f, {"id": 1, "op": "create",
+                    "cls": f"CELL{i}", "key": "x"})
+        assert r["ok"], r
+    for i in range(200):
+        if i == 100 and killer:
+            killer()
+        if i % 25 == 24:
+            # a guaranteed rejection: the permission guard Total+n >= 0
+            r = rpc(f, {"id": 2, "op": "fire", "cls": f"CELL{i % 8}",
+                        "key": "x", "event": "add", "args": [-1000000]})
+            code = r.get("error", {}).get("code")
+            assert not r.get("ok") and code == "permission_denied", r
+        elif i % 10 == 9:
+            # cross-shard synchronous step (two-phase on the router)
+            r = rpc(f, {"id": 3, "op": "sync", "events": [
+                {"cls": "CELL0", "key": "x", "event": "add", "args": [2]},
+                {"cls": "CELL1", "key": "x", "event": "add", "args": [3]}]})
+            assert r["ok"], r
+        else:
+            r = rpc(f, {"id": 4, "op": "fire", "cls": f"CELL{i % 8}",
+                        "key": "x", "event": "add", "args": [1]})
+            assert r["ok"], r
+    r = rpc(f, {"id": 5, "op": "save"})
+    assert r["ok"], r
+    state = r["result"]["state"]
+    rpc(f, {"id": 6, "op": "shutdown"})
+    return state
+
+def kill_shard_0():
+    with open(shard_sock + ".0.pid") as fh:
+        pid = int(fh.read().strip())
+    os.kill(pid, signal.SIGKILL)
+    print(f"killed shard 0 (pid {pid}) mid-workload")
+
+sharded = trace(connect(shard_sock), killer=kill_shard_0)
+single = trace(connect(single_sock))
+
+if sharded != single:
+    print("FAIL: sharded final state differs from the single-engine run")
+    print("sharded:", sharded[:400])
+    print("single: ", single[:400])
+    sys.exit(1)
+print("final state is bit-identical to the single-engine run")
+EOF
+
+wait "$SHARD_PID"; SHARD_PID=
+wait "$SERVE_PID"; SERVE_PID=
+
+grep -q "respawning shard 0" "$tmp/shard.log" \
+  || { echo "FAIL: router never respawned shard 0" >&2; exit 1; }
+grep -q "wal: recovered" "$tmp/shard.log" \
+  || { echo "FAIL: respawned shard did not recover from its WAL" >&2; exit 1; }
+echo "router respawned shard 0 and caught it up from the WAL mirror"
+
+echo
+echo "shard smoke: OK"

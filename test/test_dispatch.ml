@@ -13,11 +13,22 @@ let interpreted_config =
 
 let load_pair src =
   let load config =
-    match Troll.load ~config src with
-    | Ok sys -> sys
-    | Error e -> Alcotest.failf "load failed: %s" e
+    match Troll.Session.load ~config src with
+    | Ok s -> Troll.Session.system s
+    | Error e -> Alcotest.failf "load failed: %s" (Troll.Error.to_string e)
   in
   (load Community.default_config, load interpreted_config)
+
+(* bridges from the removed string-error wrappers to the engine API:
+   every scenario below animates both systems of a [load_pair] *)
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let fire_seq sys events = Engine.fire_seq sys.Troll.community events
+let fire_sync sys events = Engine.fire_sync sys.Troll.community events
+
+let create sys ~cls ~key ?event ?(args = []) () =
+  Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
 
 (** Run a script under both modes; output, first failure and persisted
     image must agree. *)
@@ -75,32 +86,32 @@ let test_dept_story () =
   let sales = Troll.ident "DEPT" (Value.String "sales") in
   diff_steps "dept" Paper_specs.dept
     [
-      (fun s -> Troll.create s ~cls:"PERSON" ~key:(Value.String "alice") ());
-      (fun s -> Troll.create s ~cls:"PERSON" ~key:(Value.String "bob") ());
+      (fun s -> create s ~cls:"PERSON" ~key:(Value.String "alice") ());
+      (fun s -> create s ~cls:"PERSON" ~key:(Value.String "bob") ());
       (fun s ->
-        Troll.create s ~cls:"DEPT" ~key:(Value.String "sales")
+        create s ~cls:"DEPT" ~key:(Value.String "sales")
           ~args:[ Value.Date 7749 ] ());
       (* birth of an already-living object *)
       (fun s ->
-        Troll.create s ~cls:"DEPT" ~key:(Value.String "sales")
+        create s ~cls:"DEPT" ~key:(Value.String "sales")
           ~args:[ Value.Date 7750 ] ());
       (* indexed permission: fire before any hire *)
-      (fun s -> Troll.fire s sales "fire" [ Ident.to_value alice ]);
-      (fun s -> Troll.fire s sales "hire" [ Ident.to_value alice ]);
+      (fun s -> fire s sales "fire" [ Ident.to_value alice ]);
+      (fun s -> fire s sales "hire" [ Ident.to_value alice ]);
       (* state permission: hiring a current employee *)
-      (fun s -> Troll.fire s sales "hire" [ Ident.to_value alice ]);
-      (fun s -> Troll.fire s sales "hire" [ Ident.to_value bob ]);
+      (fun s -> fire s sales "hire" [ Ident.to_value alice ]);
+      (fun s -> fire s sales "hire" [ Ident.to_value bob ]);
       (* global interaction: new_manager calls become_manager *)
-      (fun s -> Troll.fire s sales "new_manager" [ Ident.to_value alice ]);
+      (fun s -> fire s sales "new_manager" [ Ident.to_value alice ]);
       (* quantified permission: closure while employees never fired *)
-      (fun s -> Troll.fire s sales "closure" []);
-      (fun s -> Troll.fire s sales "fire" [ Ident.to_value alice ]);
-      (fun s -> Troll.fire s sales "fire" [ Ident.to_value bob ]);
-      (fun s -> Troll.fire s sales "closure" []);
+      (fun s -> fire s sales "closure" []);
+      (fun s -> fire s sales "fire" [ Ident.to_value alice ]);
+      (fun s -> fire s sales "fire" [ Ident.to_value bob ]);
+      (fun s -> fire s sales "closure" []);
       (* events on the dead department *)
-      (fun s -> Troll.fire s sales "hire" [ Ident.to_value bob ]);
+      (fun s -> fire s sales "hire" [ Ident.to_value bob ]);
       (* unknown event name *)
-      (fun s -> Troll.fire s alice "promote_wrong" [ Value.Int 2 ]);
+      (fun s -> fire s alice "promote_wrong" [ Value.Int 2 ]);
     ]
 
 (** Company: phase birth (MANAGER view of PERSON), a phase-local static
@@ -112,21 +123,21 @@ let test_company_phases () =
   let mid name = Troll.ident "MANAGER" (key name) in
   diff_steps "company" Paper_specs.company
     [
-      (fun s -> Troll.create s ~cls:"CAR" ~key:(Value.String "X-1") ());
+      (fun s -> create s ~cls:"CAR" ~key:(Value.String "X-1") ());
       (fun s ->
-        Troll.create s ~cls:"PERSON" ~key:(key "ada")
+        create s ~cls:"PERSON" ~key:(key "ada")
           ~args:[ Value.Money 9000; Value.String "R1" ] ());
       (* phase birth through the base event *)
-      (fun s -> Troll.fire s (pid "ada") "become_manager" []);
+      (fun s -> fire s (pid "ada") "become_manager" []);
       (fun s ->
-        Troll.fire s (mid "ada") "assign_official_car"
+        fire s (mid "ada") "assign_official_car"
           [ Ident.to_value (Troll.ident "CAR" (Value.String "X-1")) ]);
       (* the MANAGER static constraint rejects a low salary *)
-      (fun s -> Troll.fire s (pid "ada") "ChangeSalary" [ Value.Money 4 ]);
-      (fun s -> Troll.fire s (pid "ada") "ChangeSalary" [ Value.Money 9500 ]);
+      (fun s -> fire s (pid "ada") "ChangeSalary" [ Value.Money 4 ]);
+      (fun s -> fire s (pid "ada") "ChangeSalary" [ Value.Money 9500 ]);
       (* death of the base aspect kills the phase *)
-      (fun s -> Troll.fire s (pid "ada") "dies" []);
-      (fun s -> Troll.fire s (mid "ada") "assign_official_car"
+      (fun s -> fire s (pid "ada") "dies" []);
+      (fun s -> fire s (mid "ada") "assign_official_car"
           [ Ident.to_value (Troll.ident "CAR" (Value.String "X-1")) ]);
     ]
 
@@ -135,7 +146,7 @@ let test_company_phases () =
 let test_emp_rel () =
   let rel = Ident.singleton "emp_rel" in
   let insert n s sys =
-    Troll.fire sys rel "InsertEmp" [ Value.String n; Value.Date 0; Value.Int s ]
+    fire sys rel "InsertEmp" [ Value.String n; Value.Date 0; Value.Int s ]
   in
   diff_steps "emp_rel" Paper_specs.employee_implementation
     [
@@ -143,19 +154,19 @@ let test_emp_rel () =
       insert "ada" 200;
       (* duplicate key *)
       (fun s ->
-        Troll.fire s rel "UpdateSalary"
+        fire s rel "UpdateSalary"
           [ Value.String "ada"; Value.Date 0; Value.Int 150 ]);
       (fun s ->
-        Troll.fire s rel "UpdateSalary"
+        fire s rel "UpdateSalary"
           [ Value.String "bob"; Value.Date 0; Value.Int 150 ]);
       (* transaction calling: expands to three micro-steps *)
       (fun s ->
-        Troll.fire s rel "ChangeSalary"
+        fire s rel "ChangeSalary"
           [ Value.String "ada"; Value.Date 0; Value.Int 900 ]);
-      (fun s -> Troll.fire s rel "CloseEmpRel" []);
+      (fun s -> fire s rel "CloseEmpRel" []);
       (* nonempty *)
-      (fun s -> Troll.fire s rel "DeleteEmp" [ Value.String "ada"; Value.Date 0 ]);
-      (fun s -> Troll.fire s rel "CloseEmpRel" []);
+      (fun s -> fire s rel "DeleteEmp" [ Value.String "ada"; Value.Date 0 ]);
+      (fun s -> fire s rel "CloseEmpRel" []);
     ]
 
 (** Library: scripts with views, the active clock, and event sharing. *)
@@ -219,15 +230,15 @@ let test_conflicts_and_statics () =
   let g = Troll.ident "GADGET" (Value.String "g") in
   diff_steps "conflict" conflict_spec
     [
-      (fun s -> Troll.create s ~cls:"GADGET" ~key:(Value.String "g") ());
+      (fun s -> create s ~cls:"GADGET" ~key:(Value.String "g") ());
       (* agreeing writes: no conflict *)
-      (fun s -> Troll.fire s g "clash" [ Value.Int 2; Value.Int 2 ]);
+      (fun s -> fire s g "clash" [ Value.Int 2; Value.Int 2 ]);
       (* diverging writes: valuation conflict *)
-      (fun s -> Troll.fire s g "clash" [ Value.Int 1; Value.Int 2 ]);
-      (fun s -> Troll.fire s g "bump" []);
+      (fun s -> fire s g "clash" [ Value.Int 1; Value.Int 2 ]);
+      (fun s -> fire s g "bump" []);
       (* static constraint violation *)
-      (fun s -> Troll.fire s g "clash" [ Value.Int 9; Value.Int 9 ]);
-      (fun s -> Troll.fire s g "break" []);
+      (fun s -> fire s g "clash" [ Value.Int 9; Value.Int 9 ]);
+      (fun s -> fire s g "break" []);
     ]
 
 let temporal_spec =
@@ -250,14 +261,14 @@ let test_temporal_constraint () =
   let x = Troll.ident "ARM" (Value.String "x") in
   diff_steps "temporal" temporal_spec
     [
-      (fun s -> Troll.create s ~cls:"ARM" ~key:(Value.String "x") ());
+      (fun s -> create s ~cls:"ARM" ~key:(Value.String "x") ());
       (* quiescent steps before arming: monitors advance, nothing holds *)
-      (fun s -> Troll.fire s x "ping" []);
-      (fun s -> Troll.fire s x "arm" []);
+      (fun s -> fire s x "ping" []);
+      (fun s -> fire s x "arm" []);
       (* quiescent steps after arming keep the obligation *)
-      (fun s -> Troll.fire s x "ping" []);
-      (fun s -> Troll.fire s x "disarm" []);
-      (fun s -> Troll.fire s x "ping" []);
+      (fun s -> fire s x "ping" []);
+      (fun s -> fire s x "disarm" []);
+      (fun s -> fire s x "ping" []);
     ]
 
 (** Event sharing: two events in one synchronous step, and an atomic
@@ -266,21 +277,21 @@ let test_sync_and_seq () =
   let g = Troll.ident "GADGET" (Value.String "g") in
   diff_steps "sync/seq" conflict_spec
     [
-      (fun s -> Troll.create s ~cls:"GADGET" ~key:(Value.String "g") ());
+      (fun s -> create s ~cls:"GADGET" ~key:(Value.String "g") ());
       (fun s ->
-        Troll.fire_sync s
+        fire_sync s
           [ Event.make g "clash" [ Value.Int 2; Value.Int 2 ];
             Event.make g "bump" [] ]);
       (* same-attribute disagreement across shared events *)
       (fun s ->
-        Troll.fire_sync s
+        fire_sync s
           [ Event.make g "clash" [ Value.Int 1; Value.Int 1 ];
             Event.make g "clash" [ Value.Int 2; Value.Int 2 ] ]);
       (* atomic sequence: the violating tail aborts the accepted head *)
       (fun s ->
-        Troll.fire_seq s
+        fire_seq s
           [ Event.make g "bump" []; Event.make g "clash" [ Value.Int 9; Value.Int 9 ] ]);
-      (fun s -> Troll.fire s g "bump" []);
+      (fun s -> fire s g "bump" []);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -7,9 +7,32 @@ let tint = Alcotest.int
 let value = Alcotest.testable Value.pp Value.equal
 
 let load src =
-  match Troll.load src with
-  | Ok sys -> sys
-  | Error e -> Alcotest.failf "load failed: %s" e
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> Alcotest.failf "load failed: %s" (Troll.Error.to_string e)
+
+(* bridges from the removed string-error wrappers to the
+   session/engine API *)
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let create_exn sys ~cls ~key ?event ?(args = []) () =
+  match Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+  with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+let attr_exn sys target name =
+  match Troll.Session.attr (Troll.Session.of_system sys) target name with
+  | Ok v -> v
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let view (sys : Troll.system) name = List.assoc_opt name sys.Troll.views
+
+let view_exn sys name =
+  match view sys name with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no interface class %s" name)
 
 let money u = Value.Money (Money.of_units u)
 
@@ -19,7 +42,7 @@ let person_key name =
 let company () =
   let sys = load Paper_specs.company in
   let mk name salary dept =
-    Troll.create_exn sys ~cls:"PERSON" ~key:(person_key name)
+    create_exn sys ~cls:"PERSON" ~key:(person_key name)
       ~args:[ money salary; Value.String dept ] ();
     Ident.make "PERSON" (person_key name)
   in
@@ -36,7 +59,7 @@ let ok = function
 let test_projection_read () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let v = view_exn sys "SAL_EMPLOYEE" in
   let inst = [ ("PERSON", alice) ] in
   check value "projected attribute" (money 6000)
     (ok (Interface.attr v inst "Salary" []));
@@ -46,7 +69,7 @@ let test_projection_read () =
 let test_projection_hides () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let v = view_exn sys "SAL_EMPLOYEE" in
   let inst = [ ("PERSON", alice) ] in
   (match Interface.attr v inst "Dept" [] with
   | Error (Runtime_error.Unknown_attribute _) -> ()
@@ -59,15 +82,15 @@ let test_projection_hides () =
 let test_projection_fire () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let v = view_exn sys "SAL_EMPLOYEE" in
   let inst = [ ("PERSON", alice) ] in
   ignore (ok (Interface.fire v inst "ChangeSalary" [ money 6500 ]));
   check value "base state changed" (money 6500)
-    (Troll.attr_exn sys alice "Salary")
+    (attr_exn sys alice "Salary")
 
 let test_attr_and_event_names () =
   let sys, _ = company () in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let v = view_exn sys "SAL_EMPLOYEE" in
   check (Alcotest.list Alcotest.string) "attrs"
     [ "Name"; "IncomeInYear"; "Salary" ]
     (Interface.attr_names v);
@@ -81,7 +104,7 @@ let test_attr_and_event_names () =
 let test_parameterized_derived_attribute () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE" in
+  let v = view_exn sys "SAL_EMPLOYEE" in
   let inst = [ ("PERSON", alice) ] in
   check value "IncomeInYear(1991)" (money 81000)
     (ok (Interface.attr v inst "IncomeInYear" [ Value.Int 1991 ]));
@@ -94,7 +117,7 @@ let test_parameterized_derived_attribute () =
 let test_derived_attribute () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE2" in
+  let v = view_exn sys "SAL_EMPLOYEE2" in
   let inst = [ ("PERSON", alice) ] in
   check value "Salary * 13.5" (money 81000)
     (ok (Interface.attr v inst "CurrentIncomePerYear" []))
@@ -102,13 +125,13 @@ let test_derived_attribute () =
 let test_derived_event () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
-  let v = Troll.view_exn sys "SAL_EMPLOYEE2" in
+  let v = view_exn sys "SAL_EMPLOYEE2" in
   let inst = [ ("PERSON", alice) ] in
   ignore (ok (Interface.fire v inst "IncreaseSalary" []));
-  check value "Salary * 1.1" (money 6600) (Troll.attr_exn sys alice "Salary");
+  check value "Salary * 1.1" (money 6600) (attr_exn sys alice "Salary");
   (* repeated applications compound *)
   ignore (ok (Interface.fire v inst "IncreaseSalary" []));
-  check value "compounds" (money 7260) (Troll.attr_exn sys alice "Salary")
+  check value "compounds" (money 7260) (attr_exn sys alice "Salary")
 
 (* ------------------------------------------------------------------ *)
 (* Selection                                                           *)
@@ -118,12 +141,12 @@ let test_selection_membership () =
   let sys, mk = company () in
   let alice = mk "alice" 6000 "Research" in
   let _bob = mk "bob" 3000 "Sales" in
-  let v = Troll.view_exn sys "RESEARCH_EMPLOYEE" in
+  let v = view_exn sys "RESEARCH_EMPLOYEE" in
   check tint "only research staff" 1 (List.length (Interface.extension v));
   check tbool "alice is member" true
     (Interface.member v [ ("PERSON", alice) ]);
   (* membership follows the state *)
-  ignore (Troll.fire sys alice "move_dept" [ Value.String "Sales" ]);
+  ignore (fire sys alice "move_dept" [ Value.String "Sales" ]);
   check tbool "alice left the view" false
     (Interface.member v [ ("PERSON", alice) ]);
   check tint "extension empty" 0 (List.length (Interface.extension v))
@@ -131,7 +154,7 @@ let test_selection_membership () =
 let test_selection_gates_access () =
   let sys, mk = company () in
   let bob = mk "bob" 3000 "Sales" in
-  let v = Troll.view_exn sys "RESEARCH_EMPLOYEE" in
+  let v = view_exn sys "RESEARCH_EMPLOYEE" in
   let inst = [ ("PERSON", bob) ] in
   (match Interface.attr v inst "Salary" [] with
   | Error _ -> ()
@@ -150,12 +173,12 @@ let test_join_view () =
   let bob = mk "bob" 3000 "Sales" in
   let research = Ident.make "DEPT" (Value.String "Research") in
   let sales = Ident.make "DEPT" (Value.String "Sales") in
-  Troll.create_exn sys ~cls:"DEPT" ~key:research.Ident.key ();
-  Troll.create_exn sys ~cls:"DEPT" ~key:sales.Ident.key ();
-  let v = Troll.view_exn sys "WORKS_FOR" in
+  create_exn sys ~cls:"DEPT" ~key:research.Ident.key ();
+  create_exn sys ~cls:"DEPT" ~key:sales.Ident.key ();
+  let v = view_exn sys "WORKS_FOR" in
   check tint "empty before hiring" 0 (List.length (Interface.extension v));
-  ignore (Troll.fire sys research "hire" [ Ident.to_value alice ]);
-  ignore (Troll.fire sys sales "hire" [ Ident.to_value bob ]);
+  ignore (fire sys research "hire" [ Ident.to_value alice ]);
+  ignore (fire sys sales "hire" [ Ident.to_value bob ]);
   check tint "one row per employment" 2 (List.length (Interface.extension v));
   (* derived attributes resolve through the bound instance variables *)
   let row_alice = [ ("P", alice); ("D", research) ] in
@@ -169,7 +192,7 @@ let test_join_view () =
   (* tabulation gives the expected relation *)
   let rows = Interface.tabulate v in
   check tint "two tuples" 2 (List.length rows);
-  ignore (Troll.fire sys research "fire" [ Ident.to_value alice ]);
+  ignore (fire sys research "fire" [ Ident.to_value alice ]);
   check tint "row disappears" 1 (List.length (Interface.tabulate v))
 
 (* ------------------------------------------------------------------ *)
@@ -181,7 +204,7 @@ let test_view_respects_base_permissions () =
   let key =
     Value.Tuple [ ("EmpName", Value.String "eve"); ("EmpBirth", Value.Date 0) ]
   in
-  let v = Troll.view_exn sys "EMPL" in
+  let v = view_exn sys "EMPL" in
   let inst = [ ("EMPL_IMPL", Ident.make "EMPL_IMPL" key) ] in
   (* creation through the view *)
   ignore (ok (Interface.fire v inst "HireEmployee" []));
@@ -197,7 +220,7 @@ let test_view_respects_base_permissions () =
 
 let test_view_unknown_interface () =
   let sys, _ = company () in
-  check tbool "missing view" true (Troll.view sys "NOPE" = None)
+  check tbool "missing view" true (view sys "NOPE" = None)
 
 let () =
   Alcotest.run "iface"

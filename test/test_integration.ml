@@ -8,11 +8,39 @@ let tint = Alcotest.int
 let value = Alcotest.testable Value.pp Value.equal
 
 let load src =
-  match Troll.load src with
-  | Ok sys -> sys
-  | Error e -> Alcotest.failf "load failed: %s" e
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.system s
+  | Error e -> Alcotest.failf "load failed: %s" (Troll.Error.to_string e)
 
 let accepted = function Ok _ -> true | Error _ -> false
+
+(* bridges from the removed string-error wrappers to the
+   session/engine API: the tests below animate a [Troll.system] *)
+let fire sys target name args =
+  Engine.fire sys.Troll.community (Event.make target name args)
+
+let create_exn sys ~cls ~key ?event ?(args = []) () =
+  match Engine.step sys.Troll.community (Step.Create { cls; key; event; args })
+  with
+  | Ok _ -> ()
+  | Error r -> failwith (Runtime_error.reason_to_string r)
+
+let attr_exn sys target name =
+  match Troll.Session.attr (Troll.Session.of_system sys) target name with
+  | Ok v -> v
+  | Error e -> failwith (Troll.Error.to_string e)
+
+let eval sys src =
+  Result.map_error Troll.Error.to_string
+    (Troll.Session.eval (Troll.Session.of_system sys) src)
+
+let extension sys cls =
+  Ident.Set.elements (Community.extension sys.Troll.community cls)
+
+let view_exn sys name =
+  match List.assoc_opt name sys.Troll.views with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no interface class %s" name)
 
 (* ------------------------------------------------------------------ *)
 (* §4 DEPT: the full promotion / closure story                        *)
@@ -22,40 +50,40 @@ let test_dept_story () =
   let sys = load Paper_specs.dept in
   let alice = Troll.ident "PERSON" (Value.String "alice") in
   let sales = Troll.ident "DEPT" (Value.String "sales") in
-  Troll.create_exn sys ~cls:"PERSON" ~key:(Value.String "alice") ();
-  Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "sales")
+  create_exn sys ~cls:"PERSON" ~key:(Value.String "alice") ();
+  create_exn sys ~cls:"DEPT" ~key:(Value.String "sales")
     ~args:[ Value.Date 7749 ] ();
   check value "est_date observed" (Value.Date 7749)
-    (Troll.attr_exn sys sales "est_date");
+    (attr_exn sys sales "est_date");
   check tbool "fire before hire" false
-    (accepted (Troll.fire sys sales "fire" [ Ident.to_value alice ]));
+    (accepted (fire sys sales "fire" [ Ident.to_value alice ]));
   check tbool "hire" true
-    (accepted (Troll.fire sys sales "hire" [ Ident.to_value alice ]));
+    (accepted (fire sys sales "hire" [ Ident.to_value alice ]));
   check tbool "closure blocked" false
-    (accepted (Troll.fire sys sales "closure" []));
+    (accepted (fire sys sales "closure" []));
   check tbool "fire" true
-    (accepted (Troll.fire sys sales "fire" [ Ident.to_value alice ]));
-  check tbool "closure" true (accepted (Troll.fire sys sales "closure" []));
+    (accepted (fire sys sales "fire" [ Ident.to_value alice ]));
+  check tbool "closure" true (accepted (fire sys sales "closure" []));
   (* the department is gone *)
   check tbool "dept dead" true
     (Community.living sys.Troll.community sales = None);
-  check tint "extension empty" 0 (List.length (Troll.extension sys "DEPT"))
+  check tint "extension empty" 0 (List.length (extension sys "DEPT"))
 
 let test_dept_eval_interface () =
   let sys = load Paper_specs.dept in
-  Troll.create_exn sys ~cls:"PERSON" ~key:(Value.String "p") ();
-  Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "d")
+  create_exn sys ~cls:"PERSON" ~key:(Value.String "p") ();
+  create_exn sys ~cls:"DEPT" ~key:(Value.String "d")
     ~args:[ Value.Date 0 ] ();
   let d = Troll.ident "DEPT" (Value.String "d") in
-  ignore (Troll.fire sys d "hire" [ Ident.to_value (Troll.ident "PERSON" (Value.String "p")) ]);
-  (match Troll.eval sys {|DEPT("d").employees|} with
+  ignore (fire sys d "hire" [ Ident.to_value (Troll.ident "PERSON" (Value.String "p")) ]);
+  (match eval sys {|DEPT("d").employees|} with
   | Ok (Value.Set [ _ ]) -> ()
   | Ok v -> Alcotest.failf "unexpected %s" (Value.to_string v)
   | Error e -> Alcotest.fail e);
-  (match Troll.eval sys {|card(DEPT("d").employees)|} with
+  (match eval sys {|card(DEPT("d").employees)|} with
   | Ok (Value.Int 1) -> ()
   | _ -> Alcotest.fail "card");
-  match Troll.eval sys {|PERSON("p") in DEPT("d").employees|} with
+  match eval sys {|PERSON("p") in DEPT("d").employees|} with
   | Ok (Value.Bool true) -> ()
   | _ -> Alcotest.fail "membership"
 
@@ -122,9 +150,9 @@ let test_script_goal_command () =
     { Community.default_config with Community.record_history = true }
   in
   let sys =
-    match Troll.load ~config Paper_specs.dept with
-    | Ok sys -> sys
-    | Error e -> Alcotest.fail e
+    match Troll.Session.load ~config Paper_specs.dept with
+    | Ok s -> Troll.Session.system s
+    | Error e -> Alcotest.fail (Troll.Error.to_string e)
   in
   let out =
     run_script sys
@@ -166,8 +194,13 @@ let test_script_parse_error_reported () =
 (* ------------------------------------------------------------------ *)
 
 let test_load_reports_check_errors () =
-  match Troll.load "object class X identification k: FROB; template events birth b; end object class X;" with
+  match
+    Troll.Session.load
+      "object class X identification k: FROB; template events birth b; end \
+       object class X;"
+  with
   | Error e ->
+      let e = Troll.Error.to_string e in
       check tbool "mentions unknown type" true
         (let rec find i =
            i + 4 <= String.length e
@@ -177,19 +210,20 @@ let test_load_reports_check_errors () =
   | Ok _ -> Alcotest.fail "ill-typed spec loaded"
 
 let test_load_reports_parse_errors () =
-  match Troll.load "object object object" with
+  match Troll.Session.load "object object object" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage loaded"
 
 let test_pretty_roundtrip_via_api () =
-  match Troll.parse Paper_specs.company with
-  | Error e -> Alcotest.fail e
+  match Troll.parse_spec Paper_specs.company with
+  | Error e -> Alcotest.fail (Troll.Error.to_string e)
   | Ok spec -> (
       let printed = Troll.pretty spec in
-      match Troll.parse printed with
+      match Troll.parse_spec printed with
       | Ok spec2 ->
           check Alcotest.string "stable" printed (Troll.pretty spec2)
-      | Error e -> Alcotest.failf "reparse failed: %s" e)
+      | Error e ->
+          Alcotest.failf "reparse failed: %s" (Troll.Error.to_string e))
 
 let test_warnings_carried () =
   let sys =
@@ -213,26 +247,26 @@ let test_company_flow () =
   let key name =
     Value.Tuple [ ("Name", Value.String name); ("Birthdate", Value.Date 0) ]
   in
-  Troll.create_exn sys ~cls:"PERSON" ~key:(key "alice")
+  create_exn sys ~cls:"PERSON" ~key:(key "alice")
     ~args:[ Value.Money (Money.of_units 6000); Value.String "Research" ] ();
-  Troll.create_exn sys ~cls:"DEPT" ~key:(Value.String "Research") ();
+  create_exn sys ~cls:"DEPT" ~key:(Value.String "Research") ();
   let alice = Ident.make "PERSON" (key "alice") in
   let dept = Troll.ident "DEPT" (Value.String "Research") in
-  ignore (Troll.fire sys dept "hire" [ Ident.to_value alice ]);
-  ignore (Troll.fire sys dept "new_manager" [ Ident.to_value alice ]);
+  ignore (fire sys dept "hire" [ Ident.to_value alice ]);
+  ignore (fire sys dept "new_manager" [ Ident.to_value alice ]);
   (* phase created with inherited + own structure *)
   let mgr = Ident.as_class "MANAGER" alice in
   check tbool "manager aspect alive" true
     (Community.living sys.Troll.community mgr <> None);
-  check tint "manager extension" 1 (List.length (Troll.extension sys "MANAGER"));
+  check tint "manager extension" 1 (List.length (extension sys "MANAGER"));
   (* view over base reflects updates made through the phase *)
-  let v = Troll.view_exn sys "SAL_EMPLOYEE" in
-  ignore (Troll.fire sys mgr "ChangeSalary" [ Value.Money (Money.of_units 9000) ]);
+  let v = view_exn sys "SAL_EMPLOYEE" in
+  ignore (fire sys mgr "ChangeSalary" [ Value.Money (Money.of_units 9000) ]);
   (match Interface.attr v [ ("PERSON", alice) ] "Salary" [] with
   | Ok m -> check value "view sees phase update" (Value.Money (Money.of_units 9000)) m
   | Error r -> Alcotest.failf "%s" (Runtime_error.reason_to_string r));
   (* person death kills observability through views *)
-  ignore (Troll.fire sys dept "fire" [ Ident.to_value alice ]);
+  ignore (fire sys dept "fire" [ Ident.to_value alice ]);
   ignore (Engine.destroy sys.Troll.community ~id:alice ~event:"dies" ());
   check tbool "view membership gone" false
     (Interface.member v [ ("PERSON", alice) ])
@@ -245,37 +279,37 @@ let test_emp_rel_permissions () =
   let sys = load Paper_specs.employee_implementation in
   let rel = Ident.singleton "emp_rel" in
   let insert n s =
-    Troll.fire sys rel "InsertEmp" [ Value.String n; Value.Date 0; Value.Int s ]
+    fire sys rel "InsertEmp" [ Value.String n; Value.Date 0; Value.Int s ]
   in
   check tbool "first insert" true (accepted (insert "ada" 100));
   check tbool "duplicate key rejected" false (accepted (insert "ada" 200));
   check tbool "update existing" true
     (accepted
-       (Troll.fire sys rel "UpdateSalary"
+       (fire sys rel "UpdateSalary"
           [ Value.String "ada"; Value.Date 0; Value.Int 150 ]));
   check tbool "update missing rejected" false
     (accepted
-       (Troll.fire sys rel "UpdateSalary"
+       (fire sys rel "UpdateSalary"
           [ Value.String "bob"; Value.Date 0; Value.Int 150 ]));
   (* CloseEmpRel requires an empty relation *)
   check tbool "close nonempty rejected" false
-    (accepted (Troll.fire sys rel "CloseEmpRel" []));
-  ignore (Troll.fire sys rel "DeleteEmp" [ Value.String "ada"; Value.Date 0 ]);
-  check tbool "close empty" true (accepted (Troll.fire sys rel "CloseEmpRel" []))
+    (accepted (fire sys rel "CloseEmpRel" []));
+  ignore (fire sys rel "DeleteEmp" [ Value.String "ada"; Value.Date 0 ]);
+  check tbool "close empty" true (accepted (fire sys rel "CloseEmpRel" []))
 
 let test_change_salary_transaction () =
   let sys = load Paper_specs.employee_implementation in
   let rel = Ident.singleton "emp_rel" in
   ignore
-    (Troll.fire sys rel "InsertEmp"
+    (fire sys rel "InsertEmp"
        [ Value.String "ada"; Value.Date 0; Value.Int 100 ]);
   (match
-     Troll.fire sys rel "ChangeSalary"
+     fire sys rel "ChangeSalary"
        [ Value.String "ada"; Value.Date 0; Value.Int 900 ]
    with
   | Ok o -> check tint "three micro-steps" 3 (List.length o.Engine.committed)
   | Error r -> Alcotest.failf "%s" (Runtime_error.reason_to_string r));
-  match Troll.eval sys "emp_rel.Emps" with
+  match eval sys "emp_rel.Emps" with
   | Ok (Value.Set [ Value.Tuple fields ]) ->
       check value "salary updated" (Value.Int 900)
         (Option.value ~default:Value.Undefined

@@ -264,12 +264,13 @@ let test_society_compile_and_run () =
       | _ -> Alcotest.fail "view read failed")
 
 let test_mixed_spec_through_troll_load () =
-  (* Troll.load links modules transparently *)
-  match Troll.load (calendar_mod ^ payroll_mod) with
-  | Error e -> Alcotest.failf "load: %s" e
-  | Ok sys ->
+  (* Session.load links modules transparently *)
+  match Troll.Session.load (calendar_mod ^ payroll_mod) with
+  | Error e -> Alcotest.failf "load: %s" (Troll.Error.to_string e)
+  | Ok s ->
       check tbool "clock exists" true
-        (Community.living sys.Troll.community (Ident.singleton "TheClock")
+        (Community.living (Troll.Session.community s)
+           (Ident.singleton "TheClock")
         <> None)
 
 let () =
@@ -298,7 +299,7 @@ let () =
           Alcotest.test_case "link order" `Quick test_link_order;
           Alcotest.test_case "compile and run" `Quick
             test_society_compile_and_run;
-          Alcotest.test_case "through Troll.load" `Quick
+          Alcotest.test_case "through Session.load" `Quick
             test_mixed_spec_through_troll_load;
         ] );
     ]

@@ -7,9 +7,9 @@ let tbool = Alcotest.bool
 let tint = Alcotest.int
 
 let load src =
-  match Troll.load src with
-  | Ok sys -> sys.Troll.community
-  | Error e -> Alcotest.failf "load failed: %s" e
+  match Troll.Session.load src with
+  | Ok s -> Troll.Session.community s
+  | Error e -> Alcotest.failf "load failed: %s" (Troll.Error.to_string e)
 
 let key name =
   Value.Tuple [ ("EmpName", Value.String name); ("EmpBirth", Value.Date 0) ]

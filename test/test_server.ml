@@ -245,11 +245,11 @@ let test_step_create_fire () =
   | Ok v -> Alcotest.check value "promoted grade" (Value.Int 5) v
   | Error e -> Alcotest.failf "attr failed: %s" (Troll.Error.to_string e)
 
-let test_step_equivalent_to_wrappers () =
-  (* the deprecated wrappers and Step.t requests must drive the engine
-     identically, state for state *)
+let test_step_equivalent_to_engine () =
+  (* Step.t requests and the direct engine entry points must drive the
+     community identically, state for state *)
   let via_step = load_session () in
-  let via_wrapper = load_session () in
+  let via_engine = load_session () in
   ignore
     (expect_step "create" via_step
        (Step.Create
@@ -261,11 +261,11 @@ let test_step_equivalent_to_wrappers () =
             Event.make ada "promote" [ Value.Int 2 ];
             Event.make ada "promote" [ Value.Int 9 ];
           ]));
-  let sys = Troll.Session.system via_wrapper in
+  let c = Troll.Session.community via_engine in
   ignore
-    (Troll.create sys ~cls:"PERSON" ~key:(Value.String "ada") () : _ result);
+    (Engine.create c ~cls:"PERSON" ~key:(Value.String "ada") () : _ result);
   ignore
-    (Troll.fire_seq sys
+    (Engine.fire_seq c
        [
          Event.make ada "promote" [ Value.Int 2 ];
          Event.make ada "promote" [ Value.Int 9 ];
@@ -273,7 +273,7 @@ let test_step_equivalent_to_wrappers () =
       : _ result);
   Alcotest.(check string) "identical persisted state"
     (Persist.save (Troll.Session.community via_step))
-    (Persist.save sys.Troll.community)
+    (Persist.save c)
 
 let test_step_rejection_reason () =
   let s = load_session () in
@@ -517,6 +517,88 @@ let test_serve_split_frame () =
       check_ok "frame split mid-é reassembled" (by_id responses 2);
       check_ok "fire resolves the reassembled key" (by_id responses 3)
 
+let test_serve_hello () =
+  let _, _, responses =
+    serve_script
+      [
+        {|{"id":1,"op":"hello","version":1}|};
+        {|{"id":2,"op":"hello","version":1,"caps":["wal","shards"]}|};
+        {|{"id":3,"op":"hello","version":99}|};
+        {|{"id":4,"op":"ping"}|};
+      ]
+  in
+  let r1 = by_id responses 1 in
+  check_ok "hello" r1;
+  Alcotest.check json "version echoed" (Json.Int 1)
+    (Json.member "version" (Json.member "result" r1));
+  (* no WAL, one job: the plain test server advertises no capability *)
+  Alcotest.check json "caps" (Json.List [])
+    (Json.member "caps" (Json.member "result" r1));
+  check_ok "unknown client caps are ignored" (by_id responses 2);
+  check_code "future version" "version_mismatch" (by_id responses 3);
+  (* a failed handshake must not wedge the connection *)
+  check_ok "connection survives the mismatch" (by_id responses 4)
+
+let prepare_hire_frame id p =
+  Printf.sprintf
+    {|{"id":%d,"op":"prepare","step":{"op":"fire","cls":"DEPT","key":"d","event":"hire","args":[{"$id":{"cls":"PERSON","key":"%s"}}]}}|}
+    id p
+
+let test_serve_two_phase () =
+  let _, _, responses =
+    serve_script
+      (setup_frames
+      @ [
+          {|{"id":3,"op":"save"}|};
+          prepare_hire_frame 4 "ada";
+          hire_frame 5 "ada";
+          (* txn_pending: a transaction is open *)
+          {|{"id":6,"op":"save"}|};
+          (* txn_pending too *)
+          {|{"id":7,"op":"abort"}|};
+          {|{"id":8,"op":"save"}|};
+          (* must match id 3 bit-identically *)
+          prepare_hire_frame 9 "ada";
+          {|{"id":10,"op":"commit"}|};
+          {|{"id":11,"op":"commit"}|};
+          (* no_txn: already resolved *)
+          {|{"id":12,"op":"abort"}|};
+          (* idempotent no-op *)
+          {|{"id":13,"op":"attr","cls":"DEPT","key":"d","attr":"employees"}|};
+          prepare_hire_frame 14 "ada";
+          (* permission_denied: already hired — and no slot stays open *)
+          {|{"id":15,"op":"ping"}|};
+        ])
+  in
+  check_ok "prepare acks with the outcome" (by_id responses 4);
+  Alcotest.(check bool) "prepared outcome lists the micro-step" true
+    (Json.member "committed" (Json.member "result" (by_id responses 4))
+    <> Json.Null);
+  check_code "step while prepared" "txn_pending" (by_id responses 5);
+  check_code "save while prepared" "txn_pending" (by_id responses 6);
+  check_ok "abort" (by_id responses 7);
+  Alcotest.check json "abort rolled something back" (Json.Bool true)
+    (Json.member "aborted" (Json.member "result" (by_id responses 7)));
+  let state id =
+    Json.to_string_opt
+      (Json.member "state" (Json.member "result" (by_id responses id)))
+  in
+  Alcotest.(check (option string))
+    "aborted prepare leaves the state bit-identical" (state 3) (state 8);
+  check_ok "second prepare" (by_id responses 9);
+  Alcotest.check json "commit lands" (Json.Bool true)
+    (Json.member "committed" (Json.member "result" (by_id responses 10)));
+  check_code "commit without a transaction" "no_txn" (by_id responses 11);
+  Alcotest.check json "abort without a transaction is a no-op"
+    (Json.Bool false)
+    (Json.member "aborted" (Json.member "result" (by_id responses 12)));
+  Alcotest.check json "committed hire is observable"
+    (parse_ok {|{"$set":[{"$id":{"cls":"PERSON","key":"ada"}}]}|})
+    (Json.member "value" (Json.member "result" (by_id responses 13)));
+  (* a rejected prepare leaves no open slot behind *)
+  check_code "re-hire prepare" "permission_denied" (by_id responses 14);
+  check_ok "connection still live" (by_id responses 15)
+
 let test_serve_default_deadline () =
   let config =
     { Server.default_config with Server.default_deadline_ms = Some 0 }
@@ -557,8 +639,8 @@ let () =
       ( "step",
         [
           Alcotest.test_case "create and fire" `Quick test_step_create_fire;
-          Alcotest.test_case "wrappers are equivalent" `Quick
-            test_step_equivalent_to_wrappers;
+          Alcotest.test_case "engine entry points are equivalent" `Quick
+            test_step_equivalent_to_engine;
           Alcotest.test_case "no spurious rejection" `Quick
             test_step_rejection_reason;
         ] );
@@ -578,5 +660,8 @@ let () =
             test_serve_split_frame;
           Alcotest.test_case "default deadline" `Quick
             test_serve_default_deadline;
+          Alcotest.test_case "hello handshake" `Quick test_serve_hello;
+          Alcotest.test_case "prepare/commit/abort" `Quick
+            test_serve_two_phase;
         ] );
     ]
