@@ -297,6 +297,7 @@ let () =
         ("git_rev", Json.String (git_rev ()));
         ("date", Json.String (iso_date ()));
         ("host", Json.String (Unix.gethostname ()));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ("spec", Json.String !spec);
         ("requests", Json.Int !sent);
         ("ok", Json.Int !ok);

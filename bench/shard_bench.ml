@@ -11,6 +11,13 @@
  * state must be bit-identical across all shard counts — the same
  * differential check the sharded fuzz oracle applies.
  *
+ * Besides the class-group maps (Shard.auto) the bench runs one arm on
+ * the identity-hash map (Shard.by_hash, "hash:2"): the spec's classes
+ * never interact across identities, so by_hash admits it, and routing
+ * by hash(key) rather than by class takes the other owner-resolution
+ * path through the router.  The final state must match the class-map
+ * arms bit for bit.
+ *
  * Usage: shard_bench [-n STEPS] [-o BENCH_E17.json] [SPEC.trl]
  *)
 
@@ -60,10 +67,17 @@ let rec rm_rf path =
 (* One arm: N shards + router + pipelined client                     *)
 (* ---------------------------------------------------------------- *)
 
-type arm = { shards : int; wall_s : float; steps_per_s : float; state : string }
+type arm = {
+  shards : int;
+  kind : string;  (** "auto" (class groups) or "hash" (by identity) *)
+  wall_s : float;
+  steps_per_s : float;
+  state : string;
+}
 
-let run_arm ~src ~steps ~shards : arm =
-  let tag = Printf.sprintf "e17-%d-%d" (Unix.getpid ()) shards in
+let run_arm ~src ~steps ~shards ~by_hash : arm =
+  let kind = if by_hash then "hash" else "auto" in
+  let tag = Printf.sprintf "e17-%d-%d-%s" (Unix.getpid ()) shards kind in
   let sock_root =
     Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock")
   in
@@ -76,7 +90,13 @@ let run_arm ~src ~steps ~shards : arm =
     | Ok facade -> Troll.Session.community facade
     | Error e -> fail "load: %s" (Troll.Error.to_string e)
   in
-  let map = Shard.auto community ~shards in
+  let map =
+    if by_hash then
+      match Shard.by_hash community ~shards with
+      | Ok m -> m
+      | Error e -> fail "by_hash map rejected: %s" e
+    else Shard.auto community ~shards
+  in
   let wire = Shard.to_string map in
   let shard_sock k = Printf.sprintf "%s.%d" sock_root k in
   let spec_digest = Digest.to_hex (Digest.string src) in
@@ -162,26 +182,30 @@ let run_arm ~src ~steps ~shards : arm =
   let op name = ("op", Json.String name) in
   ignore
     (rpc "hello" [ op "hello"; ("version", Json.Int 1) ]);
-  Array.iter
-    (fun cls ->
+  (* distinct keys per class, so the hash map spreads identities over
+     the shards instead of collapsing them onto hash("x") *)
+  let key_of k = Json.String (Printf.sprintf "x%d" k) in
+  Array.iteri
+    (fun k cls ->
       ignore
         (rpc "create"
-           [ op "create"; ("cls", Json.String cls); ("key", Json.String "x") ]))
+           [ op "create"; ("cls", Json.String cls); ("key", key_of k) ]))
     classes;
   (* the measured loop: pipelined single-shard steps, every 16th one an
      enabledness probe (exercising the shard's --jobs pool) *)
   let in_flight = ref 0 in
   let t0 = Unix.gettimeofday () in
   for i = 0 to steps - 1 do
-    let cls = Json.String classes.(i mod Array.length classes) in
+    let k = i mod Array.length classes in
+    let cls = Json.String classes.(k) in
     (if i mod 16 = 15 then
-       send [ op "enabled"; ("cls", cls); ("key", Json.String "x") ]
+       send [ op "enabled"; ("cls", cls); ("key", key_of k) ]
      else
        send
          [
            op "fire";
            ("cls", cls);
-           ("key", Json.String "x");
+           ("key", key_of k);
            ("event", Json.String "add");
            ("args", Json.List [ Json.Int 1 ]);
          ]);
@@ -215,6 +239,7 @@ let run_arm ~src ~steps ~shards : arm =
     (Array.init shards (fun k -> k));
   {
     shards;
+    kind;
     wall_s;
     steps_per_s = float_of_int steps /. wall_s;
     state;
@@ -240,15 +265,20 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let src = read_file !spec in
-  let arms = List.map (fun shards -> run_arm ~src ~steps:!steps ~shards) [ 1; 2; 4 ] in
+  let arms =
+    List.map
+      (fun (shards, by_hash) -> run_arm ~src ~steps:!steps ~shards ~by_hash)
+      [ (1, false); (2, false); (4, false); (2, true) ]
+  in
   (* the same stream must leave the same society regardless of the
-     partitioning *)
+     partitioning — class maps and the hash map alike *)
   (match arms with
   | first :: rest ->
       List.iter
         (fun a ->
           if not (String.equal a.state first.state) then
-            fail "final state diverges between 1 and %d shard(s)" a.shards)
+            fail "final state diverges between 1 shard and %d/%s" a.shards
+              a.kind)
         rest
   | [] -> ());
   let doc =
@@ -263,6 +293,7 @@ let () =
         ("git_rev", Json.String (git_rev ()));
         ("date", Json.String (iso_date ()));
         ("host", Json.String (Unix.gethostname ()));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ("spec", Json.String !spec);
         ("steps", Json.Int !steps);
         ("window", Json.Int window);
@@ -274,12 +305,13 @@ let () =
                  Json.Obj
                    [
                      ("shards", Json.Int a.shards);
+                     ("map", Json.String a.kind);
                      ("wall_s", Json.Float a.wall_s);
                      ( "steps_per_s",
                        Json.Float (Float.round a.steps_per_s) );
                    ])
                arms) );
-        ("state_check", Json.String "bit-identical across shard counts");
+        ("state_check", Json.String "bit-identical across shard counts and maps");
       ]
   in
   let oc = open_out !out_path in
@@ -288,8 +320,9 @@ let () =
   close_out oc;
   List.iter
     (fun a ->
-      Printf.printf "E17 shards=%d: %d steps in %.3f s (%.0f steps/s)\n"
-        a.shards !steps a.wall_s a.steps_per_s)
+      Printf.printf "E17 shards=%d map=%s: %d steps in %.3f s (%.0f steps/s)\n"
+        a.shards a.kind !steps a.wall_s a.steps_per_s)
     arms;
-  Printf.printf "state check: bit-identical across shard counts\nwrote %s\n"
+  Printf.printf
+    "state check: bit-identical across shard counts and maps\nwrote %s\n"
     !out_path

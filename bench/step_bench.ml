@@ -1,0 +1,190 @@
+(* E18: mutating-step throughput of the speculative parallel commit
+ * engine (Engine.step_batch_par).
+ *
+ * Two workloads over a 64-department DEPT0 community (bench/workload):
+ *
+ *   - disjoint: each batch fires one `fund` per department.  Every
+ *     step's static footprint is FP_local (reads {budget, headcount},
+ *     writes {budget}) and the targets are pairwise distinct, so the
+ *     whole batch forms one speculative group and commits in parallel.
+ *
+ *   - conflicting: each batch fires 64 `fund`s at the SAME department.
+ *     Duplicate targets break group admission, so every step falls
+ *     back to its sequential batch position — the worst case, which
+ *     must not regress against the plain sequential loop.
+ *
+ * Each (workload, jobs) arm runs on a fresh community with its own
+ * Pool of `jobs` domains, then the identical batches replay through
+ * the sequential Engine.step on a clone; the final Persist.save
+ * states must be bit-identical (the engine's core promise).  Per-arm
+ * speculation counters (commits, sequential fallbacks) land in the
+ * JSON next to the throughput numbers.
+ *
+ * Usage: step_bench [-n ROUNDS] [-o BENCH_E18.json]
+ *)
+
+let default_out = "BENCH_E18.json"
+let depts = 64
+let jobs_arms = [ 1; 2; 4; 8 ]
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let command_line cmd =
+  match Unix.open_process_in cmd with
+  | exception _ -> None
+  | ic -> (
+      let line = try Some (String.trim (input_line ic)) with _ -> None in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> line
+      | _ -> None)
+
+let git_rev () =
+  Option.value ~default:"unknown"
+    (command_line "git rev-parse --short HEAD 2>/dev/null")
+
+let iso_date () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+(* ---------------------------------------------------------------- *)
+(* One arm                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type arm = {
+  workload : string;
+  jobs : int;
+  wall_s : float;
+  steps_per_s : float;
+  spec_commits : int;
+  seq_fallback_steps : int;
+}
+
+let batch_of ~conflicting (ids : Ident.t array) : Step.t array =
+  Array.init depts (fun i ->
+      let target = if conflicting then ids.(0) else ids.(i) in
+      Step.Fire (Event.make target "fund" [ Value.Money 100 ]))
+
+let run_arm ~rounds ~conflicting ~jobs : arm =
+  let workload = if conflicting then "conflicting" else "disjoint" in
+  let c, ids = Workload.dept_community depts in
+  let cref = Community.clone c in
+  let batch = batch_of ~conflicting ids in
+  let pool = Pool.create ~jobs in
+  Engine.reset_spec_stats ();
+  let wall_s =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          let results = Engine.step_batch_par ~pool c batch in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok _ -> ()
+              | Error reason ->
+                  fail "%s jobs=%d: step %d rejected: %s" workload jobs i
+                    (Runtime_error.reason_to_string reason))
+            results
+        done;
+        Unix.gettimeofday () -. t0)
+  in
+  let stats = Engine.spec_stats_rows () in
+  let stat name = Option.value ~default:0 (List.assoc_opt name stats) in
+  (* the sequential reference: same batches, plain Engine.step, then
+     the states must match bit for bit *)
+  for _ = 1 to rounds do
+    Array.iter
+      (fun s ->
+        match Engine.step cref s with
+        | Ok _ -> ()
+        | Error reason ->
+            fail "%s sequential reference rejected a step: %s" workload
+              (Runtime_error.reason_to_string reason))
+      batch
+  done;
+  if not (String.equal (Persist.save c) (Persist.save cref)) then
+    fail "%s jobs=%d: parallel state diverges from sequential" workload jobs;
+  let steps = rounds * depts in
+  {
+    workload;
+    jobs;
+    wall_s;
+    steps_per_s = float_of_int steps /. wall_s;
+    spec_commits = stat "speculative commits";
+    seq_fallback_steps = stat "batch sequential steps";
+  }
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let rounds = ref 150 in
+  let out_path = ref default_out in
+  let rec parse = function
+    | [] -> ()
+    | "-n" :: n :: rest ->
+        rounds := int_of_string n;
+        parse rest
+    | "-o" :: p :: rest ->
+        out_path := p;
+        parse rest
+    | s :: _ -> fail "unknown argument %s" s
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let arms =
+    List.concat_map
+      (fun conflicting ->
+        List.map (fun jobs -> run_arm ~rounds:!rounds ~conflicting ~jobs)
+          jobs_arms)
+      [ false; true ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "E18");
+        ( "description",
+          Json.String
+            "speculative parallel commit throughput: footprint-disjoint vs \
+             conflicting DEPT0 fund batches through Engine.step_batch_par, \
+             checked bit-identical against the sequential engine" );
+        ("git_rev", Json.String (git_rev ()));
+        ("date", Json.String (iso_date ()));
+        ("host", Json.String (Unix.gethostname ()));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("depts", Json.Int depts);
+        ("rounds", Json.Int !rounds);
+        ("batch", Json.Int depts);
+        ( "results",
+          Json.List
+            (List.map
+               (fun a ->
+                 Json.Obj
+                   [
+                     ("workload", Json.String a.workload);
+                     ("jobs", Json.Int a.jobs);
+                     ("wall_s", Json.Float a.wall_s);
+                     ( "steps_per_s",
+                       Json.Float (Float.round a.steps_per_s) );
+                     ("spec_commits", Json.Int a.spec_commits);
+                     ("seq_fallback_steps", Json.Int a.seq_fallback_steps);
+                   ])
+               arms) );
+        ("state_check", Json.String "bit-identical to sequential engine");
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun a ->
+      Printf.printf
+        "E18 %-11s jobs=%d: %d steps in %.3f s (%.0f steps/s; %d \
+         speculative commits, %d sequential fallbacks)\n"
+        a.workload a.jobs (!rounds * depts) a.wall_s a.steps_per_s
+        a.spec_commits a.seq_fallback_steps)
+    arms;
+  Printf.printf "state check: bit-identical to sequential engine\nwrote %s\n"
+    !out_path

@@ -186,7 +186,8 @@ let jobs_arg =
     & opt (some int) None
     & info [ "jobs" ] ~docv:"N"
         ~doc:
-          "Probe-pool size for parallel enabledness queries; 1 probes \
+          "Domain-pool size for parallel enabledness queries and the \
+           speculative parallel commit engine; 1 probes and commits \
            sequentially on the calling thread without spawning a \
            domain.  Default: $(b,TROLLC_JOBS) if set, else one less \
            than the recommended domain count (at least 1)")
@@ -266,7 +267,8 @@ let run_cmd =
           persist the object base between runs; --wal makes every committed \
           step durable (with --snapshot-every compaction and --wal-fsync \
           batch fsync); --stats reports the transaction, dispatch, probe \
-          and wal counters; --jobs sizes the parallel probe pool")
+          and wal counters; --jobs sizes the domain pool used by \
+          parallel probes and the script's par batches")
     Term.(
       const run $ spec_arg $ script_arg $ save_arg $ restore_arg $ stats_arg
       $ jobs_arg $ wal_arg $ snapshot_every_arg $ wal_fsync_arg
@@ -823,12 +825,14 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Generate seed-deterministic well-typed specifications and event \
-          workloads, and check every pair against six differential oracles: \
-          compiled vs interpreted dispatch, engine vs society server, save/\
-          load/replay, journal cleanliness of rejected steps (probe = \
-          clone), parallel vs sequential enabledness probes, and kill -9 \
-          crash recovery from the WAL.  The first failure is shrunk to a \
-          minimal (spec, trace) pair when --shrink is given")
+          workloads, and check every pair against eight differential \
+          oracles: compiled vs interpreted dispatch, engine vs society \
+          server, save/load/replay, journal cleanliness of rejected steps \
+          (probe = clone), parallel vs sequential enabledness probes, \
+          kill -9 crash recovery from the WAL, sharded vs single-engine \
+          execution, and linearizability of the speculative parallel \
+          commit path.  The first failure is shrunk to a minimal (spec, \
+          trace) pair when --shrink is given")
     Term.(const run $ seed_arg $ iters_arg $ shrink_arg $ out_arg $ dump_arg)
 
 let recover_cmd =

@@ -1,4 +1,4 @@
-(* The seven differential oracles.  Each one loads fresh communities
+(* The eight differential oracles.  Each one loads fresh communities
    from the rendered source, runs the trace and compares independent
    execution paths; [Persist.save] images are the state-equality
    witness throughout (canonical, total, bit-comparable). *)
@@ -368,18 +368,20 @@ let parallel_verdict src trace =
       | None -> "ok"
       | Some detail -> "FAIL " ^ detail)
 
-let parallel src trace =
+(* Fork a child, run [verdict ()] there, read its one-line answer.
+   "ok" passes; anything else is the failure detail. *)
+let forked_verdict oracle verdict =
   let r, w = Unix.pipe () in
   let pid = Unix.fork () in
   if pid = 0 then begin
     Unix.close r;
-    let verdict =
-      try parallel_verdict src trace
+    let line =
+      try verdict ()
       with e -> "FAIL exception: " ^ Printexc.to_string e
     in
     let oc = Unix.out_channel_of_descr w in
     (try
-       output_string oc verdict;
+       output_string oc line;
        output_char oc '\n';
        flush oc
      with _ -> ());
@@ -392,7 +394,10 @@ let parallel src trace =
   in
   close_in ic;
   ignore (Unix.waitpid [] pid);
-  if line = "ok" then Ok () else failf "parallel" "%s" line
+  if line = "ok" then Ok () else failf oracle "%s" line
+
+let parallel src trace =
+  forked_verdict "parallel" (fun () -> parallel_verdict src trace)
 
 (* ---------------------------------------------------------------- *)
 (* Oracle 6: kill -9 at a commit boundary, recover from the WAL      *)
@@ -507,7 +512,12 @@ let recovery src trace =
    step by step, and the merged sharded dump must be bit-identical to
    the single-engine dump.  Outcome shapes are NOT compared: a
    cross-shard sync step decomposes into per-shard micro-steps, so the
-   state images are the equality witness. *)
+   state images are the equality witness.
+
+   When the spec admits identity-hash partitioning ({!Shard.by_hash}),
+   a source-hash coin flip picks the [hash:2] map instead of the
+   classes map, so the by-identity routing path gets the same
+   differential coverage. *)
 
 let sharded src trace =
   with_session "sharded" src @@ fun probe ->
@@ -520,12 +530,19 @@ let sharded src trace =
            List.map (fun cls -> (cls, k)) group)
          (Shard.groups facade))
   in
-  let m =
+  let by_classes () =
     match Shard.of_classes facade ~shards:2 assignment with
     | Ok m -> m
     | Error e ->
         (* cannot happen: whole groups are co-located by construction *)
         invalid_arg ("sharded oracle map: " ^ e)
+  in
+  let m =
+    if Hashtbl.hash src land 4 = 0 then
+      match Shard.by_hash facade ~shards:2 with
+      | Ok m -> m
+      | Error _ -> by_classes ()
+    else by_classes ()
   in
   let map = Shard.to_string m in
   (* When a genuinely cross-shard step is rejected for several
@@ -568,11 +585,126 @@ let sharded src trace =
           else Ok ())
 
 (* ---------------------------------------------------------------- *)
+(* Oracle 8: speculative parallel commit is linearizable             *)
+(* ---------------------------------------------------------------- *)
+
+(* The trace runs in chunks through {!Engine.step_batch_par} over a
+   jobs=4 pool; every chunk is replayed sequentially from the same
+   [Persist.save] pre-image on a reference community.  The engine
+   promises results bit-identical to the left-to-right order, so that
+   comparison alone decides pass/fail — but on divergence the oracle
+   also searches the other sequential orders (permutations of the
+   chunk, bounded) to tell a *reordered-but-linearizable* schedule
+   (determinism bug) apart from one matching *no* sequential order
+   (atomicity bug).  The chunk length equals {!Pool.small_batch_cutoff}
+   so full chunks actually reach the speculative path.  Domains make
+   the parent unforkable, so as with "parallel" the whole comparison
+   runs in a forked child. *)
+
+let linearizable_chunk = Pool.small_batch_cutoff
+let permutation_bound = 720
+
+(* Permutations of [l], lexicographic, identity first. *)
+let rec perm_seq l : int list Seq.t =
+  match l with
+  | [] -> Seq.return []
+  | _ ->
+      Seq.concat_map
+        (fun x ->
+          Seq.map
+            (fun p -> x :: p)
+            (perm_seq (List.filter (fun y -> y <> x) l)))
+        (List.to_seq l)
+
+let linearizable_verdict src trace =
+  match (load_session src, load_session src) with
+  | Error e, _ | _, Error e ->
+      Printf.sprintf "FAIL spec failed to load: %s" (Troll.Error.to_string e)
+  | Ok s, Ok sref -> (
+      let c = Troll.Session.community s in
+      let cref = Troll.Session.community sref in
+      let pool = Pool.create ~jobs:parallel_jobs in
+      let rec chunks = function
+        | [] -> []
+        | l ->
+            let rec take n acc = function
+              | rest when n = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | x :: rest -> take (n - 1) (x :: acc) rest
+            in
+            let chunk, rest = take linearizable_chunk [] l in
+            chunk :: chunks rest
+      in
+      (* replay [batch] in [order] on the reference, from [pre];
+         per-original-index verdict codes plus the final image *)
+      let run_seq_from pre order batch =
+        match Persist.load cref pre with
+        | Error e -> Error ("reference restore failed: " ^ e)
+        | Ok () ->
+            let codes = Array.make (Array.length batch) "?" in
+            List.iter
+              (fun k -> codes.(k) <- code_of (Engine.step cref batch.(k)))
+              order;
+            Ok (codes, Persist.save cref)
+      in
+      let check_chunk base chunk =
+        let batch = Array.of_list chunk in
+        let n = Array.length batch in
+        let pre = Persist.save c in
+        let rp = Engine.step_batch_par ~pool c batch in
+        let codes_p = Array.map code_of rp in
+        let img_p = Persist.save c in
+        let identity = List.init n Fun.id in
+        match run_seq_from pre identity batch with
+        | Error e -> Some e
+        | Ok (codes_s, img_s) ->
+            if codes_p = codes_s && img_p = img_s then None
+            else
+              let matches order =
+                match run_seq_from pre order batch with
+                | Ok (codes, img) -> codes = codes_p && img = img_p
+                | Error _ -> false
+              in
+              let reordered =
+                Seq.exists matches
+                  (Seq.take permutation_bound (perm_seq identity))
+              in
+              let where = Printf.sprintf "steps %d..%d" base (base + n - 1) in
+              if reordered then
+                Some
+                  (where
+                 ^ ": parallel schedule matches a permuted order, not the \
+                    batch order")
+              else
+                Some
+                  (Printf.sprintf
+                     "%s: parallel schedule matches no sequential order (%d \
+                      tried)"
+                     where permutation_bound)
+      in
+      let rec run base = function
+        | [] -> None
+        | chunk :: rest -> (
+            match check_chunk base chunk with
+            | Some _ as f -> f
+            | None -> run (base + List.length chunk) rest)
+      in
+      let outcome = run 0 (chunks trace) in
+      Pool.shutdown pool;
+      match outcome with None -> "ok" | Some d -> "FAIL " ^ d)
+
+let linearizable src trace =
+  forked_verdict "linearizable" (fun () -> linearizable_verdict src trace)
+
+(* ---------------------------------------------------------------- *)
 (* Driver                                                            *)
 (* ---------------------------------------------------------------- *)
 
 let oracle_names =
-  [ "dispatch"; "server"; "replay"; "journal"; "parallel"; "recovery"; "sharded" ]
+  [
+    "dispatch"; "server"; "replay"; "journal"; "parallel"; "recovery";
+    "sharded"; "linearizable";
+  ]
 
 let run_oracle name src trace =
   let f =
@@ -584,6 +716,7 @@ let run_oracle name src trace =
     | "parallel" -> parallel
     | "recovery" -> recovery
     | "sharded" -> sharded
+    | "linearizable" -> linearizable
     | other -> invalid_arg ("Oracle.run_oracle: " ^ other)
   in
   try f src trace

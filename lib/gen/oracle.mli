@@ -1,4 +1,4 @@
-(** The seven differential oracles every generated (spec, trace) pair
+(** The eight differential oracles every generated (spec, trace) pair
     is checked against.
 
     - ["dispatch"]: compiled vs interpreted rule dispatch — identical
@@ -35,7 +35,19 @@
       session: identical error codes step by step, and the merged
       {!Troll.Session.save} dump bit-identical to the single-engine
       dump.  Outcome shapes are not compared (a cross-shard sync step
-      decomposes into per-shard micro-steps).
+      decomposes into per-shard micro-steps).  When the spec admits
+      identity-hash partitioning, a source-hash coin flip routes
+      through the [hash:2] map ({!Shard.by_hash}) instead.
+    - ["linearizable"]: the trace runs in chunks of
+      {!Pool.small_batch_cutoff} steps through
+      {!Engine.step_batch_par} over a jobs=4 {!Pool}; each chunk is
+      replayed sequentially from the same {!Persist.save} pre-image.
+      Verdict codes and the post-chunk image must be bit-identical to
+      the left-to-right order; on divergence the oracle searches the
+      other sequential orders (bounded permutation sweep) to
+      distinguish a reordered-but-linearizable schedule from one
+      matching no sequential order.  Runs in a forked child, like
+      ["parallel"].
 
     Oracles take the rendered source so the shrinker can re-render
     candidate models and re-run just the failing oracle. *)
@@ -52,7 +64,7 @@ val run_oracle : string -> string -> Step.t list -> (unit, failure) result
     names raise [Invalid_argument]. *)
 
 val check_all : string -> Step.t list -> (unit, failure) result
-(** Run all seven oracles in order, returning the first failure. *)
+(** Run all eight oracles in order, returning the first failure. *)
 
 val request_of_step : id:int -> Step.t -> Json.t
 (** The wire request frame executing the step, as the society server

@@ -46,7 +46,15 @@ let n_par_dispatches = Atomic.make 0
 and n_par_items = Atomic.make 0
 and n_seq_dispatches = Atomic.make 0
 and n_seq_items = Atomic.make 0
+and n_cutoff_dispatches = Atomic.make 0
 and n_chunks = Atomic.make 0
+
+(** Batches smaller than this run sequentially on the caller even when
+    worker domains are idle: E15 showed pool dispatch (mutex + two
+    condition-variable round trips) dominating real probe work on small
+    batches.  8 items is where dispatch cost drops under ~10% of the
+    cheapest measured per-item probe work. *)
+let small_batch_cutoff = 8
 
 let stats_rows () =
   [
@@ -54,6 +62,8 @@ let stats_rows () =
     ("parallel items", Atomic.get n_par_items);
     ("sequential dispatches", Atomic.get n_seq_dispatches);
     ("sequential items", Atomic.get n_seq_items);
+    ("small-batch cutoff", small_batch_cutoff);
+    ("small-batch seq dispatches", Atomic.get n_cutoff_dispatches);
     ("chunks claimed", Atomic.get n_chunks);
   ]
 
@@ -62,6 +72,7 @@ let reset_stats () =
   Atomic.set n_par_items 0;
   Atomic.set n_seq_dispatches 0;
   Atomic.set n_seq_items 0;
+  Atomic.set n_cutoff_dispatches 0;
   Atomic.set n_chunks 0
 
 (* ------------------------------------------------------------------ *)
@@ -153,7 +164,9 @@ let shutdown t =
 
 let run t ~n f =
   if n > 0 then
-    if t.jobs <= 1 || n = 1 || t.workers = [] then begin
+    if t.jobs <= 1 || n < small_batch_cutoff || t.workers = [] then begin
+      if t.jobs > 1 && t.workers <> [] && n > 1 then
+        Atomic.incr n_cutoff_dispatches;
       Atomic.incr n_seq_dispatches;
       ignore (Atomic.fetch_and_add n_seq_items n);
       for i = 0 to n - 1 do

@@ -21,12 +21,20 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val small_batch_cutoff : int
+(** Batches with fewer items than this run sequentially on the caller
+    even when worker domains are idle: pool dispatch (mutex + two
+    condition-variable round trips) dominates real work on small
+    batches (bench E15).  Reported in {!stats_rows}. *)
+
 val run : t -> n:int -> (int -> unit) -> unit
 (** [run t ~n f] calls [f i] once for every [0 <= i < n], in parallel
     across the pool's domains, and returns when all calls have
-    finished.  [f] must only touch domain-private or frozen data (see
-    {!View}).  The first exception raised by any participant is
-    re-raised here after the dispatch drains. *)
+    finished.  Batches below {!small_batch_cutoff} run sequentially on
+    the caller (identical results, same evaluation order as jobs = 1).
+    [f] must only touch domain-private or frozen data (see {!View}).
+    The first exception raised by any participant is re-raised here
+    after the dispatch drains. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] on top of {!run} (element order preserved). *)

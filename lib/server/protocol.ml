@@ -235,6 +235,7 @@ type request =
   | Ping
   | Hello of { version : int; caps : string list }
   | Step of Step.t
+  | Steps of Step.t list
   | Prepare of Step.t
   | Commit
   | Abort
@@ -291,6 +292,20 @@ let rec decode_request (j : Json.t) : (request, string) result =
           | Step s -> Ok (Prepare s)
           | _ -> Error "\"step\" must be a step-shaped request")
       | _ -> Error "prepare needs a \"step\" object")
+  | Json.String "steps" -> (
+      match Json.member "steps" j with
+      | Json.List items ->
+          let rec loop acc = function
+            | [] -> Ok (Steps (List.rev acc))
+            | (Json.Obj _ as step_j) :: rest -> (
+                let* sub = decode_request step_j in
+                match sub with
+                | Step s -> loop (s :: acc) rest
+                | _ -> Error "\"steps\" entries must be step-shaped requests")
+            | _ -> Error "\"steps\" entries must be step-shaped requests"
+          in
+          loop [] items
+      | _ -> Error "steps needs a \"steps\" list")
   | Json.String "commit" -> Ok Commit
   | Json.String "abort" -> Ok Abort
   | Json.String "catchup" -> (
@@ -404,6 +419,7 @@ let op_name = function
   | Step (Step.Seq _) -> "batch"
   | Step (Step.Sync _) -> "sync"
   | Step (Step.Txn _) -> "txn"
+  | Steps _ -> "steps"
   | Attr _ -> "attr"
   | Eval _ -> "eval"
   | Extension _ -> "extension"

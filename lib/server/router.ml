@@ -640,6 +640,7 @@ let handle_client_doc t client doc =
               results
           in
           reply_ok (Json.Obj [ ("members", Json.List members) ]))
+  | Ok (Protocol.Steps _) -> reply_err (unsupported "steps")
   | Ok (Protocol.Eval _) -> reply_err (unsupported "eval")
   | Ok (Protocol.View _) -> reply_err (unsupported "view")
   | Ok (Protocol.Restore _) -> reply_err (unsupported "restore")

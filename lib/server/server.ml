@@ -321,6 +321,7 @@ let allowed_while_prepared = function
 let server_caps t =
   (if Option.is_some t.wal then [ "wal" ] else [])
   @ (if t.config.jobs > 1 then [ "jobs" ] else [])
+  @ [ "steps" ]
 
 let execute t (req : Protocol.request) :
     (Json.t, Protocol.Wire_error.t) result =
@@ -409,6 +410,41 @@ let execute t (req : Protocol.request) :
       match Troll.step s step with
       | Ok outcome -> Ok (Protocol.outcome_to_json outcome)
       | Error reason -> Error (Protocol.Wire_error.of_reason reason))
+  | Protocol.Steps steps ->
+      (* footprint-disjoint runs commit speculatively in parallel on the
+         probe pool; a sharded session has no single community to
+         speculate on, so it degrades to the coordinator loop *)
+      let results =
+        match Troll.Session.shard_map s with
+        | Some _ -> List.map (Troll.step s) steps
+        | None ->
+            Array.to_list
+              (Engine.step_batch_par ~pool:(probe_pool t) community
+                 (Array.of_list steps))
+      in
+      Ok
+        (Json.Obj
+           [
+             ( "results",
+               Json.List
+                 (List.map
+                    (function
+                      | Ok outcome ->
+                          Json.Obj
+                            [
+                              ("ok", Json.Bool true);
+                              ("result", Protocol.outcome_to_json outcome);
+                            ]
+                      | Error reason ->
+                          Json.Obj
+                            [
+                              ("ok", Json.Bool false);
+                              ( "error",
+                                Protocol.Wire_error.to_json
+                                  (Protocol.Wire_error.of_reason reason) );
+                            ])
+                    results) );
+           ])
   | Protocol.Attr { target; attr } -> (
       match Troll.Session.attr s target attr with
       | Ok v -> Ok (Json.Obj [ ("value", Protocol.value_to_json v) ])

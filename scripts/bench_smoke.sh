@@ -7,7 +7,8 @@
 # trajectory is tracked in-tree, plus the E11 socket round-trip
 # benchmark (bench/serve_bench.ml) emitting BENCH_E11.json and the
 # E17 sharded-throughput benchmark (bench/shard_bench.ml) emitting
-# BENCH_E17.json.
+# BENCH_E17.json and the E18 speculative parallel-commit benchmark
+# (bench/step_bench.ml) emitting BENCH_E18.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -15,11 +16,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-dune build bench/main.exe bench/serve_bench.exe bench/shard_bench.exe
+dune build bench/main.exe bench/serve_bench.exe bench/shard_bench.exe \
+  bench/step_bench.exe
 
 git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_utc=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 host=$(hostname 2>/dev/null || echo unknown)
+cores=$(nproc 2>/dev/null || echo 1)
 
 echo "== E3 (transaction rollback) =="
 dune exec bench/main.exe -- --quick --filter E3
@@ -31,13 +34,14 @@ printf '%s\n' "$out"
 
 # Quick-mode rows are "<name padded to 44> <ns/run>"; turn the E10
 # rows into a small JSON document with provenance.
-printf '%s\n' "$out" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+printf '%s\n' "$out" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" -v cores="$cores" '
   BEGIN {
     print "{"
     print "  \"experiment\": \"E10\","
     printf "  \"git_rev\": \"%s\",\n", rev
     printf "  \"date\": \"%s\",\n", date
     printf "  \"host\": \"%s\",\n", host
+    printf "  \"cores\": %d,\n", cores
     print "  \"unit\": \"ns/run\","
     print "  \"results\": ["
     n = 0
@@ -66,13 +70,14 @@ echo "== E12 (compiled vs interpreted dispatch) =="
 out12=$(dune exec bench/main.exe -- --quick --filter E12)
 printf '%s\n' "$out12"
 
-printf '%s\n' "$out12" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+printf '%s\n' "$out12" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" -v cores="$cores" '
   BEGIN {
     print "{"
     print "  \"experiment\": \"E12\","
     printf "  \"git_rev\": \"%s\",\n", rev
     printf "  \"date\": \"%s\",\n", date
     printf "  \"host\": \"%s\",\n", host
+    printf "  \"cores\": %d,\n", cores
     print "  \"unit\": \"ns/run\","
     print "  \"results\": ["
     n = 0
@@ -101,13 +106,14 @@ echo "== E15 (parallel-probe scaling) =="
 out15=$(dune exec bench/main.exe -- --quick --filter E15)
 printf '%s\n' "$out15"
 
-printf '%s\n' "$out15" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+printf '%s\n' "$out15" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" -v cores="$cores" '
   BEGIN {
     print "{"
     print "  \"experiment\": \"E15\","
     printf "  \"git_rev\": \"%s\",\n", rev
     printf "  \"date\": \"%s\",\n", date
     printf "  \"host\": \"%s\",\n", host
+    printf "  \"cores\": %d,\n", cores
     print "  \"unit\": \"ns/run\","
     print "  \"results\": ["
     n = 0
@@ -139,7 +145,7 @@ echo "== E16 (durability: WAL steps/s) =="
 out16=$(for i in 1 2 3 4 5; do dune exec bench/main.exe -- --quick --filter "E16"; done)
 printf '%s\n' "$out16" | awk 'NR <= 2 || /^E16 /'
 
-printf '%s\n' "$out16" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" '
+printf '%s\n' "$out16" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$host" -v cores="$cores" '
   /^E16 / {
     ns = $(NF - 1)
     name = $0
@@ -154,6 +160,7 @@ printf '%s\n' "$out16" | awk -v rev="$git_rev" -v date="$date_utc" -v host="$hos
     printf "  \"git_rev\": \"%s\",\n", rev
     printf "  \"date\": \"%s\",\n", date
     printf "  \"host\": \"%s\",\n", host
+    printf "  \"cores\": %d,\n", cores
     print "  \"unit\": \"ns/step\","
     print "  \"note\": \"script-layer animation steps (trollc run path), best of 5 runs per arm\","
     for (i = 0; i < n; i++) {
@@ -186,3 +193,7 @@ dune exec bench/serve_bench.exe -- -n 1000 -o BENCH_E11.json
 echo
 echo "== E17 (sharded step throughput) =="
 dune exec bench/shard_bench.exe -- -n 1500 -o BENCH_E17.json
+
+echo
+echo "== E18 (speculative parallel commit) =="
+dune exec bench/step_bench.exe -- -n 150 -o BENCH_E18.json

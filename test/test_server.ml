@@ -531,8 +531,10 @@ let test_serve_hello () =
   check_ok "hello" r1;
   Alcotest.check json "version echoed" (Json.Int 1)
     (Json.member "version" (Json.member "result" r1));
-  (* no WAL, one job: the plain test server advertises no capability *)
-  Alcotest.check json "caps" (Json.List [])
+  (* no WAL, one job: the plain test server advertises only the
+     always-on parallel batch op *)
+  Alcotest.check json "caps"
+    (Json.List [ Json.String "steps" ])
     (Json.member "caps" (Json.member "result" r1));
   check_ok "unknown client caps are ignored" (by_id responses 2);
   check_code "future version" "version_mismatch" (by_id responses 3);
