@@ -395,13 +395,33 @@ let refine_cmd =
   let depth =
     Arg.(value & opt int 3 & info [ "depth" ] ~doc:"exploration depth bound")
   in
-  let run abs_path conc_path abs_cls conc_cls depth jobs =
-    let load path =
-      match load_system (read_file path) with
+  let cert_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"FILE"
+          ~doc:
+            "Record the simulation relation and write it as a certificate to \
+             $(docv); check it independently with $(b,trollc validate-cert)")
+  in
+  let memo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "memo" ] ~docv:"DIR"
+          ~doc:
+            "Memoize visited state pairs across runs in $(docv) (keyed by a \
+             digest of the whole problem instance); a warm re-check skips \
+             every subtree an earlier successful run certified")
+  in
+  let run abs_path conc_path abs_cls conc_cls depth jobs cert memo =
+    let abs_src = read_file abs_path and conc_src = read_file conc_path in
+    let load src =
+      match load_system src with
       | Ok sys -> Ok sys.Troll.community
       | Error e -> Error e
     in
-    match (load abs_path, load conc_path) with
+    match (load abs_src, load conc_src) with
     | Error e, _ | _, Error e ->
         Printf.eprintf "%s\n" e;
         1
@@ -431,12 +451,33 @@ let refine_cmd =
                   Implementation.make ~abs_class:abs_cls ~conc_class:conc_cls
                     ()
                 in
+                let alphabet = Refinement.candidates abs_tpl in
+                let record =
+                  if cert = None && memo = None then None
+                  else
+                    Some
+                      (Certificate.builder ~abs_src ~conc_src ~impl
+                         ~abs_key:(key_for abs_tpl "probe")
+                         ~conc_key:(key_for conc_tpl "probe")
+                         ~alphabet:
+                           (List.map
+                              (fun c ->
+                                (c.Refinement.ev_name, c.Refinement.ev_args))
+                              alphabet)
+                         ~depth ())
+                in
+                (match (record, memo) with
+                | Some b, Some dir -> (
+                    match Certificate.load_memo b ~dir with
+                    | Ok n -> Printf.printf "memo pairs loaded %d\n" n
+                    | Error m -> Printf.eprintf "memo: %s\n" m)
+                | _ -> ());
                 let pool = Pool.create ~jobs:(resolve_jobs jobs) in
                 let report =
                   Fun.protect
                     ~finally:(fun () -> Pool.shutdown pool)
                     (fun () ->
-                      Refinement.check ~pool ~impl
+                      Refinement.check ~pool ?record ~impl
                         ~abs:
                           { Refinement.community = abs_c;
                             id = Ident.make abs_cls (key_for abs_tpl "probe") }
@@ -444,10 +485,24 @@ let refine_cmd =
                           { Refinement.community = conc_c;
                             id =
                               Ident.make conc_cls (key_for conc_tpl "probe") }
-                        ~alphabet:(Refinement.candidates abs_tpl)
-                        ~depth ())
+                        ~alphabet ~depth ())
                 in
                 Format.printf "%a@." Refinement.pp_report report;
+                (match record with
+                | None -> ()
+                | Some b ->
+                    (match (report.Refinement.verdict, memo) with
+                    | Ok (), Some dir -> (
+                        match Certificate.save_memo b ~dir with
+                        | Ok () -> ()
+                        | Error m -> Printf.eprintf "memo: %s\n" m)
+                    | _ -> ());
+                    (match cert with
+                    | None -> ()
+                    | Some path ->
+                        let c = Certificate.finish b in
+                        Persist.write_file_atomic path (Certificate.encode c);
+                        Format.printf "@[<v>%a@]@." Certificate.pp_summary c));
                 (match report.Refinement.verdict with
                 | Ok () -> 0
                 | Error _ -> 1)))
@@ -460,7 +515,35 @@ let refine_cmd =
           abstract alphabet's branches in parallel over frozen views")
     Term.(
       const run $ abs_spec $ conc_spec $ abs_class $ conc_class $ depth
-      $ jobs_arg)
+      $ jobs_arg $ cert_arg $ memo_arg)
+
+let validate_cert_cmd =
+  let cert_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"certificate file written by refine --cert")
+  in
+  let run path =
+    match Validator.validate_string (read_file path) with
+    | Ok st ->
+        Printf.printf "certificate OK: nodes replayed %d\n"
+          st.Validator.v_nodes;
+        Printf.printf "certificate OK: edges replayed %d\n"
+          st.Validator.v_edges;
+        0
+    | Error m ->
+        Printf.printf "certificate REJECTED: %s\n" m;
+        1
+  in
+  Cmd.v
+    (Cmd.info "validate-cert"
+       ~doc:
+         "Independently validate a refinement certificate: rebuild both \
+          communities from the embedded sources and replay every recorded \
+          edge under speculative probes, checking digests, enabledness and \
+          observations against the certificate's claims")
+    Term.(const run $ cert_file)
 
 let serve_cmd =
   let socket_arg =
@@ -884,7 +967,7 @@ let main =
        ~doc:"Parser, checker and animator for the TROLL specification language")
     [
       parse_cmd; check_cmd; pretty_cmd; run_cmd; repl_cmd; dot_cmd; refine_cmd;
-      serve_cmd; shard_cmd; fuzz_cmd; recover_cmd;
+      validate_cert_cmd; serve_cmd; shard_cmd; fuzz_cmd; recover_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,4 +1,4 @@
-(* The eight differential oracles.  Each one loads fresh communities
+(* The nine differential oracles.  Each one loads fresh communities
    from the rendered source, runs the trace and compares independent
    execution paths; [Persist.save] images are the state-equality
    witness throughout (canonical, total, bit-comparable). *)
@@ -697,13 +697,227 @@ let linearizable src trace =
   forked_verdict "linearizable" (fun () -> linearizable_verdict src trace)
 
 (* ---------------------------------------------------------------- *)
+(* Oracle 9: refinement certificates round-trip and validate         *)
+(* ---------------------------------------------------------------- *)
+
+(* Every specification refines itself: driving two fresh communities
+   loaded from the same source in lock step can never diverge.  The
+   oracle records that self-refinement as a certificate and checks the
+   whole trust chain — the encoding round-trips bit-identically, the
+   independent {!Validator} accepts the genuine certificate, and it
+   rejects each semantic tamper class (flipped verdict, corrupted
+   digest, dropped edge).  Tampers are applied to the decoded record
+   and re-encoded, so the CRC frame is valid and only semantic
+   validation can catch them.  Both sides load via {!Compile.load} —
+   the same entry point the validator replays through. *)
+
+let certificate src _trace =
+  let oracle = "certificate" in
+  let load () =
+    match Compile.load src with
+    | Ok (c, _) -> Ok c
+    | Error e -> Error e
+  in
+  match (load (), load ()) with
+  | Error e, _ | _, Error e ->
+      failf "load" "%s: spec failed to compile: %s" oracle e
+  | Ok abs_c, Ok conc_c -> (
+      let tpls =
+        Hashtbl.fold (fun _ t acc -> t :: acc) abs_c.Community.templates []
+        |> List.filter (fun t -> t.Template.t_kind = `Class)
+        |> List.sort (fun a b ->
+               compare a.Template.t_name b.Template.t_name)
+      in
+      let first_of ty =
+        match Refinement.default_pool ty with v :: _ -> Some v | [] -> None
+      in
+      let try_create c (tpl : Template.t) =
+        let key_opt =
+          match tpl.Template.t_id_fields with
+          | [ (_, ty) ] -> first_of ty
+          | fields ->
+              let vs =
+                List.filter_map
+                  (fun (n, ty) ->
+                    Option.map (fun v -> (n, v)) (first_of ty))
+                  fields
+              in
+              if List.length vs = List.length fields then
+                Some (Value.Tuple vs)
+              else None
+        in
+        let args =
+          match
+            List.find_opt
+              (fun (ed : Template.event_def) ->
+                ed.Template.ed_kind = Ast.Ev_birth)
+              tpl.Template.t_events
+          with
+          | Some ed -> List.filter_map first_of ed.Template.ed_params
+          | None -> []
+        in
+        match key_opt with
+        | None -> None
+        | Some key -> (
+            match
+              Engine.create c ~cls:tpl.Template.t_name ~key ~args ()
+            with
+            | Ok _ -> Some (key, args)
+            | Error _ -> None)
+      in
+      let creatable =
+        List.find_map
+          (fun tpl ->
+            match try_create abs_c tpl with
+            | Some (key, args) -> (
+                match try_create conc_c tpl with
+                | Some _ -> Some (tpl, key, args)
+                | None -> None)
+            | None -> None)
+          tpls
+      in
+      match creatable with
+      | None -> Ok () (* no class instance creatable: nothing to certify *)
+      | Some (tpl, key, args) -> (
+          let cls = tpl.Template.t_name in
+          let alphabet =
+            let rec take n = function
+              | x :: r when n > 0 -> x :: take (n - 1) r
+              | _ -> []
+            in
+            take 4 (Refinement.candidates ~max_per_event:2 tpl)
+          in
+          let impl = Implementation.make ~abs_class:cls ~conc_class:cls () in
+          let builder =
+            Certificate.builder ~abs_src:src ~conc_src:src ~impl
+              ~abs_key:key ~conc_key:key ~abs_args:args ~conc_args:args
+              ~alphabet:
+                (List.map
+                   (fun c -> (c.Refinement.ev_name, c.Refinement.ev_args))
+                   alphabet)
+              ~depth:2 ()
+          in
+          let report =
+            Refinement.check ~record:builder ~impl
+              ~abs:{ Refinement.community = abs_c; id = Ident.make cls key }
+              ~conc:{ Refinement.community = conc_c; id = Ident.make cls key }
+              ~alphabet ~depth:2 ()
+          in
+          match report.Refinement.verdict with
+          | Error cx ->
+              failf oracle "self-refinement reported a counterexample: %s"
+                (Format.asprintf "%a" Refinement.pp_counterexample cx)
+          | Ok () -> (
+              let cert = Certificate.finish builder in
+              let enc = Certificate.encode cert in
+              match Certificate.decode enc with
+              | Error e -> failf oracle "genuine certificate fails to decode: %s" e
+              | Ok cert' ->
+                  if Certificate.encode cert' <> enc then
+                    failf oracle "encode . decode . encode is not the identity"
+                  else begin
+                    match Validator.validate cert with
+                    | Error e ->
+                        failf oracle "validator rejects genuine certificate: %s" e
+                    | Ok _ -> (
+                        let expect_reject what mutated =
+                          match mutated with
+                          | None -> Ok () (* tamper not applicable *)
+                          | Some m -> (
+                              match
+                                Validator.validate_string
+                                  (Certificate.encode m)
+                              with
+                              | Error _ -> Ok ()
+                              | Ok _ ->
+                                  failf oracle
+                                    "validator accepts certificate with %s"
+                                    what)
+                        in
+                        let flipped =
+                          match cert.Certificate.edges with
+                          | [] -> None
+                          | e :: rest ->
+                              let verdict =
+                                match e.Certificate.e_verdict with
+                                | Certificate.E_ok _ -> Certificate.E_stuck
+                                | _ -> Certificate.E_ok e.Certificate.e_pre
+                              in
+                              let e' =
+                                {
+                                  e with
+                                  Certificate.e_verdict = verdict;
+                                  e_oblig =
+                                    Certificate.oblig_of_verdict
+                                      e.Certificate.e_event verdict;
+                                }
+                              in
+                              Some
+                                {
+                                  cert with
+                                  Certificate.edges = e' :: rest;
+                                }
+                        in
+                        let corrupted =
+                          (* rewrite one digest everywhere it occurs, so
+                             the structure stays consistent and only
+                             replay can notice *)
+                          let target = cert.Certificate.root.Certificate.p_abs in
+                          let fake = String.map (fun c -> if c = target.[0] then (if c = 'f' then '0' else 'f') else c) target in
+                          let swap d = if d = target then fake else d in
+                          let swap_pair (p : Certificate.pair) =
+                            { Certificate.p_abs = swap p.Certificate.p_abs;
+                              p_conc = p.Certificate.p_conc }
+                          in
+                          Some
+                            {
+                              cert with
+                              Certificate.root = swap_pair cert.Certificate.root;
+                              nodes =
+                                List.map
+                                  (fun (p, d) -> (swap_pair p, d))
+                                  cert.Certificate.nodes;
+                              edges =
+                                List.map
+                                  (fun (e : Certificate.edge) ->
+                                    {
+                                      e with
+                                      Certificate.e_pre =
+                                        swap_pair e.Certificate.e_pre;
+                                      e_verdict =
+                                        (match e.Certificate.e_verdict with
+                                        | Certificate.E_ok p ->
+                                            Certificate.E_ok (swap_pair p)
+                                        | v -> v);
+                                    })
+                                  cert.Certificate.edges;
+                            }
+                        in
+                        let dropped =
+                          match cert.Certificate.edges with
+                          | [] -> None
+                          | _ :: rest ->
+                              Some { cert with Certificate.edges = rest }
+                        in
+                        match expect_reject "a flipped verdict" flipped with
+                        | Error _ as e -> e
+                        | Ok () -> (
+                            match
+                              expect_reject "a corrupted digest" corrupted
+                            with
+                            | Error _ as e -> e
+                            | Ok () ->
+                                expect_reject "a dropped edge" dropped))
+                  end)))
+
+(* ---------------------------------------------------------------- *)
 (* Driver                                                            *)
 (* ---------------------------------------------------------------- *)
 
 let oracle_names =
   [
     "dispatch"; "server"; "replay"; "journal"; "parallel"; "recovery";
-    "sharded"; "linearizable";
+    "sharded"; "linearizable"; "certificate";
   ]
 
 let run_oracle name src trace =
@@ -717,6 +931,7 @@ let run_oracle name src trace =
     | "recovery" -> recovery
     | "sharded" -> sharded
     | "linearizable" -> linearizable
+    | "certificate" -> certificate
     | other -> invalid_arg ("Oracle.run_oracle: " ^ other)
   in
   try f src trace

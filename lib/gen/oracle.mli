@@ -1,4 +1,4 @@
-(** The eight differential oracles every generated (spec, trace) pair
+(** The nine differential oracles every generated (spec, trace) pair
     is checked against.
 
     - ["dispatch"]: compiled vs interpreted rule dispatch — identical
@@ -48,6 +48,14 @@
       distinguish a reordered-but-linearizable schedule from one
       matching no sequential order.  Runs in a forked child, like
       ["parallel"].
+    - ["certificate"]: every specification refines itself, so two
+      fresh communities from the same source are lock-step checked
+      with {!Refinement.check} recording a certificate; the encoding
+      must round-trip bit-identically, {!Validator.validate} must
+      accept the genuine certificate and reject three semantic tampers
+      (flipped verdict, consistently corrupted digest, dropped edge),
+      each re-encoded so the CRC frame stays valid.  Skipped when no
+      class instance is creatable from the default value pools.
 
     Oracles take the rendered source so the shrinker can re-render
     candidate models and re-run just the failing oracle. *)
@@ -64,7 +72,7 @@ val run_oracle : string -> string -> Step.t list -> (unit, failure) result
     names raise [Invalid_argument]. *)
 
 val check_all : string -> Step.t list -> (unit, failure) result
-(** Run all eight oracles in order, returning the first failure. *)
+(** Run all nine oracles in order, returning the first failure. *)
 
 val request_of_step : id:int -> Step.t -> Json.t
 (** The wire request frame executing the step, as the society server

@@ -162,3 +162,32 @@ let thaw_cached (v : t) : Community.t =
       let c = thaw v in
       cache := (v.vid, c) :: take_upto (max_cached - 1) !cache;
       c
+
+(* ------------------------------------------------------------------ *)
+(* State digests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Memo of quiescent digests, keyed by the same (schema generation,
+   instance version) stamp pair {!valid} uses.  Per-domain (DLS) so
+   pool workers never race on the list; communities mid-probe (open
+   journal) bypass it entirely, because probe mutations do not bump the
+   version. *)
+let digest_memo : (Community.t * int * int * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let compute_digest (c : Community.t) : string =
+  Digest.to_hex (Digest.string (Persist.save c))
+
+let state_digest (c : Community.t) : string =
+  if c.Community.journal <> None then compute_digest c
+  else
+    let memo = Domain.DLS.get digest_memo in
+    let gen = !Community.schema_generation and ver = c.Community.version in
+    match
+      List.find_opt (fun (c', g, v, _) -> c' == c && g = gen && v = ver) !memo
+    with
+    | Some (_, _, _, d) -> d
+    | None ->
+        let d = compute_digest c in
+        memo := (c, gen, ver, d) :: take_upto (max_cached - 1) !memo;
+        d

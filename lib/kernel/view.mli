@@ -40,6 +40,15 @@ val thaw_cached : t -> Community.t
 val note_invalidated : unit -> unit
 (** Record that a holder discarded a stale view (statistics only). *)
 
+val state_digest : Community.t -> string
+(** Canonical digest (MD5 hex) of the community's dynamic state — the
+    {!Persist.save} image hashed, so two communities digest equal
+    exactly when their instance states are bit-identical.  Quiescent
+    digests (no open journal) are memoized per domain against the same
+    (schema generation, version) stamp pair {!valid} uses; communities
+    mid-probe are always re-hashed.  The refinement checker keys its
+    visited-pair memo table and certificate nodes on these digests. *)
+
 (** {1 Statistics} *)
 
 val stats_rows : unit -> (string * int) list

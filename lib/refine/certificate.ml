@@ -1,0 +1,573 @@
+(** Refinement certificates: the simulation relation as a checkable
+    artifact.
+
+    {!Refinement.check} answers yes/no; a certificate reifies *why* — the
+    explicit simulation relation in the style of Boogie's [refMap] and
+    seL4's state-correspondence relations: hashed (abstract, concrete)
+    state-pair nodes ({!View.state_digest} on both communities), one edge
+    per (pair, candidate event) with the both-sides verdict and the §5.2
+    obligation it discharges, plus everything a validator needs to replay
+    the evidence from scratch (both specification sources, the class /
+    key / creation-argument coordinates, the implementation mapping and
+    the candidate alphabet).
+
+    The node table doubles as the checker's memo table: {!enter} skips a
+    pair already explored at the same or greater remaining depth, and
+    {!save_memo}/{!load_memo} persist the (node, edge) graph keyed by a
+    digest of the whole problem instance, so a re-check only explores the
+    frontier beyond what an earlier run already certified.
+
+    Serialization follows the house text-codec pattern
+    ([effect_log.ml]/[wal.ml]): [|]-separated single-line records, a
+    byte-length + CRC-32 framed body, {!Value_codec} for values, and a
+    [Bad]-exception decoder surfaced as a [result]. *)
+
+type pair = { p_abs : string; p_conc : string }
+
+type everdict =
+  | E_ok of pair  (** jointly accepted, observations agree; the post pair *)
+  | E_stuck  (** jointly rejected: permission preserved on this case *)
+  | E_missing of string  (** abstract accepts, implementation rejects *)
+  | E_escape of string  (** implementation accepts what the spec forbids *)
+  | E_obs of string  (** jointly accepted but an observation differs *)
+
+type edge = {
+  e_pre : pair;
+  e_event : string;  (** abstract event name *)
+  e_args : Value.t list;
+  e_oblig : string;  (** obligation id this edge discharges or violates *)
+  e_verdict : everdict;
+}
+
+type t = {
+  abs_src : string;
+  conc_src : string;
+  abs_class : string;
+  conc_class : string;
+  abs_key : Value.t;
+  conc_key : Value.t;
+  abs_args : Value.t list;
+  conc_args : Value.t list;
+  event_map : (string * string) list;
+  attr_map : (string * string) list;
+  hidden : string list;
+  depth : int;
+  alphabet : (string * Value.t list) list;
+  root : pair;
+  nodes : (pair * int) list;  (** max remaining depth each pair was explored at *)
+  edges : edge list;
+  holds : bool;
+  fail_reason : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Field escaping                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Value_codec strings are length-counted raw bytes, and counterexample
+   reasons are free text — either may contain the record separators.
+   Canonical percent-escaping of exactly the four metacharacters keeps
+   every field single-line and pipe-free, and emit∘parse bit-identical. *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let esc (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '%' -> Buffer.add_string b "%25"
+      | '|' -> Buffer.add_string b "%7C"
+      | '\n' -> Buffer.add_string b "%0A"
+      | '\r' -> Buffer.add_string b "%0D"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unesc (s : string) : string =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' then
+       if !i + 2 < n then begin
+         (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+         | Some c -> Buffer.add_char b (Char.chr c)
+         | None -> fail "bad escape in %S" s);
+         i := !i + 2
+       end
+       else fail "truncated escape in %S" s
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let enc_value v = esc (Value_codec.encode v)
+
+let dec_value s =
+  match Value_codec.decode (unesc s) with
+  | Ok v -> v
+  | Error m -> fail "bad value: %s" m
+
+let enc_args args = enc_value (Value.List args)
+
+let dec_args s =
+  match dec_value s with
+  | Value.List l -> l
+  | _ -> fail "argument field is not a list"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical keys and ordering                                         *)
+(* ------------------------------------------------------------------ *)
+
+let node_key p = p.p_abs ^ "," ^ p.p_conc
+let edge_key (e : edge) =
+  node_key e.e_pre ^ "," ^ e.e_event ^ "," ^ enc_args e.e_args
+
+let sort_nodes ns =
+  List.sort (fun (a, _) (b, _) -> compare (node_key a) (node_key b)) ns
+
+let sort_edges es =
+  List.sort (fun a b -> compare (edge_key a) (edge_key b)) es
+
+(** The obligation id an edge with this verdict discharges (or violates)
+    — {!Refinement.check} marks exactly these ids, and the validator
+    recomputes them independently. *)
+let oblig_of_verdict (event : string) = function
+  | E_ok _ | E_obs _ -> "effect-" ^ event
+  | E_stuck | E_escape _ -> "perm-" ^ event
+  | E_missing _ -> "enabled-" ^ event
+
+(* ------------------------------------------------------------------ *)
+(* Emit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_line buf fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    fmt
+
+let emit_node buf (p, d) = add_line buf "node|%s|%s|%d" p.p_abs p.p_conc d
+
+let emit_edge buf (e : edge) =
+  let head =
+    Printf.sprintf "edge|%s|%s|%s|%s|%s" e.e_pre.p_abs e.e_pre.p_conc
+      (esc e.e_event) (enc_args e.e_args) (esc e.e_oblig)
+  in
+  match e.e_verdict with
+  | E_ok post -> add_line buf "%s|ok|%s|%s" head post.p_abs post.p_conc
+  | E_stuck -> add_line buf "%s|stuck" head
+  | E_missing r -> add_line buf "%s|missing|%s" head (esc r)
+  | E_escape r -> add_line buf "%s|escape|%s" head (esc r)
+  | E_obs r -> add_line buf "%s|obs|%s" head (esc r)
+
+let frame magic body =
+  Printf.sprintf "%s|%d|%08x\n%s" magic (String.length body)
+    (Wal.crc32 body land 0xffffffff)
+    body
+
+let cert_magic = "troll-cert 1"
+let memo_magic = "troll-memo 1"
+
+let encode (t : t) : string =
+  let buf = Buffer.create 4096 in
+  add_line buf "impl|%s|%s|%s|%s|%s|%s|%d|%d" (esc t.abs_class)
+    (esc t.conc_class) (enc_value t.abs_key) (enc_value t.conc_key)
+    (enc_args t.abs_args) (enc_args t.conc_args) t.depth
+    (if t.holds then 1 else 0);
+  (match t.fail_reason with
+  | None -> ()
+  | Some r -> add_line buf "fail|%s" (esc r));
+  List.iter (fun (a, c) -> add_line buf "emap|%s|%s" (esc a) (esc c))
+    t.event_map;
+  List.iter (fun (a, c) -> add_line buf "amap|%s|%s" (esc a) (esc c))
+    t.attr_map;
+  List.iter (fun a -> add_line buf "hide|%s" (esc a)) t.hidden;
+  List.iter (fun (n, args) -> add_line buf "cand|%s|%s" (esc n) (enc_args args))
+    t.alphabet;
+  add_line buf "abs-src|%d" (String.length t.abs_src);
+  Buffer.add_string buf t.abs_src;
+  Buffer.add_char buf '\n';
+  add_line buf "conc-src|%d" (String.length t.conc_src);
+  Buffer.add_string buf t.conc_src;
+  Buffer.add_char buf '\n';
+  add_line buf "root|%s|%s" t.root.p_abs t.root.p_conc;
+  List.iter (emit_node buf) (sort_nodes t.nodes);
+  List.iter (emit_edge buf) (sort_edges t.edges);
+  frame cert_magic (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** A cursor over the body: plain line reads plus exact-byte block reads
+    for the embedded sources (which line splitting would mangle). *)
+type cursor = { src : string; mutable pos : int }
+
+let at_end cur = cur.pos >= String.length cur.src
+
+let read_line cur =
+  if at_end cur then fail "unexpected end of certificate";
+  let nl =
+    match String.index_from_opt cur.src cur.pos '\n' with
+    | Some i -> i
+    | None -> fail "unterminated line"
+  in
+  let line = String.sub cur.src cur.pos (nl - cur.pos) in
+  cur.pos <- nl + 1;
+  line
+
+let read_block cur n =
+  if cur.pos + n + 1 > String.length cur.src then fail "truncated source block";
+  let s = String.sub cur.src cur.pos n in
+  if cur.src.[cur.pos + n] <> '\n' then fail "source block not newline-terminated";
+  cur.pos <- cur.pos + n + 1;
+  s
+
+let int_of s =
+  match int_of_string_opt s with Some n -> n | None -> fail "bad integer %S" s
+
+let parse_pair da dc = { p_abs = da; p_conc = dc }
+
+let parse_edge_fields = function
+  | da :: dc :: name :: args :: oblig :: code :: rest ->
+      let verdict =
+        match (code, rest) with
+        | "ok", [ pa; pc ] -> E_ok (parse_pair pa pc)
+        | "stuck", [] -> E_stuck
+        | "missing", [ r ] -> E_missing (unesc r)
+        | "escape", [ r ] -> E_escape (unesc r)
+        | "obs", [ r ] -> E_obs (unesc r)
+        | _ -> fail "bad edge verdict %S" code
+      in
+      {
+        e_pre = parse_pair da dc;
+        e_event = unesc name;
+        e_args = dec_args args;
+        e_oblig = unesc oblig;
+        e_verdict = verdict;
+      }
+  | _ -> fail "malformed edge line"
+
+let unframe magic (s : string) : string =
+  let nl =
+    match String.index_opt s '\n' with
+    | Some i -> i
+    | None -> fail "missing header line"
+  in
+  match String.split_on_char '|' (String.sub s 0 nl) with
+  | [ m; len; crc ] when String.equal m magic ->
+      let body = String.sub s (nl + 1) (String.length s - nl - 1) in
+      if String.length body <> int_of len then
+        fail "body length differs from header";
+      if Printf.sprintf "%08x" (Wal.crc32 body land 0xffffffff) <> crc then
+        fail "CRC mismatch";
+      body
+  | m :: _ -> fail "unknown header %S (wanted %s)" m magic
+  | [] -> fail "empty header"
+
+let decode (s : string) : (t, string) result =
+  try
+    let cur = { src = unframe cert_magic s; pos = 0 } in
+    let abs_class, conc_class, abs_key, conc_key, abs_args, conc_args, depth,
+        holds =
+      match String.split_on_char '|' (read_line cur) with
+      | [ "impl"; ac; cc; ak; ck; aa; ca; d; h ] ->
+          ( unesc ac,
+            unesc cc,
+            dec_value ak,
+            dec_value ck,
+            dec_args aa,
+            dec_args ca,
+            int_of d,
+            int_of h <> 0 )
+      | _ -> fail "first record is not impl"
+    in
+    let fail_reason = ref None in
+    let event_map = ref [] and attr_map = ref [] and hidden = ref [] in
+    let alphabet = ref [] in
+    let abs_src = ref None and conc_src = ref None in
+    let root = ref None in
+    let nodes = ref [] and edges = ref [] in
+    while not (at_end cur) do
+      match String.split_on_char '|' (read_line cur) with
+      | [ "fail"; r ] -> fail_reason := Some (unesc r)
+      | [ "emap"; a; c ] -> event_map := (unesc a, unesc c) :: !event_map
+      | [ "amap"; a; c ] -> attr_map := (unesc a, unesc c) :: !attr_map
+      | [ "hide"; a ] -> hidden := unesc a :: !hidden
+      | [ "cand"; n; args ] -> alphabet := (unesc n, dec_args args) :: !alphabet
+      | [ "abs-src"; n ] -> abs_src := Some (read_block cur (int_of n))
+      | [ "conc-src"; n ] -> conc_src := Some (read_block cur (int_of n))
+      | [ "root"; da; dc ] -> root := Some (parse_pair da dc)
+      | [ "node"; da; dc; d ] ->
+          nodes := (parse_pair da dc, int_of d) :: !nodes
+      | "edge" :: rest -> edges := parse_edge_fields rest :: !edges
+      | _ -> fail "malformed certificate line"
+    done;
+    let require what = function Some x -> x | None -> fail "missing %s" what in
+    Ok
+      {
+        abs_src = require "abs-src" !abs_src;
+        conc_src = require "conc-src" !conc_src;
+        abs_class;
+        conc_class;
+        abs_key;
+        conc_key;
+        abs_args;
+        conc_args;
+        event_map = List.rev !event_map;
+        attr_map = List.rev !attr_map;
+        hidden = List.rev !hidden;
+        depth;
+        alphabet = List.rev !alphabet;
+        root = require "root" !root;
+        nodes = List.rev !nodes;
+        edges = List.rev !edges;
+        holds;
+        fail_reason = !fail_reason;
+      }
+  with Bad m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Builder: recording sink + memo table                                *)
+(* ------------------------------------------------------------------ *)
+
+(** One node/edge table set.  The builder owns the shared one
+    (sequential exploration); each parallel branch task writes a private
+    copy that is merged back in alphabet order. *)
+type sink = {
+  s_nodes : (string, pair * int) Hashtbl.t;  (* node_key -> (pair, max depth) *)
+  s_edges : (string, edge) Hashtbl.t;  (* edge_key -> edge *)
+  mutable s_skips : int;
+}
+
+let new_sink () =
+  { s_nodes = Hashtbl.create 64; s_edges = Hashtbl.create 64; s_skips = 0 }
+
+type builder = {
+  b_abs_src : string;
+  b_conc_src : string;
+  b_impl : Implementation.t;
+  b_abs_key : Value.t;
+  b_conc_key : Value.t;
+  b_abs_args : Value.t list;
+  b_conc_args : Value.t list;
+  b_alphabet : (string * Value.t list) list;
+  b_depth : int;
+  b_sink : sink;
+  mutable b_root : pair option;
+  mutable b_fail : string option;
+  mutable b_loaded : int;  (* pairs seeded from a persisted memo *)
+}
+
+let builder ~abs_src ~conc_src ~(impl : Implementation.t) ~abs_key ~conc_key
+    ?(abs_args = []) ?(conc_args = []) ~alphabet ~depth () : builder =
+  {
+    b_abs_src = abs_src;
+    b_conc_src = conc_src;
+    b_impl = impl;
+    b_abs_key = abs_key;
+    b_conc_key = conc_key;
+    b_abs_args = abs_args;
+    b_conc_args = conc_args;
+    b_alphabet = alphabet;
+    b_depth = depth;
+    b_sink = new_sink ();
+    b_root = None;
+    b_fail = None;
+    b_loaded = 0;
+  }
+
+let sink b = b.b_sink
+
+let branch_sink b =
+  (* a private copy of the shared tables as they stand (root node plus
+     any memo-loaded pairs): branch tasks on pool domains never touch
+     the shared sink, so recording is race-free and the merged result is
+     the deterministic union *)
+  {
+    s_nodes = Hashtbl.copy b.b_sink.s_nodes;
+    s_edges = Hashtbl.copy b.b_sink.s_edges;
+    s_skips = 0;
+  }
+
+let merge b (frag : sink) =
+  Hashtbl.iter
+    (fun k (p, d) ->
+      match Hashtbl.find_opt b.b_sink.s_nodes k with
+      | Some (_, d0) when d0 >= d -> ()
+      | _ -> Hashtbl.replace b.b_sink.s_nodes k (p, d))
+    frag.s_nodes;
+  Hashtbl.iter
+    (fun k e ->
+      if not (Hashtbl.mem b.b_sink.s_edges k) then
+        Hashtbl.replace b.b_sink.s_edges k e)
+    frag.s_edges;
+  b.b_sink.s_skips <- b.b_sink.s_skips + frag.s_skips
+
+let enter (s : sink) (p : pair) ~(depth : int) : bool =
+  let k = node_key p in
+  match Hashtbl.find_opt s.s_nodes k with
+  | Some (_, d) when d >= depth ->
+      s.s_skips <- s.s_skips + 1;
+      false
+  | _ ->
+      (* record before exploring: a cycle back to [p] at lower remaining
+         depth must skip, or the search would not terminate *)
+      Hashtbl.replace s.s_nodes k (p, depth);
+      true
+
+let note_frontier (s : sink) (p : pair) =
+  let k = node_key p in
+  if not (Hashtbl.mem s.s_nodes k) then Hashtbl.replace s.s_nodes k (p, 0)
+
+let add_edge (s : sink) (e : edge) =
+  let k = edge_key e in
+  if not (Hashtbl.mem s.s_edges k) then Hashtbl.replace s.s_edges k e
+
+let skips (s : sink) = s.s_skips
+
+let note_root b p =
+  b.b_root <- Some p;
+  (* the root pair is a node even when depth = 0 *)
+  let k = node_key p in
+  if not (Hashtbl.mem b.b_sink.s_nodes k) then
+    Hashtbl.replace b.b_sink.s_nodes k (p, 0)
+
+let note_failed b reason = b.b_fail <- Some reason
+let loaded_pairs b = b.b_loaded
+
+let finish (b : builder) : t =
+  let root =
+    match b.b_root with
+    | Some p -> p
+    | None -> invalid_arg "Certificate.finish: no root recorded"
+  in
+  {
+    abs_src = b.b_abs_src;
+    conc_src = b.b_conc_src;
+    abs_class = b.b_impl.Implementation.abs_class;
+    conc_class = b.b_impl.Implementation.conc_class;
+    abs_key = b.b_abs_key;
+    conc_key = b.b_conc_key;
+    abs_args = b.b_abs_args;
+    conc_args = b.b_conc_args;
+    event_map = b.b_impl.Implementation.event_map;
+    attr_map = b.b_impl.Implementation.attr_map;
+    hidden = b.b_impl.Implementation.hidden;
+    depth = b.b_depth;
+    alphabet = b.b_alphabet;
+    root;
+    nodes = sort_nodes (Hashtbl.fold (fun _ nd acc -> nd :: acc) b.b_sink.s_nodes []);
+    edges = sort_edges (Hashtbl.fold (fun _ e acc -> e :: acc) b.b_sink.s_edges []);
+    holds = b.b_fail = None;
+    fail_reason = b.b_fail;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Persisted memo                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Digest identifying the whole problem instance — both sources, the
+    class/key/argument coordinates, the implementation mapping and the
+    alphabet.  Depth is deliberately excluded: node entries carry their
+    own explored depth, so a deeper re-check of the same instance can
+    reuse a shallower run's table. *)
+let spec_key (b : builder) : string =
+  let buf = Buffer.create 1024 in
+  let field s =
+    Value_codec.add_int buf (String.length s);
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  field b.b_abs_src;
+  field b.b_conc_src;
+  field b.b_impl.Implementation.abs_class;
+  field b.b_impl.Implementation.conc_class;
+  field (Value_codec.encode b.b_abs_key);
+  field (Value_codec.encode b.b_conc_key);
+  field (Value_codec.encode (Value.List b.b_abs_args));
+  field (Value_codec.encode (Value.List b.b_conc_args));
+  List.iter
+    (fun (a, c) ->
+      field a;
+      field c)
+    b.b_impl.Implementation.event_map;
+  List.iter
+    (fun (a, c) ->
+      field a;
+      field c)
+    b.b_impl.Implementation.attr_map;
+  List.iter field b.b_impl.Implementation.hidden;
+  List.iter
+    (fun (n, args) ->
+      field n;
+      field (Value_codec.encode (Value.List args)))
+    b.b_alphabet;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let memo_path ~dir ~key = Filename.concat dir (key ^ ".tmemo")
+
+let save_memo (b : builder) ~(dir : string) : (unit, string) result =
+  if b.b_fail <> None then
+    (* a failed search stopped mid-node: its table does not certify
+       "no violation below this pair" and must not seed later runs *)
+    Ok ()
+  else
+    let buf = Buffer.create 4096 in
+    List.iter (emit_node buf)
+      (sort_nodes (Hashtbl.fold (fun _ nd acc -> nd :: acc) b.b_sink.s_nodes []));
+    List.iter (emit_edge buf)
+      (sort_edges (Hashtbl.fold (fun _ e acc -> e :: acc) b.b_sink.s_edges []));
+    let body = Printf.sprintf "%s\n%s" (spec_key b) (Buffer.contents buf) in
+    try
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Persist.write_file_atomic (memo_path ~dir ~key:(spec_key b))
+        (frame memo_magic body);
+      Ok ()
+    with Sys_error m | Unix.Unix_error (_, m, _) -> Error m
+
+let load_memo (b : builder) ~(dir : string) : (int, string) result =
+  let path = memo_path ~dir ~key:(spec_key b) in
+  if not (Sys.file_exists path) then Ok 0
+  else
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      let cur = { src = unframe memo_magic s; pos = 0 } in
+      if read_line cur <> spec_key b then Ok 0
+      else begin
+        let count = ref 0 in
+        while not (at_end cur) do
+          match String.split_on_char '|' (read_line cur) with
+          | [ "node"; da; dc; d ] ->
+              let p = parse_pair da dc in
+              incr count;
+              Hashtbl.replace b.b_sink.s_nodes (node_key p) (p, int_of d)
+          | "edge" :: rest ->
+              let e = parse_edge_fields rest in
+              Hashtbl.replace b.b_sink.s_edges (edge_key e) e
+          | _ -> fail "malformed memo line"
+        done;
+        b.b_loaded <- !count;
+        Ok !count
+      end
+    with
+    | Bad m -> Error m
+    | Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Pretty                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pp_summary ppf (t : t) =
+  Format.fprintf ppf
+    "certificate: %s refined by %s, depth %d, %s@,  nodes %d@,  edges %d"
+    t.abs_class t.conc_class t.depth
+    (if t.holds then "holds" else "FAILS")
+    (List.length t.nodes) (List.length t.edges)

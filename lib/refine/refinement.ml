@@ -16,9 +16,14 @@
     The exploration branches over every candidate event at every depth.
     Each branch runs speculatively under {!Txn.probe} and is
     journal-rolled back in place — O(touched state) per branch instead
-    of the former per-branch [Community.clone] — but the number of
-    branches still grows as |alphabet|^k, which is exactly why the check
-    is *bounded* (experiment E7 measures this growth). *)
+    of the former per-branch [Community.clone].  The tree has at most
+    |alphabet|^k branches, but only jointly-accepted steps recurse, and
+    with a {!Certificate.builder} attached the visited-pair memo table
+    collapses every trace that converges on an already-explored
+    (abstract, concrete) state pair — cost is then bounded by the number
+    of *distinct* reachable pairs times the alphabet, not by the trace
+    count (experiment E7 measures the raw bounded growth, E19 the depth
+    unlocked by memoization). *)
 
 type candidate = { ev_name : string; ev_args : Value.t list }
 
@@ -151,9 +156,20 @@ let new_log () =
     branches are explored in parallel, each against domain-private
     thaws of frozen views of the two communities ({!View}); the source
     communities are never touched.  The report is the same either
-    way. *)
-let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
-    ~(conc : side) ~(alphabet : candidate list) ~(depth : int) () : report =
+    way.
+
+    With [record], every visited (abstract, concrete) state pair and
+    every examined case is recorded into the certificate builder, whose
+    node table doubles as a memo: a pair already explored at an equal or
+    greater remaining depth (in this run, or loaded from a persisted
+    memo) is skipped, so converging traces are examined once.  Parallel
+    branches record into private sinks merged back in alphabet order —
+    the certificate is the same as the sequential one on successful
+    checks (branches cannot see each other's memo entries, so [cases]
+    may be higher than the sequential count). *)
+let check ?(pool : Pool.t option) ?(record : Certificate.builder option)
+    ~(impl : Implementation.t) ~(abs : side) ~(conc : side)
+    ~(alphabet : candidate list) ~(depth : int) () : report =
   let abs_tpl =
     Community.template_exn abs.community impl.Implementation.abs_class
   in
@@ -201,8 +217,29 @@ let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
   let mark_vi log id reason =
     log.bo_marks <- M_violated (id, reason) :: log.bo_marks
   in
-  let rec explore_cand log (abs_c : Community.t) (conc_c : Community.t)
-      trace d (cand : candidate) =
+  let digest_pair abs_c conc_c =
+    {
+      Certificate.p_abs = View.state_digest abs_c;
+      p_conc = View.state_digest conc_c;
+    }
+  in
+  (* [snk]/[pre] are [Some] exactly when recording: the certificate sink
+     and the digest pair of the state the exploration currently sits in *)
+  let record_edge snk pre (cand : candidate) verdict =
+    match (snk, pre) with
+    | Some s, Some p ->
+        Certificate.add_edge s
+          {
+            Certificate.e_pre = p;
+            e_event = cand.ev_name;
+            e_args = cand.ev_args;
+            e_oblig = Certificate.oblig_of_verdict cand.ev_name verdict;
+            e_verdict = verdict;
+          }
+    | _ -> ()
+  in
+  let rec explore_cand log snk pre (abs_c : Community.t)
+      (conc_c : Community.t) trace d (cand : candidate) =
     log.bo_cases <- log.bo_cases + 1;
     (* each branch — the two speculative firings plus the whole subtree
        below them — runs under nested probe scopes and is
@@ -225,20 +262,30 @@ let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
                 mark_ex log (Printf.sprintf "enabled-%s" cand.ev_name);
                 match observe_mismatch abs_c conc_c with
                 | Some reason ->
+                    record_edge snk pre cand (Certificate.E_obs reason);
                     mark_vi log
                       (Printf.sprintf "effect-%s" cand.ev_name)
                       reason;
                     raise
                       (Cex { trace = List.rev trace; failing = cand; reason })
                 | None ->
+                    let post =
+                      match (snk, pre) with
+                      | Some _, Some _ ->
+                          let post = digest_pair abs_c conc_c in
+                          record_edge snk pre cand (Certificate.E_ok post);
+                          Some post
+                      | _ -> None
+                    in
                     mark_ex log (Printf.sprintf "effect-%s" cand.ev_name);
-                    explore log abs_c conc_c (cand :: trace) (d - 1))
+                    explore log snk post abs_c conc_c (cand :: trace) (d - 1))
             | Ok _, Error r ->
                 let reason =
                   Printf.sprintf
                     "abstract side accepts but implementation rejects (%s)"
                     (Runtime_error.reason_to_string r)
                 in
+                record_edge snk pre cand (Certificate.E_missing reason);
                 mark_vi log (Printf.sprintf "enabled-%s" cand.ev_name) reason;
                 raise (Cex { trace = List.rev trace; failing = cand; reason })
             | Error r, Ok _ ->
@@ -248,19 +295,42 @@ let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
                      forbids (abstract rejection: %s)"
                     (Runtime_error.reason_to_string r)
                 in
+                record_edge snk pre cand (Certificate.E_escape reason);
                 mark_vi log (Printf.sprintf "perm-%s" cand.ev_name) reason;
                 raise (Cex { trace = List.rev trace; failing = cand; reason })
             | Error _, Error _ ->
                 (* both reject: permission preserved on this case *)
+                record_edge snk pre cand Certificate.E_stuck;
                 mark_ex log (Printf.sprintf "perm-%s" cand.ev_name)))
-  and explore log abs_c conc_c trace d =
-    if d > 0 then
-      List.iter (fun cand -> explore_cand log abs_c conc_c trace d cand)
-        alphabet
+  and explore log snk pre abs_c conc_c trace d =
+    if d <= 0 then
+      (* frontier pair: still a certificate node, or accepted edges at
+         the last level would reference a node that was never recorded *)
+      match (snk, pre) with
+      | Some s, Some p -> Certificate.note_frontier s p
+      | _ -> ()
+    else
+      let proceed =
+        match (snk, pre) with
+        | Some s, Some p -> Certificate.enter s p ~depth:d
+        | _ -> true
+      in
+      if proceed then
+        List.iter
+          (fun cand -> explore_cand log snk pre abs_c conc_c trace d cand)
+          alphabet
   in
   let quiescent =
     abs.community.Community.journal = None
     && conc.community.Community.journal = None
+  in
+  let root_pair =
+    match record with
+    | Some b ->
+        let p = digest_pair abs.community conc.community in
+        Certificate.note_root b p;
+        Some p
+    | None -> None
   in
   let logs =
     match pool with
@@ -271,27 +341,62 @@ let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
         (* one task per top-level alphabet branch, each on domain-private
            thaws; when both sides share one community the view (and thus
            the thaw) is shared too, preserving the aliasing *)
-        let abs_view = View.freeze abs.community in
-        let conc_view =
-          if conc.community == abs.community then abs_view
-          else View.freeze conc.community
+        let proceed =
+          match (record, root_pair) with
+          | Some b, Some rp ->
+              Certificate.enter (Certificate.sink b) rp ~depth
+          | _ -> true
         in
-        let cands = Array.of_list alphabet in
-        let logs = Array.init (Array.length cands) (fun _ -> new_log ()) in
-        Pool.run p ~n:(Array.length cands) (fun i ->
-            let abs_c = View.thaw_cached abs_view in
-            let conc_c =
-              if conc_view == abs_view then abs_c
-              else View.thaw_cached conc_view
-            in
-            let log = logs.(i) in
-            match explore_cand log abs_c conc_c [] depth cands.(i) with
-            | () -> ()
-            | exception Cex cx -> log.bo_cex <- Some cx);
-        Array.to_list logs
+        if not proceed then [ new_log () ]
+        else begin
+          let abs_view = View.freeze abs.community in
+          let conc_view =
+            if conc.community == abs.community then abs_view
+            else View.freeze conc.community
+          in
+          let cands = Array.of_list alphabet in
+          let logs = Array.init (Array.length cands) (fun _ -> new_log ()) in
+          let snks =
+            match record with
+            | Some b ->
+                Some
+                  (Array.init (Array.length cands) (fun _ ->
+                       Certificate.branch_sink b))
+            | None -> None
+          in
+          Pool.run p ~n:(Array.length cands) (fun i ->
+              let abs_c = View.thaw_cached abs_view in
+              let conc_c =
+                if conc_view == abs_view then abs_c
+                else View.thaw_cached conc_view
+              in
+              let log = logs.(i) in
+              let snk = Option.map (fun a -> a.(i)) snks in
+              match
+                explore_cand log snk root_pair abs_c conc_c [] depth
+                  cands.(i)
+              with
+              | () -> ()
+              | exception Cex cx -> log.bo_cex <- Some cx);
+          (* merge branch certificates in alphabet order, stopping where
+             the report merge below stops — at the first branch with a
+             counterexample *)
+          (match (record, snks) with
+          | Some b, Some a ->
+              (try
+                 Array.iteri
+                   (fun i s ->
+                     Certificate.merge b s;
+                     if logs.(i).bo_cex <> None then raise Exit)
+                   a
+               with Exit -> ())
+          | _ -> ());
+          Array.to_list logs
+        end
     | _ ->
         let log = new_log () in
-        (match explore log abs.community conc.community [] depth with
+        let snk = Option.map Certificate.sink record in
+        (match explore log snk root_pair abs.community conc.community [] depth with
         | () -> ()
         | exception Cex cx -> log.bo_cex <- Some cx);
         [ log ]
@@ -319,6 +424,11 @@ let check ?(pool : Pool.t option) ~(impl : Implementation.t) ~(abs : side)
          | None -> ())
        logs
    with Exit -> ());
+  (match (record, !verdict) with
+  | Some b, Error cx ->
+      Certificate.note_failed b
+        (Format.asprintf "%a" pp_counterexample cx)
+  | _ -> ());
   { verdict = !verdict; cases = !cases; accepted = !accepted; obligations }
 
 let pp_report ppf r =

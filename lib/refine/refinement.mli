@@ -5,8 +5,12 @@
     corresponding events over all traces up to depth [k], requiring
     equal enabledness in both directions (missing behaviour /
     unpreserved permissions) and equal observations after every jointly
-    accepted step.  Cost grows as |alphabet|^k — hence *bounded*
-    (experiment E7). *)
+    accepted step.  The trace tree has at most |alphabet|^k branches
+    (only jointly-accepted steps recurse); with a {!Certificate.builder}
+    attached, visited (abstract, concrete) state pairs are memoized by
+    {!View.state_digest}, so cost is bounded by the number of distinct
+    reachable pairs times the alphabet — experiment E7 measures the raw
+    bounded growth, E19 the depth memoization unlocks. *)
 
 type candidate = { ev_name : string; ev_args : Value.t list }
 
@@ -43,6 +47,7 @@ type side = { community : Community.t; id : Ident.t }
 
 val check :
   ?pool:Pool.t ->
+  ?record:Certificate.builder ->
   impl:Implementation.t ->
   abs:side ->
   conc:side ->
@@ -58,4 +63,16 @@ val check :
     branches run in parallel on domain-private thaws of frozen {!View}s
     of the two communities, merged back in alphabet order — the report
     is identical to the sequential one (and the sources untouched
-    either way). *)
+    either way).
+
+    With [record], the simulation relation is recorded into the
+    certificate builder (finish it with {!Certificate.finish} after the
+    call), and the builder's node table memoizes visited state pairs: a
+    pair already explored at an equal or greater remaining depth — in
+    this run or loaded via {!Certificate.load_memo} — is skipped, which
+    both bounds converging state spaces and makes warm re-checks
+    examine strictly fewer cases.  Parallel branches record into
+    private sinks merged in alphabet order; on successful checks the
+    certificate is bit-identical to the sequential one, though [cases]
+    may be higher because branches cannot see each other's memo
+    entries. *)

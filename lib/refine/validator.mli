@@ -1,0 +1,28 @@
+(** Independent certificate validation.
+
+    The validator shares no search or verdict-forming code with
+    {!Refinement.check}: it rebuilds both communities from the sources
+    embedded in the certificate, recreates the probe instances, and
+    *replays* every recorded edge under nested {!Txn.probe} scopes,
+    checking digests, enabledness on both sides, observation agreement
+    and the discharged obligation against the certificate's claims.
+
+    Structural checks force the claimed depth coverage: the root must be
+    explored to the stated bound, every node with remaining depth must
+    carry one edge per alphabet candidate, and every accepted edge must
+    land on a node explored at most one level shallower.  Together with
+    replay, this rejects all tamper classes the fuzz oracle exercises —
+    flipped verdicts, corrupted digests, dropped edges. *)
+
+type stats = {
+  v_nodes : int;  (** state-pair nodes visited during replay *)
+  v_edges : int;  (** edges replayed under probes *)
+}
+
+val validate : Certificate.t -> (stats, string) result
+(** [Ok stats] iff every structural invariant holds and every edge
+    replays to its claimed verdict.  [Error reason] names the first
+    discrepancy. *)
+
+val validate_string : string -> (stats, string) result
+(** {!Certificate.decode} then {!validate}. *)

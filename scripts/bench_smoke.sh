@@ -8,7 +8,9 @@
 # benchmark (bench/serve_bench.ml) emitting BENCH_E11.json and the
 # E17 sharded-throughput benchmark (bench/shard_bench.ml) emitting
 # BENCH_E17.json and the E18 speculative parallel-commit benchmark
-# (bench/step_bench.ml) emitting BENCH_E18.json.
+# (bench/step_bench.ml) emitting BENCH_E18.json and the E19 memoized
+# refinement-depth benchmark (bench/refine_bench.ml) emitting
+# BENCH_E19.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -17,7 +19,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build bench/main.exe bench/serve_bench.exe bench/shard_bench.exe \
-  bench/step_bench.exe
+  bench/step_bench.exe bench/refine_bench.exe
 
 git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_utc=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -197,3 +199,7 @@ dune exec bench/shard_bench.exe -- -n 1500 -o BENCH_E17.json
 echo
 echo "== E18 (speculative parallel commit) =="
 dune exec bench/step_bench.exe -- -n 150 -o BENCH_E18.json
+
+echo
+echo "== E19 (memoized refinement depth) =="
+dune exec bench/refine_bench.exe -- -b 0.5 -o BENCH_E19.json

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Nightly fuzz run: a large random-seed sweep through the four
+# Nightly fuzz run: a large random-seed sweep through the nine
 # differential oracles (compiled-vs-interpreted dispatch, in-process
-# vs server, save/load/replay, journal cleanliness), plus the fixed
-# deterministic seed that tier-1 CI runs under `dune build @fuzz`.
+# vs server, save/load/replay, journal cleanliness, parallel queries,
+# crash recovery, sharding, linearizability, refinement
+# certificates), plus the fixed deterministic seed that tier-1 CI
+# runs under `dune build @fuzz`.
 #
 # The seed of the random sweep is logged so any failure is
 # reproducible with `trollc fuzz --seed <seed>`; shrunk

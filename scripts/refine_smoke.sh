@@ -1,0 +1,74 @@
+#!/bin/sh
+# Refinement-certificate smoke test: check the paper's EMPLOYEE /
+# EMPL_IMPL pair with `trollc refine --cert --memo`, validate the
+# emitted certificate with the independent `trollc validate-cert`,
+# tamper with it (splice bytes into the root record) and require the
+# validator to reject, then re-run the check warm from the persisted
+# memo and require it to examine strictly fewer cases than the cold
+# run while emitting a bit-identical certificate.
+#
+# Usage: scripts/refine_smoke.sh          (from the repo root)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bin/trollc.exe
+
+TROLLC=_build/default/bin/trollc.exe
+ABS=examples/specs/employee_abstract.trl
+CONC=examples/specs/employee_implementation.trl
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/troll-refine-smoke.XXXXXX")
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+refine() {
+  "$TROLLC" refine "$ABS" "$CONC" --abs EMPLOYEE --conc EMPL_IMPL \
+    --depth 4 "$@"
+}
+
+echo "== cold check, certificate + memo =="
+refine --cert "$tmp/emp.cert" --memo "$tmp/memo" | tee "$tmp/cold.out"
+cold_cases=$(sed -n 's/^refinement holds up to bound (\([0-9]*\) cases.*/\1/p' \
+  "$tmp/cold.out")
+[ -n "$cold_cases" ] || { echo "FAIL: no case count in cold output"; exit 1; }
+
+echo
+echo "== independent validation =="
+"$TROLLC" validate-cert "$tmp/emp.cert"
+
+echo
+echo "== tampered certificate must be rejected =="
+sed 's/^root|/root|00/' "$tmp/emp.cert" > "$tmp/tampered.cert"
+if "$TROLLC" validate-cert "$tmp/tampered.cert"; then
+  echo "FAIL: validator accepted a tampered certificate"
+  exit 1
+fi
+echo "rejected, as required"
+
+echo
+echo "== warm re-check from the persisted memo =="
+refine --cert "$tmp/warm.cert" --memo "$tmp/memo" | tee "$tmp/warm.out"
+warm_cases=$(sed -n 's/^refinement holds up to bound (\([0-9]*\) cases.*/\1/p' \
+  "$tmp/warm.out")
+[ -n "$warm_cases" ] || { echo "FAIL: no case count in warm output"; exit 1; }
+
+if [ "$warm_cases" -ge "$cold_cases" ]; then
+  echo "FAIL: warm re-check examined $warm_cases cases, cold $cold_cases"
+  exit 1
+fi
+echo "warm examined $warm_cases cases vs cold $cold_cases"
+
+cmp "$tmp/emp.cert" "$tmp/warm.cert" || {
+  echo "FAIL: warm certificate differs from cold"
+  exit 1
+}
+echo "warm certificate bit-identical to cold"
+
+echo
+echo "== warm certificate still validates =="
+"$TROLLC" validate-cert "$tmp/warm.cert"
+
+echo
+echo "refine smoke: OK"

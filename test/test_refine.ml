@@ -352,6 +352,233 @@ let test_lifecycle_divergence_detected () =
         (String.length cx.Refinement.reason > 0)
   | Ok () -> Alcotest.fail "life-cycle divergence not detected"
 
+(* ------------------------------------------------------------------ *)
+(* Certificates, memoization, and the independent validator            *)
+(* ------------------------------------------------------------------ *)
+
+(* every example spec pair in this file, correct and broken alike *)
+let spec_pairs =
+  [
+    ( "employee",
+      Paper_specs.employee_abstract, "EMPLOYEE",
+      Paper_specs.employee_implementation, "EMPL_IMPL" );
+    ("broken-effect", Paper_specs.employee_abstract, "EMPLOYEE",
+     broken_effect, "EMPLOYEE_BAD");
+    ("too-strict", Paper_specs.employee_abstract, "EMPLOYEE",
+     too_strict, "EMPLOYEE_STRICT");
+    ("too-permissive", abs_with_permission, "EMPLOYEE",
+     too_permissive, "EMPLOYEE_LOOSE");
+    ("undead", Paper_specs.employee_abstract, "EMPLOYEE",
+     missing_death_effect, "EMPLOYEE_UNDEAD");
+  ]
+
+let run_pair ?pool ?record (_, abs_src, abs_cls, conc_src, conc_cls) ~depth =
+  let abs = load abs_src and conc = load conc_src in
+  ignore (Engine.create abs ~cls:abs_cls ~key:(key "eve") ());
+  ignore (Engine.create conc ~cls:conc_cls ~key:(key "eve") ());
+  Refinement.check ?pool ?record
+    ~impl:(Implementation.make ~abs_class:abs_cls ~conc_class:conc_cls ())
+    ~abs:{ Refinement.community = abs; id = Ident.make abs_cls (key "eve") }
+    ~conc:{ Refinement.community = conc; id = Ident.make conc_cls (key "eve") }
+    ~alphabet ~depth ()
+
+let make_builder ~depth (_, abs_src, abs_cls, conc_src, conc_cls) =
+  Certificate.builder ~abs_src ~conc_src
+    ~impl:(Implementation.make ~abs_class:abs_cls ~conc_class:conc_cls ())
+    ~abs_key:(key "eve") ~conc_key:(key "eve")
+    ~alphabet:
+      (List.map
+         (fun (c : Refinement.candidate) ->
+           (c.Refinement.ev_name, c.Refinement.ev_args))
+         alphabet)
+    ~depth ()
+
+let employee = List.hd spec_pairs
+
+let employee_cert ~depth =
+  let b = make_builder ~depth employee in
+  let report = run_pair ~record:b employee ~depth in
+  (match report.Refinement.verdict with
+  | Ok () -> ()
+  | Error cx ->
+      Alcotest.failf "employee refinement failed: %s"
+        (Format.asprintf "%a" Refinement.pp_counterexample cx));
+  Certificate.finish b
+
+let test_cert_roundtrip () =
+  let enc = Certificate.encode (employee_cert ~depth:3) in
+  match Certificate.decode enc with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok cert' ->
+      check tbool "emit . decode . emit is the identity" true
+        (String.equal (Certificate.encode cert') enc)
+
+let test_recorded_report_identical () =
+  (* recording must not change the verdict: on every example pair the
+     reports render bit-identically with and without a builder *)
+  List.iter
+    (fun pair ->
+      let name, _, _, _, _ = pair in
+      let plain = run_pair pair ~depth:3 in
+      let recorded = run_pair ~record:(make_builder ~depth:3 pair) pair ~depth:3 in
+      check Alcotest.string
+        (Printf.sprintf "%s: recorded report equals plain" name)
+        (Format.asprintf "%a" Refinement.pp_report plain)
+        (Format.asprintf "%a" Refinement.pp_report recorded))
+    spec_pairs
+
+let test_parallel_cert_identical () =
+  let seq = Certificate.encode (employee_cert ~depth:4) in
+  let pool = Pool.create ~jobs:4 in
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let b = make_builder ~depth:4 employee in
+        ignore (run_pair ~pool ~record:b employee ~depth:4);
+        Certificate.encode (Certificate.finish b))
+  in
+  check tbool "parallel certificate bit-identical to sequential" true
+    (String.equal seq par)
+
+let with_memo_dir k =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "troll_memo_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> k dir)
+
+let test_memo_warm_recheck () =
+  with_memo_dir @@ fun dir ->
+  let cold_b = make_builder ~depth:3 employee in
+  let cold = run_pair ~record:cold_b employee ~depth:3 in
+  (match Certificate.save_memo cold_b ~dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save_memo: %s" e);
+  let warm_b = make_builder ~depth:3 employee in
+  (match Certificate.load_memo warm_b ~dir with
+  | Ok n -> check tbool "memo pairs loaded" true (n > 0)
+  | Error e -> Alcotest.failf "load_memo: %s" e);
+  let warm = run_pair ~record:warm_b employee ~depth:3 in
+  check tbool "warm verdict holds" true (warm.Refinement.verdict = Ok ());
+  check tbool "warm re-check examines fewer cases" true
+    (warm.Refinement.cases < cold.Refinement.cases);
+  check Alcotest.string "warm certificate bit-identical"
+    (Certificate.encode (Certificate.finish cold_b))
+    (Certificate.encode (Certificate.finish warm_b));
+  (* a deeper warm re-check extends the table and still validates *)
+  let deep_b = make_builder ~depth:5 employee in
+  (match Certificate.load_memo deep_b ~dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "load_memo (deep): %s" e);
+  ignore (run_pair ~record:deep_b employee ~depth:5);
+  match Validator.validate (Certificate.finish deep_b) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deep warm certificate rejected: %s" e
+
+let test_validator_accepts () =
+  match Validator.validate (employee_cert ~depth:3) with
+  | Ok st ->
+      check tbool "edges replayed" true (st.Validator.v_edges > 0);
+      check tbool "nodes visited" true (st.Validator.v_nodes > 0)
+  | Error e -> Alcotest.failf "genuine certificate rejected: %s" e
+
+let test_validator_accepts_failing_cert () =
+  (* an honest certificate of a *failed* check also validates *)
+  let pair = List.nth spec_pairs 1 in
+  let b = make_builder ~depth:2 pair in
+  let report = run_pair ~record:b pair ~depth:2 in
+  check tbool "broken pair fails" true (report.Refinement.verdict <> Ok ());
+  match Validator.validate (Certificate.finish b) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "honest failing certificate rejected: %s" e
+
+let expect_reject what cert =
+  match Validator.validate cert with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "validator accepted a certificate with %s" what
+
+let test_tamper_flipped_verdict () =
+  let cert = employee_cert ~depth:3 in
+  match cert.Certificate.edges with
+  | [] -> Alcotest.fail "certificate has no edges"
+  | e :: rest ->
+      let verdict =
+        match e.Certificate.e_verdict with
+        | Certificate.E_ok _ -> Certificate.E_stuck
+        | _ -> Certificate.E_ok e.Certificate.e_pre
+      in
+      let e' =
+        {
+          e with
+          Certificate.e_verdict = verdict;
+          e_oblig = Certificate.oblig_of_verdict e.Certificate.e_event verdict;
+        }
+      in
+      expect_reject "a flipped verdict"
+        { cert with Certificate.edges = e' :: rest }
+
+let test_tamper_corrupted_digest () =
+  (* rewrite one digest consistently everywhere, so only replay can
+     tell: the structure is intact but the state is not the claimed one *)
+  let cert = employee_cert ~depth:3 in
+  let target = cert.Certificate.root.Certificate.p_abs in
+  let fake =
+    String.map
+      (fun c -> if c = target.[0] then (if c = 'f' then '0' else 'f') else c)
+      target
+  in
+  let swap d = if String.equal d target then fake else d in
+  let swap_pair (p : Certificate.pair) =
+    { Certificate.p_abs = swap p.Certificate.p_abs; p_conc = p.Certificate.p_conc }
+  in
+  expect_reject "a corrupted digest"
+    {
+      cert with
+      Certificate.root = swap_pair cert.Certificate.root;
+      nodes = List.map (fun (p, d) -> (swap_pair p, d)) cert.Certificate.nodes;
+      edges =
+        List.map
+          (fun (e : Certificate.edge) ->
+            {
+              e with
+              Certificate.e_pre = swap_pair e.Certificate.e_pre;
+              e_verdict =
+                (match e.Certificate.e_verdict with
+                | Certificate.E_ok p -> Certificate.E_ok (swap_pair p)
+                | v -> v);
+            })
+          cert.Certificate.edges;
+    }
+
+let test_tamper_dropped_edge () =
+  let cert = employee_cert ~depth:3 in
+  match cert.Certificate.edges with
+  | [] -> Alcotest.fail "certificate has no edges"
+  | _ :: rest -> expect_reject "a dropped edge" { cert with Certificate.edges = rest }
+
+let test_framing_rejects_corruption () =
+  let enc = Certificate.encode (employee_cert ~depth:2) in
+  let corrupt = enc ^ "trailing garbage" in
+  (match Certificate.decode corrupt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decode accepted a lengthened body");
+  let flipped = Bytes.of_string enc in
+  let mid = String.length enc / 2 in
+  Bytes.set flipped mid (if Bytes.get flipped mid = 'x' then 'y' else 'x');
+  match Certificate.decode (Bytes.to_string flipped) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decode accepted a flipped byte"
+
 let () =
   Alcotest.run "refine"
     [
@@ -386,5 +613,31 @@ let () =
             test_too_permissive_detected;
           Alcotest.test_case "life-cycle divergence detected" `Quick
             test_lifecycle_divergence_detected;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "round-trip bit-identical" `Quick
+            test_cert_roundtrip;
+          Alcotest.test_case "recording leaves the report unchanged" `Quick
+            test_recorded_report_identical;
+          Alcotest.test_case "parallel emits the sequential certificate"
+            `Quick test_parallel_cert_identical;
+          Alcotest.test_case "warm memo re-check" `Quick
+            test_memo_warm_recheck;
+          Alcotest.test_case "frame corruption rejected" `Quick
+            test_framing_rejects_corruption;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "accepts genuine certificate" `Quick
+            test_validator_accepts;
+          Alcotest.test_case "accepts honest failing certificate" `Quick
+            test_validator_accepts_failing_cert;
+          Alcotest.test_case "rejects flipped verdict" `Quick
+            test_tamper_flipped_verdict;
+          Alcotest.test_case "rejects corrupted digest" `Quick
+            test_tamper_corrupted_digest;
+          Alcotest.test_case "rejects dropped edge" `Quick
+            test_tamper_dropped_edge;
         ] );
     ]
