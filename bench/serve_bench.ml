@@ -1,7 +1,8 @@
 (* E11: socket RTT throughput of `trollc serve`.
  *
  * Forks a server child on a Unix-domain socket, then drives a mixed
- * 1k-request workload synchronously (one in-flight request) and
+ * 1k-request workload synchronously (pipeline depth 1 — the
+ * many-connection pipelined arms are E20) and
  * measures per-request round-trip times.  Along the way it checks the
  * zero-leak property: a rejected or deadline-expired request must
  * leave the community state bit-identical (compared via inline `save`
@@ -293,7 +294,9 @@ let () =
         ( "description",
           Json.String
             "socket RTT throughput: mixed workload against trollc serve \
-             over a Unix-domain socket, one in-flight request" );
+             over a Unix-domain socket, driven synchronously (pipeline \
+             depth 1; see E20 for the pipelined many-connection arms)" );
+        ("pipeline_depth", Json.Int 1);
         ("git_rev", Json.String (git_rev ()));
         ("date", Json.String (iso_date ()));
         ("host", Json.String (Unix.gethostname ()));

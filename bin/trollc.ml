@@ -607,6 +607,7 @@ let serve_cmd =
             | Ok wal_t -> (
                 let config =
                   {
+                    Server.default_config with
                     Server.queue_capacity = queue;
                     Server.default_deadline_ms = default_deadline;
                     Server.save_on_shutdown = save;

@@ -130,14 +130,98 @@ let run_server_lines session requests =
   ignore (Unix.waitpid [] server_pid);
   lines
 
+(* The lockstep transport: write one request, read its response,
+   repeat.  [run_server_lines] above ships the whole trace before
+   reading anything (a maximally pipelined client); the protocol
+   promises the two are indistinguishable, response for response. *)
+let run_server_lockstep session requests =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server_pid = Unix.fork () in
+  if server_pid = 0 then (
+    Unix.close req_w;
+    Unix.close resp_r;
+    let srv = Server.create session in
+    (try Server.serve_fds srv req_r resp_w with _ -> ());
+    Unix._exit 0);
+  Unix.close req_r;
+  Unix.close resp_w;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let lines =
+    List.filter_map
+      (fun j ->
+        let line = Json.to_string j ^ "\n" in
+        let rec write_all off =
+          if off < String.length line then
+            let n =
+              Unix.write_substring req_w line off (String.length line - off)
+            in
+            write_all (off + n)
+        in
+        match write_all 0 with
+        | () -> ( match input_line ic with
+          | line -> Some line
+          | exception End_of_file -> None)
+        | exception Unix.Unix_error _ -> None)
+      requests
+  in
+  (try Unix.close req_w with Unix.Unix_error _ -> ());
+  close_in ic;
+  ignore (Unix.waitpid [] server_pid);
+  lines
+
+(* Pipelined and lockstep responses must agree id-for-id: clients
+   correlate by id, so transport depth may never change an answer. *)
+let compare_transports pipelined lockstep =
+  if List.length pipelined <> List.length lockstep then
+    failf "server" "pipelined run answered %d frames, lockstep %d"
+      (List.length pipelined) (List.length lockstep)
+  else
+    let index lines =
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Ok j -> Hashtbl.replace tbl (Json.member "id" j) j
+          | Error _ -> ())
+        lines;
+      tbl
+    in
+    let by_id = index lockstep in
+    let rec check = function
+      | [] -> Ok ()
+      | line :: rest -> (
+          match Json.of_string line with
+          | Error e -> failf "server" "pipelined response unparsable (%s): %s" e line
+          | Ok j -> (
+              let id = Json.member "id" j in
+              match Hashtbl.find_opt by_id id with
+              | None ->
+                  failf "server" "no lockstep response for id %s"
+                    (Json.to_string id)
+              | Some j' ->
+                  if not (Json.equal j j') then
+                    failf "server"
+                      "id %s: pipelined %s, lockstep %s" (Json.to_string id)
+                      line (Json.to_string j')
+                  else check rest))
+    in
+    check pipelined
+
 let server src trace =
   with_session "server" src @@ fun local ->
   with_session "server" src @@ fun remote ->
+  with_session "server" src @@ fun remote_lockstep ->
   let requests =
     List.mapi (fun i st -> request_of_step ~id:i st) trace
     @ [ Json.Obj [ ("id", Json.Int (List.length trace)); ("op", Json.String "save") ] ]
   in
   let lines = run_server_lines remote requests in
+  match
+    compare_transports lines (run_server_lockstep remote_lockstep requests)
+  with
+  | Error _ as e -> e
+  | Ok () ->
   if List.length lines <> List.length requests then
     failf "server" "expected %d response frames, got %d" (List.length requests)
       (List.length lines)

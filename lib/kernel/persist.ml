@@ -55,13 +55,19 @@ let save_object buf (o : Obj_state.t) =
       | Obj_state.PS_indexed insts ->
           Buffer.add_string buf
             (Printf.sprintf "perm|%d|indexed|%d\n" idx (List.length insts));
+          (* instances spawn in event-arrival order, which is not
+             canonical (concurrent clients interleave); sort by encoded
+             key so equal states always dump bit-identically *)
+          let encoded =
+            List.map
+              (fun (key, s) -> (Value_codec.encode (Value.List key), s))
+              insts
+          in
           List.iter
             (fun (key, s) ->
               Buffer.add_string buf
-                (Printf.sprintf "inst|%s|%s\n"
-                   (Value_codec.encode (Value.List key))
-                   (bits_of_state s)))
-            insts)
+                (Printf.sprintf "inst|%s|%s\n" key (bits_of_state s)))
+            (List.sort (fun (a, _) (b, _) -> String.compare a b) encoded))
     o.Obj_state.perm_states;
   Array.iteri
     (fun idx cs ->

@@ -26,6 +26,10 @@ let rec read ic =
 
 let to_line doc = Json.to_string doc ^ "\n"
 
+let add_line buf doc =
+  Json.add_to_buffer buf doc;
+  Buffer.add_char buf '\n'
+
 let write oc doc =
   output_string oc (to_line doc);
   flush oc

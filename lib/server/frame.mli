@@ -24,3 +24,8 @@ val write : out_channel -> Json.t -> unit
 
 val to_line : Json.t -> string
 (** The frame as a line, terminator included. *)
+
+val add_line : Buffer.t -> Json.t -> unit
+(** Append the frame (terminator included) to a caller buffer, so a
+    whole turn's responses encode into one output buffer without
+    intermediate strings. *)

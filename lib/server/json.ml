@@ -59,6 +59,8 @@ let rec print_into buf = function
         fields;
       Buffer.add_char buf '}'
 
+let add_to_buffer buf v = print_into buf v
+
 let to_string v =
   let buf = Buffer.create 256 in
   print_into buf v;

@@ -19,6 +19,10 @@ val to_string : t -> string
 (** Compact, single-line, valid UTF-8 pass-through with the mandatory
     escapes. *)
 
+val add_to_buffer : Buffer.t -> t -> unit
+(** Print the document (compactly, as {!to_string}) into a caller
+    buffer — the allocation-free half of batched frame encoding. *)
+
 val of_string : string -> (t, string) result
 (** Strict parse of one document; rejects trailing garbage. *)
 

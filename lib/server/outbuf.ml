@@ -1,0 +1,126 @@
+(** Nonblocking output buffering — see the interface for the contract. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable data : Bytes.t;
+  mutable start : int;  (** first unwritten byte *)
+  mutable len : int;  (** unwritten byte count *)
+  mutable alive : bool;
+  scratch : Buffer.t;  (** frame-encode staging, reused across frames *)
+}
+
+(* Process-wide counters: the serve loops fork per process, so plain
+   refs are race-free and cheap. *)
+let n_flushes = ref 0
+let n_short_writes = ref 0
+let n_bytes = ref 0
+
+let reset_stats () =
+  n_flushes := 0;
+  n_short_writes := 0;
+  n_bytes := 0
+
+let stats_rows () =
+  [
+    ("out_flushes", !n_flushes);
+    ("out_short_writes", !n_short_writes);
+    ("out_bytes", !n_bytes);
+  ]
+
+let initial_capacity = 4 * 1024
+
+(* Once the backlog drains, a buffer that ballooned past this is
+   reallocated small again so one burst does not pin memory forever. *)
+let shrink_above = 256 * 1024
+
+let create fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  {
+    fd;
+    data = Bytes.create initial_capacity;
+    start = 0;
+    len = 0;
+    alive = true;
+    scratch = Buffer.create 512;
+  }
+
+let pending t = t.len
+let alive t = t.alive
+let need_write t = t.alive && t.len > 0
+
+let kill t =
+  t.alive <- false;
+  t.start <- 0;
+  t.len <- 0
+
+(* Make room for [extra] more bytes at [start + len]: compact first
+   (cheap, reclaims the consumed prefix), grow only if still short. *)
+let ensure t extra =
+  let cap = Bytes.length t.data in
+  if t.start + t.len + extra > cap then begin
+    if t.start > 0 then begin
+      Bytes.blit t.data t.start t.data 0 t.len;
+      t.start <- 0
+    end;
+    if t.len + extra > cap then begin
+      let cap' =
+        let c = ref (max cap initial_capacity) in
+        while t.len + extra > !c do
+          c := !c * 2
+        done;
+        !c
+      in
+      let data' = Bytes.create cap' in
+      Bytes.blit t.data 0 data' 0 t.len;
+      t.data <- data'
+    end
+  end
+
+let add_string t s =
+  if t.alive then begin
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.data (t.start + t.len) n;
+    t.len <- t.len + n
+  end
+
+let add_frame t doc =
+  if t.alive then begin
+    Buffer.clear t.scratch;
+    Frame.add_line t.scratch doc;
+    let n = Buffer.length t.scratch in
+    ensure t n;
+    Buffer.blit t.scratch 0 t.data (t.start + t.len) n;
+    t.len <- t.len + n
+  end
+
+let maybe_shrink t =
+  if t.len = 0 then begin
+    t.start <- 0;
+    if Bytes.length t.data > shrink_above then
+      t.data <- Bytes.create initial_capacity
+  end
+
+let flush t =
+  if need_write t then begin
+    incr n_flushes;
+    let rec loop () =
+      if t.len > 0 then
+        match Unix.write t.fd t.data t.start t.len with
+        | 0 ->
+            (* a 0-byte write on a stream fd: treat as would-block *)
+            incr n_short_writes
+        | n ->
+            t.start <- t.start + n;
+            t.len <- t.len - n;
+            n_bytes := !n_bytes + n;
+            loop ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            incr n_short_writes
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (_, _, _) -> kill t
+    in
+    loop ();
+    maybe_shrink t
+  end

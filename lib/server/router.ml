@@ -8,6 +8,7 @@
 type client = {
   cl_fd : Unix.file_descr;
   cl_buf : Buffer.t;
+  cl_out : Outbuf.t;
   mutable cl_alive : bool;
 }
 
@@ -24,6 +25,7 @@ type link = {
   lk_id : int;
   lk_path : string;
   mutable lk_fd : Unix.file_descr option;
+  mutable lk_out : Outbuf.t option;  (** paired with [lk_fd] *)
   lk_buf : Buffer.t;
   lk_inflight : (string, pending) Hashtbl.t;
   (* WAL mirror: a base dump plus every record shipped since, enough
@@ -65,6 +67,7 @@ let create ~community ~map ~paths ?respawn () =
             lk_id = k;
             lk_path = paths.(k);
             lk_fd = None;
+            lk_out = None;
             lk_buf = Buffer.create 256;
             lk_inflight = Hashtbl.create 16;
             lk_base = "";
@@ -85,19 +88,15 @@ let stop t = t.draining <- true
 (* Wire helpers                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let write_all fd line =
-  let b = Bytes.of_string line in
-  let len = Bytes.length b in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd b !off (len - !off)
-  done
-
+(* frames append to nonblocking output buffers and flush
+   opportunistically; leftovers drain via the loop's write select, so a
+   stalled peer never blocks routing for everyone else *)
 let send_client c frame =
-  if c.cl_alive then
-    match write_all c.cl_fd (Frame.to_line frame) with
-    | () -> ()
-    | exception Unix.Unix_error _ -> c.cl_alive <- false
+  if c.cl_alive then begin
+    Outbuf.add_frame c.cl_out frame;
+    Outbuf.flush c.cl_out;
+    if not (Outbuf.alive c.cl_out) then c.cl_alive <- false
+  end
 
 let error_to_client c ~id err =
   send_client c (Protocol.error_frame ~id err)
@@ -126,6 +125,8 @@ let link_down t link =
   | Some fd ->
       link.lk_fd <- None;
       (try Unix.close fd with Unix.Unix_error _ -> ()));
+  Option.iter Outbuf.kill link.lk_out;
+  link.lk_out <- None;
   Buffer.clear link.lk_buf;
   Hashtbl.iter
     (fun _ p ->
@@ -203,20 +204,34 @@ let service_link t link =
           ()
       | exception Unix.Unix_error _ -> link_down t link)
 
+(** Append one frame to a link's output buffer and flush what the
+    socket accepts; [Error] (with the link torn down) when the link is
+    or just went dead. *)
+let link_write t link doc : (unit, unit) result =
+  match link.lk_out with
+  | None -> Error ()
+  | Some out ->
+      Outbuf.add_frame out doc;
+      Outbuf.flush out;
+      if Outbuf.alive out then Ok ()
+      else begin
+        link_down t link;
+        Error ()
+      end
+
 (** Send a request on a link and register a parked-reply cell for it.
     [None] when the link is (or just went) down. *)
 let send_op t link fields : (link * Json.t option ref) option =
   match link.lk_fd with
   | None -> None
-  | Some fd -> (
+  | Some _ -> (
       let iid = fresh_id t in
       let cell = ref None in
       Hashtbl.replace link.lk_inflight iid (P_sync cell);
-      match write_all fd (Frame.to_line (with_id (Json.String iid) fields)) with
-      | () -> Some (link, cell)
-      | exception Unix.Unix_error _ ->
-          Hashtbl.remove link.lk_inflight iid;
-          link_down t link;
+      match link_write t link (with_id (Json.String iid) fields) with
+      | Ok () -> Some (link, cell)
+      | Error () ->
+          (* link_down already failed and cleared the inflight table *)
           None)
 
 let sync_timeout = 60.
@@ -232,9 +247,25 @@ let await_cells t cells =
     in
     if waiting <> [] && Unix.gettimeofday () < deadline then begin
       let fds = List.filter_map (fun (l, _) -> l.lk_fd) waiting in
-      (match Unix.select fds [] [] 0.1 with
+      let wfds =
+        List.filter_map
+          (fun (l, _) ->
+            match (l.lk_fd, l.lk_out) with
+            | Some fd, Some out when Outbuf.need_write out -> Some fd
+            | _ -> None)
+          waiting
+      in
+      (match Unix.select fds wfds [] 0.1 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
+      | ready, writable, _ ->
+          List.iter
+            (fun (l, _) ->
+              match (l.lk_fd, l.lk_out) with
+              | Some fd, Some out when List.mem fd writable ->
+                  Outbuf.flush out;
+                  if not (Outbuf.alive out) then link_down t l
+              | _ -> ())
+            waiting;
           List.iter
             (fun (l, _) ->
               match l.lk_fd with
@@ -330,6 +361,7 @@ let connect_link t link : (unit, string) result =
   | Error _ as e -> e
   | Ok fd -> (
       link.lk_fd <- Some fd;
+      link.lk_out <- Some (Outbuf.create fd);
       Buffer.clear link.lk_buf;
       match rpc t link hello_fields with
       | Error e ->
@@ -412,14 +444,14 @@ let maybe_compact t link =
 let forward t link client ~id doc =
   match link.lk_fd with
   | None -> error_to_client client ~id (shard_unavailable link.lk_id)
-  | Some fd -> (
+  | Some _ -> (
       let iid = fresh_id t in
       Hashtbl.replace link.lk_inflight iid (P_client (client, id));
-      match write_all fd (Frame.to_line (with_id (Json.String iid) doc)) with
-      | () -> t.stats.forwarded <- t.stats.forwarded + 1
-      | exception Unix.Unix_error _ ->
-          Hashtbl.remove link.lk_inflight iid;
-          link_down t link)
+      match link_write t link (with_id (Json.String iid) doc) with
+      | Ok () -> t.stats.forwarded <- t.stats.forwarded + 1
+      | Error () ->
+          (* link_down already answered the parked client *)
+          ())
 
 let merge_outcomes results =
   let gather field =
@@ -727,8 +759,13 @@ let service_client t client =
 (* The serve loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* a client that stopped draining its responses cannot be allowed to
+   buffer without bound; past this it is dropped *)
+let client_backlog_limit = 8 * 1024 * 1024
+
 let close_client c =
   if c.cl_alive then c.cl_alive <- false;
+  Outbuf.kill c.cl_out;
   try Unix.close c.cl_fd with Unix.Unix_error _ -> ()
 
 let listen_unix t ~path : (unit, string) result =
@@ -778,15 +815,54 @@ let listen_unix t ~path : (unit, string) result =
               (fun l ->
                 if l.lk_fd = None then recover t l else maybe_compact t l)
               t.links;
+          List.iter
+            (fun c ->
+              if c.cl_alive then begin
+                if not (Outbuf.alive c.cl_out) then c.cl_alive <- false
+                else if Outbuf.pending c.cl_out > client_backlog_limit then
+                  close_client c
+              end)
+            t.clients;
           t.clients <- List.filter (fun c -> c.cl_alive) t.clients;
           let read_fds =
             (if t.draining then [] else [ listener ])
             @ List.map (fun c -> c.cl_fd) t.clients
             @ List.filter_map (fun l -> l.lk_fd) (Array.to_list t.links)
           in
-          (match Unix.select read_fds [] [] 0.1 with
+          let write_fds =
+            List.filter_map
+              (fun c ->
+                if Outbuf.need_write c.cl_out then Some c.cl_fd else None)
+              t.clients
+            @ List.filter_map
+                (fun l ->
+                  match (l.lk_fd, l.lk_out) with
+                  | Some fd, Some out when Outbuf.need_write out -> Some fd
+                  | _ -> None)
+                (Array.to_list t.links)
+          in
+          (match Unix.select read_fds write_fds [] 0.1 with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | ready, _, _ ->
+          | ready, writable, _ ->
+              List.iter
+                (fun fd ->
+                  match
+                    Array.find_opt (fun l -> l.lk_fd = Some fd) t.links
+                  with
+                  | Some link ->
+                      Option.iter Outbuf.flush link.lk_out;
+                      if
+                        not
+                          (Option.fold ~none:false ~some:Outbuf.alive
+                             link.lk_out)
+                      then link_down t link
+                  | None -> (
+                      match
+                        List.find_opt (fun c -> c.cl_fd = fd) t.clients
+                      with
+                      | Some client -> Outbuf.flush client.cl_out
+                      | None -> ()))
+                writable;
               List.iter
                 (fun fd ->
                   if fd = listener then begin
@@ -797,6 +873,7 @@ let listen_unix t ~path : (unit, string) result =
                           {
                             cl_fd = cfd;
                             cl_buf = Buffer.create 256;
+                            cl_out = Outbuf.create cfd;
                             cl_alive = true;
                           }
                           :: t.clients

@@ -6,6 +6,12 @@ type config = {
   default_deadline_ms : int option;
   save_on_shutdown : string option;
   jobs : int;  (** probe pool size; 1 = sequential (and fork-safe) *)
+  out_high_water : int;
+      (** pause reading a connection whose output backlog reaches this *)
+  out_low_water : int;  (** resume reading once the backlog drains to this *)
+  evict_after : float;
+      (** seconds a paused connection may stay paused before it is
+          evicted; doubles as the drain deadline on shutdown *)
 }
 
 let default_config =
@@ -14,21 +20,35 @@ let default_config =
     default_deadline_ms = None;
     save_on_shutdown = None;
     jobs = 1;
+    out_high_water = 1 lsl 20;
+    out_low_water = 1 lsl 16;
+    evict_after = 30.;
   }
 
 (* one client connection; [pending] buffers bytes up to the next
-   newline *)
+   newline, [inq] holds the connection's admitted-but-unexecuted
+   requests in arrival order, [out] its coalesced responses *)
 type conn = {
   fd : Unix.file_descr;
   out_fd : Unix.file_descr;  (** = [fd] except in stdio mode *)
+  out : Outbuf.t;
   mutable pending : Buffer.t;
+  inq : job Queue.t;
   mutable alive : bool;
+  owned : bool;
+      (** accepted by the listener (so the server closes it); the stdio
+          descriptors belong to the caller *)
+  mutable reading : bool;
+      (** false after input EOF: the connection only drains *)
+  mutable paused_since : float;
+      (** 0. = reading normally; otherwise the time the output backlog
+          crossed the high-water mark and reading stopped *)
   mutable ship : bool;
       (** negotiated the [wal] capability in [hello]: shipped WAL
           records are pushed to this connection at turn boundaries *)
 }
 
-type job = {
+and job = {
   conn : conn;
   id : Json.t;
   request : Protocol.request;
@@ -48,13 +68,22 @@ type counters = {
   mutable malformed : int;
   mutable probe_requests : int;  (** enabled/candidates answered *)
   mutable probe_batches : int;  (** coalesced probe dispatches *)
+  mutable step_batches : int;  (** coalesced single-step dispatches *)
+  mutable step_batch_members : int;  (** steps answered by those *)
+  mutable pauses : int;  (** high-water read pauses *)
+  mutable resumes : int;  (** low-water read resumes *)
+  mutable evictions : int;  (** connections dropped at the deadline *)
+  mutable max_turn_jobs : int;  (** largest single-turn job count *)
 }
 
 type t = {
   session : Troll.Session.t;
   config : config;
-  queue : job Queue.t;
+  mutable queued : int;  (** jobs across every connection's [inq] *)
+  mutable rr : int;  (** round-robin start offset for fair interleave *)
   mutable draining : bool;
+  mutable drain_deadline : float;
+      (** absolute; past it, a drain stops waiting for slow readers *)
   mutable conns : conn list;
   stats : counters;
   latency : (string, Trace.Latency.t) Hashtbl.t;
@@ -86,8 +115,10 @@ let create ?(config = default_config) ?wal session =
     wal;
     prepared = None;
     ship_queue = Queue.create ();
-    queue = Queue.create ();
+    queued = 0;
+    rr = 0;
     draining = false;
+    drain_deadline = infinity;
     conns = [];
     stats =
       {
@@ -101,6 +132,12 @@ let create ?(config = default_config) ?wal session =
         malformed = 0;
         probe_requests = 0;
         probe_batches = 0;
+        step_batches = 0;
+        step_batch_members = 0;
+        pauses = 0;
+        resumes = 0;
+        evictions = 0;
+        max_turn_jobs = 0;
       };
     latency = Hashtbl.create 16;
     view = None;
@@ -119,7 +156,10 @@ let create ?(config = default_config) ?wal session =
     wal;
   t
 
-let stop t = t.draining <- true
+let stop t =
+  t.draining <- true;
+  if t.drain_deadline = infinity then
+    t.drain_deadline <- Unix.gettimeofday () +. t.config.evict_after
 
 (* ------------------------------------------------------------------ *)
 (* Probe views and pool                                                *)
@@ -157,19 +197,27 @@ let shutdown_pool t =
 (* Replies                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let send conn frame =
-  if conn.alive then begin
-    let line = Frame.to_line frame in
-    let len = String.length line in
-    let pos = ref 0 in
-    try
-      while !pos < len do
-        pos := !pos + Unix.write_substring conn.out_fd line !pos (len - !pos)
-      done
-    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
-  end
-
+(* responses append to the connection's output buffer; the serve loop
+   flushes once per turn (coalescing a whole turn into one write) and
+   resumes partial writes from the select write set *)
+let send conn frame = if conn.alive then Outbuf.add_frame conn.out frame
 let send_error conn ~id err = send conn (Protocol.error_frame ~id err)
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    conn.reading <- false;
+    (* answers already encoded get one last best-effort write *)
+    Outbuf.flush conn.out;
+    Outbuf.kill conn.out;
+    t.queued <- t.queued - Queue.length conn.inq;
+    Queue.clear conn.inq;
+    if conn.owned then begin
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      if conn.out_fd <> conn.fd then
+        try Unix.close conn.out_fd with Unix.Unix_error _ -> ()
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
@@ -226,9 +274,24 @@ let stats_json t : Json.t =
             ("overloaded", Json.Int s.overloaded);
             ("shed", Json.Int s.shed);
             ("malformed", Json.Int s.malformed);
-            ("queue_depth", Json.Int (Queue.length t.queue));
+            ("queue_depth", Json.Int t.queued);
             ("draining", Json.Bool t.draining);
           ] );
+      ( "pipeline",
+        Json.Obj
+          ([
+             ("sessions", Json.Int (List.length t.conns));
+             ("queued", Json.Int t.queued);
+             ("step_batches", Json.Int s.step_batches);
+             ("step_batch_members", Json.Int s.step_batch_members);
+             ("pauses", Json.Int s.pauses);
+             ("resumes", Json.Int s.resumes);
+             ("evictions", Json.Int s.evictions);
+             ("max_turn_jobs", Json.Int s.max_turn_jobs);
+           ]
+          @ List.map
+              (fun (label, n) -> (label, Json.Int n))
+              (Outbuf.stats_rows ())) );
       ( "txn",
         Json.Obj
           (List.map
@@ -321,7 +384,7 @@ let allowed_while_prepared = function
 let server_caps t =
   (if Option.is_some t.wal then [ "wal" ] else [])
   @ (if t.config.jobs > 1 then [ "jobs" ] else [])
-  @ [ "steps" ]
+  @ [ "steps"; "pipeline" ]
 
 let execute t (req : Protocol.request) :
     (Json.t, Protocol.Wire_error.t) result =
@@ -583,7 +646,7 @@ let execute t (req : Protocol.request) :
   | Protocol.Shutdown -> Ok (Json.Obj [ ("draining", Json.Bool true) ])
 
 (* ------------------------------------------------------------------ *)
-(* The queue                                                           *)
+(* Job execution                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let process t (job : job) =
@@ -611,7 +674,7 @@ let process t (job : job) =
       | Error err ->
           t.stats.rejected <- t.stats.rejected + 1;
           send_error job.conn ~id:job.id err);
-      (* shutdown drains: admission stops, the queue finishes *)
+      (* shutdown drains: admission stops, the queues finish *)
       match job.request with Protocol.Shutdown -> stop t | _ -> ()));
   record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at)
 
@@ -620,6 +683,40 @@ let is_probe (job : job) =
   | Protocol.Enabled _ | Protocol.Candidates _ -> true
   | _ -> false
 
+let is_single_step (job : job) =
+  match job.request with Protocol.Step _ -> true | _ -> false
+
+(** Per-job bookkeeping shared by the batched paths: counters, the
+    response frame, the latency sample. *)
+let finish_job t (job : job) result =
+  t.stats.executed <- t.stats.executed + 1;
+  (match result with
+  | Ok body ->
+      t.stats.ok <- t.stats.ok + 1;
+      send job.conn (Protocol.ok_frame ~id:job.id body)
+  | Error err ->
+      t.stats.rejected <- t.stats.rejected + 1;
+      send_error job.conn ~id:job.id err);
+  record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at)
+
+(** Answer the expired jobs of a batch immediately and return the rest.
+    The batch paths check deadlines once, up front — a whole batch runs
+    at one quiescent point, so there is no later point to re-check at. *)
+let drop_expired t (jobs : job list) =
+  let now = Unix.gettimeofday () in
+  List.filter
+    (fun job ->
+      match job.deadline with
+      | Some d when now >= d ->
+          t.stats.expired <- t.stats.expired + 1;
+          send_error job.conn ~id:job.id
+            (Protocol.Wire_error.make ~code:"deadline_expired"
+               "deadline passed before execution");
+          record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at);
+          false
+      | _ -> true)
+    jobs
+
 (** Answer a run of consecutive probe jobs from one frozen view, with
     every individual enabledness probe of every job in the run coalesced
     into a single pool dispatch.  Per-job deadline checks, counters and
@@ -627,32 +724,7 @@ let is_probe (job : job) =
     answers equal per-job execution because all jobs in the run see the
     same quiescent point. *)
 let process_probe_batch t (jobs : job list) =
-  let now = Unix.gettimeofday () in
-  let finish job result =
-    t.stats.executed <- t.stats.executed + 1;
-    (match result with
-    | Ok body ->
-        t.stats.ok <- t.stats.ok + 1;
-        send job.conn (Protocol.ok_frame ~id:job.id body)
-    | Error err ->
-        t.stats.rejected <- t.stats.rejected + 1;
-        send_error job.conn ~id:job.id err);
-    record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at)
-  in
-  let live =
-    List.filter
-      (fun job ->
-        match job.deadline with
-        | Some d when now >= d ->
-            t.stats.expired <- t.stats.expired + 1;
-            send_error job.conn ~id:job.id
-              (Protocol.Wire_error.make ~code:"deadline_expired"
-                 "deadline passed before execution");
-            record_latency t job.op (Unix.gettimeofday () -. job.enqueued_at);
-            false
-        | _ -> true)
-      jobs
-  in
+  let live = drop_expired t jobs in
   if live <> [] then begin
     t.stats.probe_batches <- t.stats.probe_batches + 1;
     let view = current_view t in
@@ -715,16 +787,16 @@ let process_probe_batch t (jobs : job list) =
     List.iter
       (fun (job, plan) ->
         match plan with
-        | `Done r -> finish job r
+        | `Done r -> finish_job t job r
         | `Enabled (descs, offs) ->
             let names = ref [] in
             for i = Array.length descs - 1 downto 0 do
               if ok.(offs.(i)) then
                 names := descs.(i).Template.ed_name :: !names
             done;
-            finish job (Ok (enabled_result !names))
+            finish_job t job (Ok (enabled_result !names))
         | `Cands (cands, slots) ->
-            finish job
+            finish_job t job
               (Ok
                  (candidates_result
                     (List.init (Array.length cands) (fun i ->
@@ -733,20 +805,125 @@ let process_probe_batch t (jobs : job list) =
       plans
   end
 
+(** Answer a run of consecutive single-event fires from every session in
+    one speculative-parallel dispatch.  [Engine.step_batch_par] promises
+    results bit-identical to firing the array sequentially, and
+    [Troll.step] on an unsharded session {e is} [Engine.step] — so the
+    responses (and the community) equal per-job {!process}, only
+    cheaper.  Callers guarantee no prepared transaction is open and the
+    session is unsharded. *)
+let process_step_batch t (jobs : job list) =
+  match drop_expired t jobs with
+  | [] -> ()
+  | [ job ] -> process t job
+  | live ->
+      t.stats.step_batches <- t.stats.step_batches + 1;
+      t.stats.step_batch_members <-
+        t.stats.step_batch_members + List.length live;
+      let steps =
+        Array.of_list
+          (List.map
+             (fun job ->
+               match job.request with
+               | Protocol.Step step -> step
+               | _ -> assert false)
+             live)
+      in
+      let results =
+        Engine.step_batch_par ~pool:(probe_pool t)
+          (Troll.Session.community t.session)
+          steps
+      in
+      List.iteri
+        (fun i job ->
+          finish_job t job
+            (match results.(i) with
+            | Ok outcome -> Ok (Protocol.outcome_to_json outcome)
+            | Error reason -> Error (Protocol.Wire_error.of_reason reason)))
+        live
+
+(* ------------------------------------------------------------------ *)
+(* Admission and scheduling                                            *)
+(* ------------------------------------------------------------------ *)
+
 let admit t (job : job) =
   if t.draining then begin
     t.stats.shed <- t.stats.shed + 1;
     send_error job.conn ~id:job.id
       (Protocol.Wire_error.make ~code:"shutting_down" "server is draining")
   end
-  else if Queue.length t.queue >= t.config.queue_capacity then begin
+  else if t.queued >= t.config.queue_capacity then begin
     t.stats.overloaded <- t.stats.overloaded + 1;
     send_error job.conn ~id:job.id
       (Protocol.Wire_error.make ~code:"overloaded"
          (Printf.sprintf "admission queue full (%d requests)"
             t.config.queue_capacity))
   end
-  else Queue.add job t.queue
+  else begin
+    Queue.add job job.conn.inq;
+    t.queued <- t.queued + 1
+  end
+
+(** Drain every per-session queue into one execution order: cycling
+    round-robin over the sessions, one job per session per cycle, so a
+    session that pipelined a hundred frames cannot starve the others —
+    while each session's own jobs stay FIFO.  The cycle's start rotates
+    every turn. *)
+let gather_jobs t : job list =
+  if t.queued = 0 then []
+  else begin
+    let conns = Array.of_list (List.rev t.conns) in
+    let n = Array.length conns in
+    let out = ref [] in
+    let remaining = ref t.queued in
+    let i = ref t.rr in
+    while !remaining > 0 do
+      (match Queue.take_opt conns.(!i mod n).inq with
+      | Some job ->
+          out := job :: !out;
+          decr remaining
+      | None -> ());
+      incr i
+    done;
+    t.queued <- 0;
+    t.rr <- (t.rr + 1) mod n;
+    List.rev !out
+  end
+
+(** Execute one turn's jobs, coalescing maximal contiguous runs: probes
+    answer from one frozen view in one pool dispatch, single-event fires
+    batch through the speculative-parallel path (only while no prepared
+    transaction is open and the session is unsharded — checked per run,
+    because a [prepare] executing mid-turn closes the window). *)
+let run_jobs t (jobs : job list) =
+  let span p l =
+    let rec go acc = function
+      | x :: rest when p x -> go (x :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    go [] l
+  in
+  let can_batch_steps () =
+    Option.is_none t.prepared
+    && Option.is_none (Troll.Session.shard_map t.session)
+  in
+  let rec go = function
+    | [] -> ()
+    | job :: _ as l when is_probe job ->
+        let run, rest = span is_probe l in
+        process_probe_batch t run;
+        go rest
+    | job :: _ as l when is_single_step job && can_batch_steps () ->
+        let run, rest = span is_single_step l in
+        process_step_batch t run;
+        go rest
+    | job :: rest ->
+        process t job;
+        go rest
+  in
+  let njobs = List.length jobs in
+  if njobs > t.stats.max_turn_jobs then t.stats.max_turn_jobs <- njobs;
+  go jobs
 
 let handle_frame t conn (read : Frame.read) =
   match read with
@@ -788,14 +965,6 @@ let handle_frame t conn (read : Frame.read) =
 (* Connection input                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let close_conn conn =
-  if conn.alive then begin
-    conn.alive <- false;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    if conn.out_fd <> conn.fd then
-      try Unix.close conn.out_fd with Unix.Unix_error _ -> ()
-  end
-
 (** Drain complete lines out of the connection's pending buffer. *)
 let feed_lines t conn =
   let data = Buffer.contents conn.pending in
@@ -820,25 +989,36 @@ let feed_lines t conn =
     send_error conn ~id:Json.Null
       (Protocol.Wire_error.make ~code:"bad_request"
          (Printf.sprintf "frame longer than %d bytes" Frame.max_frame_bytes));
-    close_conn conn
+    close_conn t conn
   end
 
 let read_chunk_size = 65536
 
-(** Read once from a select-ready connection; [false] on end of
-    input. *)
+(** Read a select-ready connection dry — the descriptor is nonblocking,
+    so the loop drains everything the kernel has buffered and every
+    complete frame is admitted in this wakeup (decode-ahead).  [false]
+    on end of input. *)
 let service_input t conn =
   let buf = Bytes.create read_chunk_size in
-  match Unix.read conn.fd buf 0 read_chunk_size with
-  | 0 -> false
-  | n ->
-      Buffer.add_subbytes conn.pending buf 0 n;
-      feed_lines t conn;
-      true
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    ->
-      true
-  | exception Unix.Unix_error (_, _, _) -> false
+  let open_ = ref true and more = ref true in
+  while !more do
+    match Unix.read conn.fd buf 0 read_chunk_size with
+    | 0 ->
+        open_ := false;
+        more := false
+    | n ->
+        Buffer.add_subbytes conn.pending buf 0 n;
+        if n < read_chunk_size then more := false
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        more := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        open_ := false;
+        more := false
+  done;
+  if conn.alive then feed_lines t conn;
+  !open_
 
 (* ------------------------------------------------------------------ *)
 (* The serve loop                                                      *)
@@ -859,27 +1039,116 @@ let flush_snapshot t =
   | None -> ()
   | Some path -> Persist.save_file (Troll.Session.community t.session) path
 
+let all_flushed t =
+  List.for_all (fun c -> not (Outbuf.need_write c.out)) t.conns
+
+(** Flush every connection once (all frames appended this turn leave in
+    one write each), then apply backpressure policy: a backlog past the
+    high-water mark pauses reading, one drained to the low-water mark
+    resumes it, a dead buffer (write error) closes the connection, and a
+    half-closed connection that has fully drained is reaped. *)
+let flush_and_police t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      if c.alive then begin
+        Outbuf.flush c.out;
+        if not (Outbuf.alive c.out) then close_conn t c
+        else begin
+          let backlog = Outbuf.pending c.out in
+          if c.paused_since = 0. then begin
+            if backlog >= t.config.out_high_water then begin
+              c.paused_since <- now;
+              t.stats.pauses <- t.stats.pauses + 1
+            end
+          end
+          else if backlog <= t.config.out_low_water then begin
+            c.paused_since <- 0.;
+            t.stats.resumes <- t.stats.resumes + 1
+          end;
+          if
+            c.owned
+            && (not c.reading)
+            && Queue.is_empty c.inq
+            && backlog = 0
+            && not c.ship
+          then close_conn t c
+        end
+      end)
+    t.conns;
+  t.conns <- List.filter (fun c -> c.alive) t.conns
+
+(** Evict connections that have sat at their high-water pause for the
+    whole eviction window: the peer is not draining, and an unbounded
+    backlog (or a read stopped forever) must not outlive it. *)
+let evict_overdue t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      if
+        c.alive && c.paused_since > 0.
+        && now -. c.paused_since >= t.config.evict_after
+      then begin
+        t.stats.evictions <- t.stats.evictions + 1;
+        close_conn t c
+      end)
+    t.conns;
+  t.conns <- List.filter (fun c -> c.alive) t.conns
+
+let make_conn ~owned ~fd ~out_fd =
+  {
+    fd;
+    out_fd;
+    out = Outbuf.create out_fd;
+    pending = Buffer.create 256;
+    inq = Queue.create ();
+    alive = true;
+    owned;
+    reading = true;
+    paused_since = 0.;
+    ship = false;
+  }
+
 (** One select-poll-and-execute turn; [listener] accepts new
     connections while not draining.  [input_open] is false once the
     (stdio) input saw EOF. *)
 let serve_loop t ~listener =
   let input_open = ref true in
   let rec loop () =
+    evict_overdue t;
+    let now = Unix.gettimeofday () in
     let done_ =
-      t.draining && Queue.is_empty t.queue
-      || (listener = None && (not !input_open) && Queue.is_empty t.queue)
+      (t.draining && t.queued = 0
+      && (all_flushed t || now >= t.drain_deadline))
+      || (listener = None && (not !input_open) && t.queued = 0
+         && all_flushed t)
     in
     if not done_ then begin
       let read_fds =
         (match listener with Some l when not t.draining -> [ l ] | _ -> [])
         @ List.filter_map
-            (fun c -> if c.alive && !input_open then Some c.fd else None)
+            (fun c ->
+              if c.alive && c.reading && c.paused_since = 0. then Some c.fd
+              else None)
             t.conns
       in
-      let timeout = if Queue.is_empty t.queue then 0.1 else 0. in
-      (match Unix.select read_fds [] [] timeout with
+      let write_fds =
+        List.filter_map
+          (fun c -> if Outbuf.need_write c.out then Some c.out_fd else None)
+          t.conns
+      in
+      let timeout = if t.queued > 0 then 0. else 0.1 in
+      (match Unix.select read_fds write_fds [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
+      | ready, writable, _ ->
+          (* drain writable backlogs first: room opens up before this
+             turn's work appends more *)
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun c -> c.out_fd = fd) t.conns with
+              | Some c when c.alive -> Outbuf.flush c.out
+              | _ -> ())
+            writable;
           List.iter
             (fun fd ->
               if Some fd = listener then begin
@@ -887,44 +1156,22 @@ let serve_loop t ~listener =
                 | exception Unix.Unix_error (_, _, _) -> ()
                 | cfd, _ ->
                     t.conns <-
-                      {
-                        fd = cfd;
-                        out_fd = cfd;
-                        pending = Buffer.create 256;
-                        alive = true;
-                        ship = false;
-                      }
-                      :: t.conns
+                      make_conn ~owned:true ~fd:cfd ~out_fd:cfd :: t.conns
               end
               else
                 match List.find_opt (fun c -> c.fd = fd) t.conns with
                 | None -> ()
                 | Some conn ->
-                    if not (service_input t conn) then
-                      if listener = None then
-                        (* stdio: end of input means drain and exit *)
-                        input_open := false
-                      else begin
-                        close_conn conn;
-                        t.conns <-
-                          List.filter (fun c -> c.alive) t.conns
-                      end)
+                    if not (service_input t conn) then begin
+                      (* end of input: in stdio mode the loop drains and
+                         exits; a socket connection half-closes — its
+                         admitted jobs still execute and the answers
+                         still flush before the reaper closes it *)
+                      conn.reading <- false;
+                      if listener = None then input_open := false
+                    end)
             ready);
-      (if not (Queue.is_empty t.queue) then
-         let job = Queue.pop t.queue in
-         if is_probe job then begin
-           (* decode-ahead batching: the maximal run of consecutive
-              probe jobs at the queue head is answered from one view in
-              one pool dispatch *)
-           let batch = ref [ job ] in
-           while
-             (not (Queue.is_empty t.queue)) && is_probe (Queue.peek t.queue)
-           do
-             batch := Queue.pop t.queue :: !batch
-           done;
-           process_probe_batch t (List.rev !batch)
-         end
-         else process t job);
+      run_jobs t (gather_jobs t);
       (* group fsync at the turn boundary: everything committed by the
          jobs of this turn becomes durable in one fsync (a no-op when
          nothing was appended, or under the per-batch fsync policy) *)
@@ -937,22 +1184,15 @@ let serve_loop t ~listener =
         let frame = Protocol.wal_frame records in
         List.iter (fun c -> if c.ship && c.alive then send c frame) t.conns
       end;
+      flush_and_police t;
       loop ()
     end
   in
   loop ()
 
 let serve_fds t in_fd out_fd =
-  let conn =
-    {
-      fd = in_fd;
-      out_fd;
-      pending = Buffer.create 256;
-      alive = true;
-      ship = false;
-    }
-  in
-  t.conns <- conn :: t.conns;
+  (try Unix.set_nonblock in_fd with Unix.Unix_error _ -> ());
+  t.conns <- make_conn ~owned:false ~fd:in_fd ~out_fd :: t.conns;
   serve_loop t ~listener:None;
   shutdown_pool t;
   Option.iter Wal.detach t.wal;
@@ -977,7 +1217,7 @@ let listen_unix t ~path =
   serve_loop t ~listener:(Some listener);
   (try Unix.close listener with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
-  List.iter close_conn t.conns;
+  List.iter (fun c -> close_conn t c) t.conns;
   t.conns <- [];
   List.iter (fun (s, behaviour) -> Sys.set_signal s behaviour) previous;
   shutdown_pool t;

@@ -6,24 +6,43 @@
     the daemon, and interface classes mediate their view of it.
 
     {b Execution model.}  A single-threaded [select] loop multiplexes
-    every connection.  Complete frames are decoded and admitted to a
-    bounded queue with per-request deadlines; between polls the loop
-    executes queued requests one at a time, in admission order, against
-    the journaled engine — so every mutating request is one transaction
-    and a rejected request leaves the community bit-identical.  A
-    request whose deadline passes while it is still queued is answered
-    [deadline_expired] without touching the engine; a request arriving
-    on a full queue is answered [overloaded] immediately.
+    every connection.  Each wakeup drains every complete frame the
+    kernel has buffered (decode-ahead) into a per-connection FIFO of
+    admitted jobs, bounded by [queue_capacity] across all connections;
+    the turn then executes the queued jobs — round-robin across
+    connections, one job per connection per cycle, so a deeply
+    pipelined client never starves the others, while each connection's
+    own requests stay FIFO — against the journaled engine.  Every
+    mutating request is one transaction and a rejected request leaves
+    the community bit-identical.  A request whose deadline passes while
+    it is still queued is answered [deadline_expired] without touching
+    the engine; a request arriving on a full queue is answered
+    [overloaded] immediately.
 
-    {b Parallel probes.}  Read-only probe requests ([enabled],
+    {b Batched execution.}  Maximal contiguous runs of the turn's job
+    order coalesce.  Read-only probe requests ([enabled],
     [candidates]) are answered from a frozen {!View} of the community,
-    taken once per quiescent point and reused until a step commits (or
-    the schema or a restore changes state).  The select loop decodes
-    ahead: a run of consecutive probe requests at the queue head is
-    coalesced into a single dispatch over the probe pool ([config.jobs]
-    domains; 1 = sequential on the loop thread, the default).  The pool
-    is created lazily on the first probe request, so a server that
-    never probes never spawns a domain and stays fork-safe.
+    taken once per quiescent point, with a whole run dispatched over
+    the probe pool at once ([config.jobs] domains; 1 = sequential on
+    the loop thread, the default).  Runs of single-event fires go
+    through {!Engine.step_batch_par}, whose results are bit-identical
+    to firing them one at a time — footprint-disjoint prefixes commit
+    speculatively in parallel (only while no prepared transaction is
+    open and the session is unsharded).  The pool is created lazily on
+    the first batch, so a server that never needs it never spawns a
+    domain and stays fork-safe.
+
+    {b Write coalescing and backpressure.}  Responses append to a
+    per-connection output buffer; the loop flushes each buffer once per
+    turn through a nonblocking descriptor, so one turn's answers leave
+    in one [write] and a peer that stops draining can never block the
+    loop (partial writes resume from the select write set).  A backlog
+    past [out_high_water] pauses reading that connection — admission
+    stops, kernel backpressure propagates to the client — and reading
+    resumes once the backlog drains to [out_low_water].  A connection
+    paused for [evict_after] seconds straight is evicted.  Pauses,
+    resumes, evictions and batch sizes are reported in the [pipeline]
+    block of the [stats] frame.
 
     {b Durability.}  With a {!Wal.t} attached, every mutating request
     appends its committed effect delta through the community's commit
@@ -38,10 +57,11 @@
 
     {b Shutdown.}  A [shutdown] request (or {!stop}, wired to
     SIGINT/SIGTERM by {!listen_unix}) stops admission; requests already
-    admitted are drained in order, then the WAL (if any) is synced and
-    detached, the optional snapshot is flushed, connections close, and
-    the serve call returns.  Frames already buffered behind the
-    shutdown are answered [shutting_down]. *)
+    admitted are drained in order, output buffers are flushed (waiting
+    at most [evict_after] seconds for slow readers), then the WAL (if
+    any) is synced and detached, the optional snapshot is flushed,
+    connections close, and the serve call returns.  Frames already
+    buffered behind the shutdown are answered [shutting_down]. *)
 
 type config = {
   queue_capacity : int;  (** admission bound; beyond it: [overloaded] *)
@@ -53,10 +73,19 @@ type config = {
   jobs : int;
       (** probe-pool size ([--jobs]); 1 = probe sequentially on the
           loop thread, never spawning a domain *)
+  out_high_water : int;
+      (** output-backlog bytes beyond which the connection's reads
+          pause (backpressure instead of unbounded buffering) *)
+  out_low_water : int;
+      (** backlog bytes at which a paused connection resumes reading *)
+  evict_after : float;
+      (** seconds a connection may stay paused before it is evicted;
+          also bounds how long a drain waits for slow readers *)
 }
 
 val default_config : config
-(** Queue of 1024, no default deadline, no snapshot, one job. *)
+(** Queue of 1024, no default deadline, no snapshot, one job; 1 MiB
+    high water, 64 KiB low water, 30 s eviction. *)
 
 type t
 

@@ -10,7 +10,8 @@
 # BENCH_E17.json and the E18 speculative parallel-commit benchmark
 # (bench/step_bench.ml) emitting BENCH_E18.json and the E19 memoized
 # refinement-depth benchmark (bench/refine_bench.ml) emitting
-# BENCH_E19.json.
+# BENCH_E19.json and the E20 many-connection pipelined-throughput
+# benchmark (bench/serve_many_bench.ml) emitting BENCH_E20.json.
 #
 # Usage: scripts/bench_smoke.sh            (from the repo root)
 
@@ -19,7 +20,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build bench/main.exe bench/serve_bench.exe bench/shard_bench.exe \
-  bench/step_bench.exe bench/refine_bench.exe
+  bench/step_bench.exe bench/refine_bench.exe bench/serve_many_bench.exe
 
 git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_utc=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -203,3 +204,7 @@ dune exec bench/step_bench.exe -- -n 150 -o BENCH_E18.json
 echo
 echo "== E19 (memoized refinement depth) =="
 dune exec bench/refine_bench.exe -- -b 0.5 -o BENCH_E19.json
+
+echo
+echo "== E20 (many-connection pipelined throughput) =="
+dune exec bench/serve_many_bench.exe -- -o BENCH_E20.json

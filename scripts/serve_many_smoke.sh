@@ -1,0 +1,25 @@
+#!/bin/sh
+# Many-connection smoke test: run the E20 harness small — 64 concurrent
+# Unix-socket sessions pipelining a mixed probe/step workload at depths
+# 1 and 8 against a forked `trollc serve` loop.  The harness itself
+# enforces the properties under test: every connection's responses come
+# back FIFO, and each arm's final `save` dump is bit-identical to a
+# sequential in-process replay of the same requests.  The binary exits
+# nonzero on any violation (or if the pipelined arm is not faster), so
+# this script is a pass/fail gate, not a measurement.
+#
+# Usage: scripts/serve_many_smoke.sh      (from the repo root)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/serve_many_bench.exe
+
+out=$(mktemp "${TMPDIR:-/tmp}/troll-serve-many-smoke.XXXXXX.json")
+trap 'rm -f "$out"' EXIT INT TERM
+
+dune exec bench/serve_many_bench.exe -- -c 64 -n 16 -d 1,8 -o "$out"
+
+echo "serve-many smoke OK: 64 pipelined sessions, FIFO per connection, \
+final state bit-identical to the sequential replay"

@@ -532,9 +532,9 @@ let test_serve_hello () =
   Alcotest.check json "version echoed" (Json.Int 1)
     (Json.member "version" (Json.member "result" r1));
   (* no WAL, one job: the plain test server advertises only the
-     always-on parallel batch op *)
+     always-on capabilities — the parallel batch op and pipelining *)
   Alcotest.check json "caps"
-    (Json.List [ Json.String "steps" ])
+    (Json.List [ Json.String "steps"; Json.String "pipeline" ])
     (Json.member "caps" (Json.member "result" r1));
   check_ok "unknown client caps are ignored" (by_id responses 2);
   check_code "future version" "version_mismatch" (by_id responses 3);
@@ -610,6 +610,234 @@ let test_serve_default_deadline () =
   in
   check_code "config deadline applies" "deadline_expired" (by_id responses 1)
 
+(* a pipelined connection's responses come back in request order *)
+let test_serve_pipelined_fifo () =
+  let _, _, responses =
+    serve_script
+      (setup_frames
+      @ [
+          hire_frame 3 "ada";
+          {|{"id":4,"op":"save"}|};
+          {|{"id":5,"op":"fire","cls":"DEPT","key":"d","event":"fire","args":[{"$id":{"cls":"PERSON","key":"ada"}}]}|};
+          {|{"id":6,"op":"save"}|};
+          {|{"id":7,"op":"ping"}|};
+        ])
+  in
+  Alcotest.(check (list int))
+    "responses in request order"
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map
+       (fun r ->
+         match Json.to_int_opt (Json.member "id" r) with
+         | Some i -> i
+         | None -> Alcotest.fail "response without integer id")
+       responses)
+
+(* ---------------------------------------------------------------- *)
+(* Backpressure over a real socket                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* Fork a socket server; hand the test a connector, then tear the
+   server down. *)
+let with_socket_server ?config k =
+  let path = Filename.temp_file "troll_serve" ".sock" in
+  Unix.unlink path;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let session = load_session () in
+    let server = Server.create ?config session in
+    (try Server.listen_unix server ~path with _ -> ());
+    Unix._exit 0
+  end;
+  let connect () =
+    let rec attempt i =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if i > 500 then Alcotest.fail "cannot connect to test server";
+          Unix.sleepf 0.01;
+          attempt (i + 1)
+    in
+    attempt 0
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () -> k connect)
+
+let fd_write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* a buffered line reader over a raw fd, with a liveness timeout: if
+   the serve loop were blocked on someone else's backlog, this fails
+   instead of hanging the suite *)
+let read_frame ?(timeout = 10.) buf fd =
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    let data = Buffer.contents buf in
+    match String.index data '\n' with
+    | nl ->
+        let line = String.sub data 0 nl in
+        Buffer.clear buf;
+        Buffer.add_substring buf data (nl + 1) (String.length data - nl - 1);
+        parse_ok line
+    | exception Not_found ->
+        (match Unix.select [ fd ] [] [] timeout with
+        | [], _, _ -> Alcotest.fail "no response within the timeout"
+        | _ -> ());
+        let n = Unix.read fd chunk 0 65536 in
+        if n = 0 then Alcotest.fail "server closed the connection";
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+  in
+  loop ()
+
+let rpc_fd buf fd line =
+  fd_write_all fd (line ^ "\n");
+  read_frame buf fd
+
+let pipeline_stat r name =
+  match
+    Json.to_int_opt (Json.member name (Json.member "pipeline" (Json.member "result" r)))
+  with
+  | Some n -> n
+  | None -> Alcotest.failf "stats carry no pipeline.%s" name
+
+(* Tiny water marks so a client that stops reading trips the pause;
+   the eviction window stays wide so nothing is dropped mid-test. *)
+let backpressure_config =
+  {
+    Server.default_config with
+    Server.out_high_water = 4096;
+    Server.out_low_water = 512;
+    Server.evict_after = 30.;
+  }
+
+let test_serve_slow_reader () =
+  with_socket_server ~config:backpressure_config @@ fun connect ->
+  let slow = connect () and normal = connect () in
+  let sbuf = Buffer.create 256 and nbuf = Buffer.create 256 in
+  (* fatten the state so save responses dwarf the high-water mark *)
+  for i = 1 to 100 do
+    check_ok "create"
+      (rpc_fd sbuf slow
+         (Printf.sprintf {|{"id":%d,"op":"create","cls":"PERSON","key":"p%03d"}|} i i))
+  done;
+  (* pipeline 200 saves and stop reading: the backlog must cross the
+     high-water mark and pause this connection without blocking anyone *)
+  let first_save = 1000 and n_saves = 200 in
+  let script =
+    String.concat ""
+      (List.init n_saves (fun i ->
+           Printf.sprintf {|{"id":%d,"op":"save"}|} (first_save + i) ^ "\n"))
+  in
+  fd_write_all slow script;
+  (* the loop keeps serving the other connection promptly *)
+  check_ok "other connection live" (rpc_fd nbuf normal {|{"id":1,"op":"ping"}|});
+  let rec await_pause i =
+    let stats = rpc_fd nbuf normal {|{"id":2,"op":"stats"}|} in
+    if pipeline_stat stats "pauses" >= 1 then stats
+    else if i > 100 then Alcotest.fail "high-water pause never recorded"
+    else begin
+      Unix.sleepf 0.02;
+      await_pause (i + 1)
+    end
+  in
+  ignore (await_pause 0);
+  (* drain the slow reader — first a stretch one byte at a time (the
+     server must resume partial writes intact), then normally *)
+  let one = Bytes.create 1 in
+  for _ = 1 to 2048 do
+    match Unix.select [ slow ] [] [] 10. with
+    | [], _, _ -> Alcotest.fail "no slow-reader byte within the timeout"
+    | _ ->
+        if Unix.read slow one 0 1 = 1 then Buffer.add_bytes sbuf one
+        else Alcotest.fail "server closed the slow reader"
+  done;
+  let expected_ids = List.init n_saves (fun i -> first_save + i) in
+  let states =
+    List.map
+      (fun id ->
+        let r = read_frame sbuf slow in
+        Alcotest.check json "slow-reader responses stay FIFO" (Json.Int id)
+          (Json.member "id" r);
+        check_ok "slow-reader response intact" r;
+        match
+          Json.to_string_opt (Json.member "state" (Json.member "result" r))
+        with
+        | Some s -> s
+        | None -> Alcotest.fail "save response carries no state")
+      expected_ids
+  in
+  (match states with
+  | first :: rest ->
+      List.iter
+        (fun s ->
+          Alcotest.(check int) "every dump identical" (String.length first)
+            (String.length s))
+        rest
+  | [] -> ());
+  let rec await_resume i =
+    let stats = rpc_fd nbuf normal {|{"id":3,"op":"stats"}|} in
+    if pipeline_stat stats "resumes" >= 1 then ()
+    else if i > 100 then Alcotest.fail "low-water resume never recorded"
+    else begin
+      Unix.sleepf 0.02;
+      await_resume (i + 1)
+    end
+  in
+  await_resume 0;
+  (* the paused connection is fully functional again *)
+  check_ok "slow reader resumes service"
+    (rpc_fd sbuf slow {|{"id":4000,"op":"ping"}|});
+  check_ok "shutdown" (rpc_fd nbuf normal {|{"id":4,"op":"shutdown"}|});
+  Unix.close slow;
+  Unix.close normal
+
+let test_serve_killed_with_backlog () =
+  with_socket_server ~config:backpressure_config @@ fun connect ->
+  let doomed = connect () in
+  let dbuf = Buffer.create 256 in
+  for i = 1 to 100 do
+    check_ok "create"
+      (rpc_fd dbuf doomed
+         (Printf.sprintf {|{"id":%d,"op":"create","cls":"PERSON","key":"q%03d"}|} i i))
+  done;
+  (* pipeline a pile of saves and vanish: the server is left with a
+     non-empty output buffer and a dead peer *)
+  let script =
+    String.concat ""
+      (List.init 200 (fun i ->
+           Printf.sprintf {|{"id":%d,"op":"save"}|} (1000 + i) ^ "\n"))
+  in
+  fd_write_all doomed script;
+  Unix.close doomed;
+  (* the loop survives and the dead session is reaped *)
+  let normal = connect () in
+  let nbuf = Buffer.create 256 in
+  check_ok "loop alive after the kill"
+    (rpc_fd nbuf normal {|{"id":1,"op":"ping"}|});
+  let rec await_reap i =
+    let stats = rpc_fd nbuf normal {|{"id":2,"op":"stats"}|} in
+    if pipeline_stat stats "sessions" = 1 then ()
+    else if i > 100 then Alcotest.fail "dead session never reaped"
+    else begin
+      Unix.sleepf 0.02;
+      await_reap (i + 1)
+    end
+  in
+  await_reap 0;
+  check_ok "shutdown" (rpc_fd nbuf normal {|{"id":3,"op":"shutdown"}|});
+  Unix.close normal
+
 (* ---------------------------------------------------------------- *)
 
 let () =
@@ -665,5 +893,11 @@ let () =
           Alcotest.test_case "hello handshake" `Quick test_serve_hello;
           Alcotest.test_case "prepare/commit/abort" `Quick
             test_serve_two_phase;
+          Alcotest.test_case "pipelined responses stay FIFO" `Quick
+            test_serve_pipelined_fifo;
+          Alcotest.test_case "slow reader pauses and resumes" `Quick
+            test_serve_slow_reader;
+          Alcotest.test_case "peer killed with backlogged output" `Quick
+            test_serve_killed_with_backlog;
         ] );
     ]
